@@ -1,0 +1,65 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+namespace faasnap {
+namespace bench {
+
+namespace {
+
+TraceGenerator MakeGenerator(const std::string& function, const GuestLayout& layout) {
+  Result<FunctionSpec> spec = FindFunction(function);
+  FAASNAP_CHECK_OK(spec.status());
+  return TraceGenerator(*spec, layout);
+}
+
+}  // namespace
+
+Experiment::Experiment(const std::string& function, PlatformConfig config)
+    : platform_(config), generator_(MakeGenerator(function, config.layout)) {}
+
+void Experiment::Record(const WorkloadInput& record_input) {
+  FAASNAP_CHECK(!recorded_);
+  snapshot_ = platform_.Record(generator_, record_input);
+  recorded_ = true;
+}
+
+InvocationReport Experiment::Invoke(RestoreMode mode, const WorkloadInput& test_input) {
+  FAASNAP_CHECK(recorded_);
+  platform_.DropCaches();
+  return platform_.Invoke(snapshot_, mode, generator_, test_input);
+}
+
+CellStats MeasureCell(const std::string& function, RestoreMode mode,
+                      const std::function<WorkloadInput(const FunctionSpec&)>& record_input,
+                      const std::function<WorkloadInput(const FunctionSpec&)>& test_input,
+                      PlatformConfig base_config, int reps) {
+  RunningStats stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    PlatformConfig config = base_config;
+    config.seed = base_config.seed + static_cast<uint64_t>(rep) * 7919;
+    Experiment experiment(function, config);
+    experiment.Record(record_input(experiment.generator().spec()));
+    InvocationReport report = experiment.Invoke(mode, test_input(experiment.generator().spec()));
+    stats.Record(report.total_time().millis());
+  }
+  return CellStats{stats.mean(), stats.stddev()};
+}
+
+std::string StatCell(const CellStats& stats) {
+  return FormatCell("%.1f +- %.1f", stats.mean_ms, stats.std_ms);
+}
+
+std::vector<RestoreMode> PaperSystems() {
+  return {RestoreMode::kFirecracker, RestoreMode::kReap, RestoreMode::kFaasnap,
+          RestoreMode::kCached};
+}
+
+void PrintBanner(const std::string& figure, const std::string& caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace faasnap

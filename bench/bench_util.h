@@ -1,0 +1,70 @@
+// Shared helpers for the figure/table benchmark harnesses.
+//
+// Each bench binary reproduces one table or figure from the paper's evaluation:
+// it runs the record phase once per (function, seed), then the test phase under
+// each system, dropping caches between tests (section 6.1), and prints the same
+// rows/series the paper reports.
+
+#ifndef FAASNAP_BENCH_BENCH_UTIL_H_
+#define FAASNAP_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/platform.h"
+#include "src/metrics/table.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace bench {
+
+// One record phase + repeated test phases on a single platform, caches dropped
+// between tests.
+class Experiment {
+ public:
+  // `seed` feeds device jitter; vary it across repetitions for error bars.
+  Experiment(const std::string& function, PlatformConfig config);
+
+  // Runs the record phase with `record_input` (defaults to input A elsewhere).
+  void Record(const WorkloadInput& record_input);
+
+  // Test phase: drop caches, restore under `mode`, invoke with `test_input`.
+  InvocationReport Invoke(RestoreMode mode, const WorkloadInput& test_input);
+
+  const TraceGenerator& generator() const { return generator_; }
+  const FunctionSnapshot& snapshot() const { return snapshot_; }
+  Platform& platform() { return platform_; }
+
+ private:
+  Platform platform_;
+  TraceGenerator generator_;
+  FunctionSnapshot snapshot_;
+  bool recorded_ = false;
+};
+
+// Mean/stddev of total execution time (ms) across `reps` repetitions with
+// different jitter seeds. Runs record(A-or-given) once per rep.
+struct CellStats {
+  double mean_ms = 0;
+  double std_ms = 0;
+};
+
+CellStats MeasureCell(const std::string& function, RestoreMode mode,
+                      const std::function<WorkloadInput(const FunctionSpec&)>& record_input,
+                      const std::function<WorkloadInput(const FunctionSpec&)>& test_input,
+                      PlatformConfig base_config, int reps);
+
+// "123.4 +- 5.6" cell text.
+std::string StatCell(const CellStats& stats);
+
+// The four systems of Figures 1/6/7 in presentation order.
+std::vector<RestoreMode> PaperSystems();
+
+// Prints a standard figure banner.
+void PrintBanner(const std::string& figure, const std::string& caption);
+
+}  // namespace bench
+}  // namespace faasnap
+
+#endif  // FAASNAP_BENCH_BENCH_UTIL_H_

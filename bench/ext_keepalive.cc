@@ -1,0 +1,78 @@
+// Extension (paper sections 2.1 / 7.1): warm starts vs snapshots vs cold starts.
+//
+// "For the most frequent functions, keeping warm VMs alive and using warm starts
+// is the best choice. Snapshots are useful for less frequently executed functions
+// where keeping warm VMs has more overhead than benefit." This bench quantifies
+// that tradeoff: Poisson arrivals at rates from the Azure-trace regimes (less
+// than half of all functions are invoked every hour; <10% every minute), a
+// 10-minute keep-alive window, and three miss paths. Reported per cell: mean
+// latency and the time-averaged host memory pinned by the warm VM.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/keepalive.h"
+
+namespace faasnap {
+namespace bench {
+namespace {
+
+void Run(int arrivals) {
+  PrintBanner("Extension: keep-alive policy (sections 2.1, 7.1)",
+              "Poisson arrivals, 10-minute keep-alive, mean latency / avg pinned memory");
+
+  struct Rate {
+    const char* label;
+    Duration mean_gap;
+  };
+  const Rate rates[] = {
+      {"every 10 s (hot)", Duration::Seconds(10)},
+      {"every 2 min", Duration::Seconds(120)},
+      {"every 30 min", Duration::Seconds(1800)},
+  };
+  const RestoreMode miss_modes[] = {RestoreMode::kColdBoot, RestoreMode::kFirecracker,
+                                    RestoreMode::kFaasnap};
+
+  for (const std::string& function : {std::string("json"), std::string("recognition")}) {
+    TextTable table({"arrival rate", "miss path", "warm hit rate", "mean latency (ms)",
+                     "p-miss latency (ms)", "avg pinned memory (MiB)"});
+    for (const Rate& rate : rates) {
+      for (RestoreMode miss_mode : miss_modes) {
+        PlatformConfig config;
+        Platform platform(config);
+        Result<FunctionSpec> spec = FindFunction(function);
+        FAASNAP_CHECK_OK(spec.status());
+        TraceGenerator generator(*spec, config.layout);
+        FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+
+        KeepAliveSimulator simulator(&platform, &snapshot, &generator);
+        KeepAliveConfig ka;
+        ka.keep_warm = Duration::Seconds(600);
+        ka.miss_mode = miss_mode;
+        std::vector<Duration> gaps = PoissonArrivalGaps(rate.mean_gap, arrivals, 99);
+        KeepAliveStats stats = simulator.Run(gaps, ka);
+
+        // Estimate the miss-path latency as the max observed (misses dominate it).
+        table.AddRow({rate.label, std::string(RestoreModeName(miss_mode)),
+                      FormatCell("%.0f%%", 100.0 * stats.warm_hit_rate()),
+                      FormatCell("%.1f", stats.latency_ms.mean()),
+                      FormatCell("%.1f", stats.latency_ms.max()),
+                      FormatCell("%.1f", stats.avg_warm_resident_bytes / (1024.0 * 1024.0))});
+      }
+    }
+    std::printf("## %s\n%s\n", function.c_str(), table.ToString().c_str());
+  }
+  std::printf("Expected: hot functions hit warm VMs regardless of miss path; at low rates\n"
+              "the miss path dominates latency — FaaSnap keeps misses ~10x cheaper than\n"
+              "cold boots while pinning no memory between invocations.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faasnap
+
+int main(int argc, char** argv) {
+  const int arrivals = argc > 1 ? std::atoi(argv[1]) : 60;
+  faasnap::bench::Run(arrivals);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6: end-to-end execution time of the nine variable-input benchmark
+// functions under Firecracker, REAP, FaaSnap, and Cached. Left half: record with
+// input A, test with input B; right half: record with B, test with A.
+//
+// Paper shape: FaaSnap is the fastest non-Cached system for every function
+// (average 2.0x over Firecracker, 1.4x over REAP; the REAP gap is larger when the
+// test input is the bigger B), and is within a few percent of Cached on average.
+
+#include <cstdio>
+
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace faasnap {
+namespace bench {
+namespace {
+
+void RunDirection(const std::string& title,
+                  const std::function<WorkloadInput(const FunctionSpec&)>& record_input,
+                  const std::function<WorkloadInput(const FunctionSpec&)>& test_input,
+                  int reps) {
+  std::printf("## %s\n\n", title.c_str());
+  TextTable table({"function", "firecracker", "reap", "faasnap", "cached",
+                   "fc/faasnap", "reap/faasnap", "faasnap/cached"});
+  double fc_ratio_sum = 0;
+  double reap_ratio_sum = 0;
+  double cached_ratio_sum = 0;
+  int count = 0;
+  for (const std::string& function : BenchmarkFunctionNames()) {
+    std::map<RestoreMode, CellStats> cells;
+    for (RestoreMode mode : PaperSystems()) {
+      cells[mode] =
+          MeasureCell(function, mode, record_input, test_input, PlatformConfig{}, reps);
+    }
+    const double faasnap = cells[RestoreMode::kFaasnap].mean_ms;
+    const double fc_ratio = cells[RestoreMode::kFirecracker].mean_ms / faasnap;
+    const double reap_ratio = cells[RestoreMode::kReap].mean_ms / faasnap;
+    const double cached_ratio = faasnap / cells[RestoreMode::kCached].mean_ms;
+    fc_ratio_sum += fc_ratio;
+    reap_ratio_sum += reap_ratio;
+    cached_ratio_sum += cached_ratio;
+    ++count;
+    table.AddRow({function, StatCell(cells[RestoreMode::kFirecracker]),
+                  StatCell(cells[RestoreMode::kReap]), StatCell(cells[RestoreMode::kFaasnap]),
+                  StatCell(cells[RestoreMode::kCached]), FormatCell("%.2fx", fc_ratio),
+                  FormatCell("%.2fx", reap_ratio), FormatCell("%.2fx", cached_ratio)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("averages: firecracker/faasnap = %.2fx, reap/faasnap = %.2fx, "
+              "faasnap/cached = %.2fx\n\n",
+              fc_ratio_sum / count, reap_ratio_sum / count, cached_ratio_sum / count);
+}
+
+void Run(int reps) {
+  PrintBanner("Figure 6", "execution time of the benchmark functions (ms)");
+  RunDirection("record phase input A, test phase input B", MakeInputA, MakeInputB, reps);
+  RunDirection("record phase input B, test phase input A", MakeInputB, MakeInputA, reps);
+  std::printf("Paper anchors: FaaSnap improves on Firecracker ~2.0x and on REAP ~1.4x on\n"
+              "average (1.55x when testing with the larger input B, 1.16x with A); FaaSnap\n"
+              "averages within a few percent of Cached.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faasnap
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 5;
+  faasnap::bench::Run(reps);
+  return 0;
+}

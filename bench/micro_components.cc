@@ -1,0 +1,139 @@
+// google-benchmark micro-benchmarks of the building blocks on FaaSnap's hot
+// paths: page-range set algebra, address-space mapping/resolution, loading set
+// construction, manifest serialization, and the fault engine's cache-hit path.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/page_range.h"
+#include "src/common/rng.h"
+#include "src/core/loading_set_builder.h"
+#include "src/mem/fault_engine.h"
+#include "src/snapshot/serialization.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+PageRangeSet ScatteredSet(uint64_t ranges, uint64_t seed) {
+  Rng rng(seed);
+  PageRangeSet set;
+  for (uint64_t i = 0; i < ranges; ++i) {
+    set.Add(rng.NextBelow(1u << 20), 1 + rng.NextBelow(16));
+  }
+  return set;
+}
+
+void BM_PageRangeSetAddScattered(benchmark::State& state) {
+  const auto count = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    PageRangeSet set = ScatteredSet(count, 42);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+}
+BENCHMARK(BM_PageRangeSetAddScattered)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PageRangeSetIntersect(benchmark::State& state) {
+  PageRangeSet a = ScatteredSet(static_cast<uint64_t>(state.range(0)), 1);
+  PageRangeSet b = ScatteredSet(static_cast<uint64_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b));
+  }
+}
+BENCHMARK(BM_PageRangeSetIntersect)->Arg(256)->Arg(4096);
+
+void BM_PageRangeSetMergeGapTolerance(benchmark::State& state) {
+  PageRangeSet set = ScatteredSet(4096, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.MergeWithGapTolerance(32));
+  }
+}
+BENCHMARK(BM_PageRangeSetMergeGapTolerance);
+
+void BM_AddressSpaceHierarchicalMap(benchmark::State& state) {
+  const auto regions = static_cast<uint64_t>(state.range(0));
+  PageRangeSet nonzero = ScatteredSet(regions, 7);
+  for (auto _ : state) {
+    AddressSpace space(1u << 20);
+    space.Map({.guest = {0, 1u << 20}, .kind = BackingKind::kAnonymous});
+    for (const PageRange& r : nonzero.ranges()) {
+      space.Map({.guest = r, .kind = BackingKind::kFile, .file = 1, .file_start = r.first});
+    }
+    benchmark::DoNotOptimize(space.mmap_call_count());
+  }
+}
+BENCHMARK(BM_AddressSpaceHierarchicalMap)->Arg(128)->Arg(1024);
+
+void BM_AddressSpaceResolve(benchmark::State& state) {
+  AddressSpace space(1u << 20);
+  space.Map({.guest = {0, 1u << 20}, .kind = BackingKind::kAnonymous});
+  PageRangeSet nonzero = ScatteredSet(1024, 7);
+  for (const PageRange& r : nonzero.ranges()) {
+    space.Map({.guest = r, .kind = BackingKind::kFile, .file = 1, .file_start = r.first});
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.Resolve(rng.NextBelow(1u << 20)));
+  }
+}
+BENCHMARK(BM_AddressSpaceResolve);
+
+void BM_BuildLoadingSet(benchmark::State& state) {
+  WorkingSetGroups groups;
+  for (int g = 0; g < 8; ++g) {
+    groups.groups.push_back(ScatteredSet(512, static_cast<uint64_t>(g) + 10));
+  }
+  MemoryFile memory;
+  memory.total_pages = 1u << 20;
+  memory.nonzero = ScatteredSet(2048, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildLoadingSet(groups, memory));
+  }
+}
+BENCHMARK(BM_BuildLoadingSet);
+
+void BM_LoadingSetManifestRoundTrip(benchmark::State& state) {
+  LoadingSetFile file;
+  Rng rng(4);
+  PageIndex offset = 0;
+  for (int i = 0; i < 1024; ++i) {
+    const uint64_t count = 1 + rng.NextBelow(64);
+    file.regions.push_back(
+        LoadingRegion{{rng.NextBelow(1u << 20), count}, static_cast<uint32_t>(i / 128), offset});
+    offset += count;
+  }
+  file.total_pages = offset;
+  for (auto _ : state) {
+    auto blob = EncodeLoadingSetManifest(file);
+    auto decoded = DecodeLoadingSetManifest(blob);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_LoadingSetManifestRoundTrip);
+
+void BM_FaultEnginePageCacheHit(benchmark::State& state) {
+  Simulation sim;
+  PageCache cache;
+  BlockDevice disk(&sim, TestDiskProfile());
+  StorageRouter router;
+  router.AddDevice(&disk);
+  AddressSpace space(1u << 18);
+  ReadaheadPolicy readahead;
+  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return 1u << 18; });
+  space.Map({.guest = {0, 1u << 18}, .kind = BackingKind::kFile, .file = 1, .file_start = 0});
+  cache.Insert(1, PageRange{0, 1u << 18});
+  PageIndex page = 0;
+  for (auto _ : state) {
+    engine.Access(page % (1u << 18), [](FaultClass) {});
+    sim.Run();
+    ++page;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultEnginePageCacheHit);
+
+}  // namespace
+}  // namespace faasnap
+
+BENCHMARK_MAIN();

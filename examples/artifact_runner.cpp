@@ -1,0 +1,60 @@
+// artifact_runner: the counterpart of the paper artifact's `test.py` driver.
+//
+// The FaaSnap artifact (Appendix A.4) runs every experiment as
+// `test.py test-2inputs.json` etc.; this binary does the same against the
+// simulation platform:
+//
+//   ./build/examples/artifact_runner configs/test-2inputs.json          # E1
+//   ./build/examples/artifact_runner configs/test-6inputs.json          # E2
+//   ./build/examples/artifact_runner configs/test-burst.json            # E3
+//   ./build/examples/artifact_runner configs/test-remote.json           # E4
+//   ./build/examples/artifact_runner --json configs/test-2inputs.json   # machine-readable
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/daemon/experiment_config.h"
+#include "src/daemon/experiment_runner.h"
+
+using namespace faasnap;
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: artifact_runner [--json] <config.json>\n");
+    return 2;
+  }
+
+  Result<ExperimentConfig> config = LoadExperimentConfig(path);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config error: %s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  if (!json) {
+    std::printf("running \"%s\": %zu functions x %zu systems x %zu inputs x %d reps%s\n",
+                config->name.c_str(), config->functions.size(), config->systems.size(),
+                config->test_inputs.size(), config->reps,
+                config->parallelism > 1
+                    ? (" at parallelism " + std::to_string(config->parallelism)).c_str()
+                    : "");
+  }
+  Result<ExperimentResults> results = RunExperiment(*config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s\n", results->ToJson().c_str());
+  } else {
+    std::printf("\n%s", results->ToTable().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace faasnap {
+
+Log2Histogram::Log2Histogram(int64_t lower_ns, int num_buckets) : lower_ns_(lower_ns) {
+  FAASNAP_CHECK(lower_ns > 0);
+  FAASNAP_CHECK(num_buckets >= 1);
+  // +1 overflow bucket at the end.
+  counts_.assign(static_cast<size_t>(num_buckets) + 1, 0);
+}
+
+void Log2Histogram::Record(Duration d) {
+  int64_t ns = std::max<int64_t>(d.nanos(), 0);
+  size_t bucket = 0;
+  int64_t edge = lower_ns_;
+  while (bucket + 1 < counts_.size() && ns >= edge) {
+    ++bucket;
+    edge *= 2;
+  }
+  counts_[bucket]++;
+  total_count_++;
+  total_time_ += d;
+}
+
+void Log2Histogram::Merge(const Log2Histogram& other) {
+  FAASNAP_CHECK(other.lower_ns_ == lower_ns_);
+  FAASNAP_CHECK(other.counts_.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_count_ += other.total_count_;
+  total_time_ += other.total_time_;
+}
+
+void Log2Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  total_time_ = Duration::Zero();
+}
+
+Duration Log2Histogram::mean() const {
+  if (total_count_ == 0) {
+    return Duration::Zero();
+  }
+  return Duration::Nanos(total_time_.nanos() / total_count_);
+}
+
+Duration Log2Histogram::ApproxQuantile(double fraction) const {
+  if (total_count_ == 0) {
+    return Duration::Zero();
+  }
+  const auto target = static_cast<int64_t>(std::ceil(fraction * static_cast<double>(total_count_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return Duration::Nanos(bucket_upper_ns(static_cast<int>(i)));
+    }
+  }
+  return Duration::Nanos(bucket_upper_ns(static_cast<int>(counts_.size()) - 1));
+}
+
+int64_t Log2Histogram::bucket_upper_ns(int i) const {
+  if (i + 1 == static_cast<int>(counts_.size())) {
+    return INT64_MAX;
+  }
+  int64_t edge = lower_ns_;
+  for (int k = 0; k < i; ++k) {
+    edge *= 2;
+  }
+  return edge;
+}
+
+std::string Log2Histogram::BucketLabel(int i) const {
+  char buf[64];
+  if (i + 1 == static_cast<int>(counts_.size())) {
+    std::snprintf(buf, sizeof(buf), ">= %s",
+                  FormatDuration(bucket_upper_ns(i - 1)).c_str());
+  } else if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "< %s", FormatDuration(bucket_upper_ns(0)).c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s - %s", FormatDuration(bucket_upper_ns(i - 1)).c_str(),
+                  FormatDuration(bucket_upper_ns(i)).c_str());
+  }
+  return buf;
+}
+
+std::string Log2Histogram::ToString() const {
+  int64_t max_count = 1;
+  for (int64_t c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    char line[160];
+    // Log-scale bar, mirroring the paper's log y-axis.
+    const double frac = counts_[i] == 0
+                            ? 0.0
+                            : std::log2(1.0 + static_cast<double>(counts_[i])) /
+                                  std::log2(1.0 + static_cast<double>(max_count));
+    const int bar = static_cast<int>(frac * 40);
+    std::snprintf(line, sizeof(line), "  %-22s %8lld  %.*s\n",
+                  BucketLabel(static_cast<int>(i)).c_str(),
+                  static_cast<long long>(counts_[i]), bar,
+                  "########################################");
+    out += line;
+  }
+  return out;
+}
+
+void RunningStats::Record(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_++;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double RunningStats::stddev() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,77 @@
+// Log2Histogram: power-of-two bucketed latency histogram.
+//
+// Figure 2 of the paper plots page-fault handling times into buckets
+// 0.5us, 1us, 2us, ... 512us (both axes log scale). This histogram reproduces that
+// bucketing: bucket i covers [lower * 2^i, lower * 2^(i+1)) nanoseconds.
+
+#ifndef FAASNAP_SRC_COMMON_HISTOGRAM_H_
+#define FAASNAP_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace faasnap {
+
+class Log2Histogram {
+ public:
+  // `lower_ns` is the upper edge of the first bucket; `num_buckets` buckets double
+  // from there. A final overflow bucket catches everything beyond the last edge.
+  // The Figure 2 configuration is Log2Histogram(/*lower_ns=*/500, /*num_buckets=*/11):
+  // <0.5us, 0.5-1us, 1-2us, ..., 256-512us, >512us.
+  Log2Histogram(int64_t lower_ns, int num_buckets);
+
+  void Record(Duration d);
+  void Merge(const Log2Histogram& other);
+  void Reset();
+
+  int64_t total_count() const { return total_count_; }
+  Duration total_time() const { return total_time_; }
+  Duration mean() const;
+  // Smallest bucket upper edge such that >= fraction of samples are at or below it.
+  // fraction in (0, 1]. Returns the overflow edge if needed.
+  Duration ApproxQuantile(double fraction) const;
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+  // Upper edge of bucket i in nanoseconds (the overflow bucket reports INT64_MAX).
+  int64_t bucket_upper_ns(int i) const;
+  std::string BucketLabel(int i) const;
+
+  // Multi-line "label: count" rendering with a proportional bar, for bench output.
+  std::string ToString() const;
+
+ private:
+  int64_t lower_ns_;
+  std::vector<int64_t> counts_;  // num_buckets + underflow handled by bucket 0 + overflow at end
+  int64_t total_count_ = 0;
+  Duration total_time_;
+};
+
+// Plain running statistics (count/mean/min/max) for scalar series.
+class RunningStats {
+ public:
+  void Record(double v);
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Population standard deviation.
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is deterministic and single-threaded per engine, but the native
+// engine logs from multiple threads, so emission is a single formatted write.
+
+#ifndef FAASNAP_SRC_COMMON_LOGGING_H_
+#define FAASNAP_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace faasnap {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded. Default: kWarning so
+// tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define FAASNAP_LOG(level)                                                   \
+  if (::faasnap::LogLevel::level < ::faasnap::GetLogLevel()) {               \
+  } else                                                                     \
+    ::faasnap::internal::LogMessage(::faasnap::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG FAASNAP_LOG(kDebug)
+#define LOG_INFO FAASNAP_LOG(kInfo)
+#define LOG_WARNING FAASNAP_LOG(kWarning)
+#define LOG_ERROR FAASNAP_LOG(kError)
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,175 @@
+#include "src/common/page_range.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace faasnap {
+
+std::string PageRange::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%llu,%llu)", static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(end()));
+  return buf;
+}
+
+PageRangeSet::PageRangeSet(std::vector<PageRange> ranges) {
+  for (const PageRange& r : ranges) {
+    Add(r);
+  }
+}
+
+void PageRangeSet::Add(PageIndex first, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  PageRange incoming{first, count};
+  // Find first existing range whose end >= incoming.first (possible coalesce target).
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), incoming.first,
+      [](const PageRange& r, PageIndex v) { return r.end() < v; });
+  PageIndex new_first = incoming.first;
+  PageIndex new_end = incoming.end();
+  auto erase_begin = it;
+  while (it != ranges_.end() && it->first <= new_end) {
+    new_first = std::min(new_first, it->first);
+    new_end = std::max(new_end, it->end());
+    ++it;
+  }
+  auto pos = ranges_.erase(erase_begin, it);
+  ranges_.insert(pos, PageRange{new_first, new_end - new_first});
+  RecomputeTotal();
+}
+
+void PageRangeSet::Remove(PageIndex first, uint64_t count) {
+  if (count == 0 || ranges_.empty()) {
+    return;
+  }
+  const PageIndex rem_end = first + count;
+  std::vector<PageRange> out;
+  out.reserve(ranges_.size() + 1);
+  for (const PageRange& r : ranges_) {
+    if (r.end() <= first || r.first >= rem_end) {
+      out.push_back(r);
+      continue;
+    }
+    if (r.first < first) {
+      out.push_back(PageRange{r.first, first - r.first});
+    }
+    if (r.end() > rem_end) {
+      out.push_back(PageRange{rem_end, r.end() - rem_end});
+    }
+  }
+  ranges_ = std::move(out);
+  RecomputeTotal();
+}
+
+bool PageRangeSet::Contains(PageIndex page) const {
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), page,
+                             [](PageIndex v, const PageRange& r) { return v < r.first; });
+  if (it == ranges_.begin()) {
+    return false;
+  }
+  --it;
+  return it->Contains(page);
+}
+
+PageRangeSet PageRangeSet::Union(const PageRangeSet& other) const {
+  PageRangeSet out = *this;
+  for (const PageRange& r : other.ranges_) {
+    out.Add(r);
+  }
+  return out;
+}
+
+PageRangeSet PageRangeSet::Intersect(const PageRangeSet& other) const {
+  PageRangeSet out;
+  size_t i = 0;
+  size_t j = 0;
+  std::vector<PageRange> result;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const PageRange& a = ranges_[i];
+    const PageRange& b = other.ranges_[j];
+    const PageIndex lo = std::max(a.first, b.first);
+    const PageIndex hi = std::min(a.end(), b.end());
+    if (lo < hi) {
+      result.push_back(PageRange{lo, hi - lo});
+    }
+    if (a.end() < b.end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  out.ranges_ = std::move(result);
+  out.RecomputeTotal();
+  return out;
+}
+
+PageRangeSet PageRangeSet::Subtract(const PageRangeSet& other) const {
+  PageRangeSet out = *this;
+  for (const PageRange& r : other.ranges_) {
+    out.Remove(r.first, r.count);
+  }
+  return out;
+}
+
+PageRangeSet PageRangeSet::ComplementWithin(uint64_t space_pages) const {
+  PageRangeSet out;
+  PageIndex cursor = 0;
+  for (const PageRange& r : ranges_) {
+    if (r.first >= space_pages) {
+      break;
+    }
+    if (r.first > cursor) {
+      out.Add(cursor, r.first - cursor);
+    }
+    cursor = std::max<PageIndex>(cursor, r.end());
+  }
+  if (cursor < space_pages) {
+    out.Add(cursor, space_pages - cursor);
+  }
+  return out;
+}
+
+PageRangeSet PageRangeSet::MergeWithGapTolerance(uint64_t max_gap_pages) const {
+  PageRangeSet out;
+  if (ranges_.empty()) {
+    return out;
+  }
+  PageRange cur = ranges_[0];
+  for (size_t i = 1; i < ranges_.size(); ++i) {
+    const PageRange& next = ranges_[i];
+    const uint64_t gap = next.first - cur.end();
+    if (gap <= max_gap_pages) {
+      cur.count = next.end() - cur.first;  // absorb the gap pages too
+    } else {
+      out.Add(cur);
+      cur = next;
+    }
+  }
+  out.Add(cur);
+  return out;
+}
+
+std::string PageRangeSet::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) {
+      s += ", ";
+    }
+    s += ranges_[i].ToString();
+  }
+  s += "}";
+  return s;
+}
+
+void PageRangeSet::RecomputeTotal() {
+  total_pages_ = 0;
+  for (const PageRange& r : ranges_) {
+    total_pages_ += r.count;
+  }
+}
+
+}  // namespace faasnap

@@ -1,0 +1,83 @@
+// Page-granular interval containers.
+//
+// Snapshot files, working sets, and loading sets are all described as sets of
+// guest-physical page ranges. PageRange is a half-open [first, first+count) run of
+// page indices; PageRangeSet keeps an ordered, disjoint, coalesced collection with
+// the set algebra FaaSnap needs: union, intersection, subtraction, gap-tolerant
+// merging (the <=32-page region merge of paper section 4.6), and containment tests.
+
+#ifndef FAASNAP_SRC_COMMON_PAGE_RANGE_H_
+#define FAASNAP_SRC_COMMON_PAGE_RANGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faasnap {
+
+// Index of a 4 KiB page within some address space or file.
+using PageIndex = uint64_t;
+
+// Half-open run of pages [first, first + count).
+struct PageRange {
+  PageIndex first = 0;
+  uint64_t count = 0;
+
+  PageIndex end() const { return first + count; }
+  bool empty() const { return count == 0; }
+  bool Contains(PageIndex page) const { return page >= first && page < end(); }
+  bool Overlaps(const PageRange& other) const {
+    return first < other.end() && other.first < end();
+  }
+
+  bool operator==(const PageRange& other) const = default;
+  std::string ToString() const;
+};
+
+// Ordered, disjoint, coalesced set of page ranges.
+class PageRangeSet {
+ public:
+  PageRangeSet() = default;
+  explicit PageRangeSet(std::vector<PageRange> ranges);
+
+  // Inserts [first, first+count), coalescing with abutting/overlapping runs.
+  void Add(PageIndex first, uint64_t count);
+  void Add(const PageRange& r) { Add(r.first, r.count); }
+  void AddPage(PageIndex page) { Add(page, 1); }
+
+  // Removes [first, first+count) from the set (splitting runs as needed).
+  void Remove(PageIndex first, uint64_t count);
+
+  bool Contains(PageIndex page) const;
+  bool empty() const { return ranges_.empty(); }
+  size_t range_count() const { return ranges_.size(); }
+  uint64_t page_count() const { return total_pages_; }
+
+  const std::vector<PageRange>& ranges() const { return ranges_; }
+
+  // Set algebra. All results are coalesced.
+  PageRangeSet Union(const PageRangeSet& other) const;
+  PageRangeSet Intersect(const PageRangeSet& other) const;
+  PageRangeSet Subtract(const PageRangeSet& other) const;
+
+  // Pages in [0, space_pages) not in the set.
+  PageRangeSet ComplementWithin(uint64_t space_pages) const;
+
+  // Merges runs separated by gaps of at most `max_gap_pages`, *including* the gap
+  // pages in the result (paper section 4.6: "merges these adjacent regions by
+  // including the pages in between them"). max_gap_pages == 0 returns a copy.
+  PageRangeSet MergeWithGapTolerance(uint64_t max_gap_pages) const;
+
+  bool operator==(const PageRangeSet& other) const { return ranges_ == other.ranges_; }
+  std::string ToString() const;
+
+ private:
+  void RecomputeTotal();
+
+  std::vector<PageRange> ranges_;  // sorted by first, disjoint, non-abutting
+  uint64_t total_pages_ = 0;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_COMMON_PAGE_RANGE_H_

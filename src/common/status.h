@@ -1,0 +1,170 @@
+// Status and Result<T>: exception-free error handling primitives used across the
+// FaaSnap codebase. Modeled after absl::Status / absl::StatusOr but self-contained.
+//
+// Conventions:
+//  * Functions that can fail return Status (no payload) or Result<T> (payload).
+//  * Programming errors (broken invariants) use FAASNAP_CHECK, which aborts.
+//  * The RETURN_IF_ERROR / ASSIGN_OR_RETURN macros propagate failures upward.
+
+#ifndef FAASNAP_SRC_COMMON_STATUS_H_
+#define FAASNAP_SRC_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace faasnap {
+
+// Canonical error space, a deliberately small subset of the gRPC/absl codes.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kUnavailable = 9,
+  kIoError = 10,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value type carrying success or (code, message).
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: bad page index".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status IoError(std::string message);
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from value and from error Status, so `return value;` and
+  // `return InvalidArgumentError(...);` both work.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Status of the result; OkStatus() when a value is held.
+  Status status() const { return ok() ? OkStatus() : std::get<Status>(rep_); }
+
+  // Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result<T>::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+// Aborts (with file:line and the expression text) if `expr` is false.
+#define FAASNAP_CHECK(expr)                                      \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::faasnap::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (0)
+
+#define FAASNAP_CHECK_OK(status_expr)                                              \
+  do {                                                                             \
+    const ::faasnap::Status faasnap_check_status = (status_expr);                  \
+    if (!faasnap_check_status.ok()) {                                              \
+      ::faasnap::internal::CheckFailed(__FILE__, __LINE__,                         \
+                                       faasnap_check_status.ToString().c_str());   \
+    }                                                                              \
+  } while (0)
+
+// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                        \
+  do {                                               \
+    ::faasnap::Status faasnap_ret_status = (expr);   \
+    if (!faasnap_ret_status.ok()) {                  \
+      return faasnap_ret_status;                     \
+    }                                                \
+  } while (0)
+
+#define FAASNAP_MACRO_CONCAT_INNER(x, y) x##y
+#define FAASNAP_MACRO_CONCAT(x, y) FAASNAP_MACRO_CONCAT_INNER(x, y)
+
+// ASSIGN_OR_RETURN(lhs, result_expr): assigns the value or returns the error.
+#define ASSIGN_OR_RETURN(lhs, expr)                                             \
+  auto FAASNAP_MACRO_CONCAT(faasnap_result_, __LINE__) = (expr);                \
+  if (!FAASNAP_MACRO_CONCAT(faasnap_result_, __LINE__).ok()) {                  \
+    return FAASNAP_MACRO_CONCAT(faasnap_result_, __LINE__).status();            \
+  }                                                                             \
+  lhs = std::move(FAASNAP_MACRO_CONCAT(faasnap_result_, __LINE__)).value()
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_COMMON_STATUS_H_

@@ -1,0 +1,63 @@
+#include "src/common/tracer.h"
+
+#include <cstdio>
+
+namespace faasnap {
+
+std::string_view TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFaultStart:
+      return "fault-start";
+    case TraceEventType::kFaultEnd:
+      return "fault-end";
+    case TraceEventType::kDiskIssue:
+      return "disk-issue";
+    case TraceEventType::kDiskComplete:
+      return "disk-complete";
+    case TraceEventType::kLoaderChunk:
+      return "loader-chunk";
+    case TraceEventType::kSetupDone:
+      return "setup-done";
+    case TraceEventType::kInvocationStart:
+      return "invocation-start";
+    case TraceEventType::kInvocationEnd:
+      return "invocation-end";
+    case TraceEventType::kTypeCount:
+      break;
+  }
+  return "unknown";
+}
+
+void EventTracer::Emit(SimTime time, TraceEventType type, uint64_t arg0, uint64_t arg1) {
+  counts_[static_cast<int>(type)]++;
+  events_.push_back(TraceEvent{time, type, arg0, arg1});
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+void EventTracer::Clear() {
+  events_.clear();
+  for (int64_t& c : counts_) {
+    c = 0;
+  }
+}
+
+std::string EventTracer::RenderTimeline(SimTime from, SimTime to) const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    if (event.time < from || to < event.time) {
+      continue;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%10.3f ms  %-16s arg0=%llu arg1=%llu\n",
+                  static_cast<double>(event.time.nanos()) / 1e6,
+                  TraceEventTypeName(event.type).data(),
+                  static_cast<unsigned long long>(event.arg0),
+                  static_cast<unsigned long long>(event.arg1));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace faasnap

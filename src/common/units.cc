@@ -1,0 +1,57 @@
+#include "src/common/units.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace faasnap {
+
+namespace {
+
+std::string FormatScaled(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kGiB) {
+    return FormatScaled(static_cast<double>(bytes) / static_cast<double>(kGiB), "GiB");
+  }
+  if (bytes >= kMiB) {
+    return FormatScaled(static_cast<double>(bytes) / static_cast<double>(kMiB), "MiB");
+  }
+  if (bytes >= kKiB) {
+    return FormatScaled(static_cast<double>(bytes) / static_cast<double>(kKiB), "KiB");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  return buf;
+}
+
+std::string FormatDuration(int64_t ns) {
+  const bool neg = ns < 0;
+  const double abs_ns = neg ? -static_cast<double>(ns) : static_cast<double>(ns);
+  std::string body;
+  if (abs_ns >= 1e9) {
+    body = FormatScaled(abs_ns / 1e9, "s");
+  } else if (abs_ns >= 1e6) {
+    body = FormatScaled(abs_ns / 1e6, "ms");
+  } else if (abs_ns >= 1e3) {
+    body = FormatScaled(abs_ns / 1e3, "us");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " ns", neg ? -ns : ns);
+    body = buf;
+  }
+  return neg ? "-" + body : body;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,37 @@
+// Byte-size and time-unit helpers shared across the codebase.
+//
+// All simulated time is carried as int64_t nanoseconds (see time.h); all sizes
+// as uint64_t bytes. These helpers keep literals readable at call sites.
+
+#ifndef FAASNAP_SRC_COMMON_UNITS_H_
+#define FAASNAP_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace faasnap {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// The only page size FaaSnap deals with (x86-64 base pages).
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+
+// Number of whole pages needed to hold `bytes`.
+constexpr uint64_t BytesToPages(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+constexpr uint64_t PagesToBytes(uint64_t pages) { return pages * kPageSize; }
+
+// "1.5 GiB", "237 MiB", "4 KiB", "123 B".
+std::string FormatBytes(uint64_t bytes);
+
+// "1.204 s", "35.7 ms", "3.7 us", "250 ns" from nanoseconds.
+std::string FormatDuration(int64_t ns);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_COMMON_UNITS_H_

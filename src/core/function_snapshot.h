@@ -1,0 +1,46 @@
+// FunctionSnapshot: everything the record phase produces for one function.
+//
+// The record invocation is run once (the guest's execution is identical either
+// way) and yields artifacts for every restore policy:
+//   * memory_vanilla   — the post-record memory file without freed-page
+//                        sanitization (what Firecracker/Cached/REAP restore from),
+//   * memory_sanitized — the post-record memory file with the modified guest
+//                        kernel's freed-page sanitization (what FaaSnap restores
+//                        from; freed transients are zero, hence anonymous-mapped),
+//   * reap_ws          — REAP's fault-ordered working set file,
+//   * ws_groups        — FaaSnap's mincore-recorded working set groups,
+//   * loading_set      — the compact loading set file built from the two above,
+//   * record_touched   — pages resident after the record run (the Warm baseline's
+//                        in-memory state).
+
+#ifndef FAASNAP_SRC_CORE_FUNCTION_SNAPSHOT_H_
+#define FAASNAP_SRC_CORE_FUNCTION_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/common/page_range.h"
+#include "src/snapshot/snapshot_files.h"
+
+namespace faasnap {
+
+struct FunctionSnapshot {
+  std::string function;
+  uint64_t guest_pages = 0;
+
+  MemoryFile memory_vanilla;
+  MemoryFile memory_sanitized;
+  ReapWorkingSetFile reap_ws;
+  WorkingSetGroups ws_groups;
+  LoadingSetFile loading_set;
+  PageRangeSet record_touched;
+
+  // Guest pages registered as high-value secrets (PRNG state and the like) via an
+  // MADV_WIPEONSUSPEND-style interface (paper section 7.4): their contents are
+  // wiped when the snapshot is taken, so every restored VM sees zeroed state and
+  // must reseed — restored instances never share secrets.
+  PageRangeSet wipe_regions;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CORE_FUNCTION_SNAPSHOT_H_

@@ -1,0 +1,160 @@
+#include "src/core/host_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace faasnap {
+
+std::vector<Arrival> ZipfArrivals(size_t functions, int count, double zipf_s,
+                                  Duration mean_gap, uint64_t seed) {
+  FAASNAP_CHECK(functions > 0);
+  FAASNAP_CHECK(mean_gap > Duration::Zero());
+  // Zipf CDF over ranks 1..F.
+  std::vector<double> cdf(functions);
+  double total = 0;
+  for (size_t i = 0; i < functions; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+    cdf[i] = total;
+  }
+  for (double& v : cdf) {
+    v /= total;
+  }
+  Rng rng(seed);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double u = rng.NextDouble();
+    const size_t function_index = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    double e = rng.NextDouble();
+    if (e <= 0.0) {
+      e = 1e-12;
+    }
+    const auto gap = Duration::Nanos(
+        static_cast<int64_t>(-std::log(e) * static_cast<double>(mean_gap.nanos())) + 1);
+    arrivals.push_back(Arrival{std::min(function_index, functions - 1), gap});
+  }
+  return arrivals;
+}
+
+HostScheduler::HostScheduler(Platform* platform, HostSchedulerConfig config)
+    : platform_(platform), config_(config) {
+  FAASNAP_CHECK(platform_ != nullptr);
+  FAASNAP_CHECK(config_.warm_pool_budget_bytes > 0);
+}
+
+size_t HostScheduler::AddFunction(const FunctionSpec& spec) {
+  auto entry = std::make_unique<Entry>();
+  entry->generator =
+      std::make_unique<TraceGenerator>(spec, platform_->config().layout);
+  entry->snapshot = std::make_unique<FunctionSnapshot>(
+      platform_->Record(*entry->generator, MakeInputA(spec)));
+  entry->ws_bytes = PagesToBytes(entry->snapshot->record_touched.page_count());
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+uint64_t HostScheduler::pool_bytes() const {
+  uint64_t total = 0;
+  for (const auto& entry : entries_) {
+    if (entry->warm) {
+      total += entry->ws_bytes;
+    }
+  }
+  return total;
+}
+
+void HostScheduler::ReclaimAndEvict(uint64_t needed, HostSchedulerStats* stats) {
+  const SimTime now = platform_->sim()->now();
+  // Keep-alive horizon first.
+  for (auto& entry : entries_) {
+    if (entry->warm && now - entry->last_used > config_.keep_warm) {
+      entry->warm = false;
+      stats->expirations++;
+    }
+  }
+  // LRU eviction under pool pressure ("evict to snapshot").
+  while (pool_bytes() + needed > config_.warm_pool_budget_bytes) {
+    Entry* lru = nullptr;
+    for (auto& entry : entries_) {
+      if (entry->warm && (lru == nullptr || entry->last_used < lru->last_used)) {
+        lru = entry.get();
+      }
+    }
+    if (lru == nullptr) {
+      break;  // nothing left to evict; the new VM may exceed the budget alone
+    }
+    lru->warm = false;
+    stats->evictions++;
+  }
+}
+
+HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
+  HostSchedulerStats stats;
+  stats.per_function_hits.assign(entries_.size(), 0);
+  stats.per_function_invocations.assign(entries_.size(), 0);
+  Simulation* sim = platform_->sim();
+  const SimTime span_start = sim->now();
+  SimTime last_completion = sim->now();
+  double pool_byte_time = 0;
+  uint64_t arrival_seed = 0x5c4ed;
+
+  for (const Arrival& arrival : arrivals) {
+    FAASNAP_CHECK(arrival.function_index < entries_.size());
+    const SimTime at = last_completion + arrival.gap;
+    const SimTime before = sim->now();
+    sim->RunUntil(at);
+    pool_byte_time += static_cast<double>(pool_bytes()) * (sim->now() - before).seconds();
+
+    Entry& entry = *entries_[arrival.function_index];
+    ReclaimAndEvict(entry.warm ? 0 : entry.ws_bytes, &stats);
+    const bool warm = entry.warm;
+    if (!warm) {
+      // Cold pool slot: this function's pages are not resident; other tenants
+      // also recycled the page cache while we idled.
+      platform_->DropCaches();
+    }
+
+    WorkloadInput input = MakeInputA(entry.generator->spec());
+    if (!entry.generator->spec().fixed_input) {
+      input.content_seed = ++arrival_seed;
+    }
+    bool done = false;
+    Duration latency;
+    platform_->InvokeAsync(*entry.snapshot,
+                           warm ? RestoreMode::kWarm : config_.miss_mode,
+                           entry.generator->Generate(input), [&](InvocationReport report) {
+                             latency = report.total_time();
+                             done = true;
+                           });
+    sim->Run();
+    FAASNAP_CHECK(done);
+
+    stats.invocations++;
+    stats.per_function_invocations[arrival.function_index]++;
+    if (warm) {
+      stats.warm_hits++;
+      stats.per_function_hits[arrival.function_index]++;
+    } else {
+      stats.misses++;
+      stats.miss_latency_ms.Record(latency.millis());
+    }
+    stats.latency_ms.Record(latency.millis());
+    pool_byte_time +=
+        static_cast<double>(pool_bytes() + (warm ? 0 : entry.ws_bytes)) * latency.seconds();
+
+    entry.warm = true;
+    entry.last_used = sim->now();
+    last_completion = sim->now();
+  }
+
+  stats.span = sim->now() - span_start;
+  if (stats.span > Duration::Zero()) {
+    stats.avg_pool_bytes = pool_byte_time / stats.span.seconds();
+  }
+  return stats;
+}
+
+}  // namespace faasnap

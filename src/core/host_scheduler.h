@@ -1,0 +1,104 @@
+// Multi-function host scheduling: warm pools, memory budgets, and
+// evict-to-snapshot (paper sections 2.1 and 7.1).
+//
+// A FaaS host serves many functions under a fixed memory budget. Idle VMs stay
+// warm until a keep-alive horizon or until the pool overflows, at which point the
+// least-recently-used VM is evicted — and, with snapshots, eviction is cheap:
+// the next invocation restores from the snapshot instead of cold-booting
+// ("snapshots can... replace warm VMs when their utilization is low (e.g., on
+// eviction)"). The Azure traces cited by the paper motivate the arrival mix:
+// few functions are hot, most are invoked rarely — modeled here with a Zipf
+// popularity distribution over Poisson arrivals.
+//
+// Invocations are admitted serially in arrival order (one running VM at a time);
+// this isolates the policy effects from CPU contention, which Figure 10 covers.
+
+#ifndef FAASNAP_SRC_CORE_HOST_SCHEDULER_H_
+#define FAASNAP_SRC_CORE_HOST_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/core/platform.h"
+
+namespace faasnap {
+
+struct HostSchedulerConfig {
+  // Total memory the warm pool may pin (working sets of idle + running VMs).
+  uint64_t warm_pool_budget_bytes = GiB(1);
+  // Idle VMs older than this are reclaimed even if the pool has room.
+  Duration keep_warm = Duration::Seconds(600);
+  // How a warm miss is served (snapshot restore or full cold boot).
+  RestoreMode miss_mode = RestoreMode::kFaasnap;
+};
+
+// One request: which registered function, arriving `gap` after the previous one.
+struct Arrival {
+  size_t function_index = 0;
+  Duration gap;
+};
+
+// Zipf(s)-popular function choice with exponential inter-arrival gaps: the
+// hot/cold skew of the Azure traces (section 2.1). Deterministic per seed.
+std::vector<Arrival> ZipfArrivals(size_t functions, int count, double zipf_s,
+                                  Duration mean_gap, uint64_t seed);
+
+struct HostSchedulerStats {
+  int64_t invocations = 0;
+  int64_t warm_hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;          // pool-pressure evictions (budget overflow)
+  int64_t expirations = 0;        // keep-alive horizon reclaims
+  RunningStats latency_ms;
+  RunningStats miss_latency_ms;
+  // Time-averaged bytes pinned by the warm pool across the run.
+  double avg_pool_bytes = 0;
+  Duration span;
+  // Per registered function: hit counts (hot functions should dominate).
+  std::vector<int64_t> per_function_hits;
+  std::vector<int64_t> per_function_invocations;
+
+  double warm_hit_rate() const {
+    return invocations == 0 ? 0.0
+                            : static_cast<double>(warm_hits) / static_cast<double>(invocations);
+  }
+};
+
+class HostScheduler {
+ public:
+  // `platform` must outlive the scheduler.
+  HostScheduler(Platform* platform, HostSchedulerConfig config);
+
+  // Registers a function: records its snapshot on the platform and returns its
+  // index for Arrival::function_index.
+  size_t AddFunction(const FunctionSpec& spec);
+
+  // Serves `arrivals` in order and returns the aggregate statistics.
+  HostSchedulerStats Run(const std::vector<Arrival>& arrivals);
+
+  const FunctionSnapshot& snapshot(size_t index) const { return *entries_[index]->snapshot; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<TraceGenerator> generator;
+    std::unique_ptr<FunctionSnapshot> snapshot;
+    uint64_t ws_bytes = 0;
+    // Warm-pool state.
+    bool warm = false;
+    SimTime last_used;
+  };
+
+  // Reclaims expired VMs and, if needed, LRU-evicts until `needed` bytes fit.
+  void ReclaimAndEvict(uint64_t needed, HostSchedulerStats* stats);
+  uint64_t pool_bytes() const;
+
+  Platform* platform_;
+  HostSchedulerConfig config_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CORE_HOST_SCHEDULER_H_

@@ -1,0 +1,96 @@
+#include "src/core/keepalive.h"
+
+#include <cmath>
+
+namespace faasnap {
+
+std::vector<Duration> PoissonArrivalGaps(Duration mean_gap, int count, uint64_t seed) {
+  FAASNAP_CHECK(mean_gap > Duration::Zero());
+  Rng rng(seed);
+  std::vector<Duration> gaps;
+  gaps.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Inverse-CDF sampling of Exp(1/mean): -ln(U) * mean.
+    double u = rng.NextDouble();
+    if (u <= 0.0) {
+      u = 1e-12;
+    }
+    const double ns = -std::log(u) * static_cast<double>(mean_gap.nanos());
+    gaps.push_back(Duration::Nanos(static_cast<int64_t>(ns) + 1));
+  }
+  return gaps;
+}
+
+KeepAliveSimulator::KeepAliveSimulator(Platform* platform, const FunctionSnapshot* snapshot,
+                                       const TraceGenerator* generator)
+    : platform_(platform), snapshot_(snapshot), generator_(generator) {
+  FAASNAP_CHECK(platform_ != nullptr && snapshot_ != nullptr && generator_ != nullptr);
+}
+
+KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
+                                       const KeepAliveConfig& config) {
+  KeepAliveStats stats;
+  Simulation* sim = platform_->sim();
+  const SimTime span_start = sim->now();
+  const FunctionSpec& spec = generator_->spec();
+  const double ws_bytes =
+      static_cast<double>(PagesToBytes(snapshot_->record_touched.page_count()));
+
+  SimTime last_completion = sim->now();
+  bool have_previous = false;
+  double warm_byte_time = 0;  // bytes * seconds of pinned warm memory
+  uint64_t arrival_seed = 0xA551;
+
+  for (const Duration& gap : gaps) {
+    // Advance the clock to the arrival (requests arriving while the previous
+    // invocation ran are served right after it completes).
+    const SimTime arrival = last_completion + gap;
+    sim->RunUntil(arrival);
+
+    const Duration idle = sim->now() - last_completion;
+    const bool warm = have_previous && idle <= config.keep_warm;
+    if (have_previous) {
+      // The warm VM pinned its working set while idle, until hit or eviction.
+      warm_byte_time += ws_bytes * Min(idle, config.keep_warm).seconds();
+    }
+    if (!warm) {
+      // Long idle: the VM was reclaimed and other tenants recycled the page cache.
+      platform_->DropCaches();
+    }
+
+    WorkloadInput input = MakeInputA(spec);
+    if (!spec.fixed_input) {
+      input.content_seed = ++arrival_seed;
+    }
+    const RestoreMode mode = warm ? RestoreMode::kWarm : config.miss_mode;
+    bool done = false;
+    Duration latency;
+    platform_->InvokeAsync(*snapshot_, mode, generator_->Generate(input),
+                           [&](InvocationReport report) {
+                             latency = report.total_time();
+                             done = true;
+                           });
+    sim->Run();
+    FAASNAP_CHECK(done);
+
+    stats.invocations++;
+    if (warm) {
+      stats.warm_hits++;
+    } else {
+      stats.misses++;
+    }
+    stats.latency_ms.Record(latency.millis());
+    // The VM is resident during execution too.
+    warm_byte_time += ws_bytes * latency.seconds();
+    last_completion = sim->now();
+    have_previous = true;
+  }
+
+  stats.span = sim->now() - span_start;
+  if (stats.span > Duration::Zero()) {
+    stats.avg_warm_resident_bytes = warm_byte_time / stats.span.seconds();
+  }
+  return stats;
+}
+
+}  // namespace faasnap

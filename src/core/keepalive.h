@@ -1,0 +1,74 @@
+// Keep-alive policy simulation (paper sections 2.1 and 7.1).
+//
+// A FaaS host decides, per invocation, whether to serve it from a warm VM kept
+// alive since the previous invocation, or — on a keep-alive miss — via a fallback
+// path: a snapshot restore (FaaSnap/REAP/Firecracker) or a full cold boot. The
+// tradeoff is latency vs memory: a warm VM pins its working set in host memory
+// for the whole keep-alive window, while snapshots cost only storage.
+//
+// KeepAliveSimulator replays an arrival sequence for one function against a
+// Platform, classifies each invocation as warm hit or miss, and reports mean
+// latency plus the time-averaged resident-memory footprint — quantifying the
+// paper's argument that "snapshots can replace cold starts for functions invoked
+// less frequently than those that benefit from warm VMs".
+
+#ifndef FAASNAP_SRC_CORE_KEEPALIVE_H_
+#define FAASNAP_SRC_CORE_KEEPALIVE_H_
+
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/core/platform.h"
+
+namespace faasnap {
+
+struct KeepAliveConfig {
+  // How long an idle VM stays warm after an invocation completes (AWS Lambda
+  // keeps functions warm for 15-60 minutes; section 2.1).
+  Duration keep_warm = Duration::Seconds(600);
+  // What serves a keep-alive miss.
+  RestoreMode miss_mode = RestoreMode::kFaasnap;
+};
+
+struct KeepAliveStats {
+  int64_t invocations = 0;
+  int64_t warm_hits = 0;
+  int64_t misses = 0;
+  RunningStats latency_ms;
+  // Time-averaged bytes of host memory pinned by the idle warm VM.
+  double avg_warm_resident_bytes = 0;
+  // Total simulated span covered by the arrival sequence.
+  Duration span;
+
+  double warm_hit_rate() const {
+    return invocations == 0 ? 0.0
+                            : static_cast<double>(warm_hits) / static_cast<double>(invocations);
+  }
+};
+
+// Exponentially distributed inter-arrival gaps with the given mean (a Poisson
+// arrival process), deterministic per seed.
+std::vector<Duration> PoissonArrivalGaps(Duration mean_gap, int count, uint64_t seed);
+
+class KeepAliveSimulator {
+ public:
+  // `platform`, `snapshot`, and `generator` must outlive the simulator. The
+  // snapshot must have been recorded on this platform.
+  KeepAliveSimulator(Platform* platform, const FunctionSnapshot* snapshot,
+                     const TraceGenerator* generator);
+
+  // Serves one invocation per gap (arrivals are serialized: a request arriving
+  // while the previous one runs starts right after it). Page caches are dropped
+  // on misses beyond the keep-warm horizon to model long idle periods.
+  KeepAliveStats Run(const std::vector<Duration>& gaps, const KeepAliveConfig& config);
+
+ private:
+  Platform* platform_;
+  const FunctionSnapshot* snapshot_;
+  const TraceGenerator* generator_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CORE_KEEPALIVE_H_

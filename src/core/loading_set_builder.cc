@@ -1,0 +1,43 @@
+#include "src/core/loading_set_builder.h"
+
+#include <algorithm>
+
+namespace faasnap {
+
+LoadingSetFile BuildLoadingSet(const WorkingSetGroups& groups, const MemoryFile& memory,
+                               const LoadingSetConfig& config) {
+  // Working set pages that are non-zero in the new memory file.
+  const PageRangeSet working_set = groups.AllPages();
+  const PageRangeSet loading_pages = working_set.Intersect(memory.nonzero);
+
+  // Merge regions separated by small gaps (gap pages are stored too; the paper
+  // measured only ~5% extra data for hello-world).
+  const PageRangeSet merged = loading_pages.MergeWithGapTolerance(config.merge_gap_pages);
+
+  LoadingSetFile file;
+  file.regions.reserve(merged.range_count());
+  for (const PageRange& r : merged.ranges()) {
+    LoadingRegion region;
+    region.guest = r;
+    region.group = groups.LowestGroupFor(r);
+    file.regions.push_back(region);
+  }
+
+  // Sort by (group, guest address), then pack file offsets contiguously.
+  std::sort(file.regions.begin(), file.regions.end(),
+            [](const LoadingRegion& a, const LoadingRegion& b) {
+              if (a.group != b.group) {
+                return a.group < b.group;
+              }
+              return a.guest.first < b.guest.first;
+            });
+  PageIndex offset = 0;
+  for (LoadingRegion& region : file.regions) {
+    region.file_start = offset;
+    offset += region.guest.count;
+  }
+  file.total_pages = offset;
+  return file;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,30 @@
+// Loading set construction (paper sections 4.6-4.7).
+//
+// loading set = working set ∩ non-zero pages of the new (post-record) memory file.
+// Adjacent regions separated by at most `merge_gap_pages` (default 32) are merged,
+// including the gap pages, to bound the number of mmap calls at restore. Regions
+// are assigned the lowest group number of any contained page, sorted by
+// (group, guest address), and packed contiguously into the loading set file so the
+// loader's sequential file scan follows approximate access order.
+
+#ifndef FAASNAP_SRC_CORE_LOADING_SET_BUILDER_H_
+#define FAASNAP_SRC_CORE_LOADING_SET_BUILDER_H_
+
+#include <cstdint>
+
+#include "src/snapshot/snapshot_files.h"
+
+namespace faasnap {
+
+struct LoadingSetConfig {
+  uint64_t merge_gap_pages = 32;  // empirical threshold from section 4.6
+};
+
+// Builds the loading set file layout. The caller registers the file with a
+// SnapshotStore and assigns `id` afterwards.
+LoadingSetFile BuildLoadingSet(const WorkingSetGroups& groups, const MemoryFile& memory,
+                               const LoadingSetConfig& config = {});
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CORE_LOADING_SET_BUILDER_H_

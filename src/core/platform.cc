@@ -1,0 +1,260 @@
+#include "src/core/platform.h"
+
+#include <utility>
+
+#include "src/common/units.h"
+#include "src/core/loading_set_builder.h"
+#include "src/core/prefetch_loader.h"
+#include "src/core/recorder.h"
+#include "src/mem/address_space.h"
+#include "src/mem/fault_engine.h"
+#include "src/mem/readahead.h"
+
+namespace faasnap {
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)),
+      local_disk_(&sim_, config_.disk, config_.seed),
+      cpu_(config_.host_cores) {
+  FAASNAP_CHECK_OK(config_.layout.Validate());
+  storage_.AddDevice(&local_disk_);
+  if (config_.remote_disk.has_value()) {
+    remote_disk_ = std::make_unique<BlockDevice>(&sim_, *config_.remote_disk,
+                                                 config_.seed ^ 0x5eed);
+    storage_.AddDevice(remote_disk_.get());
+  } else {
+    const SnapshotPlacement& placement = config_.placement;
+    FAASNAP_CHECK(placement.memory_files == StorageTier::kLocal &&
+                  placement.loading_set == StorageTier::kLocal &&
+                  placement.reap_ws == StorageTier::kLocal &&
+                  "remote placement requires PlatformConfig::remote_disk");
+  }
+}
+
+BlockDeviceStats Platform::CombinedDiskStats() const {
+  BlockDeviceStats stats = local_disk_.stats();
+  if (remote_disk_ != nullptr) {
+    stats.read_requests += remote_disk_->stats().read_requests;
+    stats.bytes_read += remote_disk_->stats().bytes_read;
+  }
+  return stats;
+}
+
+void Platform::PlaceFile(FileId file, StorageTier tier) {
+  if (tier == StorageTier::kRemote) {
+    storage_.AssignFile(file, 1);
+  }
+}
+
+void Platform::DropCaches() { cache_.DropAll(); }
+
+// Per-invocation state bundle; kept alive by shared_ptr captures until both the
+// function and the loader have finished.
+struct Platform::InvocationContext {
+  InvocationContext(Platform* platform, const FunctionSnapshot& snap, RestoreMode mode_in)
+      : space(snap.guest_pages),
+        readahead(platform->config_.readahead),
+        engine(&platform->sim_, &platform->cache_, &platform->storage_, &space, &readahead,
+               platform->store_.SizeFn(), platform->config_.host_costs),
+        vm(&platform->sim_, &engine, &platform->cpu_, platform->config_.guest.vcpus),
+        policy(RestorePolicy::Create(mode_in)),
+        loader(&platform->sim_, &platform->cache_, &platform->storage_,
+               platform->config_.loader) {
+    env.sim = &platform->sim_;
+    env.cache = &platform->cache_;
+    env.storage = &platform->storage_;
+    env.space = &space;
+    env.engine = &engine;
+    env.snapshot = &snap;
+    env.config = &platform->config_;
+  }
+
+  AddressSpace space;
+  ReadaheadPolicy readahead;
+  FaultEngine engine;
+  Vm vm;
+  std::unique_ptr<RestorePolicy> policy;
+  PrefetchLoader loader;
+  RestoreEnv env;
+
+  InvocationTrace trace;
+  SimTime request_time;
+  BlockDeviceStats disk_before;
+  Duration setup_time;
+};
+
+void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
+                           InvocationTrace trace, std::function<void(InvocationReport)> done) {
+  auto ctx = std::make_shared<InvocationContext>(this, snapshot, mode);
+  if (tracer_ != nullptr) {
+    ctx->engine.set_tracer(tracer_);
+    ctx->loader.set_tracer(tracer_);
+  }
+  ctx->trace = std::move(trace);
+  ctx->request_time = sim_.now();
+  ctx->disk_before = CombinedDiskStats();
+
+  // Request dispatch serializes in the daemon: network namespace and tap device
+  // creation take the kernel's rtnl mutex, so 64 simultaneous requests queue.
+  // This is what drags every system down at high burst parallelism (Figure 10).
+  const SimTime dispatched =
+      Max(sim_.now(), daemon_busy_until_) + config_.setup_costs.daemon_dispatch;
+  daemon_busy_until_ = dispatched;
+
+  const FunctionSnapshot* snap = &snapshot;
+  sim_.Schedule(dispatched, [this, ctx] {
+    // Concurrent paging: the daemon's loader starts the moment the request is
+    // dispatched, overlapping VMM restore and guest execution (section 4.2).
+    std::vector<PrefetchItem> plan = ctx->policy->PrefetchPlan(ctx->env);
+    if (!plan.empty()) {
+      ctx->loader.Start(std::move(plan), [ctx] {});
+    }
+  });
+  sim_.Schedule(dispatched + ctx->policy->BaseSetupCost(ctx->env),
+                [this, ctx, snap, done = std::move(done)]() mutable {
+    ctx->policy->SetupMemory(&ctx->env, [this, ctx, snap, done = std::move(done)]() mutable {
+      ctx->setup_time = sim_.now() - ctx->request_time;
+      if (tracer_ != nullptr) {
+        tracer_->Emit(sim_.now(), TraceEventType::kSetupDone, ctx->space.mmap_call_count());
+        tracer_->Emit(sim_.now(), TraceEventType::kInvocationStart);
+      }
+      ctx->vm.RunInvocation(ctx->trace, [this, ctx, snap, done = std::move(done)](
+                                            Vm::InvocationResult result) mutable {
+        InvocationReport report;
+        report.function = snap->function;
+        report.mode = std::string(RestoreModeName(ctx->policy->mode()));
+        report.setup_time = ctx->setup_time;
+        report.invocation_time = result.elapsed;
+        report.faults = ctx->engine.metrics();
+        if (ctx->policy->blocking_fetch_bytes() > 0) {
+          report.fetch_time = ctx->policy->blocking_fetch_time();
+          report.fetch_bytes = ctx->policy->blocking_fetch_bytes();
+        } else if (ctx->loader.started()) {
+          report.fetch_time = ctx->loader.finished()
+                                  ? ctx->loader.fetch_time()
+                                  : sim_.now() - ctx->request_time;
+          report.fetch_bytes = ctx->loader.fetched_bytes();
+        }
+        const FaultMetrics& m = report.faults;
+        report.guest_pagefault_bytes =
+            PagesToBytes(static_cast<uint64_t>(m.count(FaultClass::kMajor) +
+                                               m.count(FaultClass::kInFlightWait) +
+                                               m.count(FaultClass::kUffdHandled)));
+        report.mmap_calls = ctx->space.mmap_call_count();
+        report.disk = CombinedDiskStats() - ctx->disk_before;
+        report.anon_resident_pages =
+            ctx->space.resident_anonymous_pages() + ctx->space.anon_copied_pages();
+        report.page_cache_pages = cache_.present_page_count();
+        if (tracer_ != nullptr) {
+          tracer_->Emit(sim_.now(), TraceEventType::kInvocationEnd,
+                        static_cast<uint64_t>(result.elapsed.nanos()));
+        }
+        done(std::move(report));
+      });
+    });
+  });
+}
+
+InvocationReport Platform::Invoke(const FunctionSnapshot& snapshot, RestoreMode mode,
+                                  const TraceGenerator& generator, const WorkloadInput& input) {
+  InvocationReport out;
+  bool finished = false;
+  InvokeAsync(snapshot, mode, generator.Generate(input), [&](InvocationReport report) {
+    out = std::move(report);
+    finished = true;
+  });
+  sim_.Run();
+  FAASNAP_CHECK(finished);
+  return out;
+}
+
+FunctionSnapshot Platform::Record(const TraceGenerator& generator, const WorkloadInput& input) {
+  const GuestLayout& layout = config_.layout;
+  FunctionSnapshot snap;
+  snap.function = generator.spec().name;
+  snap.guest_pages = layout.total_pages;
+
+  // The record phase restores the function's "clean" snapshot with vanilla
+  // Firecracker paging (Figure 5) and runs the invocation with both recorders
+  // attached; the guest's execution is identical for every downstream policy.
+  MemoryFile clean;
+  clean.total_pages = layout.total_pages;
+  clean.nonzero = generator.CleanSnapshotNonZero();
+  clean.id = store_.Register(snap.function + ".clean.mem", clean.total_pages);
+  PlaceFile(clean.id, config_.placement.memory_files);
+
+  AddressSpace space(layout.total_pages);
+  ReadaheadPolicy readahead(config_.readahead);
+  FaultEngine engine(&sim_, &cache_, &storage_, &space, &readahead, store_.SizeFn(),
+                     config_.host_costs);
+  space.Map({.guest = {0, layout.total_pages},
+             .kind = BackingKind::kFile,
+             .file = clean.id,
+             .file_start = 0});
+
+  Vm vm(&sim_, &engine, &cpu_, config_.guest.vcpus);
+  FaasnapRecorder faasnap_recorder(&cache_, clean.id, config_.ws_group_size);
+  ReapRecorder reap_recorder;
+  vm.set_access_observer([&](PageIndex page, FaultClass cls) {
+    faasnap_recorder.OnAccess(page, cls);
+    reap_recorder.OnAccess(page, cls);
+  });
+
+  InvocationTrace trace = generator.Generate(input);
+  PageRangeSet written;
+  bool finished = false;
+  vm.RunInvocation(trace, [&](Vm::InvocationResult result) {
+    written = std::move(result.written_pages);
+    finished = true;
+  });
+  sim_.Run();
+  FAASNAP_CHECK(finished);
+
+  // New memory files. Vanilla: dirty pages keep their contents (freed transients
+  // remain non-zero garbage). Sanitized: the modified guest kernel zeroed freed
+  // pages, so they fall out of the non-zero set (section 4.5).
+  snap.memory_vanilla.total_pages = layout.total_pages;
+  snap.memory_vanilla.nonzero = clean.nonzero.Union(written);
+  snap.memory_vanilla.id = store_.Register(snap.function + ".mem", layout.total_pages);
+  PlaceFile(snap.memory_vanilla.id, config_.placement.memory_files);
+  snap.memory_sanitized.total_pages = layout.total_pages;
+  snap.memory_sanitized.nonzero = snap.memory_vanilla.nonzero.Subtract(trace.freed_at_end);
+  snap.memory_sanitized.id = store_.Register(snap.function + ".smem", layout.total_pages);
+  PlaceFile(snap.memory_sanitized.id, config_.placement.memory_files);
+
+  snap.reap_ws = std::move(reap_recorder).Finish();
+  snap.reap_ws.id = store_.Register(snap.function + ".reapws", snap.reap_ws.size_pages());
+  PlaceFile(snap.reap_ws.id, config_.placement.reap_ws);
+
+  snap.ws_groups = faasnap_recorder.Finish();
+  snap.loading_set =
+      BuildLoadingSet(snap.ws_groups, snap.memory_sanitized, config_.loading_set);
+  snap.loading_set.id = store_.Register(snap.function + ".lset", snap.loading_set.total_pages);
+  PlaceFile(snap.loading_set.id, config_.placement.loading_set);
+
+  snap.record_touched = trace.TouchedPages();
+
+  // Snapshot security (section 7.4): wipe registered secret pages in both memory
+  // files. Zeroed secrets land in the released/unused sets, so every restore maps
+  // them to fresh anonymous memory and restored VMs cannot share PRNG state.
+  if (config_.wipe_secret_pages > 0) {
+    // The guest registers its PRNG state, which lives with the runtime: model it
+    // as the first secret_pages of the runtime span.
+    snap.wipe_regions.Add(layout.stable.first, config_.wipe_secret_pages);
+    for (const PageRange& r : snap.wipe_regions.ranges()) {
+      snap.memory_vanilla.nonzero.Remove(r.first, r.count);
+      snap.memory_sanitized.nonzero.Remove(r.first, r.count);
+    }
+    const FileId loading_set_id = snap.loading_set.id;
+    snap.loading_set =
+        BuildLoadingSet(snap.ws_groups, snap.memory_sanitized, config_.loading_set);
+    snap.loading_set.id = loading_set_id;
+    store_.Resize(loading_set_id, snap.loading_set.total_pages);
+  }
+
+  // The methodology drops all page caches before each test (section 6.1).
+  DropCaches();
+  return snap;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,90 @@
+// Platform: the FaaSnap daemon plus the simulated host it runs on.
+//
+// Owns the simulation clock, the shared page cache, the snapshot storage device,
+// the host CPU model, and the snapshot file store. Exposes the two phases of the
+// paper's methodology (section 6.1):
+//
+//   Record(...)  — run a function once on a restored clean snapshot with the
+//                  FaaSnap and REAP recorders attached; produce every snapshot
+//                  artifact (Figure 5's record phase).
+//   Invoke(...)  — restore under a chosen policy and invoke the function,
+//                  returning a full InvocationReport (the test phase).
+//
+// InvokeAsync supports overlapping invocations on the same host for the bursty
+// workloads of Figure 10.
+
+#ifndef FAASNAP_SRC_CORE_PLATFORM_H_
+#define FAASNAP_SRC_CORE_PLATFORM_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/core/function_snapshot.h"
+#include "src/core/platform_config.h"
+#include "src/metrics/report.h"
+#include "src/common/tracer.h"
+#include "src/restore/restore_policy.h"
+#include "src/sim/cpu_model.h"
+#include "src/sim/simulation.h"
+#include "src/storage/storage_router.h"
+#include "src/vm/vm.h"
+#include "src/workloads/trace_generator.h"
+
+namespace faasnap {
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config = {});
+
+  // Record phase (synchronous: drives the simulation to completion). Caches are
+  // dropped afterwards, matching the paper's methodology.
+  FunctionSnapshot Record(const TraceGenerator& generator, const WorkloadInput& input);
+
+  // Test phase, synchronous single invocation.
+  InvocationReport Invoke(const FunctionSnapshot& snapshot, RestoreMode mode,
+                          const TraceGenerator& generator, const WorkloadInput& input);
+
+  // Test phase, asynchronous: the invocation request arrives now; `done` fires on
+  // the simulation clock when the function completes. The caller drives sim().
+  void InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode, InvocationTrace trace,
+                   std::function<void(InvocationReport)> done);
+
+  // echo 3 > drop_caches between tests (section 6.1).
+  void DropCaches();
+
+  // Optional structured tracing for subsequent invocations (fault, loader, and
+  // lifecycle events); null disables. The tracer must outlive the platform.
+  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+
+  Simulation* sim() { return &sim_; }
+  PageCache* cache() { return &cache_; }
+  BlockDevice* disk() { return &local_disk_; }
+  BlockDevice* remote_disk() { return remote_disk_.get(); }
+  StorageRouter* storage() { return &storage_; }
+  CpuModel* cpu() { return &cpu_; }
+  SnapshotStore* store() { return &store_; }
+  const PlatformConfig& config() const { return config_; }
+
+ private:
+  struct InvocationContext;
+
+  // Combined read stats across local + remote devices.
+  BlockDeviceStats CombinedDiskStats() const;
+  // Places a newly registered file per the configured tier.
+  void PlaceFile(FileId file, StorageTier tier);
+
+  PlatformConfig config_;
+  Simulation sim_;
+  SimTime daemon_busy_until_;
+  PageCache cache_;
+  BlockDevice local_disk_;
+  std::unique_ptr<BlockDevice> remote_disk_;
+  StorageRouter storage_;
+  CpuModel cpu_;
+  SnapshotStore store_;
+  EventTracer* tracer_ = nullptr;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CORE_PLATFORM_H_

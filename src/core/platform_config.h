@@ -1,0 +1,60 @@
+// Platform-wide configuration: the knobs of the evaluation testbed (section 6.1)
+// plus FaaSnap's tunables (group size N=1024, merge threshold 32).
+
+#ifndef FAASNAP_SRC_CORE_PLATFORM_CONFIG_H_
+#define FAASNAP_SRC_CORE_PLATFORM_CONFIG_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/loading_set_builder.h"
+#include "src/core/prefetch_loader.h"
+#include "src/mem/cost_model.h"
+#include "src/mem/readahead.h"
+#include "src/storage/block_device.h"
+#include "src/storage/device_profiles.h"
+#include "src/vm/guest_layout.h"
+
+namespace faasnap {
+
+// Which device a snapshot artifact lives on (section 7.2's tiered storage).
+enum class StorageTier { kLocal, kRemote };
+
+// Per-artifact placement. Remote tiers require PlatformConfig::remote_disk.
+struct SnapshotPlacement {
+  StorageTier memory_files = StorageTier::kLocal;
+  StorageTier loading_set = StorageTier::kLocal;
+  StorageTier reap_ws = StorageTier::kLocal;
+};
+
+struct PlatformConfig {
+  // c5d.metal: 96 vCPUs (section 6.1).
+  int host_cores = 96;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  // Optional second (remote) device for tiered snapshot storage: e.g. loading set
+  // files on the local SSD, memory files on EBS (section 7.2).
+  std::optional<BlockDeviceProfile> remote_disk;
+  SnapshotPlacement placement;
+  HostCostModel host_costs;
+  SetupCostModel setup_costs;
+  ReadaheadConfig readahead;
+  GuestConfig guest;
+  GuestLayout layout = GuestLayout::Default2GiB();
+
+  // FaaSnap tunables.
+  uint64_t ws_group_size = 1024;      // section 4.3: N = 1024 works well
+  LoadingSetConfig loading_set;       // merge threshold 32 (section 4.6)
+  PrefetchConfig loader;
+
+  // Snapshot security (section 7.4): pages of guest PRNG/secret state wiped when
+  // a snapshot is taken (the MADV_WIPEONSUSPEND proposal). 0 disables wiping.
+  uint64_t wipe_secret_pages = 0;
+
+  // Seed for device jitter and any stochastic behavior; vary across repetitions
+  // to produce the error bars the figures report.
+  uint64_t seed = 1;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CORE_PLATFORM_CONFIG_H_

@@ -1,0 +1,71 @@
+#include "src/core/prefetch_loader.h"
+
+#include "src/common/units.h"
+
+namespace faasnap {
+
+PrefetchLoader::PrefetchLoader(Simulation* sim, PageCache* cache, StorageRouter* storage,
+                               PrefetchConfig config)
+    : sim_(sim), cache_(cache), storage_(storage), config_(config) {
+  FAASNAP_CHECK(sim_ != nullptr && cache_ != nullptr && storage_ != nullptr);
+  FAASNAP_CHECK(config_.chunk_pages > 0);
+  FAASNAP_CHECK(config_.pipeline_depth > 0);
+}
+
+void PrefetchLoader::Start(std::vector<PrefetchItem> items, std::function<void()> done) {
+  FAASNAP_CHECK(!started_);
+  started_ = true;
+  start_time_ = sim_->now();
+  done_ = std::move(done);
+  for (const PrefetchItem& item : items) {
+    FAASNAP_CHECK(item.file != kInvalidFileId);
+    PageIndex cursor = item.range.first;
+    while (cursor < item.range.end()) {
+      const uint64_t count = std::min<uint64_t>(config_.chunk_pages, item.range.end() - cursor);
+      chunks_.push_back(PrefetchItem{item.file, PageRange{cursor, count}});
+      cursor += count;
+    }
+  }
+  Pump();
+}
+
+void PrefetchLoader::Pump() {
+  while (in_flight_ < config_.pipeline_depth && !chunks_.empty()) {
+    const PrefetchItem chunk = chunks_.front();
+    chunks_.pop_front();
+    // Skip pages someone else already cached or is reading; read the rest.
+    const PageRangeSet missing = cache_->AbsentIn(chunk.file, chunk.range);
+    skipped_pages_ += chunk.range.count - missing.page_count();
+    if (missing.empty()) {
+      continue;
+    }
+    for (const PageRange& r : missing.ranges()) {
+      const PageCache::ReadHandle handle = cache_->BeginRead(chunk.file, r);
+      if (tracer_ != nullptr) {
+        tracer_->Emit(sim_->now(), TraceEventType::kLoaderChunk, r.first, r.count);
+      }
+      fetched_bytes_ += PagesToBytes(r.count);
+      ++in_flight_;
+      storage_->Read(chunk.file, PagesToBytes(r.first), PagesToBytes(r.count), [this, handle] {
+        cache_->CompleteRead(handle);
+        OnChunkDone();
+      });
+    }
+  }
+  if (in_flight_ == 0 && chunks_.empty() && !finished_) {
+    finished_ = true;
+    fetch_time_ = sim_->now() - start_time_;
+    if (done_) {
+      // Move out first: done_ may destroy this loader.
+      auto done = std::move(done_);
+      done();
+    }
+  }
+}
+
+void PrefetchLoader::OnChunkDone() {
+  --in_flight_;
+  Pump();
+}
+
+}  // namespace faasnap

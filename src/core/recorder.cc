@@ -1,0 +1,58 @@
+#include "src/core/recorder.h"
+
+namespace faasnap {
+
+FaasnapRecorder::FaasnapRecorder(const PageCache* cache, FileId memory_file, uint64_t group_size)
+    : cache_(cache), memory_file_(memory_file), group_size_(group_size) {
+  FAASNAP_CHECK(cache_ != nullptr);
+  FAASNAP_CHECK(group_size_ > 0);
+}
+
+void FaasnapRecorder::OnAccess(PageIndex page, FaultClass cls) {
+  if (cls == FaultClass::kNoFault) {
+    return;  // repeat access; RSS unchanged
+  }
+  pending_resident_.AddPage(page);
+  if (++new_resident_since_scan_ >= group_size_) {
+    Scan();
+  }
+}
+
+void FaasnapRecorder::Scan() {
+  ++scan_count_;
+  new_resident_since_scan_ = 0;
+  // mincore over the mapped memory file sees (a) pages the guest touched (resident
+  // in the VMM) and (b) pages readahead brought into the page cache.
+  PageRangeSet present = cache_->PresentPages(memory_file_).Union(pending_resident_);
+  pending_resident_ = PageRangeSet();
+  PageRangeSet fresh = present.Subtract(recorded_);
+  if (fresh.empty()) {
+    return;
+  }
+  recorded_ = recorded_.Union(fresh);
+  groups_.groups.push_back(std::move(fresh));
+}
+
+WorkingSetGroups FaasnapRecorder::Finish() {
+  Scan();
+  return std::move(groups_);
+}
+
+void ReapRecorder::OnAccess(PageIndex page, FaultClass cls) {
+  if (cls == FaultClass::kNoFault) {
+    return;
+  }
+  if (seen_.Contains(page)) {
+    return;
+  }
+  seen_.AddPage(page);
+  pages_.push_back(page);
+}
+
+ReapWorkingSetFile ReapRecorder::Finish() && {
+  ReapWorkingSetFile file;
+  file.guest_pages = std::move(pages_);
+  return file;
+}
+
+}  // namespace faasnap

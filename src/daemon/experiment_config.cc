@@ -1,0 +1,132 @@
+#include "src/daemon/experiment_config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/workloads/function_spec.h"
+
+namespace faasnap {
+
+namespace {
+
+Result<RestoreMode> ModeFromName(const std::string& name) {
+  for (RestoreMode mode :
+       {RestoreMode::kWarm, RestoreMode::kColdBoot, RestoreMode::kFirecracker,
+        RestoreMode::kCached, RestoreMode::kReap, RestoreMode::kFaasnapConcurrentOnly,
+        RestoreMode::kFaasnapPerRegion, RestoreMode::kFaasnap}) {
+    if (name == RestoreModeName(mode)) {
+      return mode;
+    }
+  }
+  return InvalidArgumentError("unknown system: " + name);
+}
+
+Result<TestInputSpec> InputFromString(const std::string& text) {
+  TestInputSpec spec;
+  spec.label = text;
+  if (text == "A" || text == "a") {
+    spec.kind = TestInputSpec::Kind::kInputA;
+    return spec;
+  }
+  if (text == "B" || text == "b") {
+    spec.kind = TestInputSpec::Kind::kInputB;
+    return spec;
+  }
+  // "0.5x", "2x", "4x": a Figure 8 ratio relative to input A.
+  if (!text.empty() && (text.back() == 'x' || text.back() == 'X')) {
+    const std::string number = text.substr(0, text.size() - 1);
+    char* end = nullptr;
+    const double ratio = std::strtod(number.c_str(), &end);
+    if (end != nullptr && *end == '\0' && ratio > 0) {
+      spec.kind = TestInputSpec::Kind::kRatio;
+      spec.ratio = ratio;
+      return spec;
+    }
+  }
+  return InvalidArgumentError("unknown input spec: " + text + " (use A, B, or e.g. 2x)");
+}
+
+}  // namespace
+
+Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
+  if (!root.is_object()) {
+    return InvalidArgumentError("config root must be a JSON object");
+  }
+  ExperimentConfig config;
+  config.name = root.GetStringOr("name", config.name);
+
+  ASSIGN_OR_RETURN(JsonValue functions, root.Get("functions"));
+  if (!functions.is_array() || functions.array().empty()) {
+    return InvalidArgumentError("\"functions\" must be a non-empty array");
+  }
+  for (const JsonValue& f : functions.array()) {
+    ASSIGN_OR_RETURN(std::string name, f.AsString());
+    RETURN_IF_ERROR(FindFunction(name).status());  // validate against the catalog
+    config.functions.push_back(std::move(name));
+  }
+
+  if (root.Has("systems")) {
+    config.systems.clear();
+    ASSIGN_OR_RETURN(JsonValue systems, root.Get("systems"));
+    if (!systems.is_array() || systems.array().empty()) {
+      return InvalidArgumentError("\"systems\" must be a non-empty array");
+    }
+    for (const JsonValue& s : systems.array()) {
+      ASSIGN_OR_RETURN(std::string name, s.AsString());
+      ASSIGN_OR_RETURN(RestoreMode mode, ModeFromName(name));
+      config.systems.push_back(mode);
+    }
+  }
+
+  ASSIGN_OR_RETURN(config.record_input,
+                   InputFromString(root.GetStringOr("record_input", "A")));
+  if (root.Has("test_inputs")) {
+    ASSIGN_OR_RETURN(JsonValue inputs, root.Get("test_inputs"));
+    if (!inputs.is_array() || inputs.array().empty()) {
+      return InvalidArgumentError("\"test_inputs\" must be a non-empty array");
+    }
+    for (const JsonValue& i : inputs.array()) {
+      ASSIGN_OR_RETURN(std::string text, i.AsString());
+      ASSIGN_OR_RETURN(TestInputSpec spec, InputFromString(text));
+      config.test_inputs.push_back(spec);
+    }
+  } else {
+    ASSIGN_OR_RETURN(TestInputSpec spec, InputFromString("B"));
+    config.test_inputs.push_back(spec);
+  }
+
+  config.reps = static_cast<int>(root.GetIntOr("reps", config.reps));
+  config.parallelism = static_cast<int>(root.GetIntOr("parallelism", config.parallelism));
+  config.base_seed = static_cast<uint64_t>(root.GetIntOr("base_seed", 1));
+  if (config.reps < 1 || config.parallelism < 1) {
+    return InvalidArgumentError("reps and parallelism must be >= 1");
+  }
+
+  const std::string device = root.GetStringOr("device", "nvme");
+  if (device == "ebs") {
+    config.platform.disk = EbsIo2Profile();
+  } else if (device != "nvme") {
+    return InvalidArgumentError("device must be nvme or ebs");
+  }
+  config.platform.host_cores = static_cast<int>(root.GetIntOr("host_cores", 96));
+  config.platform.ws_group_size =
+      static_cast<uint64_t>(root.GetIntOr("ws_group_size", 1024));
+  config.platform.loading_set.merge_gap_pages =
+      static_cast<uint64_t>(root.GetIntOr("merge_gap_pages", 32));
+  config.platform.seed = config.base_seed;
+  return config;
+}
+
+Result<ExperimentConfig> LoadExperimentConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return NotFoundError("cannot open config file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  ASSIGN_OR_RETURN(JsonValue root, ParseJson(buffer.str()));
+  return ParseExperimentConfig(root);
+}
+
+}  // namespace faasnap

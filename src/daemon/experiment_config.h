@@ -1,0 +1,64 @@
+// Experiment configs: the JSON-driven evaluation workflow of the paper's
+// artifact (Appendix A.4 drives every experiment with `test.py <config>.json`;
+// this repository mirrors it with `artifact_runner configs/<config>.json`).
+//
+// Config schema (all fields optional unless noted):
+// {
+//   "name": "two-input test",
+//   "functions": ["json", "image", ...],        // required, catalog names
+//   "systems": ["firecracker", "reap", "faasnap", "cached"],
+//   "record_input": "A",                        // "A" | "B"
+//   "test_inputs": ["B"],                       // "A" | "B" | a ratio like "2x"
+//   "reps": 3,
+//   "parallelism": 1,                           // >1 = bursty (Figure 10 style)
+//   "device": "nvme",                           // "nvme" | "ebs"
+//   "host_cores": 96,
+//   "ws_group_size": 1024,
+//   "merge_gap_pages": 32,
+//   "base_seed": 1
+// }
+
+#ifndef FAASNAP_SRC_DAEMON_EXPERIMENT_CONFIG_H_
+#define FAASNAP_SRC_DAEMON_EXPERIMENT_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/core/platform_config.h"
+#include "src/restore/restore_policy.h"
+
+namespace faasnap {
+
+// One test-phase input selector: a fixed Table 2 input or a Figure 8 ratio.
+struct TestInputSpec {
+  enum class Kind { kInputA, kInputB, kRatio };
+  Kind kind = Kind::kInputB;
+  double ratio = 1.0;
+  std::string label;  // as written in the config
+};
+
+struct ExperimentConfig {
+  std::string name = "experiment";
+  std::vector<std::string> functions;
+  std::vector<RestoreMode> systems = {RestoreMode::kFirecracker, RestoreMode::kReap,
+                                      RestoreMode::kFaasnap, RestoreMode::kCached};
+  TestInputSpec record_input;  // defaults to input A
+  std::vector<TestInputSpec> test_inputs;
+  int reps = 3;
+  int parallelism = 1;
+  uint64_t base_seed = 1;
+
+  // Platform knobs resolved from the config (device, cores, FaaSnap tunables).
+  PlatformConfig platform;
+};
+
+// Parses a config document. InvalidArgument on unknown functions/systems/inputs.
+Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root);
+
+// Reads and parses a config file.
+Result<ExperimentConfig> LoadExperimentConfig(const std::string& path);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_DAEMON_EXPERIMENT_CONFIG_H_

@@ -1,0 +1,126 @@
+#include "src/daemon/experiment_runner.h"
+
+#include "src/core/platform.h"
+#include "src/metrics/json_writer.h"
+#include "src/metrics/table.h"
+
+namespace faasnap {
+
+namespace {
+
+WorkloadInput ResolveInput(const TestInputSpec& spec, const FunctionSpec& function,
+                           uint64_t content_seed) {
+  switch (spec.kind) {
+    case TestInputSpec::Kind::kInputA:
+      return MakeInputA(function);
+    case TestInputSpec::Kind::kInputB:
+      return MakeInputB(function);
+    case TestInputSpec::Kind::kRatio:
+      return MakeScaledInput(function, spec.ratio, content_seed);
+  }
+  FAASNAP_CHECK(false);
+  return MakeInputA(function);
+}
+
+}  // namespace
+
+Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
+  ExperimentResults results;
+  results.name = config.name;
+
+  for (const std::string& function_name : config.functions) {
+    ASSIGN_OR_RETURN(FunctionSpec spec, FindFunction(function_name));
+    for (const TestInputSpec& input_spec : config.test_inputs) {
+      // One cell per system; repetitions vary the platform seed.
+      std::vector<ExperimentCell> row;
+      for (RestoreMode system : config.systems) {
+        ExperimentCell cell;
+        cell.function = function_name;
+        cell.system = std::string(RestoreModeName(system));
+        cell.test_input = input_spec.label;
+        row.push_back(std::move(cell));
+      }
+      for (int rep = 0; rep < config.reps; ++rep) {
+        PlatformConfig platform_config = config.platform;
+        platform_config.seed = config.base_seed + static_cast<uint64_t>(rep) * 7919;
+        Platform platform(platform_config);
+        TraceGenerator generator(spec, platform_config.layout);
+        const WorkloadInput record_input =
+            ResolveInput(config.record_input, spec, /*content_seed=*/0xA);
+        FunctionSnapshot snapshot = platform.Record(generator, record_input);
+
+        for (size_t s = 0; s < config.systems.size(); ++s) {
+          platform.DropCaches();
+          const WorkloadInput test_input = ResolveInput(
+              input_spec, spec, 0x7E57 + static_cast<uint64_t>(rep) * 131 + s);
+          if (config.parallelism == 1) {
+            InvocationReport report =
+                platform.Invoke(snapshot, config.systems[s], generator, test_input);
+            row[s].total_ms.Record(report.total_time().millis());
+            row[s].setup_ms.Record(report.setup_time.millis());
+            row[s].invocation_ms.Record(report.invocation_time.millis());
+            row[s].sample = std::move(report);
+          } else {
+            // Burst: N simultaneous requests; the cell aggregates per-invocation
+            // times across the burst.
+            int completed = 0;
+            for (int i = 0; i < config.parallelism; ++i) {
+              WorkloadInput per = test_input;
+              if (!spec.fixed_input) {
+                per.content_seed += static_cast<uint64_t>(i) * 977;
+              }
+              platform.InvokeAsync(snapshot, config.systems[s], generator.Generate(per),
+                                   [&, s](InvocationReport report) {
+                                     row[s].total_ms.Record(report.total_time().millis());
+                                     row[s].setup_ms.Record(report.setup_time.millis());
+                                     row[s].invocation_ms.Record(
+                                         report.invocation_time.millis());
+                                     row[s].sample = std::move(report);
+                                     ++completed;
+                                   });
+            }
+            platform.sim()->Run();
+            FAASNAP_CHECK(completed == config.parallelism);
+          }
+        }
+      }
+      for (ExperimentCell& cell : row) {
+        results.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return results;
+}
+
+std::string ExperimentResults::ToTable() const {
+  TextTable table({"function", "test input", "system", "total (ms)", "setup (ms)",
+                   "invoke (ms)"});
+  for (const ExperimentCell& cell : cells) {
+    table.AddRow({cell.function, cell.test_input, cell.system,
+                  FormatCell("%.1f +- %.1f", cell.total_ms.mean(), cell.total_ms.stddev()),
+                  FormatCell("%.1f", cell.setup_ms.mean()),
+                  FormatCell("%.1f", cell.invocation_ms.mean())});
+  }
+  return "# " + name + "\n\n" + table.ToString();
+}
+
+std::string ExperimentResults::ToJson() const {
+  JsonWriter json;
+  json.BeginObject().Field("name", name).Key("cells").BeginArray();
+  for (const ExperimentCell& cell : cells) {
+    json.BeginObject()
+        .Field("function", cell.function)
+        .Field("system", cell.system)
+        .Field("test_input", cell.test_input)
+        .Field("total_ms_mean", cell.total_ms.mean())
+        .Field("total_ms_std", cell.total_ms.stddev())
+        .Field("setup_ms_mean", cell.setup_ms.mean())
+        .Field("invocation_ms_mean", cell.invocation_ms.mean())
+        .Field("reps", cell.total_ms.count())
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  return json.TakeString();
+}
+
+}  // namespace faasnap

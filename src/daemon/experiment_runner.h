@@ -1,0 +1,47 @@
+// ExperimentRunner: executes a parsed ExperimentConfig and renders results —
+// the counterpart of the paper artifact's `test.py` driver (Appendix A.4).
+//
+// For every (function, test input): one platform per repetition, one record
+// phase, then one test-phase invocation per system with caches dropped between
+// tests (or `parallelism` simultaneous invocations for burst configs).
+
+#ifndef FAASNAP_SRC_DAEMON_EXPERIMENT_RUNNER_H_
+#define FAASNAP_SRC_DAEMON_EXPERIMENT_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/daemon/experiment_config.h"
+#include "src/metrics/report.h"
+
+namespace faasnap {
+
+struct ExperimentCell {
+  std::string function;
+  std::string system;
+  std::string test_input;
+  RunningStats total_ms;
+  RunningStats setup_ms;
+  RunningStats invocation_ms;
+  // Representative last-rep detail for JSON export.
+  InvocationReport sample;
+};
+
+struct ExperimentResults {
+  std::string name;
+  std::vector<ExperimentCell> cells;
+
+  // Fixed-width table, one row per cell.
+  std::string ToTable() const;
+  // One JSON object per cell (array document) for downstream tooling.
+  std::string ToJson() const;
+};
+
+// Runs the whole config. Errors only on configuration problems (unknown
+// functions were already rejected at parse time).
+Result<ExperimentResults> RunExperiment(const ExperimentConfig& config);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_DAEMON_EXPERIMENT_RUNNER_H_

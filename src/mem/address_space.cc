@@ -1,0 +1,92 @@
+#include "src/mem/address_space.h"
+
+namespace faasnap {
+
+AddressSpace::AddressSpace(uint64_t total_pages) : total_pages_(total_pages) {
+  FAASNAP_CHECK(total_pages > 0);
+  install_.assign(total_pages, static_cast<uint8_t>(PageInstallState::kNotPresent));
+  regions_.emplace(0, PageBacking{BackingKind::kUnmapped, kInvalidFileId, 0});
+}
+
+void AddressSpace::Map(const MappingRequest& request) {
+  FAASNAP_CHECK(!request.guest.empty());
+  FAASNAP_CHECK(request.guest.end() <= total_pages_);
+  if (request.kind == BackingKind::kFile) {
+    FAASNAP_CHECK(request.file != kInvalidFileId);
+  }
+  ++mmap_call_count_;
+
+  const PageIndex lo = request.guest.first;
+  const PageIndex hi = request.guest.end();
+
+  // Preserve the backing that resumes at `hi` before erasing overlapped entries.
+  const PageBacking at_hi = hi < total_pages_ ? Resolve(hi) : PageBacking{};
+
+  // Erase all run starts inside [lo, hi).
+  auto it = regions_.lower_bound(lo);
+  while (it != regions_.end() && it->first < hi) {
+    it = regions_.erase(it);
+  }
+
+  // The run containing lo (starting before it) keeps its prefix; insert the new
+  // region at lo.
+  PageBacking incoming{request.kind, request.file, request.file_start};
+  regions_[lo] = incoming;
+  if (hi < total_pages_) {
+    // Resume whatever was mapped at hi, with its file offset advanced correctly
+    // (Resolve(hi) already returns the per-page backing, so store it as a run
+    // starting exactly at hi).
+    regions_[hi] = at_hi;
+  }
+}
+
+PageBacking AddressSpace::Resolve(PageIndex page) const {
+  FAASNAP_CHECK(page < total_pages_);
+  auto it = regions_.upper_bound(page);
+  FAASNAP_CHECK(it != regions_.begin());
+  --it;
+  PageBacking backing = it->second;
+  if (backing.kind == BackingKind::kFile) {
+    backing.file_page += page - it->first;
+  }
+  return backing;
+}
+
+void AddressSpace::SetInstallState(PageIndex page, PageInstallState s) {
+  FAASNAP_CHECK(page < total_pages_);
+  const auto old = static_cast<PageInstallState>(install_[page]);
+  const bool was_resident = old != PageInstallState::kNotPresent;
+  const bool now_resident = s != PageInstallState::kNotPresent;
+  install_[page] = static_cast<uint8_t>(s);
+  if (!was_resident && now_resident) {
+    ++resident_pages_;
+  } else if (was_resident && !now_resident) {
+    --resident_pages_;
+  }
+}
+
+void AddressSpace::SetInstallState(PageRange range, PageInstallState s) {
+  for (PageIndex p = range.first; p < range.end(); ++p) {
+    SetInstallState(p, s);
+  }
+}
+
+uint64_t AddressSpace::resident_anonymous_pages() const {
+  uint64_t count = 0;
+  auto it = regions_.begin();
+  while (it != regions_.end()) {
+    auto next = std::next(it);
+    const PageIndex run_end = next == regions_.end() ? total_pages_ : next->first;
+    if (it->second.kind == BackingKind::kAnonymous) {
+      for (PageIndex p = it->first; p < run_end; ++p) {
+        if (install_[p] != static_cast<uint8_t>(PageInstallState::kNotPresent)) {
+          ++count;
+        }
+      }
+    }
+    it = next;
+  }
+  return count;
+}
+
+}  // namespace faasnap

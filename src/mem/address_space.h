@@ -1,0 +1,101 @@
+// VMM guest-memory address space: layered mmap regions + per-page install state.
+//
+// Models the guest-physical address space that the VMM hands to KVM. FaaSnap's
+// hierarchical overlapping mapping (paper Figure 4) is expressed directly: an
+// anonymous base layer for the whole space, memory-file regions MAP_FIXED'd over
+// it, and loading-set-file regions MAP_FIXED'd over those. Map() applies overlay
+// semantics — later calls override earlier ones where they overlap — and counts
+// calls so setup cost reflects region-count optimizations (section 4.6).
+//
+// Per-page install state tracks whether an access faults at all:
+//   kNotPresent  — first access faults (class depends on the backing),
+//   kSoftPresent — host PTE exists (UFFDIO_COPY install) but the first guest access
+//                  still takes one cheap guest-dimension fault,
+//   kPresent     — access is free.
+
+#ifndef FAASNAP_SRC_MEM_ADDRESS_SPACE_H_
+#define FAASNAP_SRC_MEM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/page_range.h"
+#include "src/common/status.h"
+#include "src/mem/page_cache.h"
+
+namespace faasnap {
+
+enum class BackingKind : uint8_t {
+  kUnmapped = 0,
+  kAnonymous,  // zero-fill host memory
+  kFile,       // file-backed (memory file or loading set file)
+};
+
+// Resolution of one guest page to its backing.
+struct PageBacking {
+  BackingKind kind = BackingKind::kUnmapped;
+  FileId file = kInvalidFileId;
+  PageIndex file_page = 0;  // page offset within the backing file
+
+  bool operator==(const PageBacking&) const = default;
+};
+
+// One mmap call: map `guest` pages to anonymous memory or to `file` starting at
+// file page `file_start` (guest.first -> file_start, guest.first+1 -> file_start+1, ...).
+struct MappingRequest {
+  PageRange guest;
+  BackingKind kind = BackingKind::kAnonymous;
+  FileId file = kInvalidFileId;
+  PageIndex file_start = 0;
+};
+
+enum class PageInstallState : uint8_t { kNotPresent = 0, kSoftPresent = 1, kPresent = 2 };
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(uint64_t total_pages);
+
+  // Applies one mmap with MAP_FIXED overlay semantics. Increments mmap_call_count.
+  void Map(const MappingRequest& request);
+
+  // Backing of `page` under the current layering.
+  PageBacking Resolve(PageIndex page) const;
+
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t mmap_call_count() const { return mmap_call_count_; }
+
+  // Install-state tracking (the host page table for this VM).
+  PageInstallState install_state(PageIndex page) const {
+    return static_cast<PageInstallState>(install_[page]);
+  }
+  void SetInstallState(PageIndex page, PageInstallState s);
+  void SetInstallState(PageRange range, PageInstallState s);
+
+  // Number of installed pages (kSoftPresent or kPresent): the VMM's RSS as seen by
+  // the daemon's procfs polling during the record phase (section 5).
+  uint64_t resident_pages() const { return resident_pages_; }
+
+  // Present pages backed by anonymous memory (memory-footprint accounting, 7.3).
+  uint64_t resident_anonymous_pages() const;
+
+  // Pages whose contents were copied into anonymous memory by UFFDIO_COPY (REAP's
+  // installs): charged as anonymous even though the mapping is file-backed.
+  void NoteAnonCopies(uint64_t pages) { anon_copied_pages_ += pages; }
+  uint64_t anon_copied_pages() const { return anon_copied_pages_; }
+
+ private:
+  uint64_t total_pages_;
+  // Flattened interval map: key = first guest page of a run; the run extends to the
+  // next key (or total_pages_). Value = backing at the run start; file_page advances
+  // with the offset into the run.
+  std::map<PageIndex, PageBacking> regions_;
+  std::vector<uint8_t> install_;
+  uint64_t resident_pages_ = 0;
+  uint64_t anon_copied_pages_ = 0;
+  uint64_t mmap_call_count_ = 0;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_MEM_ADDRESS_SPACE_H_

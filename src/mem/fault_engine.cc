@@ -1,0 +1,179 @@
+#include "src/mem/fault_engine.h"
+
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace faasnap {
+
+namespace {
+
+// Deterministic per-(page, class) dispersion of the constant fault costs: real
+// fault-handling times spread (lock contention, TLB shootdowns, cache misses) as
+// Figure 2's distributions show. 95% of faults land in [0.6x, 1.2x] and 5% form a
+// 2-4x outlier tail; the mean stays ~1.0x so aggregate calibration is unchanged.
+Duration DisperseCost(bool enabled, Duration base, PageIndex page, FaultClass cls) {
+  if (!enabled) {
+    return base;
+  }
+  Rng rng(page * 0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(cls) << 56) ^ 0xD15Eull);
+  const double u = rng.NextDouble();
+  const double v = rng.NextDouble();
+  const double factor = u < 0.95 ? 0.6 + 0.6 * v : 2.0 + 2.0 * v;
+  return Duration::Nanos(
+      static_cast<int64_t>(static_cast<double>(base.nanos()) * factor));
+}
+
+}  // namespace
+
+FaultEngine::FaultEngine(Simulation* sim, PageCache* cache, StorageRouter* storage,
+                         AddressSpace* space, ReadaheadPolicy* readahead,
+                         std::function<uint64_t(FileId)> file_size_pages, HostCostModel costs)
+    : sim_(sim),
+      cache_(cache),
+      storage_(storage),
+      space_(space),
+      readahead_(readahead),
+      file_size_pages_(std::move(file_size_pages)),
+      costs_(costs) {
+  FAASNAP_CHECK(sim_ != nullptr && cache_ != nullptr && storage_ != nullptr &&
+                space_ != nullptr && readahead_ != nullptr);
+}
+
+void FaultEngine::RegisterUffd(PageRangeSet region, UffdHandler* handler) {
+  FAASNAP_CHECK(handler != nullptr);
+  uffd_region_ = std::move(region);
+  uffd_handler_ = handler;
+}
+
+void FaultEngine::FinishFault(PageIndex page, FaultClass cls, SimTime fault_start,
+                              Duration tail_cost, Duration extra_wait,
+                              std::function<void(FaultClass)> done) {
+  // Called at IO-completion (or immediately for non-blocking faults); the guest
+  // resumes after `tail_cost` of post-IO kernel work plus any scheduler-induced
+  // stall (`extra_wait`, e.g. kvm_vcpu_block context switches on uffd faults).
+  sim_->ScheduleAfter(tail_cost + extra_wait, [this, page, cls, fault_start, extra_wait,
+                                               done = std::move(done)] {
+    const Duration handling = (sim_->now() - fault_start) - extra_wait;
+    metrics_.RecordFault(cls, handling, extra_wait);
+    if (tracer_ != nullptr) {
+      tracer_->Emit(sim_->now(), TraceEventType::kFaultEnd, page,
+                    static_cast<uint64_t>(cls));
+    }
+    if (cls == FaultClass::kUffdHandled) {
+      // The handler resolved the fault with UFFDIO_COPY: an anonymous page copy.
+      space_->NoteAnonCopies(1);
+    }
+    space_->SetInstallState(page, PageInstallState::kPresent);
+    done(cls);
+  });
+}
+
+bool FaultEngine::Access(PageIndex page, std::function<void(FaultClass)> done) {
+  const PageInstallState state = space_->install_state(page);
+  if (state == PageInstallState::kPresent) {
+    metrics_.RecordFault(FaultClass::kNoFault, Duration::Zero());
+    return true;
+  }
+  const SimTime fault_start = sim_->now();
+  if (tracer_ != nullptr) {
+    tracer_->Emit(fault_start, TraceEventType::kFaultStart, page);
+  }
+
+  if (state == PageInstallState::kSoftPresent) {
+    // Host PTE installed by UFFDIO_COPY; one cheap guest-dimension fault remains.
+    FinishFault(page, FaultClass::kUffdPreinstalled, fault_start,
+                DisperseCost(costs_.cost_dispersion, costs_.uffd_preinstalled_fault, page,
+                             FaultClass::kUffdPreinstalled),
+                Duration::Zero(), std::move(done));
+    return false;
+  }
+
+  // Not present. userfaultfd interception takes priority over the kernel path.
+  if (uffd_handler_ != nullptr && uffd_region_.Contains(page)) {
+    uffd_handler_->HandleFault(page, [this, page, fault_start, done = std::move(done)]() mutable {
+      // Handler resolved the contents; account the uffd round trip plus the
+      // vCPU-block penalty (guest cannot resume immediately; section 6.4).
+      FinishFault(page, FaultClass::kUffdHandled, fault_start, costs_.uffd_round_trip,
+                  uffd_vcpu_block_extra_, std::move(done));
+    });
+    return false;
+  }
+
+  const PageBacking backing = space_->Resolve(page);
+  switch (backing.kind) {
+    case BackingKind::kAnonymous:
+      FinishFault(page, FaultClass::kAnonymous, fault_start,
+                  DisperseCost(costs_.cost_dispersion, costs_.anonymous_fault, page,
+                               FaultClass::kAnonymous),
+                  Duration::Zero(), std::move(done));
+      return false;
+    case BackingKind::kFile: {
+      const PageCache::PageState cache_state = cache_->GetState(backing.file, backing.file_page);
+      if (cache_state == PageCache::PageState::kPresent) {
+        const bool sequential = page == last_minor_page_ + 1;
+        last_minor_page_ = page;
+        FinishFault(page, FaultClass::kMinor, fault_start,
+                    DisperseCost(costs_.cost_dispersion,
+                                 sequential ? costs_.minor_fault_sequential
+                                            : costs_.minor_fault,
+                                 page, FaultClass::kMinor),
+                    Duration::Zero(), std::move(done));
+        return false;
+      }
+      // Either already in flight (wait on the existing IO) or absent (issue a read
+      // with readahead, then wait). EnsureFilePage handles both.
+      const FaultClass cls = cache_state == PageCache::PageState::kInFlight
+                                 ? FaultClass::kInFlightWait
+                                 : FaultClass::kMajor;
+      const Duration tail = cls == FaultClass::kMajor
+                                ? costs_.major_fault_overhead
+                                : costs_.inflight_wait_overhead;
+      EnsureFilePage(backing.file, backing.file_page, /*charge_to_faults=*/true,
+                     [this, page, cls, tail, fault_start,
+                      done = std::move(done)](PageCache::PageState) mutable {
+                       FinishFault(page, cls, fault_start, tail, Duration::Zero(),
+                                   std::move(done));
+                     });
+      return false;
+    }
+    case BackingKind::kUnmapped:
+      break;
+  }
+  FAASNAP_CHECK(false && "guest access to unmapped page");
+  return true;
+}
+
+void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_faults,
+                                 std::function<void(PageCache::PageState)> done) {
+  const PageCache::PageState initial = cache_->GetState(file, page);
+  switch (initial) {
+    case PageCache::PageState::kPresent:
+      done(initial);
+      return;
+    case PageCache::PageState::kInFlight:
+      cache_->WaitFor(file, page, [initial, done = std::move(done)] { done(initial); });
+      return;
+    case PageCache::PageState::kAbsent:
+      break;
+  }
+  // Miss: read the faulting page plus the readahead window, skipping anything the
+  // cache already has or has in flight.
+  const uint64_t file_pages = file_size_pages_(file);
+  const PageRange window = readahead_->WindowFor(file, page, file_pages);
+  const PageRangeSet missing = cache_->AbsentIn(file, window);
+  FAASNAP_CHECK(missing.Contains(page));
+  for (const PageRange& r : missing.ranges()) {
+    const PageCache::ReadHandle handle = cache_->BeginRead(file, r);
+    if (charge_to_faults) {
+      metrics_.fault_disk_requests++;
+      metrics_.fault_disk_bytes += PagesToBytes(r.count);
+    }
+    storage_->Read(file, PagesToBytes(r.first), PagesToBytes(r.count),
+                   [this, handle] { cache_->CompleteRead(handle); });
+  }
+  cache_->WaitFor(file, page, [initial, done = std::move(done)] { done(initial); });
+}
+
+}  // namespace faasnap

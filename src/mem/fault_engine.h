@@ -1,0 +1,105 @@
+// FaultEngine: resolves guest page accesses against the host memory subsystem.
+//
+// This is the simulation's equivalent of the host kernel's fault path plus KVM's
+// kvm_mmu_page_fault: given a guest-physical page access it consults the VM's
+// address-space layering (anonymous vs file-backed), the shared page cache, the
+// readahead policy, and the block device, then retires the access after the right
+// amount of simulated time, recording the fault class and latency.
+//
+// userfaultfd is modeled by registering a region with a UffdHandler: not-present
+// faults inside the region are delivered to the handler (REAP's userspace monitor)
+// instead of the kernel file-backed path.
+
+#ifndef FAASNAP_SRC_MEM_FAULT_ENGINE_H_
+#define FAASNAP_SRC_MEM_FAULT_ENGINE_H_
+
+#include <functional>
+
+#include "src/common/page_range.h"
+#include "src/mem/address_space.h"
+#include "src/mem/cost_model.h"
+#include "src/mem/fault_metrics.h"
+#include "src/mem/page_cache.h"
+#include "src/mem/readahead.h"
+#include "src/common/tracer.h"
+#include "src/sim/simulation.h"
+#include "src/storage/storage_router.h"
+
+namespace faasnap {
+
+// Userspace fault handler interface (REAP's userfaultfd monitor).
+class UffdHandler {
+ public:
+  virtual ~UffdHandler() = default;
+
+  // Resolve the fault on `guest_page`: make the page's contents available and call
+  // `done` (on the simulation clock) when the UFFDIO_COPY could be issued. The
+  // engine accounts the uffd round-trip cost and installs the page afterwards.
+  virtual void HandleFault(PageIndex guest_page, std::function<void()> done) = 0;
+};
+
+class FaultEngine {
+ public:
+  // All pointers must outlive the engine. `file_size_pages` bounds readahead
+  // windows at end-of-file for any file id the address space references.
+  FaultEngine(Simulation* sim, PageCache* cache, StorageRouter* storage, AddressSpace* space,
+              ReadaheadPolicy* readahead, std::function<uint64_t(FileId)> file_size_pages,
+              HostCostModel costs = {});
+
+  // Routes not-present faults on `region` to `handler` (userfaultfd registration).
+  void RegisterUffd(PageRangeSet region, UffdHandler* handler);
+
+  // Performs a guest access to `page`.
+  //  * Returns true if the access needed no fault (already installed); `done` is
+  //    NOT called — the caller continues synchronously (this keeps hot loops from
+  //    flooding the event queue).
+  //  * Returns false if a fault is in progress; `done(fault_class)` fires on the
+  //    sim clock once the access retires.
+  bool Access(PageIndex page, std::function<void(FaultClass)> done);
+
+  // Makes a file page readable through the page cache (issuing a device read with
+  // readahead on a miss) and calls `done(state_before)` at data-ready time. Used by
+  // the major-fault path and by REAP's handler pread. Disk traffic is charged to
+  // fault metrics iff `charge_to_faults`.
+  void EnsureFilePage(FileId file, PageIndex page, bool charge_to_faults,
+                      std::function<void(PageCache::PageState)> done);
+
+  const FaultMetrics& metrics() const { return metrics_; }
+  FaultMetrics& mutable_metrics() { return metrics_; }
+  const HostCostModel& costs() const { return costs_; }
+  AddressSpace* address_space() { return space_; }
+  PageCache* page_cache() { return cache_; }
+  StorageRouter* storage() { return storage_; }
+
+  // Optional structured tracing (fault start/end events); null disables.
+  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+
+  // Extra vCPU-block time charged per uffd-handled fault (context switches while
+  // KVM waits for the vCPU to be ready; section 6.4). Exposed for calibration.
+  Duration uffd_vcpu_block_extra() const { return uffd_vcpu_block_extra_; }
+  void set_uffd_vcpu_block_extra(Duration d) { uffd_vcpu_block_extra_ = d; }
+
+ private:
+  void FinishFault(PageIndex page, FaultClass cls, SimTime fault_start, Duration tail_cost,
+                   Duration extra_wait, std::function<void(FaultClass)> done);
+
+  Simulation* sim_;
+  PageCache* cache_;
+  StorageRouter* storage_;
+  AddressSpace* space_;
+  ReadaheadPolicy* readahead_;
+  std::function<uint64_t(FileId)> file_size_pages_;
+  HostCostModel costs_;
+  FaultMetrics metrics_;
+
+  PageIndex last_minor_page_ = static_cast<PageIndex>(-2);
+  EventTracer* tracer_ = nullptr;
+
+  PageRangeSet uffd_region_;
+  UffdHandler* uffd_handler_ = nullptr;
+  Duration uffd_vcpu_block_extra_ = Duration::Micros(25);
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_MEM_FAULT_ENGINE_H_

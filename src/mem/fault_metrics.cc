@@ -1,0 +1,56 @@
+#include "src/mem/fault_metrics.h"
+
+namespace faasnap {
+
+std::string_view FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNoFault:
+      return "no-fault";
+    case FaultClass::kAnonymous:
+      return "anonymous";
+    case FaultClass::kMinor:
+      return "minor";
+    case FaultClass::kMajor:
+      return "major";
+    case FaultClass::kInFlightWait:
+      return "inflight-wait";
+    case FaultClass::kUffdPreinstalled:
+      return "uffd-preinstalled";
+    case FaultClass::kUffdHandled:
+      return "uffd-handled";
+    case FaultClass::kClassCount:
+      break;
+  }
+  return "unknown";
+}
+
+int64_t FaultMetrics::total_faults() const {
+  int64_t total = 0;
+  for (int i = 1; i < static_cast<int>(FaultClass::kClassCount); ++i) {
+    total += counts[i];
+  }
+  return total;
+}
+
+void FaultMetrics::RecordFault(FaultClass c, Duration handling, Duration extra_wait) {
+  counts[static_cast<int>(c)]++;
+  if (c == FaultClass::kNoFault) {
+    return;
+  }
+  total_fault_time += handling;
+  total_wait_time += handling + extra_wait;
+  latency_histogram.Record(handling);
+}
+
+void FaultMetrics::Merge(const FaultMetrics& other) {
+  for (int i = 0; i < static_cast<int>(FaultClass::kClassCount); ++i) {
+    counts[i] += other.counts[i];
+  }
+  total_fault_time += other.total_fault_time;
+  total_wait_time += other.total_wait_time;
+  latency_histogram.Merge(other.latency_histogram);
+  fault_disk_requests += other.fault_disk_requests;
+  fault_disk_bytes += other.fault_disk_bytes;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,56 @@
+// Per-run fault instrumentation, standing in for the paper's bpftrace/perf probes
+// on kvm_mmu_page_fault and kvm_vcpu_block (sections 3.3, 6.4, 6.5).
+
+#ifndef FAASNAP_SRC_MEM_FAULT_METRICS_H_
+#define FAASNAP_SRC_MEM_FAULT_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+
+namespace faasnap {
+
+// How a guest page access was resolved.
+enum class FaultClass : int {
+  kNoFault = 0,        // page already installed
+  kAnonymous,          // zero-fill fault on anonymous backing
+  kMinor,              // served from the page cache
+  kMajor,              // blocked on a disk read this fault issued
+  kInFlightWait,       // blocked on a disk read someone else already issued
+  kUffdPreinstalled,   // cheap first-touch on a UFFDIO_COPY-installed page
+  kUffdHandled,        // resolved by a userspace userfaultfd handler
+  kClassCount,
+};
+
+std::string_view FaultClassName(FaultClass c);
+
+// Aggregated by the FaultEngine across one VM run.
+struct FaultMetrics {
+  FaultMetrics() : latency_histogram(/*lower_ns=*/500, /*num_buckets=*/11) {}
+
+  int64_t counts[static_cast<int>(FaultClass::kClassCount)] = {};
+  // Total time the vCPU spent inside fault handling, summed over all classes
+  // (kvm_mmu_page_fault time; Figure 2's "total page fault handling time").
+  Duration total_fault_time;
+  // Fault time plus the blocked-vCPU wait (kvm_vcpu_block): Table 3's
+  // "page fault waiting time".
+  Duration total_wait_time;
+  // Figure 2's distribution: one sample per fault (kNoFault excluded).
+  Log2Histogram latency_histogram;
+  // Disk traffic issued *by fault handling* (excludes prefetch loaders):
+  // Figure 9's "# of block requests".
+  uint64_t fault_disk_requests = 0;
+  uint64_t fault_disk_bytes = 0;
+
+  int64_t count(FaultClass c) const { return counts[static_cast<int>(c)]; }
+  int64_t total_faults() const;
+  int64_t major_faults() const { return count(FaultClass::kMajor); }
+  void RecordFault(FaultClass c, Duration handling, Duration extra_wait = Duration::Zero());
+  void Merge(const FaultMetrics& other);
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_MEM_FAULT_METRICS_H_

@@ -1,0 +1,106 @@
+#include "src/mem/page_cache.h"
+
+namespace faasnap {
+
+const PageCache::FileState* PageCache::FindFile(FileId file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+PageCache::PageState PageCache::GetState(FileId file, PageIndex page) const {
+  const FileState* fs = FindFile(file);
+  if (fs == nullptr) {
+    return PageState::kAbsent;
+  }
+  if (fs->present.Contains(page)) {
+    return PageState::kPresent;
+  }
+  for (const auto& [handle, range] : fs->in_flight) {
+    if (range.Contains(page)) {
+      return PageState::kInFlight;
+    }
+  }
+  return PageState::kAbsent;
+}
+
+PageCache::ReadHandle PageCache::BeginRead(FileId file, PageRange range) {
+  FAASNAP_CHECK(file != kInvalidFileId);
+  FAASNAP_CHECK(!range.empty());
+  const ReadHandle handle = next_handle_++;
+  files_[file].in_flight.emplace(handle, range);
+  reads_.emplace(handle, InFlightRead{file, range, {}});
+  return handle;
+}
+
+void PageCache::CompleteRead(ReadHandle handle) {
+  auto it = reads_.find(handle);
+  FAASNAP_CHECK(it != reads_.end());
+  InFlightRead read = std::move(it->second);
+  reads_.erase(it);
+  FileState& fs = files_[read.file];
+  fs.in_flight.erase(handle);
+  fs.present.Add(read.range);
+  for (EventFn& waiter : read.waiters) {
+    waiter();
+  }
+}
+
+void PageCache::WaitFor(FileId file, PageIndex page, EventFn done) {
+  FileState& fs = files_[file];
+  for (auto& [handle, range] : fs.in_flight) {
+    if (range.Contains(page)) {
+      reads_[handle].waiters.push_back(std::move(done));
+      return;
+    }
+  }
+  // Contract: the page must be in flight. Reaching here is a caller bug.
+  FAASNAP_CHECK(false && "WaitFor on a page that is not in flight");
+}
+
+void PageCache::Insert(FileId file, PageRange range) {
+  FAASNAP_CHECK(file != kInvalidFileId);
+  files_[file].present.Add(range);
+}
+
+PageRangeSet PageCache::AbsentIn(FileId file, PageRange range) const {
+  PageRangeSet wanted;
+  wanted.Add(range);
+  const FileState* fs = FindFile(file);
+  if (fs == nullptr) {
+    return wanted;
+  }
+  PageRangeSet covered = fs->present;
+  for (const auto& [handle, r] : fs->in_flight) {
+    covered.Add(r);
+  }
+  return wanted.Subtract(covered);
+}
+
+PageRangeSet PageCache::PresentPages(FileId file) const {
+  const FileState* fs = FindFile(file);
+  return fs == nullptr ? PageRangeSet() : fs->present;
+}
+
+void PageCache::DropAll() {
+  FAASNAP_CHECK(reads_.empty() && "DropAll with reads in flight");
+  files_.clear();
+}
+
+void PageCache::DropFile(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return;
+  }
+  FAASNAP_CHECK(it->second.in_flight.empty() && "DropFile with reads in flight");
+  files_.erase(it);
+}
+
+uint64_t PageCache::present_page_count() const {
+  uint64_t total = 0;
+  for (const auto& [file, fs] : files_) {
+    total += fs.present.page_count();
+  }
+  return total;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,104 @@
+// Host OS page cache model.
+//
+// One PageCache instance models the whole host's cache; it is shared by every VM,
+// the FaaSnap loader, and readahead — the sharing is what Figure 10's same-snapshot
+// burst results depend on ("the guests are in effect loading the cache for each
+// other"). State per (file, page):
+//
+//   kAbsent   — not cached; a read must go to the device,
+//   kInFlight — a device read covering the page has been issued; faulters can sleep
+//               on it instead of issuing a duplicate read,
+//   kPresent  — cached; access is a minor fault.
+//
+// The cache is passive with respect to IO: callers (FaultEngine, the FaaSnap
+// loader, REAP's fetcher) issue device reads themselves and bracket them with
+// BeginRead/CompleteRead so concurrent actors coordinate through cache state.
+
+#ifndef FAASNAP_SRC_MEM_PAGE_CACHE_H_
+#define FAASNAP_SRC_MEM_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/page_range.h"
+#include "src/common/status.h"
+#include "src/sim/simulation.h"
+
+namespace faasnap {
+
+// Identifies a backing file (snapshot memory file, loading set file, ...).
+// Allocated by the SnapshotStore; 0 is reserved as invalid.
+using FileId = uint32_t;
+inline constexpr FileId kInvalidFileId = 0;
+
+class PageCache {
+ public:
+  enum class PageState { kAbsent, kInFlight, kPresent };
+
+  // Opaque token for an in-flight read; returned by BeginRead.
+  using ReadHandle = uint64_t;
+
+  PageCache() = default;
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  PageState GetState(FileId file, PageIndex page) const;
+  bool IsPresent(FileId file, PageIndex page) const {
+    return GetState(file, page) == PageState::kPresent;
+  }
+
+  // Marks `range` of `file` as in flight. The caller must later call CompleteRead
+  // with the returned handle (typically from the device-completion callback).
+  ReadHandle BeginRead(FileId file, PageRange range);
+
+  // Installs the read's pages as present and wakes all waiters registered on them.
+  void CompleteRead(ReadHandle handle);
+
+  // Registers `done` to run when `page` (which must be kInFlight) becomes present.
+  void WaitFor(FileId file, PageIndex page, EventFn done);
+
+  // Directly installs pages as present (snapshot preload for the Cached baseline,
+  // pages written by the VMM, etc.).
+  void Insert(FileId file, PageRange range);
+
+  // Subset of `range` that is absent (not present and not in flight). This is what
+  // a prefetcher still needs to read.
+  PageRangeSet AbsentIn(FileId file, PageRange range) const;
+
+  // All present pages of `file` — the model's mincore(2) over a mapped file.
+  PageRangeSet PresentPages(FileId file) const;
+
+  // echo 3 > /proc/sys/vm/drop_caches between experiments (section 6.1).
+  // Requires no reads in flight.
+  void DropAll();
+  void DropFile(FileId file);
+
+  // Total pages cached across all files (page-cache memory footprint, section 7.3).
+  uint64_t present_page_count() const;
+
+ private:
+  struct InFlightRead {
+    FileId file = kInvalidFileId;
+    PageRange range;
+    std::vector<EventFn> waiters;
+  };
+
+  struct FileState {
+    PageRangeSet present;
+    // In-flight ranges for this file, keyed by handle. Small: bounded by device
+    // queue depth in practice.
+    std::map<ReadHandle, PageRange> in_flight;
+  };
+
+  const FileState* FindFile(FileId file) const;
+
+  std::map<FileId, FileState> files_;
+  std::map<ReadHandle, InFlightRead> reads_;
+  ReadHandle next_handle_ = 1;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_MEM_PAGE_CACHE_H_

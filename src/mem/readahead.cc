@@ -1,0 +1,31 @@
+#include "src/mem/readahead.h"
+
+#include <algorithm>
+
+namespace faasnap {
+
+PageRange ReadaheadPolicy::WindowFor(FileId file, PageIndex page, uint64_t file_pages) {
+  if (page >= file_pages) {
+    return PageRange{page, 1};  // defensive; callers bound accesses to the file
+  }
+  if (!config_.enabled) {
+    return PageRange{page, 1};
+  }
+  Stream& stream = streams_[file];
+  uint64_t window = config_.initial_window_pages;
+  if (stream.window != 0) {
+    // "Sequential enough": the fault lands at or just past the previous fault,
+    // within the reach of the last window. Random jumps shrink the window to the
+    // fault-around size.
+    const bool forward = page >= stream.last_fault;
+    const bool close = forward && (page - stream.last_fault) <= stream.window;
+    window = close ? std::min(stream.window * 2, config_.max_window_pages)
+                   : config_.random_window_pages;
+  }
+  stream.last_fault = page;
+  stream.window = window;
+  const uint64_t count = std::min(window, file_pages - page);
+  return PageRange{page, std::max<uint64_t>(count, 1)};
+}
+
+}  // namespace faasnap

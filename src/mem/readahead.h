@@ -1,0 +1,60 @@
+// Kernel readahead model.
+//
+// When a file-backed fault misses the page cache, Linux reads not just the faulting
+// page but a window of following pages, growing the window while the access stream
+// looks sequential. Readahead matters twice in the paper:
+//
+//   * it is why vanilla Firecracker restore is not 100% major faults — nearby pages
+//     get pulled in (section 3.3), and
+//   * the pages it pulls in are exactly what "host page recording" (section 4.4)
+//     captures via mincore and REAP's faulting-page tracking misses.
+//
+// Model: per-file stream state {last_fault, window}. A fault within the current
+// window's reach doubles the window (to a max); a random jump resets it.
+
+#ifndef FAASNAP_SRC_MEM_READAHEAD_H_
+#define FAASNAP_SRC_MEM_READAHEAD_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/page_range.h"
+#include "src/mem/page_cache.h"
+
+namespace faasnap {
+
+struct ReadaheadConfig {
+  uint64_t initial_window_pages = 16;  // 64 KiB, for a fresh or resuming stream
+  uint64_t max_window_pages = 64;      // 256 KiB (Linux default ra window is 128 KiB)
+  // Window after a random jump (fault-around-sized): Linux reads far less around
+  // faults that do not look sequential.
+  uint64_t random_window_pages = 8;
+  bool enabled = true;
+};
+
+class ReadaheadPolicy {
+ public:
+  explicit ReadaheadPolicy(ReadaheadConfig config = {}) : config_(config) {}
+
+  // Returns the file range the kernel will read for a faulting miss on `page` of
+  // `file` (always includes `page` itself). `file_pages` bounds the window at EOF.
+  PageRange WindowFor(FileId file, PageIndex page, uint64_t file_pages);
+
+  // Forgets stream state (e.g. after dropping caches between experiments).
+  void Reset() { streams_.clear(); }
+
+  const ReadaheadConfig& config() const { return config_; }
+
+ private:
+  struct Stream {
+    PageIndex last_fault = 0;
+    uint64_t window = 0;
+  };
+
+  ReadaheadConfig config_;
+  std::map<FileId, Stream> streams_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_MEM_READAHEAD_H_

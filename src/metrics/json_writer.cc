@@ -1,0 +1,174 @@
+#include "src/metrics/json_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace faasnap {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::MaybeComma() {
+  if (!needs_comma_.empty() && needs_comma_.back() && !pending_key_) {
+    out_ += ',';
+  }
+  if (!needs_comma_.empty() && !pending_key_) {
+    needs_comma_.back() = true;
+  }
+  pending_key_ = false;
+}
+
+void JsonWriter::Raw(const std::string& s) {
+  MaybeComma();
+  out_ += s;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Raw("{");
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  FAASNAP_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Raw("[");
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  FAASNAP_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  Raw("\"" + JsonEscape(v) + "\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) { return Value(std::string(v)); }
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  Raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  Raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  char buf[64];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  Raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Raw(v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  FAASNAP_CHECK(needs_comma_.empty() && "unbalanced JSON scopes");
+  return std::move(out_);
+}
+
+std::string InvocationReportToJson(const InvocationReport& report) {
+  JsonWriter json;
+  json.BeginObject()
+      .Field("function", report.function)
+      .Field("mode", report.mode)
+      .Field("total_ms", report.total_time().millis())
+      .Field("setup_ms", report.setup_time.millis())
+      .Field("invocation_ms", report.invocation_time.millis())
+      .Field("fetch_ms", report.fetch_time.millis())
+      .Field("fetch_bytes", report.fetch_bytes)
+      .Field("guest_pagefault_bytes", report.guest_pagefault_bytes)
+      .Field("mmap_calls", report.mmap_calls)
+      .Field("disk_read_requests", report.disk.read_requests)
+      .Field("disk_bytes_read", report.disk.bytes_read)
+      .Field("anon_resident_pages", report.anon_resident_pages)
+      .Field("page_cache_pages", report.page_cache_pages);
+
+  json.Key("faults").BeginObject();
+  for (int i = 0; i < static_cast<int>(FaultClass::kClassCount); ++i) {
+    json.Field(std::string(FaultClassName(static_cast<FaultClass>(i))),
+               static_cast<int64_t>(report.faults.counts[i]));
+  }
+  json.Field("total_fault_time_ms", report.faults.total_fault_time.millis())
+      .Field("total_wait_time_ms", report.faults.total_wait_time.millis())
+      .EndObject();
+
+  const Log2Histogram& h = report.faults.latency_histogram;
+  json.Key("fault_latency_histogram").BeginArray();
+  for (int i = 0; i < h.num_buckets(); ++i) {
+    json.BeginObject()
+        .Field("upper_ns", h.bucket_upper_ns(i))
+        .Field("count", h.bucket_count(i))
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  return json.TakeString();
+}
+
+}  // namespace faasnap

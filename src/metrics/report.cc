@@ -1,0 +1,15 @@
+#include "src/metrics/report.h"
+
+namespace faasnap {
+
+void ReportSummary::Add(const InvocationReport& report) {
+  if (function.empty()) {
+    function = report.function;
+    mode = report.mode;
+  }
+  total_ms.Record(report.total_time().millis());
+  setup_ms.Record(report.setup_time.millis());
+  invocation_ms.Record(report.invocation_time.millis());
+}
+
+}  // namespace faasnap

@@ -1,0 +1,63 @@
+// Per-invocation reports: everything the paper's figures and tables read off a run.
+
+#ifndef FAASNAP_SRC_METRICS_REPORT_H_
+#define FAASNAP_SRC_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+#include "src/common/units.h"
+#include "src/mem/fault_metrics.h"
+#include "src/storage/block_device.h"
+
+namespace faasnap {
+
+struct InvocationReport {
+  std::string function;
+  std::string mode;
+
+  // Gray bar of Figure 1: VMM restore, mapping, and (REAP) working set fetch.
+  Duration setup_time;
+  // Primary bar of Figure 1: function execution on the restored VM.
+  Duration invocation_time;
+  Duration total_time() const { return setup_time + invocation_time; }
+
+  FaultMetrics faults;
+
+  // Prefetcher activity (Table 3 "fetch time/size"): REAP's blocking working-set
+  // fetch or FaaSnap's concurrent loader.
+  Duration fetch_time;
+  uint64_t fetch_bytes = 0;
+
+  // Bytes of guest pages that had to block on IO (major/in-flight/uffd-handled):
+  // Table 3's "guest pagefault size".
+  uint64_t guest_pagefault_bytes = 0;
+
+  // mmap calls during setup (the section 4.6 merge-threshold effect).
+  uint64_t mmap_calls = 0;
+
+  // Disk traffic attributable to this invocation.
+  BlockDeviceStats disk;
+
+  // Host memory at completion: VM-resident anonymous pages plus page-cache pages
+  // (section 7.3 footprint accounting). Meaningful for single-VM runs.
+  uint64_t anon_resident_pages = 0;
+  uint64_t page_cache_pages = 0;
+};
+
+// Mean/stddev across repetitions of the same (function, mode) cell.
+struct ReportSummary {
+  std::string function;
+  std::string mode;
+  RunningStats total_ms;
+  RunningStats setup_ms;
+  RunningStats invocation_ms;
+
+  void Add(const InvocationReport& report);
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_METRICS_REPORT_H_

@@ -1,0 +1,104 @@
+#include "src/native/mapped_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/units.h"
+
+namespace faasnap {
+
+namespace {
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+}  // namespace
+
+NativeFile::NativeFile(NativeFile&& other) noexcept
+    : fd_(other.fd_),
+      pages_(other.pages_),
+      path_(std::move(other.path_)),
+      unlink_on_close_(other.unlink_on_close_) {
+  other.fd_ = -1;
+  other.unlink_on_close_ = false;
+}
+
+NativeFile& NativeFile::operator=(NativeFile&& other) noexcept {
+  if (this != &other) {
+    this->~NativeFile();
+    new (this) NativeFile(std::move(other));
+  }
+  return *this;
+}
+
+NativeFile::~NativeFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    if (unlink_on_close_) {
+      ::unlink(path_.c_str());
+    }
+  }
+}
+
+Result<NativeFile> NativeFile::Create(const std::string& path, uint64_t pages,
+                                      bool unlink_on_close) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) {
+    return IoError(ErrnoMessage("open " + path));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(PagesToBytes(pages))) != 0) {
+    ::close(fd);
+    return IoError(ErrnoMessage("ftruncate " + path));
+  }
+  NativeFile file;
+  file.fd_ = fd;
+  file.pages_ = pages;
+  file.path_ = path;
+  file.unlink_on_close_ = unlink_on_close;
+  return file;
+}
+
+Result<NativeFile> NativeFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return IoError(ErrnoMessage("open " + path));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return IoError(ErrnoMessage("lseek " + path));
+  }
+  NativeFile file;
+  file.fd_ = fd;
+  file.pages_ = BytesToPages(static_cast<uint64_t>(size));
+  file.path_ = path;
+  return file;
+}
+
+Status NativeFile::WritePage(PageIndex page, const void* data) {
+  const ssize_t written = ::pwrite(fd_, data, kPageSize,
+                                   static_cast<off_t>(PagesToBytes(page)));
+  if (written != static_cast<ssize_t>(kPageSize)) {
+    return IoError(ErrnoMessage("pwrite " + path_));
+  }
+  return OkStatus();
+}
+
+Status NativeFile::ReadPage(PageIndex page, void* out) const {
+  const ssize_t got = ::pread(fd_, out, kPageSize, static_cast<off_t>(PagesToBytes(page)));
+  if (got != static_cast<ssize_t>(kPageSize)) {
+    return IoError(ErrnoMessage("pread " + path_));
+  }
+  return OkStatus();
+}
+
+void NativeFile::DropCache() const {
+  // Dirty pages must hit the device before DONTNEED can evict them. On tmpfs
+  // neither step evicts anything — callers must treat this as best effort.
+  ::fsync(fd_);
+  ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+}
+
+}  // namespace faasnap

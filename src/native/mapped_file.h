@@ -1,0 +1,57 @@
+// RAII helpers for real files and memory mappings (the native engine).
+//
+// The native engine exercises FaaSnap's actual host-side mechanisms — mmap with
+// MAP_FIXED overlays, mincore scans, loading-set files — against the real kernel.
+// KVM is not required: the "guest" is a thread touching the mapped region; the
+// host-side paging path (the paper's subject) is identical.
+
+#ifndef FAASNAP_SRC_NATIVE_MAPPED_FILE_H_
+#define FAASNAP_SRC_NATIVE_MAPPED_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/page_range.h"
+#include "src/common/status.h"
+
+namespace faasnap {
+
+// An owned file descriptor with page-granular IO helpers.
+class NativeFile {
+ public:
+  NativeFile() = default;
+  NativeFile(NativeFile&& other) noexcept;
+  NativeFile& operator=(NativeFile&& other) noexcept;
+  NativeFile(const NativeFile&) = delete;
+  NativeFile& operator=(const NativeFile&) = delete;
+  ~NativeFile();
+
+  // Creates (truncating) a file of `pages` pages. The file is unlinked on close
+  // if `unlink_on_close`.
+  static Result<NativeFile> Create(const std::string& path, uint64_t pages,
+                                   bool unlink_on_close = true);
+  static Result<NativeFile> Open(const std::string& path);
+
+  // Writes one page's worth of bytes at page `page`.
+  Status WritePage(PageIndex page, const void* data);
+  Status ReadPage(PageIndex page, void* out) const;
+
+  // posix_fadvise(DONTNEED): best-effort page cache eviction for this file.
+  void DropCache() const;
+
+  int fd() const { return fd_; }
+  uint64_t pages() const { return pages_; }
+  const std::string& path() const { return path_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  uint64_t pages_ = 0;
+  std::string path_;
+  bool unlink_on_close_ = false;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_NATIVE_MAPPED_FILE_H_

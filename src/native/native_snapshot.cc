@@ -1,0 +1,159 @@
+#include "src/native/native_snapshot.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/units.h"
+#include "src/core/loading_set_builder.h"
+#include "src/snapshot/serialization.h"
+
+namespace faasnap {
+
+uint64_t NativePageStamp(PageIndex page) { return page * 0x9e3779b97f4a7c15ULL ^ 0xFAA5AA9ull; }
+
+Result<std::unique_ptr<NativeSnapshotSession>> NativeSnapshotSession::Create(
+    const Config& config, const PageRangeSet& nonzero) {
+  auto session = std::unique_ptr<NativeSnapshotSession>(new NativeSnapshotSession());
+  session->config_ = config;
+  session->nonzero_ = nonzero;
+
+  char name[256];
+  std::snprintf(name, sizeof(name), "%s/faasnap-native-%d.mem", config.directory.c_str(),
+                ::getpid());
+  ASSIGN_OR_RETURN(session->memory_file_,
+                   NativeFile::Create(name, config.guest_pages));
+
+  // Stamp the non-zero pages; untouched ranges stay file holes (real zeros).
+  std::vector<uint8_t> buf(kPageSize, 0);
+  for (const PageRange& r : nonzero.ranges()) {
+    if (r.end() > config.guest_pages) {
+      return InvalidArgumentError("nonzero range outside guest");
+    }
+    for (PageIndex p = r.first; p < r.end(); ++p) {
+      const uint64_t stamp = NativePageStamp(p);
+      std::memcpy(buf.data(), &stamp, sizeof(stamp));
+      RETURN_IF_ERROR(session->memory_file_.WritePage(p, buf.data()));
+    }
+  }
+  return session;
+}
+
+Result<WorkingSetGroups> NativeSnapshotSession::RecordWorkingSet(
+    const std::vector<PageIndex>& accesses, uint64_t group_size) {
+  FAASNAP_CHECK(group_size > 0);
+  NativeRegionMapper mapper;
+  RETURN_IF_ERROR(mapper.ReserveAnonymous(config_.guest_pages));
+  RETURN_IF_ERROR(
+      mapper.MapFileRegion(PageRange{0, config_.guest_pages}, memory_file_, 0));
+
+  WorkingSetGroups groups;
+  PageRangeSet recorded;
+  uint64_t since_scan = 0;
+  volatile uint64_t sink = 0;
+  auto scan = [&]() -> Status {
+    ASSIGN_OR_RETURN(PageRangeSet resident, mapper.ResidentPages());
+    PageRangeSet fresh = resident.Subtract(recorded);
+    if (!fresh.empty()) {
+      recorded = recorded.Union(fresh);
+      groups.groups.push_back(std::move(fresh));
+    }
+    return OkStatus();
+  };
+  for (PageIndex page : accesses) {
+    sink = sink + *static_cast<uint64_t*>(mapper.PageAddress(page));
+    if (++since_scan >= group_size) {
+      since_scan = 0;
+      RETURN_IF_ERROR(scan());
+    }
+  }
+  RETURN_IF_ERROR(scan());
+  return groups;
+}
+
+Result<LoadingSetFile> NativeSnapshotSession::BuildAndWriteLoadingSet(
+    const WorkingSetGroups& groups, uint64_t merge_gap_pages) {
+  MemoryFile meta;
+  meta.total_pages = config_.guest_pages;
+  meta.nonzero = nonzero_;
+  LoadingSetFile loading =
+      BuildLoadingSet(groups, meta, LoadingSetConfig{.merge_gap_pages = merge_gap_pages});
+
+  char name[256];
+  std::snprintf(name, sizeof(name), "%s/faasnap-native-%d.lset", config_.directory.c_str(),
+                ::getpid());
+  ASSIGN_OR_RETURN(loading_file_, NativeFile::Create(name, loading.total_pages));
+
+  // Copy loading-set pages from the memory file, packed by (group, address).
+  std::vector<uint8_t> buf(kPageSize);
+  for (const LoadingRegion& region : loading.regions) {
+    for (uint64_t i = 0; i < region.guest.count; ++i) {
+      RETURN_IF_ERROR(memory_file_.ReadPage(region.guest.first + i, buf.data()));
+      RETURN_IF_ERROR(loading_file_.WritePage(region.file_start + i, buf.data()));
+    }
+  }
+
+  // Persist the manifest next to the payload.
+  manifest_path_ = std::string(name) + ".manifest";
+  const std::vector<uint8_t> blob = EncodeLoadingSetManifest(loading);
+  std::ofstream manifest(manifest_path_, std::ios::binary | std::ios::trunc);
+  manifest.write(reinterpret_cast<const char*>(blob.data()),
+                 static_cast<std::streamsize>(blob.size()));
+  if (!manifest.good()) {
+    return IoError("writing manifest " + manifest_path_);
+  }
+  return loading;
+}
+
+Result<std::unique_ptr<NativeRegionMapper>> NativeSnapshotSession::RestorePerRegion(
+    const LoadingSetFile& loading) {
+  auto mapper = std::make_unique<NativeRegionMapper>();
+  RETURN_IF_ERROR(mapper->ReserveAnonymous(config_.guest_pages));
+  for (const PageRange& r : nonzero_.ranges()) {
+    RETURN_IF_ERROR(mapper->MapFileRegion(r, memory_file_, r.first));
+  }
+  for (const LoadingRegion& region : loading.regions) {
+    RETURN_IF_ERROR(mapper->MapFileRegion(region.guest, loading_file_, region.file_start));
+  }
+  return mapper;
+}
+
+void NativeSnapshotSession::StartLoader() {
+  FAASNAP_CHECK(!loader_.joinable());
+  loader_ = std::thread([this] {
+    // Sequential pread of the whole loading set file: populates the page cache in
+    // (group, address) order, exactly like the daemon loader.
+    std::vector<uint8_t> buf(64 * kPageSize);
+    const uint64_t total = loading_file_.pages();
+    for (uint64_t p = 0; p < total; p += 64) {
+      const uint64_t n = std::min<uint64_t>(64, total - p);
+      for (uint64_t i = 0; i < n; ++i) {
+        if (!loading_file_.ReadPage(p + i, buf.data() + i * kPageSize).ok()) {
+          return;
+        }
+      }
+    }
+  });
+}
+
+void NativeSnapshotSession::JoinLoader() {
+  if (loader_.joinable()) {
+    loader_.join();
+  }
+}
+
+uint64_t NativeSnapshotSession::ReadStampThroughMapping(const NativeRegionMapper& mapper,
+                                                        PageIndex page) {
+  return *static_cast<const uint64_t*>(mapper.PageAddress(page));
+}
+
+void NativeSnapshotSession::DropCaches() {
+  memory_file_.DropCache();
+  if (loading_file_.valid()) {
+    loading_file_.DropCache();
+  }
+}
+
+}  // namespace faasnap

@@ -1,0 +1,92 @@
+// NativeSnapshotSession: FaaSnap's record/restore cycle against real files and
+// the real kernel, end to end:
+//
+//   1. a "memory file" is created with stamped non-zero pages (stamp = page
+//      index, so mapping mistakes are detectable) and true zero pages;
+//   2. the record pass maps the whole file, touches pages in a given order, and
+//      builds working set groups from periodic mincore scans (host page
+//      recording, section 4.4-5);
+//   3. the loading set is computed with the shared core builder and written to a
+//      compact on-disk loading set file plus a serialized manifest (section 4.7);
+//   4. the restore pass builds the hierarchical per-region mapping — anonymous
+//      base, non-zero regions to the memory file, loading regions to the loading
+//      set file — while a loader thread prefetches the loading set file
+//      sequentially (sections 4.2, 4.8);
+//   5. every touched page's stamp is verified through the restored mapping.
+//
+// KVM is not required; the "guest" is the calling thread. The host-side paging
+// behavior being exercised is the same one the VMM relies on.
+
+#ifndef FAASNAP_SRC_NATIVE_NATIVE_SNAPSHOT_H_
+#define FAASNAP_SRC_NATIVE_NATIVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/page_range.h"
+#include "src/common/status.h"
+#include "src/native/mapped_file.h"
+#include "src/native/region_mapper.h"
+#include "src/snapshot/snapshot_files.h"
+
+namespace faasnap {
+
+// Stamp written into the first 8 bytes of every non-zero page.
+uint64_t NativePageStamp(PageIndex page);
+
+class NativeSnapshotSession {
+ public:
+  struct Config {
+    std::string directory = "/tmp";
+    uint64_t guest_pages = 4096;  // 16 MiB by default: fast, still page-cache real
+  };
+
+  // Creates the memory file with `nonzero` stamped pages (the rest are holes).
+  static Result<std::unique_ptr<NativeSnapshotSession>> Create(const Config& config,
+                                                               const PageRangeSet& nonzero);
+
+  // Record pass: touches `accesses` through a whole-file mapping; a mincore scan
+  // after every `group_size` touches forms the next working set group.
+  Result<WorkingSetGroups> RecordWorkingSet(const std::vector<PageIndex>& accesses,
+                                            uint64_t group_size);
+
+  // Builds the loading set (shared core builder) and writes the compact loading
+  // set file and its manifest blob to disk.
+  Result<LoadingSetFile> BuildAndWriteLoadingSet(const WorkingSetGroups& groups,
+                                                 uint64_t merge_gap_pages);
+
+  // Restore pass: hierarchical per-region mapping per Figure 4. The returned
+  // mapper owns the guest mapping.
+  Result<std::unique_ptr<NativeRegionMapper>> RestorePerRegion(const LoadingSetFile& loading);
+
+  // Starts a loader thread that sequentially preads the loading set file to
+  // populate the page cache; Join() waits for it.
+  void StartLoader();
+  void JoinLoader();
+
+  // Reads the stamp of guest `page` through `mapper` (faulting as needed).
+  static uint64_t ReadStampThroughMapping(const NativeRegionMapper& mapper, PageIndex page);
+
+  // Drops the page cache for the snapshot files (fadvise; best effort).
+  void DropCaches();
+
+  const PageRangeSet& nonzero() const { return nonzero_; }
+  uint64_t guest_pages() const { return config_.guest_pages; }
+  const std::string& manifest_path() const { return manifest_path_; }
+
+ private:
+  NativeSnapshotSession() = default;
+
+  Config config_;
+  PageRangeSet nonzero_;
+  NativeFile memory_file_;
+  NativeFile loading_file_;
+  std::string manifest_path_;
+  std::thread loader_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_NATIVE_NATIVE_SNAPSHOT_H_

@@ -1,0 +1,296 @@
+#include "src/restore/restore_policy.h"
+
+#include <utility>
+
+#include "src/common/units.h"
+
+namespace faasnap {
+
+std::string_view RestoreModeName(RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::kWarm:
+      return "warm";
+    case RestoreMode::kColdBoot:
+      return "cold-boot";
+    case RestoreMode::kFirecracker:
+      return "firecracker";
+    case RestoreMode::kCached:
+      return "cached";
+    case RestoreMode::kReap:
+      return "reap";
+    case RestoreMode::kFaasnapConcurrentOnly:
+      return "con-paging";
+    case RestoreMode::kFaasnapPerRegion:
+      return "per-region";
+    case RestoreMode::kFaasnap:
+      return "faasnap";
+  }
+  return "unknown";
+}
+
+Duration RestorePolicy::BaseSetupCost(const RestoreEnv& env) const {
+  // All snapshot systems pay the VMM process restore. (Daemon dispatch is
+  // accounted by the Platform's serialized request queue.)
+  return env.config->setup_costs.vmm_restore;
+}
+
+namespace {
+
+// Schedules `ready` after the cost of the mmap calls just performed.
+void FinishMappingSetup(RestoreEnv* env, uint64_t mmap_calls, std::function<void()> ready) {
+  const Duration cost = env->config->host_costs.mmap_call * static_cast<int64_t>(mmap_calls);
+  env->sim->ScheduleAfter(cost, std::move(ready));
+}
+
+// Whole-file mapping: one mmap covering the entire guest space (vanilla
+// Firecracker restore).
+void MapWholeFile(RestoreEnv* env, const MemoryFile& memory) {
+  env->space->Map({.guest = {0, env->snapshot->guest_pages},
+                   .kind = BackingKind::kFile,
+                   .file = memory.id,
+                   .file_start = 0});
+}
+
+// Per-region hierarchy (Figure 4): anonymous base layer, then non-zero regions of
+// the memory file MAP_FIXED'd over it.
+uint64_t MapPerRegionBase(RestoreEnv* env, const MemoryFile& memory) {
+  env->space->Map({.guest = {0, env->snapshot->guest_pages}, .kind = BackingKind::kAnonymous});
+  for (const PageRange& r : memory.nonzero.ranges()) {
+    env->space->Map({.guest = r,
+                     .kind = BackingKind::kFile,
+                     .file = memory.id,
+                     .file_start = r.first});
+  }
+  return 1 + memory.nonzero.range_count();
+}
+
+class WarmPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kWarm; }
+
+  Duration BaseSetupCost(const RestoreEnv&) const override {
+    // The VM is alive; only request dispatch (handled by the daemon queue) happens.
+    return Duration::Zero();
+  }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    // Warm VMs booted from images map guest memory to host anonymous memory; the
+    // record invocation's pages are already resident (section 3.3).
+    env->space->Map({.guest = {0, env->snapshot->guest_pages}, .kind = BackingKind::kAnonymous});
+    for (const PageRange& r : env->snapshot->record_touched.ranges()) {
+      env->space->SetInstallState(r, PageInstallState::kPresent);
+    }
+    ready();
+  }
+};
+
+// No snapshot exists: boot the VM from its image and initialize the runtime.
+// Guest memory is plain anonymous memory; the setup cost dominates everything
+// (section 2.1: cold starts take seconds while most invocations are sub-second).
+class ColdBootPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kColdBoot; }
+
+  Duration BaseSetupCost(const RestoreEnv& env) const override {
+    const auto& costs = env.config->setup_costs;
+    return costs.cold_boot_base +
+           costs.cold_init_per_page *
+               static_cast<int64_t>(env.snapshot->record_touched.page_count());
+  }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    env->space->Map({.guest = {0, env->snapshot->guest_pages}, .kind = BackingKind::kAnonymous});
+    // Initialization leaves the runtime state resident, like a warm VM.
+    for (const PageRange& r : env->snapshot->record_touched.ranges()) {
+      env->space->SetInstallState(r, PageInstallState::kPresent);
+    }
+    ready();
+  }
+};
+
+class FirecrackerPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kFirecracker; }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    MapWholeFile(env, env->snapshot->memory_vanilla);
+    FinishMappingSetup(env, 1, std::move(ready));
+  }
+};
+
+class CachedPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kCached; }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    // The entire memory file sits in the page cache before the test (the preload
+    // is not charged: Cached is the in-memory reference point, section 6.2).
+    env->cache->Insert(env->snapshot->memory_vanilla.id,
+                       PageRange{0, env->snapshot->guest_pages});
+    MapWholeFile(env, env->snapshot->memory_vanilla);
+    FinishMappingSetup(env, 1, std::move(ready));
+  }
+};
+
+// REAP's userspace fault handler: out-of-working-set faults are served by the
+// monitor pread()ing the original memory file (section 3.3).
+class ReapUffdHandler final : public UffdHandler {
+ public:
+  void Bind(RestoreEnv* env) { env_ = env; }
+
+  void HandleFault(PageIndex guest_page, std::function<void()> done) override {
+    // Whole-file mapping: guest page == memory file page.
+    env_->engine->EnsureFilePage(
+        env_->snapshot->memory_vanilla.id, guest_page, /*charge_to_faults=*/true,
+        [this, done = std::move(done)](PageCache::PageState) mutable {
+          env_->sim->ScheduleAfter(env_->config->host_costs.cached_pread_page, std::move(done));
+        });
+  }
+
+ private:
+  RestoreEnv* env_ = nullptr;
+};
+
+class ReapPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kReap; }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    MapWholeFile(env, env->snapshot->memory_vanilla);
+    handler_.Bind(env);
+    PageRangeSet whole;
+    whole.Add(0, env->snapshot->guest_pages);
+    env->engine->RegisterUffd(std::move(whole), &handler_);
+
+    // Blocking fetch: the entire working set file in one read that bypasses the
+    // page cache (maximizing bandwidth but forgoing cache sharing, section 6.6),
+    // then UFFDIO_COPY-install every page before the VM starts.
+    const uint64_t ws_pages = env->snapshot->reap_ws.size_pages();
+    const SimTime fetch_start = env->sim->now();
+    fetch_bytes_ = PagesToBytes(ws_pages);
+    if (ws_pages == 0) {
+      FinishMappingSetup(env, 1, std::move(ready));
+      return;
+    }
+    env->storage->Read(env->snapshot->reap_ws.id, 0, fetch_bytes_,
+                       [this, env, ws_pages, fetch_start,
+                        ready = std::move(ready)]() mutable {
+      const Duration install =
+          env->config->host_costs.uffd_copy_page * static_cast<int64_t>(ws_pages);
+      env->sim->ScheduleAfter(install, [this, env, fetch_start,
+                                        ready = std::move(ready)]() mutable {
+        for (PageIndex page : env->snapshot->reap_ws.guest_pages) {
+          env->space->SetInstallState(page, PageInstallState::kSoftPresent);
+        }
+        env->space->NoteAnonCopies(env->snapshot->reap_ws.size_pages());
+        fetch_time_ = env->sim->now() - fetch_start;
+        FinishMappingSetup(env, 1, std::move(ready));
+      });
+    });
+  }
+
+  Duration blocking_fetch_time() const override { return fetch_time_; }
+  uint64_t blocking_fetch_bytes() const override { return fetch_bytes_; }
+
+ private:
+  ReapUffdHandler handler_;
+  Duration fetch_time_;
+  uint64_t fetch_bytes_ = 0;
+};
+
+// Figure 9 ablation step 1: concurrent paging only. Vanilla whole-file mapping;
+// the loader prefetches recorded working-set pages in address order from the
+// memory file.
+class ConcurrentOnlyPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kFaasnapConcurrentOnly; }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    MapWholeFile(env, env->snapshot->memory_vanilla);
+    FinishMappingSetup(env, 1, std::move(ready));
+  }
+
+  std::vector<PrefetchItem> PrefetchPlan(const RestoreEnv& env) const override {
+    std::vector<PrefetchItem> items;
+    const PageRangeSet working_set = env.snapshot->ws_groups.AllPages();
+    for (const PageRange& r : working_set.ranges()) {
+      items.push_back(PrefetchItem{env.snapshot->memory_vanilla.id, r});
+    }
+    return items;
+  }
+};
+
+// Figure 9 ablation step 2: per-region mapping + group-ordered loader, but no
+// compact loading set file — the loader reads the (scattered) loading regions
+// straight from the memory file.
+class PerRegionPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kFaasnapPerRegion; }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    const uint64_t calls = MapPerRegionBase(env, env->snapshot->memory_sanitized);
+    FinishMappingSetup(env, calls, std::move(ready));
+  }
+
+  std::vector<PrefetchItem> PrefetchPlan(const RestoreEnv& env) const override {
+    std::vector<PrefetchItem> items;
+    for (const LoadingRegion& region : env.snapshot->loading_set.regions) {
+      items.push_back(PrefetchItem{env.snapshot->memory_sanitized.id, region.guest});
+    }
+    return items;
+  }
+};
+
+// Full FaaSnap: per-region hierarchy with loading regions mapped to the compact
+// loading set file, which the loader streams sequentially.
+class FaasnapPolicy final : public RestorePolicy {
+ public:
+  RestoreMode mode() const override { return RestoreMode::kFaasnap; }
+
+  void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
+    uint64_t calls = MapPerRegionBase(env, env->snapshot->memory_sanitized);
+    for (const LoadingRegion& region : env->snapshot->loading_set.regions) {
+      env->space->Map({.guest = region.guest,
+                       .kind = BackingKind::kFile,
+                       .file = env->snapshot->loading_set.id,
+                       .file_start = region.file_start});
+      ++calls;
+    }
+    FinishMappingSetup(env, calls, std::move(ready));
+  }
+
+  std::vector<PrefetchItem> PrefetchPlan(const RestoreEnv& env) const override {
+    if (env.snapshot->loading_set.total_pages == 0) {
+      return {};
+    }
+    return {PrefetchItem{env.snapshot->loading_set.id,
+                         PageRange{0, env.snapshot->loading_set.total_pages}}};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RestorePolicy> RestorePolicy::Create(RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::kWarm:
+      return std::make_unique<WarmPolicy>();
+    case RestoreMode::kColdBoot:
+      return std::make_unique<ColdBootPolicy>();
+    case RestoreMode::kFirecracker:
+      return std::make_unique<FirecrackerPolicy>();
+    case RestoreMode::kCached:
+      return std::make_unique<CachedPolicy>();
+    case RestoreMode::kReap:
+      return std::make_unique<ReapPolicy>();
+    case RestoreMode::kFaasnapConcurrentOnly:
+      return std::make_unique<ConcurrentOnlyPolicy>();
+    case RestoreMode::kFaasnapPerRegion:
+      return std::make_unique<PerRegionPolicy>();
+    case RestoreMode::kFaasnap:
+      return std::make_unique<FaasnapPolicy>();
+  }
+  FAASNAP_CHECK(false && "unknown restore mode");
+  return nullptr;
+}
+
+}  // namespace faasnap

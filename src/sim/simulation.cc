@@ -1,0 +1,87 @@
+#include "src/sim/simulation.h"
+
+namespace faasnap {
+
+EventId Simulation::Schedule(SimTime when, EventFn fn) {
+  FAASNAP_CHECK(now_ <= when);
+  const EventId id = next_id_++;
+  queue_.push(PendingEvent{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulation::ScheduleAfter(Duration delay, EventFn fn) {
+  FAASNAP_CHECK(delay >= Duration::Zero());
+  return Schedule(now_ + delay, std::move(fn));
+}
+
+void Simulation::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return;  // already fired or never existed
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Simulation::PopNext(PendingEvent* out) {
+  while (!queue_.empty()) {
+    PendingEvent ev = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    *out = ev;
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulation::Run() {
+  uint64_t fired = 0;
+  while (Step()) {
+    ++fired;
+  }
+  return fired;
+}
+
+uint64_t Simulation::RunUntil(SimTime deadline) {
+  uint64_t fired = 0;
+  PendingEvent ev;
+  while (PopNext(&ev)) {
+    if (deadline < ev.when) {
+      // Put it back and stop; clock advances to the deadline.
+      queue_.push(ev);
+      now_ = deadline;
+      return fired;
+    }
+    now_ = ev.when;
+    auto it = callbacks_.find(ev.id);
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    ++processed_;
+    ++fired;
+  }
+  // Queue drained before the deadline: the clock still advances to it.
+  now_ = Max(now_, deadline);
+  return fired;
+}
+
+bool Simulation::Step() {
+  PendingEvent ev;
+  if (!PopNext(&ev)) {
+    return false;
+  }
+  now_ = ev.when;
+  auto it = callbacks_.find(ev.id);
+  EventFn fn = std::move(it->second);
+  callbacks_.erase(it);
+  fn();
+  ++processed_;
+  return true;
+}
+
+}  // namespace faasnap

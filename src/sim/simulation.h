@@ -1,0 +1,90 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a virtual nanosecond clock and a priority queue of events.
+// Actors (vCPUs, loader threads, userfaultfd handlers, block devices) advance the
+// world exclusively by scheduling callbacks. Events at the same timestamp fire in
+// scheduling order (FIFO tie-break), which makes every run bit-reproducible.
+//
+// The engine is deliberately single-threaded: determinism is worth more to the
+// benchmarks than parallel speedup, and all FaaSnap experiments complete in seconds.
+
+#ifndef FAASNAP_SRC_SIM_SIMULATION_H_
+#define FAASNAP_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace faasnap {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current virtual time. Monotonically non-decreasing across event firings.
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (must be >= now()). Returns an id
+  // usable with Cancel().
+  EventId Schedule(SimTime when, EventFn fn);
+
+  // Schedules `fn` at now() + delay (delay must be >= 0).
+  EventId ScheduleAfter(Duration delay, EventFn fn);
+
+  // Cancels a pending event. Canceling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  // Runs until the event queue drains. Returns the number of events processed.
+  uint64_t Run();
+
+  // Runs events with time <= deadline; the clock lands on the last fired event
+  // (or `deadline` if the queue drained earlier and events remain beyond it).
+  uint64_t RunUntil(SimTime deadline);
+
+  // Fires exactly one event. Returns false if the queue is empty.
+  bool Step();
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct PendingEvent {
+    SimTime when;
+    uint64_t seq;  // FIFO tie-break
+    EventId id;
+    // Ordering for a max-heap turned min-heap: later time = lower priority.
+    bool operator<(const PendingEvent& other) const {
+      if (when != other.when) {
+        return other.when < when;
+      }
+      return other.seq < seq;
+    }
+  };
+
+  // Pops the next non-cancelled event, or returns false.
+  bool PopNext(PendingEvent* out);
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t processed_ = 0;
+  std::priority_queue<PendingEvent> queue_;
+  // Callbacks stored separately so cancellation frees the closure promptly.
+  std::unordered_map<EventId, EventFn> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,179 @@
+#include "src/snapshot/serialization.h"
+
+#include <cstring>
+
+namespace faasnap {
+
+namespace {
+
+constexpr uint64_t kLoadingSetMagic = 0x46534e41'4c534554ull;  // "FSNALSET"
+constexpr uint64_t kReapMagic = 0x46534e41'52454150ull;        // "FSNAREAP"
+constexpr uint32_t kFormatVersion = 1;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& blob) : data_(blob) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+};
+
+void AppendChecksum(std::vector<uint8_t>* out) {
+  const uint64_t sum = Fnv1a64(out->data(), out->size());
+  PutU64(out, sum);
+}
+
+Status VerifyChecksum(const std::vector<uint8_t>& blob) {
+  if (blob.size() < 8) {
+    return InvalidArgumentError("blob too small for checksum");
+  }
+  const size_t body = blob.size() - 8;
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(blob[body + i]) << (8 * i);
+  }
+  if (Fnv1a64(blob.data(), body) != stored) {
+    return InvalidArgumentError("checksum mismatch");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> EncodeLoadingSetManifest(const LoadingSetFile& file) {
+  std::vector<uint8_t> out;
+  PutU64(&out, kLoadingSetMagic);
+  PutU32(&out, kFormatVersion);
+  PutU32(&out, static_cast<uint32_t>(file.regions.size()));
+  for (const LoadingRegion& r : file.regions) {
+    PutU64(&out, r.guest.first);
+    PutU64(&out, r.guest.count);
+    PutU32(&out, r.group);
+    PutU64(&out, r.file_start);
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+Result<LoadingSetFile> DecodeLoadingSetManifest(const std::vector<uint8_t>& blob) {
+  RETURN_IF_ERROR(VerifyChecksum(blob));
+  Reader reader(blob);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t count = 0;
+  if (!reader.ReadU64(&magic) || !reader.ReadU32(&version) || !reader.ReadU32(&count)) {
+    return InvalidArgumentError("truncated header");
+  }
+  if (magic != kLoadingSetMagic) {
+    return InvalidArgumentError("bad magic for loading set manifest");
+  }
+  if (version != kFormatVersion) {
+    return UnimplementedError("unsupported loading set manifest version");
+  }
+  LoadingSetFile file;
+  file.regions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LoadingRegion r;
+    uint64_t count64 = 0;
+    if (!reader.ReadU64(&r.guest.first) || !reader.ReadU64(&count64) ||
+        !reader.ReadU32(&r.group) || !reader.ReadU64(&r.file_start)) {
+      return InvalidArgumentError("truncated region record");
+    }
+    r.guest.count = count64;
+    if (r.guest.empty()) {
+      return InvalidArgumentError("empty region in manifest");
+    }
+    file.total_pages += r.guest.count;
+    file.regions.push_back(r);
+  }
+  return file;
+}
+
+std::vector<uint8_t> EncodeReapManifest(const ReapWorkingSetFile& file) {
+  std::vector<uint8_t> out;
+  PutU64(&out, kReapMagic);
+  PutU32(&out, kFormatVersion);
+  PutU32(&out, static_cast<uint32_t>(file.guest_pages.size()));
+  for (PageIndex p : file.guest_pages) {
+    PutU64(&out, p);
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+Result<ReapWorkingSetFile> DecodeReapManifest(const std::vector<uint8_t>& blob) {
+  RETURN_IF_ERROR(VerifyChecksum(blob));
+  Reader reader(blob);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t count = 0;
+  if (!reader.ReadU64(&magic) || !reader.ReadU32(&version) || !reader.ReadU32(&count)) {
+    return InvalidArgumentError("truncated header");
+  }
+  if (magic != kReapMagic) {
+    return InvalidArgumentError("bad magic for REAP manifest");
+  }
+  if (version != kFormatVersion) {
+    return UnimplementedError("unsupported REAP manifest version");
+  }
+  ReapWorkingSetFile file;
+  file.guest_pages.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PageIndex p = 0;
+    if (!reader.ReadU64(&p)) {
+      return InvalidArgumentError("truncated page record");
+    }
+    file.guest_pages.push_back(p);
+  }
+  return file;
+}
+
+}  // namespace faasnap

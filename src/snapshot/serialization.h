@@ -1,0 +1,40 @@
+// Binary (de)serialization of the FaaSnap on-disk metadata formats.
+//
+// A loading set file has two parts: the page payload (the loading-set pages, laid
+// out by (group, address)) and a manifest recording which guest regions live at
+// which file offsets. The daemon caches the manifest in memory (section 4.7); the
+// native engine persists it next to the payload. The REAP working set file
+// similarly pairs a page payload with a page-index manifest.
+//
+// Format: little-endian, fixed 16-byte header {magic, version, count, reserved},
+// then fixed-width records, then a FNV-1a checksum of everything before it.
+
+#ifndef FAASNAP_SRC_SNAPSHOT_SERIALIZATION_H_
+#define FAASNAP_SRC_SNAPSHOT_SERIALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/snapshot/snapshot_files.h"
+
+namespace faasnap {
+
+// Serialized manifest of a loading set file (regions only; id/total_pages are
+// derivable). Round-trips through DecodeLoadingSetManifest.
+std::vector<uint8_t> EncodeLoadingSetManifest(const LoadingSetFile& file);
+
+// Parses a manifest blob. Validates magic, version, record bounds, and checksum;
+// returns the regions plus recomputed total_pages.
+Result<LoadingSetFile> DecodeLoadingSetManifest(const std::vector<uint8_t>& blob);
+
+// Serialized manifest of a REAP working set file (the fault-ordered page list).
+std::vector<uint8_t> EncodeReapManifest(const ReapWorkingSetFile& file);
+Result<ReapWorkingSetFile> DecodeReapManifest(const std::vector<uint8_t>& blob);
+
+// FNV-1a 64-bit hash, exposed for tests.
+uint64_t Fnv1a64(const uint8_t* data, size_t size);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_SNAPSHOT_SERIALIZATION_H_

@@ -1,0 +1,69 @@
+#include "src/snapshot/snapshot_files.h"
+
+#include <algorithm>
+
+namespace faasnap {
+
+FileId SnapshotStore::Register(std::string name, uint64_t size_pages) {
+  entries_.push_back(Entry{std::move(name), size_pages});
+  return static_cast<FileId>(entries_.size());
+}
+
+const SnapshotStore::Entry& SnapshotStore::Get(FileId id) const {
+  FAASNAP_CHECK(id != kInvalidFileId && id <= entries_.size());
+  return entries_[id - 1];
+}
+
+void SnapshotStore::Resize(FileId id, uint64_t size_pages) {
+  FAASNAP_CHECK(id != kInvalidFileId && id <= entries_.size());
+  entries_[id - 1].size_pages = size_pages;
+}
+
+uint64_t SnapshotStore::size_pages(FileId id) const { return Get(id).size_pages; }
+
+const std::string& SnapshotStore::name(FileId id) const { return Get(id).name; }
+
+bool SnapshotStore::Contains(FileId id) const {
+  return id != kInvalidFileId && id <= entries_.size();
+}
+
+std::function<uint64_t(FileId)> SnapshotStore::SizeFn() const {
+  return [this](FileId id) { return size_pages(id); };
+}
+
+uint64_t WorkingSetGroups::total_pages() const {
+  uint64_t total = 0;
+  for (const PageRangeSet& g : groups) {
+    total += g.page_count();
+  }
+  return total;
+}
+
+PageRangeSet WorkingSetGroups::AllPages() const {
+  PageRangeSet all;
+  for (const PageRangeSet& g : groups) {
+    all = all.Union(g);
+  }
+  return all;
+}
+
+uint32_t WorkingSetGroups::LowestGroupFor(const PageRange& range) const {
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    PageRangeSet probe;
+    probe.Add(range);
+    if (!groups[g].Intersect(probe).empty()) {
+      return g;
+    }
+  }
+  return static_cast<uint32_t>(groups.size());
+}
+
+PageRangeSet LoadingSetFile::GuestPages() const {
+  PageRangeSet all;
+  for (const LoadingRegion& r : regions) {
+    all.Add(r.guest);
+  }
+  return all;
+}
+
+}  // namespace faasnap

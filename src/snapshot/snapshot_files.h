@@ -1,0 +1,125 @@
+// Snapshot file formats.
+//
+// A Firecracker snapshot consists of a VM state file (vCPU + device state) and a
+// memory file that is a full copy of guest physical memory (paper section 2.4).
+// On top of those, REAP adds a compact working set file (faulted pages + contents,
+// in access order), and FaaSnap adds a loading set file (non-zero working-set
+// regions, sorted by (group, address), read sequentially by the loader —
+// sections 4.6-4.7).
+//
+// In the simulation, file *contents* reduce to the one property paging depends on:
+// whether each page is zero. The SnapshotStore assigns FileIds and tracks sizes so
+// the FaultEngine can bound readahead and the metrics can report fetch sizes.
+
+#ifndef FAASNAP_SRC_SNAPSHOT_SNAPSHOT_FILES_H_
+#define FAASNAP_SRC_SNAPSHOT_SNAPSHOT_FILES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/page_range.h"
+#include "src/common/status.h"
+#include "src/mem/page_cache.h"
+
+namespace faasnap {
+
+// Registry of files living on the snapshot storage device. Owns FileId assignment;
+// ids are never reused within a store.
+class SnapshotStore {
+ public:
+  FileId Register(std::string name, uint64_t size_pages);
+
+  // Grows a registered file (loading-set files are written incrementally).
+  void Resize(FileId id, uint64_t size_pages);
+
+  uint64_t size_pages(FileId id) const;
+  const std::string& name(FileId id) const;
+  bool Contains(FileId id) const;
+
+  // Adapter for FaultEngine's file_size_pages hook.
+  std::function<uint64_t(FileId)> SizeFn() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    uint64_t size_pages;
+  };
+  const Entry& Get(FileId id) const;
+
+  std::vector<Entry> entries_;  // index = id - 1
+};
+
+// The guest memory file: full copy of guest physical memory, with the zero/non-zero
+// page map the per-region mapping technique depends on (section 4.5).
+struct MemoryFile {
+  FileId id = kInvalidFileId;
+  uint64_t total_pages = 0;
+  PageRangeSet nonzero;
+
+  bool IsZero(PageIndex page) const { return !nonzero.Contains(page); }
+  // Consecutive zero pages merged into zero regions (the post-invocation scan of
+  // section 4.5). Equivalent to the complement of `nonzero`.
+  PageRangeSet ZeroRegions() const { return nonzero.ComplementWithin(total_pages); }
+};
+
+// REAP's working set file: the faulted guest pages of the record invocation, in
+// fault order, stored compactly so the whole set is fetched in one batch read.
+struct ReapWorkingSetFile {
+  FileId id = kInvalidFileId;
+  std::vector<PageIndex> guest_pages;  // record-phase fault order
+
+  uint64_t size_pages() const { return guest_pages.size(); }
+};
+
+// Working set groups from the record phase (section 4.3): group g holds the pages
+// that became resident in the g-th mincore scan (~1024 pages per group).
+struct WorkingSetGroups {
+  std::vector<PageRangeSet> groups;
+
+  uint64_t total_pages() const;
+  // Union of all groups.
+  PageRangeSet AllPages() const;
+  // Lowest group index containing any page of `range`, or groups.size() if none
+  // (the paper assigns a region the lowest group number of any page in it).
+  uint32_t LowestGroupFor(const PageRange& range) const;
+};
+
+// One region of the loading set file: `guest` pages stored at file page
+// `file_start`, prefetched in group order.
+struct LoadingRegion {
+  PageRange guest;
+  uint32_t group = 0;
+  PageIndex file_start = 0;
+
+  bool operator==(const LoadingRegion&) const = default;
+};
+
+// FaaSnap's loading set file (section 4.7): regions sorted by (group, address);
+// region file offsets are contiguous in that order so the loader's sequential scan
+// of the file follows approximate access order.
+struct LoadingSetFile {
+  FileId id = kInvalidFileId;
+  std::vector<LoadingRegion> regions;
+  uint64_t total_pages = 0;
+
+  // All guest pages covered by the loading set.
+  PageRangeSet GuestPages() const;
+};
+
+// Everything restorable for one function.
+struct Snapshot {
+  std::string function_name;
+  uint64_t guest_mem_pages = 0;
+  FileId vmstate_id = kInvalidFileId;
+  MemoryFile memory;
+  // Populated by the respective record paths; absent pieces stay empty/invalid.
+  ReapWorkingSetFile reap_ws;
+  WorkingSetGroups ws_groups;
+  LoadingSetFile loading_set;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_SNAPSHOT_SNAPSHOT_FILES_H_

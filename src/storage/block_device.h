@@ -1,0 +1,88 @@
+// Block device model.
+//
+// The paper's measurements are dominated by the contrast between small scattered
+// reads (on-demand page faults) and large sequential reads (working/loading set
+// prefetch), plus disk saturation under bursty load. We model a device with three
+// first-class constraints, each of which produces one of those behaviors:
+//
+//   * per-request base latency  — the fixed cost every read pays (device + kernel
+//     block layer). A blocking single-fault stream is limited by this.
+//   * an IOPS serializer        — device-wide token stream at `iops` requests/sec;
+//     high-queue-depth random 4 KiB reads saturate here.
+//   * a bandwidth serializer    — device-wide token stream at `bandwidth` bytes/sec;
+//     large sequential reads saturate here.
+//
+// completion = max(iops_ready, bw_ready) + base_latency, where the two serializers
+// advance device-wide "busy until" clocks. This reproduces, with one mechanism,
+// both the paper's NVMe profile (1589 MB/s, 285 kIOPS, tens of us latency) and the
+// EBS io2 profile (1 GB/s, 64 kIOPS, sub-ms latency).
+//
+// Optional multiplicative jitter (deterministic, seeded) produces the run-to-run
+// variance reported as error bars in the figures.
+
+#ifndef FAASNAP_SRC_STORAGE_BLOCK_DEVICE_H_
+#define FAASNAP_SRC_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/simulation.h"
+
+namespace faasnap {
+
+// Static description of a device. See device_profiles.h for the two profiles used
+// in the paper's evaluation.
+struct BlockDeviceProfile {
+  std::string name;
+  Duration base_latency;          // fixed per-request service latency
+  uint64_t bandwidth_bytes_per_s; // sustained sequential throughput
+  uint64_t iops;                  // sustained small-random-read rate
+  double jitter = 0.0;            // +/- fraction of uniform noise on completion time
+};
+
+// Cumulative device counters, cheap to copy for before/after deltas.
+struct BlockDeviceStats {
+  uint64_t read_requests = 0;
+  uint64_t bytes_read = 0;
+
+  BlockDeviceStats operator-(const BlockDeviceStats& other) const {
+    return BlockDeviceStats{read_requests - other.read_requests, bytes_read - other.bytes_read};
+  }
+};
+
+class BlockDevice {
+ public:
+  // `sim` must outlive the device. `seed` drives latency jitter only.
+  BlockDevice(Simulation* sim, BlockDeviceProfile profile, uint64_t seed = 1);
+
+  // Issues an asynchronous read of `bytes` at `offset` (offset is for accounting;
+  // sequentiality effects are captured by callers batching into large requests).
+  // `done` fires on the simulation clock when the data is available.
+  void Read(uint64_t offset, uint64_t bytes, std::function<void()> done);
+
+  // Time a read issued *now* would complete, without issuing it. Used by tests.
+  SimTime EstimateCompletion(uint64_t bytes) const;
+
+  const BlockDeviceProfile& profile() const { return profile_; }
+  const BlockDeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BlockDeviceStats{}; }
+
+ private:
+  Duration TransferTime(uint64_t bytes) const;
+  Duration IopsInterval() const;
+
+  Simulation* sim_;
+  BlockDeviceProfile profile_;
+  Rng rng_;
+  SimTime iops_busy_until_;
+  SimTime bw_busy_until_;
+  BlockDeviceStats stats_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,33 @@
+#include "src/storage/storage_router.h"
+
+namespace faasnap {
+
+DeviceId StorageRouter::AddDevice(BlockDevice* device) {
+  FAASNAP_CHECK(device != nullptr);
+  devices_.push_back(device);
+  return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+void StorageRouter::AssignFile(FileId file, DeviceId device_id) {
+  FAASNAP_CHECK(file != kInvalidFileId);
+  FAASNAP_CHECK(device_id < devices_.size());
+  placement_[file] = device_id;
+}
+
+DeviceId StorageRouter::DeviceFor(FileId file) const {
+  auto it = placement_.find(file);
+  return it == placement_.end() ? kLocalDevice : it->second;
+}
+
+BlockDevice* StorageRouter::device(DeviceId id) const {
+  FAASNAP_CHECK(id < devices_.size());
+  return devices_[id];
+}
+
+void StorageRouter::Read(FileId file, uint64_t offset, uint64_t bytes,
+                         std::function<void()> done) {
+  FAASNAP_CHECK(!devices_.empty());
+  devices_[DeviceFor(file)]->Read(offset, bytes, std::move(done));
+}
+
+}  // namespace faasnap

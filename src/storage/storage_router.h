@@ -1,0 +1,56 @@
+// StorageRouter: routes per-file reads to one of several block devices.
+//
+// Section 7.2 proposes tiered snapshot storage: "storing relatively small loading
+// set files on local SSD and larger memory files on remote storage to reduce
+// storage costs while satisfying the performance requirements of reading loading
+// sets." The router makes file placement a first-class decision: every file is
+// assigned to a device; the fault engine, prefetch loader, and REAP fetcher read
+// through the router without knowing where a file lives.
+
+#ifndef FAASNAP_SRC_STORAGE_STORAGE_ROUTER_H_
+#define FAASNAP_SRC_STORAGE_STORAGE_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mem/page_cache.h"
+#include "src/storage/block_device.h"
+
+namespace faasnap {
+
+// Index into the router's device table.
+using DeviceId = uint32_t;
+inline constexpr DeviceId kLocalDevice = 0;
+
+class StorageRouter {
+ public:
+  StorageRouter() = default;
+  StorageRouter(const StorageRouter&) = delete;
+  StorageRouter& operator=(const StorageRouter&) = delete;
+
+  // Registers a device; the first one becomes the default for unassigned files.
+  // Devices must outlive the router.
+  DeviceId AddDevice(BlockDevice* device);
+
+  // Places `file` on `device_id`. Unassigned files use device 0.
+  void AssignFile(FileId file, DeviceId device_id);
+
+  DeviceId DeviceFor(FileId file) const;
+  BlockDevice* device(DeviceId id) const;
+  size_t device_count() const { return devices_.size(); }
+
+  // Issues an asynchronous read of `bytes` at `offset` within `file`, on the
+  // device the file is placed on.
+  void Read(FileId file, uint64_t offset, uint64_t bytes, std::function<void()> done);
+
+ private:
+  std::vector<BlockDevice*> devices_;
+  std::map<FileId, DeviceId> placement_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_STORAGE_STORAGE_ROUTER_H_

@@ -1,0 +1,37 @@
+#include "src/vm/guest_layout.h"
+
+namespace faasnap {
+
+GuestLayout GuestLayout::Default2GiB() {
+  GuestLayout layout;
+  layout.total_pages = BytesToPages(GiB(2));
+  layout.boot = PageRange{0, 30720};
+  layout.stable = PageRange{30720, 160000};
+  layout.window = PageRange{190720, 155392};
+  layout.scratch = PageRange{346112, 178176};
+  FAASNAP_CHECK_OK(layout.Validate());
+  return layout;
+}
+
+Status GuestLayout::Validate() const {
+  if (total_pages == 0) {
+    return InvalidArgumentError("empty guest");
+  }
+  const PageRange zones[] = {boot, stable, window, scratch};
+  PageIndex cursor = 0;
+  for (const PageRange& z : zones) {
+    if (z.empty()) {
+      return InvalidArgumentError("empty zone");
+    }
+    if (z.first < cursor) {
+      return InvalidArgumentError("zones overlap or are out of order");
+    }
+    cursor = z.end();
+  }
+  if (cursor > total_pages) {
+    return OutOfRangeError("zones exceed guest memory");
+  }
+  return OkStatus();
+}
+
+}  // namespace faasnap

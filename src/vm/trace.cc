@@ -1,0 +1,21 @@
+#include "src/vm/trace.h"
+
+namespace faasnap {
+
+PageRangeSet InvocationTrace::TouchedPages() const {
+  PageRangeSet touched;
+  for (const TraceOp& op : ops) {
+    touched.AddPage(op.page);
+  }
+  return touched;
+}
+
+Duration InvocationTrace::TotalCompute() const {
+  Duration total = trailing_compute;
+  for (const TraceOp& op : ops) {
+    total += op.compute;
+  }
+  return total;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,88 @@
+#include "src/vm/vm.h"
+
+#include <utility>
+
+namespace faasnap {
+
+struct Vm::RunState {
+  const InvocationTrace* trace = nullptr;
+  size_t next_op = 0;
+  bool compute_done = false;  // compute of ops[next_op] already performed
+  SimTime started;
+  PageRangeSet written;
+  std::function<void(InvocationResult)> done;
+};
+
+Vm::Vm(Simulation* sim, FaultEngine* engine, CpuModel* cpu, int vcpus)
+    : sim_(sim), engine_(engine), cpu_(cpu), vcpus_(vcpus) {
+  FAASNAP_CHECK(sim_ != nullptr && engine_ != nullptr && cpu_ != nullptr);
+  FAASNAP_CHECK(vcpus_ > 0);
+}
+
+void Vm::RunInvocation(const InvocationTrace& trace,
+                       std::function<void(InvocationResult)> done) {
+  FAASNAP_CHECK(!running_ && "one invocation at a time per Vm");
+  running_ = true;
+  auto state = std::make_shared<RunState>();
+  state->trace = &trace;
+  state->started = sim_->now();
+  state->done = std::move(done);
+  for (int i = 0; i < vcpus_; ++i) {
+    cpu_->AddRunnable();
+  }
+  Step(std::move(state));
+}
+
+void Vm::Step(std::shared_ptr<RunState> state) {
+  // Iterative loop: synchronous accesses (already-installed pages) and zero-compute
+  // ops stay in this loop; anything that takes time schedules a continuation.
+  while (state->next_op < state->trace->ops.size()) {
+    const TraceOp& op = state->trace->ops[state->next_op];
+    if (!state->compute_done && op.compute > Duration::Zero()) {
+      state->compute_done = true;
+      sim_->ScheduleAfter(cpu_->ScaleCompute(op.compute),
+                          [this, state]() mutable { Step(std::move(state)); });
+      return;
+    }
+    state->compute_done = false;
+    if (op.is_write) {
+      state->written.AddPage(op.page);
+    }
+    const PageIndex page = op.page;
+    state->next_op++;
+    const bool sync = engine_->Access(page, [this, state, page](FaultClass cls) mutable {
+      if (observer_) {
+        observer_(page, cls);
+      }
+      Step(std::move(state));
+    });
+    if (!sync) {
+      return;  // continuation will re-enter Step
+    }
+    if (observer_) {
+      observer_(page, FaultClass::kNoFault);
+    }
+  }
+  if (state->trace->trailing_compute > Duration::Zero()) {
+    const Duration tail = cpu_->ScaleCompute(state->trace->trailing_compute);
+    // Consume trailing_compute exactly once: clear it via a flag on the state.
+    auto finished = state;
+    sim_->ScheduleAfter(tail, [this, finished]() mutable { Finish(std::move(finished)); });
+    return;
+  }
+  Finish(std::move(state));
+}
+
+void Vm::Finish(std::shared_ptr<RunState> state) {
+  for (int i = 0; i < vcpus_; ++i) {
+    cpu_->RemoveRunnable();
+  }
+  running_ = false;
+  InvocationResult result;
+  result.elapsed = sim_->now() - state->started;
+  result.written_pages = std::move(state->written);
+  result.access_count = state->trace->ops.size();
+  state->done(result);
+}
+
+}  // namespace faasnap

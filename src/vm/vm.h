@@ -1,0 +1,62 @@
+// Vm: executes an invocation trace against a FaultEngine on the simulation clock.
+//
+// The Vm plays the role of the guest vCPU(s): it alternates compute bursts (scaled
+// by host CPU contention) with page accesses (resolved by the FaultEngine). An
+// observer hook reports every first-touch fault as it retires — the FaaSnap and
+// REAP recorders attach here during the record phase.
+
+#ifndef FAASNAP_SRC_VM_VM_H_
+#define FAASNAP_SRC_VM_VM_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/page_range.h"
+#include "src/mem/fault_engine.h"
+#include "src/sim/cpu_model.h"
+#include "src/sim/simulation.h"
+#include "src/vm/trace.h"
+
+namespace faasnap {
+
+class Vm {
+ public:
+  struct InvocationResult {
+    Duration elapsed;             // wall-clock from start to completion
+    PageRangeSet written_pages;   // pages the guest dirtied (snapshot builders)
+    uint64_t access_count = 0;
+  };
+
+  // Fires after each access retires: (page, fault class). kNoFault accesses are
+  // reported too so recorders can decide what to track.
+  using AccessObserver = std::function<void(PageIndex, FaultClass)>;
+
+  // `vcpus` counts against the CpuModel for the whole invocation (the guest's
+  // Flask server plus worker keep both vCPUs busy; section 6.1 guests have 2).
+  Vm(Simulation* sim, FaultEngine* engine, CpuModel* cpu, int vcpus);
+
+  void set_access_observer(AccessObserver observer) { observer_ = std::move(observer); }
+
+  // Runs `trace` to completion; `done(result)` fires on the simulation clock.
+  // One invocation at a time per Vm.
+  void RunInvocation(const InvocationTrace& trace, std::function<void(InvocationResult)> done);
+
+  FaultEngine* engine() { return engine_; }
+
+ private:
+  struct RunState;
+
+  void Step(std::shared_ptr<RunState> state);
+  void Finish(std::shared_ptr<RunState> state);
+
+  Simulation* sim_;
+  FaultEngine* engine_;
+  CpuModel* cpu_;
+  int vcpus_;
+  AccessObserver observer_;
+  bool running_ = false;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_VM_VM_H_

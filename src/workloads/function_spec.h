@@ -1,0 +1,88 @@
+// The Table 2 function catalog.
+//
+// Each of the paper's twelve functions is described by how it uses guest memory,
+// which is all that snapshot restore can observe:
+//
+//   stable_pages — persistent pages re-read every invocation: the Python runtime,
+//       Flask, libraries, function code, and long-lived data (read-list's 512 MiB
+//       list, recognition's ResNet-50 weights). Non-zero in every snapshot.
+//   input pages  — transient, input-dependent pages: a content-seeded subset of a
+//       window that scales with input size (decoded images, parsed JSON, graph
+//       structures). Freed when the invocation ends.
+//   anon pages   — large sequential anonymous allocations (the mmap function's
+//       512 MiB region, ffmpeg frame buffers, matmul matrices). Freed at the end.
+//   compute      — CPU time, spread across the accesses.
+//
+// Sizes are set so the input-A/B working sets match Table 2. Compute budgets are
+// set so Warm execution times land near Figure 1/6 (hello-world ~4 ms, image
+// ~100 ms, ...); absolute times are documented per-experiment in EXPERIMENTS.md.
+
+#ifndef FAASNAP_SRC_WORKLOADS_FUNCTION_SPEC_H_
+#define FAASNAP_SRC_WORKLOADS_FUNCTION_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace faasnap {
+
+// Per-input workload parameters (one column of Table 2).
+struct InputProfile {
+  uint64_t input_pages = 0;  // selective transient pages in the window zone
+  uint64_t anon_pages = 0;   // sequential transient pages in the scratch zone
+  Duration compute;          // total CPU time for this input
+};
+
+struct FunctionSpec {
+  std::string name;
+  std::string description;
+  uint64_t stable_pages = 0;
+  // How many of the stable pages are accessed in scattered (library/runtime) order
+  // rather than sequentially; the rest model linear data reads.
+  uint64_t scattered_stable_pages = 0;
+  // Window size = window_factor * input_pages: lower density = sparser access
+  // pattern (image is sparse; json is dense).
+  double window_factor = 2.0;
+  InputProfile input_a;
+  InputProfile input_b;
+  // compute(ratio) = compute_a * ratio^compute_exponent for the Figure 8 sweep.
+  double compute_exponent = 1.0;
+  // Fraction of compute performed after the data has been read (0 = uniformly
+  // interleaved). Data-scan functions (read-list, recognition) read pages in a
+  // tight loop and process afterwards — which is why their guests outrun the
+  // FaaSnap loader and Cached wins for them (section 6.2).
+  double trailing_compute_fraction = 0.0;
+  // Fraction of the anon (scratch) pages the guest kernel gets back when the
+  // invocation ends — i.e. what freed-page sanitization can zero (section 4.5).
+  // mmap munmaps everything (1.0); ffmpeg's recycled frame buffers mostly stay
+  // with the process allocator (paper Table 3: FaaSnap still fetches 146 MB for
+  // ffmpeg). Window (small-object heap) pages are always retained: Python arenas
+  // are not returned to the kernel.
+  double anon_freed_fraction = 1.0;
+  // True for functions whose record and test inputs are identical (the three
+  // synthetic functions of Figure 7).
+  bool fixed_input = false;
+
+  // Approximate working set in pages for an input (stable + transient).
+  uint64_t WorkingSetPages(const InputProfile& input) const {
+    return stable_pages + input.input_pages + input.anon_pages;
+  }
+};
+
+// The twelve evaluation functions, in Table 2 order.
+const std::vector<FunctionSpec>& FunctionCatalog();
+
+// Lookup by name; InvalidArgument if unknown.
+Result<FunctionSpec> FindFunction(const std::string& name);
+
+// Names of the nine variable-input benchmark functions (Figure 6/8) and the three
+// synthetic fixed-input functions (Figure 7).
+std::vector<std::string> BenchmarkFunctionNames();
+std::vector<std::string> SyntheticFunctionNames();
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_WORKLOADS_FUNCTION_SPEC_H_

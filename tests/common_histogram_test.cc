@@ -1,0 +1,120 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+Log2Histogram Fig2Histogram() { return Log2Histogram(/*lower_ns=*/500, /*num_buckets=*/11); }
+
+TEST(Log2Histogram, EmptyState) {
+  Log2Histogram h = Fig2Histogram();
+  EXPECT_EQ(h.total_count(), 0);
+  EXPECT_EQ(h.total_time(), Duration::Zero());
+  EXPECT_EQ(h.mean(), Duration::Zero());
+}
+
+TEST(Log2Histogram, BucketEdgesDouble) {
+  Log2Histogram h = Fig2Histogram();
+  EXPECT_EQ(h.bucket_upper_ns(0), 500);
+  EXPECT_EQ(h.bucket_upper_ns(1), 1000);
+  EXPECT_EQ(h.bucket_upper_ns(2), 2000);
+  EXPECT_EQ(h.bucket_upper_ns(10), 512000);
+  EXPECT_EQ(h.bucket_upper_ns(h.num_buckets() - 1), INT64_MAX);
+}
+
+TEST(Log2Histogram, RecordsIntoCorrectBuckets) {
+  Log2Histogram h = Fig2Histogram();
+  h.Record(Duration::Nanos(100));    // < 0.5us -> bucket 0
+  h.Record(Duration::Nanos(499));    // bucket 0
+  h.Record(Duration::Nanos(500));    // [0.5us, 1us) -> bucket 1
+  h.Record(Duration::Micros(3));     // [2us,4us) -> bucket 3
+  h.Record(Duration::Micros(600));   // > 512us -> overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(h.bucket_count(h.num_buckets() - 1), 1);
+  EXPECT_EQ(h.total_count(), 5);
+}
+
+TEST(Log2Histogram, MeanAndTotal) {
+  Log2Histogram h = Fig2Histogram();
+  h.Record(Duration::Micros(2));
+  h.Record(Duration::Micros(4));
+  EXPECT_EQ(h.total_time(), Duration::Micros(6));
+  EXPECT_EQ(h.mean(), Duration::Micros(3));
+}
+
+TEST(Log2Histogram, Merge) {
+  Log2Histogram a = Fig2Histogram();
+  Log2Histogram b = Fig2Histogram();
+  a.Record(Duration::Micros(1));
+  b.Record(Duration::Micros(1));
+  b.Record(Duration::Micros(100));
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 3);
+  EXPECT_EQ(a.total_time(), Duration::Micros(102));
+}
+
+TEST(Log2Histogram, ApproxQuantile) {
+  Log2Histogram h = Fig2Histogram();
+  for (int i = 0; i < 90; ++i) h.Record(Duration::Micros(3));   // bucket [2,4)us
+  for (int i = 0; i < 10; ++i) h.Record(Duration::Micros(100)); // bucket [64,128)us
+  EXPECT_EQ(h.ApproxQuantile(0.5), Duration::Micros(4));
+  EXPECT_EQ(h.ApproxQuantile(0.9), Duration::Micros(4));
+  EXPECT_EQ(h.ApproxQuantile(0.95), Duration::Micros(128));
+}
+
+TEST(Log2Histogram, ResetClearsEverything) {
+  Log2Histogram h = Fig2Histogram();
+  h.Record(Duration::Micros(5));
+  h.Reset();
+  EXPECT_EQ(h.total_count(), 0);
+  EXPECT_EQ(h.total_time(), Duration::Zero());
+}
+
+TEST(Log2Histogram, ToStringContainsBars) {
+  Log2Histogram h = Fig2Histogram();
+  for (int i = 0; i < 100; ++i) h.Record(Duration::Micros(3));
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("#"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+TEST(RunningStats, Basic) {
+  RunningStats s;
+  s.Record(1.0);
+  s.Record(3.0);
+  s.Record(5.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.632993, 1e-5);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, Merge) {
+  RunningStats a;
+  a.Record(1.0);
+  RunningStats b;
+  b.Record(3.0);
+  b.Record(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 3);
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,110 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad page");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad page");
+}
+
+TEST(Status, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(IoError("").code(), StatusCode::kIoError);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailsWhenNegative(int v) {
+  if (v < 0) {
+    return InvalidArgumentError("negative");
+  }
+  return OkStatus();
+}
+
+Status PropagationTarget(int v) {
+  RETURN_IF_ERROR(FailsWhenNegative(v));
+  return OkStatus();
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(PropagationTarget(1).ok());
+  EXPECT_EQ(PropagationTarget(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> MakeValue(int v) {
+  if (v < 0) {
+    return OutOfRangeError("negative");
+  }
+  return v * 2;
+}
+
+Result<int> AssignTarget(int v) {
+  ASSIGN_OR_RETURN(int doubled, MakeValue(v));
+  return doubled + 1;
+}
+
+TEST(Macros, AssignOrReturnAssignsAndPropagates) {
+  Result<int> ok = AssignTarget(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 11);
+  Result<int> err = AssignTarget(-5);
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CheckMacros, PassingCheckDoesNotAbort) {
+  FAASNAP_CHECK(1 + 1 == 2);
+  FAASNAP_CHECK_OK(OkStatus());
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(FAASNAP_CHECK(false), "FAASNAP_CHECK failed");
+  EXPECT_DEATH(FAASNAP_CHECK_OK(InternalError("boom")), "boom");
+}
+
+}  // namespace
+}  // namespace faasnap

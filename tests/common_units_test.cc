@@ -1,0 +1,79 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+
+namespace faasnap {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(kPageSize, 4096u);
+}
+
+TEST(Units, Helpers) {
+  EXPECT_EQ(KiB(4), 4096u);
+  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
+  EXPECT_EQ(GiB(2), 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, BytesToPagesRoundsUp) {
+  EXPECT_EQ(BytesToPages(0), 0u);
+  EXPECT_EQ(BytesToPages(1), 1u);
+  EXPECT_EQ(BytesToPages(4096), 1u);
+  EXPECT_EQ(BytesToPages(4097), 2u);
+  EXPECT_EQ(BytesToPages(MiB(1)), 256u);
+}
+
+TEST(Units, PagesToBytes) {
+  EXPECT_EQ(PagesToBytes(256), MiB(1));
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(100), "100 B");
+  EXPECT_EQ(FormatBytes(KiB(4)), "4.00 KiB");
+  EXPECT_EQ(FormatBytes(MiB(12)), "12.0 MiB");
+  EXPECT_EQ(FormatBytes(GiB(2)), "2.00 GiB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(FormatDuration(250), "250 ns");
+  EXPECT_EQ(FormatDuration(3700), "3.70 us");
+  EXPECT_EQ(FormatDuration(35700000), "35.7 ms");
+  EXPECT_EQ(FormatDuration(1204000000), "1.20 s");
+  EXPECT_EQ(FormatDuration(-3700), "-3.70 us");
+}
+
+TEST(SimTime, DurationConstructorsAndAccessors) {
+  EXPECT_EQ(Duration::Micros(3).nanos(), 3000);
+  EXPECT_EQ(Duration::Millis(2).nanos(), 2000000);
+  EXPECT_EQ(Duration::Seconds(1).nanos(), 1000000000);
+  EXPECT_DOUBLE_EQ(Duration::Micros(5).micros(), 5.0);
+  EXPECT_DOUBLE_EQ(Duration::Millis(5).millis(), 5.0);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(5).seconds(), 5.0);
+}
+
+TEST(SimTime, DurationArithmetic) {
+  Duration d = Duration::Micros(10) + Duration::Micros(5);
+  EXPECT_EQ(d, Duration::Micros(15));
+  d -= Duration::Micros(5);
+  EXPECT_EQ(d, Duration::Micros(10));
+  EXPECT_EQ(d * 3, Duration::Micros(30));
+  EXPECT_EQ(d / 2, Duration::Micros(5));
+  EXPECT_LT(Duration::Micros(1), Duration::Micros(2));
+}
+
+TEST(SimTime, TimePointArithmetic) {
+  SimTime t = SimTime::FromNanos(1000);
+  SimTime u = t + Duration::Micros(1);
+  EXPECT_EQ(u.nanos(), 2000);
+  EXPECT_EQ(u - t, Duration::Nanos(1000));
+  EXPECT_LT(t, u);
+  EXPECT_EQ(Max(t, u), u);
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,139 @@
+#include "src/core/host_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+PlatformConfig TestConfig() {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.0;
+  config.disk = disk;
+  return config;
+}
+
+TEST(ZipfArrivals, SkewsTowardLowRanks) {
+  std::vector<Arrival> arrivals = ZipfArrivals(8, 4000, 1.2, Duration::Seconds(1), 42);
+  ASSERT_EQ(arrivals.size(), 4000u);
+  std::vector<int> counts(8, 0);
+  for (const Arrival& a : arrivals) {
+    ASSERT_LT(a.function_index, 8u);
+    EXPECT_GT(a.gap, Duration::Zero());
+    counts[a.function_index]++;
+  }
+  EXPECT_GT(counts[0], counts[3]);
+  EXPECT_GT(counts[3], counts[7]);
+  EXPECT_GT(counts[0], 4000 / 4);  // rank 1 dominates
+}
+
+TEST(ZipfArrivals, DeterministicPerSeed) {
+  auto a = ZipfArrivals(4, 50, 1.0, Duration::Seconds(5), 7);
+  auto b = ZipfArrivals(4, 50, 1.0, Duration::Seconds(5), 7);
+  auto c = ZipfArrivals(4, 50, 1.0, Duration::Seconds(5), 8);
+  EXPECT_EQ(a[10].function_index, b[10].function_index);
+  EXPECT_EQ(a[10].gap, b[10].gap);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || a[i].function_index != c[i].function_index;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class HostSchedulerTest : public ::testing::Test {
+ protected:
+  HostSchedulerTest() : platform_(TestConfig()) {}
+
+  HostScheduler MakeScheduler(uint64_t budget, RestoreMode miss_mode,
+                              Duration keep_warm = Duration::Seconds(600)) {
+    HostSchedulerConfig config;
+    config.warm_pool_budget_bytes = budget;
+    config.keep_warm = keep_warm;
+    config.miss_mode = miss_mode;
+    return HostScheduler(&platform_, config);
+  }
+
+  Platform platform_;
+};
+
+TEST_F(HostSchedulerTest, AmpleBudgetKeepsEverythingWarm) {
+  HostScheduler scheduler = MakeScheduler(GiB(2), RestoreMode::kFaasnap);
+  scheduler.AddFunction(*FindFunction("json"));
+  scheduler.AddFunction(*FindFunction("image"));
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 12; ++i) {
+    arrivals.push_back(Arrival{static_cast<size_t>(i % 2), Duration::Seconds(1)});
+  }
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  EXPECT_EQ(stats.invocations, 12);
+  EXPECT_EQ(stats.misses, 2);  // first touch of each function only
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.per_function_invocations[0], 6);
+  EXPECT_EQ(stats.per_function_hits[0], 5);
+}
+
+TEST_F(HostSchedulerTest, TightBudgetEvictsLru) {
+  // json (~16 MB) and image (~21 MB) cannot both stay warm in 24 MB:
+  // alternating arrivals thrash the pool.
+  HostScheduler scheduler = MakeScheduler(MiB(24), RestoreMode::kFaasnap);
+  scheduler.AddFunction(*FindFunction("json"));
+  scheduler.AddFunction(*FindFunction("image"));
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 10; ++i) {
+    arrivals.push_back(Arrival{static_cast<size_t>(i % 2), Duration::Seconds(1)});
+  }
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  EXPECT_GT(stats.evictions, 3);
+  EXPECT_LT(stats.warm_hit_rate(), 0.5);
+}
+
+TEST_F(HostSchedulerTest, KeepAliveHorizonExpiresIdleVms) {
+  HostScheduler scheduler =
+      MakeScheduler(GiB(2), RestoreMode::kFaasnap, /*keep_warm=*/Duration::Seconds(30));
+  scheduler.AddFunction(*FindFunction("json"));
+  std::vector<Arrival> arrivals = {
+      {0, Duration::Seconds(1)},
+      {0, Duration::Seconds(5)},    // warm hit
+      {0, Duration::Seconds(120)},  // expired
+  };
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  EXPECT_EQ(stats.warm_hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.expirations, 1);
+}
+
+TEST_F(HostSchedulerTest, MissPathDeterminesMissLatency) {
+  HostScheduler faasnap_sched = MakeScheduler(MiB(1), RestoreMode::kFaasnap);
+  faasnap_sched.AddFunction(*FindFunction("json"));
+  std::vector<Arrival> arrivals(4, Arrival{0, Duration::Seconds(2)});
+  HostSchedulerStats faasnap_stats = faasnap_sched.Run(arrivals);
+
+  Platform cold_platform(TestConfig());
+  HostSchedulerConfig cold_config;
+  cold_config.warm_pool_budget_bytes = MiB(1);  // nothing fits: all misses
+  cold_config.miss_mode = RestoreMode::kColdBoot;
+  HostScheduler cold_sched(&cold_platform, cold_config);
+  cold_sched.AddFunction(*FindFunction("json"));
+  HostSchedulerStats cold_stats = cold_sched.Run(arrivals);
+
+  EXPECT_EQ(faasnap_stats.misses, 4);  // 1 MiB pool: every arrival misses
+  EXPECT_EQ(cold_stats.misses, 4);
+  EXPECT_GT(cold_stats.miss_latency_ms.mean(), 10 * faasnap_stats.miss_latency_ms.mean());
+}
+
+TEST_F(HostSchedulerTest, PoolBytesTrackWarmVms) {
+  HostScheduler scheduler = MakeScheduler(GiB(2), RestoreMode::kFaasnap);
+  scheduler.AddFunction(*FindFunction("json"));
+  std::vector<Arrival> arrivals(5, Arrival{0, Duration::Seconds(10)});
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  // The warm VM pins ~its working set on average once resident.
+  const double ws = static_cast<double>(
+      PagesToBytes(scheduler.snapshot(0).record_touched.page_count()));
+  EXPECT_GT(stats.avg_pool_bytes, ws * 0.5);
+  EXPECT_LT(stats.avg_pool_bytes, ws * 1.5);
+}
+
+}  // namespace
+}  // namespace faasnap

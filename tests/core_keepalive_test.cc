@@ -1,0 +1,115 @@
+#include "src/core/keepalive.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+PlatformConfig TestConfig() {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.0;
+  config.disk = disk;
+  return config;
+}
+
+TEST(PoissonArrivalGaps, MeanIsApproximatelyRight) {
+  const std::vector<Duration> gaps = PoissonArrivalGaps(Duration::Seconds(10), 2000, 7);
+  ASSERT_EQ(gaps.size(), 2000u);
+  double sum = 0;
+  for (const Duration& g : gaps) {
+    EXPECT_GT(g, Duration::Zero());
+    sum += g.seconds();
+  }
+  EXPECT_NEAR(sum / 2000.0, 10.0, 1.0);
+}
+
+TEST(PoissonArrivalGaps, DeterministicPerSeed) {
+  const auto a = PoissonArrivalGaps(Duration::Seconds(5), 10, 1);
+  const auto b = PoissonArrivalGaps(Duration::Seconds(5), 10, 1);
+  const auto c = PoissonArrivalGaps(Duration::Seconds(5), 10, 2);
+  EXPECT_EQ(a[3], b[3]);
+  EXPECT_NE(a[3], c[3]);
+}
+
+class KeepAliveTest : public ::testing::Test {
+ protected:
+  KeepAliveTest()
+      : platform_(TestConfig()),
+        spec_(*FindFunction("json")),
+        generator_(spec_, platform_.config().layout),
+        snapshot_(platform_.Record(generator_, MakeInputA(spec_))),
+        simulator_(&platform_, &snapshot_, &generator_) {}
+
+  Platform platform_;
+  FunctionSpec spec_;
+  TraceGenerator generator_;
+  FunctionSnapshot snapshot_;
+  KeepAliveSimulator simulator_;
+};
+
+TEST_F(KeepAliveTest, FrequentArrivalsHitWarm) {
+  KeepAliveConfig config;
+  config.keep_warm = Duration::Seconds(600);
+  config.miss_mode = RestoreMode::kFaasnap;
+  // 1-second gaps: everything after the first invocation is warm.
+  std::vector<Duration> gaps(10, Duration::Seconds(1));
+  KeepAliveStats stats = simulator_.Run(gaps, config);
+  EXPECT_EQ(stats.invocations, 10);
+  EXPECT_EQ(stats.misses, 1);  // the very first
+  EXPECT_EQ(stats.warm_hits, 9);
+  EXPECT_GT(stats.avg_warm_resident_bytes, 0.0);
+}
+
+TEST_F(KeepAliveTest, SparseArrivalsAlwaysMiss) {
+  KeepAliveConfig config;
+  config.keep_warm = Duration::Seconds(60);
+  config.miss_mode = RestoreMode::kFaasnap;
+  std::vector<Duration> gaps(5, Duration::Seconds(3600));  // hourly
+  KeepAliveStats stats = simulator_.Run(gaps, config);
+  EXPECT_EQ(stats.warm_hits, 0);
+  EXPECT_EQ(stats.misses, 5);
+  // Idle memory is bounded by the keep-warm window, not the whole hour.
+  const double ws_bytes = static_cast<double>(PagesToBytes(snapshot_.record_touched.page_count()));
+  EXPECT_LT(stats.avg_warm_resident_bytes, ws_bytes * 0.05);
+}
+
+TEST_F(KeepAliveTest, WarmHitsAreFasterThanMisses) {
+  KeepAliveConfig config;
+  config.keep_warm = Duration::Seconds(600);
+  config.miss_mode = RestoreMode::kFaasnap;
+  std::vector<Duration> gaps(6, Duration::Seconds(1));
+  KeepAliveStats stats = simulator_.Run(gaps, config);
+  // The first (miss) is the max; warm hits pull the mean well below it.
+  EXPECT_LT(stats.latency_ms.min(), stats.latency_ms.max() * 0.8);
+}
+
+TEST_F(KeepAliveTest, ColdBootMissesAreOrdersOfMagnitudeSlower) {
+  KeepAliveConfig faasnap_cfg{.keep_warm = Duration::Seconds(1), .miss_mode = RestoreMode::kFaasnap};
+  KeepAliveConfig cold_cfg{.keep_warm = Duration::Seconds(1), .miss_mode = RestoreMode::kColdBoot};
+  std::vector<Duration> gaps(3, Duration::Seconds(100));  // all misses
+  KeepAliveStats faasnap_stats = simulator_.Run(gaps, faasnap_cfg);
+  KeepAliveStats cold_stats = simulator_.Run(gaps, cold_cfg);
+  EXPECT_GT(cold_stats.latency_ms.mean(), 10.0 * faasnap_stats.latency_ms.mean());
+  EXPECT_GT(cold_stats.latency_ms.mean(), 2000.0);  // boot + init is seconds
+}
+
+TEST_F(KeepAliveTest, HitRateHelper) {
+  KeepAliveStats stats;
+  EXPECT_DOUBLE_EQ(stats.warm_hit_rate(), 0.0);
+  stats.invocations = 4;
+  stats.warm_hits = 3;
+  EXPECT_DOUBLE_EQ(stats.warm_hit_rate(), 0.75);
+}
+
+TEST(ColdBootMode, NameAndPolicyExist) {
+  EXPECT_EQ(RestoreModeName(RestoreMode::kColdBoot), "cold-boot");
+  auto policy = RestorePolicy::Create(RestoreMode::kColdBoot);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->mode(), RestoreMode::kColdBoot);
+}
+
+}  // namespace
+}  // namespace faasnap

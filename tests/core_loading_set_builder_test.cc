@@ -1,0 +1,129 @@
+#include "src/core/loading_set_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+WorkingSetGroups MakeGroups(std::vector<std::vector<PageRange>> groups) {
+  WorkingSetGroups out;
+  for (const auto& ranges : groups) {
+    PageRangeSet set;
+    for (const PageRange& r : ranges) {
+      set.Add(r);
+    }
+    out.groups.push_back(std::move(set));
+  }
+  return out;
+}
+
+MemoryFile MakeMemory(std::vector<PageRange> nonzero, uint64_t total = 100000) {
+  MemoryFile mem;
+  mem.total_pages = total;
+  for (const PageRange& r : nonzero) {
+    mem.nonzero.Add(r);
+  }
+  return mem;
+}
+
+TEST(LoadingSetBuilder, LoadingSetIsWorkingSetIntersectNonZero) {
+  WorkingSetGroups groups = MakeGroups({{{0, 100}}});
+  MemoryFile mem = MakeMemory({{0, 50}});  // pages 50-99 are zero
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  EXPECT_EQ(ls.total_pages, 50u);
+  ASSERT_EQ(ls.regions.size(), 1u);
+  EXPECT_EQ(ls.regions[0].guest, (PageRange{0, 50}));
+}
+
+TEST(LoadingSetBuilder, ZeroWorkingSetPagesAreExcluded) {
+  // Section 4.6: "the loader does not need to prefetch the zero regions".
+  WorkingSetGroups groups = MakeGroups({{{0, 10}, {5000, 10}}});
+  MemoryFile mem = MakeMemory({{0, 10}});  // the 5000s are zero (released set)
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  EXPECT_EQ(ls.total_pages, 10u);
+  EXPECT_FALSE(ls.GuestPages().Contains(5000));
+}
+
+TEST(LoadingSetBuilder, MergesRegionsWithin32Pages) {
+  WorkingSetGroups groups = MakeGroups({{{0, 4}, {20, 4}, {100, 4}}});
+  MemoryFile mem = MakeMemory({{0, 1000}});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem);  // default threshold 32
+  ASSERT_EQ(ls.regions.size(), 2u);
+  // First two regions merged, gap pages included.
+  EXPECT_EQ(ls.regions[0].guest, (PageRange{0, 24}));
+  EXPECT_EQ(ls.regions[1].guest, (PageRange{100, 4}));
+  EXPECT_EQ(ls.total_pages, 28u);
+}
+
+TEST(LoadingSetBuilder, RegionsSortedByGroupThenAddress) {
+  // Group 1 contains a low address; group 0 contains a high address: the file
+  // must order by group first so the loader follows access order.
+  WorkingSetGroups groups = MakeGroups({{{5000, 8}}, {{100, 8}}});
+  MemoryFile mem = MakeMemory({{0, 100000}});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  ASSERT_EQ(ls.regions.size(), 2u);
+  EXPECT_EQ(ls.regions[0].guest.first, 5000u);
+  EXPECT_EQ(ls.regions[0].group, 0u);
+  EXPECT_EQ(ls.regions[1].guest.first, 100u);
+  EXPECT_EQ(ls.regions[1].group, 1u);
+}
+
+TEST(LoadingSetBuilder, WithinGroupSortedByAddress) {
+  WorkingSetGroups groups = MakeGroups({{{9000, 4}, {100, 4}, {4000, 4}}});
+  MemoryFile mem = MakeMemory({{0, 100000}});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  ASSERT_EQ(ls.regions.size(), 3u);
+  EXPECT_EQ(ls.regions[0].guest.first, 100u);
+  EXPECT_EQ(ls.regions[1].guest.first, 4000u);
+  EXPECT_EQ(ls.regions[2].guest.first, 9000u);
+}
+
+TEST(LoadingSetBuilder, FileOffsetsArePackedContiguously) {
+  WorkingSetGroups groups = MakeGroups({{{0, 10}, {1000, 20}, {5000, 5}}});
+  MemoryFile mem = MakeMemory({{0, 100000}});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  ASSERT_EQ(ls.regions.size(), 3u);
+  EXPECT_EQ(ls.regions[0].file_start, 0u);
+  EXPECT_EQ(ls.regions[1].file_start, 10u);
+  EXPECT_EQ(ls.regions[2].file_start, 30u);
+  EXPECT_EQ(ls.total_pages, 35u);
+}
+
+TEST(LoadingSetBuilder, MergedRegionTakesLowestGroup) {
+  // A merged region spanning pages from groups 0 and 1 is assigned group 0
+  // ("the lowest group number of any page in the region").
+  WorkingSetGroups groups = MakeGroups({{{0, 4}}, {{10, 4}}});
+  MemoryFile mem = MakeMemory({{0, 1000}});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 32});
+  ASSERT_EQ(ls.regions.size(), 1u);
+  EXPECT_EQ(ls.regions[0].group, 0u);
+  EXPECT_EQ(ls.regions[0].guest, (PageRange{0, 14}));
+}
+
+TEST(LoadingSetBuilder, MergeReducesRegionCountDramatically) {
+  // The hello-world observation (section 4.6): >1000 scattered regions collapse
+  // to <100 with the 32-page threshold, at a small size cost.
+  WorkingSetGroups groups;
+  PageRangeSet g;
+  for (PageIndex p = 0; p < 3000; p += 3) {
+    g.Add(p, 1);  // 1000 single-page regions with 2-page gaps
+  }
+  groups.groups.push_back(g);
+  MemoryFile mem = MakeMemory({{0, 100000}});
+  LoadingSetFile merged = BuildLoadingSet(groups, mem, {.merge_gap_pages = 32});
+  LoadingSetFile unmerged = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  EXPECT_EQ(unmerged.regions.size(), 1000u);
+  EXPECT_EQ(merged.regions.size(), 1u);
+  // Size grows (gap pages included) but stays bounded.
+  EXPECT_GT(merged.total_pages, unmerged.total_pages);
+  EXPECT_LE(merged.total_pages, 3u * unmerged.total_pages);
+}
+
+TEST(LoadingSetBuilder, EmptyInputsYieldEmptyFile) {
+  LoadingSetFile ls = BuildLoadingSet(WorkingSetGroups{}, MakeMemory({{0, 10}}));
+  EXPECT_TRUE(ls.regions.empty());
+  EXPECT_EQ(ls.total_pages, 0u);
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,124 @@
+#include "src/core/recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+constexpr FileId kMemFile = 1;
+
+TEST(FaasnapRecorder, GroupsFormEveryGroupSizePages) {
+  PageCache cache;
+  FaasnapRecorder recorder(&cache, kMemFile, /*group_size=*/4);
+  for (PageIndex p = 0; p < 10; ++p) {
+    recorder.OnAccess(p, FaultClass::kMajor);
+  }
+  WorkingSetGroups groups = recorder.Finish();
+  // 10 pages, group size 4: scans at 4, 8, and the final scan catches the rest.
+  ASSERT_EQ(groups.groups.size(), 3u);
+  EXPECT_EQ(groups.groups[0].page_count(), 4u);
+  EXPECT_EQ(groups.groups[1].page_count(), 4u);
+  EXPECT_EQ(groups.groups[2].page_count(), 2u);
+  EXPECT_EQ(groups.total_pages(), 10u);
+}
+
+TEST(FaasnapRecorder, NoFaultAccessesDoNotAdvanceRss) {
+  PageCache cache;
+  FaasnapRecorder recorder(&cache, kMemFile, /*group_size=*/2);
+  recorder.OnAccess(0, FaultClass::kMinor);
+  for (int i = 0; i < 10; ++i) {
+    recorder.OnAccess(0, FaultClass::kNoFault);  // repeat accesses
+  }
+  WorkingSetGroups groups = recorder.Finish();
+  ASSERT_EQ(groups.groups.size(), 1u);
+  EXPECT_EQ(groups.total_pages(), 1u);
+  EXPECT_EQ(recorder.scan_count(), 1u);
+}
+
+// Host page recording (section 4.4): pages readahead pulled into the page cache
+// are recorded even though the guest never faulted on them.
+TEST(FaasnapRecorder, MincoreScanIncludesReadaheadPages) {
+  PageCache cache;
+  FaasnapRecorder recorder(&cache, kMemFile, /*group_size=*/2);
+  recorder.OnAccess(100, FaultClass::kMajor);
+  // Readahead cached [100, 116) even though only page 100 faulted.
+  cache.Insert(kMemFile, PageRange{100, 16});
+  recorder.OnAccess(101, FaultClass::kMinor);  // triggers scan (2 new resident)
+  WorkingSetGroups groups = recorder.Finish();
+  PageRangeSet all = groups.AllPages();
+  EXPECT_EQ(all.page_count(), 16u);
+  EXPECT_TRUE(all.Contains(110));  // never accessed, recorded via mincore
+}
+
+TEST(FaasnapRecorder, PagesAreRecordedOnlyOnce) {
+  PageCache cache;
+  FaasnapRecorder recorder(&cache, kMemFile, /*group_size=*/2);
+  cache.Insert(kMemFile, PageRange{0, 4});
+  recorder.OnAccess(0, FaultClass::kMinor);
+  recorder.OnAccess(1, FaultClass::kMinor);  // scan 1: pages 0-3
+  recorder.OnAccess(2, FaultClass::kNoFault);
+  recorder.OnAccess(3, FaultClass::kNoFault);
+  recorder.OnAccess(50, FaultClass::kMajor);
+  recorder.OnAccess(51, FaultClass::kMajor);  // scan 2: pages 50,51
+  WorkingSetGroups groups = recorder.Finish();
+  ASSERT_GE(groups.groups.size(), 2u);
+  // No page appears in two groups.
+  uint64_t sum = 0;
+  for (const PageRangeSet& g : groups.groups) {
+    sum += g.page_count();
+  }
+  EXPECT_EQ(sum, groups.AllPages().page_count());
+}
+
+TEST(FaasnapRecorder, GroupOrderTracksAccessOrder) {
+  PageCache cache;
+  FaasnapRecorder recorder(&cache, kMemFile, /*group_size=*/2);
+  recorder.OnAccess(1000, FaultClass::kMajor);
+  recorder.OnAccess(1001, FaultClass::kMajor);  // scan -> group 0
+  recorder.OnAccess(5, FaultClass::kMajor);
+  recorder.OnAccess(6, FaultClass::kMajor);  // scan -> group 1
+  WorkingSetGroups groups = recorder.Finish();
+  ASSERT_EQ(groups.groups.size(), 2u);
+  EXPECT_TRUE(groups.groups[0].Contains(1000));
+  EXPECT_TRUE(groups.groups[1].Contains(5));
+  // Lower address, later group: order is access order, not address order.
+  EXPECT_EQ(groups.LowestGroupFor(PageRange{1000, 2}), 0u);
+  EXPECT_EQ(groups.LowestGroupFor(PageRange{5, 2}), 1u);
+}
+
+TEST(FaasnapRecorder, EmptyRunYieldsNoGroups) {
+  PageCache cache;
+  FaasnapRecorder recorder(&cache, kMemFile);
+  WorkingSetGroups groups = recorder.Finish();
+  EXPECT_TRUE(groups.groups.empty());
+  EXPECT_EQ(groups.total_pages(), 0u);
+}
+
+TEST(ReapRecorder, RecordsFaultOrder) {
+  ReapRecorder recorder;
+  recorder.OnAccess(500, FaultClass::kMajor);
+  recorder.OnAccess(3, FaultClass::kMinor);
+  recorder.OnAccess(500, FaultClass::kNoFault);  // repeat: ignored
+  recorder.OnAccess(100, FaultClass::kAnonymous);
+  ReapWorkingSetFile ws = std::move(recorder).Finish();
+  EXPECT_EQ(ws.guest_pages, (std::vector<PageIndex>{500, 3, 100}));
+  EXPECT_EQ(ws.size_pages(), 3u);
+}
+
+TEST(ReapRecorder, DoesNotSeeReadaheadPages) {
+  // The contrast with host page recording: REAP tracks only faulting pages.
+  ReapRecorder recorder;
+  recorder.OnAccess(100, FaultClass::kMajor);
+  // (readahead caches 101-115 — invisible to userfaultfd tracking)
+  ReapWorkingSetFile ws = std::move(recorder).Finish();
+  EXPECT_EQ(ws.size_pages(), 1u);
+}
+
+TEST(ReapRecorder, IgnoresNoFaultAccesses) {
+  ReapRecorder recorder;
+  recorder.OnAccess(1, FaultClass::kNoFault);
+  EXPECT_EQ(recorder.recorded_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/daemon/experiment_config.h"
+#include "src/daemon/experiment_runner.h"
+
+namespace faasnap {
+namespace {
+
+Result<ExperimentConfig> Parse(const std::string& text) {
+  ASSIGN_OR_RETURN(JsonValue root, ParseJson(text));
+  return ParseExperimentConfig(root);
+}
+
+TEST(ExperimentConfig, MinimalConfigGetsDefaults) {
+  Result<ExperimentConfig> config = Parse(R"({"functions": ["json"]})");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->functions, std::vector<std::string>{"json"});
+  EXPECT_EQ(config->systems.size(), 4u);  // the four paper systems
+  EXPECT_EQ(config->reps, 3);
+  EXPECT_EQ(config->parallelism, 1);
+  ASSERT_EQ(config->test_inputs.size(), 1u);
+  EXPECT_EQ(config->test_inputs[0].kind, TestInputSpec::Kind::kInputB);
+  EXPECT_EQ(config->platform.disk.name, "nvme-ssd");
+}
+
+TEST(ExperimentConfig, FullConfigParses) {
+  Result<ExperimentConfig> config = Parse(R"({
+    "name": "custom",
+    "functions": ["json", "image"],
+    "systems": ["faasnap", "reap"],
+    "record_input": "B",
+    "test_inputs": ["A", "2x", "0.5x"],
+    "reps": 5,
+    "parallelism": 4,
+    "device": "ebs",
+    "ws_group_size": 256,
+    "merge_gap_pages": 16,
+    "base_seed": 9
+  })");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->name, "custom");
+  EXPECT_EQ(config->systems,
+            (std::vector<RestoreMode>{RestoreMode::kFaasnap, RestoreMode::kReap}));
+  EXPECT_EQ(config->record_input.kind, TestInputSpec::Kind::kInputB);
+  ASSERT_EQ(config->test_inputs.size(), 3u);
+  EXPECT_EQ(config->test_inputs[1].kind, TestInputSpec::Kind::kRatio);
+  EXPECT_DOUBLE_EQ(config->test_inputs[1].ratio, 2.0);
+  EXPECT_DOUBLE_EQ(config->test_inputs[2].ratio, 0.5);
+  EXPECT_EQ(config->platform.disk.name, "ebs-io2");
+  EXPECT_EQ(config->platform.ws_group_size, 256u);
+  EXPECT_EQ(config->platform.loading_set.merge_gap_pages, 16u);
+  EXPECT_EQ(config->base_seed, 9u);
+}
+
+TEST(ExperimentConfig, RejectsBadInput) {
+  EXPECT_FALSE(Parse(R"({})").ok());                                   // no functions
+  EXPECT_FALSE(Parse(R"({"functions": []})").ok());                    // empty
+  EXPECT_FALSE(Parse(R"({"functions": ["nope"]})").ok());              // unknown fn
+  EXPECT_FALSE(Parse(R"({"functions":["json"],"systems":["x"]})").ok());
+  EXPECT_FALSE(Parse(R"({"functions":["json"],"test_inputs":["Q"]})").ok());
+  EXPECT_FALSE(Parse(R"({"functions":["json"],"device":"floppy"})").ok());
+  EXPECT_FALSE(Parse(R"({"functions":["json"],"reps":0})").ok());
+  EXPECT_FALSE(Parse(R"([1,2,3])").ok());  // root not an object
+}
+
+TEST(ExperimentConfig, LoadsTheShippedConfigs) {
+  for (const char* path :
+       {"configs/test-2inputs.json", "configs/test-6inputs.json", "configs/test-burst.json",
+        "configs/test-remote.json"}) {
+    // The test may run from the repo root, the build dir, or build/tests.
+    Result<ExperimentConfig> config = NotFoundError("unattempted");
+    for (const char* prefix : {"", "../", "../../", "../../../"}) {
+      config = LoadExperimentConfig(std::string(prefix) + path);
+      if (config.ok()) {
+        break;
+      }
+    }
+    ASSERT_TRUE(config.ok()) << path << ": " << config.status().ToString();
+    EXPECT_FALSE(config->functions.empty()) << path;
+  }
+}
+
+TEST(ExperimentRunner, RunsATinyConfigEndToEnd) {
+  Result<ExperimentConfig> config = Parse(R"({
+    "name": "tiny",
+    "functions": ["json"],
+    "systems": ["firecracker", "faasnap"],
+    "test_inputs": ["B"],
+    "reps": 2
+  })");
+  ASSERT_TRUE(config.ok());
+  Result<ExperimentResults> results = RunExperiment(*config);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->cells.size(), 2u);
+  for (const ExperimentCell& cell : results->cells) {
+    EXPECT_EQ(cell.function, "json");
+    EXPECT_EQ(cell.total_ms.count(), 2);
+    EXPECT_GT(cell.total_ms.mean(), 0.0);
+  }
+  // FaaSnap beats Firecracker in the results, as everywhere else.
+  EXPECT_LT(results->cells[1].total_ms.mean(), results->cells[0].total_ms.mean());
+  // Renderings include the cells.
+  EXPECT_NE(results->ToTable().find("faasnap"), std::string::npos);
+  const std::string json = results->ToJson();
+  EXPECT_NE(json.find("\"system\":\"faasnap\""), std::string::npos);
+  EXPECT_NE(json.find("\"reps\":2"), std::string::npos);
+}
+
+TEST(ExperimentRunner, BurstConfigAggregatesPerInvocation) {
+  Result<ExperimentConfig> config = Parse(R"({
+    "functions": ["json"],
+    "systems": ["faasnap"],
+    "test_inputs": ["A"],
+    "reps": 1,
+    "parallelism": 4
+  })");
+  ASSERT_TRUE(config.ok());
+  Result<ExperimentResults> results = RunExperiment(*config);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->cells.size(), 1u);
+  EXPECT_EQ(results->cells[0].total_ms.count(), 4);  // one sample per burst member
+}
+
+TEST(ExperimentRunner, RatioInputsScaleWork) {
+  Result<ExperimentConfig> config = Parse(R"({
+    "functions": ["image"],
+    "systems": ["faasnap"],
+    "test_inputs": ["0.5x", "4x"],
+    "reps": 1
+  })");
+  ASSERT_TRUE(config.ok());
+  Result<ExperimentResults> results = RunExperiment(*config);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->cells.size(), 2u);
+  EXPECT_LT(results->cells[0].total_ms.mean(), results->cells[1].total_ms.mean());
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,107 @@
+// Determinism: the simulation is bit-reproducible for a fixed seed, and only the
+// seeded jitter varies across seeds. Reproducibility is what makes every bench
+// result auditable.
+
+#include <gtest/gtest.h>
+
+#include "src/core/platform.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+InvocationReport RunOnce(uint64_t seed, RestoreMode mode, double jitter) {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = jitter;
+  config.disk = disk;
+  config.seed = seed;
+  Platform platform(config);
+  Result<FunctionSpec> spec = FindFunction("image");
+  FAASNAP_CHECK_OK(spec.status());
+  TraceGenerator generator(*spec, config.layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.DropCaches();
+  return platform.Invoke(snapshot, mode, generator, MakeInputB(*spec));
+}
+
+class DeterminismTest : public ::testing::TestWithParam<RestoreMode> {};
+
+TEST_P(DeterminismTest, SameSeedGivesIdenticalRuns) {
+  const RestoreMode mode = GetParam();
+  InvocationReport a = RunOnce(7, mode, /*jitter=*/0.08);
+  InvocationReport b = RunOnce(7, mode, /*jitter=*/0.08);
+  EXPECT_EQ(a.total_time(), b.total_time());
+  EXPECT_EQ(a.setup_time, b.setup_time);
+  EXPECT_EQ(a.faults.total_faults(), b.faults.total_faults());
+  EXPECT_EQ(a.faults.total_fault_time, b.faults.total_fault_time);
+  EXPECT_EQ(a.disk.read_requests, b.disk.read_requests);
+  EXPECT_EQ(a.disk.bytes_read, b.disk.bytes_read);
+  EXPECT_EQ(a.fetch_bytes, b.fetch_bytes);
+  EXPECT_EQ(a.mmap_calls, b.mmap_calls);
+}
+
+TEST_P(DeterminismTest, DifferentSeedsDifferOnlyThroughJitter) {
+  const RestoreMode mode = GetParam();
+  InvocationReport a = RunOnce(7, mode, /*jitter=*/0.08);
+  InvocationReport b = RunOnce(8, mode, /*jitter=*/0.08);
+  // Same workload: identical page behavior...
+  EXPECT_EQ(a.faults.total_faults(), b.faults.total_faults());
+  EXPECT_EQ(a.fetch_bytes, b.fetch_bytes);
+  // ...but jittered device latencies shift the disk-bound paths. For FaaSnap the
+  // guest may be fully decoupled from the disk (the loader absorbs the jitter),
+  // so check the loader's fetch time there and end-to-end time elsewhere.
+  if (mode == RestoreMode::kFaasnap) {
+    EXPECT_NE(a.fetch_time, b.fetch_time);
+  } else if (a.disk.read_requests > 0) {
+    EXPECT_NE(a.total_time(), b.total_time());
+  }
+}
+
+TEST_P(DeterminismTest, ZeroJitterIsSeedInvariant) {
+  const RestoreMode mode = GetParam();
+  InvocationReport a = RunOnce(7, mode, /*jitter=*/0.0);
+  InvocationReport b = RunOnce(8, mode, /*jitter=*/0.0);
+  EXPECT_EQ(a.total_time(), b.total_time());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DeterminismTest,
+                         ::testing::Values(RestoreMode::kFirecracker, RestoreMode::kReap,
+                                           RestoreMode::kFaasnap, RestoreMode::kCached),
+                         [](const ::testing::TestParamInfo<RestoreMode>& param_info) {
+                           std::string name(RestoreModeName(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(DeterminismBurst, AsyncInterleavingIsReproducible) {
+  auto run_burst = [](uint64_t seed) {
+    PlatformConfig config;
+    config.seed = seed;
+    Platform platform(config);
+    Result<FunctionSpec> spec = FindFunction("json");
+    FAASNAP_CHECK_OK(spec.status());
+    TraceGenerator generator(*spec, config.layout);
+    FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+    platform.DropCaches();
+    std::vector<int64_t> completions;
+    for (int i = 0; i < 8; ++i) {
+      WorkloadInput input = MakeInputA(*spec);
+      input.content_seed = 0xBEEF + static_cast<uint64_t>(i);
+      platform.InvokeAsync(snapshot, RestoreMode::kFaasnap, generator.Generate(input),
+                           [&](InvocationReport r) {
+                             completions.push_back(r.total_time().nanos());
+                           });
+    }
+    platform.sim()->Run();
+    return completions;
+  };
+  EXPECT_EQ(run_burst(3), run_burst(3));
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,128 @@
+#include "src/mem/address_space.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+constexpr FileId kMemFile = 1;
+constexpr FileId kLoadFile = 2;
+
+TEST(AddressSpace, StartsUnmappedAndNotPresent) {
+  AddressSpace space(100);
+  EXPECT_EQ(space.Resolve(0).kind, BackingKind::kUnmapped);
+  EXPECT_EQ(space.Resolve(99).kind, BackingKind::kUnmapped);
+  EXPECT_EQ(space.install_state(0), PageInstallState::kNotPresent);
+  EXPECT_EQ(space.resident_pages(), 0u);
+  EXPECT_EQ(space.mmap_call_count(), 0u);
+}
+
+TEST(AddressSpace, AnonymousBaseMapping) {
+  AddressSpace space(100);
+  space.Map({.guest = {0, 100}, .kind = BackingKind::kAnonymous});
+  EXPECT_EQ(space.Resolve(0).kind, BackingKind::kAnonymous);
+  EXPECT_EQ(space.Resolve(99).kind, BackingKind::kAnonymous);
+  EXPECT_EQ(space.mmap_call_count(), 1u);
+}
+
+TEST(AddressSpace, FileMappingTracksOffsets) {
+  AddressSpace space(100);
+  space.Map({.guest = {10, 20}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 500});
+  PageBacking b = space.Resolve(15);
+  EXPECT_EQ(b.kind, BackingKind::kFile);
+  EXPECT_EQ(b.file, kMemFile);
+  EXPECT_EQ(b.file_page, 505u);
+  EXPECT_EQ(space.Resolve(29).file_page, 519u);
+}
+
+// The Figure 4 hierarchy: anon base, memory-file regions on top, loading-set
+// regions on top of those.
+TEST(AddressSpace, HierarchicalOverlappingMappings) {
+  AddressSpace space(1000);
+  space.Map({.guest = {0, 1000}, .kind = BackingKind::kAnonymous});
+  space.Map({.guest = {100, 300}, .kind = BackingKind::kFile, .file = kMemFile,
+             .file_start = 100});
+  space.Map({.guest = {150, 50}, .kind = BackingKind::kFile, .file = kLoadFile, .file_start = 0});
+
+  EXPECT_EQ(space.Resolve(50).kind, BackingKind::kAnonymous);
+  EXPECT_EQ(space.Resolve(120).file, kMemFile);
+  EXPECT_EQ(space.Resolve(120).file_page, 120u);
+  EXPECT_EQ(space.Resolve(160).file, kLoadFile);
+  EXPECT_EQ(space.Resolve(160).file_page, 10u);
+  // After the loading-set region, the memory-file layer resumes with the right offset.
+  EXPECT_EQ(space.Resolve(200).file, kMemFile);
+  EXPECT_EQ(space.Resolve(200).file_page, 200u);
+  EXPECT_EQ(space.Resolve(399).file, kMemFile);
+  EXPECT_EQ(space.Resolve(400).kind, BackingKind::kAnonymous);
+  EXPECT_EQ(space.mmap_call_count(), 3u);
+}
+
+TEST(AddressSpace, OverlayCoveringMultipleRegions) {
+  AddressSpace space(100);
+  space.Map({.guest = {0, 10}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 0});
+  space.Map({.guest = {10, 10}, .kind = BackingKind::kFile, .file = kLoadFile, .file_start = 0});
+  space.Map({.guest = {20, 10}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 20});
+  // One anon overlay wipes all three.
+  space.Map({.guest = {0, 30}, .kind = BackingKind::kAnonymous});
+  for (PageIndex p : {0u, 10u, 20u, 29u}) {
+    EXPECT_EQ(space.Resolve(p).kind, BackingKind::kAnonymous) << p;
+  }
+}
+
+TEST(AddressSpace, OverlayAtExactBoundaryPreservesNeighbors) {
+  AddressSpace space(100);
+  space.Map({.guest = {0, 100}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 0});
+  space.Map({.guest = {40, 20}, .kind = BackingKind::kAnonymous});
+  EXPECT_EQ(space.Resolve(39).file_page, 39u);
+  EXPECT_EQ(space.Resolve(40).kind, BackingKind::kAnonymous);
+  EXPECT_EQ(space.Resolve(59).kind, BackingKind::kAnonymous);
+  EXPECT_EQ(space.Resolve(60).kind, BackingKind::kFile);
+  EXPECT_EQ(space.Resolve(60).file_page, 60u);
+}
+
+TEST(AddressSpace, OverlayToEndOfSpace) {
+  AddressSpace space(100);
+  space.Map({.guest = {0, 100}, .kind = BackingKind::kAnonymous});
+  space.Map({.guest = {90, 10}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 90});
+  EXPECT_EQ(space.Resolve(99).file_page, 99u);
+  EXPECT_EQ(space.Resolve(89).kind, BackingKind::kAnonymous);
+}
+
+TEST(AddressSpace, InstallStateTransitionsTrackResidency) {
+  AddressSpace space(100);
+  space.Map({.guest = {0, 100}, .kind = BackingKind::kAnonymous});
+  space.SetInstallState(5, PageInstallState::kPresent);
+  space.SetInstallState(6, PageInstallState::kSoftPresent);
+  EXPECT_EQ(space.resident_pages(), 2u);
+  space.SetInstallState(6, PageInstallState::kPresent);  // soft -> present: still resident
+  EXPECT_EQ(space.resident_pages(), 2u);
+  space.SetInstallState(5, PageInstallState::kNotPresent);
+  EXPECT_EQ(space.resident_pages(), 1u);
+}
+
+TEST(AddressSpace, RangeInstall) {
+  AddressSpace space(100);
+  space.SetInstallState(PageRange{10, 30}, PageInstallState::kSoftPresent);
+  EXPECT_EQ(space.resident_pages(), 30u);
+  EXPECT_EQ(space.install_state(10), PageInstallState::kSoftPresent);
+  EXPECT_EQ(space.install_state(39), PageInstallState::kSoftPresent);
+  EXPECT_EQ(space.install_state(40), PageInstallState::kNotPresent);
+}
+
+TEST(AddressSpace, ResidentAnonymousPages) {
+  AddressSpace space(100);
+  space.Map({.guest = {0, 50}, .kind = BackingKind::kAnonymous});
+  space.Map({.guest = {50, 50}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 0});
+  space.SetInstallState(PageRange{40, 20}, PageInstallState::kPresent);
+  EXPECT_EQ(space.resident_pages(), 20u);
+  EXPECT_EQ(space.resident_anonymous_pages(), 10u);  // pages 40-49 only
+}
+
+TEST(AddressSpaceDeathTest, OutOfBoundsAborts) {
+  AddressSpace space(10);
+  EXPECT_DEATH(space.Resolve(10), "FAASNAP_CHECK");
+  EXPECT_DEATH(space.Map({.guest = {5, 10}, .kind = BackingKind::kAnonymous}), "FAASNAP_CHECK");
+}
+
+}  // namespace
+}  // namespace faasnap

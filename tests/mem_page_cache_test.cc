@@ -1,0 +1,123 @@
+#include "src/mem/page_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+constexpr FileId kFileA = 1;
+constexpr FileId kFileB = 2;
+
+TEST(PageCache, StartsEmpty) {
+  PageCache cache;
+  EXPECT_EQ(cache.GetState(kFileA, 0), PageCache::PageState::kAbsent);
+  EXPECT_EQ(cache.present_page_count(), 0u);
+}
+
+TEST(PageCache, InsertMakesPresent) {
+  PageCache cache;
+  cache.Insert(kFileA, PageRange{10, 5});
+  EXPECT_TRUE(cache.IsPresent(kFileA, 10));
+  EXPECT_TRUE(cache.IsPresent(kFileA, 14));
+  EXPECT_FALSE(cache.IsPresent(kFileA, 15));
+  EXPECT_FALSE(cache.IsPresent(kFileB, 10));
+  EXPECT_EQ(cache.present_page_count(), 5u);
+}
+
+TEST(PageCache, BeginReadMarksInFlight) {
+  PageCache cache;
+  auto handle = cache.BeginRead(kFileA, PageRange{0, 4});
+  EXPECT_EQ(cache.GetState(kFileA, 2), PageCache::PageState::kInFlight);
+  EXPECT_EQ(cache.GetState(kFileA, 4), PageCache::PageState::kAbsent);
+  cache.CompleteRead(handle);
+  EXPECT_EQ(cache.GetState(kFileA, 2), PageCache::PageState::kPresent);
+}
+
+TEST(PageCache, WaitersFireOnCompletion) {
+  PageCache cache;
+  auto handle = cache.BeginRead(kFileA, PageRange{0, 4});
+  int fired = 0;
+  cache.WaitFor(kFileA, 1, [&] { ++fired; });
+  cache.WaitFor(kFileA, 3, [&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  cache.CompleteRead(handle);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PageCache, IndependentReadsCompleteIndependently) {
+  PageCache cache;
+  auto h1 = cache.BeginRead(kFileA, PageRange{0, 2});
+  auto h2 = cache.BeginRead(kFileA, PageRange{10, 2});
+  int fired1 = 0;
+  int fired2 = 0;
+  cache.WaitFor(kFileA, 0, [&] { ++fired1; });
+  cache.WaitFor(kFileA, 11, [&] { ++fired2; });
+  cache.CompleteRead(h2);
+  EXPECT_EQ(fired1, 0);
+  EXPECT_EQ(fired2, 1);
+  EXPECT_EQ(cache.GetState(kFileA, 0), PageCache::PageState::kInFlight);
+  EXPECT_TRUE(cache.IsPresent(kFileA, 10));
+  cache.CompleteRead(h1);
+  EXPECT_EQ(fired1, 1);
+}
+
+TEST(PageCache, AbsentInSubtractsPresentAndInFlight) {
+  PageCache cache;
+  cache.Insert(kFileA, PageRange{0, 4});
+  cache.BeginRead(kFileA, PageRange{8, 4});
+  PageRangeSet missing = cache.AbsentIn(kFileA, PageRange{0, 16});
+  ASSERT_EQ(missing.range_count(), 2u);
+  EXPECT_EQ(missing.ranges()[0], (PageRange{4, 4}));
+  EXPECT_EQ(missing.ranges()[1], (PageRange{12, 4}));
+}
+
+TEST(PageCache, AbsentInUnknownFileIsWholeRange) {
+  PageCache cache;
+  PageRangeSet missing = cache.AbsentIn(kFileB, PageRange{5, 3});
+  ASSERT_EQ(missing.range_count(), 1u);
+  EXPECT_EQ(missing.ranges()[0], (PageRange{5, 3}));
+}
+
+TEST(PageCache, PresentPagesIsMincore) {
+  PageCache cache;
+  cache.Insert(kFileA, PageRange{0, 2});
+  cache.Insert(kFileA, PageRange{100, 1});
+  PageRangeSet present = cache.PresentPages(kFileA);
+  EXPECT_EQ(present.page_count(), 3u);
+  EXPECT_TRUE(present.Contains(100));
+  EXPECT_TRUE(cache.PresentPages(kFileB).empty());
+}
+
+TEST(PageCache, DropAllClearsEverything) {
+  PageCache cache;
+  cache.Insert(kFileA, PageRange{0, 10});
+  cache.Insert(kFileB, PageRange{0, 10});
+  cache.DropAll();
+  EXPECT_EQ(cache.present_page_count(), 0u);
+  EXPECT_FALSE(cache.IsPresent(kFileA, 0));
+}
+
+TEST(PageCache, DropFileIsScoped) {
+  PageCache cache;
+  cache.Insert(kFileA, PageRange{0, 10});
+  cache.Insert(kFileB, PageRange{0, 10});
+  cache.DropFile(kFileA);
+  EXPECT_FALSE(cache.IsPresent(kFileA, 0));
+  EXPECT_TRUE(cache.IsPresent(kFileB, 0));
+  cache.DropFile(999);  // unknown file is a no-op
+}
+
+TEST(PageCacheDeathTest, WaitForNonInFlightAborts) {
+  PageCache cache;
+  cache.Insert(kFileA, PageRange{0, 1});
+  EXPECT_DEATH(cache.WaitFor(kFileA, 0, [] {}), "not in flight");
+}
+
+TEST(PageCacheDeathTest, DropWithInFlightReadsAborts) {
+  PageCache cache;
+  cache.BeginRead(kFileA, PageRange{0, 1});
+  EXPECT_DEATH(cache.DropAll(), "in flight");
+}
+
+}  // namespace
+}  // namespace faasnap

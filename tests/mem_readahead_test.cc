@@ -1,0 +1,98 @@
+#include "src/mem/readahead.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+constexpr FileId kFile = 1;
+constexpr uint64_t kFilePages = 100000;
+
+TEST(Readahead, FirstFaultGetsInitialWindow) {
+  ReadaheadPolicy ra;
+  PageRange w = ra.WindowFor(kFile, 1000, kFilePages);
+  EXPECT_EQ(w.first, 1000u);
+  EXPECT_EQ(w.count, ra.config().initial_window_pages);
+}
+
+TEST(Readahead, SequentialStreamDoublesWindowUpToMax) {
+  ReadaheadPolicy ra;
+  PageIndex p = 0;
+  PageRange w = ra.WindowFor(kFile, p, kFilePages);
+  EXPECT_EQ(w.count, 16u);
+  w = ra.WindowFor(kFile, p + 16, kFilePages);
+  EXPECT_EQ(w.count, 32u);
+  w = ra.WindowFor(kFile, p + 48, kFilePages);
+  EXPECT_EQ(w.count, 64u);
+  w = ra.WindowFor(kFile, p + 112, kFilePages);
+  EXPECT_EQ(w.count, 64u);  // capped at max
+}
+
+TEST(Readahead, RandomJumpShrinksToFaultAroundWindow) {
+  ReadaheadPolicy ra;
+  ra.WindowFor(kFile, 0, kFilePages);
+  ra.WindowFor(kFile, 16, kFilePages);  // grown to 32
+  PageRange w = ra.WindowFor(kFile, 50000, kFilePages);
+  EXPECT_EQ(w.count, ra.config().random_window_pages);
+  // A sequential stream resuming after the jump grows again.
+  w = ra.WindowFor(kFile, 50000 + w.count, kFilePages);
+  EXPECT_EQ(w.count, ra.config().random_window_pages * 2);
+}
+
+TEST(Readahead, BackwardJumpShrinksWindow) {
+  ReadaheadPolicy ra;
+  ra.WindowFor(kFile, 1000, kFilePages);
+  PageRange w = ra.WindowFor(kFile, 500, kFilePages);
+  EXPECT_EQ(w.count, ra.config().random_window_pages);
+}
+
+TEST(Readahead, WindowClampsAtEndOfFile) {
+  ReadaheadPolicy ra;
+  PageRange w = ra.WindowFor(kFile, kFilePages - 3, kFilePages);
+  EXPECT_EQ(w.first, kFilePages - 3);
+  EXPECT_EQ(w.count, 3u);
+}
+
+TEST(Readahead, StreamsArePerFile) {
+  ReadaheadPolicy ra;
+  ra.WindowFor(1, 0, kFilePages);
+  ra.WindowFor(1, 16, kFilePages);  // file 1 grown
+  PageRange w2 = ra.WindowFor(2, 0, kFilePages);
+  EXPECT_EQ(w2.count, ra.config().initial_window_pages);
+  PageRange w1 = ra.WindowFor(1, 48, kFilePages);
+  EXPECT_EQ(w1.count, 64u);
+}
+
+TEST(Readahead, DisabledReadsSinglePage) {
+  ReadaheadPolicy ra(ReadaheadConfig{.initial_window_pages = 16,
+                                     .max_window_pages = 64,
+                                     .enabled = false});
+  PageRange w = ra.WindowFor(kFile, 10, kFilePages);
+  EXPECT_EQ(w, (PageRange{10, 1}));
+}
+
+TEST(Readahead, ResetForgetsStreams) {
+  ReadaheadPolicy ra;
+  ra.WindowFor(kFile, 0, kFilePages);
+  ra.WindowFor(kFile, 16, kFilePages);
+  ra.Reset();
+  PageRange w = ra.WindowFor(kFile, 32, kFilePages);
+  EXPECT_EQ(w.count, ra.config().initial_window_pages);
+}
+
+// The property host-page-recording depends on: a sequential faulting stream pulls
+// in pages *beyond* what was faulted on.
+TEST(Readahead, SequentialStreamCoversMoreThanFaultedPages) {
+  ReadaheadPolicy ra;
+  PageRangeSet covered;
+  PageIndex fault = 0;
+  for (int i = 0; i < 5; ++i) {
+    PageRange w = ra.WindowFor(kFile, fault, kFilePages);
+    covered.Add(w);
+    fault = w.end();  // next miss lands just past the window
+  }
+  EXPECT_GT(covered.page_count(), 5u * 16u);
+}
+
+}  // namespace
+}  // namespace faasnap

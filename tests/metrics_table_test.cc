@@ -1,0 +1,74 @@
+#include "src/metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/report.h"
+
+namespace faasnap {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable table({"function", "mode", "total (ms)"});
+  table.AddRow({"image", "faasnap", "136.2"});
+  table.AddRow({"hello-world", "reap", "70.0"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("function"), std::string::npos);
+  EXPECT_NE(out.find("faasnap"), std::string::npos);
+  EXPECT_NE(out.find("136.2"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, NumericCellsRightAlign) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1.5"});
+  table.AddRow({"b", "123.5"});
+  std::string out = table.ToString();
+  // "1.5" should be padded to align with "123.5"'s right edge.
+  EXPECT_NE(out.find("  1.5"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsWidenToContent) {
+  TextTable table({"x"});
+  table.AddRow({"very-long-cell-content"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("very-long-cell-content"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, WrongCellCountAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "FAASNAP_CHECK");
+}
+
+TEST(FormatCell, PrintfStyle) {
+  EXPECT_EQ(FormatCell("%.1f", 3.14159), "3.1");
+  EXPECT_EQ(FormatCell("%s/%d", "x", 7), "x/7");
+}
+
+TEST(ReportSummary, AccumulatesStats) {
+  InvocationReport r1;
+  r1.function = "image";
+  r1.mode = "faasnap";
+  r1.setup_time = Duration::Millis(40);
+  r1.invocation_time = Duration::Millis(100);
+  InvocationReport r2 = r1;
+  r2.invocation_time = Duration::Millis(120);
+  ReportSummary summary;
+  summary.Add(r1);
+  summary.Add(r2);
+  EXPECT_EQ(summary.function, "image");
+  EXPECT_EQ(summary.total_ms.count(), 2);
+  EXPECT_DOUBLE_EQ(summary.total_ms.mean(), 150.0);
+  EXPECT_DOUBLE_EQ(summary.setup_ms.mean(), 40.0);
+  EXPECT_DOUBLE_EQ(summary.invocation_ms.mean(), 110.0);
+}
+
+TEST(InvocationReport, TotalIsSetupPlusInvocation) {
+  InvocationReport r;
+  r.setup_time = Duration::Millis(45);
+  r.invocation_time = Duration::Millis(55);
+  EXPECT_EQ(r.total_time(), Duration::Millis(100));
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,149 @@
+// Platform lifecycle behaviors: cache state across invocations, snapshot store
+// growth, repeated record phases, readahead isolation between invocations, and
+// the serialized daemon dispatch queue.
+
+#include <gtest/gtest.h>
+
+#include "src/core/platform.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+PlatformConfig TestConfig() {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.0;
+  config.disk = disk;
+  return config;
+}
+
+class PlatformLifecycleTest : public ::testing::Test {
+ protected:
+  PlatformLifecycleTest()
+      : platform_(TestConfig()),
+        spec_(*FindFunction("json")),
+        generator_(spec_, platform_.config().layout) {}
+
+  Platform platform_;
+  FunctionSpec spec_;
+  TraceGenerator generator_;
+};
+
+TEST_F(PlatformLifecycleTest, RecordTwiceProducesEquivalentSnapshots) {
+  FunctionSnapshot first = platform_.Record(generator_, MakeInputA(spec_));
+  FunctionSnapshot second = platform_.Record(generator_, MakeInputA(spec_));
+  // Different file ids, identical structure.
+  EXPECT_NE(first.memory_sanitized.id, second.memory_sanitized.id);
+  EXPECT_EQ(first.memory_sanitized.nonzero, second.memory_sanitized.nonzero);
+  EXPECT_EQ(first.reap_ws.guest_pages, second.reap_ws.guest_pages);
+  EXPECT_EQ(first.loading_set.total_pages, second.loading_set.total_pages);
+  EXPECT_EQ(first.ws_groups.AllPages(), second.ws_groups.AllPages());
+}
+
+TEST_F(PlatformLifecycleTest, RecordWithDifferentInputsDiffers) {
+  FunctionSnapshot a = platform_.Record(generator_, MakeInputA(spec_));
+  FunctionSnapshot b = platform_.Record(generator_, MakeInputB(spec_));
+  // Input B touches more window pages: bigger working and loading sets.
+  EXPECT_GT(b.ws_groups.AllPages().page_count(), a.ws_groups.AllPages().page_count());
+  EXPECT_GT(b.loading_set.total_pages, a.loading_set.total_pages);
+}
+
+TEST_F(PlatformLifecycleTest, SnapshotStoreTracksEveryArtifact) {
+  FunctionSnapshot snap = platform_.Record(generator_, MakeInputA(spec_));
+  SnapshotStore* store = platform_.store();
+  for (FileId id : {snap.memory_vanilla.id, snap.memory_sanitized.id, snap.reap_ws.id,
+                    snap.loading_set.id}) {
+    EXPECT_TRUE(store->Contains(id));
+  }
+  EXPECT_EQ(store->size_pages(snap.memory_vanilla.id), snap.guest_pages);
+  EXPECT_EQ(store->size_pages(snap.loading_set.id), snap.loading_set.total_pages);
+  EXPECT_EQ(store->size_pages(snap.reap_ws.id), snap.reap_ws.size_pages());
+  EXPECT_NE(store->name(snap.memory_vanilla.id), store->name(snap.memory_sanitized.id));
+}
+
+TEST_F(PlatformLifecycleTest, DroppedCachesForceColdInvocations) {
+  FunctionSnapshot snap = platform_.Record(generator_, MakeInputA(spec_));
+  platform_.DropCaches();
+  InvocationReport cold =
+      platform_.Invoke(snap, RestoreMode::kFirecracker, generator_, MakeInputA(spec_));
+  platform_.DropCaches();
+  InvocationReport cold_again =
+      platform_.Invoke(snap, RestoreMode::kFirecracker, generator_, MakeInputA(spec_));
+  // Dropping caches makes the second run identical to the first (determinism
+  // plus no residual state).
+  EXPECT_EQ(cold.faults.count(FaultClass::kMajor), cold_again.faults.count(FaultClass::kMajor));
+  EXPECT_EQ(cold.disk.read_requests, cold_again.disk.read_requests);
+}
+
+TEST_F(PlatformLifecycleTest, SimClockAdvancesMonotonically) {
+  FunctionSnapshot snap = platform_.Record(generator_, MakeInputA(spec_));
+  const SimTime after_record = platform_.sim()->now();
+  EXPECT_GT(after_record.nanos(), 0);
+  platform_.Invoke(snap, RestoreMode::kFaasnap, generator_, MakeInputA(spec_));
+  EXPECT_GT(platform_.sim()->now(), after_record);
+}
+
+TEST_F(PlatformLifecycleTest, DispatchQueueSerializesSimultaneousRequests) {
+  FunctionSnapshot snap = platform_.Record(generator_, MakeInputA(spec_));
+  platform_.DropCaches();
+  std::vector<Duration> setups;
+  for (int i = 0; i < 4; ++i) {
+    platform_.InvokeAsync(snap, RestoreMode::kWarm, generator_.Generate(MakeInputA(spec_)),
+                          [&](InvocationReport r) { setups.push_back(r.setup_time); });
+  }
+  platform_.sim()->Run();
+  ASSERT_EQ(setups.size(), 4u);
+  // Warm setup = queued dispatch only: the k-th request waits k dispatch slots.
+  const Duration dispatch = platform_.config().setup_costs.daemon_dispatch;
+  for (size_t i = 0; i < setups.size(); ++i) {
+    EXPECT_EQ(setups[i], dispatch * static_cast<int64_t>(i + 1)) << i;
+  }
+}
+
+TEST_F(PlatformLifecycleTest, WarmPagesDontLeakAcrossVms) {
+  // Two invocations of the same snapshot have independent address spaces: the
+  // second warm-mode VM must not see the first one's installed pages unless the
+  // policy installs them.
+  FunctionSnapshot snap = platform_.Record(generator_, MakeInputA(spec_));
+  platform_.DropCaches();
+  InvocationReport first =
+      platform_.Invoke(snap, RestoreMode::kFirecracker, generator_, MakeInputA(spec_));
+  InvocationReport second =
+      platform_.Invoke(snap, RestoreMode::kFirecracker, generator_, MakeInputA(spec_));
+  // Same fault COUNT (fresh page table), but the second run's faults are all
+  // minors (page cache warm).
+  EXPECT_EQ(first.faults.total_faults(), second.faults.total_faults());
+  EXPECT_EQ(second.faults.count(FaultClass::kMajor), 0);
+}
+
+TEST(PlatformConfigTest, CustomLayoutIsHonored) {
+  PlatformConfig config = TestConfig();
+  Platform platform(config);
+  EXPECT_EQ(platform.config().layout.total_pages, BytesToPages(GiB(2)));
+  EXPECT_EQ(platform.cpu()->cores(), 96);
+}
+
+TEST(PlatformConfigTest, SmallerHostSlowsBursts) {
+  auto run_burst = [](int cores) {
+    PlatformConfig config = TestConfig();
+    config.host_cores = cores;
+    Platform platform(config);
+    FunctionSpec spec = *FindFunction("pyaes");  // compute-heavy
+    TraceGenerator generator(spec, config.layout);
+    FunctionSnapshot snap = platform.Record(generator, MakeInputA(spec));
+    platform.DropCaches();
+    RunningStats totals;
+    for (int i = 0; i < 8; ++i) {
+      platform.InvokeAsync(snap, RestoreMode::kFaasnap, generator.Generate(MakeInputA(spec)),
+                           [&](InvocationReport r) { totals.Record(r.total_time().millis()); });
+    }
+    platform.sim()->Run();
+    return totals.mean();
+  };
+  // 8 VMs x 2 vCPUs: 4 cores are oversubscribed 4x, 96 cores are not.
+  EXPECT_GT(run_burst(4), 1.5 * run_burst(96));
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,225 @@
+// Randomized property tests for the memory subsystem: page cache, address space,
+// and the fault engine driven by random workloads, each checked against simple
+// oracles and global invariants.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/mem/fault_engine.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+// --- PageCache vs a per-page oracle under random operation interleavings. ---
+
+class PageCachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageCachePropertyTest, MatchesOracleUnderRandomOps) {
+  Rng rng(GetParam());
+  PageCache cache;
+  constexpr FileId kFiles = 3;
+  constexpr uint64_t kPages = 128;
+  // Oracle: 0=absent, 1=inflight, 2=present.
+  std::map<std::pair<FileId, PageIndex>, int> oracle;
+  struct Pending {
+    PageCache::ReadHandle handle;
+    FileId file;
+    PageRange range;
+  };
+  std::vector<Pending> pending;
+  int waiters_fired = 0;
+  int waiters_registered = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const FileId file = 1 + static_cast<FileId>(rng.NextBelow(kFiles));
+    const double action = rng.NextDouble();
+    if (action < 0.35) {
+      // Begin a read over currently-absent pages only (the loader contract).
+      const PageIndex first = rng.NextBelow(kPages);
+      const uint64_t count = 1 + rng.NextBelow(8);
+      PageRange want{first, std::min<uint64_t>(count, kPages - first)};
+      PageRangeSet missing = cache.AbsentIn(file, want);
+      for (const PageRange& r : missing.ranges()) {
+        Pending p{cache.BeginRead(file, r), file, r};
+        for (PageIndex page = r.first; page < r.end(); ++page) {
+          oracle[{file, page}] = 1;
+        }
+        // Sometimes register a waiter on an in-flight page.
+        if (rng.NextBool(0.5)) {
+          ++waiters_registered;
+          cache.WaitFor(file, r.first, [&] { ++waiters_fired; });
+        }
+        pending.push_back(p);
+      }
+    } else if (action < 0.7 && !pending.empty()) {
+      // Complete a random pending read.
+      const size_t idx = rng.NextBelow(pending.size());
+      Pending p = pending[idx];
+      pending.erase(pending.begin() + static_cast<long>(idx));
+      cache.CompleteRead(p.handle);
+      for (PageIndex page = p.range.first; page < p.range.end(); ++page) {
+        oracle[{p.file, page}] = 2;
+      }
+    } else if (action < 0.85) {
+      // Direct insert over absent pages (Cached preload).
+      const PageIndex first = rng.NextBelow(kPages);
+      PageRange want{first, std::min<uint64_t>(1 + rng.NextBelow(4), kPages - first)};
+      PageRangeSet missing = cache.AbsentIn(file, want);
+      for (const PageRange& r : missing.ranges()) {
+        cache.Insert(file, r);
+        for (PageIndex page = r.first; page < r.end(); ++page) {
+          oracle[{file, page}] = 2;
+        }
+      }
+    }
+    // Spot-check a handful of random states every step.
+    for (int probe = 0; probe < 5; ++probe) {
+      const FileId f = 1 + static_cast<FileId>(rng.NextBelow(kFiles));
+      const PageIndex page = rng.NextBelow(kPages);
+      const int expected_state = oracle.count({f, page}) ? oracle[{f, page}] : 0;
+      PageCache::PageState actual = cache.GetState(f, page);
+      EXPECT_EQ(static_cast<int>(actual), expected_state)
+          << "file " << f << " page " << page << " step " << step;
+    }
+  }
+  // Drain: every pending read completes and every waiter fires exactly once.
+  for (const Pending& p : pending) {
+    cache.CompleteRead(p.handle);
+  }
+  EXPECT_EQ(waiters_fired, waiters_registered);
+  // present_page_count matches the oracle.
+  uint64_t expected_present = 0;
+  for (const auto& [key, state] : oracle) {
+    if (state >= 1) {  // everything in flight was completed above
+      ++expected_present;
+    }
+  }
+  EXPECT_EQ(cache.present_page_count(), expected_present);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageCachePropertyTest, ::testing::Values(11, 22, 33, 44, 55));
+
+// --- AddressSpace vs a per-page oracle under random MAP_FIXED overlays. ---
+
+class AddressSpacePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AddressSpacePropertyTest, LayeringMatchesPerPageOracle) {
+  Rng rng(GetParam());
+  constexpr uint64_t kPages = 512;
+  AddressSpace space(kPages);
+  std::vector<PageBacking> oracle(kPages);  // default: unmapped
+
+  for (int step = 0; step < 120; ++step) {
+    const PageIndex first = rng.NextBelow(kPages);
+    const uint64_t count = std::min<uint64_t>(1 + rng.NextBelow(64), kPages - first);
+    if (count == 0) {
+      continue;
+    }
+    if (rng.NextBool(0.4)) {
+      space.Map({.guest = {first, count}, .kind = BackingKind::kAnonymous});
+      for (PageIndex p = first; p < first + count; ++p) {
+        oracle[p] = PageBacking{BackingKind::kAnonymous, kInvalidFileId, 0};
+      }
+    } else {
+      const FileId file = 1 + static_cast<FileId>(rng.NextBelow(4));
+      const PageIndex file_start = rng.NextBelow(10000);
+      space.Map({.guest = {first, count},
+                 .kind = BackingKind::kFile,
+                 .file = file,
+                 .file_start = file_start});
+      for (PageIndex p = first; p < first + count; ++p) {
+        oracle[p] = PageBacking{BackingKind::kFile, file, file_start + (p - first)};
+      }
+    }
+  }
+  for (PageIndex p = 0; p < kPages; ++p) {
+    EXPECT_EQ(space.Resolve(p), oracle[p]) << "page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressSpacePropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// --- FaultEngine under a random access workload: global invariants. ---
+
+class FaultEnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultEnginePropertyTest, RandomWorkloadInvariants) {
+  Rng rng(GetParam());
+  Simulation sim;
+  PageCache cache;
+  BlockDevice disk(&sim, TestDiskProfile());
+  StorageRouter router;
+  router.AddDevice(&disk);
+  constexpr uint64_t kPages = 2048;
+  AddressSpace space(kPages);
+  ReadaheadPolicy readahead;
+  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return kPages; });
+
+  // Random layered mapping: anon base + a few file regions.
+  space.Map({.guest = {0, kPages}, .kind = BackingKind::kAnonymous});
+  for (int i = 0; i < 6; ++i) {
+    const PageIndex first = rng.NextBelow(kPages - 128);
+    space.Map({.guest = {first, 64 + rng.NextBelow(64)},
+               .kind = BackingKind::kFile,
+               .file = 1,
+               .file_start = first});
+  }
+
+  int issued = 0;
+  int retired = 0;
+  PageRangeSet accessed;
+  for (int i = 0; i < 600; ++i) {
+    const PageIndex page = rng.NextBelow(kPages);
+    accessed.AddPage(page);
+    ++issued;
+    const bool sync = engine.Access(page, [&](FaultClass cls) {
+      ++retired;
+      EXPECT_NE(cls, FaultClass::kNoFault);  // async completions are real faults
+    });
+    if (sync) {
+      ++retired;
+    }
+    if (rng.NextBool(0.3)) {
+      sim.Run();  // drain sometimes, letting IO interleave otherwise
+    }
+  }
+  sim.Run();
+  // Every access retired exactly once.
+  EXPECT_EQ(retired, issued);
+  // Every accessed page ended up installed.
+  for (const PageRange& r : accessed.ranges()) {
+    for (PageIndex p = r.first; p < r.end(); ++p) {
+      EXPECT_EQ(space.install_state(p), PageInstallState::kPresent) << p;
+    }
+  }
+  // Fault accounting balances. Note faults may slightly exceed the number of
+  // distinct pages: two not-yet-resolved accesses to the same page each fault
+  // (two vCPUs faulting the same page concurrently do in real KVM too).
+  const FaultMetrics& m = engine.metrics();
+  EXPECT_EQ(m.latency_histogram.total_count(), m.total_faults());
+  EXPECT_LE(m.total_faults(), issued);
+  EXPECT_GE(static_cast<uint64_t>(m.total_faults()) + 80, accessed.page_count());
+  // Disk traffic attributed to faults matches the device totals (no other actor).
+  EXPECT_EQ(m.fault_disk_bytes, disk.stats().bytes_read);
+  EXPECT_EQ(m.fault_disk_requests, disk.stats().read_requests);
+  // Cache contains exactly what fault-path reads brought in: every file-backed
+  // accessed page must now be present in the cache.
+  for (const PageRange& r : accessed.ranges()) {
+    for (PageIndex p = r.first; p < r.end(); ++p) {
+      if (space.Resolve(p).kind == BackingKind::kFile) {
+        EXPECT_TRUE(cache.IsPresent(1, space.Resolve(p).file_page)) << p;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultEnginePropertyTest,
+                         ::testing::Values(7, 14, 21, 28, 35, 42, 49));
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,133 @@
+// Additional restore-mode behaviors: cold boot, the Figure 9 ablation modes end
+// to end, tiered placement routing, and cross-mode metric consistency.
+
+#include <gtest/gtest.h>
+
+#include "src/core/platform.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+PlatformConfig TestConfig() {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.0;
+  config.disk = disk;
+  return config;
+}
+
+class RestoreModesTest : public ::testing::Test {
+ protected:
+  RestoreModesTest()
+      : platform_(TestConfig()),
+        spec_(*FindFunction("image")),
+        generator_(spec_, platform_.config().layout),
+        snapshot_(platform_.Record(generator_, MakeInputA(spec_))) {}
+
+  InvocationReport Run(RestoreMode mode, bool input_b = true) {
+    platform_.DropCaches();
+    return platform_.Invoke(snapshot_, mode, generator_,
+                            input_b ? MakeInputB(spec_) : MakeInputA(spec_));
+  }
+
+  Platform platform_;
+  FunctionSpec spec_;
+  TraceGenerator generator_;
+  FunctionSnapshot snapshot_;
+};
+
+TEST_F(RestoreModesTest, ColdBootIsSecondsAndDiskFree) {
+  InvocationReport cold = Run(RestoreMode::kColdBoot);
+  EXPECT_GT(cold.setup_time, Duration::Seconds(2));
+  EXPECT_EQ(cold.disk.read_requests, 0u);  // no snapshot to read
+  EXPECT_EQ(cold.faults.count(FaultClass::kMajor), 0);
+  EXPECT_GT(cold.faults.count(FaultClass::kAnonymous), 0);
+}
+
+TEST_F(RestoreModesTest, ColdBootInitScalesWithRuntimeState) {
+  Platform other(TestConfig());
+  FunctionSpec recognition = *FindFunction("recognition");  // 56k stable pages
+  TraceGenerator gen(recognition, other.config().layout);
+  FunctionSnapshot snap = other.Record(gen, MakeInputA(recognition));
+  InvocationReport big = other.Invoke(snap, RestoreMode::kColdBoot, gen,
+                                      MakeInputA(recognition));
+  InvocationReport small = Run(RestoreMode::kColdBoot);
+  EXPECT_GT(big.setup_time, small.setup_time);  // more runtime state to initialize
+}
+
+TEST_F(RestoreModesTest, AblationModesAreMonotonicallyBetter) {
+  const Duration fc = Run(RestoreMode::kFirecracker).invocation_time;
+  const Duration con = Run(RestoreMode::kFaasnapConcurrentOnly).invocation_time;
+  const Duration per = Run(RestoreMode::kFaasnapPerRegion).invocation_time;
+  const Duration full = Run(RestoreMode::kFaasnap).invocation_time;
+  EXPECT_LT(con, fc);
+  EXPECT_LT(per, con);
+  EXPECT_LE(full.nanos(), per.nanos() * 102 / 100);  // within 2%
+}
+
+TEST_F(RestoreModesTest, ConcurrentOnlyKeepsWholeFileMapping) {
+  InvocationReport con = Run(RestoreMode::kFaasnapConcurrentOnly);
+  EXPECT_EQ(con.mmap_calls, 1u);
+  EXPECT_GT(con.fetch_bytes, 0u);  // the loader ran
+  InvocationReport per = Run(RestoreMode::kFaasnapPerRegion);
+  EXPECT_GT(per.mmap_calls, 100u);  // per-region hierarchy
+}
+
+TEST_F(RestoreModesTest, FaasnapPrefetchesOnlyTheLoadingSet) {
+  InvocationReport faasnap = Run(RestoreMode::kFaasnap);
+  EXPECT_EQ(faasnap.fetch_bytes, PagesToBytes(snapshot_.loading_set.total_pages));
+}
+
+TEST_F(RestoreModesTest, ReapOutOfSetFaultsScaleWithDrift) {
+  InvocationReport same = Run(RestoreMode::kReap, /*input_b=*/false);
+  InvocationReport drift = Run(RestoreMode::kReap, /*input_b=*/true);
+  EXPECT_GT(drift.faults.count(FaultClass::kUffdHandled),
+            same.faults.count(FaultClass::kUffdHandled) * 2);
+  // Preinstalled (soft) faults shrink correspondingly.
+  EXPECT_GT(same.faults.count(FaultClass::kUffdPreinstalled),
+            drift.faults.count(FaultClass::kUffdPreinstalled));
+}
+
+TEST(TieredRestoreTest, HybridPlacementRoutesOnlyMemoryFileRemote) {
+  PlatformConfig config = TestConfig();
+  config.remote_disk = EbsIo2Profile();
+  config.placement.memory_files = StorageTier::kRemote;
+  config.placement.reap_ws = StorageTier::kRemote;
+  // loading_set stays local.
+  Platform platform(config);
+  FunctionSpec spec = *FindFunction("json");
+  TraceGenerator generator(spec, config.layout);
+  FunctionSnapshot snap = platform.Record(generator, MakeInputA(spec));
+  platform.DropCaches();
+  const BlockDeviceStats local_before = platform.disk()->stats();
+  const BlockDeviceStats remote_before = platform.remote_disk()->stats();
+  platform.Invoke(snap, RestoreMode::kFaasnap, generator, MakeInputB(spec));
+  const uint64_t local_reads = platform.disk()->stats().read_requests -
+                               local_before.read_requests;
+  const uint64_t remote_reads = platform.remote_disk()->stats().read_requests -
+                                remote_before.read_requests;
+  // The loader streams the loading set from the local device; only cold-set /
+  // out-of-set faults hit the remote memory file.
+  EXPECT_GT(local_reads, 0u);
+  EXPECT_LT(remote_reads, local_reads);
+}
+
+TEST(TieredRestoreTest, ReapFetchFollowsItsPlacement) {
+  PlatformConfig config = TestConfig();
+  config.remote_disk = EbsIo2Profile();
+  config.placement.reap_ws = StorageTier::kRemote;
+  Platform platform(config);
+  FunctionSpec spec = *FindFunction("json");
+  TraceGenerator generator(spec, config.layout);
+  FunctionSnapshot snap = platform.Record(generator, MakeInputA(spec));
+  platform.DropCaches();
+  const uint64_t remote_before = platform.remote_disk()->stats().bytes_read;
+  InvocationReport report =
+      platform.Invoke(snap, RestoreMode::kReap, generator, MakeInputA(spec));
+  EXPECT_GE(platform.remote_disk()->stats().bytes_read - remote_before,
+            report.fetch_bytes);
+}
+
+}  // namespace
+}  // namespace faasnap

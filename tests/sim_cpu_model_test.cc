@@ -1,0 +1,67 @@
+#include "src/sim/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+TEST(CpuModel, NoContentionBelowCoreCount) {
+  CpuModel cpu(96);
+  for (int i = 0; i < 96; ++i) {
+    cpu.AddRunnable();
+  }
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 1.0);
+  EXPECT_EQ(cpu.ScaleCompute(Duration::Millis(10)), Duration::Millis(10));
+}
+
+TEST(CpuModel, ProportionalSlowdownAboveCoreCount) {
+  CpuModel cpu(96);
+  for (int i = 0; i < 128; ++i) {
+    cpu.AddRunnable();
+  }
+  EXPECT_NEAR(cpu.LoadFactor(), 128.0 / 96.0, 1e-12);
+  EXPECT_EQ(cpu.ScaleCompute(Duration::Micros(96)).nanos(), 128000);
+}
+
+TEST(CpuModel, RemoveRunnableRestores) {
+  CpuModel cpu(2);
+  cpu.AddRunnable();
+  cpu.AddRunnable();
+  cpu.AddRunnable();
+  cpu.AddRunnable();
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 2.0);
+  cpu.RemoveRunnable();
+  cpu.RemoveRunnable();
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 1.0);
+  EXPECT_EQ(cpu.runnable(), 2);
+}
+
+TEST(CpuModel, IdleHasFactorOne) {
+  CpuModel cpu(4);
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 1.0);
+}
+
+TEST(CpuModelDeathTest, RemovingBelowZeroAborts) {
+  CpuModel cpu(1);
+  EXPECT_DEATH(cpu.RemoveRunnable(), "FAASNAP_CHECK");
+}
+
+// Figure 10 anchor: 64 parallel guests with 2 vCPUs each on a 96-core host
+// oversubscribe the CPU by 128/96 and slow down compute-bound work.
+TEST(CpuModel, Figure10Parallelism64IsOversubscribed) {
+  CpuModel cpu(96);
+  for (int vm = 0; vm < 64; ++vm) {
+    cpu.AddRunnable();
+    cpu.AddRunnable();
+  }
+  EXPECT_GT(cpu.LoadFactor(), 1.3);
+  // At parallelism 32 (64 vCPUs) the same host is not oversubscribed.
+  for (int vm = 0; vm < 32; ++vm) {
+    cpu.RemoveRunnable();
+    cpu.RemoveRunnable();
+  }
+  EXPECT_DOUBLE_EQ(cpu.LoadFactor(), 1.0);
+}
+
+}  // namespace
+}  // namespace faasnap

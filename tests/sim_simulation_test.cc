@@ -1,0 +1,131 @@
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace faasnap {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now().nanos(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, FiresEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(SimTime::FromNanos(300), [&] { order.push_back(3); });
+  sim.Schedule(SimTime::FromNanos(100), [&] { order.push_back(1); });
+  sim.Schedule(SimTime::FromNanos(200), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().nanos(), 300);
+}
+
+TEST(Simulation, SameTimestampIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(SimTime::FromNanos(100), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  int64_t fired_at = -1;
+  sim.Schedule(SimTime::FromNanos(100), [&] {
+    sim.ScheduleAfter(Duration::Nanos(50), [&] { fired_at = sim.now().nanos(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulation, EventsCanScheduleChains) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) {
+      sim.ScheduleAfter(Duration::Micros(1), tick);
+    }
+  };
+  sim.ScheduleAfter(Duration::Micros(1), tick);
+  sim.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), SimTime::FromNanos(10000));
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.Schedule(SimTime::FromNanos(100), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, CancelUnknownIsNoOp) {
+  Simulation sim;
+  sim.Cancel(12345);
+  bool fired = false;
+  EventId id = sim.Schedule(SimTime::FromNanos(10), [&] { fired = true; });
+  sim.Run();
+  sim.Cancel(id);  // already fired
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(SimTime::FromNanos(100), [&] { order.push_back(1); });
+  sim.Schedule(SimTime::FromNanos(200), [&] { order.push_back(2); });
+  sim.Schedule(SimTime::FromNanos(300), [&] { order.push_back(3); });
+  EXPECT_EQ(sim.RunUntil(SimTime::FromNanos(250)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now().nanos(), 250);
+  EXPECT_EQ(sim.Run(), 1u);
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Simulation, RunUntilInclusiveOfDeadline) {
+  Simulation sim;
+  bool fired = false;
+  sim.Schedule(SimTime::FromNanos(100), [&] { fired = true; });
+  sim.RunUntil(SimTime::FromNanos(100));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StepFiresExactlyOne) {
+  Simulation sim;
+  int count = 0;
+  sim.Schedule(SimTime::FromNanos(1), [&] { ++count; });
+  sim.Schedule(SimTime::FromNanos(2), [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(Simulation, ProcessedEventsCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleAfter(Duration::Nanos(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.processed_events(), 7u);
+}
+
+TEST(SimulationDeathTest, SchedulingInThePastAborts) {
+  Simulation sim;
+  sim.Schedule(SimTime::FromNanos(100), [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.Schedule(SimTime::FromNanos(50), [] {}), "FAASNAP_CHECK");
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,122 @@
+// Randomized stress tests for the discrete-event core: ordering, cancellation,
+// and re-entrant scheduling checked against an oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/sim/simulation.h"
+
+namespace faasnap {
+namespace {
+
+class SimulationStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulationStressTest, FiringOrderMatchesOracle) {
+  Rng rng(GetParam());
+  Simulation sim;
+  // Oracle: (time, seq) pairs in scheduling order.
+  struct Expected {
+    int64_t time;
+    uint64_t seq;
+  };
+  std::vector<Expected> oracle;
+  std::vector<std::pair<int64_t, uint64_t>> fired;
+  std::set<EventId> cancelled;
+  std::vector<EventId> ids;
+  uint64_t seq = 0;
+
+  for (int i = 0; i < 300; ++i) {
+    const int64_t when = static_cast<int64_t>(rng.NextBelow(1000));
+    const uint64_t my_seq = seq++;
+    EventId id = sim.Schedule(SimTime::FromNanos(when), [&fired, when, my_seq] {
+      fired.emplace_back(when, my_seq);
+    });
+    ids.push_back(id);
+    oracle.push_back(Expected{when, my_seq});
+    // Cancel a random earlier event occasionally.
+    if (!ids.empty() && rng.NextBool(0.2)) {
+      const size_t victim = rng.NextBelow(ids.size());
+      sim.Cancel(ids[victim]);
+      cancelled.insert(ids[victim]);
+    }
+  }
+  sim.Run();
+
+  // Build the expected firing order: non-cancelled events sorted by (time, seq).
+  std::vector<std::pair<int64_t, uint64_t>> expected;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    if (cancelled.count(ids[i]) == 0) {
+      expected.emplace_back(oracle[i].time, oracle[i].seq);
+    }
+  }
+  std::stable_sort(expected.begin(), expected.end());
+  ASSERT_EQ(fired.size(), expected.size());
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], expected[i]) << "position " << i;
+  }
+}
+
+TEST_P(SimulationStressTest, ReentrantSchedulingKeepsClockMonotonic) {
+  Rng rng(GetParam() ^ 0xABCD);
+  Simulation sim;
+  int64_t last_time = -1;
+  int fired = 0;
+  int scheduled = 0;
+  std::function<void()> chaotic = [&] {
+    ++fired;
+    EXPECT_GE(sim.now().nanos(), last_time);
+    last_time = sim.now().nanos();
+    // Events may schedule more events (bounded).
+    while (scheduled < 2000 && rng.NextBool(0.6)) {
+      ++scheduled;
+      sim.ScheduleAfter(Duration::Nanos(static_cast<int64_t>(rng.NextBelow(50))), chaotic);
+    }
+  };
+  for (int i = 0; i < 20; ++i) {
+    ++scheduled;
+    sim.Schedule(SimTime::FromNanos(static_cast<int64_t>(rng.NextBelow(100))), chaotic);
+  }
+  sim.Run();
+  EXPECT_EQ(fired, scheduled);
+  EXPECT_TRUE(sim.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationStressTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SimulationRunUntil, InterleavedWithRunIsConsistent) {
+  // Draining in slices must fire the same events as a single Run.
+  auto run_sliced = [](bool sliced) {
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.Schedule(SimTime::FromNanos(i * 10), [&order, i] { order.push_back(i); });
+    }
+    if (sliced) {
+      for (int64_t t = 0; t <= 500; t += 37) {
+        sim.RunUntil(SimTime::FromNanos(t));
+      }
+      sim.Run();
+    } else {
+      sim.Run();
+    }
+    return order;
+  };
+  EXPECT_EQ(run_sliced(true), run_sliced(false));
+}
+
+TEST(SimulationRunUntil, AdvancesClockThroughEmptyQueue) {
+  Simulation sim;
+  sim.RunUntil(SimTime::FromNanos(1000000));
+  EXPECT_EQ(sim.now().nanos(), 1000000);
+  // And scheduling after the advance works from the new time.
+  int64_t fired_at = 0;
+  sim.ScheduleAfter(Duration::Nanos(5), [&] { fired_at = sim.now().nanos(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, 1000005);
+}
+
+}  // namespace
+}  // namespace faasnap

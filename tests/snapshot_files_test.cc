@@ -1,0 +1,108 @@
+#include "src/snapshot/snapshot_files.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+TEST(SnapshotStore, RegisterAssignsSequentialIds) {
+  SnapshotStore store;
+  FileId a = store.Register("mem", 1000);
+  FileId b = store.Register("ls", 50);
+  EXPECT_NE(a, kInvalidFileId);
+  EXPECT_NE(b, a);
+  EXPECT_EQ(store.size_pages(a), 1000u);
+  EXPECT_EQ(store.size_pages(b), 50u);
+  EXPECT_EQ(store.name(a), "mem");
+  EXPECT_TRUE(store.Contains(a));
+  EXPECT_FALSE(store.Contains(kInvalidFileId));
+  EXPECT_FALSE(store.Contains(99));
+}
+
+TEST(SnapshotStore, ResizeUpdatesSize) {
+  SnapshotStore store;
+  FileId a = store.Register("ls", 0);
+  store.Resize(a, 123);
+  EXPECT_EQ(store.size_pages(a), 123u);
+}
+
+TEST(SnapshotStore, SizeFnAdapter) {
+  SnapshotStore store;
+  FileId a = store.Register("mem", 77);
+  auto fn = store.SizeFn();
+  EXPECT_EQ(fn(a), 77u);
+}
+
+TEST(MemoryFile, ZeroClassification) {
+  MemoryFile mem;
+  mem.total_pages = 100;
+  mem.nonzero.Add(0, 30);
+  mem.nonzero.Add(50, 10);
+  EXPECT_FALSE(mem.IsZero(0));
+  EXPECT_FALSE(mem.IsZero(29));
+  EXPECT_TRUE(mem.IsZero(30));
+  EXPECT_TRUE(mem.IsZero(49));
+  EXPECT_FALSE(mem.IsZero(55));
+  EXPECT_TRUE(mem.IsZero(99));
+}
+
+TEST(MemoryFile, ZeroRegionsIsComplement) {
+  MemoryFile mem;
+  mem.total_pages = 100;
+  mem.nonzero.Add(10, 20);
+  PageRangeSet zeros = mem.ZeroRegions();
+  EXPECT_EQ(zeros.page_count(), 80u);
+  EXPECT_TRUE(zeros.Contains(0));
+  EXPECT_TRUE(zeros.Contains(99));
+  EXPECT_FALSE(zeros.Contains(15));
+}
+
+TEST(WorkingSetGroups, TotalsAndUnion) {
+  WorkingSetGroups ws;
+  PageRangeSet g0;
+  g0.Add(0, 10);
+  PageRangeSet g1;
+  g1.Add(100, 5);
+  g1.Add(8, 4);  // overlaps g0 partially
+  ws.groups = {g0, g1};
+  EXPECT_EQ(ws.total_pages(), 19u);
+  PageRangeSet all = ws.AllPages();
+  EXPECT_EQ(all.page_count(), 17u);  // union removes the 2-page overlap
+}
+
+TEST(WorkingSetGroups, LowestGroupForPicksEarliestGroup) {
+  WorkingSetGroups ws;
+  PageRangeSet g0;
+  g0.Add(0, 10);
+  PageRangeSet g1;
+  g1.Add(20, 10);
+  ws.groups = {g0, g1};
+  EXPECT_EQ(ws.LowestGroupFor(PageRange{5, 2}), 0u);
+  EXPECT_EQ(ws.LowestGroupFor(PageRange{25, 2}), 1u);
+  // Region spanning both groups takes the lowest.
+  EXPECT_EQ(ws.LowestGroupFor(PageRange{5, 20}), 0u);
+  // Region in neither returns groups.size().
+  EXPECT_EQ(ws.LowestGroupFor(PageRange{500, 5}), 2u);
+}
+
+TEST(LoadingSetFile, GuestPagesUnionsRegions) {
+  LoadingSetFile ls;
+  ls.regions = {
+      LoadingRegion{{0, 4}, 0, 0},
+      LoadingRegion{{100, 8}, 1, 4},
+  };
+  PageRangeSet pages = ls.GuestPages();
+  EXPECT_EQ(pages.page_count(), 12u);
+  EXPECT_TRUE(pages.Contains(2));
+  EXPECT_TRUE(pages.Contains(107));
+  EXPECT_FALSE(pages.Contains(50));
+}
+
+TEST(SnapshotStoreDeathTest, UnknownIdAborts) {
+  SnapshotStore store;
+  EXPECT_DEATH(store.size_pages(1), "FAASNAP_CHECK");
+  EXPECT_DEATH(store.size_pages(kInvalidFileId), "FAASNAP_CHECK");
+}
+
+}  // namespace
+}  // namespace faasnap

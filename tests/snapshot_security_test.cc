@@ -1,0 +1,95 @@
+// Snapshot security (paper section 7.4): wiped secret pages never survive into a
+// restored VM, under any restore policy.
+
+#include <gtest/gtest.h>
+
+#include "src/core/platform.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+PlatformConfig SecureConfig() {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.0;
+  config.disk = disk;
+  config.wipe_secret_pages = 4;  // the guest registered 16 KiB of PRNG state
+  return config;
+}
+
+TEST(SnapshotSecurity, WipeRegionsAreZeroInBothMemoryFiles) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+
+  ASSERT_EQ(snapshot.wipe_regions.page_count(), 4u);
+  for (const PageRange& r : snapshot.wipe_regions.ranges()) {
+    for (PageIndex p = r.first; p < r.end(); ++p) {
+      EXPECT_TRUE(snapshot.memory_vanilla.IsZero(p)) << p;
+      EXPECT_TRUE(snapshot.memory_sanitized.IsZero(p)) << p;
+    }
+  }
+}
+
+TEST(SnapshotSecurity, WipedPagesAreExcludedFromTheLoadingSet) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  EXPECT_TRUE(snapshot.loading_set.GuestPages().Intersect(snapshot.wipe_regions).empty());
+}
+
+TEST(SnapshotSecurity, RestoredVmsFaultSecretsAnonymouslyUnderFaasnap) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.DropCaches();
+  // The secret pages sit at the start of the stable span, which every invocation
+  // touches; under FaaSnap's per-region mapping they must resolve to anonymous
+  // (zero-fill) memory, not the memory file.
+  InvocationReport report =
+      platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputA(*spec));
+  EXPECT_GT(report.faults.count(FaultClass::kAnonymous), 0);
+}
+
+TEST(SnapshotSecurity, WipingIsOffByDefault) {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.0;
+  config.disk = disk;
+  Platform platform(config);
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, config.layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  EXPECT_TRUE(snapshot.wipe_regions.empty());
+  // Without wiping the runtime's first pages are non-zero in the snapshot.
+  EXPECT_FALSE(snapshot.memory_vanilla.IsZero(config.layout.stable.first));
+}
+
+TEST(SnapshotSecurity, WipingBarelyAffectsPerformance) {
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  auto run = [&](uint64_t wipe_pages) {
+    PlatformConfig config = SecureConfig();
+    config.wipe_secret_pages = wipe_pages;
+    Platform platform(config);
+    TraceGenerator generator(*spec, config.layout);
+    FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+    platform.DropCaches();
+    return platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputB(*spec))
+        .total_time();
+  };
+  const Duration with_wipe = run(4);
+  const Duration without_wipe = run(0);
+  EXPECT_NEAR(with_wipe.millis(), without_wipe.millis(), without_wipe.millis() * 0.02);
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,84 @@
+#include "src/snapshot/serialization.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+LoadingSetFile SampleLoadingSet() {
+  LoadingSetFile ls;
+  ls.regions = {
+      LoadingRegion{{100, 32}, 0, 0},
+      LoadingRegion{{5000, 16}, 0, 32},
+      LoadingRegion{{200, 64}, 1, 48},
+  };
+  ls.total_pages = 112;
+  return ls;
+}
+
+TEST(LoadingSetManifest, RoundTrips) {
+  LoadingSetFile original = SampleLoadingSet();
+  std::vector<uint8_t> blob = EncodeLoadingSetManifest(original);
+  Result<LoadingSetFile> decoded = DecodeLoadingSetManifest(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->regions, original.regions);
+  EXPECT_EQ(decoded->total_pages, original.total_pages);
+}
+
+TEST(LoadingSetManifest, EmptyFileRoundTrips) {
+  LoadingSetFile empty;
+  Result<LoadingSetFile> decoded = DecodeLoadingSetManifest(EncodeLoadingSetManifest(empty));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->regions.empty());
+  EXPECT_EQ(decoded->total_pages, 0u);
+}
+
+TEST(LoadingSetManifest, RejectsCorruptedBody) {
+  std::vector<uint8_t> blob = EncodeLoadingSetManifest(SampleLoadingSet());
+  blob[20] ^= 0xff;
+  Result<LoadingSetFile> decoded = DecodeLoadingSetManifest(blob);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoadingSetManifest, RejectsTruncation) {
+  std::vector<uint8_t> blob = EncodeLoadingSetManifest(SampleLoadingSet());
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(DecodeLoadingSetManifest(blob).ok());
+  EXPECT_FALSE(DecodeLoadingSetManifest({}).ok());
+}
+
+TEST(LoadingSetManifest, RejectsWrongMagic) {
+  ReapWorkingSetFile reap;
+  reap.guest_pages = {1, 2, 3};
+  std::vector<uint8_t> blob = EncodeReapManifest(reap);
+  Result<LoadingSetFile> decoded = DecodeLoadingSetManifest(blob);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(ReapManifest, RoundTrips) {
+  ReapWorkingSetFile original;
+  original.guest_pages = {42, 7, 100000, 3, 3};
+  Result<ReapWorkingSetFile> decoded = DecodeReapManifest(EncodeReapManifest(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->guest_pages, original.guest_pages);
+}
+
+TEST(ReapManifest, RejectsBitFlip) {
+  ReapWorkingSetFile original;
+  original.guest_pages = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> blob = EncodeReapManifest(original);
+  blob[blob.size() - 1] ^= 0x01;  // flip a checksum bit
+  EXPECT_FALSE(DecodeReapManifest(blob).ok());
+}
+
+TEST(Fnv1a64, KnownVectors) {
+  // FNV-1a("") = offset basis; FNV-1a("a") is a standard published value.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ull);
+  const uint8_t a = 'a';
+  EXPECT_EQ(Fnv1a64(&a, 1), 0xaf63dc4c8601ec8cull);
+}
+
+}  // namespace
+}  // namespace faasnap

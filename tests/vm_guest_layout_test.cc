@@ -1,0 +1,64 @@
+#include "src/vm/guest_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace faasnap {
+namespace {
+
+TEST(GuestLayout, DefaultIs2GiB) {
+  GuestLayout layout = GuestLayout::Default2GiB();
+  EXPECT_EQ(layout.total_pages, 524288u);
+  EXPECT_TRUE(layout.Validate().ok());
+}
+
+TEST(GuestLayout, ZonesAreOrderedAndDisjoint) {
+  GuestLayout layout = GuestLayout::Default2GiB();
+  EXPECT_LE(layout.boot.end(), layout.stable.first);
+  EXPECT_LE(layout.stable.end(), layout.window.first);
+  EXPECT_LE(layout.window.end(), layout.scratch.first);
+  EXPECT_LE(layout.scratch.end(), layout.total_pages);
+}
+
+TEST(GuestLayout, BootIsOver100MiB) {
+  // Section 4.8: the cold set is "usually more than 100 MB", mostly boot pages.
+  GuestLayout layout = GuestLayout::Default2GiB();
+  EXPECT_GE(PagesToBytes(layout.boot.count), MiB(100));
+}
+
+TEST(GuestLayout, StableZoneFitsReadList) {
+  // read-list's working set is 526 MiB (Table 2); stable data must fit.
+  GuestLayout layout = GuestLayout::Default2GiB();
+  EXPECT_GE(PagesToBytes(layout.stable.count), MiB(560));
+}
+
+TEST(GuestLayout, ScratchZoneFitsMmapFunction) {
+  GuestLayout layout = GuestLayout::Default2GiB();
+  EXPECT_GE(PagesToBytes(layout.scratch.count), MiB(512));
+}
+
+TEST(GuestLayout, ValidateRejectsOverlap) {
+  GuestLayout layout = GuestLayout::Default2GiB();
+  layout.stable.first = layout.boot.first + 1;  // overlaps boot
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(GuestLayout, ValidateRejectsOverflow) {
+  GuestLayout layout = GuestLayout::Default2GiB();
+  layout.scratch.count = layout.total_pages;  // runs past the end
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(GuestLayout, ValidateRejectsEmptyZone) {
+  GuestLayout layout = GuestLayout::Default2GiB();
+  layout.window.count = 0;
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(GuestConfig, DefaultsMatchPaper) {
+  GuestConfig config;
+  EXPECT_EQ(PagesToBytes(config.mem_pages), GiB(2));
+  EXPECT_EQ(config.vcpus, 2);
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,171 @@
+#include "src/vm/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/storage/device_profiles.h"
+#include "src/vm/guest_layout.h"
+
+namespace faasnap {
+namespace {
+
+constexpr FileId kMemFile = 1;
+constexpr uint64_t kPages = 4096;
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest() : disk_(&sim_, TestDiskProfile()), space_(kPages), cpu_(96) {
+    router_.AddDevice(&disk_);
+    HostCostModel costs;
+    costs.cost_dispersion = false;  // exact-cost assertions below
+    engine_ = std::make_unique<FaultEngine>(&sim_, &cache_, &router_, &space_, &readahead_,
+                                            [](FileId) { return kPages; }, costs);
+    vm_ = std::make_unique<Vm>(&sim_, engine_.get(), &cpu_, /*vcpus=*/2);
+  }
+
+  Vm::InvocationResult Run(const InvocationTrace& trace) {
+    Vm::InvocationResult out;
+    bool finished = false;
+    vm_->RunInvocation(trace, [&](Vm::InvocationResult r) {
+      out = r;
+      finished = true;
+    });
+    sim_.Run();
+    EXPECT_TRUE(finished);
+    return out;
+  }
+
+  Simulation sim_;
+  PageCache cache_;
+  BlockDevice disk_;
+  StorageRouter router_;
+  AddressSpace space_;
+  CpuModel cpu_;
+  ReadaheadPolicy readahead_;
+  std::unique_ptr<FaultEngine> engine_;
+  std::unique_ptr<Vm> vm_;
+};
+
+TEST_F(VmTest, EmptyTraceFinishesImmediately) {
+  InvocationTrace trace;
+  Vm::InvocationResult r = Run(trace);
+  EXPECT_EQ(r.elapsed, Duration::Zero());
+  EXPECT_EQ(r.access_count, 0u);
+}
+
+TEST_F(VmTest, PureComputeTakesComputeTime) {
+  InvocationTrace trace;
+  trace.trailing_compute = Duration::Millis(4);
+  Vm::InvocationResult r = Run(trace);
+  EXPECT_EQ(r.elapsed, Duration::Millis(4));
+}
+
+TEST_F(VmTest, ComputePlusAnonymousFaults) {
+  space_.Map({.guest = {0, kPages}, .kind = BackingKind::kAnonymous});
+  InvocationTrace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.ops.push_back(TraceOp{Duration::Micros(100), static_cast<PageIndex>(i), true});
+  }
+  Vm::InvocationResult r = Run(trace);
+  // 10 * (100us compute + 2.5us anon fault)
+  EXPECT_EQ(r.elapsed, Duration::Micros(1025));
+  EXPECT_EQ(r.access_count, 10u);
+  EXPECT_EQ(r.written_pages.page_count(), 10u);
+  EXPECT_EQ(engine_->metrics().count(FaultClass::kAnonymous), 10);
+}
+
+TEST_F(VmTest, RepeatAccessesAreFree) {
+  space_.Map({.guest = {0, kPages}, .kind = BackingKind::kAnonymous});
+  InvocationTrace trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.ops.push_back(TraceOp{Duration::Zero(), 7, false});
+  }
+  Vm::InvocationResult r = Run(trace);
+  EXPECT_EQ(r.elapsed, engine_->costs().anonymous_fault);  // one fault, four free hits
+  EXPECT_EQ(engine_->metrics().count(FaultClass::kNoFault), 4);
+}
+
+TEST_F(VmTest, MajorFaultsBlockTheVcpu) {
+  space_.Map({.guest = {0, kPages}, .kind = BackingKind::kFile, .file = kMemFile,
+              .file_start = 0});
+  InvocationTrace trace;
+  trace.ops.push_back(TraceOp{Duration::Zero(), 100, false});
+  Vm::InvocationResult r = Run(trace);
+  EXPECT_GT(r.elapsed, Duration::Micros(50));  // includes the disk read
+  EXPECT_EQ(engine_->metrics().count(FaultClass::kMajor), 1);
+}
+
+TEST_F(VmTest, ObserverSeesEveryAccessWithClass) {
+  space_.Map({.guest = {0, kPages}, .kind = BackingKind::kAnonymous});
+  std::vector<std::pair<PageIndex, FaultClass>> seen;
+  vm_->set_access_observer([&](PageIndex p, FaultClass c) { seen.emplace_back(p, c); });
+  InvocationTrace trace;
+  trace.ops.push_back(TraceOp{Duration::Zero(), 3, true});
+  trace.ops.push_back(TraceOp{Duration::Zero(), 3, false});
+  trace.ops.push_back(TraceOp{Duration::Zero(), 4, true});
+  Run(trace);
+  ASSERT_EQ(seen.size(), 3u);
+  const auto expected0 = std::make_pair<PageIndex, FaultClass>(3, FaultClass::kAnonymous);
+  const auto expected1 = std::make_pair<PageIndex, FaultClass>(3, FaultClass::kNoFault);
+  const auto expected2 = std::make_pair<PageIndex, FaultClass>(4, FaultClass::kAnonymous);
+  EXPECT_EQ(seen[0], expected0);
+  EXPECT_EQ(seen[1], expected1);
+  EXPECT_EQ(seen[2], expected2);
+}
+
+TEST_F(VmTest, VcpusCountAgainstCpuModelOnlyWhileRunning) {
+  EXPECT_EQ(cpu_.runnable(), 0);
+  InvocationTrace trace;
+  trace.trailing_compute = Duration::Millis(1);
+  bool checked = false;
+  vm_->RunInvocation(trace, [&](Vm::InvocationResult) {});
+  sim_.ScheduleAfter(Duration::Micros(500), [&] {
+    EXPECT_EQ(cpu_.runnable(), 2);
+    checked = true;
+  });
+  sim_.Run();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(cpu_.runnable(), 0);
+}
+
+TEST_F(VmTest, CpuContentionStretchesCompute) {
+  CpuModel small_cpu(1);
+  Vm vm_a(&sim_, engine_.get(), &small_cpu, /*vcpus=*/1);
+  Vm vm_b(&sim_, engine_.get(), &small_cpu, /*vcpus=*/1);
+  InvocationTrace trace;
+  trace.trailing_compute = Duration::Millis(10);
+  Duration a_elapsed;
+  Duration b_elapsed;
+  vm_a.RunInvocation(trace, [&](Vm::InvocationResult r) { a_elapsed = r.elapsed; });
+  vm_b.RunInvocation(trace, [&](Vm::InvocationResult r) { b_elapsed = r.elapsed; });
+  sim_.Run();
+  // The contention factor is sampled when a compute burst is issued: vm_a issued
+  // its burst before vm_b became runnable (factor 1), vm_b issued under
+  // 2-runnable/1-core contention (factor 2).
+  EXPECT_EQ(a_elapsed, Duration::Millis(10));
+  EXPECT_EQ(b_elapsed, Duration::Millis(20));
+}
+
+TEST_F(VmTest, WrittenPagesExcludeReads) {
+  space_.Map({.guest = {0, kPages}, .kind = BackingKind::kAnonymous});
+  InvocationTrace trace;
+  trace.ops.push_back(TraceOp{Duration::Zero(), 1, false});
+  trace.ops.push_back(TraceOp{Duration::Zero(), 2, true});
+  Vm::InvocationResult r = Run(trace);
+  EXPECT_FALSE(r.written_pages.Contains(1));
+  EXPECT_TRUE(r.written_pages.Contains(2));
+}
+
+TEST(GuestLayoutInVmTest, TraceHelpers) {
+  InvocationTrace trace;
+  trace.ops.push_back(TraceOp{Duration::Micros(5), 10, false});
+  trace.ops.push_back(TraceOp{Duration::Micros(5), 11, false});
+  trace.ops.push_back(TraceOp{Duration::Zero(), 10, true});
+  trace.trailing_compute = Duration::Micros(10);
+  EXPECT_EQ(trace.access_count(), 3u);
+  EXPECT_EQ(trace.TouchedPages().page_count(), 2u);
+  EXPECT_EQ(trace.TotalCompute(), Duration::Micros(20));
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,116 @@
+#include "src/workloads/function_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/vm/guest_layout.h"
+
+namespace faasnap {
+namespace {
+
+TEST(FunctionCatalog, HasTwelveFunctions) {
+  EXPECT_EQ(FunctionCatalog().size(), 12u);
+}
+
+TEST(FunctionCatalog, NamesMatchTable2) {
+  std::vector<std::string> names;
+  for (const FunctionSpec& spec : FunctionCatalog()) {
+    names.push_back(spec.name);
+  }
+  const std::vector<std::string> expected = {
+      "hello-world", "read-list", "mmap",   "image",  "json",        "pyaes",
+      "chameleon",   "matmul",    "ffmpeg", "compression", "recognition", "pagerank"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(FunctionCatalog, FindFunctionWorks) {
+  Result<FunctionSpec> image = FindFunction("image");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->name, "image");
+  EXPECT_FALSE(FindFunction("nope").ok());
+}
+
+TEST(FunctionCatalog, SyntheticFunctionsAreFixedInput) {
+  for (const std::string& name : SyntheticFunctionNames()) {
+    Result<FunctionSpec> spec = FindFunction(name);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_TRUE(spec->fixed_input) << name;
+  }
+  for (const std::string& name : BenchmarkFunctionNames()) {
+    Result<FunctionSpec> spec = FindFunction(name);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_FALSE(spec->fixed_input) << name;
+  }
+  EXPECT_EQ(BenchmarkFunctionNames().size() + SyntheticFunctionNames().size(), 12u);
+}
+
+// Working-set sizes should track Table 2 within a small tolerance (the table
+// reports MB at one decimal place).
+struct WsExpectation {
+  const char* name;
+  double ws_a_mb;
+  double ws_b_mb;
+};
+
+class WorkingSetSizeTest : public ::testing::TestWithParam<WsExpectation> {};
+
+TEST_P(WorkingSetSizeTest, MatchesTable2) {
+  const WsExpectation& expect = GetParam();
+  Result<FunctionSpec> spec = FindFunction(expect.name);
+  ASSERT_TRUE(spec.ok());
+  const double ws_a = static_cast<double>(PagesToBytes(spec->WorkingSetPages(spec->input_a))) /
+                      static_cast<double>(kMiB);
+  const double ws_b = static_cast<double>(PagesToBytes(spec->WorkingSetPages(spec->input_b))) /
+                      static_cast<double>(kMiB);
+  EXPECT_NEAR(ws_a, expect.ws_a_mb, expect.ws_a_mb * 0.02 + 0.1);
+  EXPECT_NEAR(ws_b, expect.ws_b_mb, expect.ws_b_mb * 0.02 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, WorkingSetSizeTest,
+    ::testing::Values(WsExpectation{"hello-world", 11.8, 11.8},
+                      WsExpectation{"read-list", 526, 526},
+                      WsExpectation{"mmap", 536, 536},
+                      WsExpectation{"image", 20.6, 32.6},
+                      WsExpectation{"json", 12.7, 14.4},
+                      WsExpectation{"pyaes", 12.6, 13.2},
+                      WsExpectation{"chameleon", 22.9, 25.1},
+                      WsExpectation{"matmul", 113, 133},
+                      WsExpectation{"ffmpeg", 179, 178},
+                      WsExpectation{"compression", 15.3, 15.8},
+                      WsExpectation{"recognition", 230, 234},
+                      WsExpectation{"pagerank", 104, 114}),
+    [](const ::testing::TestParamInfo<WsExpectation>& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(FunctionCatalog, SpecsFitTheDefaultLayout) {
+  GuestLayout layout = GuestLayout::Default2GiB();
+  for (const FunctionSpec& spec : FunctionCatalog()) {
+    EXPECT_LE(spec.stable_pages, layout.stable.count) << spec.name;
+    EXPECT_LE(spec.scattered_stable_pages, spec.stable_pages) << spec.name;
+    for (const InputProfile* input : {&spec.input_a, &spec.input_b}) {
+      const auto window = static_cast<uint64_t>(
+          static_cast<double>(input->input_pages) * spec.window_factor);
+      EXPECT_LE(window, layout.window.count) << spec.name;
+      EXPECT_LE(input->anon_pages, layout.scratch.count) << spec.name;
+      EXPECT_GT(input->compute, Duration::Zero()) << spec.name;
+    }
+  }
+}
+
+TEST(FunctionCatalog, HelloWorldIsFourMilliseconds) {
+  // Section 3.2: hello-world completes in 4 ms on a warm VM.
+  Result<FunctionSpec> spec = FindFunction("hello-world");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->input_a.compute, Duration::Millis(4));
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -1,0 +1,282 @@
+#include "src/workloads/trace_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace faasnap {
+namespace {
+
+GuestLayout Layout() { return GuestLayout::Default2GiB(); }
+
+TraceGenerator MakeGenerator(const std::string& name) {
+  Result<FunctionSpec> spec = FindFunction(name);
+  FAASNAP_CHECK(spec.ok());
+  return TraceGenerator(*spec, Layout());
+}
+
+TEST(TraceGenerator, HelloWorldTouchesOnlyStablePages) {
+  TraceGenerator gen = MakeGenerator("hello-world");
+  InvocationTrace trace = gen.Generate(MakeInputA(gen.spec()));
+  // Coverage is approximate: always-exercised pages plus this input's code paths
+  // sum to roughly the spec's stable page count.
+  EXPECT_NEAR(static_cast<double>(trace.ops.size()),
+              static_cast<double>(gen.spec().stable_pages),
+              static_cast<double>(gen.spec().stable_pages) * 0.06);
+  PageRangeSet touched = trace.TouchedPages();
+  EXPECT_EQ(touched.page_count(), trace.ops.size());
+  for (const PageRange& r : touched.ranges()) {
+    EXPECT_GE(r.first, Layout().stable.first);
+    EXPECT_LT(r.end(), Layout().stable.end());
+  }
+  EXPECT_TRUE(trace.freed_at_end.empty());
+  // Compute adds up to the spec's budget.
+  EXPECT_EQ(trace.TotalCompute(), Duration::Millis(4));
+}
+
+TEST(TraceGenerator, StableAccessOrderIsDeterministic) {
+  TraceGenerator gen = MakeGenerator("hello-world");
+  InvocationTrace t1 = gen.Generate(MakeInputA(gen.spec()));
+  InvocationTrace t2 = gen.Generate(MakeInputB(gen.spec()));
+  ASSERT_EQ(t1.ops.size(), t2.ops.size());
+  for (size_t i = 0; i < t1.ops.size(); ++i) {
+    EXPECT_EQ(t1.ops[i].page, t2.ops[i].page);
+  }
+}
+
+TEST(TraceGenerator, ScatteredSegmentIsNotSequential) {
+  TraceGenerator gen = MakeGenerator("hello-world");
+  InvocationTrace trace = gen.Generate(MakeInputA(gen.spec()));
+  int sequential_steps = 0;
+  for (size_t i = 1; i < 1000; ++i) {
+    if (trace.ops[i].page == trace.ops[i - 1].page + 1) {
+      ++sequential_steps;
+    }
+  }
+  EXPECT_LT(sequential_steps, 50);  // a shuffled order has almost no +1 steps
+}
+
+TEST(TraceGenerator, ReadListHasLargeSequentialSegment) {
+  TraceGenerator gen = MakeGenerator("read-list");
+  InvocationTrace trace = gen.Generate(MakeInputA(gen.spec()));
+  // The list (the sequential segment) is read in address order at the end of the
+  // stable phase; locate it by the sequential segment's first page.
+  const uint64_t seq_pages = gen.sequential_stable().count;
+  const size_t start = trace.ops.size() - seq_pages;
+  EXPECT_EQ(trace.ops[start].page, gen.sequential_stable().first);
+  for (size_t i = start + 1; i < start + 1000; ++i) {
+    EXPECT_EQ(trace.ops[i].page, trace.ops[i - 1].page + 1);
+  }
+}
+
+TEST(TraceGenerator, MmapWritesScratchSequentiallyAndFreesIt) {
+  TraceGenerator gen = MakeGenerator("mmap");
+  InvocationTrace trace = gen.Generate(MakeInputA(gen.spec()));
+  const uint64_t anon = gen.spec().input_a.anon_pages;
+  // The anon sweep is sequential writes in the scratch zone, after the stable phase.
+  const TraceOp& first_anon = trace.ops[trace.ops.size() - anon];
+  EXPECT_EQ(first_anon.page, Layout().scratch.first);
+  EXPECT_TRUE(first_anon.is_write);
+  EXPECT_EQ(trace.freed_at_end.page_count(), anon);
+  EXPECT_TRUE(trace.freed_at_end.Contains(Layout().scratch.first));
+}
+
+PageRangeSet WindowPages(const TraceGenerator& gen, const InvocationTrace& trace) {
+  PageRangeSet window_zone;
+  window_zone.Add(gen.layout().window);
+  return trace.TouchedPages().Intersect(window_zone);
+}
+
+TEST(TraceGenerator, ImageInputPagesAreContentSelected) {
+  TraceGenerator gen = MakeGenerator("image");
+  InvocationTrace a = gen.Generate(MakeInputA(gen.spec()));
+  // Same size, different content (the image-diff scenario).
+  WorkloadInput diff = MakeInputA(gen.spec());
+  diff.content_seed = 0xD1FF;
+  InvocationTrace b = gen.Generate(diff);
+
+  PageRangeSet window_a = WindowPages(gen, a);
+  PageRangeSet window_b = WindowPages(gen, b);
+  // Counts are density-approximate: within 10% of spec.
+  const double expected = static_cast<double>(gen.spec().input_a.input_pages);
+  EXPECT_NEAR(static_cast<double>(window_a.page_count()), expected, expected * 0.1);
+  EXPECT_NEAR(static_cast<double>(window_b.page_count()), expected, expected * 0.1);
+  // Different contents overlap only partially (roughly density^2 of the window).
+  const uint64_t overlap = window_a.Intersect(window_b).page_count();
+  EXPECT_LT(overlap, window_a.page_count() * 3 / 4);
+  EXPECT_GT(overlap, 0u);
+}
+
+TEST(TraceGenerator, SameSeedSelectsSamePages) {
+  TraceGenerator gen = MakeGenerator("image");
+  InvocationTrace t1 = gen.Generate(MakeInputA(gen.spec()));
+  InvocationTrace t2 = gen.Generate(MakeInputA(gen.spec()));
+  EXPECT_EQ(WindowPages(gen, t1), WindowPages(gen, t2));
+}
+
+TEST(TraceGenerator, ScaledInputGrowsWindowBeyondRecordCoverage) {
+  TraceGenerator gen = MakeGenerator("pagerank");
+  InvocationTrace small = gen.Generate(MakeScaledInput(gen.spec(), 1.0, 7));
+  InvocationTrace big = gen.Generate(MakeScaledInput(gen.spec(), 4.0, 8));
+  // The 4x input touches pages beyond the 1x window entirely.
+  PageIndex max_small = 0;
+  PageIndex max_big = 0;
+  for (const TraceOp& op : small.ops) {
+    max_small = std::max(max_small, op.page);
+  }
+  for (const TraceOp& op : big.ops) {
+    max_big = std::max(max_big, op.page);
+  }
+  EXPECT_GT(max_big, max_small + 10000);
+  EXPECT_NEAR(static_cast<double>(WindowPages(gen, big).page_count()),
+              static_cast<double>(WindowPages(gen, small).page_count()) * 4.0,
+              static_cast<double>(WindowPages(gen, small).page_count()) * 0.5);
+}
+
+TEST(TraceGenerator, ScaledComputeFollowsExponent) {
+  TraceGenerator gen = MakeGenerator("matmul");  // exponent 1.5
+  WorkloadInput x1 = MakeScaledInput(gen.spec(), 1.0, 1);
+  WorkloadInput x4 = MakeScaledInput(gen.spec(), 4.0, 1);
+  EXPECT_EQ(x1.profile.compute, gen.spec().input_a.compute);
+  EXPECT_NEAR(static_cast<double>(x4.profile.compute.nanos()),
+              static_cast<double>(x1.profile.compute.nanos()) * 8.0,
+              static_cast<double>(x1.profile.compute.nanos()) * 0.01);
+}
+
+TEST(TraceGenerator, FixedInputFunctionsUseSameSeedForB) {
+  TraceGenerator gen = MakeGenerator("read-list");
+  WorkloadInput a = MakeInputA(gen.spec());
+  WorkloadInput b = MakeInputB(gen.spec());
+  EXPECT_EQ(a.content_seed, b.content_seed);
+  TraceGenerator img = MakeGenerator("image");
+  EXPECT_NE(MakeInputA(img.spec()).content_seed, MakeInputB(img.spec()).content_seed);
+}
+
+TEST(TraceGenerator, CleanSnapshotNonZeroIsBootPlusStable) {
+  TraceGenerator gen = MakeGenerator("image");
+  PageRangeSet nonzero = gen.CleanSnapshotNonZero();
+  EXPECT_TRUE(nonzero.Contains(0));  // boot
+  EXPECT_TRUE(nonzero.Contains(Layout().stable.first));
+  EXPECT_FALSE(nonzero.Contains(Layout().window.first));
+  // boot + placed scattered pages (slightly more than one input touches) + data.
+  EXPECT_EQ(nonzero.page_count(), Layout().boot.count + gen.TotalScatteredPlaced() +
+                                      gen.sequential_stable().count);
+  EXPECT_GE(gen.TotalScatteredPlaced(), gen.spec().scattered_stable_pages);
+}
+
+TEST(TraceGenerator, ScatteredRunsAreClusteredWithGaps) {
+  TraceGenerator gen = MakeGenerator("hello-world");
+  const auto& runs = gen.scattered_runs();
+  // Many short runs (the >1000-regions-before-merging observation of 4.6).
+  EXPECT_GT(runs.size(), 200u);
+  uint64_t total = 0;
+  uint64_t small_gaps = 0;
+  uint64_t big_gaps = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    total += runs[i].count;
+    if (i > 0) {
+      const uint64_t gap = runs[i].first - runs[i - 1].end();
+      EXPECT_GE(gap, 1u);  // runs never abut (they would have been one run)
+      if (gap <= 32) {
+        ++small_gaps;
+      } else {
+        ++big_gaps;
+      }
+    }
+  }
+  EXPECT_EQ(total, gen.TotalScatteredPlaced());
+  EXPECT_GE(total, gen.spec().scattered_stable_pages);
+  EXPECT_GT(small_gaps, big_gaps * 3);  // mostly small gaps, some large jumps
+  EXPECT_GT(big_gaps, 10u);
+  // The placement is deterministic: a second generator sees the same runs.
+  TraceGenerator gen2 = MakeGenerator("hello-world");
+  EXPECT_EQ(gen2.scattered_runs().size(), runs.size());
+  EXPECT_EQ(gen2.scattered_runs()[5], runs[5]);
+}
+
+TEST(TraceGenerator, SequentialStableFollowsScatterSpan) {
+  TraceGenerator gen = MakeGenerator("read-list");
+  const PageRange& seq = gen.sequential_stable();
+  EXPECT_EQ(seq.count, gen.spec().stable_pages - gen.spec().scattered_stable_pages);
+  EXPECT_GE(seq.first, gen.scattered_runs().back().end());
+  EXPECT_LE(seq.end(), Layout().stable.end());
+}
+
+// Section 4.4's precondition: different inputs exercise overlapping-but-distinct
+// runtime code paths, so some stable pages faulted by input B were never faulted
+// by input A (but sit adjacent to A's pages, where readahead finds them).
+TEST(TraceGenerator, StableCodePathsDriftWithContent) {
+  TraceGenerator gen = MakeGenerator("image");
+  PageRangeSet span;
+  for (const PageRange& r : gen.scattered_runs()) {
+    span.Add(r);
+  }
+  InvocationTrace a = gen.Generate(MakeInputA(gen.spec()));
+  InvocationTrace b = gen.Generate(MakeInputB(gen.spec()));
+  PageRangeSet stable_a = a.TouchedPages().Intersect(span);
+  PageRangeSet stable_b = b.TouchedPages().Intersect(span);
+  const uint64_t b_only = stable_b.Subtract(stable_a).page_count();
+  EXPECT_GT(b_only, stable_b.page_count() / 20);  // real drift...
+  EXPECT_LT(b_only, stable_b.page_count() / 3);   // ...but mostly shared
+  // Fixed-input functions have zero drift.
+  TraceGenerator fixed = MakeGenerator("read-list");
+  InvocationTrace fa = fixed.Generate(MakeInputA(fixed.spec()));
+  InvocationTrace fb = fixed.Generate(MakeInputB(fixed.spec()));
+  EXPECT_EQ(fa.TouchedPages(), fb.TouchedPages());
+}
+
+TEST(TraceGenerator, ComputeIsSpreadAcrossOps) {
+  TraceGenerator gen = MakeGenerator("json");
+  InvocationTrace trace = gen.Generate(MakeInputA(gen.spec()));
+  EXPECT_EQ(trace.TotalCompute(), gen.spec().input_a.compute);
+  // First op carries roughly total/ops.
+  EXPECT_NEAR(static_cast<double>(trace.ops[0].compute.nanos()),
+              static_cast<double>(gen.spec().input_a.compute.nanos()) /
+                  static_cast<double>(trace.ops.size()),
+              1.0);
+}
+
+// Property sweep: for every catalog function, traces stay inside the guest, touch
+// approximately the Table 2 working set, and free only transient pages.
+class TraceGeneratorCatalogTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceGeneratorCatalogTest, TraceInvariants) {
+  Result<FunctionSpec> spec = FindFunction(GetParam());
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator gen(*spec, Layout());
+  for (const WorkloadInput& input : {MakeInputA(*spec), MakeInputB(*spec)}) {
+    InvocationTrace trace = gen.Generate(input);
+    const uint64_t expected_ws = spec->stable_pages + input.profile.input_pages +
+                                 input.profile.anon_pages;
+    const double tolerance = static_cast<double>(expected_ws) * 0.1;
+    EXPECT_NEAR(static_cast<double>(trace.TouchedPages().page_count()),
+                static_cast<double>(expected_ws), tolerance);
+    for (const TraceOp& op : trace.ops) {
+      ASSERT_LT(op.page, Layout().total_pages);
+    }
+    // Freed pages live only in the scratch zone (what munmap returns to the
+    // guest kernel) and are a subset of the touched pages.
+    PageRangeSet scratch_zone;
+    scratch_zone.Add(Layout().scratch);
+    EXPECT_EQ(trace.freed_at_end.Intersect(scratch_zone), trace.freed_at_end);
+    EXPECT_EQ(trace.freed_at_end.Subtract(trace.TouchedPages()).page_count(), 0u);
+    EXPECT_EQ(trace.TotalCompute(), input.profile.compute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, TraceGeneratorCatalogTest,
+                         ::testing::Values("hello-world", "read-list", "mmap", "image", "json",
+                                           "pyaes", "chameleon", "matmul", "ffmpeg",
+                                           "compression", "recognition", "pagerank"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace faasnap
