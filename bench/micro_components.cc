@@ -4,8 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
 #include "src/common/page_range.h"
 #include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/mem/page_cache.h"
+#include "src/sim/simulation.h"
 #include "src/core/loading_set_builder.h"
 #include "src/mem/fault_engine.h"
 #include "src/snapshot/serialization.h"
@@ -33,6 +39,24 @@ void BM_PageRangeSetAddScattered(benchmark::State& state) {
                           static_cast<int64_t>(count));
 }
 BENCHMARK(BM_PageRangeSetAddScattered)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PageRangeSetUnion(benchmark::State& state) {
+  PageRangeSet a = ScatteredSet(static_cast<uint64_t>(state.range(0)), 1);
+  PageRangeSet b = ScatteredSet(static_cast<uint64_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b));
+  }
+}
+BENCHMARK(BM_PageRangeSetUnion)->Arg(256)->Arg(4096);
+
+void BM_PageRangeSetSubtract(benchmark::State& state) {
+  PageRangeSet a = ScatteredSet(static_cast<uint64_t>(state.range(0)), 1);
+  PageRangeSet b = ScatteredSet(static_cast<uint64_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Subtract(b));
+  }
+}
+BENCHMARK(BM_PageRangeSetSubtract)->Arg(256)->Arg(4096);
 
 void BM_PageRangeSetIntersect(benchmark::State& state) {
   PageRangeSet a = ScatteredSet(static_cast<uint64_t>(state.range(0)), 1);
@@ -111,6 +135,127 @@ void BM_LoadingSetManifestRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LoadingSetManifestRoundTrip);
+
+void BM_SimulationScheduleFire(benchmark::State& state) {
+  // Schedule/fire throughput: a deterministic mix of near-future events, each
+  // firing callback scheduling a follow-up until the budget drains — the shape of
+  // the fault/IO event churn in a restore sweep. range(0) is the number of
+  // concurrently outstanding events (queue depth: dozens for one VM, thousands
+  // for a burst of restoring VMs with deep IO pipelines); range(1) is the total
+  // number of events fired per iteration.
+  const auto depth = static_cast<uint64_t>(state.range(0));
+  const auto batch = static_cast<uint64_t>(state.range(1));
+  struct Chain {
+    Simulation sim;
+    Rng rng{17};
+    uint64_t remaining = 0;
+    void Tick() {
+      if (remaining == 0) {
+        return;
+      }
+      --remaining;
+      // Single-pointer capture: stays in the callback's inline buffer, and the
+      // delay is drawn with a mask rather than a modulo, so the measurement is
+      // the engine's schedule/fire cost, not allocator or divider traffic.
+      sim.ScheduleAfter(Duration::Nanos(static_cast<int64_t>(1 + (rng.NextU64() & 511))),
+                        [this] { Tick(); });
+    }
+  };
+  for (auto _ : state) {
+    Chain chain;
+    chain.remaining = batch;
+    for (uint64_t i = 0; i < depth; ++i) {
+      chain.sim.Schedule(
+          SimTime() + Duration::Nanos(static_cast<int64_t>(chain.rng.NextU64() & 1023)),
+          [&chain] { chain.Tick(); });
+    }
+    benchmark::DoNotOptimize(chain.sim.Run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SimulationScheduleFire)
+    ->Args({64, 1024})
+    ->Args({64, 16384})
+    ->Args({1024, 16384})
+    ->Args({4096, 65536});
+
+void BM_SimulationScheduleBurst(benchmark::State& state) {
+  // Pure schedule-then-drain throughput: a restore storm issues a burst of IO
+  // completions up front, then the engine fires them in timestamp order. The
+  // callback is empty, so this isolates the engine's per-event cost.
+  const auto batch = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    Rng rng(29);
+    for (uint64_t i = 0; i < batch; ++i) {
+      sim.Schedule(SimTime() + Duration::Nanos(static_cast<int64_t>(rng.NextU64() & 0xFFFFF)),
+                   [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SimulationScheduleBurst)->Arg(1024)->Arg(16384);
+
+void BM_SimulationScheduleCancel(benchmark::State& state) {
+  // Timeout-heavy pattern: most scheduled events are cancelled before firing
+  // (keep-alive timers, readahead deadlines).
+  const auto batch = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    Rng rng(23);
+    std::vector<EventId> ids;
+    ids.reserve(batch);
+    for (uint64_t i = 0; i < batch; ++i) {
+      ids.push_back(sim.Schedule(
+          SimTime() + Duration::Nanos(static_cast<int64_t>(rng.NextBelow(1 << 20))), []() {}));
+    }
+    for (uint64_t i = 0; i < batch; ++i) {
+      if (i % 4 != 0) {
+        sim.Cancel(ids[i]);
+      }
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SimulationScheduleCancel)->Arg(16384);
+
+void BM_PageCacheGetStateInFlight(benchmark::State& state) {
+  // GetState while many reads are outstanding (the burst experiments: dozens of
+  // loaders with deep pipelines share the cache).
+  Simulation sim;
+  PageCache cache;
+  const auto reads = static_cast<uint64_t>(state.range(0));
+  std::vector<PageCache::ReadHandle> handles;
+  for (uint64_t i = 0; i < reads; ++i) {
+    handles.push_back(cache.BeginRead(1, PageRange{i * 128, 64}));
+  }
+  Rng rng(31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GetState(1, rng.NextBelow(reads * 128)));
+  }
+  for (PageCache::ReadHandle h : handles) {
+    cache.CompleteRead(h);
+  }
+}
+BENCHMARK(BM_PageCacheGetStateInFlight)->Arg(64)->Arg(1024);
+
+void BM_PageCacheAbsentIn(benchmark::State& state) {
+  // The loader's per-chunk question against a well-populated cache.
+  PageCache cache;
+  Rng rng(37);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(state.range(0)); ++i) {
+    cache.Insert(1, PageRange{rng.NextBelow(1u << 20), 1 + rng.NextBelow(16)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.AbsentIn(1, PageRange{rng.NextBelow(1u << 20), 64}));
+  }
+}
+BENCHMARK(BM_PageCacheAbsentIn)->Arg(256)->Arg(4096);
 
 void BM_FaultEnginePageCacheHit(benchmark::State& state) {
   Simulation sim;

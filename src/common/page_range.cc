@@ -7,6 +7,71 @@
 
 namespace faasnap {
 
+namespace {
+
+// Single-pass merge of two sorted, disjoint, coalesced range lists into their
+// union. Returns the total page count of the result.
+uint64_t MergeUnion(const std::vector<PageRange>& a, const std::vector<PageRange>& b,
+                    std::vector<PageRange>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  uint64_t total = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    const PageRange& next =
+        (j == b.size() || (i < a.size() && a[i].first <= b[j].first)) ? a[i++] : b[j++];
+    if (!out->empty() && next.first <= out->back().end()) {
+      const PageIndex merged_end = std::max(out->back().end(), next.end());
+      total += merged_end - out->back().end();
+      out->back().count = merged_end - out->back().first;
+    } else {
+      out->push_back(next);
+      total += next.count;
+    }
+  }
+  return total;
+}
+
+// Single-pass a - b over sorted, disjoint, coalesced lists. Returns the total
+// page count of the result. The output is automatically coalesced: surviving
+// pieces of one a-run are separated by removed pages, and distinct a-runs were
+// already separated by at least one page.
+uint64_t MergeSubtract(const std::vector<PageRange>& a, const std::vector<PageRange>& b,
+                       std::vector<PageRange>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  uint64_t total = 0;
+  size_t j = 0;
+  for (const PageRange& r : a) {
+    PageIndex cursor = r.first;
+    const PageIndex a_end = r.end();
+    while (j < b.size() && b[j].end() <= cursor) {
+      ++j;
+    }
+    size_t k = j;
+    while (cursor < a_end && k < b.size() && b[k].first < a_end) {
+      if (b[k].first > cursor) {
+        out->push_back(PageRange{cursor, b[k].first - cursor});
+        total += b[k].first - cursor;
+      }
+      cursor = std::max(cursor, b[k].end());
+      if (b[k].end() > a_end) {
+        break;  // this b-run may also clip the next a-run; do not advance past it
+      }
+      ++k;
+    }
+    if (cursor < a_end) {
+      out->push_back(PageRange{cursor, a_end - cursor});
+      total += a_end - cursor;
+    }
+    j = k;
+  }
+  return total;
+}
+
+}  // namespace
+
 std::string PageRange::ToString() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "[%llu,%llu)", static_cast<unsigned long long>(first),
@@ -20,6 +85,18 @@ PageRangeSet::PageRangeSet(std::vector<PageRange> ranges) {
   }
 }
 
+void PageRangeSet::AppendCoalescing(PageIndex first, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (!ranges_.empty() && ranges_.back().end() == first) {
+    ranges_.back().count += count;
+  } else {
+    ranges_.push_back(PageRange{first, count});
+  }
+  total_pages_ += count;
+}
+
 void PageRangeSet::Add(PageIndex first, uint64_t count) {
   if (count == 0) {
     return;
@@ -31,15 +108,17 @@ void PageRangeSet::Add(PageIndex first, uint64_t count) {
       [](const PageRange& r, PageIndex v) { return r.end() < v; });
   PageIndex new_first = incoming.first;
   PageIndex new_end = incoming.end();
+  uint64_t absorbed = 0;
   auto erase_begin = it;
   while (it != ranges_.end() && it->first <= new_end) {
     new_first = std::min(new_first, it->first);
     new_end = std::max(new_end, it->end());
+    absorbed += it->count;
     ++it;
   }
   auto pos = ranges_.erase(erase_begin, it);
   ranges_.insert(pos, PageRange{new_first, new_end - new_first});
-  RecomputeTotal();
+  total_pages_ += (new_end - new_first) - absorbed;
 }
 
 void PageRangeSet::Remove(PageIndex first, uint64_t count) {
@@ -47,22 +126,40 @@ void PageRangeSet::Remove(PageIndex first, uint64_t count) {
     return;
   }
   const PageIndex rem_end = first + count;
-  std::vector<PageRange> out;
-  out.reserve(ranges_.size() + 1);
-  for (const PageRange& r : ranges_) {
-    if (r.end() <= first || r.first >= rem_end) {
-      out.push_back(r);
-      continue;
-    }
-    if (r.first < first) {
-      out.push_back(PageRange{r.first, first - r.first});
-    }
-    if (r.end() > rem_end) {
-      out.push_back(PageRange{rem_end, r.end() - rem_end});
-    }
+  // First range whose end > first, i.e. the first run the removal can touch.
+  auto it = std::lower_bound(ranges_.begin(), ranges_.end(), first,
+                             [](const PageRange& r, PageIndex v) { return r.end() <= v; });
+  if (it == ranges_.end() || it->first >= rem_end) {
+    return;
   }
-  ranges_ = std::move(out);
-  RecomputeTotal();
+  // Removal strictly inside a single run: split it in place.
+  if (it->first < first && it->end() > rem_end) {
+    const PageRange right{rem_end, it->end() - rem_end};
+    it->count = first - it->first;
+    ranges_.insert(it + 1, right);
+    total_pages_ -= count;
+    return;
+  }
+  // Trim a left partial overlap.
+  if (it->first < first) {
+    total_pages_ -= it->end() - first;
+    it->count = first - it->first;
+    ++it;
+  }
+  // Drop runs fully covered by the removal.
+  auto erase_begin = it;
+  while (it != ranges_.end() && it->end() <= rem_end) {
+    total_pages_ -= it->count;
+    ++it;
+  }
+  // Trim a right partial overlap.
+  if (it != ranges_.end() && it->first < rem_end) {
+    total_pages_ -= rem_end - it->first;
+    const PageIndex old_end = it->end();
+    it->first = rem_end;
+    it->count = old_end - rem_end;
+  }
+  ranges_.erase(erase_begin, it);
 }
 
 bool PageRangeSet::Contains(PageIndex page) const {
@@ -75,26 +172,61 @@ bool PageRangeSet::Contains(PageIndex page) const {
   return it->Contains(page);
 }
 
-PageRangeSet PageRangeSet::Union(const PageRangeSet& other) const {
-  PageRangeSet out = *this;
-  for (const PageRange& r : other.ranges_) {
-    out.Add(r);
+bool PageRangeSet::ContainsRange(PageIndex first, uint64_t count) const {
+  if (count == 0) {
+    return true;
   }
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), first,
+                             [](PageIndex v, const PageRange& r) { return v < r.first; });
+  if (it == ranges_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first <= first && first + count <= it->end();
+}
+
+bool PageRangeSet::Overlaps(const PageRange& r) const {
+  if (r.empty()) {
+    return false;
+  }
+  // First run whose end > r.first; it overlaps iff it starts before r ends.
+  auto it = std::lower_bound(ranges_.begin(), ranges_.end(), r.first,
+                             [](const PageRange& range, PageIndex v) { return range.end() <= v; });
+  return it != ranges_.end() && it->first < r.end();
+}
+
+PageRangeSet PageRangeSet::Union(const PageRangeSet& other) const {
+  PageRangeSet out;
+  out.total_pages_ = MergeUnion(ranges_, other.ranges_, &out.ranges_);
   return out;
+}
+
+void PageRangeSet::UnionInPlace(const PageRangeSet& other) {
+  if (other.ranges_.empty()) {
+    return;
+  }
+  if (ranges_.empty()) {
+    ranges_ = other.ranges_;
+    total_pages_ = other.total_pages_;
+    return;
+  }
+  std::vector<PageRange> merged;
+  total_pages_ = MergeUnion(ranges_, other.ranges_, &merged);
+  ranges_ = std::move(merged);
 }
 
 PageRangeSet PageRangeSet::Intersect(const PageRangeSet& other) const {
   PageRangeSet out;
   size_t i = 0;
   size_t j = 0;
-  std::vector<PageRange> result;
   while (i < ranges_.size() && j < other.ranges_.size()) {
     const PageRange& a = ranges_[i];
     const PageRange& b = other.ranges_[j];
     const PageIndex lo = std::max(a.first, b.first);
     const PageIndex hi = std::min(a.end(), b.end());
     if (lo < hi) {
-      result.push_back(PageRange{lo, hi - lo});
+      out.ranges_.push_back(PageRange{lo, hi - lo});
+      out.total_pages_ += hi - lo;
     }
     if (a.end() < b.end()) {
       ++i;
@@ -102,17 +234,22 @@ PageRangeSet PageRangeSet::Intersect(const PageRangeSet& other) const {
       ++j;
     }
   }
-  out.ranges_ = std::move(result);
-  out.RecomputeTotal();
   return out;
 }
 
 PageRangeSet PageRangeSet::Subtract(const PageRangeSet& other) const {
-  PageRangeSet out = *this;
-  for (const PageRange& r : other.ranges_) {
-    out.Remove(r.first, r.count);
-  }
+  PageRangeSet out;
+  out.total_pages_ = MergeSubtract(ranges_, other.ranges_, &out.ranges_);
   return out;
+}
+
+void PageRangeSet::SubtractInPlace(const PageRangeSet& other) {
+  if (ranges_.empty() || other.ranges_.empty()) {
+    return;
+  }
+  std::vector<PageRange> result;
+  total_pages_ = MergeSubtract(ranges_, other.ranges_, &result);
+  ranges_ = std::move(result);
 }
 
 PageRangeSet PageRangeSet::ComplementWithin(uint64_t space_pages) const {
@@ -123,12 +260,12 @@ PageRangeSet PageRangeSet::ComplementWithin(uint64_t space_pages) const {
       break;
     }
     if (r.first > cursor) {
-      out.Add(cursor, r.first - cursor);
+      out.AppendCoalescing(cursor, r.first - cursor);
     }
     cursor = std::max<PageIndex>(cursor, r.end());
   }
   if (cursor < space_pages) {
-    out.Add(cursor, space_pages - cursor);
+    out.AppendCoalescing(cursor, space_pages - cursor);
   }
   return out;
 }
@@ -138,6 +275,7 @@ PageRangeSet PageRangeSet::MergeWithGapTolerance(uint64_t max_gap_pages) const {
   if (ranges_.empty()) {
     return out;
   }
+  out.ranges_.reserve(ranges_.size());
   PageRange cur = ranges_[0];
   for (size_t i = 1; i < ranges_.size(); ++i) {
     const PageRange& next = ranges_[i];
@@ -145,11 +283,11 @@ PageRangeSet PageRangeSet::MergeWithGapTolerance(uint64_t max_gap_pages) const {
     if (gap <= max_gap_pages) {
       cur.count = next.end() - cur.first;  // absorb the gap pages too
     } else {
-      out.Add(cur);
+      out.AppendCoalescing(cur.first, cur.count);
       cur = next;
     }
   }
-  out.Add(cur);
+  out.AppendCoalescing(cur.first, cur.count);
   return out;
 }
 
@@ -163,13 +301,6 @@ std::string PageRangeSet::ToString() const {
   }
   s += "}";
   return s;
-}
-
-void PageRangeSet::RecomputeTotal() {
-  total_pages_ = 0;
-  for (const PageRange& r : ranges_) {
-    total_pages_ += r.count;
-  }
 }
 
 }  // namespace faasnap

@@ -49,16 +49,27 @@ class PageRangeSet {
   void Remove(PageIndex first, uint64_t count);
 
   bool Contains(PageIndex page) const;
+  // True iff every page of [first, first+count) is in the set (a single run must
+  // cover the whole interval, since the set is coalesced). Empty intervals are
+  // trivially contained.
+  bool ContainsRange(PageIndex first, uint64_t count) const;
+  bool ContainsRange(const PageRange& r) const { return ContainsRange(r.first, r.count); }
+  // True iff any page of `r` is in the set.
+  bool Overlaps(const PageRange& r) const;
   bool empty() const { return ranges_.empty(); }
   size_t range_count() const { return ranges_.size(); }
   uint64_t page_count() const { return total_pages_; }
 
   const std::vector<PageRange>& ranges() const { return ranges_; }
 
-  // Set algebra. All results are coalesced.
+  // Set algebra. All results are coalesced. Union/Subtract are single-pass linear
+  // merges of the two sorted range lists; the InPlace variants reuse this set's
+  // storage and avoid the deep copy of the returning forms.
   PageRangeSet Union(const PageRangeSet& other) const;
   PageRangeSet Intersect(const PageRangeSet& other) const;
   PageRangeSet Subtract(const PageRangeSet& other) const;
+  void UnionInPlace(const PageRangeSet& other);
+  void SubtractInPlace(const PageRangeSet& other);
 
   // Pages in [0, space_pages) not in the set.
   PageRangeSet ComplementWithin(uint64_t space_pages) const;
@@ -72,10 +83,13 @@ class PageRangeSet {
   std::string ToString() const;
 
  private:
-  void RecomputeTotal();
+  // Appends a range known to start at or after the end of the last range,
+  // coalescing with it if abutting. The fast path for algorithms that emit
+  // ranges in ascending order.
+  void AppendCoalescing(PageIndex first, uint64_t count);
 
   std::vector<PageRange> ranges_;  // sorted by first, disjoint, non-abutting
-  uint64_t total_pages_ = 0;
+  uint64_t total_pages_ = 0;  // maintained incrementally by every mutation
 };
 
 }  // namespace faasnap

@@ -23,14 +23,15 @@ void FaasnapRecorder::Scan() {
   new_resident_since_scan_ = 0;
   // mincore over the mapped memory file sees (a) pages the guest touched (resident
   // in the VMM) and (b) pages readahead brought into the page cache.
-  PageRangeSet present = cache_->PresentPages(memory_file_).Union(pending_resident_);
+  PageRangeSet present = cache_->PresentPages(memory_file_);
+  present.UnionInPlace(pending_resident_);
   pending_resident_ = PageRangeSet();
-  PageRangeSet fresh = present.Subtract(recorded_);
-  if (fresh.empty()) {
+  present.SubtractInPlace(recorded_);
+  if (present.empty()) {
     return;
   }
-  recorded_ = recorded_.Union(fresh);
-  groups_.groups.push_back(std::move(fresh));
+  recorded_.UnionInPlace(present);
+  groups_.groups.push_back(std::move(present));
 }
 
 WorkingSetGroups FaasnapRecorder::Finish() {

@@ -1,10 +1,26 @@
 #include "src/mem/page_cache.h"
 
+#include <algorithm>
+
 namespace faasnap {
 
 const PageCache::FileState* PageCache::FindFile(FileId file) const {
   auto it = files_.find(file);
   return it == files_.end() ? nullptr : &it->second;
+}
+
+std::map<PageIndex, PageCache::InFlightSpan>::const_iterator PageCache::FirstSpanEndingAfter(
+    const FileState& fs, PageIndex page) {
+  // Spans are disjoint and start-keyed: the only span that can cover `page` is
+  // the last one starting at or before it; later spans start after `page`.
+  auto it = fs.in_flight.upper_bound(page);
+  if (it != fs.in_flight.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > page) {
+      return prev;
+    }
+  }
+  return it;
 }
 
 PageCache::PageState PageCache::GetState(FileId file, PageIndex page) const {
@@ -15,10 +31,9 @@ PageCache::PageState PageCache::GetState(FileId file, PageIndex page) const {
   if (fs->present.Contains(page)) {
     return PageState::kPresent;
   }
-  for (const auto& [handle, range] : fs->in_flight) {
-    if (range.Contains(page)) {
-      return PageState::kInFlight;
-    }
+  auto it = FirstSpanEndingAfter(*fs, page);
+  if (it != fs->in_flight.end() && it->first <= page) {
+    return PageState::kInFlight;
   }
   return PageState::kAbsent;
 }
@@ -27,7 +42,13 @@ PageCache::ReadHandle PageCache::BeginRead(FileId file, PageRange range) {
   FAASNAP_CHECK(file != kInvalidFileId);
   FAASNAP_CHECK(!range.empty());
   const ReadHandle handle = next_handle_++;
-  files_[file].in_flight.emplace(handle, range);
+  FileState& fs = files_[file];
+  // The disjointness invariant the interval index relies on: callers only read
+  // pages that are neither present nor already in flight.
+  auto overlap = FirstSpanEndingAfter(fs, range.first);
+  FAASNAP_CHECK((overlap == fs.in_flight.end() || overlap->first >= range.end()) &&
+                "BeginRead overlapping an in-flight read");
+  fs.in_flight.emplace(range.first, InFlightSpan{range.end(), handle});
   reads_.emplace(handle, InFlightRead{file, range, {}});
   return handle;
 }
@@ -38,7 +59,7 @@ void PageCache::CompleteRead(ReadHandle handle) {
   InFlightRead read = std::move(it->second);
   reads_.erase(it);
   FileState& fs = files_[read.file];
-  fs.in_flight.erase(handle);
+  fs.in_flight.erase(read.range.first);
   fs.present.Add(read.range);
   for (EventFn& waiter : read.waiters) {
     waiter();
@@ -47,11 +68,10 @@ void PageCache::CompleteRead(ReadHandle handle) {
 
 void PageCache::WaitFor(FileId file, PageIndex page, EventFn done) {
   FileState& fs = files_[file];
-  for (auto& [handle, range] : fs.in_flight) {
-    if (range.Contains(page)) {
-      reads_[handle].waiters.push_back(std::move(done));
-      return;
-    }
+  auto it = FirstSpanEndingAfter(fs, page);
+  if (it != fs.in_flight.end() && it->first <= page) {
+    reads_[it->second.handle].waiters.push_back(std::move(done));
+    return;
   }
   // Contract: the page must be in flight. Reaching here is a caller bug.
   FAASNAP_CHECK(false && "WaitFor on a page that is not in flight");
@@ -63,17 +83,54 @@ void PageCache::Insert(FileId file, PageRange range) {
 }
 
 PageRangeSet PageCache::AbsentIn(FileId file, PageRange range) const {
-  PageRangeSet wanted;
-  wanted.Add(range);
+  PageRangeSet out;
+  if (range.empty()) {
+    return out;
+  }
   const FileState* fs = FindFile(file);
   if (fs == nullptr) {
-    return wanted;
+    out.Add(range);
+    return out;
   }
-  PageRangeSet covered = fs->present;
-  for (const auto& [handle, r] : fs->in_flight) {
-    covered.Add(r);
+  // Sweep the window against the two coverage sources without materializing
+  // their union: both are sorted and internally disjoint, so one forward pass
+  // over each suffices.
+  const std::vector<PageRange>& present = fs->present.ranges();
+  auto pit = std::lower_bound(present.begin(), present.end(), range.first,
+                              [](const PageRange& r, PageIndex v) { return r.end() <= v; });
+  auto fit = FirstSpanEndingAfter(*fs, range.first);
+  PageIndex cursor = range.first;
+  const PageIndex window_end = range.end();
+  while (cursor < window_end) {
+    while (pit != present.end() && pit->end() <= cursor) {
+      ++pit;
+    }
+    while (fit != fs->in_flight.end() && fit->second.end <= cursor) {
+      ++fit;
+    }
+    PageIndex covered_until = cursor;
+    if (pit != present.end() && pit->first <= cursor) {
+      covered_until = std::max(covered_until, pit->end());
+    }
+    if (fit != fs->in_flight.end() && fit->first <= cursor) {
+      covered_until = std::max(covered_until, fit->second.end);
+    }
+    if (covered_until > cursor) {
+      cursor = covered_until;
+      continue;
+    }
+    // Absent from `cursor` to the next covering interval (or window end).
+    PageIndex next_covered = window_end;
+    if (pit != present.end()) {
+      next_covered = std::min(next_covered, pit->first);
+    }
+    if (fit != fs->in_flight.end()) {
+      next_covered = std::min(next_covered, fit->first);
+    }
+    out.Add(cursor, next_covered - cursor);
+    cursor = next_covered;
   }
-  return wanted.Subtract(covered);
+  return out;
 }
 
 PageRangeSet PageCache::PresentPages(FileId file) const {

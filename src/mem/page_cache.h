@@ -85,14 +85,25 @@ class PageCache {
     std::vector<EventFn> waiters;
   };
 
+  // One outstanding read's interval, indexed by its start page in
+  // FileState::in_flight. In-flight intervals of one file are pairwise disjoint
+  // (BeginRead is only issued for absent pages), so a start-keyed ordered map
+  // supports O(log n) point and range queries.
+  struct InFlightSpan {
+    PageIndex end = 0;  // exclusive
+    ReadHandle handle = 0;
+  };
+
   struct FileState {
     PageRangeSet present;
-    // In-flight ranges for this file, keyed by handle. Small: bounded by device
-    // queue depth in practice.
-    std::map<ReadHandle, PageRange> in_flight;
+    std::map<PageIndex, InFlightSpan> in_flight;  // key: range.first
   };
 
   const FileState* FindFile(FileId file) const;
+
+  // Iterator to the first in-flight span of `fs` with end > page, or end().
+  static std::map<PageIndex, InFlightSpan>::const_iterator FirstSpanEndingAfter(
+      const FileState& fs, PageIndex page);
 
   std::map<FileId, FileState> files_;
   std::map<ReadHandle, InFlightRead> reads_;

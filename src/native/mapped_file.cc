@@ -94,6 +94,38 @@ Status NativeFile::ReadPage(PageIndex page, void* out) const {
   return OkStatus();
 }
 
+Status NativeFile::WritePages(PageIndex first, uint64_t count, const void* data) {
+  const char* p = static_cast<const char*>(data);
+  uint64_t remaining = PagesToBytes(count);
+  off_t offset = static_cast<off_t>(PagesToBytes(first));
+  while (remaining > 0) {
+    const ssize_t written = ::pwrite(fd_, p, remaining, offset);
+    if (written <= 0) {
+      return IoError(ErrnoMessage("pwrite " + path_));
+    }
+    p += written;
+    offset += written;
+    remaining -= static_cast<uint64_t>(written);
+  }
+  return OkStatus();
+}
+
+Status NativeFile::ReadPages(PageIndex first, uint64_t count, void* out) const {
+  char* p = static_cast<char*>(out);
+  uint64_t remaining = PagesToBytes(count);
+  off_t offset = static_cast<off_t>(PagesToBytes(first));
+  while (remaining > 0) {
+    const ssize_t got = ::pread(fd_, p, remaining, offset);
+    if (got <= 0) {
+      return IoError(ErrnoMessage("pread " + path_));
+    }
+    p += got;
+    offset += got;
+    remaining -= static_cast<uint64_t>(got);
+  }
+  return OkStatus();
+}
+
 void NativeFile::DropCache() const {
   // Dirty pages must hit the device before DONTNEED can evict them. On tmpfs
   // neither step evicts anything — callers must treat this as best effort.

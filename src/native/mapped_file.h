@@ -37,6 +37,11 @@ class NativeFile {
   Status WritePage(PageIndex page, const void* data);
   Status ReadPage(PageIndex page, void* out) const;
 
+  // Contiguous multi-page IO: one pwrite/pread per call instead of one per
+  // page. `data`/`out` must hold `count * kPageSize` bytes.
+  Status WritePages(PageIndex first, uint64_t count, const void* data);
+  Status ReadPages(PageIndex first, uint64_t count, void* out) const;
+
   // posix_fadvise(DONTNEED): best-effort page cache eviction for this file.
   void DropCache() const;
 

@@ -2,41 +2,22 @@
 
 namespace faasnap {
 
-EventId Simulation::Schedule(SimTime when, EventFn fn) {
-  FAASNAP_CHECK(now_ <= when);
-  const EventId id = next_id_++;
-  queue_.push(PendingEvent{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
-}
-
-EventId Simulation::ScheduleAfter(Duration delay, EventFn fn) {
-  FAASNAP_CHECK(delay >= Duration::Zero());
-  return Schedule(now_ + delay, std::move(fn));
-}
-
 void Simulation::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
-    return;  // already fired or never existed
+  const uint32_t slot = static_cast<uint32_t>(id >> 32);
+  const uint32_t generation = static_cast<uint32_t>(id);
+  if (slot >= slot_count_) {
+    return;  // never existed
   }
-  callbacks_.erase(it);
-  cancelled_.insert(id);
-}
-
-bool Simulation::PopNext(PendingEvent* out) {
-  while (!queue_.empty()) {
-    PendingEvent ev = queue_.top();
-    queue_.pop();
-    auto cancelled_it = cancelled_.find(ev.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    *out = ev;
-    return true;
+  EventSlot& s = Slot(slot);
+  if (!s.armed || s.generation != generation) {
+    return;  // already fired or cancelled
   }
-  return false;
+  s.armed = false;
+  s.fn = nullptr;  // free the closure promptly; the heap entry is dropped lazily
+  ++s.generation;
+  free_slots_.push_back(slot);
+  --live_;
+  ++stale_heap_entries_;
 }
 
 uint64_t Simulation::Run() {
@@ -53,35 +34,18 @@ uint64_t Simulation::RunUntil(SimTime deadline) {
   while (PopNext(&ev)) {
     if (deadline < ev.when) {
       // Put it back and stop; clock advances to the deadline.
-      queue_.push(ev);
+      HeapPush(ev);
       now_ = deadline;
       return fired;
     }
     now_ = ev.when;
-    auto it = callbacks_.find(ev.id);
-    EventFn fn = std::move(it->second);
-    callbacks_.erase(it);
-    fn();
+    FireSlot(ev.slot());
     ++processed_;
     ++fired;
   }
   // Queue drained before the deadline: the clock still advances to it.
   now_ = Max(now_, deadline);
   return fired;
-}
-
-bool Simulation::Step() {
-  PendingEvent ev;
-  if (!PopNext(&ev)) {
-    return false;
-  }
-  now_ = ev.when;
-  auto it = callbacks_.find(ev.id);
-  EventFn fn = std::move(it->second);
-  callbacks_.erase(it);
-  fn();
-  ++processed_;
-  return true;
 }
 
 }  // namespace faasnap

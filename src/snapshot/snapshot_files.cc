@@ -42,16 +42,14 @@ uint64_t WorkingSetGroups::total_pages() const {
 PageRangeSet WorkingSetGroups::AllPages() const {
   PageRangeSet all;
   for (const PageRangeSet& g : groups) {
-    all = all.Union(g);
+    all.UnionInPlace(g);
   }
   return all;
 }
 
 uint32_t WorkingSetGroups::LowestGroupFor(const PageRange& range) const {
   for (uint32_t g = 0; g < groups.size(); ++g) {
-    PageRangeSet probe;
-    probe.Add(range);
-    if (!groups[g].Intersect(probe).empty()) {
+    if (groups[g].Overlaps(range)) {
       return g;
     }
   }
