@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_group_size"
+  "../bench/abl_group_size.pdb"
+  "CMakeFiles/abl_group_size.dir/abl_group_size.cc.o"
+  "CMakeFiles/abl_group_size.dir/abl_group_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_host_page_recording"
+  "../bench/abl_host_page_recording.pdb"
+  "CMakeFiles/abl_host_page_recording.dir/abl_host_page_recording.cc.o"
+  "CMakeFiles/abl_host_page_recording.dir/abl_host_page_recording.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_host_page_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

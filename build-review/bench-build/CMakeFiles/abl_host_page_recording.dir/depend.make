@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_host_page_recording.
+# This may be replaced when dependencies are built.

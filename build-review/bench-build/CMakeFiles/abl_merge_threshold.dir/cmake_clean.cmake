@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_merge_threshold"
+  "../bench/abl_merge_threshold.pdb"
+  "CMakeFiles/abl_merge_threshold.dir/abl_merge_threshold.cc.o"
+  "CMakeFiles/abl_merge_threshold.dir/abl_merge_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_merge_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_host_scheduler"
+  "../bench/ext_host_scheduler.pdb"
+  "CMakeFiles/ext_host_scheduler.dir/ext_host_scheduler.cc.o"
+  "CMakeFiles/ext_host_scheduler.dir/ext_host_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_host_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

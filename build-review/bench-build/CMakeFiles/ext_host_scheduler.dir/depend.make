@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_host_scheduler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_keepalive"
+  "../bench/ext_keepalive.pdb"
+  "CMakeFiles/ext_keepalive.dir/ext_keepalive.cc.o"
+  "CMakeFiles/ext_keepalive.dir/ext_keepalive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

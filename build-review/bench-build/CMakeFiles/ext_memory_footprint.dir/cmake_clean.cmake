@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_memory_footprint"
+  "../bench/ext_memory_footprint.pdb"
+  "CMakeFiles/ext_memory_footprint.dir/ext_memory_footprint.cc.o"
+  "CMakeFiles/ext_memory_footprint.dir/ext_memory_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

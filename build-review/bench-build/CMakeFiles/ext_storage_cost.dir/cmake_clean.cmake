@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_storage_cost"
+  "../bench/ext_storage_cost.pdb"
+  "CMakeFiles/ext_storage_cost.dir/ext_storage_cost.cc.o"
+  "CMakeFiles/ext_storage_cost.dir/ext_storage_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_storage_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

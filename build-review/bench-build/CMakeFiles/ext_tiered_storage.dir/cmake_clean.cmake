@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_tiered_storage"
+  "../bench/ext_tiered_storage.pdb"
+  "CMakeFiles/ext_tiered_storage.dir/ext_tiered_storage.cc.o"
+  "CMakeFiles/ext_tiered_storage.dir/ext_tiered_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tiered_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

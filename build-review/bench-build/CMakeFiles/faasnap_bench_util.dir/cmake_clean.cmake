@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/faasnap_bench_util.dir/bench_util.cc.o.d"
+  "libfaasnap_bench_util.a"
+  "libfaasnap_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_fault_distribution"
+  "../bench/fig02_fault_distribution.pdb"
+  "CMakeFiles/fig02_fault_distribution.dir/fig02_fault_distribution.cc.o"
+  "CMakeFiles/fig02_fault_distribution.dir/fig02_fault_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_fault_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

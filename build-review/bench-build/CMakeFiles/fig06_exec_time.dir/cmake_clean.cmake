@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_exec_time"
+  "../bench/fig06_exec_time.pdb"
+  "CMakeFiles/fig06_exec_time.dir/fig06_exec_time.cc.o"
+  "CMakeFiles/fig06_exec_time.dir/fig06_exec_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

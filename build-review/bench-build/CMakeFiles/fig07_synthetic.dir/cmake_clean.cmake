@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_synthetic"
+  "../bench/fig07_synthetic.pdb"
+  "CMakeFiles/fig07_synthetic.dir/fig07_synthetic.cc.o"
+  "CMakeFiles/fig07_synthetic.dir/fig07_synthetic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

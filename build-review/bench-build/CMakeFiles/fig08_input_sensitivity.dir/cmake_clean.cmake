@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_input_sensitivity"
+  "../bench/fig08_input_sensitivity.pdb"
+  "CMakeFiles/fig08_input_sensitivity.dir/fig08_input_sensitivity.cc.o"
+  "CMakeFiles/fig08_input_sensitivity.dir/fig08_input_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_input_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

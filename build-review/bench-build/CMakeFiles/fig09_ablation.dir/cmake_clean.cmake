@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_ablation"
+  "../bench/fig09_ablation.pdb"
+  "CMakeFiles/fig09_ablation.dir/fig09_ablation.cc.o"
+  "CMakeFiles/fig09_ablation.dir/fig09_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

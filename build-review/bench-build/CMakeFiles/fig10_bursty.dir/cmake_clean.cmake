@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_bursty"
+  "../bench/fig10_bursty.pdb"
+  "CMakeFiles/fig10_bursty.dir/fig10_bursty.cc.o"
+  "CMakeFiles/fig10_bursty.dir/fig10_bursty.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_remote_storage"
+  "../bench/fig11_remote_storage.pdb"
+  "CMakeFiles/fig11_remote_storage.dir/fig11_remote_storage.cc.o"
+  "CMakeFiles/fig11_remote_storage.dir/fig11_remote_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_remote_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

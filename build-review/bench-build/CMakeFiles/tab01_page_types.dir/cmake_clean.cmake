@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_page_types"
+  "../bench/tab01_page_types.pdb"
+  "CMakeFiles/tab01_page_types.dir/tab01_page_types.cc.o"
+  "CMakeFiles/tab01_page_types.dir/tab01_page_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_page_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

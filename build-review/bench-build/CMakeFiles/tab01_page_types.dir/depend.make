@@ -1,0 +1,2 @@
+# Empty dependencies file for tab01_page_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_workloads"
+  "../bench/tab02_workloads.pdb"
+  "CMakeFiles/tab02_workloads.dir/tab02_workloads.cc.o"
+  "CMakeFiles/tab02_workloads.dir/tab02_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

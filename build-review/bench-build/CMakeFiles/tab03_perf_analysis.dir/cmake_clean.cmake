@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_perf_analysis"
+  "../bench/tab03_perf_analysis.pdb"
+  "CMakeFiles/tab03_perf_analysis.dir/tab03_perf_analysis.cc.o"
+  "CMakeFiles/tab03_perf_analysis.dir/tab03_perf_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_perf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

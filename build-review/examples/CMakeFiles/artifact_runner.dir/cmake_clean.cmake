@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifact_runner.dir/artifact_runner.cpp.o"
+  "CMakeFiles/artifact_runner.dir/artifact_runner.cpp.o.d"
+  "artifact_runner"
+  "artifact_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifact_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_scaleout.dir/bursty_scaleout.cpp.o"
+  "CMakeFiles/bursty_scaleout.dir/bursty_scaleout.cpp.o.d"
+  "bursty_scaleout"
+  "bursty_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_cli.dir/faasnap_cli.cpp.o"
+  "CMakeFiles/faasnap_cli.dir/faasnap_cli.cpp.o.d"
+  "faasnap_cli"
+  "faasnap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

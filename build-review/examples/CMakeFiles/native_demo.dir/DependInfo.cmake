@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/native_demo.cpp" "examples/CMakeFiles/native_demo.dir/native_demo.cpp.o" "gcc" "examples/CMakeFiles/native_demo.dir/native_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/native/CMakeFiles/faasnap_native.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/faasnap_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/restore/CMakeFiles/faasnap_restore.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/faasnap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/faasnap_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/faasnap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/snapshot/CMakeFiles/faasnap_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/faasnap_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/faasnap_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/faasnap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/faasnap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_demo.dir/native_demo.cpp.o"
+  "CMakeFiles/native_demo.dir/native_demo.cpp.o.d"
+  "native_demo"
+  "native_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

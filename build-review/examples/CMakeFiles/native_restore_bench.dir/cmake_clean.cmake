@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_restore_bench.dir/native_restore_bench.cpp.o"
+  "CMakeFiles/native_restore_bench.dir/native_restore_bench.cpp.o.d"
+  "native_restore_bench"
+  "native_restore_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_restore_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

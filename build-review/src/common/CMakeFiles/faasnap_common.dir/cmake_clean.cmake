@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_common.dir/histogram.cc.o"
+  "CMakeFiles/faasnap_common.dir/histogram.cc.o.d"
+  "CMakeFiles/faasnap_common.dir/json.cc.o"
+  "CMakeFiles/faasnap_common.dir/json.cc.o.d"
+  "CMakeFiles/faasnap_common.dir/logging.cc.o"
+  "CMakeFiles/faasnap_common.dir/logging.cc.o.d"
+  "CMakeFiles/faasnap_common.dir/page_range.cc.o"
+  "CMakeFiles/faasnap_common.dir/page_range.cc.o.d"
+  "CMakeFiles/faasnap_common.dir/status.cc.o"
+  "CMakeFiles/faasnap_common.dir/status.cc.o.d"
+  "CMakeFiles/faasnap_common.dir/tracer.cc.o"
+  "CMakeFiles/faasnap_common.dir/tracer.cc.o.d"
+  "CMakeFiles/faasnap_common.dir/units.cc.o"
+  "CMakeFiles/faasnap_common.dir/units.cc.o.d"
+  "libfaasnap_common.a"
+  "libfaasnap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

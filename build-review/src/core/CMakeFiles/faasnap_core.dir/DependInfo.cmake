@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/host_scheduler.cc" "src/core/CMakeFiles/faasnap_core.dir/host_scheduler.cc.o" "gcc" "src/core/CMakeFiles/faasnap_core.dir/host_scheduler.cc.o.d"
+  "/root/repo/src/core/keepalive.cc" "src/core/CMakeFiles/faasnap_core.dir/keepalive.cc.o" "gcc" "src/core/CMakeFiles/faasnap_core.dir/keepalive.cc.o.d"
+  "/root/repo/src/core/loading_set_builder.cc" "src/core/CMakeFiles/faasnap_core.dir/loading_set_builder.cc.o" "gcc" "src/core/CMakeFiles/faasnap_core.dir/loading_set_builder.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/core/CMakeFiles/faasnap_core.dir/platform.cc.o" "gcc" "src/core/CMakeFiles/faasnap_core.dir/platform.cc.o.d"
+  "/root/repo/src/core/prefetch_loader.cc" "src/core/CMakeFiles/faasnap_core.dir/prefetch_loader.cc.o" "gcc" "src/core/CMakeFiles/faasnap_core.dir/prefetch_loader.cc.o.d"
+  "/root/repo/src/core/recorder.cc" "src/core/CMakeFiles/faasnap_core.dir/recorder.cc.o" "gcc" "src/core/CMakeFiles/faasnap_core.dir/recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/restore/CMakeFiles/faasnap_restore.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/faasnap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/faasnap_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/snapshot/CMakeFiles/faasnap_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/faasnap_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/faasnap_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/faasnap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/faasnap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/faasnap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

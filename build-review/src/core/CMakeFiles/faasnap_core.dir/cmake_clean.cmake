@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_core.dir/host_scheduler.cc.o"
+  "CMakeFiles/faasnap_core.dir/host_scheduler.cc.o.d"
+  "CMakeFiles/faasnap_core.dir/keepalive.cc.o"
+  "CMakeFiles/faasnap_core.dir/keepalive.cc.o.d"
+  "CMakeFiles/faasnap_core.dir/loading_set_builder.cc.o"
+  "CMakeFiles/faasnap_core.dir/loading_set_builder.cc.o.d"
+  "CMakeFiles/faasnap_core.dir/platform.cc.o"
+  "CMakeFiles/faasnap_core.dir/platform.cc.o.d"
+  "CMakeFiles/faasnap_core.dir/prefetch_loader.cc.o"
+  "CMakeFiles/faasnap_core.dir/prefetch_loader.cc.o.d"
+  "CMakeFiles/faasnap_core.dir/recorder.cc.o"
+  "CMakeFiles/faasnap_core.dir/recorder.cc.o.d"
+  "libfaasnap_core.a"
+  "libfaasnap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_daemon.dir/experiment_config.cc.o"
+  "CMakeFiles/faasnap_daemon.dir/experiment_config.cc.o.d"
+  "CMakeFiles/faasnap_daemon.dir/experiment_runner.cc.o"
+  "CMakeFiles/faasnap_daemon.dir/experiment_runner.cc.o.d"
+  "libfaasnap_daemon.a"
+  "libfaasnap_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

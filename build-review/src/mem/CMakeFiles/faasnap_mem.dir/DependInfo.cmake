@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/faasnap_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/faasnap_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/fault_engine.cc" "src/mem/CMakeFiles/faasnap_mem.dir/fault_engine.cc.o" "gcc" "src/mem/CMakeFiles/faasnap_mem.dir/fault_engine.cc.o.d"
+  "/root/repo/src/mem/fault_metrics.cc" "src/mem/CMakeFiles/faasnap_mem.dir/fault_metrics.cc.o" "gcc" "src/mem/CMakeFiles/faasnap_mem.dir/fault_metrics.cc.o.d"
+  "/root/repo/src/mem/page_cache.cc" "src/mem/CMakeFiles/faasnap_mem.dir/page_cache.cc.o" "gcc" "src/mem/CMakeFiles/faasnap_mem.dir/page_cache.cc.o.d"
+  "/root/repo/src/mem/readahead.cc" "src/mem/CMakeFiles/faasnap_mem.dir/readahead.cc.o" "gcc" "src/mem/CMakeFiles/faasnap_mem.dir/readahead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/faasnap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/faasnap_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/faasnap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_mem.dir/address_space.cc.o"
+  "CMakeFiles/faasnap_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/faasnap_mem.dir/fault_engine.cc.o"
+  "CMakeFiles/faasnap_mem.dir/fault_engine.cc.o.d"
+  "CMakeFiles/faasnap_mem.dir/fault_metrics.cc.o"
+  "CMakeFiles/faasnap_mem.dir/fault_metrics.cc.o.d"
+  "CMakeFiles/faasnap_mem.dir/page_cache.cc.o"
+  "CMakeFiles/faasnap_mem.dir/page_cache.cc.o.d"
+  "CMakeFiles/faasnap_mem.dir/readahead.cc.o"
+  "CMakeFiles/faasnap_mem.dir/readahead.cc.o.d"
+  "libfaasnap_mem.a"
+  "libfaasnap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

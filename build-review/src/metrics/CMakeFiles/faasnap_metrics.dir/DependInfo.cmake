@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/json_writer.cc" "src/metrics/CMakeFiles/faasnap_metrics.dir/json_writer.cc.o" "gcc" "src/metrics/CMakeFiles/faasnap_metrics.dir/json_writer.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/faasnap_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/faasnap_metrics.dir/report.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/metrics/CMakeFiles/faasnap_metrics.dir/table.cc.o" "gcc" "src/metrics/CMakeFiles/faasnap_metrics.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/mem/CMakeFiles/faasnap_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/faasnap_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/faasnap_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/faasnap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_metrics.dir/json_writer.cc.o"
+  "CMakeFiles/faasnap_metrics.dir/json_writer.cc.o.d"
+  "CMakeFiles/faasnap_metrics.dir/report.cc.o"
+  "CMakeFiles/faasnap_metrics.dir/report.cc.o.d"
+  "CMakeFiles/faasnap_metrics.dir/table.cc.o"
+  "CMakeFiles/faasnap_metrics.dir/table.cc.o.d"
+  "libfaasnap_metrics.a"
+  "libfaasnap_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

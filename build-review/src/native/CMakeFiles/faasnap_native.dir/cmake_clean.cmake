@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_native.dir/mapped_file.cc.o"
+  "CMakeFiles/faasnap_native.dir/mapped_file.cc.o.d"
+  "CMakeFiles/faasnap_native.dir/native_snapshot.cc.o"
+  "CMakeFiles/faasnap_native.dir/native_snapshot.cc.o.d"
+  "CMakeFiles/faasnap_native.dir/region_mapper.cc.o"
+  "CMakeFiles/faasnap_native.dir/region_mapper.cc.o.d"
+  "libfaasnap_native.a"
+  "libfaasnap_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_restore.dir/policies.cc.o"
+  "CMakeFiles/faasnap_restore.dir/policies.cc.o.d"
+  "libfaasnap_restore.a"
+  "libfaasnap_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_sim.dir/simulation.cc.o"
+  "CMakeFiles/faasnap_sim.dir/simulation.cc.o.d"
+  "libfaasnap_sim.a"
+  "libfaasnap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_snapshot.dir/serialization.cc.o"
+  "CMakeFiles/faasnap_snapshot.dir/serialization.cc.o.d"
+  "CMakeFiles/faasnap_snapshot.dir/snapshot_files.cc.o"
+  "CMakeFiles/faasnap_snapshot.dir/snapshot_files.cc.o.d"
+  "libfaasnap_snapshot.a"
+  "libfaasnap_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/faasnap_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/faasnap_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/storage_router.cc" "src/storage/CMakeFiles/faasnap_storage.dir/storage_router.cc.o" "gcc" "src/storage/CMakeFiles/faasnap_storage.dir/storage_router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/faasnap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/faasnap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

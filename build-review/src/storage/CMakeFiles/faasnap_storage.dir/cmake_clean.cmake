@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_storage.dir/block_device.cc.o"
+  "CMakeFiles/faasnap_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/faasnap_storage.dir/storage_router.cc.o"
+  "CMakeFiles/faasnap_storage.dir/storage_router.cc.o.d"
+  "libfaasnap_storage.a"
+  "libfaasnap_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

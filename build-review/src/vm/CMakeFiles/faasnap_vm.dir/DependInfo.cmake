@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/guest_layout.cc" "src/vm/CMakeFiles/faasnap_vm.dir/guest_layout.cc.o" "gcc" "src/vm/CMakeFiles/faasnap_vm.dir/guest_layout.cc.o.d"
+  "/root/repo/src/vm/trace.cc" "src/vm/CMakeFiles/faasnap_vm.dir/trace.cc.o" "gcc" "src/vm/CMakeFiles/faasnap_vm.dir/trace.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/vm/CMakeFiles/faasnap_vm.dir/vm.cc.o" "gcc" "src/vm/CMakeFiles/faasnap_vm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/mem/CMakeFiles/faasnap_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/faasnap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/faasnap_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/faasnap_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_vm.dir/guest_layout.cc.o"
+  "CMakeFiles/faasnap_vm.dir/guest_layout.cc.o.d"
+  "CMakeFiles/faasnap_vm.dir/trace.cc.o"
+  "CMakeFiles/faasnap_vm.dir/trace.cc.o.d"
+  "CMakeFiles/faasnap_vm.dir/vm.cc.o"
+  "CMakeFiles/faasnap_vm.dir/vm.cc.o.d"
+  "libfaasnap_vm.a"
+  "libfaasnap_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

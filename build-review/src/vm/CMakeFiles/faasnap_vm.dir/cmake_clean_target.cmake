@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaasnap_vm.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasnap_workloads.dir/function_spec.cc.o"
+  "CMakeFiles/faasnap_workloads.dir/function_spec.cc.o.d"
+  "CMakeFiles/faasnap_workloads.dir/trace_generator.cc.o"
+  "CMakeFiles/faasnap_workloads.dir/trace_generator.cc.o.d"
+  "libfaasnap_workloads.a"
+  "libfaasnap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasnap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

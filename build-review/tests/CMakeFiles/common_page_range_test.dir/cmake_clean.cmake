@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_page_range_test.dir/common_page_range_test.cc.o"
+  "CMakeFiles/common_page_range_test.dir/common_page_range_test.cc.o.d"
+  "common_page_range_test"
+  "common_page_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_page_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tracer_test.dir/common_tracer_test.cc.o"
+  "CMakeFiles/common_tracer_test.dir/common_tracer_test.cc.o.d"
+  "common_tracer_test"
+  "common_tracer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

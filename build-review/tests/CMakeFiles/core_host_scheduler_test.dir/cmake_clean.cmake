@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_host_scheduler_test.dir/core_host_scheduler_test.cc.o"
+  "CMakeFiles/core_host_scheduler_test.dir/core_host_scheduler_test.cc.o.d"
+  "core_host_scheduler_test"
+  "core_host_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_host_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

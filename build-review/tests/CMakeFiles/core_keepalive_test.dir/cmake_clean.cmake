@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_keepalive_test.dir/core_keepalive_test.cc.o"
+  "CMakeFiles/core_keepalive_test.dir/core_keepalive_test.cc.o.d"
+  "core_keepalive_test"
+  "core_keepalive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_keepalive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prefetch_loader_test.dir/core_prefetch_loader_test.cc.o"
+  "CMakeFiles/core_prefetch_loader_test.dir/core_prefetch_loader_test.cc.o.d"
+  "core_prefetch_loader_test"
+  "core_prefetch_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prefetch_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_recorder_test.dir/core_recorder_test.cc.o"
+  "CMakeFiles/core_recorder_test.dir/core_recorder_test.cc.o.d"
+  "core_recorder_test"
+  "core_recorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_address_space_test.dir/mem_address_space_test.cc.o"
+  "CMakeFiles/mem_address_space_test.dir/mem_address_space_test.cc.o.d"
+  "mem_address_space_test"
+  "mem_address_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_address_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_fault_engine_test.dir/mem_fault_engine_test.cc.o"
+  "CMakeFiles/mem_fault_engine_test.dir/mem_fault_engine_test.cc.o.d"
+  "mem_fault_engine_test"
+  "mem_fault_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_fault_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_page_cache_test.dir/mem_page_cache_test.cc.o"
+  "CMakeFiles/mem_page_cache_test.dir/mem_page_cache_test.cc.o.d"
+  "mem_page_cache_test"
+  "mem_page_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_page_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

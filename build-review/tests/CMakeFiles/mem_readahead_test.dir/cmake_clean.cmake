@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_readahead_test.dir/mem_readahead_test.cc.o"
+  "CMakeFiles/mem_readahead_test.dir/mem_readahead_test.cc.o.d"
+  "mem_readahead_test"
+  "mem_readahead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_readahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

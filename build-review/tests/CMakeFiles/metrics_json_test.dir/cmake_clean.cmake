@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_json_test.dir/metrics_json_test.cc.o"
+  "CMakeFiles/metrics_json_test.dir/metrics_json_test.cc.o.d"
+  "metrics_json_test"
+  "metrics_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_engine_test.dir/native_engine_test.cc.o"
+  "CMakeFiles/native_engine_test.dir/native_engine_test.cc.o.d"
+  "native_engine_test"
+  "native_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

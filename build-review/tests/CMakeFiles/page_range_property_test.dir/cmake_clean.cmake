@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_range_property_test.dir/page_range_property_test.cc.o"
+  "CMakeFiles/page_range_property_test.dir/page_range_property_test.cc.o.d"
+  "page_range_property_test"
+  "page_range_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_range_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

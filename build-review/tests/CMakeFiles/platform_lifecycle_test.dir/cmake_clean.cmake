@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_lifecycle_test.dir/platform_lifecycle_test.cc.o"
+  "CMakeFiles/platform_lifecycle_test.dir/platform_lifecycle_test.cc.o.d"
+  "platform_lifecycle_test"
+  "platform_lifecycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_modes_extra_test.dir/restore_modes_extra_test.cc.o"
+  "CMakeFiles/restore_modes_extra_test.dir/restore_modes_extra_test.cc.o.d"
+  "restore_modes_extra_test"
+  "restore_modes_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_modes_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

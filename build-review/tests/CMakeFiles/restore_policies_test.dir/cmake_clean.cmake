@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_policies_test.dir/restore_policies_test.cc.o"
+  "CMakeFiles/restore_policies_test.dir/restore_policies_test.cc.o.d"
+  "restore_policies_test"
+  "restore_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

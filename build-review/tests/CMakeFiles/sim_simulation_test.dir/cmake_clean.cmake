@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_simulation_test.dir/sim_simulation_test.cc.o"
+  "CMakeFiles/sim_simulation_test.dir/sim_simulation_test.cc.o.d"
+  "sim_simulation_test"
+  "sim_simulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_stress_test.dir/sim_stress_test.cc.o"
+  "CMakeFiles/sim_stress_test.dir/sim_stress_test.cc.o.d"
+  "sim_stress_test"
+  "sim_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_files_test.dir/snapshot_files_test.cc.o"
+  "CMakeFiles/snapshot_files_test.dir/snapshot_files_test.cc.o.d"
+  "snapshot_files_test"
+  "snapshot_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

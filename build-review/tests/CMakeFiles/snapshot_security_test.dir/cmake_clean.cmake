@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_security_test.dir/snapshot_security_test.cc.o"
+  "CMakeFiles/snapshot_security_test.dir/snapshot_security_test.cc.o.d"
+  "snapshot_security_test"
+  "snapshot_security_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_block_device_test.dir/storage_block_device_test.cc.o"
+  "CMakeFiles/storage_block_device_test.dir/storage_block_device_test.cc.o.d"
+  "storage_block_device_test"
+  "storage_block_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_block_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_router_test.dir/storage_router_test.cc.o"
+  "CMakeFiles/storage_router_test.dir/storage_router_test.cc.o.d"
+  "storage_router_test"
+  "storage_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

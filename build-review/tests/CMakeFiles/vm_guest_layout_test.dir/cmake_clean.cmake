@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_guest_layout_test.dir/vm_guest_layout_test.cc.o"
+  "CMakeFiles/vm_guest_layout_test.dir/vm_guest_layout_test.cc.o.d"
+  "vm_guest_layout_test"
+  "vm_guest_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_guest_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_vm_test.dir/vm_vm_test.cc.o"
+  "CMakeFiles/vm_vm_test.dir/vm_vm_test.cc.o.d"
+  "vm_vm_test"
+  "vm_vm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

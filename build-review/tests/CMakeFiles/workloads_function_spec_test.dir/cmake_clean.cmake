@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_function_spec_test.dir/workloads_function_spec_test.cc.o"
+  "CMakeFiles/workloads_function_spec_test.dir/workloads_function_spec_test.cc.o.d"
+  "workloads_function_spec_test"
+  "workloads_function_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_function_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
