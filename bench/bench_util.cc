@@ -1,6 +1,11 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "src/obs/trace_export.h"
 
 namespace faasnap {
 namespace bench {
@@ -13,10 +18,58 @@ TraceGenerator MakeGenerator(const std::string& function, const GuestLayout& lay
   return TraceGenerator(*spec, layout);
 }
 
+// Owns the process-wide bundle and flushes it at exit, so every bench driver
+// gets --trace-out-style artifacts without touching its argument parsing.
+struct ObsSink {
+  std::unique_ptr<Observability> obs;
+  std::string trace_path;
+  std::string metrics_path;
+
+  ObsSink() {
+    const char* trace = std::getenv("FAASNAP_TRACE_OUT");
+    const char* metrics = std::getenv("FAASNAP_METRICS_OUT");
+    if (trace != nullptr) {
+      trace_path = trace;
+    }
+    if (metrics != nullptr) {
+      metrics_path = metrics;
+    }
+    if (!trace_path.empty() || !metrics_path.empty()) {
+      obs = std::make_unique<Observability>();
+    }
+  }
+
+  ~ObsSink() {
+    if (obs == nullptr) {
+      return;
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      out << ExportChromeTrace(obs->spans);
+      std::fprintf(stderr, "bench: wrote trace to %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      out << obs->metrics.ToJson();
+      std::fprintf(stderr, "bench: wrote metrics to %s\n", metrics_path.c_str());
+    }
+  }
+};
+
 }  // namespace
 
+Observability* BenchObservability() {
+  static ObsSink sink;
+  return sink.obs.get();
+}
+
 Experiment::Experiment(const std::string& function, PlatformConfig config)
-    : platform_(config), generator_(MakeGenerator(function, config.layout)) {}
+    : platform_(config), generator_(MakeGenerator(function, config.layout)) {
+  if (Observability* obs = BenchObservability()) {
+    obs->spans.BeginTrack(function);
+    platform_.set_observability(obs);
+  }
+}
 
 void Experiment::Record(const WorkloadInput& record_input) {
   FAASNAP_CHECK(!recorded_);

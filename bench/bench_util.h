@@ -14,10 +14,21 @@
 
 #include "src/core/platform.h"
 #include "src/metrics/table.h"
+#include "src/obs/observability.h"
 #include "src/storage/device_profiles.h"
 
 namespace faasnap {
 namespace bench {
+
+// Process-wide observability sink for the bench drivers, enabled by the
+// FAASNAP_TRACE_OUT / FAASNAP_METRICS_OUT environment variables:
+//
+//   FAASNAP_TRACE_OUT=fig01.trace.json build/bench/fig01_time_breakdown
+//
+// Returns null when neither variable is set (the usual case — benchmarks pay
+// one branch per Experiment). Every Experiment attaches automatically and opens
+// its own track; the files are written once at process exit.
+Observability* BenchObservability();
 
 // One record phase + repeated test phases on a single platform, caches dropped
 // between tests.

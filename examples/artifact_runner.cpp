@@ -9,6 +9,9 @@
 //   ./build/examples/artifact_runner configs/test-burst.json            # E3
 //   ./build/examples/artifact_runner configs/test-remote.json           # E4
 //   ./build/examples/artifact_runner --json configs/test-2inputs.json   # machine-readable
+//
+// --trace-out=PATH / --metrics-out=PATH write the Perfetto trace and metrics
+// snapshot (overriding the config's trace_out/metrics_out fields).
 
 #include <cstdio>
 #include <cstring>
@@ -21,15 +24,23 @@ using namespace faasnap;
 int main(int argc, char** argv) {
   bool json = false;
   const char* path = nullptr;
+  const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else {
       path = argv[i];
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: artifact_runner [--json] <config.json>\n");
+    std::fprintf(stderr,
+                 "usage: artifact_runner [--json] [--trace-out=PATH] [--metrics-out=PATH] "
+                 "<config.json>\n");
     return 2;
   }
 
@@ -37,6 +48,12 @@ int main(int argc, char** argv) {
   if (!config.ok()) {
     std::fprintf(stderr, "config error: %s\n", config.status().ToString().c_str());
     return 1;
+  }
+  if (trace_out != nullptr) {
+    config->trace_out = trace_out;
+  }
+  if (metrics_out != nullptr) {
+    config->metrics_out = metrics_out;
   }
   if (!json) {
     std::printf("running \"%s\": %zu functions x %zu systems x %zu inputs x %d reps%s\n",

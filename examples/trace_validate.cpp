@@ -1,0 +1,136 @@
+// trace_validate: schema validation for exported Chrome/Perfetto traces.
+//
+//   ./build/examples/trace_validate trace.json [--min-lanes=4]
+//
+// Parses the trace back with the repository's own JSON parser and checks the
+// Chrome Trace Event Format invariants ExportChromeTrace promises:
+//   * root object with a "traceEvents" array,
+//   * every event has ph/name/pid (+tid except process_name metadata),
+//     non-metadata events have a numeric ts,
+//   * "X" (complete) events have a non-negative dur,
+//   * thread_name metadata covers at least --min-lanes distinct actor lanes.
+// Exits non-zero (with a message) on the first violation — CI runs this on the
+// trace a smoke experiment emits.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/common/json.h"
+
+using namespace faasnap;
+
+namespace {
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "trace_validate: FAIL: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  int min_lanes = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--min-lanes=", 12) == 0) {
+      min_lanes = std::atoi(argv[i] + 12);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: trace_validate [--min-lanes=N] <trace.json>\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Fail("cannot open trace file");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  Result<JsonValue> root = ParseJson(buffer.str());
+  if (!root.ok()) {
+    std::fprintf(stderr, "trace_validate: FAIL: invalid JSON: %s\n",
+                 root.status().ToString().c_str());
+    return 1;
+  }
+  if (!root->is_object() || !root->Has("traceEvents")) {
+    return Fail("root must be an object with a traceEvents array");
+  }
+  Result<JsonValue> events = root->Get("traceEvents");
+  if (!events.ok() || !events->is_array()) {
+    return Fail("traceEvents must be an array");
+  }
+  if (events->array().empty()) {
+    return Fail("traceEvents is empty");
+  }
+
+  std::set<std::string> lanes;  // distinct thread_name values (actor lanes)
+  int complete = 0;
+  int instants = 0;
+  for (const JsonValue& event : events->array()) {
+    if (!event.is_object()) {
+      return Fail("event is not an object");
+    }
+    const std::string ph = event.GetStringOr("ph", "");
+    if (ph.empty()) {
+      return Fail("event missing ph");
+    }
+    if (!event.Has("name") || !event.Has("pid")) {
+      return Fail("event missing name/pid");
+    }
+    // process_name metadata is per-process and has no tid; everything else does.
+    if (!event.Has("tid") && event.GetStringOr("name", "") != "process_name") {
+      return Fail("event missing tid");
+    }
+    if (ph == "M") {
+      if (event.GetStringOr("name", "") == "thread_name") {
+        Result<JsonValue> args = event.Get("args");
+        if (!args.ok() || !args->is_object()) {
+          return Fail("thread_name metadata missing args");
+        }
+        lanes.insert(args->GetStringOr("name", ""));
+      }
+      continue;
+    }
+    Result<JsonValue> ts = event.Get("ts");
+    if (!ts.ok() || !ts->is_number()) {
+      return Fail("event missing numeric ts");
+    }
+    if (ph == "X") {
+      Result<JsonValue> dur = event.Get("dur");
+      if (!dur.ok() || !dur->is_number()) {
+        return Fail("complete event missing numeric dur");
+      }
+      if (dur->AsDouble().value() < 0) {
+        return Fail("complete event has negative dur");
+      }
+      ++complete;
+    } else if (ph == "i") {
+      if (event.GetStringOr("s", "") != "t") {
+        return Fail("instant event missing scope s=t");
+      }
+      ++instants;
+    } else {
+      return Fail("unexpected ph (want X, i, or M)");
+    }
+  }
+  if (complete == 0) {
+    return Fail("no complete (ph=X) span events");
+  }
+  if (static_cast<int>(lanes.size()) < min_lanes) {
+    std::fprintf(stderr, "trace_validate: FAIL: only %zu actor lanes, want >= %d\n",
+                 lanes.size(), min_lanes);
+    return 1;
+  }
+
+  std::printf("trace_validate: OK: %zu events (%d spans, %d instants) across %zu lanes\n",
+              events->array().size(), complete, instants, lanes.size());
+  return 0;
+}

@@ -1,64 +1,10 @@
-// EventTracer: structured event tracing, standing in for the paper's bpftrace
-// probes (sections 3.3, 6.4, 6.5).
-//
-// Components emit timestamped events through an optional tracer pointer; the
-// tracer keeps a bounded ring of events, per-type counters, and can render a
-// merged timeline ("what were the guest, the loader, and the disk doing at
-// t=48 ms?"). Tracing is off by default and costs one branch when disabled.
+// Forwarding header: EventTracer moved to src/obs/legacy_tracer.h when tracing
+// grew into the span-based observability layer (src/obs/). Kept so existing
+// includes keep compiling; new code should include obs headers directly.
 
 #ifndef FAASNAP_SRC_COMMON_TRACER_H_
 #define FAASNAP_SRC_COMMON_TRACER_H_
 
-#include <cstdint>
-#include <deque>
-#include <string>
-
-#include "src/common/sim_time.h"
-
-namespace faasnap {
-
-enum class TraceEventType : int {
-  kFaultStart = 0,   // arg0 = guest page
-  kFaultEnd,         // arg0 = guest page, arg1 = fault class
-  kDiskIssue,        // arg0 = offset bytes, arg1 = bytes
-  kDiskComplete,     // arg0 = offset bytes, arg1 = bytes
-  kLoaderChunk,      // arg0 = file page, arg1 = pages
-  kSetupDone,        // arg0 = mmap calls
-  kInvocationStart,  // no args
-  kInvocationEnd,    // arg0 = elapsed ns
-  kTypeCount,
-};
-
-std::string_view TraceEventTypeName(TraceEventType type);
-
-struct TraceEvent {
-  SimTime time;
-  TraceEventType type = TraceEventType::kFaultStart;
-  uint64_t arg0 = 0;
-  uint64_t arg1 = 0;
-};
-
-class EventTracer {
- public:
-  // Keeps at most `capacity` most-recent events (counters are unbounded).
-  explicit EventTracer(size_t capacity = 65536) : capacity_(capacity) {}
-
-  void Emit(SimTime time, TraceEventType type, uint64_t arg0 = 0, uint64_t arg1 = 0);
-
-  int64_t count(TraceEventType type) const { return counts_[static_cast<int>(type)]; }
-  const std::deque<TraceEvent>& events() const { return events_; }
-  void Clear();
-
-  // "48.132 ms  fault-end        page=12345 class=2" lines, oldest first,
-  // restricted to [from, to].
-  std::string RenderTimeline(SimTime from, SimTime to) const;
-
- private:
-  size_t capacity_;
-  std::deque<TraceEvent> events_;
-  int64_t counts_[static_cast<int>(TraceEventType::kTypeCount)] = {};
-};
-
-}  // namespace faasnap
+#include "src/obs/legacy_tracer.h"  // IWYU pragma: export
 
 #endif  // FAASNAP_SRC_COMMON_TRACER_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/rng.h"
+#include "src/obs/observability.h"
 
 namespace faasnap {
 
@@ -101,6 +102,17 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
   double pool_byte_time = 0;
   uint64_t arrival_seed = 0x5c4ed;
 
+  SpanTracer* spans = platform_->spans();
+  MetricsRegistry* metrics = platform_->metrics();
+  Counter* warm_hits_metric = nullptr;
+  Counter* misses_metric = nullptr;
+  Gauge* pool_gauge = nullptr;
+  if (metrics != nullptr) {
+    warm_hits_metric = metrics->GetCounter("scheduler.warm_hits");
+    misses_metric = metrics->GetCounter("scheduler.misses");
+    pool_gauge = metrics->GetGauge("scheduler.pool_bytes");
+  }
+
   for (const Arrival& arrival : arrivals) {
     FAASNAP_CHECK(arrival.function_index < entries_.size());
     const SimTime at = last_completion + arrival.gap;
@@ -121,6 +133,13 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
     if (!entry.generator->spec().fixed_input) {
       input.content_seed = ++arrival_seed;
     }
+    // One serve span per arrival on the scheduler lane: arrival -> completion,
+    // arg0 = function index, arg1 = warm hit.
+    const SpanId serve_span =
+        spans != nullptr
+            ? spans->Begin(sim->now(), ObsLane::kScheduler, obsname::kSchedulerServe,
+                           arrival.function_index, warm ? 1 : 0)
+            : kNoSpan;
     bool done = false;
     Duration latency;
     platform_->InvokeAsync(*entry.snapshot,
@@ -131,6 +150,9 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
                            });
     sim->Run();
     FAASNAP_CHECK(done);
+    if (spans != nullptr) {
+      spans->End(serve_span, sim->now());
+    }
 
     stats.invocations++;
     stats.per_function_invocations[arrival.function_index]++;
@@ -145,14 +167,25 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
     pool_byte_time +=
         static_cast<double>(pool_bytes() + (warm ? 0 : entry.ws_bytes)) * latency.seconds();
 
+    if (warm_hits_metric != nullptr) {
+      (warm ? warm_hits_metric : misses_metric)->Add(1);
+    }
+
     entry.warm = true;
     entry.last_used = sim->now();
     last_completion = sim->now();
+    if (pool_gauge != nullptr) {
+      pool_gauge->Set(static_cast<double>(pool_bytes()));
+    }
   }
 
   stats.span = sim->now() - span_start;
   if (stats.span > Duration::Zero()) {
     stats.avg_pool_bytes = pool_byte_time / stats.span.seconds();
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("scheduler.evictions")->Add(stats.evictions);
+    metrics->GetCounter("scheduler.expirations")->Add(stats.expirations);
   }
   return stats;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/obs/observability.h"
+
 namespace faasnap {
 
 std::vector<Duration> PoissonArrivalGaps(Duration mean_gap, int count, uint64_t seed) {
@@ -41,6 +43,15 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
   double warm_byte_time = 0;  // bytes * seconds of pinned warm memory
   uint64_t arrival_seed = 0xA551;
 
+  SpanTracer* spans = platform_->spans();
+  MetricsRegistry* metrics = platform_->metrics();
+  Counter* warm_hits_metric = nullptr;
+  Counter* misses_metric = nullptr;
+  if (metrics != nullptr) {
+    warm_hits_metric = metrics->GetCounter("keepalive.warm_hits");
+    misses_metric = metrics->GetCounter("keepalive.misses");
+  }
+
   for (const Duration& gap : gaps) {
     // Advance the clock to the arrival (requests arriving while the previous
     // invocation ran are served right after it completes).
@@ -63,6 +74,11 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
       input.content_seed = ++arrival_seed;
     }
     const RestoreMode mode = warm ? RestoreMode::kWarm : config.miss_mode;
+    const SpanId serve_span =
+        spans != nullptr
+            ? spans->Begin(sim->now(), ObsLane::kScheduler, obsname::kSchedulerServe, 0,
+                           warm ? 1 : 0)
+            : kNoSpan;
     bool done = false;
     Duration latency;
     platform_->InvokeAsync(*snapshot_, mode, generator_->Generate(input),
@@ -72,12 +88,18 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
                            });
     sim->Run();
     FAASNAP_CHECK(done);
+    if (spans != nullptr) {
+      spans->End(serve_span, sim->now());
+    }
 
     stats.invocations++;
     if (warm) {
       stats.warm_hits++;
     } else {
       stats.misses++;
+    }
+    if (warm_hits_metric != nullptr) {
+      (warm ? warm_hits_metric : misses_metric)->Add(1);
     }
     stats.latency_ms.Record(latency.millis());
     // The VM is resident during execution too.

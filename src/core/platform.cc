@@ -48,6 +48,15 @@ void Platform::PlaceFile(FileId file, StorageTier tier) {
 
 void Platform::DropCaches() { cache_.DropAll(); }
 
+void Platform::SetObservability(SpanTracer* spans, MetricsRegistry* metrics) {
+  spans_ = spans;
+  metrics_ = metrics;
+  // Platform-owned components rewire immediately; per-invocation components
+  // (engine, loader, readahead) pick the pointers up in InvokeAsync/Record.
+  storage_.set_observability(spans, metrics);
+  cache_.set_observability(metrics);
+}
+
 // Per-invocation state bundle; kept alive by shared_ptr captures until both the
 // function and the loader have finished.
 struct Platform::InvocationContext {
@@ -86,10 +95,10 @@ struct Platform::InvocationContext {
 void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
                            InvocationTrace trace, std::function<void(InvocationReport)> done) {
   auto ctx = std::make_shared<InvocationContext>(this, snapshot, mode);
-  if (tracer_ != nullptr) {
-    ctx->engine.set_tracer(tracer_);
-    ctx->loader.set_tracer(tracer_);
-  }
+  ctx->engine.set_observability(spans_, metrics_);
+  ctx->loader.set_observability(spans_, metrics_);
+  ctx->readahead.set_observability(metrics_);
+  ctx->env.spans = spans_;
   ctx->trace = std::move(trace);
   ctx->request_time = sim_.now();
   ctx->disk_before = CombinedDiskStats();
@@ -101,6 +110,19 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
       Max(sim_.now(), daemon_busy_until_) + config_.setup_costs.daemon_dispatch;
   daemon_busy_until_ = dispatched;
 
+  // Span skeleton for this invocation (see obs/observability.h for the tree).
+  // Recording is passive, so opening spans ahead of their wall time is fine.
+  SpanId invoke_span = kNoSpan;
+  SpanId setup_span = kNoSpan;
+  if (spans_ != nullptr) {
+    invoke_span = spans_->Begin(ctx->request_time, ObsLane::kDaemon, obsname::kInvoke);
+    spans_->Complete(ctx->request_time, dispatched, ObsLane::kDaemon, obsname::kDispatch, 0, 0,
+                     invoke_span);
+    setup_span = spans_->Begin(dispatched, ObsLane::kDaemon, obsname::kSetup, 0, 0, invoke_span);
+    ctx->loader.set_parent_span(invoke_span);
+    ctx->env.setup_span = setup_span;
+  }
+
   const FunctionSnapshot* snap = &snapshot;
   sim_.Schedule(dispatched, [this, ctx] {
     // Concurrent paging: the daemon's loader starts the moment the request is
@@ -111,14 +133,21 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
     }
   });
   sim_.Schedule(dispatched + ctx->policy->BaseSetupCost(ctx->env),
-                [this, ctx, snap, done = std::move(done)]() mutable {
-    ctx->policy->SetupMemory(&ctx->env, [this, ctx, snap, done = std::move(done)]() mutable {
+                [this, ctx, snap, invoke_span, setup_span, done = std::move(done)]() mutable {
+    ctx->policy->SetupMemory(&ctx->env, [this, ctx, snap, invoke_span, setup_span,
+                                         done = std::move(done)]() mutable {
       ctx->setup_time = sim_.now() - ctx->request_time;
-      if (tracer_ != nullptr) {
-        tracer_->Emit(sim_.now(), TraceEventType::kSetupDone, ctx->space.mmap_call_count());
-        tracer_->Emit(sim_.now(), TraceEventType::kInvocationStart);
+      SpanId invocation_span = kNoSpan;
+      if (spans_ != nullptr) {
+        spans_->End(setup_span, sim_.now(), ctx->space.mmap_call_count());
+        spans_->Instant(sim_.now(), ObsLane::kDaemon, obsname::kSetupDone,
+                        ctx->space.mmap_call_count(), 0, setup_span);
+        invocation_span =
+            spans_->Begin(sim_.now(), ObsLane::kVcpu, obsname::kInvocation, 0, 0, invoke_span);
+        ctx->engine.set_invocation_span(invocation_span);
       }
-      ctx->vm.RunInvocation(ctx->trace, [this, ctx, snap, done = std::move(done)](
+      ctx->vm.RunInvocation(ctx->trace, [this, ctx, snap, invoke_span, invocation_span,
+                                         done = std::move(done)](
                                             Vm::InvocationResult result) mutable {
         InvocationReport report;
         report.function = snap->function;
@@ -145,9 +174,10 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
         report.anon_resident_pages =
             ctx->space.resident_anonymous_pages() + ctx->space.anon_copied_pages();
         report.page_cache_pages = cache_.present_page_count();
-        if (tracer_ != nullptr) {
-          tracer_->Emit(sim_.now(), TraceEventType::kInvocationEnd,
-                        static_cast<uint64_t>(result.elapsed.nanos()));
+        if (spans_ != nullptr) {
+          spans_->End(invocation_span, sim_.now(),
+                      static_cast<uint64_t>(result.elapsed.nanos()));
+          spans_->End(invoke_span, sim_.now());
         }
         done(std::move(report));
       });
@@ -187,6 +217,13 @@ FunctionSnapshot Platform::Record(const TraceGenerator& generator, const Workloa
   ReadaheadPolicy readahead(config_.readahead);
   FaultEngine engine(&sim_, &cache_, &storage_, &space, &readahead, store_.SizeFn(),
                      config_.host_costs);
+  const SpanId record_span =
+      spans_ != nullptr
+          ? spans_->Begin(sim_.now(), ObsLane::kDaemon, obsname::kRecord, layout.total_pages)
+          : kNoSpan;
+  engine.set_observability(spans_, metrics_);
+  engine.set_invocation_span(record_span);
+  readahead.set_observability(metrics_);
   space.Map({.guest = {0, layout.total_pages},
              .kind = BackingKind::kFile,
              .file = clean.id,
@@ -209,6 +246,9 @@ FunctionSnapshot Platform::Record(const TraceGenerator& generator, const Workloa
   });
   sim_.Run();
   FAASNAP_CHECK(finished);
+  if (spans_ != nullptr) {
+    spans_->End(record_span, sim_.now());
+  }
 
   // New memory files. Vanilla: dirty pages keep their contents (freed transients
   // remain non-zero garbage). Sanitized: the modified guest kernel zeroed freed

@@ -23,6 +23,7 @@
 #include "src/core/platform_config.h"
 #include "src/metrics/report.h"
 #include "src/common/tracer.h"
+#include "src/obs/observability.h"
 #include "src/restore/restore_policy.h"
 #include "src/sim/cpu_model.h"
 #include "src/sim/simulation.h"
@@ -52,9 +53,22 @@ class Platform {
   // echo 3 > drop_caches between tests (section 6.1).
   void DropCaches();
 
-  // Optional structured tracing for subsequent invocations (fault, loader, and
-  // lifecycle events); null disables. The tracer must outlive the platform.
-  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+  // Attaches the unified observability bundle for subsequent Record/Invoke
+  // calls: spans on every actor lane (daemon, vCPU, loader, uffd, disk) plus
+  // the metrics registry. Null detaches. The bundle must outlive the platform.
+  void set_observability(Observability* obs) {
+    SetObservability(obs != nullptr ? &obs->spans : nullptr,
+                     obs != nullptr ? &obs->metrics : nullptr);
+  }
+
+  // Deprecated: legacy flat-event tracing. Records through the EventTracer's
+  // underlying span tracer (no metrics); the tracer must outlive the platform.
+  void set_tracer(EventTracer* tracer) {
+    SetObservability(tracer != nullptr ? &tracer->spans() : nullptr, nullptr);
+  }
+
+  SpanTracer* spans() { return spans_; }
+  MetricsRegistry* metrics() { return metrics_; }
 
   Simulation* sim() { return &sim_; }
   PageCache* cache() { return &cache_; }
@@ -72,6 +86,9 @@ class Platform {
   BlockDeviceStats CombinedDiskStats() const;
   // Places a newly registered file per the configured tier.
   void PlaceFile(FileId file, StorageTier tier);
+  // Rewires the platform-owned components (storage, page cache) and records the
+  // pointers handed to per-invocation components.
+  void SetObservability(SpanTracer* spans, MetricsRegistry* metrics);
 
   PlatformConfig config_;
   Simulation sim_;
@@ -82,7 +99,8 @@ class Platform {
   StorageRouter storage_;
   CpuModel cpu_;
   SnapshotStore store_;
-  EventTracer* tracer_ = nullptr;
+  SpanTracer* spans_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace faasnap

@@ -1,6 +1,7 @@
 #include "src/core/prefetch_loader.h"
 
 #include "src/common/units.h"
+#include "src/obs/observability.h"
 
 namespace faasnap {
 
@@ -12,11 +13,31 @@ PrefetchLoader::PrefetchLoader(Simulation* sim, PageCache* cache, StorageRouter*
   FAASNAP_CHECK(config_.pipeline_depth > 0);
 }
 
+void PrefetchLoader::set_observability(SpanTracer* spans, MetricsRegistry* metrics) {
+  spans_ = spans;
+  if (spans_ != nullptr) {
+    loader_name_ = spans_->InternName(obsname::kLoader);
+    loader_chunk_name_ = spans_->InternName(obsname::kLoaderChunk);
+  }
+  if (metrics != nullptr) {
+    fetched_bytes_metric_ = metrics->GetCounter("loader.fetched_bytes");
+    skipped_pages_metric_ = metrics->GetCounter("loader.skipped_pages");
+    chunks_metric_ = metrics->GetCounter("loader.chunks");
+  } else {
+    fetched_bytes_metric_ = nullptr;
+    skipped_pages_metric_ = nullptr;
+    chunks_metric_ = nullptr;
+  }
+}
+
 void PrefetchLoader::Start(std::vector<PrefetchItem> items, std::function<void()> done) {
   FAASNAP_CHECK(!started_);
   started_ = true;
   start_time_ = sim_->now();
   done_ = std::move(done);
+  if (spans_ != nullptr) {
+    run_span_ = spans_->BeginId(start_time_, ObsLane::kLoader, loader_name_, 0, 0, parent_span_);
+  }
   for (const PrefetchItem& item : items) {
     FAASNAP_CHECK(item.file != kInvalidFileId);
     PageIndex cursor = item.range.first;
@@ -41,20 +62,37 @@ void PrefetchLoader::Pump() {
     }
     for (const PageRange& r : missing.ranges()) {
       const PageCache::ReadHandle handle = cache_->BeginRead(chunk.file, r);
-      if (tracer_ != nullptr) {
-        tracer_->Emit(sim_->now(), TraceEventType::kLoaderChunk, r.first, r.count);
-      }
+      const SpanId chunk_span =
+          spans_ != nullptr ? spans_->BeginId(sim_->now(), ObsLane::kLoader, loader_chunk_name_,
+                                              r.first, r.count, run_span_)
+                            : kNoSpan;
       fetched_bytes_ += PagesToBytes(r.count);
+      if (fetched_bytes_metric_ != nullptr) {
+        fetched_bytes_metric_->Add(static_cast<int64_t>(PagesToBytes(r.count)));
+        chunks_metric_->Add(1);
+      }
       ++in_flight_;
-      storage_->Read(chunk.file, PagesToBytes(r.first), PagesToBytes(r.count), [this, handle] {
-        cache_->CompleteRead(handle);
-        OnChunkDone();
-      });
+      storage_->Read(
+          chunk.file, PagesToBytes(r.first), PagesToBytes(r.count),
+          [this, handle, chunk_span] {
+            cache_->CompleteRead(handle);
+            if (spans_ != nullptr) {
+              spans_->End(chunk_span, sim_->now());
+            }
+            OnChunkDone();
+          },
+          chunk_span);
     }
   }
   if (in_flight_ == 0 && chunks_.empty() && !finished_) {
     finished_ = true;
     fetch_time_ = sim_->now() - start_time_;
+    if (spans_ != nullptr) {
+      spans_->End(run_span_, sim_->now(), fetched_bytes_);
+    }
+    if (skipped_pages_metric_ != nullptr) {
+      skipped_pages_metric_->Add(static_cast<int64_t>(skipped_pages_));
+    }
     if (done_) {
       // Move out first: done_ may destroy this loader.
       auto done = std::move(done_);

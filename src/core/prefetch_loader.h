@@ -24,6 +24,8 @@
 #include "src/mem/page_cache.h"
 #include "src/sim/simulation.h"
 #include "src/common/tracer.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_tracer.h"
 #include "src/storage/storage_router.h"
 
 namespace faasnap {
@@ -50,8 +52,20 @@ class PrefetchLoader {
   // One Start per loader instance.
   void Start(std::vector<PrefetchItem> items, std::function<void()> done);
 
-  // Optional structured tracing (one event per chunk read); null disables.
-  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+  // Attaches span tracing and metrics. The loader's whole run becomes one span
+  // on the loader lane; each chunk read nests under it (with its device read
+  // nesting under the chunk). Metrics: fetched bytes, skipped pages, chunk
+  // count. Null pointers detach.
+  void set_observability(SpanTracer* spans, MetricsRegistry* metrics);
+
+  // Deprecated: legacy entry point; equivalent to attaching the EventTracer's
+  // underlying span tracer with no metrics.
+  void set_tracer(EventTracer* tracer) {
+    set_observability(tracer != nullptr ? &tracer->spans() : nullptr, nullptr);
+  }
+
+  // Span the loader's run span parents to (the owning invoke/record span).
+  void set_parent_span(SpanId span) { parent_span_ = span; }
 
   bool started() const { return started_; }
   bool finished() const { return finished_; }
@@ -80,7 +94,15 @@ class PrefetchLoader {
   uint64_t fetched_bytes_ = 0;
   uint64_t skipped_pages_ = 0;
   std::function<void()> done_;
-  EventTracer* tracer_ = nullptr;
+
+  SpanTracer* spans_ = nullptr;
+  uint32_t loader_name_ = 0;        // pre-interned obsname::kLoader
+  uint32_t loader_chunk_name_ = 0;  // pre-interned obsname::kLoaderChunk
+  SpanId parent_span_ = kNoSpan;
+  SpanId run_span_ = kNoSpan;
+  Counter* fetched_bytes_metric_ = nullptr;
+  Counter* skipped_pages_metric_ = nullptr;
+  Counter* chunks_metric_ = nullptr;
 };
 
 }  // namespace faasnap

@@ -96,6 +96,9 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
     config.test_inputs.push_back(spec);
   }
 
+  config.trace_out = root.GetStringOr("trace_out", "");
+  config.metrics_out = root.GetStringOr("metrics_out", "");
+
   config.reps = static_cast<int>(root.GetIntOr("reps", config.reps));
   config.parallelism = static_cast<int>(root.GetIntOr("parallelism", config.parallelism));
   config.base_seed = static_cast<uint64_t>(root.GetIntOr("base_seed", 1));

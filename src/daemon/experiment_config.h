@@ -15,7 +15,9 @@
 //   "host_cores": 96,
 //   "ws_group_size": 1024,
 //   "merge_gap_pages": 32,
-//   "base_seed": 1
+//   "base_seed": 1,
+//   "trace_out": "trace.json",                  // Perfetto/Chrome trace export
+//   "metrics_out": "metrics.json"               // metrics registry snapshot
 // }
 
 #ifndef FAASNAP_SRC_DAEMON_EXPERIMENT_CONFIG_H_
@@ -48,6 +50,12 @@ struct ExperimentConfig {
   int reps = 3;
   int parallelism = 1;
   uint64_t base_seed = 1;
+
+  // Observability outputs; empty = disabled. trace_out receives a Perfetto-
+  // loadable Chrome trace (one track per repetition), metrics_out the metrics
+  // registry snapshot. Both cover the whole experiment.
+  std::string trace_out;
+  std::string metrics_out;
 
   // Platform knobs resolved from the config (device, cores, FaaSnap tunables).
   PlatformConfig platform;

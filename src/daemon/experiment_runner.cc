@@ -1,8 +1,14 @@
 #include "src/daemon/experiment_runner.h"
 
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
 #include "src/core/platform.h"
 #include "src/metrics/json_writer.h"
 #include "src/metrics/table.h"
+#include "src/obs/observability.h"
+#include "src/obs/trace_export.h"
 
 namespace faasnap {
 
@@ -28,6 +34,13 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
   ExperimentResults results;
   results.name = config.name;
 
+  // One bundle for the whole experiment; each repetition (its own Platform and
+  // t=0) records onto its own trace track.
+  std::unique_ptr<Observability> obs;
+  if (!config.trace_out.empty() || !config.metrics_out.empty()) {
+    obs = std::make_unique<Observability>();
+  }
+
   for (const std::string& function_name : config.functions) {
     ASSIGN_OR_RETURN(FunctionSpec spec, FindFunction(function_name));
     for (const TestInputSpec& input_spec : config.test_inputs) {
@@ -44,6 +57,13 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
         PlatformConfig platform_config = config.platform;
         platform_config.seed = config.base_seed + static_cast<uint64_t>(rep) * 7919;
         Platform platform(platform_config);
+        if (obs != nullptr) {
+          char track[160];
+          std::snprintf(track, sizeof(track), "%s input=%s rep=%d", function_name.c_str(),
+                        input_spec.label.c_str(), rep);
+          obs->spans.BeginTrack(track);
+          platform.set_observability(obs.get());
+        }
         TraceGenerator generator(spec, platform_config.layout);
         const WorkloadInput record_input =
             ResolveInput(config.record_input, spec, /*content_seed=*/0xA);
@@ -53,6 +73,12 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
           platform.DropCaches();
           const WorkloadInput test_input = ResolveInput(
               input_spec, spec, 0x7E57 + static_cast<uint64_t>(rep) * 131 + s);
+          // Covers every invocation of this (system, rep) cell; arg0 = system
+          // index, so trace tooling can split cells apart.
+          const SpanId cell_span =
+              obs != nullptr ? obs->spans.Begin(platform.sim()->now(), ObsLane::kDaemon,
+                                                obsname::kExperimentCell, s)
+                             : kNoSpan;
           if (config.parallelism == 1) {
             InvocationReport report =
                 platform.Invoke(snapshot, config.systems[s], generator, test_input);
@@ -82,10 +108,30 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
             platform.sim()->Run();
             FAASNAP_CHECK(completed == config.parallelism);
           }
+          if (obs != nullptr) {
+            obs->spans.End(cell_span, platform.sim()->now());
+          }
         }
       }
       for (ExperimentCell& cell : row) {
         results.cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  if (obs != nullptr) {
+    if (!config.trace_out.empty()) {
+      std::ofstream out(config.trace_out, std::ios::trunc);
+      out << ExportChromeTrace(obs->spans);
+      if (!out.good()) {
+        return IoError("writing trace to " + config.trace_out);
+      }
+    }
+    if (!config.metrics_out.empty()) {
+      std::ofstream out(config.metrics_out, std::ios::trunc);
+      out << obs->metrics.ToJson();
+      if (!out.good()) {
+        return IoError("writing metrics to " + config.metrics_out);
       }
     }
   }

@@ -4,6 +4,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/obs/observability.h"
 
 namespace faasnap {
 
@@ -47,19 +48,41 @@ void FaultEngine::RegisterUffd(PageRangeSet region, UffdHandler* handler) {
   uffd_handler_ = handler;
 }
 
+void FaultEngine::set_observability(SpanTracer* spans, MetricsRegistry* metrics) {
+  spans_ = spans;
+  if (spans_ != nullptr) {
+    fault_name_ = spans_->InternName(obsname::kFault);
+    uffd_resolve_name_ = spans_->InternName(obsname::kUffdResolve);
+  }
+  for (int i = 0; i < static_cast<int>(FaultClass::kClassCount); ++i) {
+    if (metrics != nullptr) {
+      const MetricLabels labels = {
+          {"class", std::string(FaultClassName(static_cast<FaultClass>(i)))}};
+      class_counters_[i] = metrics->GetCounter("faults", labels);
+      class_histograms_[i] = metrics->GetHistogram("fault.handling_ns", labels);
+    } else {
+      class_counters_[i] = nullptr;
+      class_histograms_[i] = nullptr;
+    }
+  }
+}
+
 void FaultEngine::FinishFault(PageIndex page, FaultClass cls, SimTime fault_start,
-                              Duration tail_cost, Duration extra_wait,
+                              Duration tail_cost, Duration extra_wait, SpanId fault_span,
                               std::function<void(FaultClass)> done) {
   // Called at IO-completion (or immediately for non-blocking faults); the guest
   // resumes after `tail_cost` of post-IO kernel work plus any scheduler-induced
   // stall (`extra_wait`, e.g. kvm_vcpu_block context switches on uffd faults).
   sim_->ScheduleAfter(tail_cost + extra_wait, [this, page, cls, fault_start, extra_wait,
-                                               done = std::move(done)] {
+                                               fault_span, done = std::move(done)] {
     const Duration handling = (sim_->now() - fault_start) - extra_wait;
     metrics_.RecordFault(cls, handling, extra_wait);
-    if (tracer_ != nullptr) {
-      tracer_->Emit(sim_->now(), TraceEventType::kFaultEnd, page,
-                    static_cast<uint64_t>(cls));
+    if (spans_ != nullptr) {
+      spans_->End(fault_span, sim_->now(), static_cast<uint64_t>(cls));
+    }
+    if (class_counters_[static_cast<int>(cls)] != nullptr) {
+      class_counters_[static_cast<int>(cls)]->Add(1);
+      class_histograms_[static_cast<int>(cls)]->Record(handling);
     }
     if (cls == FaultClass::kUffdHandled) {
       // The handler resolved the fault with UFFDIO_COPY: an anonymous page copy.
@@ -70,33 +93,38 @@ void FaultEngine::FinishFault(PageIndex page, FaultClass cls, SimTime fault_star
   });
 }
 
-bool FaultEngine::Access(PageIndex page, std::function<void(FaultClass)> done) {
+bool FaultEngine::AccessSlow(PageIndex page, std::function<void(FaultClass)> done) {
   const PageInstallState state = space_->install_state(page);
-  if (state == PageInstallState::kPresent) {
-    metrics_.RecordFault(FaultClass::kNoFault, Duration::Zero());
-    return true;
-  }
   const SimTime fault_start = sim_->now();
-  if (tracer_ != nullptr) {
-    tracer_->Emit(fault_start, TraceEventType::kFaultStart, page);
-  }
+  const SpanId fault_span =
+      spans_ != nullptr ? spans_->BeginId(fault_start, ObsLane::kVcpu, fault_name_, page,
+                                          0, invocation_span_)
+                        : kNoSpan;
 
   if (state == PageInstallState::kSoftPresent) {
     // Host PTE installed by UFFDIO_COPY; one cheap guest-dimension fault remains.
     FinishFault(page, FaultClass::kUffdPreinstalled, fault_start,
                 DisperseCost(costs_.cost_dispersion, costs_.uffd_preinstalled_fault, page,
                              FaultClass::kUffdPreinstalled),
-                Duration::Zero(), std::move(done));
+                Duration::Zero(), fault_span, std::move(done));
     return false;
   }
 
   // Not present. userfaultfd interception takes priority over the kernel path.
   if (uffd_handler_ != nullptr && uffd_region_.Contains(page)) {
-    uffd_handler_->HandleFault(page, [this, page, fault_start, done = std::move(done)]() mutable {
+    const SpanId resolve_span =
+        spans_ != nullptr ? spans_->BeginId(fault_start, ObsLane::kUffd, uffd_resolve_name_,
+                                            page, 0, fault_span)
+                          : kNoSpan;
+    uffd_handler_->HandleFault(page, [this, page, fault_start, fault_span, resolve_span,
+                                      done = std::move(done)]() mutable {
       // Handler resolved the contents; account the uffd round trip plus the
       // vCPU-block penalty (guest cannot resume immediately; section 6.4).
+      if (spans_ != nullptr) {
+        spans_->End(resolve_span, sim_->now());
+      }
       FinishFault(page, FaultClass::kUffdHandled, fault_start, costs_.uffd_round_trip,
-                  uffd_vcpu_block_extra_, std::move(done));
+                  uffd_vcpu_block_extra_, fault_span, std::move(done));
     });
     return false;
   }
@@ -107,7 +135,7 @@ bool FaultEngine::Access(PageIndex page, std::function<void(FaultClass)> done) {
       FinishFault(page, FaultClass::kAnonymous, fault_start,
                   DisperseCost(costs_.cost_dispersion, costs_.anonymous_fault, page,
                                FaultClass::kAnonymous),
-                  Duration::Zero(), std::move(done));
+                  Duration::Zero(), fault_span, std::move(done));
       return false;
     case BackingKind::kFile: {
       const PageCache::PageState cache_state = cache_->GetState(backing.file, backing.file_page);
@@ -119,7 +147,7 @@ bool FaultEngine::Access(PageIndex page, std::function<void(FaultClass)> done) {
                                  sequential ? costs_.minor_fault_sequential
                                             : costs_.minor_fault,
                                  page, FaultClass::kMinor),
-                    Duration::Zero(), std::move(done));
+                    Duration::Zero(), fault_span, std::move(done));
         return false;
       }
       // Either already in flight (wait on the existing IO) or absent (issue a read
@@ -131,11 +159,12 @@ bool FaultEngine::Access(PageIndex page, std::function<void(FaultClass)> done) {
                                 ? costs_.major_fault_overhead
                                 : costs_.inflight_wait_overhead;
       EnsureFilePage(backing.file, backing.file_page, /*charge_to_faults=*/true,
-                     [this, page, cls, tail, fault_start,
+                     [this, page, cls, tail, fault_start, fault_span,
                       done = std::move(done)](PageCache::PageState) mutable {
                        FinishFault(page, cls, fault_start, tail, Duration::Zero(),
-                                   std::move(done));
-                     });
+                                   fault_span, std::move(done));
+                     },
+                     fault_span);
       return false;
     }
     case BackingKind::kUnmapped:
@@ -146,7 +175,8 @@ bool FaultEngine::Access(PageIndex page, std::function<void(FaultClass)> done) {
 }
 
 void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_faults,
-                                 std::function<void(PageCache::PageState)> done) {
+                                 std::function<void(PageCache::PageState)> done,
+                                 SpanId parent) {
   const PageCache::PageState initial = cache_->GetState(file, page);
   switch (initial) {
     case PageCache::PageState::kPresent:
@@ -171,7 +201,7 @@ void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_fau
       metrics_.fault_disk_bytes += PagesToBytes(r.count);
     }
     storage_->Read(file, PagesToBytes(r.first), PagesToBytes(r.count),
-                   [this, handle] { cache_->CompleteRead(handle); });
+                   [this, handle] { cache_->CompleteRead(handle); }, parent);
   }
   cache_->WaitFor(file, page, [initial, done = std::move(done)] { done(initial); });
 }

@@ -22,6 +22,7 @@
 #include "src/mem/page_cache.h"
 #include "src/mem/readahead.h"
 #include "src/common/tracer.h"
+#include "src/obs/span_tracer.h"
 #include "src/sim/simulation.h"
 #include "src/storage/storage_router.h"
 
@@ -55,14 +56,26 @@ class FaultEngine {
   //    flooding the event queue).
   //  * Returns false if a fault is in progress; `done(fault_class)` fires on the
   //    sim clock once the access retires.
-  bool Access(PageIndex page, std::function<void(FaultClass)> done);
+  //
+  // The no-fault check stays inline so the overwhelmingly common "page already
+  // installed" case costs a lookup and a counter bump; the fault machinery
+  // (including span recording) lives out of line in AccessSlow.
+  bool Access(PageIndex page, std::function<void(FaultClass)> done) {
+    if (space_->install_state(page) == PageInstallState::kPresent) {
+      metrics_.RecordFault(FaultClass::kNoFault, Duration::Zero());
+      return true;
+    }
+    return AccessSlow(page, std::move(done));
+  }
 
   // Makes a file page readable through the page cache (issuing a device read with
   // readahead on a miss) and calls `done(state_before)` at data-ready time. Used by
   // the major-fault path and by REAP's handler pread. Disk traffic is charged to
-  // fault metrics iff `charge_to_faults`.
+  // fault metrics iff `charge_to_faults`. `parent` links issued disk-read spans
+  // to the causing span.
   void EnsureFilePage(FileId file, PageIndex page, bool charge_to_faults,
-                      std::function<void(PageCache::PageState)> done);
+                      std::function<void(PageCache::PageState)> done,
+                      SpanId parent = kNoSpan);
 
   const FaultMetrics& metrics() const { return metrics_; }
   FaultMetrics& mutable_metrics() { return metrics_; }
@@ -71,8 +84,20 @@ class FaultEngine {
   PageCache* page_cache() { return cache_; }
   StorageRouter* storage() { return storage_; }
 
-  // Optional structured tracing (fault start/end events); null disables.
-  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+  // Attaches span tracing and metrics. Every fault becomes a span on the vCPU
+  // lane (child of the current invocation span); uffd round trips and issued
+  // disk reads nest under it. Metrics: per-class fault counters and handling
+  // histograms. Null pointers detach; detached cost is one branch per fault.
+  void set_observability(SpanTracer* spans, MetricsRegistry* metrics);
+
+  // Deprecated: legacy entry point; equivalent to attaching the EventTracer's
+  // underlying span tracer with no metrics.
+  void set_tracer(EventTracer* tracer) {
+    set_observability(tracer != nullptr ? &tracer->spans() : nullptr, nullptr);
+  }
+
+  // Span all subsequent fault spans parent to (the running invocation's span).
+  void set_invocation_span(SpanId span) { invocation_span_ = span; }
 
   // Extra vCPU-block time charged per uffd-handled fault (context switches while
   // KVM waits for the vCPU to be ready; section 6.4). Exposed for calibration.
@@ -80,8 +105,12 @@ class FaultEngine {
   void set_uffd_vcpu_block_extra(Duration d) { uffd_vcpu_block_extra_ = d; }
 
  private:
+  // The not-present tail of Access: classifies and retires the fault.
+  bool AccessSlow(PageIndex page, std::function<void(FaultClass)> done);
+
   void FinishFault(PageIndex page, FaultClass cls, SimTime fault_start, Duration tail_cost,
-                   Duration extra_wait, std::function<void(FaultClass)> done);
+                   Duration extra_wait, SpanId fault_span,
+                   std::function<void(FaultClass)> done);
 
   Simulation* sim_;
   PageCache* cache_;
@@ -93,7 +122,14 @@ class FaultEngine {
   FaultMetrics metrics_;
 
   PageIndex last_minor_page_ = static_cast<PageIndex>(-2);
-  EventTracer* tracer_ = nullptr;
+
+  SpanTracer* spans_ = nullptr;
+  uint32_t fault_name_ = 0;         // pre-interned obsname::kFault
+  uint32_t uffd_resolve_name_ = 0;  // pre-interned obsname::kUffdResolve
+  SpanId invocation_span_ = kNoSpan;
+  // Per-class counters and handling-time histograms; null when detached.
+  Counter* class_counters_[static_cast<int>(FaultClass::kClassCount)] = {};
+  Log2Histogram* class_histograms_[static_cast<int>(FaultClass::kClassCount)] = {};
 
   PageRangeSet uffd_region_;
   UffdHandler* uffd_handler_ = nullptr;

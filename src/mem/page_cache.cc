@@ -50,6 +50,10 @@ PageCache::ReadHandle PageCache::BeginRead(FileId file, PageRange range) {
                 "BeginRead overlapping an in-flight read");
   fs.in_flight.emplace(range.first, InFlightSpan{range.end(), handle});
   reads_.emplace(handle, InFlightRead{file, range, {}});
+  if (reads_begun_ != nullptr) {
+    reads_begun_->Add(1);
+    read_pages_->Add(static_cast<int64_t>(range.count));
+  }
   return handle;
 }
 
@@ -60,7 +64,9 @@ void PageCache::CompleteRead(ReadHandle handle) {
   reads_.erase(it);
   FileState& fs = files_[read.file];
   fs.in_flight.erase(read.range.first);
+  const uint64_t before = fs.present.page_count();
   fs.present.Add(read.range);
+  NotePresentDelta(fs.present.page_count() - before);
   for (EventFn& waiter : read.waiters) {
     waiter();
   }
@@ -70,6 +76,9 @@ void PageCache::WaitFor(FileId file, PageIndex page, EventFn done) {
   FileState& fs = files_[file];
   auto it = FirstSpanEndingAfter(fs, page);
   if (it != fs.in_flight.end() && it->first <= page) {
+    if (waiters_ != nullptr) {
+      waiters_->Add(1);
+    }
     reads_[it->second.handle].waiters.push_back(std::move(done));
     return;
   }
@@ -79,7 +88,14 @@ void PageCache::WaitFor(FileId file, PageIndex page, EventFn done) {
 
 void PageCache::Insert(FileId file, PageRange range) {
   FAASNAP_CHECK(file != kInvalidFileId);
-  files_[file].present.Add(range);
+  FileState& fs = files_[file];
+  const uint64_t before = fs.present.page_count();
+  fs.present.Add(range);
+  const uint64_t added = fs.present.page_count() - before;
+  NotePresentDelta(added);
+  if (inserted_pages_ != nullptr) {
+    inserted_pages_->Add(static_cast<int64_t>(added));
+  }
 }
 
 PageRangeSet PageCache::AbsentIn(FileId file, PageRange range) const {
@@ -141,6 +157,7 @@ PageRangeSet PageCache::PresentPages(FileId file) const {
 void PageCache::DropAll() {
   FAASNAP_CHECK(reads_.empty() && "DropAll with reads in flight");
   files_.clear();
+  NotePresentDelta(-static_cast<int64_t>(present_total_));
 }
 
 void PageCache::DropFile(FileId file) {
@@ -149,6 +166,7 @@ void PageCache::DropFile(FileId file) {
     return;
   }
   FAASNAP_CHECK(it->second.in_flight.empty() && "DropFile with reads in flight");
+  NotePresentDelta(-static_cast<int64_t>(it->second.present.page_count()));
   files_.erase(it);
 }
 
@@ -158,6 +176,30 @@ uint64_t PageCache::present_page_count() const {
     total += fs.present.page_count();
   }
   return total;
+}
+
+void PageCache::NotePresentDelta(int64_t delta) {
+  present_total_ = static_cast<uint64_t>(static_cast<int64_t>(present_total_) + delta);
+  if (present_pages_gauge_ != nullptr) {
+    present_pages_gauge_->Set(static_cast<double>(present_total_));
+  }
+}
+
+void PageCache::set_observability(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    reads_begun_ = nullptr;
+    read_pages_ = nullptr;
+    inserted_pages_ = nullptr;
+    waiters_ = nullptr;
+    present_pages_gauge_ = nullptr;
+    return;
+  }
+  reads_begun_ = metrics->GetCounter("page_cache.reads_begun");
+  read_pages_ = metrics->GetCounter("page_cache.read_pages");
+  inserted_pages_ = metrics->GetCounter("page_cache.inserted_pages");
+  waiters_ = metrics->GetCounter("page_cache.waiters");
+  present_pages_gauge_ = metrics->GetGauge("page_cache.present_pages");
+  present_pages_gauge_->Set(static_cast<double>(present_total_));
 }
 
 }  // namespace faasnap

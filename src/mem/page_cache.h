@@ -24,6 +24,7 @@
 
 #include "src/common/page_range.h"
 #include "src/common/status.h"
+#include "src/obs/metrics_registry.h"
 #include "src/sim/simulation.h"
 
 namespace faasnap {
@@ -78,6 +79,11 @@ class PageCache {
   // Total pages cached across all files (page-cache memory footprint, section 7.3).
   uint64_t present_page_count() const;
 
+  // Attaches metrics: pages read into / inserted into the cache, reads begun,
+  // waiters registered, and a footprint gauge. Null detaches; detached cost is
+  // one branch per operation.
+  void set_observability(MetricsRegistry* metrics);
+
  private:
   struct InFlightRead {
     FileId file = kInvalidFileId;
@@ -101,6 +107,9 @@ class PageCache {
 
   const FileState* FindFile(FileId file) const;
 
+  // Adjusts the running footprint count (and gauge, when attached).
+  void NotePresentDelta(int64_t delta);
+
   // Iterator to the first in-flight span of `fs` with end > page, or end().
   static std::map<PageIndex, InFlightSpan>::const_iterator FirstSpanEndingAfter(
       const FileState& fs, PageIndex page);
@@ -108,6 +117,13 @@ class PageCache {
   std::map<FileId, FileState> files_;
   std::map<ReadHandle, InFlightRead> reads_;
   ReadHandle next_handle_ = 1;
+
+  Counter* reads_begun_ = nullptr;
+  Counter* read_pages_ = nullptr;
+  Counter* inserted_pages_ = nullptr;
+  Counter* waiters_ = nullptr;
+  Gauge* present_pages_gauge_ = nullptr;
+  uint64_t present_total_ = 0;  // running count backing the gauge
 };
 
 }  // namespace faasnap

@@ -13,19 +13,37 @@ PageRange ReadaheadPolicy::WindowFor(FileId file, PageIndex page, uint64_t file_
   }
   Stream& stream = streams_[file];
   uint64_t window = config_.initial_window_pages;
+  bool sequential = true;
   if (stream.window != 0) {
     // "Sequential enough": the fault lands at or just past the previous fault,
     // within the reach of the last window. Random jumps shrink the window to the
     // fault-around size.
     const bool forward = page >= stream.last_fault;
-    const bool close = forward && (page - stream.last_fault) <= stream.window;
-    window = close ? std::min(stream.window * 2, config_.max_window_pages)
-                   : config_.random_window_pages;
+    sequential = forward && (page - stream.last_fault) <= stream.window;
+    window = sequential ? std::min(stream.window * 2, config_.max_window_pages)
+                        : config_.random_window_pages;
   }
   stream.last_fault = page;
   stream.window = window;
   const uint64_t count = std::min(window, file_pages - page);
-  return PageRange{page, std::max<uint64_t>(count, 1)};
+  const PageRange result{page, std::max<uint64_t>(count, 1)};
+  if (window_pages_ != nullptr) {
+    (sequential ? sequential_windows_ : random_windows_)->Add(1);
+    window_pages_->Add(static_cast<int64_t>(result.count));
+  }
+  return result;
+}
+
+void ReadaheadPolicy::set_observability(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    sequential_windows_ = nullptr;
+    random_windows_ = nullptr;
+    window_pages_ = nullptr;
+    return;
+  }
+  sequential_windows_ = metrics->GetCounter("readahead.windows", {{"kind", "sequential"}});
+  random_windows_ = metrics->GetCounter("readahead.windows", {{"kind", "random"}});
+  window_pages_ = metrics->GetCounter("readahead.window_pages");
 }
 
 }  // namespace faasnap

@@ -20,6 +20,7 @@
 
 #include "src/common/page_range.h"
 #include "src/mem/page_cache.h"
+#include "src/obs/metrics_registry.h"
 
 namespace faasnap {
 
@@ -45,6 +46,10 @@ class ReadaheadPolicy {
 
   const ReadaheadConfig& config() const { return config_; }
 
+  // Attaches metrics: windows computed (split sequential vs random-jump) and
+  // total window pages. Null detaches.
+  void set_observability(MetricsRegistry* metrics);
+
  private:
   struct Stream {
     PageIndex last_fault = 0;
@@ -53,6 +58,10 @@ class ReadaheadPolicy {
 
   ReadaheadConfig config_;
   std::map<FileId, Stream> streams_;
+
+  Counter* sequential_windows_ = nullptr;
+  Counter* random_windows_ = nullptr;
+  Counter* window_pages_ = nullptr;
 };
 
 }  // namespace faasnap

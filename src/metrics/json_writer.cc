@@ -1,137 +1,6 @@
 #include "src/metrics/json_writer.h"
 
-#include <cinttypes>
-#include <cmath>
-#include <cstdio>
-
-#include "src/common/status.h"
-
 namespace faasnap {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void JsonWriter::MaybeComma() {
-  if (!needs_comma_.empty() && needs_comma_.back() && !pending_key_) {
-    out_ += ',';
-  }
-  if (!needs_comma_.empty() && !pending_key_) {
-    needs_comma_.back() = true;
-  }
-  pending_key_ = false;
-}
-
-void JsonWriter::Raw(const std::string& s) {
-  MaybeComma();
-  out_ += s;
-}
-
-JsonWriter& JsonWriter::BeginObject() {
-  Raw("{");
-  needs_comma_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::EndObject() {
-  FAASNAP_CHECK(!needs_comma_.empty());
-  needs_comma_.pop_back();
-  out_ += '}';
-  return *this;
-}
-
-JsonWriter& JsonWriter::BeginArray() {
-  Raw("[");
-  needs_comma_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::EndArray() {
-  FAASNAP_CHECK(!needs_comma_.empty());
-  needs_comma_.pop_back();
-  out_ += ']';
-  return *this;
-}
-
-JsonWriter& JsonWriter::Key(const std::string& key) {
-  MaybeComma();
-  out_ += '"';
-  out_ += JsonEscape(key);
-  out_ += "\":";
-  pending_key_ = true;
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(const std::string& v) {
-  Raw("\"" + JsonEscape(v) + "\"");
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(const char* v) { return Value(std::string(v)); }
-
-JsonWriter& JsonWriter::Value(int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
-  Raw(buf);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  Raw(buf);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(double v) {
-  char buf[64];
-  if (std::isfinite(v)) {
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-  } else {
-    std::snprintf(buf, sizeof(buf), "null");
-  }
-  Raw(buf);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(bool v) {
-  Raw(v ? "true" : "false");
-  return *this;
-}
-
-std::string JsonWriter::TakeString() {
-  FAASNAP_CHECK(needs_comma_.empty() && "unbalanced JSON scopes");
-  return std::move(out_);
-}
 
 std::string InvocationReportToJson(const InvocationReport& report) {
   JsonWriter json;

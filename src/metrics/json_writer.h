@@ -1,57 +1,16 @@
-// Minimal dependency-free JSON emission, plus InvocationReport serialization for
-// downstream tooling (plotting scripts, dashboards, the CLI's --json flag).
+// InvocationReport JSON serialization for downstream tooling (plotting scripts,
+// dashboards, the CLI's --json flag). The generic streaming JsonWriter lives in
+// src/common/json_writer.h and is re-exported here for existing includers.
 
 #ifndef FAASNAP_SRC_METRICS_JSON_WRITER_H_
 #define FAASNAP_SRC_METRICS_JSON_WRITER_H_
 
-#include <cstdint>
 #include <string>
-#include <vector>
 
+#include "src/common/json_writer.h"
 #include "src/metrics/report.h"
 
 namespace faasnap {
-
-// Streaming JSON writer with explicit object/array scopes. Keys and string values
-// are escaped; numbers are emitted with enough precision to round-trip.
-class JsonWriter {
- public:
-  JsonWriter& BeginObject();
-  JsonWriter& EndObject();
-  JsonWriter& BeginArray();
-  JsonWriter& EndArray();
-
-  // Emits the key for the next value (valid only inside an object).
-  JsonWriter& Key(const std::string& key);
-
-  JsonWriter& Value(const std::string& v);
-  JsonWriter& Value(const char* v);
-  JsonWriter& Value(int64_t v);
-  JsonWriter& Value(uint64_t v);
-  JsonWriter& Value(double v);
-  JsonWriter& Value(bool v);
-
-  // Convenience: Key(k) + Value(v).
-  template <typename T>
-  JsonWriter& Field(const std::string& key, const T& v) {
-    Key(key);
-    return Value(v);
-  }
-
-  // The finished document. Aborts if scopes are unbalanced.
-  std::string TakeString();
-
- private:
-  void MaybeComma();
-  void Raw(const std::string& s);
-
-  std::string out_;
-  std::vector<bool> needs_comma_;  // per open scope
-  bool pending_key_ = false;
-};
-
-// Escapes a string for embedding in JSON (without surrounding quotes).
-std::string JsonEscape(const std::string& s);
 
 // Full InvocationReport as a JSON object (times in milliseconds, sizes in bytes,
 // fault counts by class, and the latency histogram buckets).

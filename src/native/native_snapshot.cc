@@ -8,6 +8,7 @@
 
 #include "src/common/units.h"
 #include "src/core/loading_set_builder.h"
+#include "src/obs/observability.h"
 #include "src/snapshot/serialization.h"
 
 namespace faasnap {
@@ -47,9 +48,24 @@ Result<std::unique_ptr<NativeSnapshotSession>> NativeSnapshotSession::Create(
   return session;
 }
 
+void NativeSnapshotSession::set_observability(SpanTracer* spans) {
+  spans_ = spans;
+  obs_base_ = std::chrono::steady_clock::now();
+}
+
+SimTime NativeSnapshotSession::ObsNow() const {
+  return SimTime::FromNanos(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - obs_base_)
+                                .count());
+}
+
 Result<WorkingSetGroups> NativeSnapshotSession::RecordWorkingSet(
     const std::vector<PageIndex>& accesses, uint64_t group_size) {
   FAASNAP_CHECK(group_size > 0);
+  const SpanId span = spans_ != nullptr
+                          ? spans_->Begin(ObsNow(), ObsLane::kNative, obsname::kRecord,
+                                          accesses.size(), group_size)
+                          : kNoSpan;
   NativeRegionMapper mapper;
   RETURN_IF_ERROR(mapper.ReserveAnonymous(config_.guest_pages));
   RETURN_IF_ERROR(
@@ -76,11 +92,18 @@ Result<WorkingSetGroups> NativeSnapshotSession::RecordWorkingSet(
     }
   }
   RETURN_IF_ERROR(scan());
+  if (spans_ != nullptr) {
+    spans_->End(span, ObsNow(), groups.groups.size());
+  }
   return groups;
 }
 
 Result<LoadingSetFile> NativeSnapshotSession::BuildAndWriteLoadingSet(
     const WorkingSetGroups& groups, uint64_t merge_gap_pages) {
+  const SpanId span =
+      spans_ != nullptr
+          ? spans_->Begin(ObsNow(), ObsLane::kNative, "native-build-lset", groups.groups.size())
+          : kNoSpan;
   MemoryFile meta;
   meta.total_pages = config_.guest_pages;
   meta.nonzero = nonzero_;
@@ -114,24 +137,43 @@ Result<LoadingSetFile> NativeSnapshotSession::BuildAndWriteLoadingSet(
   if (!manifest.good()) {
     return IoError("writing manifest " + manifest_path_);
   }
+  if (spans_ != nullptr) {
+    spans_->End(span, ObsNow(), loading.total_pages);
+  }
   return loading;
 }
 
 Result<std::unique_ptr<NativeRegionMapper>> NativeSnapshotSession::RestorePerRegion(
     const LoadingSetFile& loading) {
+  const SpanId span =
+      spans_ != nullptr
+          ? spans_->Begin(ObsNow(), ObsLane::kNative, obsname::kSetup, loading.regions.size())
+          : kNoSpan;
   auto mapper = std::make_unique<NativeRegionMapper>();
   RETURN_IF_ERROR(mapper->ReserveAnonymous(config_.guest_pages));
+  uint64_t mmap_calls = 1;
   for (const PageRange& r : nonzero_.ranges()) {
     RETURN_IF_ERROR(mapper->MapFileRegion(r, memory_file_, r.first));
+    ++mmap_calls;
   }
   for (const LoadingRegion& region : loading.regions) {
     RETURN_IF_ERROR(mapper->MapFileRegion(region.guest, loading_file_, region.file_start));
+    ++mmap_calls;
+  }
+  if (spans_ != nullptr) {
+    spans_->End(span, ObsNow(), mmap_calls);
   }
   return mapper;
 }
 
 void NativeSnapshotSession::StartLoader() {
   FAASNAP_CHECK(!loader_.joinable());
+  // SpanTracer is single-threaded: record the begin here and the end at
+  // JoinLoader, both from the calling thread.
+  loader_span_ = spans_ != nullptr
+                     ? spans_->Begin(ObsNow(), ObsLane::kNative, obsname::kLoader,
+                                     loading_file_.pages())
+                     : kNoSpan;
   loader_ = std::thread([this] {
     // Sequential pread of the whole loading set file: populates the page cache in
     // (group, address) order, exactly like the daemon loader.
@@ -149,6 +191,10 @@ void NativeSnapshotSession::StartLoader() {
 void NativeSnapshotSession::JoinLoader() {
   if (loader_.joinable()) {
     loader_.join();
+    if (spans_ != nullptr) {
+      spans_->End(loader_span_, ObsNow());
+      loader_span_ = kNoSpan;
+    }
   }
 }
 

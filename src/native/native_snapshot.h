@@ -20,6 +20,7 @@
 #ifndef FAASNAP_SRC_NATIVE_NATIVE_SNAPSHOT_H_
 #define FAASNAP_SRC_NATIVE_NATIVE_SNAPSHOT_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -29,6 +30,7 @@
 #include "src/common/status.h"
 #include "src/native/mapped_file.h"
 #include "src/native/region_mapper.h"
+#include "src/obs/span_tracer.h"
 #include "src/snapshot/snapshot_files.h"
 
 namespace faasnap {
@@ -72,12 +74,24 @@ class NativeSnapshotSession {
   // Drops the page cache for the snapshot files (fadvise; best effort).
   void DropCaches();
 
+  // Attaches span tracing on the native lane; phase timestamps come from the
+  // host's steady clock (nanoseconds since attach). Spans are recorded from the
+  // calling thread only, so the loader thread's span closes at JoinLoader.
+  void set_observability(SpanTracer* spans);
+
   const PageRangeSet& nonzero() const { return nonzero_; }
   uint64_t guest_pages() const { return config_.guest_pages; }
   const std::string& manifest_path() const { return manifest_path_; }
 
  private:
   NativeSnapshotSession() = default;
+
+  // Wall time as a SimTime on the attach-relative steady clock.
+  SimTime ObsNow() const;
+
+  SpanTracer* spans_ = nullptr;
+  SpanId loader_span_ = kNoSpan;
+  std::chrono::steady_clock::time_point obs_base_;
 
   Config config_;
   PageRangeSet nonzero_;

@@ -1,0 +1,230 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/json_writer.h"
+#include "src/obs/observability.h"
+
+namespace faasnap {
+
+namespace {
+
+// Sorted disjoint [start, end) intervals with point queries.
+class IntervalSet {
+ public:
+  void Add(int64_t start, int64_t end) {
+    if (end > start) {
+      raw_.push_back({start, end});
+    }
+  }
+
+  void Merge() {
+    std::sort(raw_.begin(), raw_.end());
+    merged_.clear();
+    for (const auto& [s, e] : raw_) {
+      if (!merged_.empty() && s <= merged_.back().second) {
+        merged_.back().second = std::max(merged_.back().second, e);
+      } else {
+        merged_.push_back({s, e});
+      }
+    }
+  }
+
+  bool Contains(int64_t t) const {
+    auto it = std::upper_bound(merged_.begin(), merged_.end(),
+                               std::make_pair(t, INT64_MAX));
+    if (it == merged_.begin()) {
+      return false;
+    }
+    --it;
+    return t < it->second;
+  }
+
+  void AppendBoundaries(std::vector<int64_t>* out) const {
+    for (const auto& [s, e] : merged_) {
+      out->push_back(s);
+      out->push_back(e);
+    }
+  }
+
+ private:
+  std::vector<std::pair<int64_t, int64_t>> raw_;
+  std::vector<std::pair<int64_t, int64_t>> merged_;
+};
+
+// True when walking `id`'s parent chain reaches `ancestor`.
+bool DescendsFrom(const SpanTracer& spans, SpanId id, SpanId ancestor) {
+  while (id != kNoSpan) {
+    if (id == ancestor) {
+      return true;
+    }
+    id = spans.record(id).parent;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<CriticalPathBreakdown> AnalyzeColdStart(const SpanTracer& spans,
+                                                      uint32_t track,
+                                                      size_t invoke_index) {
+  const std::vector<SpanRecord>& records = spans.records();
+
+  // Locate the requested invoke span.
+  SpanId invoke_id = kNoSpan;
+  size_t seen = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& rec = records[i];
+    if (rec.track == track && !rec.instant && !rec.open &&
+        spans.name(rec.name) == obsname::kInvoke) {
+      if (seen++ == invoke_index) {
+        invoke_id = static_cast<SpanId>(i + 1);
+        break;
+      }
+    }
+  }
+  if (invoke_id == kNoSpan) {
+    return std::nullopt;
+  }
+  const SpanRecord& invoke = spans.record(invoke_id);
+  const int64_t lo = invoke.start.nanos();
+  const int64_t hi = invoke.end.nanos();
+
+  CriticalPathBreakdown bd;
+  bd.total = invoke.end - invoke.start;
+
+  IntervalSet dispatch, setup, invocation, fault, uffd, disk;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& rec = records[i];
+    if (rec.track != track || rec.instant) {
+      continue;
+    }
+    const int64_t s = std::max(rec.start.nanos(), lo);
+    const int64_t e = std::min((rec.open ? invoke.end : rec.end).nanos(), hi);
+    if (e <= s) {
+      continue;
+    }
+    if (rec.lane == ObsLane::kDisk) {
+      // Any in-flight disk service interval on the track counts: a fault can
+      // block on a read it did not issue.
+      disk.Add(s, e);
+      ++bd.disk_reads;
+      continue;
+    }
+    const std::string_view name = spans.name(rec.name);
+    const SpanId id = static_cast<SpanId>(i + 1);
+    if (name == obsname::kDispatch && DescendsFrom(spans, id, invoke_id)) {
+      dispatch.Add(s, e);
+    } else if (name == obsname::kSetup && DescendsFrom(spans, id, invoke_id)) {
+      setup.Add(s, e);
+    } else if (name == obsname::kInvocation && DescendsFrom(spans, id, invoke_id)) {
+      invocation.Add(s, e);
+    } else if (name == obsname::kFault && DescendsFrom(spans, id, invoke_id)) {
+      fault.Add(s, e);
+      ++bd.faults;
+    } else if ((name == obsname::kUffdResolve || name == obsname::kReapFetch) &&
+               DescendsFrom(spans, id, invoke_id)) {
+      uffd.Add(s, e);
+    }
+  }
+  dispatch.Merge();
+  setup.Merge();
+  invocation.Merge();
+  fault.Merge();
+  uffd.Merge();
+  disk.Merge();
+
+  // Sweep the elementary segments between all interval boundaries; each segment
+  // lands in exactly one category, so the categories partition [lo, hi].
+  std::vector<int64_t> cuts = {lo, hi};
+  dispatch.AppendBoundaries(&cuts);
+  setup.AppendBoundaries(&cuts);
+  invocation.AppendBoundaries(&cuts);
+  fault.AppendBoundaries(&cuts);
+  uffd.AppendBoundaries(&cuts);
+  disk.AppendBoundaries(&cuts);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const int64_t s = std::max(cuts[i], lo);
+    const int64_t e = std::min(cuts[i + 1], hi);
+    if (e <= s) {
+      continue;
+    }
+    const int64_t mid = s + (e - s) / 2;
+    const Duration len = Duration::Nanos(e - s);
+    if (invocation.Contains(mid)) {
+      if (fault.Contains(mid)) {
+        if (disk.Contains(mid)) {
+          bd.disk_wait += len;
+        } else if (uffd.Contains(mid)) {
+          bd.uffd_wait += len;
+        } else {
+          bd.fault_cpu += len;
+        }
+      } else {
+        bd.guest_run += len;
+      }
+    } else if (setup.Contains(mid)) {
+      if (disk.Contains(mid)) {
+        bd.setup_disk += len;
+      } else {
+        bd.setup_cpu += len;
+      }
+    } else if (dispatch.Contains(mid)) {
+      bd.dispatch += len;
+    } else {
+      bd.other += len;
+    }
+  }
+  return bd;
+}
+
+std::string CriticalPathToString(const CriticalPathBreakdown& bd) {
+  const double total_ms = bd.total.millis();
+  std::string out;
+  char line[128];
+  const auto row = [&](const char* label, Duration d) {
+    const double pct = total_ms > 0 ? 100.0 * d.millis() / total_ms : 0.0;
+    std::snprintf(line, sizeof(line), "  %-10s %9.3f ms  (%5.1f%%)\n", label, d.millis(), pct);
+    out += line;
+  };
+  std::snprintf(line, sizeof(line), "cold-start %9.3f ms, %lld faults, %lld disk reads\n",
+                total_ms, static_cast<long long>(bd.faults),
+                static_cast<long long>(bd.disk_reads));
+  out += line;
+  row("dispatch", bd.dispatch);
+  row("setup_cpu", bd.setup_cpu);
+  row("setup_disk", bd.setup_disk);
+  row("guest_run", bd.guest_run);
+  row("fault_cpu", bd.fault_cpu);
+  row("uffd_wait", bd.uffd_wait);
+  row("disk_wait", bd.disk_wait);
+  if (bd.other > Duration::Zero()) {
+    row("other", bd.other);
+  }
+  return out;
+}
+
+std::string CriticalPathToJson(const CriticalPathBreakdown& bd) {
+  JsonWriter json;
+  json.BeginObject()
+      .Field("total_ns", bd.total.nanos())
+      .Field("dispatch_ns", bd.dispatch.nanos())
+      .Field("setup_cpu_ns", bd.setup_cpu.nanos())
+      .Field("setup_disk_ns", bd.setup_disk.nanos())
+      .Field("guest_run_ns", bd.guest_run.nanos())
+      .Field("fault_cpu_ns", bd.fault_cpu.nanos())
+      .Field("uffd_wait_ns", bd.uffd_wait.nanos())
+      .Field("disk_wait_ns", bd.disk_wait.nanos())
+      .Field("other_ns", bd.other.nanos())
+      .Field("faults", bd.faults)
+      .Field("disk_reads", bd.disk_reads)
+      .EndObject();
+  return json.TakeString();
+}
+
+}  // namespace faasnap

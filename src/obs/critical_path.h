@@ -1,0 +1,72 @@
+// Cold-start critical-path analysis over a SpanTracer's records.
+//
+// The paper's Figure 1 breaks a cold start into the phases the request is
+// actually blocked on: VMM restore and memory-mapping setup, guest execution,
+// and fault handling split between userspace round trips and disk waits.
+// AnalyzeColdStart reproduces that breakdown mechanically from the span tree:
+// it takes one `invoke` span and partitions its [start, end] window into
+// disjoint categories, so the components always sum to the cold-start duration
+// exactly — a machine-checkable Figure 1.
+//
+// Classification of each instant, by priority:
+//   inside `invocation`:
+//     covered by a disk-read span on the track -> disk_wait   (inside a fault)
+//     covered by uffd-resolve/reap-fetch       -> uffd_wait   (inside a fault)
+//     inside a fault span otherwise            -> fault_cpu
+//     otherwise                                -> guest_run
+//   inside `setup`:
+//     covered by a disk-read span              -> setup_disk
+//     otherwise                                -> setup_cpu
+//   inside `dispatch`                          -> dispatch (queueing)
+//   otherwise                                  -> other (gaps; normally zero)
+//
+// Disk coverage is tested against *all* disk-read spans on the track, not just
+// descendants of the fault: a fault that waits on a read the loader already
+// has in flight is still disk-bound for that interval.
+
+#ifndef FAASNAP_SRC_OBS_CRITICAL_PATH_H_
+#define FAASNAP_SRC_OBS_CRITICAL_PATH_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/sim_time.h"
+#include "src/obs/span_tracer.h"
+
+namespace faasnap {
+
+struct CriticalPathBreakdown {
+  Duration total;      // invoke span duration; == Sum() by construction
+  Duration dispatch;   // daemon request-queue wait
+  Duration setup_cpu;  // VMM restore / mmap work off disk
+  Duration setup_disk; // setup blocked on the block device (e.g. REAP fetch)
+  Duration guest_run;  // guest executing, no fault outstanding
+  Duration fault_cpu;  // fault handling outside uffd/disk waits
+  Duration uffd_wait;  // userspace fault-handler round trips
+  Duration disk_wait;  // fault blocked while a disk read is in flight
+  Duration other;      // uncategorized gaps inside the invoke window
+
+  int64_t faults = 0;      // fault spans inside the window
+  int64_t disk_reads = 0;  // disk-read spans overlapping the window
+
+  Duration Sum() const {
+    return dispatch + setup_cpu + setup_disk + guest_run + fault_cpu + uffd_wait +
+           disk_wait + other;
+  }
+};
+
+// Analyzes the `invoke_index`-th closed `invoke` span on `track`. Returns
+// nullopt if that span does not exist (tracing disabled, or still open).
+std::optional<CriticalPathBreakdown> AnalyzeColdStart(const SpanTracer& spans,
+                                                      uint32_t track = 0,
+                                                      size_t invoke_index = 0);
+
+// "  setup_cpu  1.234 ms  (12.3%)" style multi-line rendering.
+std::string CriticalPathToString(const CriticalPathBreakdown& bd);
+
+// Flat JSON object with *_ns fields plus counts.
+std::string CriticalPathToJson(const CriticalPathBreakdown& bd);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_OBS_CRITICAL_PATH_H_

@@ -1,0 +1,152 @@
+#include "src/obs/legacy_tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/obs/observability.h"
+
+namespace faasnap {
+
+std::string_view TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFaultStart:
+      return "fault-start";
+    case TraceEventType::kFaultEnd:
+      return "fault-end";
+    case TraceEventType::kDiskIssue:
+      return "disk-issue";
+    case TraceEventType::kDiskComplete:
+      return "disk-complete";
+    case TraceEventType::kLoaderChunk:
+      return "loader-chunk";
+    case TraceEventType::kSetupDone:
+      return "setup-done";
+    case TraceEventType::kInvocationStart:
+      return "invocation-start";
+    case TraceEventType::kInvocationEnd:
+      return "invocation-end";
+    case TraceEventType::kTypeCount:
+      break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Lane a directly emitted legacy event renders on in span exports.
+ObsLane LaneFor(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kDiskIssue:
+    case TraceEventType::kDiskComplete:
+      return ObsLane::kDisk;
+    case TraceEventType::kLoaderChunk:
+      return ObsLane::kLoader;
+    case TraceEventType::kSetupDone:
+      return ObsLane::kDaemon;
+    default:
+      return ObsLane::kVcpu;
+  }
+}
+
+// Maps a direct-emission instant name back to its type; kTypeCount = no match.
+TraceEventType TypeForName(std::string_view name) {
+  for (int i = 0; i < static_cast<int>(TraceEventType::kTypeCount); ++i) {
+    if (name == TraceEventTypeName(static_cast<TraceEventType>(i))) {
+      return static_cast<TraceEventType>(i);
+    }
+  }
+  return TraceEventType::kTypeCount;
+}
+
+}  // namespace
+
+void EventTracer::Emit(SimTime time, TraceEventType type, uint64_t arg0, uint64_t arg1) {
+  spans_.Instant(time, LaneFor(type), TraceEventTypeName(type), arg0, arg1);
+}
+
+void EventTracer::Refresh() const {
+  if (projected_revision_ == spans_.revision()) {
+    return;
+  }
+  projected_revision_ = spans_.revision();
+  events_.clear();
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+
+  std::vector<TraceEvent> projected;
+  projected.reserve(spans_.records().size() * 2);
+  const auto add = [&](SimTime time, TraceEventType type, uint64_t arg0, uint64_t arg1) {
+    counts_[static_cast<int>(type)]++;
+    projected.push_back(TraceEvent{time, type, arg0, arg1});
+  };
+  for (const SpanRecord& rec : spans_.records()) {
+    const std::string_view name = spans_.name(rec.name);
+    if (rec.instant) {
+      const TraceEventType type = TypeForName(name);
+      if (type != TraceEventType::kTypeCount) {
+        add(rec.start, type, rec.arg0, rec.arg1);
+      }
+      continue;
+    }
+    if (name == obsname::kFault) {
+      add(rec.start, TraceEventType::kFaultStart, rec.arg0, 0);
+      if (!rec.open) {
+        add(rec.end, TraceEventType::kFaultEnd, rec.arg0, rec.arg1);
+      }
+    } else if (name == obsname::kDiskRead) {
+      add(rec.start, TraceEventType::kDiskIssue, rec.arg0, rec.arg1);
+      if (!rec.open) {
+        add(rec.end, TraceEventType::kDiskComplete, rec.arg0, rec.arg1);
+      }
+    } else if (name == obsname::kLoaderChunk) {
+      // The legacy event fired once, at chunk-read issue.
+      add(rec.start, TraceEventType::kLoaderChunk, rec.arg0, rec.arg1);
+    } else if (name == obsname::kInvocation) {
+      add(rec.start, TraceEventType::kInvocationStart, 0, 0);
+      if (!rec.open) {
+        add(rec.end, TraceEventType::kInvocationEnd,
+            static_cast<uint64_t>((rec.end - rec.start).nanos()), 0);
+      }
+    }
+    // Span names with no legacy equivalent (invoke, setup, uffd-resolve, ...)
+    // simply don't project.
+  }
+  // Records sit in begin order; end events need re-sorting. Stable keeps the
+  // original emission order for simultaneous events.
+  std::stable_sort(projected.begin(), projected.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+  const size_t keep = std::min(projected.size(), capacity_);
+  events_.assign(projected.end() - static_cast<ptrdiff_t>(keep), projected.end());
+}
+
+int64_t EventTracer::count(TraceEventType type) const {
+  Refresh();
+  return counts_[static_cast<int>(type)];
+}
+
+const std::deque<TraceEvent>& EventTracer::events() const {
+  Refresh();
+  return events_;
+}
+
+void EventTracer::Clear() { spans_.Clear(); }
+
+std::string EventTracer::RenderTimeline(SimTime from, SimTime to) const {
+  Refresh();
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    if (event.time < from || to < event.time) {
+      continue;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%10.3f ms  %-16s arg0=%llu arg1=%llu\n",
+                  static_cast<double>(event.time.nanos()) / 1e6,
+                  TraceEventTypeName(event.type).data(),
+                  static_cast<unsigned long long>(event.arg0),
+                  static_cast<unsigned long long>(event.arg1));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,83 @@
+// EventTracer: the original flat-event tracing API, now a compatibility shim
+// over SpanTracer (obs/span_tracer.h).
+//
+// EventTracer owns a SpanTracer; Platform::set_tracer wires that span tracer
+// into every component, and this class lazily *projects* the recorded spans
+// back into the legacy flat events — a fault span becomes a fault-start /
+// fault-end pair, a disk-read span becomes disk-issue / disk-complete, and so
+// on — preserving the original timestamps, counters, ring-buffer semantics,
+// and RenderTimeline format. Direct Emit() calls are recorded as instants and
+// project 1:1.
+//
+// New code should attach an Observability bundle (obs/observability.h) and use
+// SpanTracer directly; this type exists so existing call sites and tests keep
+// working unchanged.
+
+#ifndef FAASNAP_SRC_OBS_LEGACY_TRACER_H_
+#define FAASNAP_SRC_OBS_LEGACY_TRACER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "src/common/sim_time.h"
+#include "src/obs/span_tracer.h"
+
+namespace faasnap {
+
+enum class TraceEventType : int {
+  kFaultStart = 0,   // arg0 = guest page
+  kFaultEnd,         // arg0 = guest page, arg1 = fault class
+  kDiskIssue,        // arg0 = offset bytes, arg1 = bytes
+  kDiskComplete,     // arg0 = offset bytes, arg1 = bytes
+  kLoaderChunk,      // arg0 = file page, arg1 = pages
+  kSetupDone,        // arg0 = mmap calls
+  kInvocationStart,  // no args
+  kInvocationEnd,    // arg0 = elapsed ns
+  kTypeCount,
+};
+
+std::string_view TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  SimTime time;
+  TraceEventType type = TraceEventType::kFaultStart;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+class EventTracer {
+ public:
+  // Keeps at most `capacity` most-recent events (counters are unbounded while
+  // the underlying span tracer has headroom; see SpanTracer::dropped_records).
+  explicit EventTracer(size_t capacity = 65536) : capacity_(capacity) {}
+
+  void Emit(SimTime time, TraceEventType type, uint64_t arg0 = 0, uint64_t arg1 = 0);
+
+  int64_t count(TraceEventType type) const;
+  const std::deque<TraceEvent>& events() const;
+  void Clear();
+
+  // "48.132 ms  fault-end        arg0=12345 arg1=2" lines, oldest first,
+  // restricted to [from, to].
+  std::string RenderTimeline(SimTime from, SimTime to) const;
+
+  // The span tracer components actually record into.
+  SpanTracer& spans() { return spans_; }
+  const SpanTracer& spans() const { return spans_; }
+
+ private:
+  // Rebuilds events_/counts_ from the span records when they changed.
+  void Refresh() const;
+
+  size_t capacity_;
+  SpanTracer spans_;
+  mutable uint64_t projected_revision_ = ~uint64_t{0};
+  mutable std::deque<TraceEvent> events_;
+  mutable int64_t counts_[static_cast<int>(TraceEventType::kTypeCount)] = {};
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_OBS_LEGACY_TRACER_H_

@@ -1,0 +1,112 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+
+#include "src/common/json_writer.h"
+#include "src/common/status.h"
+
+namespace faasnap {
+
+std::string MetricsRegistry::SeriesKey(const std::string& name, const MetricLabels& labels) {
+  // '\x1f' cannot appear in names/labels coming from code; it keeps
+  // ("a","b=c") and ("a|b","c") distinct.
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Resolve(const std::string& name, MetricLabels labels,
+                                                 Kind kind) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  const std::string key = SeriesKey(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    FAASNAP_CHECK(it->second->kind == kind && "metric re-registered with a different type");
+    return it->second;
+  }
+  entries_.push_back(Entry{name, std::move(labels), kind, {}, {}, nullptr});
+  Entry* entry = &entries_.back();
+  by_key_[key] = entry;
+  return entry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, MetricLabels labels) {
+  return &Resolve(name, std::move(labels), Kind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
+  return &Resolve(name, std::move(labels), Kind::kGauge)->gauge;
+}
+
+Log2Histogram* MetricsRegistry::GetHistogram(const std::string& name, MetricLabels labels,
+                                             int64_t lower_ns, int num_buckets) {
+  Entry* entry = Resolve(name, std::move(labels), Kind::kHistogram);
+  if (entry->histogram == nullptr) {
+    entry->histogram = std::make_unique<Log2Histogram>(lower_ns, num_buckets);
+  }
+  return entry->histogram.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    sorted.push_back(&entry);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    if (a->name != b->name) {
+      return a->name < b->name;
+    }
+    return a->labels < b->labels;
+  });
+
+  JsonWriter json;
+  json.BeginObject().Key("metrics").BeginArray();
+  for (const Entry* entry : sorted) {
+    json.BeginObject().Field("name", entry->name);
+    json.Key("labels").BeginObject();
+    for (const auto& [k, v] : entry->labels) {
+      json.Field(k, v);
+    }
+    json.EndObject();
+    switch (entry->kind) {
+      case Kind::kCounter:
+        json.Field("type", "counter").Field("value", entry->counter.value);
+        break;
+      case Kind::kGauge:
+        json.Field("type", "gauge")
+            .Field("value", entry->gauge.value)
+            .Field("max", entry->gauge.max_value);
+        break;
+      case Kind::kHistogram: {
+        const Log2Histogram& h = *entry->histogram;
+        json.Field("type", "histogram")
+            .Field("count", h.total_count())
+            .Field("total_ns", static_cast<int64_t>(h.total_time().nanos()));
+        json.Key("buckets").BeginArray();
+        for (int i = 0; i < h.num_buckets(); ++i) {
+          if (h.bucket_count(i) == 0) {
+            continue;  // sparse: most series touch a few buckets
+          }
+          json.BeginObject()
+              .Field("upper_ns", h.bucket_upper_ns(i))
+              .Field("count", h.bucket_count(i))
+              .EndObject();
+        }
+        json.EndArray();
+        break;
+      }
+    }
+    json.EndObject();
+  }
+  json.EndArray().EndObject();
+  return json.TakeString();
+}
+
+}  // namespace faasnap

@@ -1,0 +1,89 @@
+// MetricsRegistry: named counters, gauges, and log2 histograms with labels.
+//
+// Every subsystem registers its instruments here — fault classes, page-cache
+// hit/miss traffic, loader throughput, disk queue depth, scheduler occupancy —
+// so one registry snapshot (ToJson) captures the whole host's state, the way
+// the paper's Table 3 aggregates bpftrace counters across actors.
+//
+// Instruments are resolved once (GetCounter/GetGauge/GetHistogram return stable
+// pointers) and updated inline; an unattached component holds null pointers and
+// pays one branch per would-be update. (name, labels) identifies an instrument:
+// the same pair always returns the same pointer, different label sets on one
+// name are distinct time series.
+
+#ifndef FAASNAP_SRC_OBS_METRICS_REGISTRY_H_
+#define FAASNAP_SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace faasnap {
+
+// Sorted, deduplicated (key, value) pairs; construction order does not matter.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+struct Counter {
+  int64_t value = 0;
+  void Add(int64_t delta = 1) { value += delta; }
+};
+
+struct Gauge {
+  double value = 0;
+  double max_value = 0;
+  void Set(double v) {
+    value = v;
+    if (v > max_value) {
+      max_value = v;
+    }
+  }
+  void Add(double delta) { Set(value + delta); }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Pointers are stable for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+  // `lower_ns`/`num_buckets` apply only on first creation of the series.
+  Log2Histogram* GetHistogram(const std::string& name, MetricLabels labels = {},
+                              int64_t lower_ns = 500, int num_buckets = 11);
+
+  size_t size() const { return entries_.size(); }
+
+  // Full snapshot: {"metrics":[{"name":...,"labels":{...},"type":...,...}]},
+  // sorted by (name, labels) so documents diff cleanly across runs.
+  std::string ToJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Log2Histogram> histogram;
+  };
+
+  Entry* Resolve(const std::string& name, MetricLabels labels, Kind kind);
+  static std::string SeriesKey(const std::string& name, const MetricLabels& labels);
+
+  std::deque<Entry> entries_;  // deque: stable addresses as the registry grows
+  std::map<std::string, Entry*> by_key_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_OBS_METRICS_REGISTRY_H_

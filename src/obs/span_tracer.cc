@@ -1,0 +1,119 @@
+#include "src/obs/span_tracer.h"
+
+namespace faasnap {
+
+std::string_view ObsLaneName(ObsLane lane) {
+  switch (lane) {
+    case ObsLane::kVcpu:
+      return "vCPU";
+    case ObsLane::kLoader:
+      return "loader";
+    case ObsLane::kUffd:
+      return "uffd";
+    case ObsLane::kDisk:
+      return "disk";
+    case ObsLane::kDaemon:
+      return "daemon";
+    case ObsLane::kScheduler:
+      return "scheduler";
+    case ObsLane::kNative:
+      return "native";
+    case ObsLane::kLaneCount:
+      break;
+  }
+  return "unknown";
+}
+
+uint32_t SpanTracer::InternName(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_counts_.push_back(0);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SpanId SpanTracer::BeginId(SimTime start, ObsLane lane, uint32_t name_id, uint64_t arg0,
+                           uint64_t arg1, SpanId parent) {
+  name_counts_[name_id]++;
+  ++revision_;
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  SpanRecord rec;
+  rec.start = start;
+  rec.end = start;
+  rec.parent = parent;
+  rec.arg0 = arg0;
+  rec.arg1 = arg1;
+  rec.name = name_id;
+  rec.track = current_track_;
+  rec.lane = lane;
+  records_.push_back(rec);
+  return static_cast<SpanId>(records_.size());
+}
+
+void SpanTracer::End(SpanId id, SimTime end) {
+  if (id == kNoSpan) {
+    return;
+  }
+  SpanRecord& rec = records_[id - 1];
+  rec.end = end;
+  rec.open = false;
+  ++revision_;
+}
+
+void SpanTracer::End(SpanId id, SimTime end, uint64_t arg1) {
+  if (id == kNoSpan) {
+    return;
+  }
+  records_[id - 1].arg1 = arg1;
+  End(id, end);
+}
+
+SpanId SpanTracer::CompleteId(SimTime start, SimTime end, ObsLane lane, uint32_t name_id,
+                              uint64_t arg0, uint64_t arg1, SpanId parent) {
+  const SpanId id = BeginId(start, lane, name_id, arg0, arg1, parent);
+  End(id, end);
+  return id;
+}
+
+SpanId SpanTracer::Instant(SimTime time, ObsLane lane, std::string_view name, uint64_t arg0,
+                           uint64_t arg1, SpanId parent) {
+  const SpanId id = Begin(time, lane, name, arg0, arg1, parent);
+  if (id != kNoSpan) {
+    records_[id - 1].instant = true;
+    records_[id - 1].open = false;
+  }
+  return id;
+}
+
+uint32_t SpanTracer::BeginTrack(std::string name) {
+  track_names_.push_back(std::move(name));
+  current_track_ = static_cast<uint32_t>(track_names_.size() - 1);
+  ++revision_;
+  return current_track_;
+}
+
+int64_t SpanTracer::count(std::string_view name) const {
+  auto it = name_ids_.find(std::string(name));
+  return it == name_ids_.end() ? 0 : name_counts_[it->second];
+}
+
+void SpanTracer::Clear() {
+  records_.clear();
+  // The intern table survives: components cache name ids at attachment time
+  // (set_observability), so invalidating ids here would make spans recorded
+  // after a Clear resolve to the wrong names. Only the counts reset.
+  name_counts_.assign(names_.size(), 0);
+  track_names_ = {"track0"};
+  current_track_ = 0;
+  dropped_ = 0;
+  ++revision_;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,122 @@
+#include "src/obs/trace_export.h"
+
+#include <set>
+#include <utility>
+
+#include "src/common/json_writer.h"
+#include "src/obs/observability.h"
+
+namespace faasnap {
+
+namespace {
+
+// Human-readable arg labels for the canonical span names; anything else falls
+// back to generic arg0/arg1.
+std::pair<std::string_view, std::string_view> ArgLabels(std::string_view name) {
+  if (name == obsname::kFault) {
+    return {"page", "fault_class"};
+  }
+  if (name == obsname::kDiskRead) {
+    return {"offset_bytes", "bytes"};
+  }
+  if (name == obsname::kLoaderChunk) {
+    return {"file_page", "pages"};
+  }
+  if (name == obsname::kSetupDone) {
+    return {"mmap_calls", "arg1"};
+  }
+  if (name == obsname::kInvocation) {
+    return {"arg0", "elapsed_ns"};
+  }
+  return {"arg0", "arg1"};
+}
+
+double ToMicros(SimTime t) { return static_cast<double>(t.nanos()) / 1e3; }
+
+}  // namespace
+
+std::string ExportChromeTrace(const SpanTracer& spans) {
+  // Metadata first: name every (track, lane) pair that has at least one record,
+  // and order lanes within a process by the ObsLane enum.
+  std::set<std::pair<uint32_t, uint8_t>> used;
+  SimTime max_time;
+  for (const SpanRecord& rec : spans.records()) {
+    used.insert({rec.track, static_cast<uint8_t>(rec.lane)});
+    max_time = Max(max_time, Max(rec.start, rec.end));
+  }
+
+  JsonWriter json;
+  json.BeginObject().Field("displayTimeUnit", "ms").Key("traceEvents").BeginArray();
+
+  for (const auto& [track, lane] : used) {
+    json.BeginObject()
+        .Field("ph", "M")
+        .Field("name", "thread_name")
+        .Field("pid", static_cast<int64_t>(track))
+        .Field("tid", static_cast<int64_t>(lane))
+        .Key("args")
+        .BeginObject()
+        .Field("name", std::string(ObsLaneName(static_cast<ObsLane>(lane))))
+        .EndObject()
+        .EndObject();
+    json.BeginObject()
+        .Field("ph", "M")
+        .Field("name", "thread_sort_index")
+        .Field("pid", static_cast<int64_t>(track))
+        .Field("tid", static_cast<int64_t>(lane))
+        .Key("args")
+        .BeginObject()
+        .Field("sort_index", static_cast<int64_t>(lane))
+        .EndObject()
+        .EndObject();
+  }
+  for (uint32_t track = 0; track < spans.track_names().size(); ++track) {
+    json.BeginObject()
+        .Field("ph", "M")
+        .Field("name", "process_name")
+        .Field("pid", static_cast<int64_t>(track))
+        .Key("args")
+        .BeginObject()
+        .Field("name", spans.track_names()[track])
+        .EndObject()
+        .EndObject();
+  }
+
+  for (size_t i = 0; i < spans.records().size(); ++i) {
+    const SpanRecord& rec = spans.records()[i];
+    const std::string_view name = spans.name(rec.name);
+    const auto [label0, label1] = ArgLabels(name);
+    json.BeginObject()
+        .Field("ph", rec.instant ? "i" : "X")
+        .Field("name", std::string(name))
+        .Field("cat", std::string(ObsLaneName(rec.lane)))
+        .Field("pid", static_cast<int64_t>(rec.track))
+        .Field("tid", static_cast<int64_t>(static_cast<uint8_t>(rec.lane)))
+        .Field("ts", ToMicros(rec.start));
+    if (rec.instant) {
+      json.Field("s", "t");  // thread-scoped instant
+    } else {
+      const SimTime end = rec.open ? max_time : rec.end;
+      json.Field("dur", ToMicros(end) - ToMicros(rec.start));
+    }
+    json.Key("args").BeginObject();
+    json.Field(std::string(label0), rec.arg0).Field(std::string(label1), rec.arg1);
+    json.Field("span_id", static_cast<uint64_t>(i + 1));
+    if (rec.parent != kNoSpan) {
+      json.Field("parent", static_cast<uint64_t>(rec.parent));
+    }
+    if (rec.open) {
+      json.Field("open", true);
+    }
+    json.EndObject().EndObject();
+  }
+
+  json.EndArray();
+  if (spans.dropped_records() > 0) {
+    json.Field("droppedRecords", spans.dropped_records());
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace faasnap

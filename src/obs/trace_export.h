@@ -1,0 +1,32 @@
+// Chrome trace-event / Perfetto JSON export.
+//
+// ExportChromeTrace renders a SpanTracer's records in the Trace Event Format
+// (the JSON schema both chrome://tracing and ui.perfetto.dev load), so any
+// simulated run can be inspected as a timeline and compared visually against
+// the paper's Figure 1 breakdowns:
+//
+//   * each trace track (one per Platform/run) becomes a "process" (pid),
+//   * each actor lane (vCPU, loader, uffd, disk, ...) becomes a named
+//     "thread" (tid) within it,
+//   * closed spans export as complete events (ph "X"), instants as ph "i",
+//   * args carry span ids/parents plus name-aware labels (fault -> page/class,
+//     disk-read -> offset/bytes, ...).
+//
+// Timestamps are microseconds of simulated time since run start.
+
+#ifndef FAASNAP_SRC_OBS_TRACE_EXPORT_H_
+#define FAASNAP_SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/span_tracer.h"
+
+namespace faasnap {
+
+// The complete JSON document. Spans still open at export time are emitted with
+// their duration truncated at the trace's max timestamp and args.open = true.
+std::string ExportChromeTrace(const SpanTracer& spans);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_OBS_TRACE_EXPORT_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/units.h"
+#include "src/obs/observability.h"
 
 namespace faasnap {
 
@@ -172,21 +173,31 @@ class ReapPolicy final : public RestorePolicy {
       FinishMappingSetup(env, 1, std::move(ready));
       return;
     }
+    // Spans the read plus the UFFDIO_COPY install burst — the interval the VM
+    // start is blocked on the working set (Table 3's fetch time).
+    const SpanId fetch_span =
+        env->spans != nullptr
+            ? env->spans->Begin(fetch_start, ObsLane::kUffd, obsname::kReapFetch, ws_pages, 0,
+                                env->setup_span)
+            : kNoSpan;
     env->storage->Read(env->snapshot->reap_ws.id, 0, fetch_bytes_,
-                       [this, env, ws_pages, fetch_start,
+                       [this, env, ws_pages, fetch_start, fetch_span,
                         ready = std::move(ready)]() mutable {
       const Duration install =
           env->config->host_costs.uffd_copy_page * static_cast<int64_t>(ws_pages);
-      env->sim->ScheduleAfter(install, [this, env, fetch_start,
+      env->sim->ScheduleAfter(install, [this, env, fetch_start, fetch_span,
                                         ready = std::move(ready)]() mutable {
         for (PageIndex page : env->snapshot->reap_ws.guest_pages) {
           env->space->SetInstallState(page, PageInstallState::kSoftPresent);
         }
         env->space->NoteAnonCopies(env->snapshot->reap_ws.size_pages());
         fetch_time_ = env->sim->now() - fetch_start;
+        if (env->spans != nullptr) {
+          env->spans->End(fetch_span, env->sim->now(), fetch_bytes_);
+        }
         FinishMappingSetup(env, 1, std::move(ready));
       });
-    });
+    }, fetch_span);
   }
 
   Duration blocking_fetch_time() const override { return fetch_time_; }

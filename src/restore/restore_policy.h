@@ -56,6 +56,11 @@ struct RestoreEnv {
   FaultEngine* engine = nullptr;
   const FunctionSnapshot* snapshot = nullptr;
   const PlatformConfig* config = nullptr;
+  // Optional tracing: the platform's span tracer and the enclosing setup span,
+  // parents for spans the policy opens during SetupMemory (REAP's blocking
+  // fetch and the disk reads it issues). Null/kNoSpan when tracing is off.
+  SpanTracer* spans = nullptr;
+  SpanId setup_span = kNoSpan;
 };
 
 class RestorePolicy {

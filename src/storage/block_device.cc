@@ -1,8 +1,10 @@
 #include "src/storage/block_device.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/status.h"
+#include "src/obs/observability.h"
 
 namespace faasnap {
 
@@ -30,8 +32,23 @@ SimTime BlockDevice::EstimateCompletion(uint64_t bytes) const {
   return Max(iops_ready, bw_ready) + profile_.base_latency;
 }
 
-void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void()> done) {
-  (void)offset;  // accounting-only; large-vs-small behavior comes from `bytes`
+void BlockDevice::set_observability(SpanTracer* spans, MetricsRegistry* metrics) {
+  spans_ = spans;
+  disk_read_name_ = spans_ != nullptr ? spans_->InternName(obsname::kDiskRead) : 0;
+  if (metrics != nullptr) {
+    const MetricLabels labels = {{"device", profile_.name}};
+    read_requests_metric_ = metrics->GetCounter("disk.read_requests", labels);
+    bytes_read_metric_ = metrics->GetCounter("disk.bytes_read", labels);
+    queue_depth_metric_ = metrics->GetGauge("disk.queue_depth", labels);
+  } else {
+    read_requests_metric_ = nullptr;
+    bytes_read_metric_ = nullptr;
+    queue_depth_metric_ = nullptr;
+  }
+}
+
+void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void()> done,
+                       SpanId parent) {
   FAASNAP_CHECK(bytes > 0);
   const SimTime start = sim_->now();
   const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
@@ -48,6 +65,22 @@ void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void()> do
   }
   stats_.read_requests++;
   stats_.bytes_read += bytes;
+  if (spans_ != nullptr) {
+    // Service time is decided at issue, so the whole span records here.
+    spans_->CompleteId(start, completion, ObsLane::kDisk, disk_read_name_, offset, bytes,
+                      parent);
+  }
+  if (read_requests_metric_ != nullptr) {
+    read_requests_metric_->Add(1);
+    bytes_read_metric_->Add(static_cast<int64_t>(bytes));
+    queue_depth_metric_->Set(static_cast<double>(++outstanding_));
+    // Still exactly one scheduled event; the wrapper only updates the gauge.
+    sim_->Schedule(completion, [this, done = std::move(done)] {
+      queue_depth_metric_->Set(static_cast<double>(--outstanding_));
+      done();
+    });
+    return;
+  }
   sim_->Schedule(completion, std::move(done));
 }
 

@@ -30,6 +30,8 @@
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_tracer.h"
 #include "src/sim/simulation.h"
 
 namespace faasnap {
@@ -61,8 +63,17 @@ class BlockDevice {
 
   // Issues an asynchronous read of `bytes` at `offset` (offset is for accounting;
   // sequentiality effects are captured by callers batching into large requests).
-  // `done` fires on the simulation clock when the data is available.
-  void Read(uint64_t offset, uint64_t bytes, std::function<void()> done);
+  // `done` fires on the simulation clock when the data is available. `parent`
+  // links the recorded disk-read span to the span that caused the read (a fault,
+  // a loader chunk, REAP's fetch); ignored when tracing is off.
+  void Read(uint64_t offset, uint64_t bytes, std::function<void()> done,
+            SpanId parent = kNoSpan);
+
+  // Attaches tracing/metrics: every read records a disk-read span on the disk
+  // lane (service interval, offset/bytes args) and updates request/byte counters
+  // plus a queue-depth gauge. Null pointers detach; cost when detached is one
+  // branch per read.
+  void set_observability(SpanTracer* spans, MetricsRegistry* metrics);
 
   // Time a read issued *now* would complete, without issuing it. Used by tests.
   SimTime EstimateCompletion(uint64_t bytes) const;
@@ -81,6 +92,13 @@ class BlockDevice {
   SimTime iops_busy_until_;
   SimTime bw_busy_until_;
   BlockDeviceStats stats_;
+
+  SpanTracer* spans_ = nullptr;
+  uint32_t disk_read_name_ = 0;  // pre-interned obsname::kDiskRead
+  Counter* read_requests_metric_ = nullptr;
+  Counter* bytes_read_metric_ = nullptr;
+  Gauge* queue_depth_metric_ = nullptr;
+  int outstanding_ = 0;
 };
 
 }  // namespace faasnap

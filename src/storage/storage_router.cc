@@ -24,10 +24,27 @@ BlockDevice* StorageRouter::device(DeviceId id) const {
   return devices_[id];
 }
 
+void StorageRouter::set_observability(SpanTracer* spans, MetricsRegistry* metrics) {
+  for (BlockDevice* device : devices_) {
+    device->set_observability(spans, metrics);
+  }
+  if (metrics != nullptr) {
+    routed_local_ = metrics->GetCounter("storage.routed_reads", {{"tier", "local"}});
+    routed_remote_ = metrics->GetCounter("storage.routed_reads", {{"tier", "remote"}});
+  } else {
+    routed_local_ = nullptr;
+    routed_remote_ = nullptr;
+  }
+}
+
 void StorageRouter::Read(FileId file, uint64_t offset, uint64_t bytes,
-                         std::function<void()> done) {
+                         std::function<void()> done, SpanId parent) {
   FAASNAP_CHECK(!devices_.empty());
-  devices_[DeviceFor(file)]->Read(offset, bytes, std::move(done));
+  const DeviceId device = DeviceFor(file);
+  if (routed_local_ != nullptr) {
+    (device == kLocalDevice ? routed_local_ : routed_remote_)->Add(1);
+  }
+  devices_[device]->Read(offset, bytes, std::move(done), parent);
 }
 
 }  // namespace faasnap

@@ -43,12 +43,21 @@ class StorageRouter {
   size_t device_count() const { return devices_.size(); }
 
   // Issues an asynchronous read of `bytes` at `offset` within `file`, on the
-  // device the file is placed on.
-  void Read(FileId file, uint64_t offset, uint64_t bytes, std::function<void()> done);
+  // device the file is placed on. `parent` links the device's disk-read span to
+  // the causing span (see BlockDevice::Read).
+  void Read(FileId file, uint64_t offset, uint64_t bytes, std::function<void()> done,
+            SpanId parent = kNoSpan);
+
+  // Attaches tracing/metrics to every registered device (and, via
+  // routed-read counters, to the router itself). Call after AddDevice.
+  void set_observability(SpanTracer* spans, MetricsRegistry* metrics);
 
  private:
   std::vector<BlockDevice*> devices_;
   std::map<FileId, DeviceId> placement_;
+  // Reads routed per device tier ({tier=local|remote}); null when detached.
+  Counter* routed_local_ = nullptr;
+  Counter* routed_remote_ = nullptr;
 };
 
 }  // namespace faasnap

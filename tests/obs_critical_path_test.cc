@@ -1,0 +1,117 @@
+#include "src/obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/common/json.h"
+#include "src/core/platform.h"
+#include "src/obs/observability.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+struct TracedRun {
+  InvocationReport report;
+  CriticalPathBreakdown breakdown;
+};
+
+TracedRun RunColdStart(RestoreMode mode) {
+  PlatformConfig config;
+  config.disk = NvmeSsdProfile();
+  Platform platform(config);
+  Observability obs;
+  platform.set_observability(&obs);
+  Result<FunctionSpec> spec = FindFunction("json");
+  FAASNAP_CHECK_OK(spec.status());
+  TraceGenerator generator(*spec, config.layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.DropCaches();
+  obs.spans.Clear();
+  InvocationReport report =
+      platform.Invoke(snapshot, mode, generator, MakeInputB(*spec));
+  std::optional<CriticalPathBreakdown> breakdown = AnalyzeColdStart(obs.spans);
+  FAASNAP_CHECK(breakdown.has_value());
+  return {report, *breakdown};
+}
+
+class CriticalPathTest : public ::testing::TestWithParam<RestoreMode> {};
+
+TEST_P(CriticalPathTest, ComponentsSumToColdStartDuration) {
+  TracedRun run = RunColdStart(GetParam());
+  // The partition is exact by construction: every instant in the invoke window
+  // lands in exactly one bucket.
+  EXPECT_EQ(run.breakdown.Sum().nanos(), run.breakdown.total.nanos());
+  // And the invoke span tracks the report's end-to-end time within 1%.
+  const int64_t reported = run.report.total_time().nanos();
+  ASSERT_GT(reported, 0);
+  const int64_t delta = std::abs(run.breakdown.total.nanos() - reported);
+  EXPECT_LE(delta * 100, reported) << "breakdown total " << run.breakdown.total.nanos()
+                                   << "ns vs report " << reported << "ns";
+}
+
+TEST_P(CriticalPathTest, AttributesFaultsAndGuestTime) {
+  TracedRun run = RunColdStart(GetParam());
+  EXPECT_EQ(run.breakdown.faults, run.report.faults.total_faults());
+  EXPECT_GT(run.breakdown.guest_run.nanos(), 0);
+  if (run.report.faults.total_faults() > 0) {
+    EXPECT_GT((run.breakdown.fault_cpu + run.breakdown.uffd_wait +
+               run.breakdown.disk_wait)
+                  .nanos(),
+              0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CriticalPathTest,
+                         ::testing::Values(RestoreMode::kFirecracker,
+                                           RestoreMode::kReap, RestoreMode::kFaasnap),
+                         [](const ::testing::TestParamInfo<RestoreMode>& param_info) {
+                           std::string name(RestoreModeName(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(CriticalPath, ReapSetupWaitsOnDiskFaasnapShiftsToLoader) {
+  TracedRun reap = RunColdStart(RestoreMode::kReap);
+  // REAP prefetches the working set during setup, so setup is disk-bound.
+  EXPECT_GT(reap.breakdown.setup_disk.nanos(), 0);
+  TracedRun faasnap = RunColdStart(RestoreMode::kFaasnap);
+  // FaaSnap starts the guest immediately: setup is far shorter than REAP's
+  // blocking prefetch (the loader's reads overlap guest execution instead).
+  const Duration reap_setup = reap.breakdown.setup_cpu + reap.breakdown.setup_disk;
+  const Duration faasnap_setup =
+      faasnap.breakdown.setup_cpu + faasnap.breakdown.setup_disk;
+  EXPECT_LT(faasnap_setup.nanos(), reap_setup.nanos());
+  EXPECT_GT(faasnap.breakdown.disk_reads, 0);
+  EXPECT_GT(faasnap.breakdown.guest_run.nanos(), 0);
+}
+
+TEST(CriticalPath, MissingInvokeSpanYieldsNullopt) {
+  SpanTracer spans;
+  EXPECT_FALSE(AnalyzeColdStart(spans).has_value());
+  // An open invoke span is not analyzable either.
+  spans.Begin(SimTime::FromNanos(0), ObsLane::kDaemon, "invoke");
+  EXPECT_FALSE(AnalyzeColdStart(spans).has_value());
+}
+
+TEST(CriticalPath, RenderersEmitEveryBucket) {
+  TracedRun run = RunColdStart(RestoreMode::kFaasnap);
+  const std::string text = CriticalPathToString(run.breakdown);
+  // "other" is only rendered when nonzero, so it is checked via JSON below.
+  for (const char* key : {"dispatch", "setup_cpu", "setup_disk", "guest_run",
+                          "fault_cpu", "uffd_wait", "disk_wait"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+  Result<JsonValue> json = ParseJson(CriticalPathToJson(run.breakdown));
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->GetIntOr("total_ns", -1), run.breakdown.total.nanos());
+  EXPECT_EQ(json->GetIntOr("faults", -1), run.breakdown.faults);
+}
+
+}  // namespace
+}  // namespace faasnap

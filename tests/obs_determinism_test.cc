@@ -1,0 +1,104 @@
+// Observability must be passive: attaching a tracer and metrics registry may
+// not schedule events, read clocks, or otherwise perturb the simulation. A
+// traced run and an untraced run of the same seed must be bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/core/platform.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/observability.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+struct RunOutcome {
+  InvocationReport report;
+  int64_t final_sim_nanos = 0;
+};
+
+RunOutcome RunOnce(RestoreMode mode, Observability* obs) {
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.08;
+  config.disk = disk;
+  config.seed = 7;
+  Platform platform(config);
+  if (obs != nullptr) {
+    platform.set_observability(obs);
+  }
+  Result<FunctionSpec> spec = FindFunction("image");
+  FAASNAP_CHECK_OK(spec.status());
+  TraceGenerator generator(*spec, config.layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.DropCaches();
+  RunOutcome out;
+  out.report = platform.Invoke(snapshot, mode, generator, MakeInputB(*spec));
+  out.final_sim_nanos = platform.sim()->now().nanos();
+  return out;
+}
+
+class ObsDeterminismTest : public ::testing::TestWithParam<RestoreMode> {};
+
+TEST_P(ObsDeterminismTest, TracingOnAndOffGiveIdenticalRuns) {
+  const RestoreMode mode = GetParam();
+  RunOutcome untraced = RunOnce(mode, nullptr);
+  Observability obs;
+  RunOutcome traced = RunOnce(mode, &obs);
+
+  EXPECT_EQ(traced.final_sim_nanos, untraced.final_sim_nanos);
+  EXPECT_EQ(traced.report.total_time(), untraced.report.total_time());
+  EXPECT_EQ(traced.report.setup_time, untraced.report.setup_time);
+  EXPECT_EQ(traced.report.faults.total_faults(), untraced.report.faults.total_faults());
+  EXPECT_EQ(traced.report.faults.total_fault_time,
+            untraced.report.faults.total_fault_time);
+  EXPECT_EQ(traced.report.disk.read_requests, untraced.report.disk.read_requests);
+  EXPECT_EQ(traced.report.disk.bytes_read, untraced.report.disk.bytes_read);
+  EXPECT_EQ(traced.report.fetch_bytes, untraced.report.fetch_bytes);
+  EXPECT_EQ(traced.report.mmap_calls, untraced.report.mmap_calls);
+
+  // The traced run actually captured spans (it was not a silent no-op)...
+  EXPECT_FALSE(obs.spans.records().empty());
+  // ...and the span timeline agrees with the untraced run's timings exactly.
+  std::optional<CriticalPathBreakdown> breakdown =
+      AnalyzeColdStart(obs.spans, /*track=*/0, /*invoke_index=*/0);
+  ASSERT_TRUE(breakdown.has_value());
+  EXPECT_EQ(breakdown->total.nanos(), untraced.report.total_time().nanos());
+}
+
+TEST_P(ObsDeterminismTest, TwoTracedRunsProduceIdenticalSpanStreams) {
+  const RestoreMode mode = GetParam();
+  Observability a, b;
+  RunOnce(mode, &a);
+  RunOnce(mode, &b);
+  ASSERT_EQ(a.spans.records().size(), b.spans.records().size());
+  for (size_t i = 0; i < a.spans.records().size(); ++i) {
+    const SpanRecord& ra = a.spans.records()[i];
+    const SpanRecord& rb = b.spans.records()[i];
+    EXPECT_EQ(ra.start.nanos(), rb.start.nanos()) << "span " << i;
+    EXPECT_EQ(ra.end.nanos(), rb.end.nanos()) << "span " << i;
+    EXPECT_EQ(a.spans.name(ra.name), b.spans.name(rb.name)) << "span " << i;
+    EXPECT_EQ(ra.parent, rb.parent) << "span " << i;
+    EXPECT_EQ(ra.lane, rb.lane) << "span " << i;
+    EXPECT_EQ(ra.arg0, rb.arg0) << "span " << i;
+    EXPECT_EQ(ra.arg1, rb.arg1) << "span " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ObsDeterminismTest,
+                         ::testing::Values(RestoreMode::kFirecracker, RestoreMode::kReap,
+                                           RestoreMode::kFaasnap),
+                         [](const ::testing::TestParamInfo<RestoreMode>& param_info) {
+                           std::string name(RestoreModeName(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace faasnap

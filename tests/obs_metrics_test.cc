@@ -1,0 +1,87 @@
+#include "src/obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+
+namespace faasnap {
+namespace {
+
+TEST(MetricsRegistry, SeriesIdentityIsNamePlusLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("faults", {{"class", "major"}});
+  Counter* b = registry.GetCounter("faults", {{"class", "major"}});
+  Counter* c = registry.GetCounter("faults", {{"class", "minor"}});
+  Counter* d = registry.GetCounter("faults");
+  EXPECT_EQ(a, b);  // same series, same pointer
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(registry.size(), 3u);
+  a->Add(2);
+  EXPECT_EQ(b->value, 2);
+}
+
+TEST(MetricsRegistry, LabelOrderAndDuplicatesDoNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reads", {{"tier", "local"}, {"dev", "nvme"}});
+  Counter* b = registry.GetCounter("reads", {{"dev", "nvme"}, {"tier", "local"}});
+  Counter* c = registry.GetCounter(
+      "reads", {{"dev", "nvme"}, {"tier", "local"}, {"dev", "nvme"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeTracksMax) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("disk.queue_depth");
+  depth->Set(3);
+  depth->Set(7);
+  depth->Set(2);
+  EXPECT_EQ(depth->value, 2);
+  EXPECT_EQ(depth->max_value, 7);
+  depth->Add(-2);
+  EXPECT_EQ(depth->value, 0);
+}
+
+TEST(MetricsRegistry, PointersSurviveRegistryGrowth) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("c0");
+  for (int i = 1; i < 200; ++i) {
+    registry.GetCounter("c" + std::to_string(i));
+  }
+  first->Add(1);
+  EXPECT_EQ(registry.GetCounter("c0")->value, 1);
+}
+
+TEST(MetricsRegistry, ToJsonParsesBackAndIsSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("faults", {{"class", "minor"}})->Add(5);
+  registry.GetCounter("faults", {{"class", "major"}})->Add(3);
+  registry.GetGauge("page_cache.present_pages")->Set(128);
+  registry.GetHistogram("fault.handling_ns")->Record(Duration::Micros(10));
+
+  Result<JsonValue> root = ParseJson(registry.ToJson());
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  Result<JsonValue> metrics = root->Get("metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->array().size(), 4u);
+
+  // Sorted by (name, labels): fault.handling_ns, faults{major}, faults{minor}, gauge.
+  const JsonValue& hist = metrics->array()[0];
+  EXPECT_EQ(hist.GetStringOr("name", ""), "fault.handling_ns");
+  EXPECT_EQ(hist.GetStringOr("type", ""), "histogram");
+  const JsonValue& major = metrics->array()[1];
+  EXPECT_EQ(major.GetStringOr("name", ""), "faults");
+  Result<JsonValue> labels = major.Get("labels");
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->GetStringOr("class", ""), "major");
+  EXPECT_EQ(major.GetIntOr("value", 0), 3);
+  const JsonValue& gauge = metrics->array()[3];
+  EXPECT_EQ(gauge.GetStringOr("type", ""), "gauge");
+  EXPECT_EQ(gauge.GetNumberOr("value", 0), 128.0);
+}
+
+}  // namespace
+}  // namespace faasnap

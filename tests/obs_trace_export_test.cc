@@ -1,0 +1,140 @@
+#include "src/obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/json.h"
+#include "src/core/platform.h"
+#include "src/obs/observability.h"
+#include "src/storage/device_profiles.h"
+
+namespace faasnap {
+namespace {
+
+// Records one cold FaaSnap invocation plus one REAP invocation so every actor
+// lane (daemon, vCPU, loader, uffd, disk) carries spans.
+Observability* RecordedTrace() {
+  static Observability* obs = [] {
+    auto* bundle = new Observability();
+    PlatformConfig config;
+    config.disk = NvmeSsdProfile();
+    Platform platform(config);
+    platform.set_observability(bundle);
+    Result<FunctionSpec> spec = FindFunction("json");
+    FAASNAP_CHECK(spec.ok());
+    TraceGenerator generator(*spec, config.layout);
+    FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+    platform.DropCaches();
+    platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputB(*spec));
+    platform.DropCaches();
+    platform.Invoke(snapshot, RestoreMode::kReap, generator, MakeInputB(*spec));
+    return bundle;
+  }();
+  return obs;
+}
+
+TEST(TraceExport, ParsesBackAsChromeTraceJson) {
+  const std::string trace = ExportChromeTrace(RecordedTrace()->spans);
+  Result<JsonValue> root = ParseJson(trace);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  ASSERT_TRUE(root->is_object());
+  Result<JsonValue> events = root->Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array().empty());
+
+  for (const JsonValue& event : events->array()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string ph = event.GetStringOr("ph", "");
+    ASSERT_TRUE(ph == "X" || ph == "i" || ph == "M") << "unexpected ph " << ph;
+    EXPECT_TRUE(event.Has("name"));
+    EXPECT_TRUE(event.Has("pid"));
+    if (ph == "M") {
+      // process_name metadata is per-process and carries no tid.
+      continue;
+    }
+    EXPECT_TRUE(event.Has("tid"));
+    Result<JsonValue> ts = event.Get("ts");
+    ASSERT_TRUE(ts.ok());
+    EXPECT_TRUE(ts->is_number());
+    if (ph == "X") {
+      Result<JsonValue> dur = event.Get("dur");
+      ASSERT_TRUE(dur.ok());
+      ASSERT_TRUE(dur->is_number());
+      EXPECT_GE(dur->AsDouble().value(), 0.0);
+    }
+  }
+}
+
+TEST(TraceExport, CoversAllFourPrimaryActorLanes) {
+  const std::string trace = ExportChromeTrace(RecordedTrace()->spans);
+  Result<JsonValue> root = ParseJson(trace);
+  ASSERT_TRUE(root.ok());
+  Result<JsonValue> events = root->Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  std::set<std::string> lanes;
+  for (const JsonValue& event : events->array()) {
+    if (event.GetStringOr("ph", "") == "M" &&
+        event.GetStringOr("name", "") == "thread_name") {
+      lanes.insert(event.Get("args")->GetStringOr("name", ""));
+    }
+  }
+  EXPECT_GE(lanes.size(), 4u);
+  EXPECT_TRUE(lanes.count("vCPU"));
+  EXPECT_TRUE(lanes.count("loader"));
+  EXPECT_TRUE(lanes.count("uffd"));
+  EXPECT_TRUE(lanes.count("disk"));
+}
+
+TEST(TraceExport, SpanArgsCarryParentLinksAndLabels) {
+  const std::string trace = ExportChromeTrace(RecordedTrace()->spans);
+  Result<JsonValue> root = ParseJson(trace);
+  ASSERT_TRUE(root.ok());
+  Result<JsonValue> events = root->Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  bool saw_parented_fault = false;
+  bool saw_disk_bytes = false;
+  for (const JsonValue& event : events->array()) {
+    const std::string name = event.GetStringOr("name", "");
+    if (event.GetStringOr("ph", "") == "M") {
+      continue;
+    }
+    Result<JsonValue> args = event.Get("args");
+    ASSERT_TRUE(args.ok());
+    if (name == "fault" && args->Has("parent")) {
+      saw_parented_fault = true;
+      EXPECT_TRUE(args->Has("page"));
+    }
+    if (name == "disk-read") {
+      saw_disk_bytes = args->Has("bytes") || saw_disk_bytes;
+    }
+  }
+  EXPECT_TRUE(saw_parented_fault);
+  EXPECT_TRUE(saw_disk_bytes);
+}
+
+TEST(TraceExport, OpenSpansAreMarkedAndTruncated) {
+  SpanTracer spans;
+  spans.Begin(SimTime::FromNanos(1000), ObsLane::kVcpu, "fault");
+  spans.Complete(SimTime::FromNanos(2000), SimTime::FromNanos(5000), ObsLane::kDisk,
+                 "disk-read");
+  Result<JsonValue> root = ParseJson(ExportChromeTrace(spans));
+  ASSERT_TRUE(root.ok());
+  Result<JsonValue> events = root->Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  bool saw_open = false;
+  for (const JsonValue& event : events->array()) {
+    if (event.GetStringOr("ph", "") != "X" || event.GetStringOr("name", "") != "fault") {
+      continue;
+    }
+    saw_open = true;
+    // Truncated at the trace's max time: (5000 - 1000) ns = 4 us.
+    EXPECT_DOUBLE_EQ(event.Get("dur")->AsDouble().value(), 4.0);
+    EXPECT_TRUE(event.Get("args")->GetBoolOr("open", false));
+  }
+  EXPECT_TRUE(saw_open);
+}
+
+}  // namespace
+}  // namespace faasnap
