@@ -1,0 +1,152 @@
+// Extension: chaos harness for the failure-aware restore pipeline.
+//
+// Runs a long rotation of invocations (default 500) across functions and
+// restore modes on a platform with deterministic fault injection enabled:
+// device read errors and latency spikes, corrupt snapshot files, loader
+// stalls, and remote-device outage windows (memory files live on a remote
+// tier so outages have a target).
+//
+// The invariant under test: every invocation completes correctly — possibly
+// degraded to a fallback restore path — or fails with a typed Status. Never a
+// hang, never an abort, never a silently wrong result. Each report is tagged
+// ok | degraded(<mode>) | failed(<STATUS_CODE>); the harness tallies tags,
+// checks per-report consistency, prints the storage-layer fault counters, and
+// exits non-zero if any invariant is violated.
+//
+// Usage: ext_chaos [invocations] [seed]
+// Same seed => same fault schedule => identical tallies (see
+// tests/chaos_determinism_test.cc for the bit-identical guarantee).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace faasnap {
+namespace bench {
+namespace {
+
+PlatformConfig MakeChaosConfig(uint64_t seed) {
+  PlatformConfig config;
+  // Tiered storage (section 7.2): memory files remote, so injected outage
+  // windows hit the bulk of restore traffic and exercise remote->local
+  // failover... except there is no local replica of remote-only files, so
+  // failover lands on the local device, which the router models as a replica.
+  config.remote_disk = EbsIo2Profile();
+  config.placement.memory_files = StorageTier::kRemote;
+  config.placement.reap_ws = StorageTier::kRemote;
+  config.chaos.enabled = true;
+  config.chaos.seed = seed;
+  config.chaos.read_error_rate = 0.02;
+  config.chaos.read_delay_rate = 0.05;
+  config.chaos.read_delay = Duration::Millis(2);
+  config.chaos.corrupt_file_rate = 0.08;
+  config.chaos.loader_stall_rate = 0.05;
+  config.chaos.loader_stall = Duration::Millis(1);
+  config.chaos.remote_outage_mean_gap = Duration::Millis(50);
+  config.chaos.remote_outage_duration = Duration::Millis(5);
+  config.seed = seed;
+  return config;
+}
+
+int Run(int invocations, uint64_t seed) {
+  PrintBanner("Extension: chaos harness (deterministic fault injection)",
+              "every invocation must end ok | degraded(<mode>) | failed(<code>)");
+
+  Platform platform(MakeChaosConfig(seed));
+  Observability obs;
+  platform.set_observability(&obs);
+
+  const std::vector<std::string> functions = {"hello-world", "json", "image"};
+  const std::vector<RestoreMode> modes = {
+      RestoreMode::kFaasnap,        RestoreMode::kReap,
+      RestoreMode::kFirecracker,    RestoreMode::kFaasnapPerRegion,
+      RestoreMode::kFaasnapConcurrentOnly, RestoreMode::kCached};
+
+  struct Registered {
+    std::unique_ptr<TraceGenerator> generator;
+    FunctionSnapshot snapshot;
+  };
+  std::vector<Registered> registered;
+  for (const std::string& name : functions) {
+    Result<FunctionSpec> spec = FindFunction(name);
+    FAASNAP_CHECK_OK(spec.status());
+    Registered r;
+    r.generator = std::make_unique<TraceGenerator>(*spec, platform.config().layout);
+    r.snapshot = platform.Record(*r.generator, MakeInputA(*spec));
+    registered.push_back(std::move(r));
+  }
+
+  std::map<std::string, int> tally;
+  int violations = 0;
+  for (int i = 0; i < invocations; ++i) {
+    Registered& r = registered[static_cast<size_t>(i) % registered.size()];
+    const RestoreMode mode = modes[static_cast<size_t>(i) % modes.size()];
+    platform.DropCaches();
+    // Invoke drives the simulation to completion and CHECKs that the report
+    // callback fired — a hung invocation aborts the harness right here.
+    InvocationReport report =
+        platform.Invoke(r.snapshot, mode, *r.generator, MakeInputA(r.generator->spec()));
+    tally[report.OutcomeTag()]++;
+
+    // Per-report consistency: a failure carries a typed status; a completed
+    // invocation (ok or degraded) actually ran the function.
+    if (report.outcome == InvocationOutcome::kFailed) {
+      if (report.status.ok()) {
+        std::printf("VIOLATION at %d: failed outcome with OK status\n", i);
+        violations++;
+      }
+    } else {
+      if (report.invocation_time <= Duration::Zero()) {
+        std::printf("VIOLATION at %d: completed outcome but the function never ran\n", i);
+        violations++;
+      }
+      if (report.outcome == InvocationOutcome::kDegraded &&
+          (report.degraded_mode.empty() || report.status.ok())) {
+        std::printf("VIOLATION at %d: degraded outcome without mode/status\n", i);
+        violations++;
+      }
+    }
+  }
+
+  std::printf("## outcome tally (%d invocations, seed %llu)\n", invocations,
+              static_cast<unsigned long long>(seed));
+  for (const auto& [tag, count] : tally) {
+    std::printf("  %-40s %d\n", tag.c_str(), count);
+  }
+  const StorageFaultStats& fs = platform.storage()->fault_stats();
+  std::printf(
+      "## storage fault handling\n"
+      "  retries            %llu\n"
+      "  failovers          %llu\n"
+      "  breaker opens      %llu\n"
+      "  breaker fast-fails %llu\n"
+      "  failed reads       %llu\n",
+      static_cast<unsigned long long>(fs.retries),
+      static_cast<unsigned long long>(fs.failovers),
+      static_cast<unsigned long long>(fs.breaker_opens),
+      static_cast<unsigned long long>(fs.breaker_fast_fails),
+      static_cast<unsigned long long>(fs.failed_reads));
+
+  if (violations == 0) {
+    std::printf("CHAOS INVARIANT PASS: %d invocations, 0 hangs, 0 aborts, "
+                "every report tagged ok|degraded|failed\n", invocations);
+    return 0;
+  }
+  std::printf("CHAOS INVARIANT FAIL: %d violations\n", violations);
+  return 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faasnap
+
+int main(int argc, char** argv) {
+  const int invocations = argc > 1 ? std::atoi(argv[1]) : 500;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0xC4A05;
+  return faasnap::bench::Run(invocations, seed);
+}

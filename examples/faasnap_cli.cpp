@@ -11,7 +11,9 @@
 //   faasnap_cli --function pagerank --mode reap --ratio 4
 //   faasnap_cli --list
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -53,6 +55,28 @@ Result<RestoreMode> ParseMode(const std::string& name) {
                               "per-region, faasnap)");
 }
 
+// Strict numeric parsing: the whole value must be a number. atoi-style silent
+// truncation ("3abc" -> 3, "x" -> 0) turns typos into misconfigured runs.
+Result<long long> ParseInt(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return InvalidArgumentError(flag + " requires an integer, got \"" + text + "\"");
+  }
+  return value;
+}
+
+Result<double> ParseNumber(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return InvalidArgumentError(flag + " requires a number, got \"" + text + "\"");
+  }
+  return value;
+}
+
 Result<CliOptions> ParseArgs(int argc, char** argv) {
   CliOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -89,7 +113,7 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--ratio") {
       ASSIGN_OR_RETURN(std::string v, next_value());
-      options.ratio = std::atof(v.c_str());
+      ASSIGN_OR_RETURN(options.ratio, ParseNumber(arg, v));
       if (options.ratio <= 0) {
         return InvalidArgumentError("--ratio must be positive");
       }
@@ -100,19 +124,22 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--parallelism") {
       ASSIGN_OR_RETURN(std::string v, next_value());
-      options.parallelism = std::atoi(v.c_str());
+      ASSIGN_OR_RETURN(long long parallelism, ParseInt(arg, v));
+      options.parallelism = static_cast<int>(parallelism);
       if (options.parallelism < 1) {
         return InvalidArgumentError("--parallelism must be >= 1");
       }
     } else if (arg == "--reps") {
       ASSIGN_OR_RETURN(std::string v, next_value());
-      options.reps = std::atoi(v.c_str());
+      ASSIGN_OR_RETURN(long long reps, ParseInt(arg, v));
+      options.reps = static_cast<int>(reps);
       if (options.reps < 1) {
         return InvalidArgumentError("--reps must be >= 1");
       }
     } else if (arg == "--seed") {
       ASSIGN_OR_RETURN(std::string v, next_value());
-      options.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+      ASSIGN_OR_RETURN(long long seed, ParseInt(arg, v));
+      options.seed = static_cast<uint64_t>(seed);
     } else {
       return InvalidArgumentError("unknown flag: " + arg);
     }
@@ -160,6 +187,17 @@ int RunCli(const CliOptions& options) {
       Platform platform(config);
       TraceGenerator generator(*spec, config.layout);
       FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+      // Open every artifact through the validating API before restoring from
+      // it; a checksum mismatch exits with the status instead of crashing
+      // somewhere down the restore path.
+      for (const char* suffix : {".mem", ".smem", ".reapws", ".lset"}) {
+        Result<FileId> artifact = platform.store()->Open(options.function + suffix);
+        if (!artifact.ok()) {
+          std::fprintf(stderr, "snapshot artifact %s%s: %s\n", options.function.c_str(),
+                       suffix, artifact.status().ToString().c_str());
+          return 1;
+        }
+      }
       platform.DropCaches();
 
       WorkloadInput input =

@@ -1,0 +1,123 @@
+#include "src/chaos/fault_injector.h"
+
+#include <cmath>
+#include <utility>
+
+namespace faasnap {
+
+namespace {
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+// Exponential with the given mean, quantized to integer nanoseconds. Bounded
+// below by 1ns so the outage renewal process always advances.
+Duration Exponential(Rng& rng, Duration mean) {
+  const double u = rng.NextDouble();
+  const double ns = -static_cast<double>(mean.nanos()) * std::log(1.0 - u);
+  return Duration::Nanos(ns < 1.0 ? 1 : static_cast<int64_t>(ns));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Simulation* sim, ChaosConfig config)
+    : sim_(sim),
+      config_(config),
+      stall_rng_(config.seed ^ 0x57A11ULL * kGolden),
+      outage_rng_(config.seed ^ 0x0A7A6EULL * kGolden),
+      outage_start_(SimTime::FromNanos(0)),
+      outage_end_(SimTime::FromNanos(0)) {
+  FAASNAP_CHECK(sim_ != nullptr);
+  if (config_.remote_outage_mean_gap > Duration::Zero()) {
+    outage_start_ = SimTime::FromNanos(0) + Exponential(outage_rng_, config_.remote_outage_mean_gap);
+    outage_end_ = outage_start_ + config_.remote_outage_duration;
+  }
+}
+
+void FaultInjector::set_observability(MetricsRegistry* metrics) {
+  static constexpr const char* kKindNames[kKindCount] = {
+      "read_error", "read_delay", "outage_read", "loader_stall", "corrupt_file",
+  };
+  for (int i = 0; i < kKindCount; ++i) {
+    injected_[i] = metrics != nullptr
+                       ? metrics->GetCounter("chaos.injected", {{"type", kKindNames[i]}})
+                       : nullptr;
+  }
+}
+
+void FaultInjector::Count(int which) {
+  if (injected_[which] != nullptr) {
+    injected_[which]->Add(1);
+  }
+}
+
+Rng& FaultInjector::DeviceRng(uint32_t device) {
+  while (device_rngs_.size() <= device) {
+    const uint64_t ordinal = static_cast<uint64_t>(device_rngs_.size());
+    device_rngs_.push_back(Rng(config_.seed ^ (ordinal + 1) * kGolden));
+  }
+  return device_rngs_[device];
+}
+
+bool FaultInjector::OutageActive(SimTime now) {
+  if (config_.remote_outage_mean_gap <= Duration::Zero()) {
+    return false;
+  }
+  // Renew the window process up to the current clock. Decisions depend only on
+  // the seed and the query time, never on which device asks.
+  while (now >= outage_end_) {
+    outage_start_ = outage_end_ + Exponential(outage_rng_, config_.remote_outage_mean_gap);
+    outage_end_ = outage_start_ + config_.remote_outage_duration;
+  }
+  return now >= outage_start_;
+}
+
+FaultInjector::ReadFault FaultInjector::OnDeviceRead(uint32_t device,
+                                                     const std::string& device_name) {
+  ReadFault fault;
+  if (!config_.enabled || !armed_) {
+    return fault;
+  }
+  if (device != 0 && OutageActive(sim_->now())) {
+    Count(kOutageRead);
+    fault.status = UnavailableError("injected outage on device " + device_name);
+    return fault;
+  }
+  Rng& rng = DeviceRng(device);
+  if (config_.read_error_rate > 0.0 && rng.NextBool(config_.read_error_rate)) {
+    Count(kReadError);
+    fault.status = IoError("injected read error on device " + device_name);
+    return fault;
+  }
+  if (config_.read_delay_rate > 0.0 && rng.NextBool(config_.read_delay_rate)) {
+    Count(kReadDelay);
+    fault.extra_latency = config_.read_delay;
+  }
+  return fault;
+}
+
+bool FaultInjector::CorruptFile(uint32_t file_id) {
+  if (!config_.enabled || config_.corrupt_file_rate <= 0.0) {
+    return false;
+  }
+  // Hash-seeded throwaway stream: the decision is a pure function of
+  // (seed, file_id), independent of registration or query order.
+  Rng rng(config_.seed ^ 0xF11EULL ^ static_cast<uint64_t>(file_id) * kGolden);
+  const bool corrupt = rng.NextBool(config_.corrupt_file_rate);
+  if (corrupt) {
+    Count(kCorruptFile);
+  }
+  return corrupt;
+}
+
+Duration FaultInjector::NextLoaderStall() {
+  if (!config_.enabled || !armed_ || config_.loader_stall_rate <= 0.0) {
+    return Duration::Zero();
+  }
+  if (!stall_rng_.NextBool(config_.loader_stall_rate)) {
+    return Duration::Zero();
+  }
+  Count(kLoaderStall);
+  return config_.loader_stall;
+}
+
+}  // namespace faasnap

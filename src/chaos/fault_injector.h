@@ -1,0 +1,124 @@
+// Deterministic fault injection for the restore pipeline.
+//
+// A FaultInjector is a seeded source of failures: device read errors and latency
+// spikes, remote-device outage windows, loader-thread stalls, and corrupt
+// snapshot files. Every decision is drawn from SplitMix64 streams derived from a
+// single seed, so the same seed yields the same fault schedule and bit-identical
+// reports — chaos runs are as reproducible as fault-free ones.
+//
+// Each injection site holds a FaultInjector* that is null when chaos is off; the
+// disabled cost is one branch per site, the same discipline as the span tracer.
+// Per-device decisions come from per-device forked streams (seeded by device
+// ordinal) and per-file corruption from a hash-seeded throwaway stream, so
+// decisions do not depend on the order in which sites consult the injector.
+
+#ifndef FAASNAP_SRC_CHAOS_FAULT_INJECTOR_H_
+#define FAASNAP_SRC_CHAOS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/obs/metrics_registry.h"
+#include "src/sim/simulation.h"
+
+namespace faasnap {
+
+struct ChaosConfig {
+  bool enabled = false;
+  uint64_t seed = 0xC4A05;
+
+  // Per-read probability that a device read fails with IO_ERROR.
+  double read_error_rate = 0.0;
+  // Per-read probability of an injected latency spike, and its size.
+  double read_delay_rate = 0.0;
+  Duration read_delay = Duration::Millis(2);
+
+  // Per-file probability (decided once per file, at registration) that a
+  // snapshot file is corrupt: its checksum validation fails at load.
+  double corrupt_file_rate = 0.0;
+
+  // Per-chunk probability that the prefetch loader thread stalls before
+  // issuing the chunk, and the stall length.
+  double loader_stall_rate = 0.0;
+  Duration loader_stall = Duration::Millis(1);
+
+  // Remote-device outage process: outage windows of `remote_outage_duration`
+  // recur with exponentially distributed gaps of mean `remote_outage_mean_gap`.
+  // Zero mean gap disables outages. Reads on non-local devices inside a window
+  // fail immediately with UNAVAILABLE.
+  Duration remote_outage_mean_gap = Duration::Zero();
+  Duration remote_outage_duration = Duration::Millis(5);
+
+  // When true (default), injection is disarmed while the platform records a
+  // snapshot: the fault model targets the restore path, not offline snapshot
+  // preparation. File corruption is unaffected (it is decided per file id).
+  bool spare_record_phase = true;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulation* sim, ChaosConfig config);
+
+  // Consulted by BlockDevice on every read when attached. `device` is the
+  // router ordinal (0 = local). A non-OK status means the read fails after the
+  // device's fixed per-request latency; extra_latency delays an otherwise
+  // successful completion.
+  struct ReadFault {
+    Status status;
+    Duration extra_latency;
+  };
+  ReadFault OnDeviceRead(uint32_t device, const std::string& device_name);
+
+  // Decided once per file id, independent of query order. Consulted by
+  // SnapshotStore at registration.
+  bool CorruptFile(uint32_t file_id);
+
+  // Stall length to insert before the loader issues its next chunk
+  // (Duration::Zero() = no stall).
+  Duration NextLoaderStall();
+
+  // Disarms/rearms read-error, delay, outage, and stall injection (used to
+  // spare the record phase). Corruption decisions are unaffected.
+  void set_armed(bool armed) { armed_ = armed; }
+  bool armed() const { return armed_; }
+
+  const ChaosConfig& config() const { return config_; }
+
+  // Registers chaos.injected{type=...} counters. Null detaches.
+  void set_observability(MetricsRegistry* metrics);
+
+ private:
+  Rng& DeviceRng(uint32_t device);
+  bool OutageActive(SimTime now);
+  void Count(int which);
+
+  Simulation* sim_;
+  ChaosConfig config_;
+  std::vector<Rng> device_rngs_;  // indexed by device ordinal, grown on demand
+  Rng stall_rng_;
+  Rng outage_rng_;
+
+  // Current/next outage window [start, end); renewed lazily as the clock passes.
+  SimTime outage_start_;
+  SimTime outage_end_;
+
+  bool armed_ = true;
+
+  enum InjectedKind {
+    kReadError = 0,
+    kReadDelay,
+    kOutageRead,
+    kLoaderStall,
+    kCorruptFile,
+    kKindCount,
+  };
+  Counter* injected_[kKindCount] = {};
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CHAOS_FAULT_INJECTOR_H_

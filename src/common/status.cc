@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -71,6 +73,9 @@ Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
 }
 Status IoError(std::string message) { return Status(StatusCode::kIoError, std::move(message)); }
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
 
 namespace internal {
 

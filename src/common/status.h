@@ -31,6 +31,7 @@ enum class StatusCode : int {
   kResourceExhausted = 8,
   kUnavailable = 9,
   kIoError = 10,
+  kDeadlineExceeded = 11,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -73,6 +74,7 @@ Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnavailableError(std::string message);
 Status IoError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Result<T> holds either a T or a non-OK Status.
 template <typename T>

@@ -133,6 +133,13 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
     if (!entry.generator->spec().fixed_input) {
       input.content_seed = ++arrival_seed;
     }
+    // Quarantine: a snapshot that keeps failing restore is benched for a
+    // backoff window; misses in the window cold-boot instead of retrying it.
+    RestoreMode mode = warm ? RestoreMode::kWarm : config_.miss_mode;
+    if (!warm && sim->now() < entry.quarantined_until) {
+      mode = RestoreMode::kColdBoot;
+      stats.quarantined_serves++;
+    }
     // One serve span per arrival on the scheduler lane: arrival -> completion,
     // arg0 = function index, arg1 = warm hit.
     const SpanId serve_span =
@@ -142,14 +149,27 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
             : kNoSpan;
     bool done = false;
     Duration latency;
-    platform_->InvokeAsync(*entry.snapshot,
-                           warm ? RestoreMode::kWarm : config_.miss_mode,
+    InvocationOutcome outcome = InvocationOutcome::kOk;
+    platform_->InvokeAsync(*entry.snapshot, mode,
                            entry.generator->Generate(input), [&](InvocationReport report) {
                              latency = report.total_time();
+                             outcome = report.outcome;
                              done = true;
                            });
     sim->Run();
     FAASNAP_CHECK(done);
+    if (!warm && mode != RestoreMode::kColdBoot) {
+      if (outcome == InvocationOutcome::kFailed) {
+        stats.restore_failures++;
+        if (++entry.consecutive_failures >= config_.quarantine_failure_threshold) {
+          entry.quarantined_until = sim->now() + config_.quarantine_backoff;
+          entry.consecutive_failures = 0;
+          stats.quarantines++;
+        }
+      } else {
+        entry.consecutive_failures = 0;
+      }
+    }
     if (spans != nullptr) {
       spans->End(serve_span, sim->now());
     }
@@ -171,7 +191,8 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
       (warm ? warm_hits_metric : misses_metric)->Add(1);
     }
 
-    entry.warm = true;
+    // A failed invocation leaves no VM behind to keep warm.
+    entry.warm = outcome != InvocationOutcome::kFailed;
     entry.last_used = sim->now();
     last_completion = sim->now();
     if (pool_gauge != nullptr) {

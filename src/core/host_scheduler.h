@@ -32,6 +32,11 @@ struct HostSchedulerConfig {
   Duration keep_warm = Duration::Seconds(600);
   // How a warm miss is served (snapshot restore or full cold boot).
   RestoreMode miss_mode = RestoreMode::kFaasnap;
+  // Snapshot quarantine: after this many consecutive failed restores of one
+  // function's snapshot, misses bypass it (cold boot) for `quarantine_backoff`
+  // instead of retrying a snapshot that keeps failing.
+  int quarantine_failure_threshold = 3;
+  Duration quarantine_backoff = Duration::Seconds(60);
 };
 
 // One request: which registered function, arriving `gap` after the previous one.
@@ -51,6 +56,9 @@ struct HostSchedulerStats {
   int64_t misses = 0;
   int64_t evictions = 0;          // pool-pressure evictions (budget overflow)
   int64_t expirations = 0;        // keep-alive horizon reclaims
+  int64_t restore_failures = 0;   // invocations that ended kFailed on a miss
+  int64_t quarantines = 0;        // snapshots benched after repeated failures
+  int64_t quarantined_serves = 0; // misses served by cold boot while benched
   RunningStats latency_ms;
   RunningStats miss_latency_ms;
   // Time-averaged bytes pinned by the warm pool across the run.
@@ -88,6 +96,10 @@ class HostScheduler {
     // Warm-pool state.
     bool warm = false;
     SimTime last_used;
+    // Quarantine state: consecutive failed snapshot restores, and until when
+    // misses should avoid the snapshot.
+    int consecutive_failures = 0;
+    SimTime quarantined_until;
   };
 
   // Reclaims expired VMs and, if needed, LRU-evicts until `needed` bytes fit.

@@ -42,6 +42,8 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
   bool have_previous = false;
   double warm_byte_time = 0;  // bytes * seconds of pinned warm memory
   uint64_t arrival_seed = 0xA551;
+  int consecutive_failures = 0;
+  SimTime quarantined_until;
 
   SpanTracer* spans = platform_->spans();
   MetricsRegistry* metrics = platform_->metrics();
@@ -73,7 +75,12 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
     if (!spec.fixed_input) {
       input.content_seed = ++arrival_seed;
     }
-    const RestoreMode mode = warm ? RestoreMode::kWarm : config.miss_mode;
+    RestoreMode mode = warm ? RestoreMode::kWarm : config.miss_mode;
+    if (!warm && sim->now() < quarantined_until) {
+      // The snapshot is benched after repeated failed restores: cold-boot.
+      mode = RestoreMode::kColdBoot;
+      stats.quarantined_serves++;
+    }
     const SpanId serve_span =
         spans != nullptr
             ? spans->Begin(sim->now(), ObsLane::kScheduler, obsname::kSchedulerServe, 0,
@@ -81,9 +88,11 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
             : kNoSpan;
     bool done = false;
     Duration latency;
+    InvocationOutcome outcome = InvocationOutcome::kOk;
     platform_->InvokeAsync(*snapshot_, mode, generator_->Generate(input),
                            [&](InvocationReport report) {
                              latency = report.total_time();
+                             outcome = report.outcome;
                              done = true;
                            });
     sim->Run();
@@ -97,6 +106,18 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
       stats.warm_hits++;
     } else {
       stats.misses++;
+      if (mode != RestoreMode::kColdBoot) {
+        if (outcome == InvocationOutcome::kFailed) {
+          stats.restore_failures++;
+          if (++consecutive_failures >= config.quarantine_failure_threshold) {
+            quarantined_until = sim->now() + config.quarantine_backoff;
+            consecutive_failures = 0;
+            stats.quarantines++;
+          }
+        } else {
+          consecutive_failures = 0;
+        }
+      }
     }
     if (warm_hits_metric != nullptr) {
       (warm ? warm_hits_metric : misses_metric)->Add(1);
@@ -105,7 +126,8 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
     // The VM is resident during execution too.
     warm_byte_time += ws_bytes * latency.seconds();
     last_completion = sim->now();
-    have_previous = true;
+    // A failed invocation leaves no VM behind to keep warm.
+    have_previous = outcome != InvocationOutcome::kFailed;
   }
 
   stats.span = sim->now() - span_start;

@@ -29,12 +29,19 @@ struct KeepAliveConfig {
   Duration keep_warm = Duration::Seconds(600);
   // What serves a keep-alive miss.
   RestoreMode miss_mode = RestoreMode::kFaasnap;
+  // Snapshot quarantine (mirrors HostSchedulerConfig): after this many
+  // consecutive failed restores, misses cold-boot for `quarantine_backoff`.
+  int quarantine_failure_threshold = 3;
+  Duration quarantine_backoff = Duration::Seconds(60);
 };
 
 struct KeepAliveStats {
   int64_t invocations = 0;
   int64_t warm_hits = 0;
   int64_t misses = 0;
+  int64_t restore_failures = 0;    // misses that ended kFailed
+  int64_t quarantines = 0;         // times the snapshot was benched
+  int64_t quarantined_serves = 0;  // misses served by cold boot while benched
   RunningStats latency_ms;
   // Time-averaged bytes of host memory pinned by the idle warm VM.
   double avg_warm_resident_bytes = 0;

@@ -29,6 +29,15 @@ Platform::Platform(PlatformConfig config)
                   placement.reap_ws == StorageTier::kLocal &&
                   "remote placement requires PlatformConfig::remote_disk");
   }
+  if (config_.chaos.enabled) {
+    chaos_ = std::make_unique<FaultInjector>(&sim_, config_.chaos);
+    local_disk_.set_fault_injector(chaos_.get(), 0);
+    if (remote_disk_ != nullptr) {
+      remote_disk_->set_fault_injector(chaos_.get(), 1);
+    }
+    store_.set_fault_injector(chaos_.get());
+    storage_.ConfigureFaultHandling(&sim_, chaos_.get(), config_.storage_faults);
+  }
 }
 
 BlockDeviceStats Platform::CombinedDiskStats() const {
@@ -55,6 +64,70 @@ void Platform::SetObservability(SpanTracer* spans, MetricsRegistry* metrics) {
   // (engine, loader, readahead) pick the pointers up in InvokeAsync/Record.
   storage_.set_observability(spans, metrics);
   cache_.set_observability(metrics);
+  if (chaos_ != nullptr) {
+    chaos_->set_observability(metrics);
+    for (int i = 0; i < 3; ++i) {
+      static constexpr std::string_view kOutcomes[3] = {"ok", "degraded", "failed"};
+      outcome_counters_[i] =
+          metrics != nullptr
+              ? metrics->GetCounter("invocations.outcome",
+                                    {{"outcome", std::string(kOutcomes[i])}})
+              : nullptr;
+    }
+  }
+}
+
+void Platform::CountOutcome(InvocationOutcome outcome) {
+  Counter* counter = outcome_counters_[static_cast<int>(outcome)];
+  if (counter != nullptr) {
+    counter->Add();
+  }
+}
+
+Status Platform::PlanRestoreMode(const FunctionSnapshot& snapshot, RestoreMode requested,
+                                 RestoreMode* effective, Status* demotion_reason) const {
+  *effective = requested;
+  // Demotion rung: every snapshot mode can fall back to vanilla on-demand paging
+  // as long as the (unsanitized) memory file itself is intact.
+  auto demote_or_fail = [&](Status why) -> Status {
+    if (!store_.Validate(snapshot.memory_vanilla.id).ok()) {
+      return why;  // no intact rung below: the invocation fails
+    }
+    *effective = RestoreMode::kFirecracker;
+    *demotion_reason = std::move(why);
+    return OkStatus();
+  };
+  switch (requested) {
+    case RestoreMode::kWarm:
+    case RestoreMode::kColdBoot:
+      return OkStatus();  // no snapshot artifacts involved
+    case RestoreMode::kFirecracker:
+    case RestoreMode::kCached:
+    case RestoreMode::kFaasnapConcurrentOnly:
+      // The memory file is the primary artifact; with it gone there is nothing
+      // to restore from.
+      return store_.Validate(snapshot.memory_vanilla.id);
+    case RestoreMode::kReap: {
+      RETURN_IF_ERROR(store_.Validate(snapshot.memory_vanilla.id));
+      Status ws = store_.Validate(snapshot.reap_ws.id);
+      if (!ws.ok()) {
+        return demote_or_fail(std::move(ws));
+      }
+      return OkStatus();
+    }
+    case RestoreMode::kFaasnapPerRegion:
+    case RestoreMode::kFaasnap: {
+      Status artifact = store_.Validate(snapshot.memory_sanitized.id);
+      if (artifact.ok() && requested == RestoreMode::kFaasnap) {
+        artifact = store_.Validate(snapshot.loading_set.id);
+      }
+      if (!artifact.ok()) {
+        return demote_or_fail(std::move(artifact));
+      }
+      return OkStatus();
+    }
+  }
+  return OkStatus();
 }
 
 // Per-invocation state bundle; kept alive by shared_ptr captures until both the
@@ -90,25 +163,72 @@ struct Platform::InvocationContext {
   SimTime request_time;
   BlockDeviceStats disk_before;
   Duration setup_time;
+  // Failure-aware restore: the mode the caller asked for (policy->mode() is the
+  // effective one) and, when they differ, the validation error that demoted it.
+  RestoreMode requested_mode;
+  Status demotion_reason;
 };
 
 void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
                            InvocationTrace trace, std::function<void(InvocationReport)> done) {
-  auto ctx = std::make_shared<InvocationContext>(this, snapshot, mode);
-  ctx->engine.set_observability(spans_, metrics_);
-  ctx->loader.set_observability(spans_, metrics_);
-  ctx->readahead.set_observability(metrics_);
-  ctx->env.spans = spans_;
-  ctx->trace = std::move(trace);
-  ctx->request_time = sim_.now();
-  ctx->disk_before = CombinedDiskStats();
+  // Validate the snapshot files the requested mode depends on before building
+  // any restore state (the daemon checks manifests before handing the files to
+  // the VMM). A bad primary artifact demotes to on-demand paging when possible;
+  // otherwise the invocation fails with the validation error.
+  RestoreMode effective = mode;
+  Status demotion_reason;
+  const Status plan_status = PlanRestoreMode(snapshot, mode, &effective, &demotion_reason);
 
+  const SimTime request_time = sim_.now();
   // Request dispatch serializes in the daemon: network namespace and tap device
   // creation take the kernel's rtnl mutex, so 64 simultaneous requests queue.
   // This is what drags every system down at high burst parallelism (Figure 10).
   const SimTime dispatched =
       Max(sim_.now(), daemon_busy_until_) + config_.setup_costs.daemon_dispatch;
   daemon_busy_until_ = dispatched;
+
+  if (!plan_status.ok()) {
+    // Unrecoverable: the artifacts the mode needs are corrupt and there is no
+    // intact fallback. Fail with a typed status instead of restoring from a bad
+    // file. The request still pays daemon dispatch (validation runs in the
+    // daemon), keeping serialization for overlapping invocations.
+    SpanId invoke_span = kNoSpan;
+    if (spans_ != nullptr) {
+      invoke_span = spans_->Begin(request_time, ObsLane::kDaemon, obsname::kInvoke);
+      spans_->Complete(request_time, dispatched, ObsLane::kDaemon, obsname::kDispatch, 0, 0,
+                       invoke_span);
+    }
+    const FunctionSnapshot* snap = &snapshot;
+    sim_.Schedule(dispatched, [this, snap, mode, request_time, invoke_span, plan_status,
+                               done = std::move(done)]() mutable {
+      InvocationReport report;
+      report.function = snap->function;
+      report.mode = std::string(RestoreModeName(mode));
+      report.outcome = InvocationOutcome::kFailed;
+      report.status = plan_status;
+      report.setup_time = sim_.now() - request_time;
+      CountOutcome(report.outcome);
+      if (spans_ != nullptr) {
+        spans_->End(invoke_span, sim_.now());
+      }
+      done(std::move(report));
+    });
+    return;
+  }
+
+  auto ctx = std::make_shared<InvocationContext>(this, snapshot, effective);
+  ctx->requested_mode = mode;
+  ctx->demotion_reason = std::move(demotion_reason);
+  ctx->engine.set_observability(spans_, metrics_);
+  ctx->loader.set_observability(spans_, metrics_);
+  if (chaos_ != nullptr) {
+    ctx->loader.set_fault_injector(chaos_.get());
+  }
+  ctx->readahead.set_observability(metrics_);
+  ctx->env.spans = spans_;
+  ctx->trace = std::move(trace);
+  ctx->request_time = request_time;
+  ctx->disk_before = CombinedDiskStats();
 
   // Span skeleton for this invocation (see obs/observability.h for the tree).
   // Recording is passive, so opening spans ahead of their wall time is fine.
@@ -151,7 +271,7 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
                                             Vm::InvocationResult result) mutable {
         InvocationReport report;
         report.function = snap->function;
-        report.mode = std::string(RestoreModeName(ctx->policy->mode()));
+        report.mode = std::string(RestoreModeName(ctx->requested_mode));
         report.setup_time = ctx->setup_time;
         report.invocation_time = result.elapsed;
         report.faults = ctx->engine.metrics();
@@ -174,7 +294,32 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
         report.anon_resident_pages =
             ctx->space.resident_anonymous_pages() + ctx->space.anon_copied_pages();
         report.page_cache_pages = cache_.present_page_count();
+        // Outcome ladder, most severe first: a terminal error aborts the VM
+        // (kFailed); otherwise any fallback taken along the way — demoted
+        // restore mode, a policy's in-setup degradation, or a partial prefetch
+        // — marks the invocation kDegraded with the first error observed.
+        report.prefetch_failed_pages = ctx->loader.failed_pages();
+        if (!result.status.ok()) {
+          report.outcome = InvocationOutcome::kFailed;
+          report.status = std::move(result.status);
+        } else if (ctx->policy->mode() != ctx->requested_mode) {
+          report.outcome = InvocationOutcome::kDegraded;
+          report.degraded_mode = std::string(RestoreModeName(ctx->policy->mode()));
+          report.status = ctx->demotion_reason;
+        } else if (!ctx->env.degrade_status.ok()) {
+          report.outcome = InvocationOutcome::kDegraded;
+          report.degraded_mode = ctx->env.degrade_label;
+          report.status = ctx->env.degrade_status;
+        } else if (ctx->loader.started() && !ctx->loader.status().ok()) {
+          report.outcome = InvocationOutcome::kDegraded;
+          report.degraded_mode = "partial-prefetch";
+          report.status = ctx->loader.status();
+        }
+        CountOutcome(report.outcome);
         if (spans_ != nullptr) {
+          if (report.outcome == InvocationOutcome::kDegraded) {
+            spans_->Instant(sim_.now(), ObsLane::kDaemon, obsname::kDegraded, 0, 0, invoke_span);
+          }
           spans_->End(invocation_span, sim_.now(),
                       static_cast<uint64_t>(result.elapsed.nanos()));
           spans_->End(invoke_span, sim_.now());
@@ -199,6 +344,14 @@ InvocationReport Platform::Invoke(const FunctionSnapshot& snapshot, RestoreMode 
 }
 
 FunctionSnapshot Platform::Record(const TraceGenerator& generator, const WorkloadInput& input) {
+  // The fault model targets the restore path: by default the record phase runs
+  // with read/stall injection disarmed so snapshot production itself cannot
+  // abort. (File corruption is decided per file id and is unaffected — freshly
+  // recorded artifacts may still be born bad.)
+  const bool spare_record = chaos_ != nullptr && config_.chaos.spare_record_phase;
+  if (spare_record) {
+    chaos_->set_armed(false);
+  }
   const GuestLayout& layout = config_.layout;
   FunctionSnapshot snap;
   snap.function = generator.spec().name;
@@ -294,6 +447,9 @@ FunctionSnapshot Platform::Record(const TraceGenerator& generator, const Workloa
 
   // The methodology drops all page caches before each test (section 6.1).
   DropCaches();
+  if (spare_record) {
+    chaos_->set_armed(true);
+  }
   return snap;
 }
 

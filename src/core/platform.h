@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/chaos/fault_injector.h"
 #include "src/core/function_snapshot.h"
 #include "src/core/platform_config.h"
 #include "src/metrics/report.h"
@@ -71,6 +72,8 @@ class Platform {
   MetricsRegistry* metrics() { return metrics_; }
 
   Simulation* sim() { return &sim_; }
+  // The deterministic fault injector, or null when chaos is disabled.
+  FaultInjector* chaos() { return chaos_.get(); }
   PageCache* cache() { return &cache_; }
   BlockDevice* disk() { return &local_disk_; }
   BlockDevice* remote_disk() { return remote_disk_.get(); }
@@ -89,6 +92,13 @@ class Platform {
   // Rewires the platform-owned components (storage, page cache) and records the
   // pointers handed to per-invocation components.
   void SetObservability(SpanTracer* spans, MetricsRegistry* metrics);
+  // Pre-restore artifact validation: checks every snapshot file the requested
+  // mode depends on. On a bad primary artifact, picks the fallback rung
+  // (on-demand paging from the vanilla memory file) when that file is intact;
+  // returns the validation error otherwise. `effective` is always set.
+  Status PlanRestoreMode(const FunctionSnapshot& snapshot, RestoreMode requested,
+                         RestoreMode* effective, Status* demotion_reason) const;
+  void CountOutcome(InvocationOutcome outcome);
 
   PlatformConfig config_;
   Simulation sim_;
@@ -99,8 +109,12 @@ class Platform {
   StorageRouter storage_;
   CpuModel cpu_;
   SnapshotStore store_;
+  std::unique_ptr<FaultInjector> chaos_;
   SpanTracer* spans_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  // Per-outcome invocation counters; registered only when chaos is enabled so
+  // fault-free metrics snapshots stay identical to pre-chaos builds.
+  Counter* outcome_counters_[3] = {nullptr, nullptr, nullptr};
 };
 
 }  // namespace faasnap

@@ -7,12 +7,14 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/chaos/fault_injector.h"
 #include "src/core/loading_set_builder.h"
 #include "src/core/prefetch_loader.h"
 #include "src/mem/cost_model.h"
 #include "src/mem/readahead.h"
 #include "src/storage/block_device.h"
 #include "src/storage/device_profiles.h"
+#include "src/storage/storage_router.h"
 #include "src/vm/guest_layout.h"
 
 namespace faasnap {
@@ -49,6 +51,14 @@ struct PlatformConfig {
   // Snapshot security (section 7.4): pages of guest PRNG/secret state wiped when
   // a snapshot is taken (the MADV_WIPEONSUSPEND proposal). 0 disables wiping.
   uint64_t wipe_secret_pages = 0;
+
+  // Deterministic fault injection (chaos harness). Disabled by default; when
+  // disabled the platform behaves event-for-event identically to a build
+  // without the chaos subsystem.
+  ChaosConfig chaos;
+  // Retry/deadline/circuit-breaker policy for snapshot storage reads. Only
+  // consulted on the Status-returning read path, i.e. when chaos is enabled.
+  StorageFaultPolicy storage_faults;
 
   // Seed for device jitter and any stochastic behavior; vary across repetitions
   // to produce the error bars the figures report.

@@ -1,5 +1,6 @@
 #include "src/core/prefetch_loader.h"
 
+#include "src/chaos/fault_injector.h"
 #include "src/common/units.h"
 #include "src/obs/observability.h"
 
@@ -54,35 +55,21 @@ void PrefetchLoader::Pump() {
   while (in_flight_ < config_.pipeline_depth && !chunks_.empty()) {
     const PrefetchItem chunk = chunks_.front();
     chunks_.pop_front();
-    // Skip pages someone else already cached or is reading; read the rest.
-    const PageRangeSet missing = cache_->AbsentIn(chunk.file, chunk.range);
-    skipped_pages_ += chunk.range.count - missing.page_count();
-    if (missing.empty()) {
-      continue;
-    }
-    for (const PageRange& r : missing.ranges()) {
-      const PageCache::ReadHandle handle = cache_->BeginRead(chunk.file, r);
-      const SpanId chunk_span =
-          spans_ != nullptr ? spans_->BeginId(sim_->now(), ObsLane::kLoader, loader_chunk_name_,
-                                              r.first, r.count, run_span_)
-                            : kNoSpan;
-      fetched_bytes_ += PagesToBytes(r.count);
-      if (fetched_bytes_metric_ != nullptr) {
-        fetched_bytes_metric_->Add(static_cast<int64_t>(PagesToBytes(r.count)));
-        chunks_metric_->Add(1);
+    if (injector_ != nullptr) {
+      const Duration stall = injector_->NextLoaderStall();
+      if (stall > Duration::Zero()) {
+        // The loader thread blocks (scheduler preemption, cgroup throttling):
+        // it holds a pipeline slot for the stall, then issues the chunk.
+        ++in_flight_;
+        sim_->ScheduleAfter(stall, [this, chunk] {
+          --in_flight_;
+          IssueChunk(chunk);
+          Pump();
+        });
+        continue;
       }
-      ++in_flight_;
-      storage_->Read(
-          chunk.file, PagesToBytes(r.first), PagesToBytes(r.count),
-          [this, handle, chunk_span] {
-            cache_->CompleteRead(handle);
-            if (spans_ != nullptr) {
-              spans_->End(chunk_span, sim_->now());
-            }
-            OnChunkDone();
-          },
-          chunk_span);
     }
+    IssueChunk(chunk);
   }
   if (in_flight_ == 0 && chunks_.empty() && !finished_) {
     finished_ = true;
@@ -98,6 +85,47 @@ void PrefetchLoader::Pump() {
       auto done = std::move(done_);
       done();
     }
+  }
+}
+
+void PrefetchLoader::IssueChunk(const PrefetchItem& chunk) {
+  // Skip pages someone else already cached or is reading; read the rest.
+  const PageRangeSet missing = cache_->AbsentIn(chunk.file, chunk.range);
+  skipped_pages_ += chunk.range.count - missing.page_count();
+  for (const PageRange& r : missing.ranges()) {
+    const PageCache::ReadHandle handle = cache_->BeginRead(chunk.file, r);
+    const SpanId chunk_span =
+        spans_ != nullptr ? spans_->BeginId(sim_->now(), ObsLane::kLoader, loader_chunk_name_,
+                                            r.first, r.count, run_span_)
+                          : kNoSpan;
+    fetched_bytes_ += PagesToBytes(r.count);
+    if (fetched_bytes_metric_ != nullptr) {
+      fetched_bytes_metric_->Add(static_cast<int64_t>(PagesToBytes(r.count)));
+      chunks_metric_->Add(1);
+    }
+    ++in_flight_;
+    storage_->ReadWithStatus(
+        chunk.file, PagesToBytes(r.first), PagesToBytes(r.count),
+        [this, handle, chunk_span, pages = r.count](Status read_status) {
+          if (read_status.ok()) {
+            cache_->CompleteRead(handle);
+          } else {
+            // Partial-prefetch failure: retire the read (waking any co-waiters
+            // with the error), record it, and keep the pipeline draining — the
+            // loader must finish even when chunks fail.
+            cache_->FailRead(handle, read_status);
+            failed_pages_ += pages;
+            fetched_bytes_ -= PagesToBytes(pages);
+            if (status_.ok()) {
+              status_ = std::move(read_status);
+            }
+          }
+          if (spans_ != nullptr) {
+            spans_->End(chunk_span, sim_->now());
+          }
+          OnChunkDone();
+        },
+        chunk_span);
   }
 }
 

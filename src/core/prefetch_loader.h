@@ -30,6 +30,8 @@
 
 namespace faasnap {
 
+class FaultInjector;
+
 struct PrefetchItem {
   FileId file = kInvalidFileId;
   PageRange range;
@@ -67,6 +69,12 @@ class PrefetchLoader {
   // Span the loader's run span parents to (the owning invoke/record span).
   void set_parent_span(SpanId span) { parent_span_ = span; }
 
+  // Attaches deterministic fault injection: the loader thread may stall before
+  // issuing a chunk (holding a pipeline slot for the stall), and chunk reads
+  // that fail terminally are surfaced as partial-prefetch failure instead of
+  // hanging the loader. Null detaches; detached cost is one branch per chunk.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   bool started() const { return started_; }
   bool finished() const { return finished_; }
   // Wall-clock from Start to completion (valid once finished).
@@ -76,8 +84,17 @@ class PrefetchLoader {
   // Pages skipped because another actor already cached or was reading them.
   uint64_t skipped_pages() const { return skipped_pages_; }
 
+  // Partial-prefetch failure surface: OK when every issued read succeeded;
+  // otherwise the first terminal read error. The loader still runs to
+  // completion (done fires) — the pages are simply not cached, and the guest
+  // will demand-fault them later. Valid once finished.
+  const Status& status() const { return status_; }
+  // Pages whose covering reads failed (left absent, not installed).
+  uint64_t failed_pages() const { return failed_pages_; }
+
  private:
   void Pump();
+  void IssueChunk(const PrefetchItem& chunk);
   void OnChunkDone();
 
   Simulation* sim_;
@@ -93,6 +110,9 @@ class PrefetchLoader {
   Duration fetch_time_;
   uint64_t fetched_bytes_ = 0;
   uint64_t skipped_pages_ = 0;
+  uint64_t failed_pages_ = 0;
+  Status status_;
+  FaultInjector* injector_ = nullptr;
   std::function<void()> done_;
 
   SpanTracer* spans_ = nullptr;

@@ -118,6 +118,51 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
   config.platform.loading_set.merge_gap_pages =
       static_cast<uint64_t>(root.GetIntOr("merge_gap_pages", 32));
   config.platform.seed = config.base_seed;
+
+  if (root.Has("chaos")) {
+    ASSIGN_OR_RETURN(JsonValue chaos, root.Get("chaos"));
+    if (!chaos.is_object()) {
+      return InvalidArgumentError("\"chaos\" must be an object");
+    }
+    auto micros_or = [&chaos](const char* key, Duration fallback) {
+      return Duration::Micros(
+          chaos.GetIntOr(key, static_cast<int64_t>(fallback.micros())));
+    };
+    ChaosConfig& c = config.platform.chaos;
+    c.enabled = chaos.GetBoolOr("enabled", true);
+    c.seed = static_cast<uint64_t>(chaos.GetIntOr("seed", static_cast<int64_t>(c.seed)));
+    c.read_error_rate = chaos.GetNumberOr("read_error_rate", c.read_error_rate);
+    c.read_delay_rate = chaos.GetNumberOr("read_delay_rate", c.read_delay_rate);
+    c.read_delay = micros_or("read_delay_us", c.read_delay);
+    c.corrupt_file_rate = chaos.GetNumberOr("corrupt_file_rate", c.corrupt_file_rate);
+    c.loader_stall_rate = chaos.GetNumberOr("loader_stall_rate", c.loader_stall_rate);
+    c.loader_stall = micros_or("loader_stall_us", c.loader_stall);
+    c.remote_outage_mean_gap = micros_or("remote_outage_mean_gap_us", c.remote_outage_mean_gap);
+    c.remote_outage_duration = micros_or("remote_outage_duration_us", c.remote_outage_duration);
+    c.spare_record_phase = chaos.GetBoolOr("spare_record_phase", c.spare_record_phase);
+
+    StorageFaultPolicy& p = config.platform.storage_faults;
+    p.max_attempts = static_cast<int>(chaos.GetIntOr("max_attempts", p.max_attempts));
+    p.read_deadline = micros_or("read_deadline_us", p.read_deadline);
+    p.breaker_failure_threshold = static_cast<int>(
+        chaos.GetIntOr("breaker_failure_threshold", p.breaker_failure_threshold));
+    p.breaker_open_for = micros_or("breaker_open_for_us", p.breaker_open_for);
+    if (c.read_error_rate < 0 || c.read_error_rate > 1 || c.read_delay_rate < 0 ||
+        c.read_delay_rate > 1 || c.corrupt_file_rate < 0 || c.corrupt_file_rate > 1 ||
+        c.loader_stall_rate < 0 || c.loader_stall_rate > 1) {
+      return InvalidArgumentError("chaos rates must be in [0, 1]");
+    }
+    if (p.max_attempts < 1) {
+      return InvalidArgumentError("chaos max_attempts must be >= 1");
+    }
+    // Outage windows need a remote device to hit: provision the Figure 11
+    // tiered setup (memory files on the remote/EBS tier) when outages are on.
+    if (c.enabled && c.remote_outage_mean_gap > Duration::Zero() &&
+        !config.platform.remote_disk.has_value()) {
+      config.platform.remote_disk = EbsIo2Profile();
+      config.platform.placement.memory_files = StorageTier::kRemote;
+    }
+  }
   return config;
 }
 

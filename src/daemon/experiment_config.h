@@ -17,8 +17,29 @@
 //   "merge_gap_pages": 32,
 //   "base_seed": 1,
 //   "trace_out": "trace.json",                  // Perfetto/Chrome trace export
-//   "metrics_out": "metrics.json"               // metrics registry snapshot
+//   "metrics_out": "metrics.json",              // metrics registry snapshot
+//   "chaos": {                                  // deterministic fault injection
+//     "enabled": true,                          // default true when block present
+//     "seed": 42,
+//     "read_error_rate": 0.05,                  // per-read IO_ERROR probability
+//     "read_delay_rate": 0.05,                  // per-read latency-spike probability
+//     "read_delay_us": 2000,
+//     "corrupt_file_rate": 0.1,                 // per-registered-file corruption
+//     "loader_stall_rate": 0.05,                // per-chunk loader stall
+//     "loader_stall_us": 1000,
+//     "remote_outage_mean_gap_us": 50000,       // 0 disables outages; > 0 also
+//     "remote_outage_duration_us": 5000,        //   provisions a remote tier
+//     "spare_record_phase": true,
+//     "max_attempts": 4,                        // storage retry/breaker policy
+//     "read_deadline_us": 40000,
+//     "breaker_failure_threshold": 4,
+//     "breaker_open_for_us": 20000
+//   }
 // }
+//
+// When "remote_outage_mean_gap_us" > 0 the platform gets a remote (EBS) tier
+// with memory files placed on it — outage windows need a remote device to hit,
+// mirroring the Figure 11 tiered-storage setup.
 
 #ifndef FAASNAP_SRC_DAEMON_EXPERIMENT_CONFIG_H_
 #define FAASNAP_SRC_DAEMON_EXPERIMENT_CONFIG_H_

@@ -14,6 +14,20 @@ namespace faasnap {
 
 namespace {
 
+void TallyOutcome(ExperimentCell* cell, const InvocationReport& report) {
+  switch (report.outcome) {
+    case InvocationOutcome::kOk:
+      cell->ok++;
+      break;
+    case InvocationOutcome::kDegraded:
+      cell->degraded++;
+      break;
+    case InvocationOutcome::kFailed:
+      cell->failed++;
+      break;
+  }
+}
+
 WorkloadInput ResolveInput(const TestInputSpec& spec, const FunctionSpec& function,
                            uint64_t content_seed) {
   switch (spec.kind) {
@@ -85,6 +99,7 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
             row[s].total_ms.Record(report.total_time().millis());
             row[s].setup_ms.Record(report.setup_time.millis());
             row[s].invocation_ms.Record(report.invocation_time.millis());
+            TallyOutcome(&row[s], report);
             row[s].sample = std::move(report);
           } else {
             // Burst: N simultaneous requests; the cell aggregates per-invocation
@@ -101,6 +116,7 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
                                      row[s].setup_ms.Record(report.setup_time.millis());
                                      row[s].invocation_ms.Record(
                                          report.invocation_time.millis());
+                                     TallyOutcome(&row[s], report);
                                      row[s].sample = std::move(report);
                                      ++completed;
                                    });
@@ -139,13 +155,29 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
 }
 
 std::string ExperimentResults::ToTable() const {
-  TextTable table({"function", "test input", "system", "total (ms)", "setup (ms)",
-                   "invoke (ms)"});
+  // The outcomes column appears only when some cell degraded or failed, so
+  // fault-free output is unchanged.
+  bool any_non_ok = false;
   for (const ExperimentCell& cell : cells) {
-    table.AddRow({cell.function, cell.test_input, cell.system,
-                  FormatCell("%.1f +- %.1f", cell.total_ms.mean(), cell.total_ms.stddev()),
-                  FormatCell("%.1f", cell.setup_ms.mean()),
-                  FormatCell("%.1f", cell.invocation_ms.mean())});
+    any_non_ok = any_non_ok || !cell.all_ok();
+  }
+  std::vector<std::string> header = {"function", "test input", "system",
+                                     "total (ms)", "setup (ms)", "invoke (ms)"};
+  if (any_non_ok) {
+    header.push_back("ok/deg/fail");
+  }
+  TextTable table(header);
+  for (const ExperimentCell& cell : cells) {
+    std::vector<std::string> row = {
+        cell.function, cell.test_input, cell.system,
+        FormatCell("%.1f +- %.1f", cell.total_ms.mean(), cell.total_ms.stddev()),
+        FormatCell("%.1f", cell.setup_ms.mean()),
+        FormatCell("%.1f", cell.invocation_ms.mean())};
+    if (any_non_ok) {
+      row.push_back(std::to_string(cell.ok) + "/" + std::to_string(cell.degraded) + "/" +
+                    std::to_string(cell.failed));
+    }
+    table.AddRow(row);
   }
   return "# " + name + "\n\n" + table.ToString();
 }
@@ -161,8 +193,11 @@ std::string ExperimentResults::ToJson() const {
         .Field("total_ms_mean", cell.total_ms.mean())
         .Field("total_ms_std", cell.total_ms.stddev())
         .Field("setup_ms_mean", cell.setup_ms.mean())
-        .Field("invocation_ms_mean", cell.invocation_ms.mean())
-        .Field("reps", cell.total_ms.count())
+        .Field("invocation_ms_mean", cell.invocation_ms.mean());
+    if (!cell.all_ok()) {
+      json.Field("ok", cell.ok).Field("degraded", cell.degraded).Field("failed", cell.failed);
+    }
+    json.Field("reps", cell.total_ms.count())
         .EndObject();
   }
   json.EndArray().EndObject();

@@ -24,8 +24,14 @@ struct ExperimentCell {
   RunningStats total_ms;
   RunningStats setup_ms;
   RunningStats invocation_ms;
+  // Outcome tallies across the cell's invocations (all kOk on fault-free runs).
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t failed = 0;
   // Representative last-rep detail for JSON export.
   InvocationReport sample;
+
+  bool all_ok() const { return degraded == 0 && failed == 0; }
 };
 
 struct ExperimentResults {

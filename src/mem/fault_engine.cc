@@ -93,6 +93,16 @@ void FaultEngine::FinishFault(PageIndex page, FaultClass cls, SimTime fault_star
   });
 }
 
+void FaultEngine::FailAccess(PageIndex page, SpanId fault_span, const Status& status) {
+  (void)page;
+  if (spans_ != nullptr) {
+    spans_->End(fault_span, sim_->now(), static_cast<uint64_t>(status.code()));
+  }
+  FAASNAP_CHECK(failure_sink_ != nullptr &&
+                "terminal device read failure with no failure sink installed");
+  failure_sink_(status);
+}
+
 bool FaultEngine::AccessSlow(PageIndex page, std::function<void(FaultClass)> done) {
   const PageInstallState state = space_->install_state(page);
   const SimTime fault_start = sim_->now();
@@ -117,12 +127,16 @@ bool FaultEngine::AccessSlow(PageIndex page, std::function<void(FaultClass)> don
                                             page, 0, fault_span)
                           : kNoSpan;
     uffd_handler_->HandleFault(page, [this, page, fault_start, fault_span, resolve_span,
-                                      done = std::move(done)]() mutable {
-      // Handler resolved the contents; account the uffd round trip plus the
-      // vCPU-block penalty (guest cannot resume immediately; section 6.4).
+                                      done = std::move(done)](const Status& status) mutable {
       if (spans_ != nullptr) {
         spans_->End(resolve_span, sim_->now());
       }
+      if (!status.ok()) {
+        FailAccess(page, fault_span, status);
+        return;
+      }
+      // Handler resolved the contents; account the uffd round trip plus the
+      // vCPU-block penalty (guest cannot resume immediately; section 6.4).
       FinishFault(page, FaultClass::kUffdHandled, fault_start, costs_.uffd_round_trip,
                   uffd_vcpu_block_extra_, fault_span, std::move(done));
     });
@@ -160,7 +174,11 @@ bool FaultEngine::AccessSlow(PageIndex page, std::function<void(FaultClass)> don
                                 : costs_.inflight_wait_overhead;
       EnsureFilePage(backing.file, backing.file_page, /*charge_to_faults=*/true,
                      [this, page, cls, tail, fault_start, fault_span,
-                      done = std::move(done)](PageCache::PageState) mutable {
+                      done = std::move(done)](const Status& status, PageCache::PageState) mutable {
+                       if (!status.ok()) {
+                         FailAccess(page, fault_span, status);
+                         return;
+                       }
                        FinishFault(page, cls, fault_start, tail, Duration::Zero(),
                                    fault_span, std::move(done));
                      },
@@ -175,15 +193,17 @@ bool FaultEngine::AccessSlow(PageIndex page, std::function<void(FaultClass)> don
 }
 
 void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_faults,
-                                 std::function<void(PageCache::PageState)> done,
+                                 std::function<void(const Status&, PageCache::PageState)> done,
                                  SpanId parent) {
   const PageCache::PageState initial = cache_->GetState(file, page);
   switch (initial) {
     case PageCache::PageState::kPresent:
-      done(initial);
+      done(OkStatus(), initial);
       return;
     case PageCache::PageState::kInFlight:
-      cache_->WaitFor(file, page, [initial, done = std::move(done)] { done(initial); });
+      cache_->WaitFor(file, page, [initial, done = std::move(done)](const Status& status) {
+        done(status, initial);
+      });
       return;
     case PageCache::PageState::kAbsent:
       break;
@@ -200,10 +220,21 @@ void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_fau
       metrics_.fault_disk_requests++;
       metrics_.fault_disk_bytes += PagesToBytes(r.count);
     }
-    storage_->Read(file, PagesToBytes(r.first), PagesToBytes(r.count),
-                   [this, handle] { cache_->CompleteRead(handle); }, parent);
+    // A failed read must still retire the cache entry, or waiters (this fault
+    // and anyone who piled onto the in-flight range) would sleep forever.
+    storage_->ReadWithStatus(file, PagesToBytes(r.first), PagesToBytes(r.count),
+                             [this, handle](Status status) {
+                               if (status.ok()) {
+                                 cache_->CompleteRead(handle);
+                               } else {
+                                 cache_->FailRead(handle, status);
+                               }
+                             },
+                             parent);
   }
-  cache_->WaitFor(file, page, [initial, done = std::move(done)] { done(initial); });
+  cache_->WaitFor(file, page, [initial, done = std::move(done)](const Status& status) {
+    done(status, initial);
+  });
 }
 
 }  // namespace faasnap

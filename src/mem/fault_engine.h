@@ -33,10 +33,13 @@ class UffdHandler {
  public:
   virtual ~UffdHandler() = default;
 
-  // Resolve the fault on `guest_page`: make the page's contents available and call
-  // `done` (on the simulation clock) when the UFFDIO_COPY could be issued. The
-  // engine accounts the uffd round-trip cost and installs the page afterwards.
-  virtual void HandleFault(PageIndex guest_page, std::function<void()> done) = 0;
+  // Resolve the fault on `guest_page`: make the page's contents available and
+  // call `done(OkStatus())` (on the simulation clock) when the UFFDIO_COPY could
+  // be issued, or `done(error)` if the contents could not be produced (e.g. the
+  // backing read failed terminally). The engine accounts the uffd round-trip
+  // cost and installs the page on success; on failure it routes the error to
+  // the failure sink.
+  virtual void HandleFault(PageIndex guest_page, std::function<void(const Status&)> done) = 0;
 };
 
 class FaultEngine {
@@ -69,13 +72,23 @@ class FaultEngine {
   }
 
   // Makes a file page readable through the page cache (issuing a device read with
-  // readahead on a miss) and calls `done(state_before)` at data-ready time. Used by
-  // the major-fault path and by REAP's handler pread. Disk traffic is charged to
-  // fault metrics iff `charge_to_faults`. `parent` links issued disk-read spans
-  // to the causing span.
+  // readahead on a miss) and calls `done(status, state_before)` at data-ready
+  // time; a non-OK status means the covering read failed terminally and the page
+  // is still absent. Used by the major-fault path and by REAP's handler pread.
+  // Disk traffic is charged to fault metrics iff `charge_to_faults`. `parent`
+  // links issued disk-read spans to the causing span.
   void EnsureFilePage(FileId file, PageIndex page, bool charge_to_faults,
-                      std::function<void(PageCache::PageState)> done,
+                      std::function<void(const Status&, PageCache::PageState)> done,
                       SpanId parent = kNoSpan);
+
+  // Sink for accesses that fail terminally (a device read error survived
+  // retries/failover). The engine cannot resolve the fault, so instead of
+  // retiring the access it reports the error here; the owning Vm aborts the
+  // invocation with the status. Must be installed whenever failures are
+  // possible (i.e. under fault injection).
+  void set_failure_sink(std::function<void(const Status&)> sink) {
+    failure_sink_ = std::move(sink);
+  }
 
   const FaultMetrics& metrics() const { return metrics_; }
   FaultMetrics& mutable_metrics() { return metrics_; }
@@ -112,6 +125,10 @@ class FaultEngine {
                    Duration extra_wait, SpanId fault_span,
                    std::function<void(FaultClass)> done);
 
+  // Terminal-failure tail of AccessSlow: closes the fault span and routes the
+  // error to the failure sink (the access never retires; `done` is dropped).
+  void FailAccess(PageIndex page, SpanId fault_span, const Status& status);
+
   Simulation* sim_;
   PageCache* cache_;
   StorageRouter* storage_;
@@ -133,6 +150,7 @@ class FaultEngine {
 
   PageRangeSet uffd_region_;
   UffdHandler* uffd_handler_ = nullptr;
+  std::function<void(const Status&)> failure_sink_;
   Duration uffd_vcpu_block_extra_ = Duration::Micros(25);
 };
 

@@ -57,22 +57,42 @@ PageCache::ReadHandle PageCache::BeginRead(FileId file, PageRange range) {
   return handle;
 }
 
-void PageCache::CompleteRead(ReadHandle handle) {
+PageCache::InFlightRead PageCache::TakeRead(ReadHandle handle) {
   auto it = reads_.find(handle);
   FAASNAP_CHECK(it != reads_.end());
   InFlightRead read = std::move(it->second);
   reads_.erase(it);
+  files_[read.file].in_flight.erase(read.range.first);
+  return read;
+}
+
+void PageCache::CompleteRead(ReadHandle handle) {
+  InFlightRead read = TakeRead(handle);
   FileState& fs = files_[read.file];
-  fs.in_flight.erase(read.range.first);
   const uint64_t before = fs.present.page_count();
   fs.present.Add(read.range);
   NotePresentDelta(fs.present.page_count() - before);
-  for (EventFn& waiter : read.waiters) {
-    waiter();
+  const Status ok = OkStatus();
+  for (Waiter& waiter : read.waiters) {
+    waiter(ok);
   }
 }
 
-void PageCache::WaitFor(FileId file, PageIndex page, EventFn done) {
+void PageCache::FailRead(ReadHandle handle, const Status& status) {
+  FAASNAP_CHECK(!status.ok());
+  InFlightRead read = TakeRead(handle);
+  if (metrics_ != nullptr) {
+    if (failed_reads_ == nullptr) {
+      failed_reads_ = metrics_->GetCounter("page_cache.failed_reads");
+    }
+    failed_reads_->Add(1);
+  }
+  for (Waiter& waiter : read.waiters) {
+    waiter(status);
+  }
+}
+
+void PageCache::WaitFor(FileId file, PageIndex page, Waiter done) {
   FileState& fs = files_[file];
   auto it = FirstSpanEndingAfter(fs, page);
   if (it != fs.in_flight.end() && it->first <= page) {
@@ -186,6 +206,8 @@ void PageCache::NotePresentDelta(int64_t delta) {
 }
 
 void PageCache::set_observability(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  failed_reads_ = nullptr;  // re-resolved lazily on the first failure
   if (metrics == nullptr) {
     reads_begun_ = nullptr;
     read_pages_ = nullptr;

@@ -54,11 +54,22 @@ class PageCache {
   // with the returned handle (typically from the device-completion callback).
   ReadHandle BeginRead(FileId file, PageRange range);
 
-  // Installs the read's pages as present and wakes all waiters registered on them.
+  // Installs the read's pages as present and wakes all waiters registered on
+  // them with OkStatus().
   void CompleteRead(ReadHandle handle);
 
-  // Registers `done` to run when `page` (which must be kInFlight) becomes present.
-  void WaitFor(FileId file, PageIndex page, EventFn done);
+  // Retires a failed read: the pages are NOT installed (they return to kAbsent,
+  // so a later access may retry the IO) and all waiters are woken with
+  // `status`, which must be non-OK. Waiters left unnotified would sleep
+  // forever — every BeginRead must end in CompleteRead or FailRead.
+  void FailRead(ReadHandle handle, const Status& status);
+
+  // Waiter callback: receives OkStatus() when the page became present, or the
+  // read's failure when the covering IO failed (page still absent).
+  using Waiter = std::function<void(const Status&)>;
+
+  // Registers `done` to run when `page` (which must be kInFlight) settles.
+  void WaitFor(FileId file, PageIndex page, Waiter done);
 
   // Directly installs pages as present (snapshot preload for the Cached baseline,
   // pages written by the VMM, etc.).
@@ -88,8 +99,11 @@ class PageCache {
   struct InFlightRead {
     FileId file = kInvalidFileId;
     PageRange range;
-    std::vector<EventFn> waiters;
+    std::vector<Waiter> waiters;
   };
+
+  // Shared tail of CompleteRead/FailRead: unlinks the read and returns it.
+  InFlightRead TakeRead(ReadHandle handle);
 
   // One outstanding read's interval, indexed by its start page in
   // FileState::in_flight. In-flight intervals of one file are pairwise disjoint
@@ -122,6 +136,10 @@ class PageCache {
   Counter* read_pages_ = nullptr;
   Counter* inserted_pages_ = nullptr;
   Counter* waiters_ = nullptr;
+  // Registered lazily on the first failure (reads only fail under fault
+  // injection), so fault-free runs keep a bit-identical metrics snapshot.
+  Counter* failed_reads_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   Gauge* present_pages_gauge_ = nullptr;
   uint64_t present_total_ = 0;  // running count backing the gauge
 };

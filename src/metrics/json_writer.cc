@@ -6,8 +6,22 @@ std::string InvocationReportToJson(const InvocationReport& report) {
   JsonWriter json;
   json.BeginObject()
       .Field("function", report.function)
-      .Field("mode", report.mode)
-      .Field("total_ms", report.total_time().millis())
+      .Field("mode", report.mode);
+  // Outcome fields appear only for non-ok invocations, so reports from fault-free
+  // runs stay byte-identical to builds that predate the chaos subsystem.
+  if (report.outcome != InvocationOutcome::kOk) {
+    json.Field("outcome", report.OutcomeTag());
+    if (!report.degraded_mode.empty()) {
+      json.Field("degraded_mode", report.degraded_mode);
+    }
+    if (!report.status.ok()) {
+      json.Field("status", report.status.ToString());
+    }
+    if (report.prefetch_failed_pages > 0) {
+      json.Field("prefetch_failed_pages", report.prefetch_failed_pages);
+    }
+  }
+  json.Field("total_ms", report.total_time().millis())
       .Field("setup_ms", report.setup_time.millis())
       .Field("invocation_ms", report.invocation_time.millis())
       .Field("fetch_ms", report.fetch_time.millis())

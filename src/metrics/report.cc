@@ -2,6 +2,18 @@
 
 namespace faasnap {
 
+std::string InvocationReport::OutcomeTag() const {
+  switch (outcome) {
+    case InvocationOutcome::kOk:
+      return "ok";
+    case InvocationOutcome::kDegraded:
+      return "degraded(" + degraded_mode + ")";
+    case InvocationOutcome::kFailed:
+      return "failed(" + std::string(StatusCodeName(status.code())) + ")";
+  }
+  return "ok";
+}
+
 void ReportSummary::Add(const InvocationReport& report) {
   if (function.empty()) {
     function = report.function;

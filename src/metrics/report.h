@@ -8,15 +8,36 @@
 
 #include "src/common/histogram.h"
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/mem/fault_metrics.h"
 #include "src/storage/block_device.h"
 
 namespace faasnap {
 
+// How an invocation ended under the failure-aware restore pipeline:
+//   kOk       — restored and ran exactly as requested,
+//   kDegraded — completed correctly, but on a fallback path (e.g. a corrupt
+//               loading set demoted FaaSnap to vanilla on-demand paging),
+//   kFailed   — terminated with a typed error; the function did not complete.
+enum class InvocationOutcome { kOk = 0, kDegraded, kFailed };
+
 struct InvocationReport {
   std::string function;
-  std::string mode;
+  std::string mode;  // the *requested* restore mode
+
+  InvocationOutcome outcome = InvocationOutcome::kOk;
+  // For kDegraded: the fallback actually used ("fc", "reap-on-demand",
+  // "partial-prefetch", ...). Empty otherwise.
+  std::string degraded_mode;
+  // For kDegraded/kFailed: why (the first terminal error observed).
+  Status status;
+  // Loading-set pages the concurrent loader failed to prefetch (served on
+  // demand instead).
+  uint64_t prefetch_failed_pages = 0;
+
+  // "ok" | "degraded(<mode>)" | "failed(<STATUS_CODE>)".
+  std::string OutcomeTag() const;
 
   // Gray bar of Figure 1: VMM restore, mapping, and (REAP) working set fetch.
   Duration setup_time;

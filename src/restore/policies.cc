@@ -139,12 +139,17 @@ class ReapUffdHandler final : public UffdHandler {
  public:
   void Bind(RestoreEnv* env) { env_ = env; }
 
-  void HandleFault(PageIndex guest_page, std::function<void()> done) override {
+  void HandleFault(PageIndex guest_page, std::function<void(const Status&)> done) override {
     // Whole-file mapping: guest page == memory file page.
     env_->engine->EnsureFilePage(
         env_->snapshot->memory_vanilla.id, guest_page, /*charge_to_faults=*/true,
-        [this, done = std::move(done)](PageCache::PageState) mutable {
-          env_->sim->ScheduleAfter(env_->config->host_costs.cached_pread_page, std::move(done));
+        [this, done = std::move(done)](const Status& status, PageCache::PageState) mutable {
+          if (!status.ok()) {
+            done(status);
+            return;
+          }
+          env_->sim->ScheduleAfter(env_->config->host_costs.cached_pread_page,
+                                   [done = std::move(done)] { done(OkStatus()); });
         });
   }
 
@@ -180,9 +185,24 @@ class ReapPolicy final : public RestorePolicy {
             ? env->spans->Begin(fetch_start, ObsLane::kUffd, obsname::kReapFetch, ws_pages, 0,
                                 env->setup_span)
             : kNoSpan;
-    env->storage->Read(env->snapshot->reap_ws.id, 0, fetch_bytes_,
-                       [this, env, ws_pages, fetch_start, fetch_span,
-                        ready = std::move(ready)]() mutable {
+    env->storage->ReadWithStatus(env->snapshot->reap_ws.id, 0, fetch_bytes_,
+                                 [this, env, ws_pages, fetch_start, fetch_span,
+                                  ready = std::move(ready)](Status status) mutable {
+      if (!status.ok()) {
+        // The working-set fetch failed terminally: degrade to pure on-demand
+        // uffd paging. No page is preinstalled; every working-set fault goes
+        // through the monitor's pread of the memory file instead. The VM still
+        // starts — slower, but correct.
+        fetch_bytes_ = 0;
+        fetch_time_ = env->sim->now() - fetch_start;
+        env->degrade_status = std::move(status);
+        env->degrade_label = "reap-on-demand";
+        if (env->spans != nullptr) {
+          env->spans->End(fetch_span, env->sim->now(), 0);
+        }
+        FinishMappingSetup(env, 1, std::move(ready));
+        return;
+      }
       const Duration install =
           env->config->host_costs.uffd_copy_page * static_cast<int64_t>(ws_pages);
       env->sim->ScheduleAfter(install, [this, env, fetch_start, fetch_span,

@@ -61,6 +61,12 @@ struct RestoreEnv {
   // fetch and the disk reads it issues). Null/kNoSpan when tracing is off.
   SpanTracer* spans = nullptr;
   SpanId setup_span = kNoSpan;
+  // Failure-aware restore: a policy that had to degrade during SetupMemory
+  // (e.g. REAP's working-set fetch failing terminally, falling back to pure
+  // on-demand uffd paging) records why and what it fell back to. The platform
+  // folds these into the InvocationReport as a degraded outcome.
+  Status degrade_status;
+  std::string degrade_label;
 };
 
 class RestorePolicy {

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 
+#include "src/chaos/fault_injector.h"
+#include "src/snapshot/serialization.h"
+
 namespace faasnap {
 
+uint64_t SnapshotStore::ChecksumOf(const Entry& entry) {
+  // FNV-1a over the metadata the restore path depends on (the simulation's
+  // stand-in for hashing the file body): name bytes, then the size.
+  uint64_t sum = Fnv1a64(reinterpret_cast<const uint8_t*>(entry.name.data()),
+                         entry.name.size());
+  const uint64_t size = entry.size_pages;
+  sum ^= Fnv1a64(reinterpret_cast<const uint8_t*>(&size), sizeof(size));
+  return sum;
+}
+
 FileId SnapshotStore::Register(std::string name, uint64_t size_pages) {
-  entries_.push_back(Entry{std::move(name), size_pages});
-  return static_cast<FileId>(entries_.size());
+  Entry entry{std::move(name), size_pages};
+  entry.checksum = ChecksumOf(entry);
+  const FileId id = static_cast<FileId>(entries_.size() + 1);
+  if (injector_ != nullptr && injector_->CorruptFile(id)) {
+    entry.corrupt = true;
+  }
+  entries_.push_back(std::move(entry));
+  return id;
 }
 
 const SnapshotStore::Entry& SnapshotStore::Get(FileId id) const {
@@ -16,7 +35,36 @@ const SnapshotStore::Entry& SnapshotStore::Get(FileId id) const {
 
 void SnapshotStore::Resize(FileId id, uint64_t size_pages) {
   FAASNAP_CHECK(id != kInvalidFileId && id <= entries_.size());
-  entries_[id - 1].size_pages = size_pages;
+  Entry& entry = entries_[id - 1];
+  entry.size_pages = size_pages;
+  entry.checksum = ChecksumOf(entry);
+}
+
+Status SnapshotStore::Validate(FileId id) const {
+  if (!Contains(id)) {
+    return NotFoundError("unknown snapshot file id " + std::to_string(id));
+  }
+  const Entry& entry = entries_[id - 1];
+  if (entry.corrupt || entry.checksum != ChecksumOf(entry)) {
+    return IoError("checksum mismatch in snapshot file \"" + entry.name + "\"");
+  }
+  return OkStatus();
+}
+
+Result<FileId> SnapshotStore::Open(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) {
+      const FileId id = static_cast<FileId>(i + 1);
+      RETURN_IF_ERROR(Validate(id));
+      return id;
+    }
+  }
+  return NotFoundError("no snapshot file named \"" + name + "\"");
+}
+
+void SnapshotStore::CorruptForTesting(FileId id) {
+  FAASNAP_CHECK(Contains(id));
+  entries_[id - 1].corrupt = true;
 }
 
 uint64_t SnapshotStore::size_pages(FileId id) const { return Get(id).size_pages; }

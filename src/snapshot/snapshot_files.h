@@ -25,18 +25,43 @@
 
 namespace faasnap {
 
+class FaultInjector;
+
 // Registry of files living on the snapshot storage device. Owns FileId assignment;
 // ids are never reused within a store.
+//
+// Every file carries a metadata checksum stamped at registration (mirroring the
+// FNV-1a trailer of the on-disk manifest formats in snapshot/serialization).
+// Validate/Open are the Status-returning entry points restore paths use before
+// trusting a file; size_pages/name remain CHECK-on-bad-id accessors for callers
+// that hold an id they registered themselves.
 class SnapshotStore {
  public:
   FileId Register(std::string name, uint64_t size_pages);
 
   // Grows a registered file (loading-set files are written incrementally).
+  // Re-stamps the checksum (an honest writer updates the trailer with the data).
   void Resize(FileId id, uint64_t size_pages);
 
   uint64_t size_pages(FileId id) const;
   const std::string& name(FileId id) const;
   bool Contains(FileId id) const;
+
+  // Integrity check: NOT_FOUND for an unknown id, IO_ERROR ("checksum
+  // mismatch") for a file whose stored checksum no longer matches its metadata
+  // (truncation, torn write, injected corruption). OK otherwise.
+  Status Validate(FileId id) const;
+
+  // By-name lookup plus Validate: the Status-returning alternative to handing
+  // out sizes for unvalidated files.
+  Result<FileId> Open(const std::string& name) const;
+
+  // Test hook: makes `id` fail Validate, as if the file were truncated.
+  void CorruptForTesting(FileId id);
+
+  // Attaches deterministic fault injection: files registered from now on may be
+  // marked corrupt (decided per file id by the injector). Null detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Adapter for FaultEngine's file_size_pages hook.
   std::function<uint64_t(FileId)> SizeFn() const;
@@ -45,10 +70,14 @@ class SnapshotStore {
   struct Entry {
     std::string name;
     uint64_t size_pages;
+    uint64_t checksum = 0;
+    bool corrupt = false;  // injected or test-forced truncation/corruption
   };
   const Entry& Get(FileId id) const;
+  static uint64_t ChecksumOf(const Entry& entry);
 
   std::vector<Entry> entries_;  // index = id - 1
+  FaultInjector* injector_ = nullptr;
 };
 
 // The guest memory file: full copy of guest physical memory, with the zero/non-zero

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/chaos/fault_injector.h"
 #include "src/common/status.h"
 #include "src/obs/observability.h"
 
@@ -49,6 +50,18 @@ void BlockDevice::set_observability(SpanTracer* spans, MetricsRegistry* metrics)
 
 void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void()> done,
                        SpanId parent) {
+  if (injector_ != nullptr) {
+    // Route through the status-carrying path so injection decisions are drawn;
+    // untyped callers have no error handling, so a terminal failure here is a
+    // programming error (pipeline paths use the Status overload).
+    Read(offset, bytes,
+         [done = std::move(done)](Status status) mutable {
+           FAASNAP_CHECK(status.ok() && "untyped BlockDevice::Read failed under fault injection");
+           done();
+         },
+         parent);
+    return;
+  }
   FAASNAP_CHECK(bytes > 0);
   const SimTime start = sim_->now();
   const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
@@ -82,6 +95,64 @@ void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void()> do
     return;
   }
   sim_->Schedule(completion, std::move(done));
+}
+
+void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void(Status)> done,
+                       SpanId parent) {
+  FAASNAP_CHECK(bytes > 0);
+  const SimTime start = sim_->now();
+  Status result = OkStatus();
+  Duration extra = Duration::Zero();
+  if (injector_ != nullptr) {
+    FaultInjector::ReadFault fault = injector_->OnDeviceRead(device_ordinal_, profile_.name);
+    result = std::move(fault.status);
+    extra = fault.extra_latency;
+  }
+  SimTime completion;
+  if (!result.ok()) {
+    // A failed request occupies a request slot and pays the fixed per-request
+    // latency (the device or remote side reported the error) but transfers no
+    // data, so the bandwidth serializer does not advance.
+    const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
+    iops_busy_until_ = iops_ready;
+    completion = iops_ready + profile_.base_latency + extra;
+    stats_.read_requests++;
+  } else {
+    const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
+    const SimTime bw_ready = Max(bw_busy_until_, start) + TransferTime(bytes);
+    iops_busy_until_ = iops_ready;
+    bw_busy_until_ = bw_ready;
+    completion = Max(iops_ready, bw_ready) + profile_.base_latency;
+    if (profile_.jitter > 0.0) {
+      const Duration service = completion - start;
+      const double factor = 1.0 + profile_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+      completion = start + Duration::Nanos(std::max<int64_t>(
+                               1, static_cast<int64_t>(
+                                      static_cast<double>(service.nanos()) * factor)));
+    }
+    completion = completion + extra;
+    stats_.read_requests++;
+    stats_.bytes_read += bytes;
+  }
+  if (spans_ != nullptr) {
+    spans_->CompleteId(start, completion, ObsLane::kDisk, disk_read_name_, offset, bytes,
+                       parent);
+  }
+  if (read_requests_metric_ != nullptr) {
+    read_requests_metric_->Add(1);
+    if (result.ok()) {
+      bytes_read_metric_->Add(static_cast<int64_t>(bytes));
+    }
+    queue_depth_metric_->Set(static_cast<double>(++outstanding_));
+    sim_->Schedule(completion, [this, done = std::move(done), result = std::move(result)]() mutable {
+      queue_depth_metric_->Set(static_cast<double>(--outstanding_));
+      done(std::move(result));
+    });
+    return;
+  }
+  sim_->Schedule(completion, [done = std::move(done), result = std::move(result)]() mutable {
+    done(std::move(result));
+  });
 }
 
 }  // namespace faasnap

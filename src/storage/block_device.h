@@ -30,11 +30,14 @@
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/span_tracer.h"
 #include "src/sim/simulation.h"
 
 namespace faasnap {
+
+class FaultInjector;
 
 // Static description of a device. See device_profiles.h for the two profiles used
 // in the paper's evaluation.
@@ -69,6 +72,23 @@ class BlockDevice {
   void Read(uint64_t offset, uint64_t bytes, std::function<void()> done,
             SpanId parent = kNoSpan);
 
+  // Status-carrying variant: `done(status)` fires on the simulation clock with
+  // OkStatus() when the data is available, or with the injected failure when a
+  // fault injector is attached and fires. A failed request occupies a request
+  // slot and pays the fixed per-request latency but transfers no data. Without
+  // an attached injector this behaves exactly like the untyped overload.
+  void Read(uint64_t offset, uint64_t bytes, std::function<void(Status)> done,
+            SpanId parent = kNoSpan);
+
+  // Attaches deterministic fault injection. `device_ordinal` is the router's
+  // ordinal for this device (0 = local); it selects the injector's per-device
+  // decision stream and marks non-local devices as outage-prone. Null detaches;
+  // detached cost is one branch per read.
+  void set_fault_injector(FaultInjector* injector, uint32_t device_ordinal) {
+    injector_ = injector;
+    device_ordinal_ = device_ordinal;
+  }
+
   // Attaches tracing/metrics: every read records a disk-read span on the disk
   // lane (service interval, offset/bytes args) and updates request/byte counters
   // plus a queue-depth gauge. Null pointers detach; cost when detached is one
@@ -92,6 +112,9 @@ class BlockDevice {
   SimTime iops_busy_until_;
   SimTime bw_busy_until_;
   BlockDeviceStats stats_;
+
+  FaultInjector* injector_ = nullptr;
+  uint32_t device_ordinal_ = 0;
 
   SpanTracer* spans_ = nullptr;
   uint32_t disk_read_name_ = 0;  // pre-interned obsname::kDiskRead

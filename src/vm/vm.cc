@@ -10,6 +10,7 @@ struct Vm::RunState {
   bool compute_done = false;  // compute of ops[next_op] already performed
   SimTime started;
   PageRangeSet written;
+  Status status;
   std::function<void(InvocationResult)> done;
 };
 
@@ -30,7 +31,18 @@ void Vm::RunInvocation(const InvocationTrace& trace,
   for (int i = 0; i < vcpus_; ++i) {
     cpu_->AddRunnable();
   }
+  // Terminal restore failures (a read error that survived retries/failover)
+  // surface here instead of retiring the access; the invocation aborts with the
+  // typed status rather than hanging on a page that will never arrive.
+  engine_->set_failure_sink([this, state](const Status& status) { Abort(state, status); });
   Step(std::move(state));
+}
+
+void Vm::Abort(std::shared_ptr<RunState> state, const Status& status) {
+  FAASNAP_CHECK(running_);
+  FAASNAP_CHECK(!status.ok());
+  state->status = status;
+  Finish(std::move(state));
 }
 
 void Vm::Step(std::shared_ptr<RunState> state) {
@@ -78,10 +90,12 @@ void Vm::Finish(std::shared_ptr<RunState> state) {
     cpu_->RemoveRunnable();
   }
   running_ = false;
+  engine_->set_failure_sink(nullptr);
   InvocationResult result;
   result.elapsed = sim_->now() - state->started;
   result.written_pages = std::move(state->written);
   result.access_count = state->trace->ops.size();
+  result.status = std::move(state->status);
   state->done(result);
 }
 

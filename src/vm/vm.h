@@ -22,9 +22,12 @@ namespace faasnap {
 class Vm {
  public:
   struct InvocationResult {
-    Duration elapsed;             // wall-clock from start to completion
+    Duration elapsed;             // wall-clock from start to completion/abort
     PageRangeSet written_pages;   // pages the guest dirtied (snapshot builders)
     uint64_t access_count = 0;
+    // OK when the trace ran to completion; otherwise the terminal failure that
+    // aborted the invocation (e.g. a device read error that survived retries).
+    Status status;
   };
 
   // Fires after each access retires: (page, fault class). kNoFault accesses are
@@ -48,6 +51,9 @@ class Vm {
 
   void Step(std::shared_ptr<RunState> state);
   void Finish(std::shared_ptr<RunState> state);
+  // Terminates the invocation early with a non-OK status: releases the vCPUs
+  // and fires `done` with the error, so a failed restore never hangs the VM.
+  void Abort(std::shared_ptr<RunState> state, const Status& status);
 
   Simulation* sim_;
   FaultEngine* engine_;

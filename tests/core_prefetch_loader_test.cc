@@ -100,7 +100,7 @@ TEST_F(PrefetchLoaderTest, WaitersOnInFlightLoaderPagesAreWoken) {
   // While the read is in flight, a faulting VM can wait on it.
   EXPECT_EQ(cache_.GetState(kFile, 100), PageCache::PageState::kInFlight);
   bool woken = false;
-  cache_.WaitFor(kFile, 100, [&] { woken = true; });
+  cache_.WaitFor(kFile, 100, [&](const Status&) { woken = true; });
   sim_.Run();
   EXPECT_TRUE(woken);
 }

@@ -118,9 +118,10 @@ TEST_F(FaultEngineTest, SoftPresentPageTakesCheapPreinstalledFault) {
 class FakeUffdHandler : public UffdHandler {
  public:
   FakeUffdHandler(Simulation* sim, Duration delay) : sim_(sim), delay_(delay) {}
-  void HandleFault(PageIndex guest_page, std::function<void()> done) override {
+  void HandleFault(PageIndex guest_page,
+                   std::function<void(const Status&)> done) override {
     pages.push_back(guest_page);
-    sim_->ScheduleAfter(delay_, std::move(done));
+    sim_->ScheduleAfter(delay_, [done = std::move(done)] { done(OkStatus()); });
   }
   std::vector<PageIndex> pages;
 
@@ -166,8 +167,9 @@ TEST_F(FaultEngineTest, EnsureFilePagePresentIsImmediate) {
   cache_.Insert(kMemFile, PageRange{0, 10});
   bool called = false;
   engine_->EnsureFilePage(kMemFile, 5, /*charge_to_faults=*/false,
-                         [&](PageCache::PageState s) {
+                         [&](const Status& status, PageCache::PageState s) {
                            called = true;
+                           EXPECT_TRUE(status.ok());
                            EXPECT_EQ(s, PageCache::PageState::kPresent);
                          });
   EXPECT_TRUE(called);
@@ -176,7 +178,7 @@ TEST_F(FaultEngineTest, EnsureFilePagePresentIsImmediate) {
 TEST_F(FaultEngineTest, EnsureFilePageMissChargesOnlyWhenAsked) {
   bool done1 = false;
   engine_->EnsureFilePage(kMemFile, 0, /*charge_to_faults=*/false,
-                         [&](PageCache::PageState) { done1 = true; });
+                         [&](const Status&, PageCache::PageState) { done1 = true; });
   sim_.Run();
   EXPECT_TRUE(done1);
   EXPECT_EQ(engine_->metrics().fault_disk_requests, 0u);

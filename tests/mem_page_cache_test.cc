@@ -37,8 +37,8 @@ TEST(PageCache, WaitersFireOnCompletion) {
   PageCache cache;
   auto handle = cache.BeginRead(kFileA, PageRange{0, 4});
   int fired = 0;
-  cache.WaitFor(kFileA, 1, [&] { ++fired; });
-  cache.WaitFor(kFileA, 3, [&] { ++fired; });
+  cache.WaitFor(kFileA, 1, [&](const Status&) { ++fired; });
+  cache.WaitFor(kFileA, 3, [&](const Status&) { ++fired; });
   EXPECT_EQ(fired, 0);
   cache.CompleteRead(handle);
   EXPECT_EQ(fired, 2);
@@ -50,8 +50,8 @@ TEST(PageCache, IndependentReadsCompleteIndependently) {
   auto h2 = cache.BeginRead(kFileA, PageRange{10, 2});
   int fired1 = 0;
   int fired2 = 0;
-  cache.WaitFor(kFileA, 0, [&] { ++fired1; });
-  cache.WaitFor(kFileA, 11, [&] { ++fired2; });
+  cache.WaitFor(kFileA, 0, [&](const Status&) { ++fired1; });
+  cache.WaitFor(kFileA, 11, [&](const Status&) { ++fired2; });
   cache.CompleteRead(h2);
   EXPECT_EQ(fired1, 0);
   EXPECT_EQ(fired2, 1);
@@ -107,10 +107,76 @@ TEST(PageCache, DropFileIsScoped) {
   cache.DropFile(999);  // unknown file is a no-op
 }
 
+// Regression: waiters parked on an in-flight read must be woken when the
+// covering IO fails — with the failure, not OkStatus — and the pages must
+// revert to absent so a later access can retry the read. Before FailRead
+// existed, an IO error left waiters asleep forever (the chaos harness's
+// definition of a hang).
+TEST(PageCacheFailure, FailReadWakesWaitersWithTheErrorAndRevertsPages) {
+  PageCache cache;
+  auto handle = cache.BeginRead(kFileA, PageRange{0, 4});
+  int fired = 0;
+  Status seen;
+  cache.WaitFor(kFileA, 1, [&](const Status& status) {
+    ++fired;
+    seen = status;
+  });
+  cache.WaitFor(kFileA, 3, [&](const Status& status) {
+    ++fired;
+    EXPECT_FALSE(status.ok());
+  });
+  cache.FailRead(handle, IoError("injected device error"));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(seen.code(), StatusCode::kIoError);
+  for (PageIndex p = 0; p < 4; ++p) {
+    EXPECT_EQ(cache.GetState(kFileA, p), PageCache::PageState::kAbsent) << p;
+  }
+  EXPECT_EQ(cache.present_page_count(), 0u);
+}
+
+TEST(PageCacheFailure, FailureIsScopedToItsRead) {
+  PageCache cache;
+  auto failing = cache.BeginRead(kFileA, PageRange{0, 2});
+  auto healthy = cache.BeginRead(kFileA, PageRange{10, 2});
+  int healthy_fired = 0;
+  cache.WaitFor(kFileA, 10, [&](const Status& status) {
+    ++healthy_fired;
+    EXPECT_TRUE(status.ok());
+  });
+  cache.FailRead(failing, UnavailableError("remote outage"));
+  EXPECT_EQ(healthy_fired, 0);
+  EXPECT_EQ(cache.GetState(kFileA, 10), PageCache::PageState::kInFlight);
+  cache.CompleteRead(healthy);
+  EXPECT_EQ(healthy_fired, 1);
+  EXPECT_TRUE(cache.IsPresent(kFileA, 10));
+}
+
+TEST(PageCacheFailure, FailedRangeCanBeRetried) {
+  PageCache cache;
+  auto first = cache.BeginRead(kFileA, PageRange{0, 4});
+  cache.FailRead(first, IoError("transient"));
+  // The failed pages are absent again, so the retry is a fresh BeginRead.
+  auto retry = cache.BeginRead(kFileA, PageRange{0, 4});
+  int fired = 0;
+  cache.WaitFor(kFileA, 2, [&](const Status& status) {
+    ++fired;
+    EXPECT_TRUE(status.ok());
+  });
+  cache.CompleteRead(retry);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(cache.IsPresent(kFileA, 2));
+}
+
+TEST(PageCacheDeathTest, FailReadRequiresAnError) {
+  PageCache cache;
+  auto handle = cache.BeginRead(kFileA, PageRange{0, 1});
+  EXPECT_DEATH(cache.FailRead(handle, OkStatus()), "");
+}
+
 TEST(PageCacheDeathTest, WaitForNonInFlightAborts) {
   PageCache cache;
   cache.Insert(kFileA, PageRange{0, 1});
-  EXPECT_DEATH(cache.WaitFor(kFileA, 0, [] {}), "not in flight");
+  EXPECT_DEATH(cache.WaitFor(kFileA, 0, [](const Status&) {}), "not in flight");
 }
 
 TEST(PageCacheDeathTest, DropWithInFlightReadsAborts) {

@@ -51,7 +51,7 @@ TEST_P(PageCachePropertyTest, MatchesOracleUnderRandomOps) {
         // Sometimes register a waiter on an in-flight page.
         if (rng.NextBool(0.5)) {
           ++waiters_registered;
-          cache.WaitFor(file, r.first, [&] { ++waiters_fired; });
+          cache.WaitFor(file, r.first, [&](const Status&) { ++waiters_fired; });
         }
         pending.push_back(p);
       }

@@ -91,5 +91,102 @@ TEST(SnapshotSecurity, WipingBarelyAffectsPerformance) {
   EXPECT_NEAR(with_wipe.millis(), without_wipe.millis(), without_wipe.millis() * 0.02);
 }
 
+// Snapshot integrity (robustness): a corrupt or truncated artifact must be
+// rejected by checksum validation at load, and the platform must either degrade
+// to a restore path that does not need the bad file or fail with a typed
+// status — never restore from bad data.
+
+TEST(SnapshotIntegrity, ValidateAndOpenRejectTruncatedFiles) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+
+  ASSERT_TRUE(platform.store()->Validate(snapshot.loading_set.id).ok());
+  platform.store()->CorruptForTesting(snapshot.loading_set.id);  // as if truncated
+  Status validate = platform.store()->Validate(snapshot.loading_set.id);
+  EXPECT_EQ(validate.code(), StatusCode::kIoError);
+  EXPECT_NE(validate.message().find("checksum mismatch"), std::string::npos);
+
+  Result<FileId> open = platform.store()->Open("json.lset");
+  EXPECT_FALSE(open.ok());
+  EXPECT_EQ(open.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotIntegrity, CorruptLoadingSetDegradesFaasnapToOnDemandPaging) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.store()->CorruptForTesting(snapshot.loading_set.id);
+  platform.DropCaches();
+
+  InvocationReport report =
+      platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputB(*spec));
+  EXPECT_EQ(report.outcome, InvocationOutcome::kDegraded);
+  EXPECT_EQ(report.mode, "faasnap");  // reports carry the *requested* mode
+  EXPECT_EQ(report.degraded_mode, "firecracker");
+  EXPECT_EQ(report.OutcomeTag(), "degraded(firecracker)");
+  EXPECT_EQ(report.status.code(), StatusCode::kIoError);
+  // The invocation still completed correctly, on demand-paged vanilla memory.
+  EXPECT_GT(report.invocation_time, Duration::Zero());
+  EXPECT_GT(report.faults.major_faults(), 0);
+}
+
+TEST(SnapshotIntegrity, CorruptWorkingSetDegradesReapToOnDemandPaging) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.store()->CorruptForTesting(snapshot.reap_ws.id);
+  platform.DropCaches();
+
+  InvocationReport report =
+      platform.Invoke(snapshot, RestoreMode::kReap, generator, MakeInputB(*spec));
+  EXPECT_EQ(report.outcome, InvocationOutcome::kDegraded);
+  EXPECT_EQ(report.degraded_mode, "firecracker");
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_GT(report.invocation_time, Duration::Zero());
+}
+
+TEST(SnapshotIntegrity, CorruptSanitizedMemoryDegradesFaasnapToVanilla) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.store()->CorruptForTesting(snapshot.memory_sanitized.id);
+  platform.DropCaches();
+
+  InvocationReport report =
+      platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputB(*spec));
+  EXPECT_EQ(report.outcome, InvocationOutcome::kDegraded);
+  EXPECT_EQ(report.degraded_mode, "firecracker");
+  EXPECT_GT(report.invocation_time, Duration::Zero());
+}
+
+TEST(SnapshotIntegrity, CorruptVanillaMemoryFailsWithTypedStatus) {
+  Platform platform(SecureConfig());
+  Result<FunctionSpec> spec = FindFunction("json");
+  ASSERT_TRUE(spec.ok());
+  TraceGenerator generator(*spec, platform.config().layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.store()->CorruptForTesting(snapshot.memory_vanilla.id);
+  platform.DropCaches();
+
+  // Every fallback ultimately needs the vanilla memory file; with it corrupt
+  // there is nothing to degrade to and the invocation fails — typed, not a
+  // crash, and the function never runs.
+  InvocationReport report =
+      platform.Invoke(snapshot, RestoreMode::kFirecracker, generator, MakeInputB(*spec));
+  EXPECT_EQ(report.outcome, InvocationOutcome::kFailed);
+  EXPECT_EQ(report.status.code(), StatusCode::kIoError);
+  EXPECT_EQ(report.OutcomeTag(), "failed(IO_ERROR)");
+  EXPECT_EQ(report.invocation_time, Duration::Zero());
+}
+
 }  // namespace
 }  // namespace faasnap
