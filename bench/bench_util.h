@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/metrics/table.h"
 #include "src/obs/observability.h"
 #include "src/storage/device_profiles.h"

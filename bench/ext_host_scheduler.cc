@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/host_scheduler.h"
+#include "src/runtime/host_scheduler.h"
 
 namespace faasnap {
 namespace bench {

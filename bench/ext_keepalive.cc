@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/keepalive.h"
+#include "src/runtime/keepalive.h"
 
 namespace faasnap {
 namespace bench {

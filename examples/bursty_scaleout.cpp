@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 
 using namespace faasnap;
 

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/metrics/json_writer.h"
 #include "src/metrics/table.h"
 

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 
 using namespace faasnap;
 

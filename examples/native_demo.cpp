@@ -90,7 +90,7 @@ int main() {
   // Zero pages are served by the anonymous base layer.
   FAASNAP_CHECK(NativeSnapshotSession::ReadStampThroughMapping(**mapper_or, 9000) == 0);
   const double touch_ms = MsSince(restore_start) - map_ms;
-  session->JoinLoader();
+  FAASNAP_CHECK_OK(session->JoinLoader());
 
   std::printf("restore: %llu mmap calls in %.2f ms; %llu pages verified in %.2f ms\n",
               static_cast<unsigned long long>((*mapper_or)->mmap_call_count()), map_ms,

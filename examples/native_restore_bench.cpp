@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
         warm_ms = ms;
       }
       if (strategy == 2) {
-        session->JoinLoader();
+        FAASNAP_CHECK_OK(session->JoinLoader());
       }
     }
     const char* names[] = {"whole-file (memory file)", "per-region (no loader)",

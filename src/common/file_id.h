@@ -1,0 +1,21 @@
+// FileId: identifies a backing file (snapshot memory file, loading set file,
+// ...) across the storage and memory subsystems. Allocated by the
+// SnapshotStore; 0 is reserved as invalid.
+//
+// Lives in common/ because both the storage layer (placement, routing) and the
+// memory layer (page cache state) key on it; neither may include the other's
+// headers just for this typedef (see tools/lint/layers.json).
+
+#ifndef FAASNAP_SRC_COMMON_FILE_ID_H_
+#define FAASNAP_SRC_COMMON_FILE_ID_H_
+
+#include <cstdint>
+
+namespace faasnap {
+
+using FileId = uint32_t;
+inline constexpr FileId kInvalidFileId = 0;
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_COMMON_FILE_ID_H_

@@ -1,0 +1,77 @@
+// Annotated mutex primitives: std::mutex/std::condition_variable wrappers that
+// carry clang thread-safety capabilities (src/common/thread_annotations.h).
+//
+// The simulation core is single-threaded, but several structures are shared
+// with real OS threads (the native snapshot loader thread records spans and
+// publishes its completion status) and the discipline is enforced statically
+// for all of them: fields are FAASNAP_GUARDED_BY a Mutex, and the clang CI job
+// fails the build on any off-lock access. The uncontended fast path of
+// std::mutex (one atomic CAS) is far off every hot path that matters — the
+// fault-engine fast path never reaches a locked structure.
+
+#ifndef FAASNAP_SRC_COMMON_MUTEX_H_
+#define FAASNAP_SRC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace faasnap {
+
+// A std::mutex with capability annotations. Prefer MutexLock over manual
+// Lock/Unlock pairs.
+class FAASNAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FAASNAP_ACQUIRE() { mu_.lock(); }
+  void Unlock() FAASNAP_RELEASE() { mu_.unlock(); }
+  bool TryLock() FAASNAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For CondVar only; bypasses the analysis.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock holder, annotated so the analysis tracks its scope.
+class FAASNAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FAASNAP_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() FAASNAP_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable with Mutex. Wait releases and reacquires `mu`,
+// which the analysis cannot model, so callers keep the REQUIRES annotation on
+// their own scope and Wait itself is unchecked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) FAASNAP_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // caller still owns the mutex
+  }
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_COMMON_MUTEX_H_

@@ -37,8 +37,12 @@ enum class StatusCode : int {
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
 std::string_view StatusCodeName(StatusCode code);
 
-// A cheap value type carrying success or (code, message).
-class Status {
+// A cheap value type carrying success or (code, message). [[nodiscard]] on the
+// type: every function returning Status inherits must-use semantics, so a
+// silently dropped error is a compile error under -Werror. Intentional drops
+// must be spelled `(void)expr;  // reason` (and faasnap_lint checks for the
+// comment).
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,70 @@
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// Under clang these expand to the attributes consumed by the static analysis
+// described in https://clang.llvm.org/docs/ThreadSafetyAnalysis.html; every
+// other compiler sees empty macros. The project builds with
+// -Wthread-safety -Werror on the clang CI job, so an off-lock access to a
+// FAASNAP_GUARDED_BY field is a build error, not a TSan coin flip.
+//
+// Conventions:
+//  * Mutex-protected fields carry FAASNAP_GUARDED_BY(mu_).
+//  * Private helpers called with the lock held are annotated
+//    FAASNAP_REQUIRES(mu_) instead of re-locking.
+//  * Methods that must NOT be called with the lock held (because they invoke
+//    user callbacks) are annotated FAASNAP_EXCLUDES(mu_).
+
+#ifndef FAASNAP_SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define FAASNAP_SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FAASNAP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FAASNAP_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Class attribute: the type is a lockable capability ("mutex").
+#define FAASNAP_CAPABILITY(x) FAASNAP_THREAD_ANNOTATION(capability(x))
+
+// Class attribute: RAII object that acquires on construction / releases on
+// destruction (MutexLock).
+#define FAASNAP_SCOPED_CAPABILITY FAASNAP_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members protected by a mutex (or by a mutex reached through a pointer).
+#define FAASNAP_GUARDED_BY(x) FAASNAP_THREAD_ANNOTATION(guarded_by(x))
+#define FAASNAP_PT_GUARDED_BY(x) FAASNAP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes: caller must hold / must not hold the given capability.
+#define FAASNAP_REQUIRES(...) \
+  FAASNAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FAASNAP_REQUIRES_SHARED(...) \
+  FAASNAP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define FAASNAP_EXCLUDES(...) FAASNAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function attributes: the function acquires / releases the capability.
+#define FAASNAP_ACQUIRE(...) \
+  FAASNAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FAASNAP_ACQUIRE_SHARED(...) \
+  FAASNAP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FAASNAP_RELEASE(...) \
+  FAASNAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FAASNAP_RELEASE_SHARED(...) \
+  FAASNAP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define FAASNAP_TRY_ACQUIRE(...) \
+  FAASNAP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Lock-ordering declarations.
+#define FAASNAP_ACQUIRED_BEFORE(...) \
+  FAASNAP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FAASNAP_ACQUIRED_AFTER(...) \
+  FAASNAP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Returns a reference to the capability guarding the returned data.
+#define FAASNAP_RETURN_CAPABILITY(x) FAASNAP_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: the function is deliberately unchecked. Every use must carry a
+// comment justifying why the analysis cannot see the invariant (enforced by
+// faasnap_lint rule FS-VOIDCAST's sibling review convention).
+#define FAASNAP_NO_THREAD_SAFETY_ANALYSIS \
+  FAASNAP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // FAASNAP_SRC_COMMON_THREAD_ANNOTATIONS_H_

@@ -32,8 +32,11 @@ void PrefetchLoader::set_observability(SpanTracer* spans, MetricsRegistry* metri
 }
 
 void PrefetchLoader::Start(std::vector<PrefetchItem> items, std::function<void()> done) {
-  FAASNAP_CHECK(!started_);
-  started_ = true;
+  {
+    MutexLock lock(mu_);
+    FAASNAP_CHECK(!started_);
+    started_ = true;
+  }
   start_time_ = sim_->now();
   done_ = std::move(done);
   if (spans_ != nullptr) {
@@ -71,14 +74,28 @@ void PrefetchLoader::Pump() {
     }
     IssueChunk(chunk);
   }
-  if (in_flight_ == 0 && chunks_.empty() && !finished_) {
-    finished_ = true;
-    fetch_time_ = sim_->now() - start_time_;
+  if (in_flight_ == 0 && chunks_.empty()) {
+    uint64_t fetched = 0;
+    uint64_t skipped = 0;
+    bool just_finished = false;
+    {
+      MutexLock lock(mu_);
+      if (!finished_) {
+        finished_ = true;
+        fetch_time_ = sim_->now() - start_time_;
+        fetched = fetched_bytes_;
+        skipped = skipped_pages_;
+        just_finished = true;
+      }
+    }
+    if (!just_finished) {
+      return;
+    }
     if (spans_ != nullptr) {
-      spans_->End(run_span_, sim_->now(), fetched_bytes_);
+      spans_->End(run_span_, sim_->now(), fetched);
     }
     if (skipped_pages_metric_ != nullptr) {
-      skipped_pages_metric_->Add(static_cast<int64_t>(skipped_pages_));
+      skipped_pages_metric_->Add(static_cast<int64_t>(skipped));
     }
     if (done_) {
       // Move out first: done_ may destroy this loader.
@@ -91,14 +108,20 @@ void PrefetchLoader::Pump() {
 void PrefetchLoader::IssueChunk(const PrefetchItem& chunk) {
   // Skip pages someone else already cached or is reading; read the rest.
   const PageRangeSet missing = cache_->AbsentIn(chunk.file, chunk.range);
-  skipped_pages_ += chunk.range.count - missing.page_count();
+  {
+    MutexLock lock(mu_);
+    skipped_pages_ += chunk.range.count - missing.page_count();
+  }
   for (const PageRange& r : missing.ranges()) {
     const PageCache::ReadHandle handle = cache_->BeginRead(chunk.file, r);
     const SpanId chunk_span =
         spans_ != nullptr ? spans_->BeginId(sim_->now(), ObsLane::kLoader, loader_chunk_name_,
                                             r.first, r.count, run_span_)
                           : kNoSpan;
-    fetched_bytes_ += PagesToBytes(r.count);
+    {
+      MutexLock lock(mu_);
+      fetched_bytes_ += PagesToBytes(r.count);
+    }
     if (fetched_bytes_metric_ != nullptr) {
       fetched_bytes_metric_->Add(static_cast<int64_t>(PagesToBytes(r.count)));
       chunks_metric_->Add(1);
@@ -114,6 +137,7 @@ void PrefetchLoader::IssueChunk(const PrefetchItem& chunk) {
             // with the error), record it, and keep the pipeline draining — the
             // loader must finish even when chunks fail.
             cache_->FailRead(handle, read_status);
+            MutexLock lock(mu_);
             failed_pages_ += pages;
             fetched_bytes_ -= PagesToBytes(pages);
             if (status_.ok()) {

@@ -19,11 +19,13 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/page_range.h"
 #include "src/common/sim_time.h"
+#include "src/common/thread_annotations.h"
 #include "src/mem/page_cache.h"
 #include "src/sim/simulation.h"
-#include "src/common/tracer.h"
+#include "src/obs/legacy_tracer.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/span_tracer.h"
 #include "src/storage/storage_router.h"
@@ -75,22 +77,46 @@ class PrefetchLoader {
   // hanging the loader. Null detaches; detached cost is one branch per chunk.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
-  bool started() const { return started_; }
-  bool finished() const { return finished_; }
+  // Progress surface, readable from any thread (guarded by mu_). The loader is
+  // *driven* from the simulation thread only; these accessors exist so a
+  // monitor off that thread can poll progress safely.
+  bool started() const FAASNAP_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return started_;
+  }
+  bool finished() const FAASNAP_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return finished_;
+  }
   // Wall-clock from Start to completion (valid once finished).
-  Duration fetch_time() const { return fetch_time_; }
+  Duration fetch_time() const FAASNAP_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return fetch_time_;
+  }
   // Bytes this loader actually read from the device.
-  uint64_t fetched_bytes() const { return fetched_bytes_; }
+  uint64_t fetched_bytes() const FAASNAP_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return fetched_bytes_;
+  }
   // Pages skipped because another actor already cached or was reading them.
-  uint64_t skipped_pages() const { return skipped_pages_; }
+  uint64_t skipped_pages() const FAASNAP_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return skipped_pages_;
+  }
 
   // Partial-prefetch failure surface: OK when every issued read succeeded;
   // otherwise the first terminal read error. The loader still runs to
   // completion (done fires) — the pages are simply not cached, and the guest
   // will demand-fault them later. Valid once finished.
-  const Status& status() const { return status_; }
+  Status status() const FAASNAP_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return status_;
+  }
   // Pages whose covering reads failed (left absent, not installed).
-  uint64_t failed_pages() const { return failed_pages_; }
+  uint64_t failed_pages() const FAASNAP_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return failed_pages_;
+  }
 
  private:
   void Pump();
@@ -102,18 +128,22 @@ class PrefetchLoader {
   StorageRouter* storage_;
   PrefetchConfig config_;
 
+  // Pipeline-driving state: confined to the simulation thread (mutated only
+  // from Start and simulation callbacks), so it carries no guard.
   std::deque<PrefetchItem> chunks_;  // pre-split work queue
   int in_flight_ = 0;
-  bool started_ = false;
-  bool finished_ = false;
   SimTime start_time_;
-  Duration fetch_time_;
-  uint64_t fetched_bytes_ = 0;
-  uint64_t skipped_pages_ = 0;
-  uint64_t failed_pages_ = 0;
-  Status status_;
   FaultInjector* injector_ = nullptr;
   std::function<void()> done_;
+
+  mutable Mutex mu_;
+  bool started_ FAASNAP_GUARDED_BY(mu_) = false;
+  bool finished_ FAASNAP_GUARDED_BY(mu_) = false;
+  Duration fetch_time_ FAASNAP_GUARDED_BY(mu_);
+  uint64_t fetched_bytes_ FAASNAP_GUARDED_BY(mu_) = 0;
+  uint64_t skipped_pages_ FAASNAP_GUARDED_BY(mu_) = 0;
+  uint64_t failed_pages_ FAASNAP_GUARDED_BY(mu_) = 0;
+  Status status_ FAASNAP_GUARDED_BY(mu_);
 
   SpanTracer* spans_ = nullptr;
   uint32_t loader_name_ = 0;        // pre-interned obsname::kLoader

@@ -4,7 +4,7 @@
 #include <fstream>
 #include <memory>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/metrics/json_writer.h"
 #include "src/metrics/table.h"
 #include "src/obs/observability.h"

@@ -94,7 +94,7 @@ void FaultEngine::FinishFault(PageIndex page, FaultClass cls, SimTime fault_star
 }
 
 void FaultEngine::FailAccess(PageIndex page, SpanId fault_span, const Status& status) {
-  (void)page;
+  (void)page;  // the span (keyed by fault_span) already identifies the page
   if (spans_ != nullptr) {
     spans_->End(fault_span, sim_->now(), static_cast<uint64_t>(status.code()));
   }

@@ -21,7 +21,7 @@
 #include "src/mem/fault_metrics.h"
 #include "src/mem/page_cache.h"
 #include "src/mem/readahead.h"
-#include "src/common/tracer.h"
+#include "src/obs/legacy_tracer.h"
 #include "src/obs/span_tracer.h"
 #include "src/sim/simulation.h"
 #include "src/storage/storage_router.h"

@@ -1,6 +1,8 @@
 #include "src/mem/page_cache.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace faasnap {
 
@@ -24,6 +26,7 @@ std::map<PageIndex, PageCache::InFlightSpan>::const_iterator PageCache::FirstSpa
 }
 
 PageCache::PageState PageCache::GetState(FileId file, PageIndex page) const {
+  MutexLock lock(mu_);
   const FileState* fs = FindFile(file);
   if (fs == nullptr) {
     return PageState::kAbsent;
@@ -41,6 +44,7 @@ PageCache::PageState PageCache::GetState(FileId file, PageIndex page) const {
 PageCache::ReadHandle PageCache::BeginRead(FileId file, PageRange range) {
   FAASNAP_CHECK(file != kInvalidFileId);
   FAASNAP_CHECK(!range.empty());
+  MutexLock lock(mu_);
   const ReadHandle handle = next_handle_++;
   FileState& fs = files_[file];
   // The disjointness invariant the interval index relies on: callers only read
@@ -67,32 +71,45 @@ PageCache::InFlightRead PageCache::TakeRead(ReadHandle handle) {
 }
 
 void PageCache::CompleteRead(ReadHandle handle) {
-  InFlightRead read = TakeRead(handle);
-  FileState& fs = files_[read.file];
-  const uint64_t before = fs.present.page_count();
-  fs.present.Add(read.range);
-  NotePresentDelta(fs.present.page_count() - before);
+  std::vector<Waiter> waiters;
+  {
+    MutexLock lock(mu_);
+    InFlightRead read = TakeRead(handle);
+    FileState& fs = files_[read.file];
+    const uint64_t before = fs.present.page_count();
+    fs.present.Add(read.range);
+    NotePresentDelta(fs.present.page_count() - before);
+    waiters = std::move(read.waiters);
+  }
+  // Waiters run unlocked: a woken faulter may re-enter the cache immediately.
   const Status ok = OkStatus();
-  for (Waiter& waiter : read.waiters) {
+  for (Waiter& waiter : waiters) {
     waiter(ok);
   }
 }
 
 void PageCache::FailRead(ReadHandle handle, const Status& status) {
   FAASNAP_CHECK(!status.ok());
-  InFlightRead read = TakeRead(handle);
-  if (metrics_ != nullptr) {
-    if (failed_reads_ == nullptr) {
-      failed_reads_ = metrics_->GetCounter("page_cache.failed_reads");
+  std::vector<Waiter> waiters;
+  {
+    MutexLock lock(mu_);
+    InFlightRead read = TakeRead(handle);
+    if (metrics_ != nullptr) {
+      if (failed_reads_ == nullptr) {
+        failed_reads_ = metrics_->GetCounter("page_cache.failed_reads");
+      }
+      failed_reads_->Add(1);
     }
-    failed_reads_->Add(1);
+    waiters = std::move(read.waiters);
   }
-  for (Waiter& waiter : read.waiters) {
+  // Waiters run unlocked (see CompleteRead).
+  for (Waiter& waiter : waiters) {
     waiter(status);
   }
 }
 
 void PageCache::WaitFor(FileId file, PageIndex page, Waiter done) {
+  MutexLock lock(mu_);
   FileState& fs = files_[file];
   auto it = FirstSpanEndingAfter(fs, page);
   if (it != fs.in_flight.end() && it->first <= page) {
@@ -108,6 +125,7 @@ void PageCache::WaitFor(FileId file, PageIndex page, Waiter done) {
 
 void PageCache::Insert(FileId file, PageRange range) {
   FAASNAP_CHECK(file != kInvalidFileId);
+  MutexLock lock(mu_);
   FileState& fs = files_[file];
   const uint64_t before = fs.present.page_count();
   fs.present.Add(range);
@@ -123,6 +141,7 @@ PageRangeSet PageCache::AbsentIn(FileId file, PageRange range) const {
   if (range.empty()) {
     return out;
   }
+  MutexLock lock(mu_);
   const FileState* fs = FindFile(file);
   if (fs == nullptr) {
     out.Add(range);
@@ -170,17 +189,20 @@ PageRangeSet PageCache::AbsentIn(FileId file, PageRange range) const {
 }
 
 PageRangeSet PageCache::PresentPages(FileId file) const {
+  MutexLock lock(mu_);
   const FileState* fs = FindFile(file);
   return fs == nullptr ? PageRangeSet() : fs->present;
 }
 
 void PageCache::DropAll() {
+  MutexLock lock(mu_);
   FAASNAP_CHECK(reads_.empty() && "DropAll with reads in flight");
   files_.clear();
   NotePresentDelta(-static_cast<int64_t>(present_total_));
 }
 
 void PageCache::DropFile(FileId file) {
+  MutexLock lock(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return;
@@ -191,6 +213,7 @@ void PageCache::DropFile(FileId file) {
 }
 
 uint64_t PageCache::present_page_count() const {
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [file, fs] : files_) {
     total += fs.present.page_count();
@@ -206,6 +229,7 @@ void PageCache::NotePresentDelta(int64_t delta) {
 }
 
 void PageCache::set_observability(MetricsRegistry* metrics) {
+  MutexLock lock(mu_);
   metrics_ = metrics;
   failed_reads_ = nullptr;  // re-resolved lazily on the first failure
   if (metrics == nullptr) {

@@ -13,6 +13,11 @@
 // The cache is passive with respect to IO: callers (FaultEngine, the FaaSnap
 // loader, REAP's fetcher) issue device reads themselves and bracket them with
 // BeginRead/CompleteRead so concurrent actors coordinate through cache state.
+//
+// Thread safety: all state (present sets, the in-flight interval index, waiter
+// lists) is guarded by one mutex; waiters are always invoked with the lock
+// released, so a woken waiter may immediately re-enter the cache (BeginRead a
+// retry, WaitFor another page) without deadlocking.
 
 #ifndef FAASNAP_SRC_MEM_PAGE_CACHE_H_
 #define FAASNAP_SRC_MEM_PAGE_CACHE_H_
@@ -22,17 +27,15 @@
 #include <map>
 #include <vector>
 
+#include "src/common/file_id.h"
+#include "src/common/mutex.h"
 #include "src/common/page_range.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics_registry.h"
 #include "src/sim/simulation.h"
 
 namespace faasnap {
-
-// Identifies a backing file (snapshot memory file, loading set file, ...).
-// Allocated by the SnapshotStore; 0 is reserved as invalid.
-using FileId = uint32_t;
-inline constexpr FileId kInvalidFileId = 0;
 
 class PageCache {
  public:
@@ -45,55 +48,55 @@ class PageCache {
   PageCache(const PageCache&) = delete;
   PageCache& operator=(const PageCache&) = delete;
 
-  PageState GetState(FileId file, PageIndex page) const;
+  PageState GetState(FileId file, PageIndex page) const FAASNAP_EXCLUDES(mu_);
   bool IsPresent(FileId file, PageIndex page) const {
     return GetState(file, page) == PageState::kPresent;
   }
 
   // Marks `range` of `file` as in flight. The caller must later call CompleteRead
   // with the returned handle (typically from the device-completion callback).
-  ReadHandle BeginRead(FileId file, PageRange range);
+  ReadHandle BeginRead(FileId file, PageRange range) FAASNAP_EXCLUDES(mu_);
 
   // Installs the read's pages as present and wakes all waiters registered on
-  // them with OkStatus().
-  void CompleteRead(ReadHandle handle);
+  // them with OkStatus(). Waiters run with the lock released.
+  void CompleteRead(ReadHandle handle) FAASNAP_EXCLUDES(mu_);
 
   // Retires a failed read: the pages are NOT installed (they return to kAbsent,
   // so a later access may retry the IO) and all waiters are woken with
   // `status`, which must be non-OK. Waiters left unnotified would sleep
   // forever — every BeginRead must end in CompleteRead or FailRead.
-  void FailRead(ReadHandle handle, const Status& status);
+  void FailRead(ReadHandle handle, const Status& status) FAASNAP_EXCLUDES(mu_);
 
   // Waiter callback: receives OkStatus() when the page became present, or the
   // read's failure when the covering IO failed (page still absent).
   using Waiter = std::function<void(const Status&)>;
 
   // Registers `done` to run when `page` (which must be kInFlight) settles.
-  void WaitFor(FileId file, PageIndex page, Waiter done);
+  void WaitFor(FileId file, PageIndex page, Waiter done) FAASNAP_EXCLUDES(mu_);
 
   // Directly installs pages as present (snapshot preload for the Cached baseline,
   // pages written by the VMM, etc.).
-  void Insert(FileId file, PageRange range);
+  void Insert(FileId file, PageRange range) FAASNAP_EXCLUDES(mu_);
 
   // Subset of `range` that is absent (not present and not in flight). This is what
   // a prefetcher still needs to read.
-  PageRangeSet AbsentIn(FileId file, PageRange range) const;
+  PageRangeSet AbsentIn(FileId file, PageRange range) const FAASNAP_EXCLUDES(mu_);
 
   // All present pages of `file` — the model's mincore(2) over a mapped file.
-  PageRangeSet PresentPages(FileId file) const;
+  PageRangeSet PresentPages(FileId file) const FAASNAP_EXCLUDES(mu_);
 
   // echo 3 > /proc/sys/vm/drop_caches between experiments (section 6.1).
   // Requires no reads in flight.
-  void DropAll();
-  void DropFile(FileId file);
+  void DropAll() FAASNAP_EXCLUDES(mu_);
+  void DropFile(FileId file) FAASNAP_EXCLUDES(mu_);
 
   // Total pages cached across all files (page-cache memory footprint, section 7.3).
-  uint64_t present_page_count() const;
+  uint64_t present_page_count() const FAASNAP_EXCLUDES(mu_);
 
   // Attaches metrics: pages read into / inserted into the cache, reads begun,
   // waiters registered, and a footprint gauge. Null detaches; detached cost is
   // one branch per operation.
-  void set_observability(MetricsRegistry* metrics);
+  void set_observability(MetricsRegistry* metrics) FAASNAP_EXCLUDES(mu_);
 
  private:
   struct InFlightRead {
@@ -103,7 +106,7 @@ class PageCache {
   };
 
   // Shared tail of CompleteRead/FailRead: unlinks the read and returns it.
-  InFlightRead TakeRead(ReadHandle handle);
+  InFlightRead TakeRead(ReadHandle handle) FAASNAP_REQUIRES(mu_);
 
   // One outstanding read's interval, indexed by its start page in
   // FileState::in_flight. In-flight intervals of one file are pairwise disjoint
@@ -119,29 +122,30 @@ class PageCache {
     std::map<PageIndex, InFlightSpan> in_flight;  // key: range.first
   };
 
-  const FileState* FindFile(FileId file) const;
+  const FileState* FindFile(FileId file) const FAASNAP_REQUIRES(mu_);
 
   // Adjusts the running footprint count (and gauge, when attached).
-  void NotePresentDelta(int64_t delta);
+  void NotePresentDelta(int64_t delta) FAASNAP_REQUIRES(mu_);
 
   // Iterator to the first in-flight span of `fs` with end > page, or end().
   static std::map<PageIndex, InFlightSpan>::const_iterator FirstSpanEndingAfter(
       const FileState& fs, PageIndex page);
 
-  std::map<FileId, FileState> files_;
-  std::map<ReadHandle, InFlightRead> reads_;
-  ReadHandle next_handle_ = 1;
+  mutable Mutex mu_;
+  std::map<FileId, FileState> files_ FAASNAP_GUARDED_BY(mu_);
+  std::map<ReadHandle, InFlightRead> reads_ FAASNAP_GUARDED_BY(mu_);
+  ReadHandle next_handle_ FAASNAP_GUARDED_BY(mu_) = 1;
 
-  Counter* reads_begun_ = nullptr;
-  Counter* read_pages_ = nullptr;
-  Counter* inserted_pages_ = nullptr;
-  Counter* waiters_ = nullptr;
+  Counter* reads_begun_ FAASNAP_GUARDED_BY(mu_) = nullptr;
+  Counter* read_pages_ FAASNAP_GUARDED_BY(mu_) = nullptr;
+  Counter* inserted_pages_ FAASNAP_GUARDED_BY(mu_) = nullptr;
+  Counter* waiters_ FAASNAP_GUARDED_BY(mu_) = nullptr;
   // Registered lazily on the first failure (reads only fail under fault
   // injection), so fault-free runs keep a bit-identical metrics snapshot.
-  Counter* failed_reads_ = nullptr;
-  MetricsRegistry* metrics_ = nullptr;
-  Gauge* present_pages_gauge_ = nullptr;
-  uint64_t present_total_ = 0;  // running count backing the gauge
+  Counter* failed_reads_ FAASNAP_GUARDED_BY(mu_) = nullptr;
+  MetricsRegistry* metrics_ FAASNAP_GUARDED_BY(mu_) = nullptr;
+  Gauge* present_pages_gauge_ FAASNAP_GUARDED_BY(mu_) = nullptr;
+  uint64_t present_total_ FAASNAP_GUARDED_BY(mu_) = 0;  // running count backing the gauge
 };
 
 }  // namespace faasnap

@@ -168,34 +168,45 @@ Result<std::unique_ptr<NativeRegionMapper>> NativeSnapshotSession::RestorePerReg
 
 void NativeSnapshotSession::StartLoader() {
   FAASNAP_CHECK(!loader_.joinable());
-  // SpanTracer is single-threaded: record the begin here and the end at
-  // JoinLoader, both from the calling thread.
-  loader_span_ = spans_ != nullptr
-                     ? spans_->Begin(ObsNow(), ObsLane::kNative, obsname::kLoader,
-                                     loading_file_.pages())
-                     : kNoSpan;
+  {
+    MutexLock lock(loader_mu_);
+    loader_status_ = OkStatus();
+    loader_pages_read_ = 0;
+  }
   loader_ = std::thread([this] {
     // Sequential pread of the whole loading set file: populates the page cache in
-    // (group, address) order, exactly like the daemon loader.
+    // (group, address) order, exactly like the daemon loader. The SpanTracer is
+    // thread-safe, so this thread records its own span on the native lane.
+    const SimTime begin = ObsNow();
     std::vector<uint8_t> buf(64 * kPageSize);
     const uint64_t total = loading_file_.pages();
-    for (uint64_t p = 0; p < total; p += 64) {
+    Status status = OkStatus();
+    uint64_t read = 0;
+    for (uint64_t p = 0; p < total && status.ok(); p += 64) {
       const uint64_t n = std::min<uint64_t>(64, total - p);
-      if (!loading_file_.ReadPages(p, n, buf.data()).ok()) {
-        return;
+      status = loading_file_.ReadPages(p, n, buf.data());
+      if (status.ok()) {
+        read += n;
       }
+    }
+    {
+      MutexLock lock(loader_mu_);
+      loader_status_ = status;
+      loader_pages_read_ = read;
+    }
+    if (spans_ != nullptr) {
+      spans_->Complete(begin, ObsNow(), ObsLane::kNative, obsname::kLoader, total, read);
     }
   });
 }
 
-void NativeSnapshotSession::JoinLoader() {
-  if (loader_.joinable()) {
-    loader_.join();
-    if (spans_ != nullptr) {
-      spans_->End(loader_span_, ObsNow());
-      loader_span_ = kNoSpan;
-    }
+Status NativeSnapshotSession::JoinLoader() {
+  if (!loader_.joinable()) {
+    return OkStatus();
   }
+  loader_.join();
+  MutexLock lock(loader_mu_);
+  return loader_status_;
 }
 
 uint64_t NativeSnapshotSession::ReadStampThroughMapping(const NativeRegionMapper& mapper,

@@ -26,8 +26,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/page_range.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/native/mapped_file.h"
 #include "src/native/region_mapper.h"
 #include "src/obs/span_tracer.h"
@@ -64,9 +66,12 @@ class NativeSnapshotSession {
   Result<std::unique_ptr<NativeRegionMapper>> RestorePerRegion(const LoadingSetFile& loading);
 
   // Starts a loader thread that sequentially preads the loading set file to
-  // populate the page cache; Join() waits for it.
-  void StartLoader();
-  void JoinLoader();
+  // populate the page cache. JoinLoader waits for it and returns the loader's
+  // terminal status: OK when the whole loading set was read, the first pread
+  // error otherwise (the restore is then running without its prefetched
+  // pages — degraded, not broken, but the caller must know).
+  void StartLoader() FAASNAP_EXCLUDES(loader_mu_);
+  [[nodiscard]] Status JoinLoader() FAASNAP_EXCLUDES(loader_mu_);
 
   // Reads the stamp of guest `page` through `mapper` (faulting as needed).
   static uint64_t ReadStampThroughMapping(const NativeRegionMapper& mapper, PageIndex page);
@@ -75,8 +80,8 @@ class NativeSnapshotSession {
   void DropCaches();
 
   // Attaches span tracing on the native lane; phase timestamps come from the
-  // host's steady clock (nanoseconds since attach). Spans are recorded from the
-  // calling thread only, so the loader thread's span closes at JoinLoader.
+  // host's steady clock (nanoseconds since attach). The SpanTracer is
+  // thread-safe, so the loader thread records its own span.
   void set_observability(SpanTracer* spans);
 
   const PageRangeSet& nonzero() const { return nonzero_; }
@@ -90,7 +95,6 @@ class NativeSnapshotSession {
   SimTime ObsNow() const;
 
   SpanTracer* spans_ = nullptr;
-  SpanId loader_span_ = kNoSpan;
   std::chrono::steady_clock::time_point obs_base_;
 
   Config config_;
@@ -98,7 +102,12 @@ class NativeSnapshotSession {
   NativeFile memory_file_;
   NativeFile loading_file_;
   std::string manifest_path_;
+
+  // Loader-thread state shared between the loader and the joining thread.
   std::thread loader_;
+  Mutex loader_mu_;
+  Status loader_status_ FAASNAP_GUARDED_BY(loader_mu_);
+  uint64_t loader_pages_read_ FAASNAP_GUARDED_BY(loader_mu_) = 0;
 };
 
 }  // namespace faasnap

@@ -25,15 +25,18 @@ MetricsRegistry::Entry* MetricsRegistry::Resolve(const std::string& name, Metric
   std::sort(labels.begin(), labels.end());
   labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
   const std::string key = SeriesKey(name, labels);
+  MutexLock lock(mu_);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     FAASNAP_CHECK(it->second->kind == kind && "metric re-registered with a different type");
     return it->second;
   }
-  entries_.push_back(Entry{name, std::move(labels), kind, {}, {}, nullptr});
-  Entry* entry = &entries_.back();
-  by_key_[key] = entry;
-  return entry;
+  Entry& entry = entries_.emplace_back();  // Counter/Gauge atomics: not movable
+  entry.name = name;
+  entry.labels = std::move(labels);
+  entry.kind = kind;
+  by_key_[key] = &entry;
+  return &entry;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name, MetricLabels labels) {
@@ -47,13 +50,20 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
 Log2Histogram* MetricsRegistry::GetHistogram(const std::string& name, MetricLabels labels,
                                              int64_t lower_ns, int num_buckets) {
   Entry* entry = Resolve(name, std::move(labels), Kind::kHistogram);
+  MutexLock lock(mu_);
   if (entry->histogram == nullptr) {
     entry->histogram = std::make_unique<Log2Histogram>(lower_ns, num_buckets);
   }
   return entry->histogram.get();
 }
 
+size_t MetricsRegistry::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
 std::string MetricsRegistry::ToJson() const {
+  MutexLock lock(mu_);
   std::vector<const Entry*> sorted;
   sorted.reserve(entries_.size());
   for (const Entry& entry : entries_) {

@@ -10,10 +10,18 @@
 // pays one branch per would-be update. (name, labels) identifies an instrument:
 // the same pair always returns the same pointer, different label sets on one
 // name are distinct time series.
+//
+// Thread safety: registration (GetCounter/GetGauge/GetHistogram) and snapshots
+// (ToJson/size) are mutex-protected; Counter and Gauge updates are relaxed
+// atomics, so any thread may bump an instrument it resolved earlier.
+// Log2Histogram series are the exception: Record is not atomic, so a histogram
+// instrument must only ever be updated from the actor that registered it (the
+// simulation thread today; enforced by review, flagged by the TSan CI job).
 
 #ifndef FAASNAP_SRC_OBS_METRICS_REGISTRY_H_
 #define FAASNAP_SRC_OBS_METRICS_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -23,6 +31,8 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace faasnap {
 
@@ -30,20 +40,25 @@ namespace faasnap {
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 struct Counter {
-  int64_t value = 0;
-  void Add(int64_t delta = 1) { value += delta; }
+  std::atomic<int64_t> value{0};
+  void Add(int64_t delta = 1) { value.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Get() const { return value.load(std::memory_order_relaxed); }
 };
 
 struct Gauge {
-  double value = 0;
-  double max_value = 0;
+  std::atomic<double> value{0};
+  std::atomic<double> max_value{0};
   void Set(double v) {
-    value = v;
-    if (v > max_value) {
-      max_value = v;
+    value.store(v, std::memory_order_relaxed);
+    // Racy max across concurrent Sets resolves via CAS: the largest write wins.
+    double seen = max_value.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_value.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
     }
   }
-  void Add(double delta) { Set(value + delta); }
+  void Add(double delta) { Set(value.load(std::memory_order_relaxed) + delta); }
+  double Get() const { return value.load(std::memory_order_relaxed); }
+  double GetMax() const { return max_value.load(std::memory_order_relaxed); }
 };
 
 class MetricsRegistry {
@@ -53,17 +68,20 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   // Pointers are stable for the registry's lifetime.
-  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
-  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {})
+      FAASNAP_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {}) FAASNAP_EXCLUDES(mu_);
   // `lower_ns`/`num_buckets` apply only on first creation of the series.
   Log2Histogram* GetHistogram(const std::string& name, MetricLabels labels = {},
-                              int64_t lower_ns = 500, int num_buckets = 11);
+                              int64_t lower_ns = 500, int num_buckets = 11)
+      FAASNAP_EXCLUDES(mu_);
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const FAASNAP_EXCLUDES(mu_);
 
   // Full snapshot: {"metrics":[{"name":...,"labels":{...},"type":...,...}]},
-  // sorted by (name, labels) so documents diff cleanly across runs.
-  std::string ToJson() const;
+  // sorted by (name, labels) so documents diff cleanly across runs. Histogram
+  // series are read unlocked (see the class comment's thread-safety caveat).
+  std::string ToJson() const FAASNAP_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -71,17 +89,20 @@ class MetricsRegistry {
   struct Entry {
     std::string name;
     MetricLabels labels;
-    Kind kind;
+    Kind kind = Kind::kCounter;
     Counter counter;
     Gauge gauge;
     std::unique_ptr<Log2Histogram> histogram;
   };
 
-  Entry* Resolve(const std::string& name, MetricLabels labels, Kind kind);
+  Entry* Resolve(const std::string& name, MetricLabels labels, Kind kind)
+      FAASNAP_EXCLUDES(mu_);
   static std::string SeriesKey(const std::string& name, const MetricLabels& labels);
 
-  std::deque<Entry> entries_;  // deque: stable addresses as the registry grows
-  std::map<std::string, Entry*> by_key_;
+  mutable Mutex mu_;
+  // deque: stable addresses as the registry grows.
+  std::deque<Entry> entries_ FAASNAP_GUARDED_BY(mu_);
+  std::map<std::string, Entry*> by_key_ FAASNAP_GUARDED_BY(mu_);
 };
 
 }  // namespace faasnap

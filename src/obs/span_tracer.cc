@@ -24,20 +24,25 @@ std::string_view ObsLaneName(ObsLane lane) {
   return "unknown";
 }
 
-uint32_t SpanTracer::InternName(std::string_view name) {
-  auto it = name_ids_.find(std::string(name));
+uint32_t SpanTracer::InternNameLocked(std::string_view name) {
+  auto it = name_ids_.find(name);
   if (it != name_ids_.end()) {
     return it->second;
   }
   const uint32_t id = static_cast<uint32_t>(names_.size());
   names_.emplace_back(name);
   name_counts_.push_back(0);
-  name_ids_.emplace(names_.back(), id);
+  name_ids_.emplace(std::string_view(names_.back()), id);
   return id;
 }
 
-SpanId SpanTracer::BeginId(SimTime start, ObsLane lane, uint32_t name_id, uint64_t arg0,
-                           uint64_t arg1, SpanId parent) {
+uint32_t SpanTracer::InternName(std::string_view name) {
+  MutexLock lock(mu_);
+  return InternNameLocked(name);
+}
+
+SpanId SpanTracer::BeginIdLocked(SimTime start, ObsLane lane, uint32_t name_id,
+                                 uint64_t arg0, uint64_t arg1, SpanId parent) {
   name_counts_[name_id]++;
   ++revision_;
   if (records_.size() >= capacity_) {
@@ -57,34 +62,66 @@ SpanId SpanTracer::BeginId(SimTime start, ObsLane lane, uint32_t name_id, uint64
   return static_cast<SpanId>(records_.size());
 }
 
-void SpanTracer::End(SpanId id, SimTime end) {
-  if (id == kNoSpan) {
-    return;
-  }
+SpanId SpanTracer::Begin(SimTime start, ObsLane lane, std::string_view name, uint64_t arg0,
+                         uint64_t arg1, SpanId parent) {
+  MutexLock lock(mu_);
+  return BeginIdLocked(start, lane, InternNameLocked(name), arg0, arg1, parent);
+}
+
+SpanId SpanTracer::BeginId(SimTime start, ObsLane lane, uint32_t name_id, uint64_t arg0,
+                           uint64_t arg1, SpanId parent) {
+  MutexLock lock(mu_);
+  return BeginIdLocked(start, lane, name_id, arg0, arg1, parent);
+}
+
+void SpanTracer::EndLocked(SpanId id, SimTime end) {
   SpanRecord& rec = records_[id - 1];
   rec.end = end;
   rec.open = false;
   ++revision_;
 }
 
+void SpanTracer::End(SpanId id, SimTime end) {
+  if (id == kNoSpan) {
+    return;
+  }
+  MutexLock lock(mu_);
+  EndLocked(id, end);
+}
+
 void SpanTracer::End(SpanId id, SimTime end, uint64_t arg1) {
   if (id == kNoSpan) {
     return;
   }
+  MutexLock lock(mu_);
   records_[id - 1].arg1 = arg1;
-  End(id, end);
+  EndLocked(id, end);
+}
+
+SpanId SpanTracer::Complete(SimTime start, SimTime end, ObsLane lane, std::string_view name,
+                            uint64_t arg0, uint64_t arg1, SpanId parent) {
+  MutexLock lock(mu_);
+  const SpanId id = BeginIdLocked(start, lane, InternNameLocked(name), arg0, arg1, parent);
+  if (id != kNoSpan) {
+    EndLocked(id, end);
+  }
+  return id;
 }
 
 SpanId SpanTracer::CompleteId(SimTime start, SimTime end, ObsLane lane, uint32_t name_id,
                               uint64_t arg0, uint64_t arg1, SpanId parent) {
-  const SpanId id = BeginId(start, lane, name_id, arg0, arg1, parent);
-  End(id, end);
+  MutexLock lock(mu_);
+  const SpanId id = BeginIdLocked(start, lane, name_id, arg0, arg1, parent);
+  if (id != kNoSpan) {
+    EndLocked(id, end);
+  }
   return id;
 }
 
 SpanId SpanTracer::Instant(SimTime time, ObsLane lane, std::string_view name, uint64_t arg0,
                            uint64_t arg1, SpanId parent) {
-  const SpanId id = Begin(time, lane, name, arg0, arg1, parent);
+  MutexLock lock(mu_);
+  const SpanId id = BeginIdLocked(time, lane, InternNameLocked(name), arg0, arg1, parent);
   if (id != kNoSpan) {
     records_[id - 1].instant = true;
     records_[id - 1].open = false;
@@ -93,18 +130,36 @@ SpanId SpanTracer::Instant(SimTime time, ObsLane lane, std::string_view name, ui
 }
 
 uint32_t SpanTracer::BeginTrack(std::string name) {
+  MutexLock lock(mu_);
   track_names_.push_back(std::move(name));
   current_track_ = static_cast<uint32_t>(track_names_.size() - 1);
   ++revision_;
   return current_track_;
 }
 
+uint32_t SpanTracer::current_track() const {
+  MutexLock lock(mu_);
+  return current_track_;
+}
+
 int64_t SpanTracer::count(std::string_view name) const {
-  auto it = name_ids_.find(std::string(name));
+  MutexLock lock(mu_);
+  auto it = name_ids_.find(name);
   return it == name_ids_.end() ? 0 : name_counts_[it->second];
 }
 
+uint64_t SpanTracer::dropped_records() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+uint64_t SpanTracer::revision() const {
+  MutexLock lock(mu_);
+  return revision_;
+}
+
 void SpanTracer::Clear() {
+  MutexLock lock(mu_);
   records_.clear();
   // The intern table survives: components cache name ids at attachment time
   // (set_observability), so invalidating ids here would make spans recorded

@@ -15,6 +15,14 @@
 // simulation events or reads the clock — so enabling tracing cannot change
 // simulated timestamps or event order (pinned by obs_determinism_test).
 //
+// Thread safety: emission (Begin/End/Complete/Instant/InternName/BeginTrack/
+// Clear) is mutex-protected, so real OS threads — the native snapshot loader
+// thread — can record spans concurrently with the main thread. Read accessors
+// (records(), record(), name(), track_names()) return references into tracer
+// storage and require the tracer to be quiescent: call them only after the
+// run, once worker threads are joined. Interned names have stable storage, so
+// ids cached at attachment time stay valid across growth.
+//
 // Storage is a flat vector with a hard capacity: when full, new records are
 // dropped (and counted) in O(1) rather than evicted, because analysis needs
 // span trees from the *start* of a run, not its tail. Per-name counters keep
@@ -24,12 +32,15 @@
 #define FAASNAP_SRC_OBS_SPAN_TRACER_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/sim_time.h"
+#include "src/common/thread_annotations.h"
 
 namespace faasnap {
 
@@ -78,68 +89,87 @@ class SpanTracer {
   // Interns `name`, returning a stable id valid until Clear(). Emission sites
   // may pass the string each time (one hash lookup) or pre-intern and use the
   // id overloads below on hot paths.
-  uint32_t InternName(std::string_view name);
-  std::string_view name(uint32_t id) const { return names_[id]; }
+  uint32_t InternName(std::string_view name) FAASNAP_EXCLUDES(mu_);
+  // Quiescent accessor: interned strings have stable storage (deque), but the
+  // id must have been published before the last worker thread was joined.
+  std::string_view name(uint32_t id) const FAASNAP_NO_THREAD_SAFETY_ANALYSIS {
+    return names_[id];
+  }
 
   // Opens a span. Returns kNoSpan when capacity is exhausted (End on the result
   // is then a no-op), so call sites never need to check.
   SpanId Begin(SimTime start, ObsLane lane, std::string_view name, uint64_t arg0 = 0,
-               uint64_t arg1 = 0, SpanId parent = kNoSpan) {
-    return BeginId(start, lane, InternName(name), arg0, arg1, parent);
-  }
+               uint64_t arg1 = 0, SpanId parent = kNoSpan) FAASNAP_EXCLUDES(mu_);
   SpanId BeginId(SimTime start, ObsLane lane, uint32_t name_id, uint64_t arg0 = 0,
-                 uint64_t arg1 = 0, SpanId parent = kNoSpan);
+                 uint64_t arg1 = 0, SpanId parent = kNoSpan) FAASNAP_EXCLUDES(mu_);
 
   // Closes a span. End(kNoSpan, ...) is a no-op. The arg1 overload additionally
   // stores a value only known at completion (e.g. the resolved fault class).
-  void End(SpanId id, SimTime end);
-  void End(SpanId id, SimTime end, uint64_t arg1);
+  void End(SpanId id, SimTime end) FAASNAP_EXCLUDES(mu_);
+  void End(SpanId id, SimTime end, uint64_t arg1) FAASNAP_EXCLUDES(mu_);
 
   // Records a span whose completion time is already known (e.g. a block-device
   // read whose service time is computed at issue).
   SpanId Complete(SimTime start, SimTime end, ObsLane lane, std::string_view name,
-                  uint64_t arg0 = 0, uint64_t arg1 = 0, SpanId parent = kNoSpan) {
-    return CompleteId(start, end, lane, InternName(name), arg0, arg1, parent);
-  }
+                  uint64_t arg0 = 0, uint64_t arg1 = 0, SpanId parent = kNoSpan)
+      FAASNAP_EXCLUDES(mu_);
   SpanId CompleteId(SimTime start, SimTime end, ObsLane lane, uint32_t name_id,
-                    uint64_t arg0 = 0, uint64_t arg1 = 0, SpanId parent = kNoSpan);
+                    uint64_t arg0 = 0, uint64_t arg1 = 0, SpanId parent = kNoSpan)
+      FAASNAP_EXCLUDES(mu_);
 
   // Records a zero-duration marker.
   SpanId Instant(SimTime time, ObsLane lane, std::string_view name, uint64_t arg0 = 0,
-                 uint64_t arg1 = 0, SpanId parent = kNoSpan);
+                 uint64_t arg1 = 0, SpanId parent = kNoSpan) FAASNAP_EXCLUDES(mu_);
 
   // Starts a new track and makes it current: all subsequent records are tagged
   // with it. Tracks separate runs that share a tracer but not a clock (one
   // simulated Platform per experiment repetition restarts at t=0); the exporter
   // renders each track as its own Perfetto process. Track 0 exists by default.
-  uint32_t BeginTrack(std::string name);
-  uint32_t current_track() const { return current_track_; }
-  const std::vector<std::string>& track_names() const { return track_names_; }
+  uint32_t BeginTrack(std::string name) FAASNAP_EXCLUDES(mu_);
+  uint32_t current_track() const FAASNAP_EXCLUDES(mu_);
 
   // Total emissions of `name` (spans + instants), counted even past capacity.
-  int64_t count(std::string_view name) const;
+  int64_t count(std::string_view name) const FAASNAP_EXCLUDES(mu_);
 
-  const std::vector<SpanRecord>& records() const { return records_; }
-  const SpanRecord& record(SpanId id) const { return records_[id - 1]; }
-  uint64_t dropped_records() const { return dropped_; }
+  uint64_t dropped_records() const FAASNAP_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
   // Bumped on every mutation; lets derived views (the legacy EventTracer
   // projection) cache their rebuild.
-  uint64_t revision() const { return revision_; }
+  uint64_t revision() const FAASNAP_EXCLUDES(mu_);
 
-  void Clear();
+  // Quiescent accessors: valid only while no other thread is emitting (after
+  // the run / after worker threads are joined); exporters and tests.
+  const std::vector<SpanRecord>& records() const FAASNAP_NO_THREAD_SAFETY_ANALYSIS {
+    return records_;
+  }
+  const SpanRecord& record(SpanId id) const FAASNAP_NO_THREAD_SAFETY_ANALYSIS {
+    return records_[id - 1];
+  }
+  const std::vector<std::string>& track_names() const FAASNAP_NO_THREAD_SAFETY_ANALYSIS {
+    return track_names_;
+  }
+
+  void Clear() FAASNAP_EXCLUDES(mu_);
 
  private:
-  size_t capacity_;
-  std::vector<SpanRecord> records_;
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, uint32_t> name_ids_;
-  std::vector<int64_t> name_counts_;  // parallel to names_
-  std::vector<std::string> track_names_ = {"track0"};
-  uint32_t current_track_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t revision_ = 0;
+  uint32_t InternNameLocked(std::string_view name) FAASNAP_REQUIRES(mu_);
+  SpanId BeginIdLocked(SimTime start, ObsLane lane, uint32_t name_id, uint64_t arg0,
+                       uint64_t arg1, SpanId parent) FAASNAP_REQUIRES(mu_);
+  void EndLocked(SpanId id, SimTime end) FAASNAP_REQUIRES(mu_);
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> records_ FAASNAP_GUARDED_BY(mu_);
+  // deque: interned strings keep stable addresses as the table grows, so
+  // name(id) string_views stay valid while other threads intern.
+  std::deque<std::string> names_ FAASNAP_GUARDED_BY(mu_);
+  std::unordered_map<std::string_view, uint32_t> name_ids_ FAASNAP_GUARDED_BY(mu_);
+  std::vector<int64_t> name_counts_ FAASNAP_GUARDED_BY(mu_);  // parallel to names_
+  std::vector<std::string> track_names_ FAASNAP_GUARDED_BY(mu_) = {"track0"};
+  uint32_t current_track_ FAASNAP_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ FAASNAP_GUARDED_BY(mu_) = 0;
+  uint64_t revision_ FAASNAP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace faasnap

@@ -1,4 +1,4 @@
-#include "src/core/host_scheduler.h"
+#include "src/runtime/host_scheduler.h"
 
 #include <algorithm>
 #include <cmath>

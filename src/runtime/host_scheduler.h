@@ -13,15 +13,15 @@
 // Invocations are admitted serially in arrival order (one running VM at a time);
 // this isolates the policy effects from CPU contention, which Figure 10 covers.
 
-#ifndef FAASNAP_SRC_CORE_HOST_SCHEDULER_H_
-#define FAASNAP_SRC_CORE_HOST_SCHEDULER_H_
+#ifndef FAASNAP_SRC_RUNTIME_HOST_SCHEDULER_H_
+#define FAASNAP_SRC_RUNTIME_HOST_SCHEDULER_H_
 
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "src/common/histogram.h"
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 
 namespace faasnap {
 
@@ -113,4 +113,4 @@ class HostScheduler {
 
 }  // namespace faasnap
 
-#endif  // FAASNAP_SRC_CORE_HOST_SCHEDULER_H_
+#endif  // FAASNAP_SRC_RUNTIME_HOST_SCHEDULER_H_

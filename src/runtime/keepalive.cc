@@ -1,4 +1,4 @@
-#include "src/core/keepalive.h"
+#include "src/runtime/keepalive.h"
 
 #include <cmath>
 

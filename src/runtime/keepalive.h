@@ -12,14 +12,14 @@
 // paper's argument that "snapshots can replace cold starts for functions invoked
 // less frequently than those that benefit from warm VMs".
 
-#ifndef FAASNAP_SRC_CORE_KEEPALIVE_H_
-#define FAASNAP_SRC_CORE_KEEPALIVE_H_
+#ifndef FAASNAP_SRC_RUNTIME_KEEPALIVE_H_
+#define FAASNAP_SRC_RUNTIME_KEEPALIVE_H_
 
 #include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 
 namespace faasnap {
 
@@ -78,4 +78,4 @@ class KeepAliveSimulator {
 
 }  // namespace faasnap
 
-#endif  // FAASNAP_SRC_CORE_KEEPALIVE_H_
+#endif  // FAASNAP_SRC_RUNTIME_KEEPALIVE_H_

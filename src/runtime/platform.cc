@@ -1,4 +1,4 @@
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 
 #include <utility>
 

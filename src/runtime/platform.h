@@ -13,8 +13,8 @@
 // InvokeAsync supports overlapping invocations on the same host for the bursty
 // workloads of Figure 10.
 
-#ifndef FAASNAP_SRC_CORE_PLATFORM_H_
-#define FAASNAP_SRC_CORE_PLATFORM_H_
+#ifndef FAASNAP_SRC_RUNTIME_PLATFORM_H_
+#define FAASNAP_SRC_RUNTIME_PLATFORM_H_
 
 #include <functional>
 #include <memory>
@@ -23,7 +23,7 @@
 #include "src/core/function_snapshot.h"
 #include "src/core/platform_config.h"
 #include "src/metrics/report.h"
-#include "src/common/tracer.h"
+#include "src/obs/legacy_tracer.h"
 #include "src/obs/observability.h"
 #include "src/restore/restore_policy.h"
 #include "src/sim/cpu_model.h"
@@ -119,4 +119,4 @@ class Platform {
 
 }  // namespace faasnap
 
-#endif  // FAASNAP_SRC_CORE_PLATFORM_H_
+#endif  // FAASNAP_SRC_RUNTIME_PLATFORM_H_

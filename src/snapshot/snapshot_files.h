@@ -19,9 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/file_id.h"
 #include "src/common/page_range.h"
 #include "src/common/status.h"
-#include "src/mem/page_cache.h"
 
 namespace faasnap {
 

@@ -27,8 +27,14 @@ struct StorageRouter::PendingRead {
 DeviceId StorageRouter::AddDevice(BlockDevice* device) {
   FAASNAP_CHECK(device != nullptr);
   devices_.push_back(device);
+  MutexLock lock(mu_);
   breakers_.push_back(Breaker{});
   return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+StorageFaultStats StorageRouter::fault_stats() const {
+  MutexLock lock(mu_);
+  return fault_stats_;
 }
 
 void StorageRouter::AssignFile(FileId file, DeviceId device_id) {
@@ -129,16 +135,23 @@ Duration StorageRouter::BackoffBefore(int attempt) const {
 }
 
 void StorageRouter::Attempt(std::shared_ptr<PendingRead> req) {
-  Breaker& breaker = breakers_[req->device];
   const SimTime now = sim_->now();
-  if (breaker.open && now < breaker.open_until) {
+  bool fast_fail = false;
+  {
+    MutexLock lock(mu_);
+    const Breaker& breaker = breakers_[req->device];
+    if (breaker.open && now < breaker.open_until) {
+      fault_stats_.breaker_fast_fails++;
+      fast_fail = true;
+    }
+  }
+  if (fast_fail) {
     // Fail fast without touching the device; the breaker eats the attempt. The
     // retry/backoff ladder still runs, so by the time attempts are exhausted
     // the read fails over (or fails) with the breaker's verdict.
-    fault_stats_.breaker_fast_fails++;
-    Status fast_fail = UnavailableError("circuit breaker open for device " +
-                                        devices_[req->device]->profile().name);
-    HandleFailure(std::move(req), std::move(fast_fail));
+    Status verdict = UnavailableError("circuit breaker open for device " +
+                                      devices_[req->device]->profile().name);
+    HandleFailure(std::move(req), std::move(verdict));
     return;
   }
   // If open but past open_until, this read is the half-open probe: it reaches
@@ -177,7 +190,10 @@ void StorageRouter::OnAttemptComplete(std::shared_ptr<PendingRead> req, uint64_t
 void StorageRouter::HandleFailure(std::shared_ptr<PendingRead> req, Status status) {
   if (req->attempt < policy_.max_attempts) {
     req->attempt++;
-    fault_stats_.retries++;
+    {
+      MutexLock lock(mu_);
+      fault_stats_.retries++;
+    }
     if (retries_metric_ != nullptr) {
       retries_metric_->Add(1);
     }
@@ -196,14 +212,20 @@ void StorageRouter::HandleFailure(std::shared_ptr<PendingRead> req, Status statu
     req->failed_over = true;
     req->device = kLocalDevice;
     req->attempt = 1;
-    fault_stats_.failovers++;
+    {
+      MutexLock lock(mu_);
+      fault_stats_.failovers++;
+    }
     if (failovers_metric_ != nullptr) {
       failovers_metric_->Add(1);
     }
     Attempt(std::move(req));
     return;
   }
-  fault_stats_.failed_reads++;
+  {
+    MutexLock lock(mu_);
+    fault_stats_.failed_reads++;
+  }
   if (read_failures_metric_ != nullptr) {
     read_failures_metric_->Add(1);
   }
@@ -219,24 +241,32 @@ void StorageRouter::FinishRead(std::shared_ptr<PendingRead> req, Status status) 
 }
 
 void StorageRouter::RecordDeviceSuccess(DeviceId device) {
+  MutexLock lock(mu_);
   Breaker& breaker = breakers_[device];
   breaker.consecutive_failures = 0;
   breaker.open = false;
 }
 
 void StorageRouter::RecordDeviceFailure(DeviceId device) {
-  Breaker& breaker = breakers_[device];
-  breaker.consecutive_failures++;
   const SimTime now = sim_->now();
-  if (breaker.open) {
-    // Failed half-open probe: re-arm the open window.
-    breaker.open_until = now + policy_.breaker_open_for;
-    return;
+  bool opened = false;
+  {
+    MutexLock lock(mu_);
+    Breaker& breaker = breakers_[device];
+    breaker.consecutive_failures++;
+    if (breaker.open) {
+      // Failed half-open probe: re-arm the open window.
+      breaker.open_until = now + policy_.breaker_open_for;
+      return;
+    }
+    if (breaker.consecutive_failures >= policy_.breaker_failure_threshold) {
+      breaker.open = true;
+      breaker.open_until = now + policy_.breaker_open_for;
+      fault_stats_.breaker_opens++;
+      opened = true;
+    }
   }
-  if (breaker.consecutive_failures >= policy_.breaker_failure_threshold) {
-    breaker.open = true;
-    breaker.open_until = now + policy_.breaker_open_for;
-    fault_stats_.breaker_opens++;
+  if (opened) {
     if (breaker_opens_metric_ != nullptr) {
       breaker_opens_metric_->Add(1);
     }

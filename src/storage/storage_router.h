@@ -23,8 +23,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/file_id.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
-#include "src/mem/page_cache.h"
+#include "src/common/thread_annotations.h"
 #include "src/storage/block_device.h"
 
 namespace faasnap {
@@ -104,7 +106,9 @@ class StorageRouter {
   void ConfigureFaultHandling(Simulation* sim, FaultInjector* injector,
                               StorageFaultPolicy policy);
 
-  const StorageFaultStats& fault_stats() const { return fault_stats_; }
+  // Copy under the lock: cheap POD, safe for before/after deltas while reads
+  // are still settling.
+  StorageFaultStats fault_stats() const FAASNAP_EXCLUDES(mu_);
   const StorageFaultPolicy& fault_policy() const { return policy_; }
 
   // Attaches tracing/metrics to every registered device (and, via
@@ -120,22 +124,29 @@ class StorageRouter {
     SimTime open_until;
   };
 
-  void Attempt(std::shared_ptr<PendingRead> req);
-  void OnAttemptComplete(std::shared_ptr<PendingRead> req, uint64_t generation, Status status);
-  void HandleFailure(std::shared_ptr<PendingRead> req, Status status);
+  // All callback invocations (device reads, done callbacks, span emission)
+  // happen with mu_ released; the lock only brackets breaker/stat mutations.
+  void Attempt(std::shared_ptr<PendingRead> req) FAASNAP_EXCLUDES(mu_);
+  void OnAttemptComplete(std::shared_ptr<PendingRead> req, uint64_t generation, Status status)
+      FAASNAP_EXCLUDES(mu_);
+  void HandleFailure(std::shared_ptr<PendingRead> req, Status status) FAASNAP_EXCLUDES(mu_);
   void FinishRead(std::shared_ptr<PendingRead> req, Status status);
-  void RecordDeviceSuccess(DeviceId device);
-  void RecordDeviceFailure(DeviceId device);
+  void RecordDeviceSuccess(DeviceId device) FAASNAP_EXCLUDES(mu_);
+  void RecordDeviceFailure(DeviceId device) FAASNAP_EXCLUDES(mu_);
   Duration BackoffBefore(int attempt) const;
 
+  // Topology and policy are fixed during setup (AddDevice/AssignFile/
+  // ConfigureFaultHandling precede the first read) and read-only afterwards,
+  // so they carry no guard; only the per-read mutable state does.
   std::vector<BlockDevice*> devices_;
   std::map<FileId, DeviceId> placement_;
 
   Simulation* sim_ = nullptr;
   FaultInjector* injector_ = nullptr;
   StorageFaultPolicy policy_;
-  std::vector<Breaker> breakers_;  // parallel to devices_
-  StorageFaultStats fault_stats_;
+  mutable Mutex mu_;
+  std::vector<Breaker> breakers_ FAASNAP_GUARDED_BY(mu_);  // parallel to devices_
+  StorageFaultStats fault_stats_ FAASNAP_GUARDED_BY(mu_);
 
   // Reads routed per device tier ({tier=local|remote}); null when detached.
   Counter* routed_local_ = nullptr;

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/obs/observability.h"
 #include "src/storage/device_profiles.h"
 

@@ -1,8 +1,8 @@
-#include "src/common/tracer.h"
+#include "src/obs/legacy_tracer.h"
 
 #include <gtest/gtest.h>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/storage/device_profiles.h"
 
 namespace faasnap {

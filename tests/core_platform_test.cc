@@ -1,7 +1,7 @@
 // End-to-end integration tests: record a snapshot, invoke under every policy, and
 // assert the paper's qualitative results hold.
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 
 #include <gtest/gtest.h>
 

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/storage/device_profiles.h"
 
 namespace faasnap {

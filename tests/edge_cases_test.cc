@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/loading_set_builder.h"
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/core/prefetch_loader.h"
 #include "src/snapshot/serialization.h"
 #include "src/storage/device_profiles.h"

@@ -1,0 +1,175 @@
+// Tests for faasnap_lint: config parsing (including cycle rejection), the
+// comment/string stripper, each rule against its seeded-violation fixture in
+// tools/lint/testdata/, and a self-check that the real tree is clean.
+
+#include "tools/lint/lint.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace faasnap {
+namespace lint {
+namespace {
+
+#ifndef FAASNAP_SOURCE_DIR
+#error "FAASNAP_SOURCE_DIR must be defined to locate fixtures"
+#endif
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string Fixture(const std::string& name) {
+  return ReadFileOrDie(std::string(FAASNAP_SOURCE_DIR) + "/tools/lint/testdata/" + name);
+}
+
+Config RealConfig() {
+  auto config = ParseConfig(ReadFileOrDie(std::string(FAASNAP_SOURCE_DIR) +
+                                          "/tools/lint/layers.json"));
+  EXPECT_TRUE(config.ok()) << config.status().ToString();
+  return *config;
+}
+
+std::map<std::string, int> CountByRule(const std::vector<Violation>& vs) {
+  std::map<std::string, int> counts;
+  for (const Violation& v : vs) {
+    ++counts[v.rule];
+  }
+  return counts;
+}
+
+TEST(LintConfigTest, ParsesRealConfig) {
+  const Config config = RealConfig();
+  EXPECT_TRUE(config.layers.count("common"));
+  EXPECT_TRUE(config.layers.at("common").empty());
+  EXPECT_TRUE(config.layers.at("sim").count("common"));
+  EXPECT_FALSE(config.layers.at("sim").count("daemon"));
+  EXPECT_FALSE(config.determinism_allow.empty());
+}
+
+TEST(LintConfigTest, RejectsUnknownKey) {
+  auto config = ParseConfig(R"({"layres": ["typo"]})");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LintConfigTest, RejectsCyclicLayers) {
+  auto config = ParseConfig(R"({"layers": {"a": ["b"], "b": ["a"]}})");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(LintConfigTest, RejectsMalformedJson) {
+  EXPECT_FALSE(ParseConfig(R"({"layers": )").ok());
+  EXPECT_FALSE(ParseConfig(R"({} trailing)").ok());
+  EXPECT_FALSE(ParseConfig(R"({"layers": {"a": ["unterminated)").ok());
+}
+
+TEST(LintStripperTest, StripsCommentsAndStringsPreservingLines) {
+  const std::string stripped = StripCommentsAndStrings(
+      "int a; // rand()\n\"system_clock\";\n/* time(\nnullptr) */ int b;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("system_clock"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  // Line structure intact: same number of newlines, code survives.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 4);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintStripperTest, DigitSeparatorIsNotACharLiteral) {
+  const std::string stripped = StripCommentsAndStrings("long x = 1'000'000; rand();\n");
+  // A naive stripper treats 1'000' as a char literal and eats the code after
+  // it; the banned call must survive stripping.
+  EXPECT_NE(stripped.find("rand"), std::string::npos);
+}
+
+TEST(LintRuleTest, LayeringFixtureFires) {
+  const auto violations =
+      LintFile(RealConfig(), "src/sim/bad_layering.cc", Fixture("bad_layering.cc"));
+  const auto counts = CountByRule(violations);
+  EXPECT_EQ(counts.at("layering"), 2);  // daemon/ and core/, not common/
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(LintRuleTest, DeterminismFixtureFires) {
+  const auto violations =
+      LintFile(RealConfig(), "src/sim/bad_determinism.cc", Fixture("bad_determinism.cc"));
+  const auto counts = CountByRule(violations);
+  // system_clock, random_device, rand(), time().
+  EXPECT_EQ(counts.at("determinism"), 4);
+}
+
+TEST(LintRuleTest, DeterminismAllowlistExempts) {
+  // The same content under an allowlisted path (src/native/) is clean.
+  const auto violations =
+      LintFile(RealConfig(), "src/native/bad_determinism.cc", Fixture("bad_determinism.cc"));
+  EXPECT_EQ(CountByRule(violations).count("determinism"), 0u);
+}
+
+TEST(LintRuleTest, ContainerFixtureFires) {
+  const auto violations =
+      LintFile(RealConfig(), "src/sim/bad_container.cc", Fixture("bad_container.cc"));
+  const auto counts = CountByRule(violations);
+  // Two includes + two declarations.
+  EXPECT_EQ(counts.at("container"), 4);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(LintRuleTest, TracerFixtureFires) {
+  const auto violations =
+      LintFile(RealConfig(), "src/sim/bad_tracer.cc", Fixture("bad_tracer.cc"));
+  const auto counts = CountByRule(violations);
+  EXPECT_EQ(counts.at("tracer-pairing"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(LintRuleTest, VoidFixtureFires) {
+  const auto violations = LintFile(RealConfig(), "src/sim/bad_void.cc", Fixture("bad_void.cc"));
+  const auto counts = CountByRule(violations);
+  EXPECT_EQ(counts.at("void-comment"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(LintRuleTest, CleanFixtureIsClean) {
+  const auto violations = LintFile(RealConfig(), "src/sim/clean.cc", Fixture("clean.cc"));
+  EXPECT_TRUE(violations.empty()) << violations.size() << " unexpected violation(s), first: "
+                                  << (violations.empty() ? "" : violations[0].message);
+}
+
+TEST(LintRuleTest, CompleteCountsAsSpanClose) {
+  // Begin paired with Complete (the one-shot span API) is legal.
+  const Config config = RealConfig();
+  const std::string content = "void F(T* s) { auto id = s->Begin(1); s->Complete(2); }\n";
+  EXPECT_TRUE(LintFile(config, "src/sim/x.cc", content).empty());
+}
+
+TEST(LintRuleTest, FilesOutsideSrcGetNoLayeringRule) {
+  // Tests and tools may include anything; only token rules could apply.
+  const Config config = RealConfig();
+  const std::string content = "#include \"src/daemon/daemon.h\"\n";
+  EXPECT_TRUE(LintFile(config, "tests/integration_test.cc", content).empty());
+}
+
+// The tree self-check: the real src/ must lint clean. This is the same check
+// the `lint_self_check` ctest runs via the CLI; duplicating it here gives a
+// precise first-failure message inside the gtest output.
+TEST(LintTreeTest, RealTreeIsClean) {
+  auto violations = LintTree(RealConfig(), FAASNAP_SOURCE_DIR);
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  for (const Violation& v : *violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << " [" << v.rule << "] " << v.message;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace faasnap

@@ -139,7 +139,7 @@ TEST(NativeSnapshotSession, EndToEndRestoreVerifiesStamps) {
   // Zero pages (unused set) read zero through the anonymous base.
   EXPECT_EQ(NativeSnapshotSession::ReadStampThroughMapping(**mapper, 500), 0u);
   EXPECT_EQ(NativeSnapshotSession::ReadStampThroughMapping(**mapper, 2047), 0u);
-  session->JoinLoader();
+  EXPECT_TRUE(session->JoinLoader().ok());
 }
 
 TEST(NativeSnapshotSession, ManifestRoundTripsFromDisk) {

@@ -5,7 +5,7 @@
 #include <cstdlib>
 
 #include "src/common/json.h"
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/obs/observability.h"
 #include "src/storage/device_profiles.h"
 

@@ -6,7 +6,7 @@
 
 #include <optional>
 
-#include "src/core/platform.h"
+#include "src/runtime/platform.h"
 #include "src/obs/critical_path.h"
 #include "src/obs/observability.h"
 #include "src/storage/device_profiles.h"

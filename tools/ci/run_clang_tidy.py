@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Incremental clang-tidy driver for CI.
+
+Runs clang-tidy over every translation unit in the compilation database, but
+skips files whose (content, .clang-tidy, compile flags) hash is recorded in a
+cache manifest from a previous clean run — so a warm CI cache only re-analyzes
+files that actually changed. On completion it prints a per-check summary
+(survives log truncation better than 10k raw lines) and exits non-zero if any
+diagnostic fired.
+
+Usage:
+  tools/ci/run_clang_tidy.py --build-dir build --cache-file .tidy-cache/manifest.json \
+      [--clang-tidy clang-tidy-18] [--jobs N]
+"""
+
+import argparse
+import collections
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+
+# clang-tidy diagnostic line: file:line:col: warning: message [check-name]
+DIAG_RE = re.compile(r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):\d+:\s+"
+                     r"(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[^\]]+)\]\s*$")
+
+
+def file_digest(path, extra=b""):
+    h = hashlib.sha256()
+    h.update(extra)
+    with open(path, "rb") as f:
+        h.update(f.read())
+    return h.hexdigest()
+
+
+def load_manifest(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return {}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--cache-file", default=".tidy-cache/manifest.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--source-filter", default=r"/(src|tools)/.*\.cc$",
+                        help="regex a TU's absolute path must match to be analyzed")
+    args = parser.parse_args()
+
+    with open(os.path.join(args.build_dir, "compile_commands.json"), encoding="utf-8") as f:
+        database = json.load(f)
+
+    config_hash = file_digest(".clang-tidy").encode()
+    source_filter = re.compile(args.source_filter)
+
+    # One entry per TU; dedupe (headers are covered via -header-filter).
+    todo, skipped = [], 0
+    manifest = load_manifest(args.cache_file)
+    new_manifest = {}
+    seen = set()
+    for entry in database:
+        path = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        if path in seen or not source_filter.search(path):
+            continue
+        seen.add(path)
+        # The command matters: a flag change must invalidate the cache entry.
+        command = entry.get("command") or " ".join(entry.get("arguments", []))
+        digest = file_digest(path, extra=config_hash + command.encode())
+        if manifest.get(path) == digest:
+            new_manifest[path] = digest
+            skipped += 1
+        else:
+            todo.append((path, digest))
+
+    print(f"clang-tidy: {len(todo)} file(s) to analyze, {skipped} unchanged (cached)")
+
+    def run_one(item):
+        path, digest = item
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return path, digest, proc.stdout + proc.stderr
+
+    per_check = collections.Counter()
+    diagnostics = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, digest, output in pool.map(run_one, todo):
+            file_diags = []
+            for line in output.splitlines():
+                m = DIAG_RE.match(line)
+                if m:
+                    per_check[m.group("check")] += 1
+                    file_diags.append(line)
+            if file_diags:
+                diagnostics.extend(file_diags)
+            else:
+                new_manifest[path] = digest  # clean: cacheable for the next run
+
+    os.makedirs(os.path.dirname(args.cache_file) or ".", exist_ok=True)
+    with open(args.cache_file, "w", encoding="utf-8") as f:
+        json.dump(new_manifest, f, indent=1, sort_keys=True)
+
+    if not diagnostics:
+        print("clang-tidy: clean")
+        return 0
+    print(f"clang-tidy: {len(diagnostics)} diagnostic(s):")
+    for check, count in per_check.most_common():
+        print(f"  {check:50s} {count}")
+    print()
+    for line in diagnostics:
+        print(line)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

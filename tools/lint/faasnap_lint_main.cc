@@ -1,0 +1,58 @@
+// faasnap_lint CLI: lints the repo's src/ tree against tools/lint/layers.json.
+//
+//   faasnap_lint [repo_root]     (default: current directory)
+//
+// Prints a per-rule summary followed by every violation as file:line, and
+// exits non-zero if anything fired — so it slots directly into ctest and CI.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  const std::string config_path = root + "/tools/lint/layers.json";
+
+  std::ifstream config_in(config_path, std::ios::binary);
+  if (!config_in) {
+    std::fprintf(stderr, "faasnap_lint: cannot read %s\n", config_path.c_str());
+    return 2;
+  }
+  std::ostringstream config_text;
+  config_text << config_in.rdbuf();
+
+  auto config = faasnap::lint::ParseConfig(config_text.str());
+  if (!config.ok()) {
+    std::fprintf(stderr, "faasnap_lint: %s\n", config.status().ToString().c_str());
+    return 2;
+  }
+
+  auto violations = faasnap::lint::LintTree(*config, root);
+  if (!violations.ok()) {
+    std::fprintf(stderr, "faasnap_lint: %s\n", violations.status().ToString().c_str());
+    return 2;
+  }
+
+  if (violations->empty()) {
+    std::printf("faasnap_lint: clean (0 violations)\n");
+    return 0;
+  }
+
+  // Per-rule summary first (CI logs truncate; the headline must survive).
+  std::map<std::string, int> per_rule;
+  for (const auto& v : *violations) {
+    ++per_rule[v.rule];
+  }
+  std::printf("faasnap_lint: %zu violation(s):\n", violations->size());
+  for (const auto& [rule, count] : per_rule) {
+    std::printf("  %-16s %d\n", rule.c_str(), count);
+  }
+  for (const auto& v : *violations) {
+    std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(), v.message.c_str());
+  }
+  return 1;
+}

@@ -1,0 +1,509 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace faasnap {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the restricted shape of layers.json: one top-level
+// object whose values are either arrays of strings or one object of arrays of
+// strings. No numbers, booleans, nesting beyond that, or escapes other than
+// \" and \\. Strictness is a feature: a malformed config fails the lint run
+// loudly instead of silently enforcing nothing.
+// ---------------------------------------------------------------------------
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Status Consume(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return InvalidArgumentError(std::string("layers.json: expected '") + c + "' at offset " +
+                                  std::to_string(pos_));
+    }
+    ++pos_;
+    return OkStatus();
+  }
+
+  Result<std::string> ParseString() {
+    RETURN_IF_ERROR(Consume('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        c = text_[pos_++];  // only \" and \\ occur in this config
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("layers.json: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<std::vector<std::string>> ParseStringArray() {
+    RETURN_IF_ERROR(Consume('['));
+    std::vector<std::string> out;
+    if (Peek() == ']') {
+      RETURN_IF_ERROR(Consume(']'));
+      return out;
+    }
+    while (true) {
+      ASSIGN_OR_RETURN(std::string item, ParseString());
+      out.push_back(std::move(item));
+      if (Peek() == ',') {
+        RETURN_IF_ERROR(Consume(','));
+        continue;
+      }
+      RETURN_IF_ERROR(Consume(']'));
+      return out;
+    }
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool PathAllowed(const std::vector<std::string>& prefixes, std::string_view path) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return path.rfind(p, 0) == 0; });
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Identifiers banned outright in simulation code: ambient time and ambient
+// randomness both make traces non-reproducible (determinism_test requires
+// bit-identical output across runs).
+bool IsBannedIdentifier(std::string_view ident) {
+  return ident == "system_clock" || ident == "high_resolution_clock" ||
+         ident == "steady_clock" || ident == "random_device" || ident == "gettimeofday" ||
+         ident == "clock_gettime" || ident == "timespec_get";
+}
+
+// Identifiers banned only as calls (`name(`): these are common enough words
+// that a field like `fetch_time_` must not trip the rule.
+bool IsBannedCall(std::string_view ident) {
+  return ident == "rand" || ident == "srand" || ident == "time" || ident == "clock";
+}
+
+// First directory component after "src/", or "" when not under src/.
+std::string SrcDirOf(std::string_view path) {
+  constexpr std::string_view kSrc = "src/";
+  if (path.rfind(kSrc, 0) != 0) {
+    return "";
+  }
+  const size_t slash = path.find('/', kSrc.size());
+  if (slash == std::string_view::npos) {
+    return "";  // file directly under src/ belongs to no layer
+  }
+  return std::string(path.substr(kSrc.size(), slash - kSrc.size()));
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+Result<Config> ParseConfig(std::string_view json) {
+  JsonCursor cur(json);
+  Config config;
+  RETURN_IF_ERROR(cur.Consume('{'));
+  if (cur.Peek() == '}') {
+    RETURN_IF_ERROR(cur.Consume('}'));
+    if (!cur.AtEnd()) {
+      return InvalidArgumentError("layers.json: trailing content after top-level object");
+    }
+    return config;
+  }
+  while (true) {
+    ASSIGN_OR_RETURN(std::string key, cur.ParseString());
+    RETURN_IF_ERROR(cur.Consume(':'));
+    if (!key.empty() && key[0] == '_') {
+      // Comment key: value must still be a string array; discard it.
+      RETURN_IF_ERROR(cur.ParseStringArray().status());
+    } else if (key == "layers") {
+      RETURN_IF_ERROR(cur.Consume('{'));
+      while (cur.Peek() != '}') {
+        ASSIGN_OR_RETURN(std::string dir, cur.ParseString());
+        RETURN_IF_ERROR(cur.Consume(':'));
+        ASSIGN_OR_RETURN(std::vector<std::string> deps, cur.ParseStringArray());
+        config.layers[dir] = std::set<std::string>(deps.begin(), deps.end());
+        if (cur.Peek() == ',') {
+          RETURN_IF_ERROR(cur.Consume(','));
+        }
+      }
+      RETURN_IF_ERROR(cur.Consume('}'));
+    } else if (key == "determinism_allow") {
+      ASSIGN_OR_RETURN(config.determinism_allow, cur.ParseStringArray());
+    } else if (key == "container_allow") {
+      ASSIGN_OR_RETURN(config.container_allow, cur.ParseStringArray());
+    } else if (key == "tracer_allow") {
+      ASSIGN_OR_RETURN(config.tracer_allow, cur.ParseStringArray());
+    } else {
+      return InvalidArgumentError("layers.json: unknown key \"" + key + "\"");
+    }
+    if (cur.Peek() == ',') {
+      RETURN_IF_ERROR(cur.Consume(','));
+      continue;
+    }
+    RETURN_IF_ERROR(cur.Consume('}'));
+    break;
+  }
+  if (!cur.AtEnd()) {
+    return InvalidArgumentError("layers.json: trailing content after top-level object");
+  }
+  // Reject cycles up front: a cyclic "DAG" would make the layering rule
+  // meaningless. Kahn's algorithm over the declared edges.
+  {
+    std::map<std::string, int> indegree;
+    for (const auto& [dir, deps] : config.layers) {
+      indegree.emplace(dir, 0);
+      for (const std::string& d : deps) {
+        indegree.emplace(d, 0);
+      }
+    }
+    for (const auto& [dir, deps] : config.layers) {
+      (void)dir;  // only the edge targets matter for in-degree
+      for (const std::string& d : deps) {
+        ++indegree[d];
+      }
+    }
+    std::vector<std::string> ready;
+    for (const auto& [dir, deg] : indegree) {
+      if (deg == 0) {
+        ready.push_back(dir);
+      }
+    }
+    size_t removed = 0;
+    while (!ready.empty()) {
+      const std::string dir = ready.back();
+      ready.pop_back();
+      ++removed;
+      auto it = config.layers.find(dir);
+      if (it == config.layers.end()) {
+        continue;
+      }
+      for (const std::string& d : it->second) {
+        if (--indegree[d] == 0) {
+          ready.push_back(d);
+        }
+      }
+    }
+    if (removed != indegree.size()) {
+      return InvalidArgumentError("layers.json: layering graph has a cycle");
+    }
+  }
+  return config;
+}
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  std::string out(content);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  char prev_code = '\0';  // last code character kept (for digit-separator detection)
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'' && !IsIdentChar(prev_code)) {
+          // `'` after an identifier character is a digit separator
+          // (1'000'000) or a user-defined literal, not a character literal.
+          state = State::kChar;
+          out[i] = ' ';
+        } else {
+          prev_code = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          prev_code = '\0';
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+          prev_code = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          prev_code = ' ';
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          prev_code = ' ';
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> LintFile(const Config& config, std::string_view path,
+                                std::string_view content) {
+  std::vector<Violation> out;
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<std::string_view> lines = SplitLines(stripped);
+  const std::vector<std::string_view> raw_lines = SplitLines(content);
+  const std::string own_dir = SrcDirOf(path);
+
+  auto add = [&](int line, const char* rule, std::string message) {
+    out.push_back(Violation{std::string(path), line, rule, std::move(message)});
+  };
+
+  // --- layering: every #include "src/<dir>/..." must be a declared edge. ---
+  // Includes are parsed from the stripped text so commented-out includes
+  // don't count.
+  if (!own_dir.empty()) {
+    const auto allowed_it = config.layers.find(own_dir);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::string_view line = lines[i];
+      const size_t hash = line.find_first_not_of(" \t");
+      if (hash == std::string_view::npos || line[hash] != '#') {
+        continue;
+      }
+      // The stripper blanked the quoted path, so re-read it from the raw line.
+      std::string_view raw = raw_lines[i];
+      const size_t inc = raw.find("#include");
+      if (inc == std::string_view::npos) {
+        continue;
+      }
+      const size_t open = raw.find('"', inc);
+      if (open == std::string_view::npos) {
+        continue;  // <system> include
+      }
+      const size_t close = raw.find('"', open + 1);
+      if (close == std::string_view::npos) {
+        continue;
+      }
+      const std::string_view target = raw.substr(open + 1, close - open - 1);
+      const std::string dep_dir = SrcDirOf(target);
+      if (dep_dir.empty() || dep_dir == own_dir) {
+        continue;
+      }
+      const bool allowed =
+          allowed_it != config.layers.end() && allowed_it->second.count(dep_dir) > 0;
+      if (!allowed) {
+        add(static_cast<int>(i + 1), "layering",
+            "src/" + own_dir + "/ may not include src/" + dep_dir +
+                "/ (edge not in tools/lint/layers.json)");
+      }
+    }
+  }
+
+  const bool determinism_exempt = PathAllowed(config.determinism_allow, path);
+  const bool container_exempt = PathAllowed(config.container_allow, path);
+
+  // --- determinism + container: scan identifier tokens line by line. ---
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    size_t p = 0;
+    while (p < line.size()) {
+      if (!IsIdentChar(line[p])) {
+        ++p;
+        continue;
+      }
+      size_t end = p;
+      while (end < line.size() && IsIdentChar(line[end])) {
+        ++end;
+      }
+      const std::string_view ident = line.substr(p, end - p);
+      // Skip pure numbers (IsIdentChar admits digits).
+      if (std::isdigit(static_cast<unsigned char>(ident[0])) == 0) {
+        const bool preceded_by_scope_or_dot =
+            p >= 1 && (line[p - 1] == '.' ||
+                       (p >= 2 && line[p - 1] == ':' && line[p - 2] == ':'));
+        size_t after = end;
+        while (after < line.size() && (line[after] == ' ' || line[after] == '\t')) {
+          ++after;
+        }
+        const bool is_call = after < line.size() && line[after] == '(';
+        if (!determinism_exempt) {
+          if (IsBannedIdentifier(ident)) {
+            add(static_cast<int>(i + 1), "determinism",
+                "banned non-deterministic source '" + std::string(ident) +
+                    "' (use the sim clock / seeded RNG, or allowlist in layers.json)");
+          } else if (IsBannedCall(ident) && is_call && !preceded_by_scope_or_dot) {
+            add(static_cast<int>(i + 1), "determinism",
+                "banned non-deterministic call '" + std::string(ident) +
+                    "()' (use the sim clock / seeded RNG, or allowlist in layers.json)");
+          }
+        }
+        if (!container_exempt &&
+            (ident == "unordered_map" || ident == "unordered_set")) {
+          add(static_cast<int>(i + 1), "container",
+              "std::" + std::string(ident) +
+                  " has implementation-defined iteration order; use std::map/std::set or "
+                  "allowlist lookup-only uses in layers.json");
+        }
+      }
+      p = end;
+    }
+  }
+
+  // --- tracer-pairing: a file that opens spans must also close them. ---
+  if (!PathAllowed(config.tracer_allow, path)) {
+    const bool begins = stripped.find("->Begin(") != std::string::npos ||
+                        stripped.find(".Begin(") != std::string::npos;
+    const bool ends = stripped.find("->End(") != std::string::npos ||
+                      stripped.find(".End(") != std::string::npos ||
+                      stripped.find("->Complete(") != std::string::npos ||
+                      stripped.find(".Complete(") != std::string::npos;
+    if (begins && !ends) {
+      int first_line = 1;
+      for (size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].find("Begin(") != std::string_view::npos) {
+          first_line = static_cast<int>(i + 1);
+          break;
+        }
+      }
+      add(first_line, "tracer-pairing",
+          "file opens tracer spans (Begin) but never closes one (End/Complete); unclosed "
+          "spans corrupt critical-path analysis");
+    }
+  }
+
+  // --- void-comment: `(void)` discards need a same-line justification. ---
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t pos = lines[i].find("(void)");
+    if (pos == std::string_view::npos) {
+      continue;
+    }
+    // `(void)` immediately followed by an identifier/`(` is a discard cast;
+    // in a declaration like `f(void)` the next token is `)` or `;`.
+    size_t after = pos + 6;
+    std::string_view line = lines[i];
+    while (after < line.size() && (line[after] == ' ' || line[after] == '\t')) {
+      ++after;
+    }
+    if (after >= line.size() || (!IsIdentChar(line[after]) && line[after] != '(')) {
+      continue;
+    }
+    // The justification lives in a comment, which the stripper removed — so
+    // look for `//` in the raw line after the cast.
+    if (raw_lines[i].find("//", pos) == std::string_view::npos) {
+      add(static_cast<int>(i + 1), "void-comment",
+          "discarding a value with (void) requires a same-line '// why' comment");
+    }
+  }
+
+  return out;
+}
+
+Result<std::vector<Violation>> LintTree(const Config& config, const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    return NotFoundError("no src/ directory under " + root);
+  }
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end; it.increment(ec)) {
+    if (ec) {
+      return IoError("walking " + src.string() + ": " + ec.message());
+    }
+    if (!it->is_regular_file()) {
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> all;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return IoError("reading " + file.string());
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string rel = fs::relative(file, root, ec).generic_string();
+    std::vector<Violation> file_violations =
+        LintFile(config, ec ? file.generic_string() : rel, text.str());
+    all.insert(all.end(), std::make_move_iterator(file_violations.begin()),
+               std::make_move_iterator(file_violations.end()));
+  }
+  return all;
+}
+
+}  // namespace lint
+}  // namespace faasnap

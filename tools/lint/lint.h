@@ -1,0 +1,92 @@
+// faasnap_lint: a small project-specific static analyzer, run as a ctest.
+//
+// Clang-tidy and -Wthread-safety catch generic C++ hazards; this linter
+// enforces the rules that are specific to this codebase and that no generic
+// tool knows about:
+//
+//   * layering     — #include edges between src/ directories must follow the
+//                    DAG in tools/lint/layers.json (e.g. sim/ never includes
+//                    daemon/; common/ includes nothing).
+//   * determinism  — simulation code must not reach for wall clocks or
+//                    ambient randomness (std::chrono::system_clock, rand(),
+//                    std::random_device, time(), ...); the sim clock and the
+//                    seeded RNG are the only sanctioned sources. Files that
+//                    measure the real kernel (src/native/) are allowlisted.
+//   * container    — std::unordered_{map,set} are banned outside an explicit
+//                    allowlist: their iteration order is
+//                    implementation-defined and has twice nearly leaked into
+//                    "deterministic" traces. Lookup-only uses are allowlisted.
+//   * tracer-pairing — a file that opens spans (->Begin() / .Begin()) must
+//                    also close them (->End() / .End()); a missing End leaves
+//                    the span open forever and skews critical-path analysis.
+//   * void-comment — discarding a value with `(void)expr;` requires a
+//                    justifying comment on the same line. Status is
+//                    [[nodiscard]], so this is the only sanctioned way to
+//                    drop one — and it must say why.
+//
+// The analyzer is deliberately lexical (strip comments/strings, then scan
+// tokens): it has no false-negative-free guarantee, but it is fast, has no
+// compiler dependency, and every rule here is one a tokenizer can check
+// reliably. See docs/static_analysis.md for the full catalog and the
+// suppression mechanism.
+
+#ifndef FAASNAP_TOOLS_LINT_LINT_H_
+#define FAASNAP_TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace faasnap {
+namespace lint {
+
+struct Violation {
+  std::string file;  // repo-relative path, e.g. "src/mem/page_cache.cc"
+  int line = 0;      // 1-based
+  std::string rule;  // "layering" | "determinism" | "container" | "tracer-pairing" | "void-comment"
+  std::string message;
+
+  bool operator==(const Violation& other) const = default;
+};
+
+struct Config {
+  // Directory under src/ -> directories it may include from. A directory may
+  // always include itself. Directories absent from the map may include
+  // nothing (and including *them* is still legal: edges are checked from the
+  // includer's row).
+  std::map<std::string, std::set<std::string>> layers;
+  // Repo-relative path prefixes exempt from the determinism rule.
+  std::vector<std::string> determinism_allow;
+  // Repo-relative path prefixes exempt from the container rule.
+  std::vector<std::string> container_allow;
+  // Repo-relative path prefixes exempt from the tracer-pairing rule (the
+  // tracer's own implementation opens and closes spans asymmetrically).
+  std::vector<std::string> tracer_allow;
+};
+
+// Parses the layers.json config (strict subset of JSON: one object holding
+// string arrays and one object-of-string-arrays; keys starting with '_' are
+// ignored as comments).
+Result<Config> ParseConfig(std::string_view json);
+
+// Replaces comments, string literals, and character literals with spaces,
+// preserving line structure, so token scans cannot match inside them.
+// Exposed for testing.
+std::string StripCommentsAndStrings(std::string_view content);
+
+// Lints a single file. `path` is the repo-relative path; `content` its text.
+std::vector<Violation> LintFile(const Config& config, std::string_view path,
+                                std::string_view content);
+
+// Walks `root`/src recursively, linting every *.h / *.cc file in
+// deterministic (sorted) path order.
+Result<std::vector<Violation>> LintTree(const Config& config, const std::string& root);
+
+}  // namespace lint
+}  // namespace faasnap
+
+#endif  // FAASNAP_TOOLS_LINT_LINT_H_

@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): unordered containers are banned outside the
+// allowlist because their iteration order is implementation-defined.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int BadContainer() {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> seen;
+  counts["x"] = 1;
+  seen.insert(1);
+  return static_cast<int>(counts.size() + seen.size());
+}

@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): every statement below reaches for ambient
+// time or randomness, which the determinism rule bans outside the allowlist.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long BadDeterminism() {
+  auto wall = std::chrono::system_clock::now();
+  std::random_device entropy;
+  int noise = rand();
+  long stamp = time(nullptr);
+  (void)wall;  // fixture: silence unused warnings if ever compiled
+  return noise + stamp + static_cast<long>(entropy());
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): linted under the synthetic path
+// "src/sim/bad_layering.cc", so both includes below are illegal edges —
+// sim/ may only include common/.
+
+#include "src/daemon/daemon.h"
+#include "src/core/prefetch_loader.h"
+#include "src/common/status.h"
+
+int SimBadLayering() { return 0; }

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): opens a span and never closes it — the
+// tracer-pairing rule requires an End/Complete somewhere in any file that
+// calls Begin.
+
+struct FakeTracer {
+  int Begin(int t) { return t; }
+  void End(int, int) {}
+};
+
+int BadTracer(FakeTracer* spans) {
+  int span = spans->Begin(42);
+  return span;
+}

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): a bare (void) discard with no same-line
+// justifying comment. Status is [[nodiscard]], so this is how an error would
+// be silently dropped — the rule demands the drop explain itself.
+
+struct FakeStatus {
+  bool ok() const { return true; }
+};
+
+FakeStatus MightFail();
+
+void BadVoid() {
+  (void)MightFail();
+}
