@@ -10,6 +10,7 @@
 #include "src/common/page_range.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/common/units.h"
 #include "src/mem/page_cache.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/span_tracer.h"
@@ -310,6 +311,40 @@ void BM_FaultEnginePageCacheHitTraced(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FaultEnginePageCacheHitTraced);
+
+void BM_DiskSchedContention(benchmark::State& state) {
+  // Host-side cost of simulating a contended device: a pipelined prefetch
+  // stream racing a closed demand-fault chain. Arg = disk queue depth (0 = the
+  // legacy issue-time FIFO path, 32 = the two-class scheduler); the pair bounds
+  // the scheduler's per-request bookkeeping overhead (queueing, class pick,
+  // merge scan).
+  const auto depth = static_cast<uint32_t>(state.range(0));
+  constexpr int kPrefetchReads = 64;
+  constexpr int kDemandReads = 256;
+  BlockDeviceProfile profile = NvmeSsdProfile();
+  profile.sched.queue_depth = depth;
+  for (auto _ : state) {
+    Simulation sim;
+    BlockDevice disk(&sim, profile);
+    for (int i = 0; i < kPrefetchReads; ++i) {
+      disk.Read(static_cast<uint64_t>(i) * KiB(256), KiB(256),
+                {.read_class = ReadClass::kPrefetch, .stream = 1}, [](Status) {});
+    }
+    int left = kDemandReads;
+    std::function<void(Status)> chain = [&](Status) {
+      if (--left > 0) {
+        disk.Read(MiB(64) + static_cast<uint64_t>(left) * KiB(64), kPageSize,
+                  {.read_class = ReadClass::kDemand, .stream = 2}, chain);
+      }
+    };
+    disk.Read(MiB(64), kPageSize, {.read_class = ReadClass::kDemand, .stream = 2}, chain);
+    sim.Run();
+    benchmark::DoNotOptimize(disk.stats().read_requests);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (kPrefetchReads + kDemandReads));
+}
+BENCHMARK(BM_DiskSchedContention)->Arg(0)->Arg(32);
 
 void BM_SpanTracerBeginEnd(benchmark::State& state) {
   // Raw cost of one closed span: Begin + End on an interned name.

@@ -1,5 +1,7 @@
 #include "src/core/prefetch_loader.h"
 
+#include <algorithm>
+
 #include "src/chaos/fault_injector.h"
 #include "src/common/units.h"
 #include "src/obs/observability.h"
@@ -12,6 +14,9 @@ PrefetchLoader::PrefetchLoader(Simulation* sim, PageCache* cache, StorageRouter*
   FAASNAP_CHECK(sim_ != nullptr && cache_ != nullptr && storage_ != nullptr);
   FAASNAP_CHECK(config_.chunk_pages > 0);
   FAASNAP_CHECK(config_.pipeline_depth > 0);
+  FAASNAP_CHECK(config_.min_pipeline_depth >= 1 &&
+                config_.min_pipeline_depth <= config_.pipeline_depth);
+  current_depth_ = config_.pipeline_depth;
 }
 
 void PrefetchLoader::set_observability(SpanTracer* spans, MetricsRegistry* metrics) {
@@ -24,10 +29,13 @@ void PrefetchLoader::set_observability(SpanTracer* spans, MetricsRegistry* metri
     fetched_bytes_metric_ = metrics->GetCounter("loader.fetched_bytes");
     skipped_pages_metric_ = metrics->GetCounter("loader.skipped_pages");
     chunks_metric_ = metrics->GetCounter("loader.chunks");
+    depth_metric_ = metrics->GetGauge("loader.pipeline_depth");
+    depth_metric_->Set(static_cast<double>(current_depth_));
   } else {
     fetched_bytes_metric_ = nullptr;
     skipped_pages_metric_ = nullptr;
     chunks_metric_ = nullptr;
+    depth_metric_ = nullptr;
   }
 }
 
@@ -38,6 +46,7 @@ void PrefetchLoader::Start(std::vector<PrefetchItem> items, std::function<void()
     started_ = true;
   }
   start_time_ = sim_->now();
+  quiet_since_ = start_time_;
   done_ = std::move(done);
   if (spans_ != nullptr) {
     run_span_ = spans_->BeginId(start_time_, ObsLane::kLoader, loader_name_, 0, 0, parent_span_);
@@ -54,8 +63,37 @@ void PrefetchLoader::Start(std::vector<PrefetchItem> items, std::function<void()
   Pump();
 }
 
+void PrefetchLoader::UpdateDepth() {
+  if (!config_.adaptive_depth) {
+    return;
+  }
+  const SimTime now = sim_->now();
+  if (storage_->DemandPressure() > 0) {
+    // The guest is blocked on disk right now: back off so the device's queue
+    // drains demand first. Halving per refill converges in a few chunks.
+    const int halved = std::max(config_.min_pipeline_depth, current_depth_ / 2);
+    if (halved != current_depth_) {
+      current_depth_ = halved;
+      if (depth_metric_ != nullptr) {
+        depth_metric_->Set(static_cast<double>(current_depth_));
+      }
+    }
+    quiet_since_ = now;
+  } else if (current_depth_ < config_.pipeline_depth &&
+             now - quiet_since_ >= config_.depth_ramp_quiet) {
+    // Device quiet for a full ramp interval: double back toward the configured
+    // depth, one step per interval.
+    current_depth_ = std::min(config_.pipeline_depth, current_depth_ * 2);
+    quiet_since_ = now;
+    if (depth_metric_ != nullptr) {
+      depth_metric_->Set(static_cast<double>(current_depth_));
+    }
+  }
+}
+
 void PrefetchLoader::Pump() {
-  while (in_flight_ < config_.pipeline_depth && !chunks_.empty()) {
+  UpdateDepth();
+  while (in_flight_ < current_depth_ && !chunks_.empty()) {
     const PrefetchItem chunk = chunks_.front();
     chunks_.pop_front();
     if (injector_ != nullptr) {
@@ -149,7 +187,7 @@ void PrefetchLoader::IssueChunk(const PrefetchItem& chunk) {
           }
           OnChunkDone();
         },
-        chunk_span);
+        chunk_span, ReadClass::kPrefetch);
   }
 }
 

@@ -45,6 +45,15 @@ struct PrefetchConfig {
   uint64_t chunk_pages = 512;
   // Reads kept in flight concurrently (the loader thread's IO queue depth).
   int pipeline_depth = 4;
+  // Adaptive throttling: while demand reads are queued or in service at the
+  // router, the effective depth halves (down to min_pipeline_depth) each time
+  // the pipeline refills, backing the loader off the device the guest is
+  // blocked on; after depth_ramp_quiet without demand pressure it doubles back
+  // toward pipeline_depth. Driven entirely by simulation state, so same-seed
+  // runs stay bit-identical.
+  bool adaptive_depth = true;
+  int min_pipeline_depth = 1;
+  Duration depth_ramp_quiet = Duration::Millis(1);
 };
 
 class PrefetchLoader {
@@ -118,8 +127,13 @@ class PrefetchLoader {
     return failed_pages_;
   }
 
+  // Effective pipeline depth right now (== config.pipeline_depth with adaptive
+  // throttling off). Sim-thread confined, exposed for tests.
+  int current_depth() const { return current_depth_; }
+
  private:
   void Pump();
+  void UpdateDepth();
   void IssueChunk(const PrefetchItem& chunk);
   void OnChunkDone();
 
@@ -132,6 +146,8 @@ class PrefetchLoader {
   // from Start and simulation callbacks), so it carries no guard.
   std::deque<PrefetchItem> chunks_;  // pre-split work queue
   int in_flight_ = 0;
+  int current_depth_ = 0;    // set from config at construction
+  SimTime quiet_since_;      // last time demand pressure was seen (or depth changed)
   SimTime start_time_;
   FaultInjector* injector_ = nullptr;
   std::function<void()> done_;
@@ -153,6 +169,7 @@ class PrefetchLoader {
   Counter* fetched_bytes_metric_ = nullptr;
   Counter* skipped_pages_metric_ = nullptr;
   Counter* chunks_metric_ = nullptr;
+  Gauge* depth_metric_ = nullptr;
 };
 
 }  // namespace faasnap

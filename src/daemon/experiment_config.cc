@@ -119,6 +119,48 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
       static_cast<uint64_t>(root.GetIntOr("merge_gap_pages", 32));
   config.platform.seed = config.base_seed;
 
+  // Disk scheduler knobs (DiskSchedConfig). disk_queue_depth = 0 reverts to
+  // issue-time FIFO claiming (the pre-scheduler baseline); disk_max_merge_kib
+  // = 0 disables request coalescing. Applied to the remote tier too, below.
+  DiskSchedConfig& sched = config.platform.disk.sched;
+  const int64_t queue_depth = root.GetIntOr("disk_queue_depth", sched.queue_depth);
+  const int64_t prefetch_slots =
+      root.GetIntOr("disk_prefetch_slots", sched.prefetch_slots);
+  const int64_t aging_us =
+      root.GetIntOr("prefetch_aging_us", sched.prefetch_aging_bound.micros());
+  const int64_t merge_kib = root.GetIntOr(
+      "disk_max_merge_kib", static_cast<int64_t>(sched.max_merge_bytes / 1024));
+  if (queue_depth < 0 || aging_us < 0 || merge_kib < 0) {
+    return InvalidArgumentError(
+        "disk_queue_depth, prefetch_aging_us, and disk_max_merge_kib must be >= 0");
+  }
+  if (prefetch_slots < 1) {
+    return InvalidArgumentError("disk_prefetch_slots must be >= 1");
+  }
+  sched.queue_depth = static_cast<uint32_t>(queue_depth);
+  sched.prefetch_slots = static_cast<uint32_t>(prefetch_slots);
+  sched.prefetch_aging_bound = Duration::Micros(aging_us);
+  sched.max_merge_bytes = static_cast<uint64_t>(merge_kib) * 1024;
+
+  // Prefetch loader pipeline knobs (PrefetchConfig).
+  PrefetchConfig& loader = config.platform.loader;
+  loader.chunk_pages =
+      static_cast<uint64_t>(root.GetIntOr("loader_chunk_pages", loader.chunk_pages));
+  loader.pipeline_depth =
+      static_cast<int>(root.GetIntOr("loader_pipeline_depth", loader.pipeline_depth));
+  loader.adaptive_depth = root.GetBoolOr("loader_adaptive_depth", loader.adaptive_depth);
+  loader.min_pipeline_depth =
+      static_cast<int>(root.GetIntOr("loader_min_depth", loader.min_pipeline_depth));
+  loader.depth_ramp_quiet =
+      Duration::Micros(root.GetIntOr("loader_ramp_quiet_us", loader.depth_ramp_quiet.micros()));
+  if (loader.chunk_pages < 1 || loader.pipeline_depth < 1 ||
+      loader.min_pipeline_depth < 1 ||
+      loader.min_pipeline_depth > loader.pipeline_depth) {
+    return InvalidArgumentError(
+        "loader_chunk_pages and loader_pipeline_depth must be >= 1, with "
+        "1 <= loader_min_depth <= loader_pipeline_depth");
+  }
+
   if (root.Has("chaos")) {
     ASSIGN_OR_RETURN(JsonValue chaos, root.Get("chaos"));
     if (!chaos.is_object()) {
@@ -162,6 +204,10 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
       config.platform.remote_disk = EbsIo2Profile();
       config.platform.placement.memory_files = StorageTier::kRemote;
     }
+  }
+  if (config.platform.remote_disk.has_value()) {
+    // One set of scheduler knobs governs both tiers.
+    config.platform.remote_disk->sched = config.platform.disk.sched;
   }
   return config;
 }

@@ -16,6 +16,15 @@
 //   "ws_group_size": 1024,
 //   "merge_gap_pages": 32,
 //   "base_seed": 1,
+//   "disk_queue_depth": 32,                     // 0 = legacy issue-time FIFO claiming
+//   "disk_prefetch_slots": 8,                   // device slots prefetch may hold
+//   "prefetch_aging_us": 2000,                  // queued-prefetch starvation bound
+//   "disk_max_merge_kib": 1024,                 // request coalescing cap; 0 disables
+//   "loader_chunk_pages": 512,                  // prefetch loader read size
+//   "loader_pipeline_depth": 4,                 // loader IO queue depth
+//   "loader_adaptive_depth": true,              // halve depth under demand pressure
+//   "loader_min_depth": 1,                      // adaptive floor
+//   "loader_ramp_quiet_us": 1000,               // quiet time before depth ramps back
 //   "trace_out": "trace.json",                  // Perfetto/Chrome trace export
 //   "metrics_out": "metrics.json",              // metrics registry snapshot
 //   "chaos": {                                  // deterministic fault injection

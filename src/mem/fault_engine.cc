@@ -220,6 +220,11 @@ void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_fau
       metrics_.fault_disk_requests++;
       metrics_.fault_disk_bytes += PagesToBytes(r.count);
     }
+    // The range holding the faulting page is guest-blocking (demand class);
+    // the rest of the readahead window is speculative, so it queues as
+    // prefetch and cannot delay other vCPUs' demand faults at the device.
+    const ReadClass cls = r.first <= page && page < r.end() ? ReadClass::kDemand
+                                                            : ReadClass::kPrefetch;
     // A failed read must still retire the cache entry, or waiters (this fault
     // and anyone who piled onto the in-flight range) would sleep forever.
     storage_->ReadWithStatus(file, PagesToBytes(r.first), PagesToBytes(r.count),
@@ -230,7 +235,7 @@ void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_fau
                                  cache_->FailRead(handle, status);
                                }
                              },
-                             parent);
+                             parent, cls);
   }
   cache_->WaitFor(file, page, [initial, done = std::move(done)](const Status& status) {
     done(status, initial);

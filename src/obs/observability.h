@@ -50,6 +50,7 @@ inline constexpr std::string_view kDiskRead = "disk-read";        // arg0 = offs
 inline constexpr std::string_view kRecord = "record";             // record phase (daemon)
 inline constexpr std::string_view kExperimentCell = "experiment-cell";
 inline constexpr std::string_view kSchedulerServe = "scheduler-serve";
+inline constexpr std::string_view kSchedPromote = "sched-promote";  // instant, aged prefetch beat demand; arg0 = offset, arg1 = bytes
 inline constexpr std::string_view kStorageRetry = "storage-retry";  // instant, arg0 = attempt, arg1 = device
 inline constexpr std::string_view kBreakerOpen = "breaker-open";    // instant, arg0 = device
 inline constexpr std::string_view kDegraded = "degraded";           // instant (daemon lane)

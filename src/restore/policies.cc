@@ -4,6 +4,7 @@
 
 #include "src/common/units.h"
 #include "src/obs/observability.h"
+#include "src/storage/read_class.h"
 
 namespace faasnap {
 
@@ -217,7 +218,7 @@ class ReapPolicy final : public RestorePolicy {
         }
         FinishMappingSetup(env, 1, std::move(ready));
       });
-    }, fetch_span);
+    }, fetch_span, ReadClass::kPrefetch);
   }
 
   Duration blocking_fetch_time() const override { return fetch_time_; }

@@ -1,6 +1,7 @@
 #include "src/storage/block_device.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/chaos/fault_injector.h"
@@ -26,11 +27,25 @@ Duration BlockDevice::IopsInterval() const {
   return Duration::Nanos(static_cast<int64_t>(1000000000ull / profile_.iops));
 }
 
+BlockDevice::CompletionPlan BlockDevice::PlanCompletion(uint64_t bytes, SimTime start,
+                                                        bool transfers_data) const {
+  CompletionPlan plan;
+  plan.iops_ready = Max(iops_busy_until_, start) + IopsInterval();
+  plan.bw_ready =
+      transfers_data ? Max(bw_busy_until_, start) + TransferTime(bytes) : plan.iops_ready;
+  plan.completion = Max(plan.iops_ready, plan.bw_ready) + profile_.base_latency;
+  return plan;
+}
+
+SimTime BlockDevice::ApplyJitter(SimTime start, SimTime completion) {
+  const Duration service = completion - start;
+  const double factor = 1.0 + profile_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  return start + Duration::Nanos(std::max<int64_t>(
+                     1, static_cast<int64_t>(static_cast<double>(service.nanos()) * factor)));
+}
+
 SimTime BlockDevice::EstimateCompletion(uint64_t bytes) const {
-  const SimTime start = sim_->now();
-  const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
-  const SimTime bw_ready = Max(bw_busy_until_, start) + TransferTime(bytes);
-  return Max(iops_ready, bw_ready) + profile_.base_latency;
+  return PlanCompletion(bytes, sim_->now(), /*transfers_data=*/true).completion;
 }
 
 void BlockDevice::set_observability(SpanTracer* spans, MetricsRegistry* metrics) {
@@ -40,67 +55,159 @@ void BlockDevice::set_observability(SpanTracer* spans, MetricsRegistry* metrics)
     const MetricLabels labels = {{"device", profile_.name}};
     read_requests_metric_ = metrics->GetCounter("disk.read_requests", labels);
     bytes_read_metric_ = metrics->GetCounter("disk.bytes_read", labels);
+    merged_metric_ = metrics->GetCounter("disk.merged_requests", labels);
+    promoted_metric_ = metrics->GetCounter("disk.aged_promotions", labels);
     queue_depth_metric_ = metrics->GetGauge("disk.queue_depth", labels);
+    for (int i = 0; i < kReadClassCount; ++i) {
+      const MetricLabels class_labels = {
+          {"device", profile_.name},
+          {"class", std::string(ReadClassName(static_cast<ReadClass>(i)))}};
+      queued_metric_[i] = metrics->GetGauge("disk.queued", class_labels);
+      wait_metric_[i] = metrics->GetHistogram("disk.sched_wait_ns", class_labels);
+    }
+    // Attaching mid-flight: seed the gauges from live queue state instead of
+    // letting the first completion drive them negative.
+    queue_depth_metric_->Set(static_cast<double>(outstanding_));
+    UpdateQueueGauges();
   } else {
     read_requests_metric_ = nullptr;
     bytes_read_metric_ = nullptr;
+    merged_metric_ = nullptr;
+    promoted_metric_ = nullptr;
     queue_depth_metric_ = nullptr;
+    for (int i = 0; i < kReadClassCount; ++i) {
+      queued_metric_[i] = nullptr;
+      wait_metric_[i] = nullptr;
+    }
+  }
+}
+
+void BlockDevice::UpdateQueueGauges() {
+  if (queued_metric_[0] != nullptr) {
+    for (int i = 0; i < kReadClassCount; ++i) {
+      queued_metric_[i]->Set(static_cast<double>(queue_[i].size()));
+    }
   }
 }
 
 void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void()> done,
                        SpanId parent) {
-  if (injector_ != nullptr) {
-    // Route through the status-carrying path so injection decisions are drawn;
-    // untyped callers have no error handling, so a terminal failure here is a
-    // programming error (pipeline paths use the Status overload).
-    Read(offset, bytes,
-         [done = std::move(done)](Status status) mutable {
-           FAASNAP_CHECK(status.ok() && "untyped BlockDevice::Read failed under fault injection");
-           done();
-         },
-         parent);
-    return;
-  }
-  FAASNAP_CHECK(bytes > 0);
-  const SimTime start = sim_->now();
-  const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
-  const SimTime bw_ready = Max(bw_busy_until_, start) + TransferTime(bytes);
-  iops_busy_until_ = iops_ready;
-  bw_busy_until_ = bw_ready;
-  SimTime completion = Max(iops_ready, bw_ready) + profile_.base_latency;
-  if (profile_.jitter > 0.0) {
-    const Duration service = completion - start;
-    const double factor = 1.0 + profile_.jitter * (2.0 * rng_.NextDouble() - 1.0);
-    completion = start + Duration::Nanos(std::max<int64_t>(
-                             1, static_cast<int64_t>(
-                                    static_cast<double>(service.nanos()) * factor)));
-  }
-  stats_.read_requests++;
-  stats_.bytes_read += bytes;
-  if (spans_ != nullptr) {
-    // Service time is decided at issue, so the whole span records here.
-    spans_->CompleteId(start, completion, ObsLane::kDisk, disk_read_name_, offset, bytes,
-                      parent);
-  }
-  if (read_requests_metric_ != nullptr) {
-    read_requests_metric_->Add(1);
-    bytes_read_metric_->Add(static_cast<int64_t>(bytes));
-    queue_depth_metric_->Set(static_cast<double>(++outstanding_));
-    // Still exactly one scheduled event; the wrapper only updates the gauge.
-    sim_->Schedule(completion, [this, done = std::move(done)] {
-      queue_depth_metric_->Set(static_cast<double>(--outstanding_));
-      done();
-    });
-    return;
-  }
-  sim_->Schedule(completion, std::move(done));
+  // Untyped callers have no error handling, so a terminal failure here is a
+  // programming error (pipeline paths use the status overloads).
+  Read(offset, bytes, DeviceReadOptions{ReadClass::kDemand, /*stream=*/0, parent},
+       [done = std::move(done)](Status status) mutable {
+         FAASNAP_CHECK(status.ok() && "untyped BlockDevice::Read failed under fault injection");
+         done();
+       });
 }
 
 void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void(Status)> done,
                        SpanId parent) {
+  Read(offset, bytes, DeviceReadOptions{ReadClass::kDemand, /*stream=*/0, parent},
+       std::move(done));
+}
+
+void BlockDevice::Read(uint64_t offset, uint64_t bytes, const DeviceReadOptions& options,
+                       std::function<void(Status)> done) {
   FAASNAP_CHECK(bytes > 0);
+  Request request;
+  request.offset = offset;
+  request.bytes = bytes;
+  request.stream = options.stream;
+  request.cls = options.read_class;
+  request.enqueued = sim_->now();
+  request.parent = options.parent;
+  request.done = std::move(done);
+  Enqueue(std::move(request));
+}
+
+void BlockDevice::Enqueue(Request request) {
+  ++outstanding_;
+  if (queue_depth_metric_ != nullptr) {
+    queue_depth_metric_->Set(static_cast<double>(outstanding_));
+  }
+  const uint32_t depth = profile_.sched.queue_depth;
+  if (depth == 0) {
+    // Scheduler disabled: issue-time serializer claiming in FIFO order.
+    std::vector<Request> single;
+    single.push_back(std::move(request));
+    Dispatch(std::move(single));
+    return;
+  }
+  // Queue, then drain: with free slots and nothing else waiting this dispatches
+  // immediately at the same timestamp, so an uncontended load claims the
+  // serializers in arrival order exactly like the issue-time model.
+  queue_[static_cast<int>(request.cls)].push_back(std::move(request));
+  TryDispatch();
+  UpdateQueueGauges();
+}
+
+void BlockDevice::TryDispatch() {
+  const DiskSchedConfig& sched = profile_.sched;
+  const int prefetch_cap = std::max(1, static_cast<int>(sched.prefetch_slots));
+  while (in_service_ < static_cast<int>(sched.queue_depth)) {
+    const bool can_demand = !queue_[0].empty();
+    const bool can_prefetch =
+        !queue_[1].empty() && in_service_batches_[1] < prefetch_cap;
+    if (!can_demand && !can_prefetch) {
+      break;
+    }
+    int pick;
+    if (!can_demand) {
+      pick = 1;
+    } else if (!can_prefetch) {
+      pick = 0;
+    } else if (!demand_owed_ &&
+               sim_->now() - queue_[1].front().enqueued >= sched.prefetch_aging_bound) {
+      // The prefetch head has waited out the aging bound: it beats demand, so
+      // a saturating demand stream can delay prefetch but never starve it. The
+      // win is not repeatable back-to-back — the next contested slot is owed to
+      // demand — so an aged backlog cannot invert the priority wholesale.
+      pick = 1;
+      demand_owed_ = true;
+      stats_.aged_promotions++;
+      if (promoted_metric_ != nullptr) {
+        promoted_metric_->Add(1);
+      }
+      if (spans_ != nullptr) {
+        spans_->Instant(sim_->now(), ObsLane::kDisk, obsname::kSchedPromote,
+                        queue_[1].front().offset, queue_[1].front().bytes,
+                        queue_[1].front().parent);
+      }
+    } else {
+      pick = 0;
+    }
+    if (pick == 0) {
+      demand_owed_ = false;
+    }
+    std::deque<Request>& queue = queue_[pick];
+    std::vector<Request> batch;
+    batch.push_back(std::move(queue.front()));
+    queue.pop_front();
+    uint64_t batch_bytes = batch.front().bytes;
+    while (sched.max_merge_bytes > 0 && !queue.empty() &&
+           queue.front().stream == batch.back().stream &&
+           queue.front().offset == batch.back().offset + batch.back().bytes &&
+           batch_bytes + queue.front().bytes <= sched.max_merge_bytes) {
+      batch_bytes += queue.front().bytes;
+      batch.push_back(std::move(queue.front()));
+      queue.pop_front();
+    }
+    UpdateQueueGauges();
+    Dispatch(std::move(batch));
+  }
+}
+
+void BlockDevice::Dispatch(std::vector<Request> batch) {
   const SimTime start = sim_->now();
+  const int cls = static_cast<int>(batch.front().cls);
+  uint64_t total_bytes = 0;
+  for (const Request& r : batch) {
+    total_bytes += r.bytes;
+  }
+
+  // One injection decision per device request: a merged batch fails (or is
+  // delayed) as a unit, exactly like a single large read would.
   Status result = OkStatus();
   Duration extra = Duration::Zero();
   if (injector_ != nullptr) {
@@ -108,50 +215,79 @@ void BlockDevice::Read(uint64_t offset, uint64_t bytes, std::function<void(Statu
     result = std::move(fault.status);
     extra = fault.extra_latency;
   }
-  SimTime completion;
-  if (!result.ok()) {
-    // A failed request occupies a request slot and pays the fixed per-request
-    // latency (the device or remote side reported the error) but transfers no
-    // data, so the bandwidth serializer does not advance.
-    const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
-    iops_busy_until_ = iops_ready;
-    completion = iops_ready + profile_.base_latency + extra;
+  const bool ok = result.ok();
+
+  // A failed request occupies a request slot and pays the fixed per-request
+  // latency (the device or remote side reported the error) but transfers no
+  // data, so the bandwidth serializer does not advance.
+  const CompletionPlan plan = PlanCompletion(total_bytes, start, /*transfers_data=*/ok);
+  iops_busy_until_ = plan.iops_ready;
+  if (ok) {
+    bw_busy_until_ = plan.bw_ready;
+  }
+  SimTime completion = plan.completion;
+  if (ok && profile_.jitter > 0.0) {
+    completion = ApplyJitter(start, completion);
+  }
+  completion = completion + extra;
+
+  for (const Request& r : batch) {
     stats_.read_requests++;
-  } else {
-    const SimTime iops_ready = Max(iops_busy_until_, start) + IopsInterval();
-    const SimTime bw_ready = Max(bw_busy_until_, start) + TransferTime(bytes);
-    iops_busy_until_ = iops_ready;
-    bw_busy_until_ = bw_ready;
-    completion = Max(iops_ready, bw_ready) + profile_.base_latency;
-    if (profile_.jitter > 0.0) {
-      const Duration service = completion - start;
-      const double factor = 1.0 + profile_.jitter * (2.0 * rng_.NextDouble() - 1.0);
-      completion = start + Duration::Nanos(std::max<int64_t>(
-                               1, static_cast<int64_t>(
-                                      static_cast<double>(service.nanos()) * factor)));
+    (r.cls == ReadClass::kDemand ? stats_.demand_requests : stats_.prefetch_requests)++;
+    const uint64_t wait = static_cast<uint64_t>((start - r.enqueued).nanos());
+    if (r.cls == ReadClass::kDemand) {
+      stats_.demand_wait_ns += wait;
+      stats_.max_demand_wait_ns = std::max(stats_.max_demand_wait_ns, wait);
+    } else {
+      stats_.prefetch_wait_ns += wait;
+      stats_.max_prefetch_wait_ns = std::max(stats_.max_prefetch_wait_ns, wait);
     }
-    completion = completion + extra;
-    stats_.read_requests++;
-    stats_.bytes_read += bytes;
+    if (ok) {
+      stats_.bytes_read += r.bytes;
+    } else {
+      stats_.failed_requests++;
+    }
+    if (spans_ != nullptr) {
+      // Enqueue -> completion: queue wait is part of what the caller experienced.
+      spans_->CompleteId(r.enqueued, completion, ObsLane::kDisk, disk_read_name_, r.offset,
+                         r.bytes, r.parent);
+    }
+    if (wait_metric_[cls] != nullptr) {
+      wait_metric_[cls]->Record(Duration::Nanos(static_cast<int64_t>(wait)));
+    }
   }
-  if (spans_ != nullptr) {
-    spans_->CompleteId(start, completion, ObsLane::kDisk, disk_read_name_, offset, bytes,
-                       parent);
-  }
+  stats_.merged_requests += batch.size() - 1;
   if (read_requests_metric_ != nullptr) {
-    read_requests_metric_->Add(1);
-    if (result.ok()) {
-      bytes_read_metric_->Add(static_cast<int64_t>(bytes));
+    read_requests_metric_->Add(static_cast<int64_t>(batch.size()));
+    if (ok) {
+      bytes_read_metric_->Add(static_cast<int64_t>(total_bytes));
     }
-    queue_depth_metric_->Set(static_cast<double>(++outstanding_));
-    sim_->Schedule(completion, [this, done = std::move(done), result = std::move(result)]() mutable {
-      queue_depth_metric_->Set(static_cast<double>(--outstanding_));
-      done(std::move(result));
-    });
-    return;
+    if (batch.size() > 1) {
+      merged_metric_->Add(static_cast<int64_t>(batch.size() - 1));
+    }
   }
-  sim_->Schedule(completion, [done = std::move(done), result = std::move(result)]() mutable {
-    done(std::move(result));
+
+  ++in_service_;
+  ++in_service_batches_[cls];
+  in_service_reqs_[cls] += static_cast<int>(batch.size());
+  sim_->Schedule(completion, [this, cls, count = static_cast<int>(batch.size()),
+                              dones = std::move(batch),
+                              result = std::move(result)]() mutable {
+    --in_service_;
+    --in_service_batches_[cls];
+    in_service_reqs_[cls] -= count;
+    outstanding_ -= count;
+    if (queue_depth_metric_ != nullptr) {
+      queue_depth_metric_->Set(static_cast<double>(outstanding_));
+    }
+    // Refill freed slots before waking callers: the serializers stay claimed
+    // ahead, and a completion callback that issues a new read sees a settled
+    // queue. This also releases the slot of a failed request, so chaos cannot
+    // wedge the scheduler.
+    TryDispatch();
+    for (Request& r : dones) {
+      r.done(result);
+    }
   });
 }
 

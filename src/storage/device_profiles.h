@@ -18,6 +18,7 @@ inline BlockDeviceProfile NvmeSsdProfile() {
       .bandwidth_bytes_per_s = 1589 * 1000 * 1000,
       .iops = 285000,
       .jitter = 0.08,
+      .sched = {},
   };
 }
 
@@ -30,6 +31,7 @@ inline BlockDeviceProfile EbsIo2Profile() {
       .bandwidth_bytes_per_s = 1000 * 1000 * 1000,
       .iops = 64000,
       .jitter = 0.12,
+      .sched = {},
   };
 }
 
@@ -41,6 +43,7 @@ inline BlockDeviceProfile TestDiskProfile() {
       .bandwidth_bytes_per_s = 1000 * 1000 * 1000,  // 1 GB/s: 4 KiB ~= 4.096 us
       .iops = 250000,                               // 4 us IOPS interval
       .jitter = 0.0,
+      .sched = {},
   };
 }
 

@@ -1,0 +1,34 @@
+// Scheduling class for device reads.
+//
+// The paper's core overlap argument (section 4.2) is that background prefetch
+// must not starve the demand faults the guest is actually blocked on. Every
+// read therefore carries a class: the block device's scheduler lets demand
+// reads jump queued prefetch, bounded by an aging limit so prefetch still
+// finishes (see DiskSchedConfig in block_device.h).
+
+#ifndef FAASNAP_SRC_STORAGE_READ_CLASS_H_
+#define FAASNAP_SRC_STORAGE_READ_CLASS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace faasnap {
+
+enum class ReadClass : uint8_t {
+  // Guest-blocking reads: major faults, uffd-resolved reads, REAP's monitor
+  // pread — anything a vCPU is stalled on right now.
+  kDemand = 0,
+  // Background reads the guest is not (yet) waiting for: loader chunks,
+  // readahead window tails, REAP's working-set fetch.
+  kPrefetch = 1,
+};
+
+inline constexpr int kReadClassCount = 2;
+
+inline constexpr std::string_view ReadClassName(ReadClass cls) {
+  return cls == ReadClass::kDemand ? "demand" : "prefetch";
+}
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_STORAGE_READ_CLASS_H_

@@ -13,8 +13,10 @@ namespace faasnap {
 // time an attempt settles, so the loser of a completion/deadline race — and any
 // event from a superseded attempt — sees a stale generation and drops out.
 struct StorageRouter::PendingRead {
+  FileId file = kInvalidFileId;  // merge stream for the device scheduler
   uint64_t offset = 0;
   uint64_t bytes = 0;
+  ReadClass cls = ReadClass::kDemand;
   SpanId parent = kNoSpan;
   DeviceId device = kLocalDevice;
   int attempt = 1;
@@ -92,17 +94,32 @@ void StorageRouter::set_observability(SpanTracer* spans, MetricsRegistry* metric
 }
 
 void StorageRouter::Read(FileId file, uint64_t offset, uint64_t bytes,
-                         std::function<void()> done, SpanId parent) {
+                         std::function<void()> done, SpanId parent, ReadClass cls) {
   FAASNAP_CHECK(!devices_.empty());
   const DeviceId device = DeviceFor(file);
   if (routed_local_ != nullptr) {
     (device == kLocalDevice ? routed_local_ : routed_remote_)->Add(1);
   }
-  devices_[device]->Read(offset, bytes, std::move(done), parent);
+  // Untyped callers have no error handling, so a terminal injected failure on
+  // this path is a programming error (pipeline paths use ReadWithStatus).
+  devices_[device]->Read(offset, bytes, DeviceReadOptions{cls, /*stream=*/file, parent},
+                         [done = std::move(done)](Status status) mutable {
+                           FAASNAP_CHECK(status.ok() &&
+                                         "untyped StorageRouter::Read failed under fault injection");
+                           done();
+                         });
+}
+
+int StorageRouter::DemandPressure() const {
+  int pressure = 0;
+  for (const BlockDevice* device : devices_) {
+    pressure += device->demand_pressure();
+  }
+  return pressure;
 }
 
 void StorageRouter::ReadWithStatus(FileId file, uint64_t offset, uint64_t bytes,
-                                   ReadCallback done, SpanId parent) {
+                                   ReadCallback done, SpanId parent, ReadClass cls) {
   FAASNAP_CHECK(!devices_.empty());
   const DeviceId device = DeviceFor(file);
   if (routed_local_ != nullptr) {
@@ -111,12 +128,15 @@ void StorageRouter::ReadWithStatus(FileId file, uint64_t offset, uint64_t bytes,
   if (injector_ == nullptr) {
     // Chaos off: a single direct device read, event-for-event identical to the
     // untyped path.
-    devices_[device]->Read(offset, bytes, std::move(done), parent);
+    devices_[device]->Read(offset, bytes, DeviceReadOptions{cls, /*stream=*/file, parent},
+                           std::move(done));
     return;
   }
   auto req = std::make_shared<PendingRead>();
+  req->file = file;
   req->offset = offset;
   req->bytes = bytes;
+  req->cls = cls;
   req->parent = parent;
   req->device = device;
   req->first_issue = sim_->now();
@@ -159,10 +179,10 @@ void StorageRouter::Attempt(std::shared_ptr<PendingRead> req) {
   const uint64_t generation = ++req->generation;
   devices_[req->device]->Read(
       req->offset, req->bytes,
+      DeviceReadOptions{req->cls, /*stream=*/req->file, req->parent},
       [this, req, generation](Status status) {
         OnAttemptComplete(req, generation, std::move(status));
-      },
-      req->parent);
+      });
   if (policy_.read_deadline > Duration::Zero()) {
     sim_->ScheduleAfter(policy_.read_deadline, [this, req, generation] {
       OnAttemptComplete(req, generation,

@@ -28,6 +28,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_annotations.h"
 #include "src/storage/block_device.h"
+#include "src/storage/read_class.h"
 
 namespace faasnap {
 
@@ -89,16 +90,24 @@ class StorageRouter {
 
   // Issues an asynchronous read of `bytes` at `offset` within `file`, on the
   // device the file is placed on. `parent` links the device's disk-read span to
-  // the causing span (see BlockDevice::Read).
+  // the causing span (see BlockDevice::Read). `cls` is the scheduling class the
+  // device queues the read under (read_class.h); the file id doubles as the
+  // device-level merge stream, so adjacent reads of one file coalesce but reads
+  // of unrelated files never do.
   void Read(FileId file, uint64_t offset, uint64_t bytes, std::function<void()> done,
-            SpanId parent = kNoSpan);
+            SpanId parent = kNoSpan, ReadClass cls = ReadClass::kDemand);
 
   // Failure-aware read: `done(status)` fires exactly once on the simulation
   // clock, with OkStatus() on success or a typed error once deadlines, retries,
   // the circuit breaker, and failover are exhausted. See StorageFaultPolicy.
   using ReadCallback = std::function<void(Status)>;
   void ReadWithStatus(FileId file, uint64_t offset, uint64_t bytes, ReadCallback done,
-                      SpanId parent = kNoSpan);
+                      SpanId parent = kNoSpan, ReadClass cls = ReadClass::kDemand);
+
+  // Demand reads accepted but not yet completed, summed over all devices. The
+  // prefetch loader polls this to throttle its pipeline while the guest is
+  // blocked on disk (see PrefetchConfig::adaptive_depth).
+  int DemandPressure() const;
 
   // Attaches the retry/breaker/failover machinery. `sim` must outlive the
   // router; `injector` may be null, which leaves ReadWithStatus as a plain

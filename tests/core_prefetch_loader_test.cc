@@ -68,6 +68,47 @@ TEST_F(PrefetchLoaderTest, PipelinedChunksApproachFullBandwidth) {
   EXPECT_GT(seconds, 0.065);
 }
 
+TEST_F(PrefetchLoaderTest, AdaptiveDepthHalvesUnderDemandPressureAndRampsBack) {
+  // While demand reads are queued or in service at the router, each pipeline
+  // refill halves the effective depth (down to the floor); once the device has
+  // been quiet for depth_ramp_quiet it doubles back toward the configured depth.
+  PrefetchLoader loader(&sim_, &cache_, &router_,
+                        {.chunk_pages = 64,
+                         .pipeline_depth = 4,
+                         .adaptive_depth = true,
+                         .min_pipeline_depth = 1,
+                         .depth_ramp_quiet = Duration::Micros(500)});
+  // A closed demand-fault chain on another file keeps pressure > 0 early on.
+  constexpr FileId kOther = 2;
+  int demand_left = 12;
+  std::function<void()> demand_chain = [&] {
+    if (--demand_left > 0) {
+      router_.Read(kOther, static_cast<uint64_t>(demand_left) * kPageSize, kPageSize,
+                   demand_chain, kNoSpan, ReadClass::kDemand);
+    }
+  };
+  router_.Read(kOther, 0, kPageSize, demand_chain, kNoSpan, ReadClass::kDemand);
+  int min_seen = 4;
+  sim_.ScheduleAfter(Duration::Micros(400), [&] { min_seen = loader.current_depth(); });
+  loader.Start({{kFile, {0, 4096}}}, [] {});
+  sim_.Run();
+  // Pressure was live during the load: the pipeline backed off...
+  EXPECT_LT(min_seen, 4);
+  // ...and with the demand chain long gone before the 16 MiB load finished,
+  // quiet intervals ramped it back to the configured depth.
+  EXPECT_EQ(loader.current_depth(), 4);
+  EXPECT_EQ(cache_.PresentPages(kFile).page_count(), 4096u);
+}
+
+TEST_F(PrefetchLoaderTest, AdaptiveDepthOffKeepsConfiguredDepth) {
+  PrefetchLoader loader(&sim_, &cache_, &router_,
+                        {.chunk_pages = 64, .pipeline_depth = 4, .adaptive_depth = false});
+  router_.Read(kFile, MiB(512), kPageSize, [] {}, kNoSpan, ReadClass::kDemand);
+  loader.Start({{kFile, {0, 1024}}}, [] {});
+  sim_.Run();
+  EXPECT_EQ(loader.current_depth(), 4);
+}
+
 TEST_F(PrefetchLoaderTest, MultipleItemsLoadInOrder) {
   // Group-ordered loading: earlier items should complete no later than later ones.
   PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = 32, .pipeline_depth = 1});
