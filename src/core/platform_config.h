@@ -39,6 +39,10 @@ struct PlatformConfig {
   SnapshotPlacement placement;
   HostCostModel host_costs;
   SetupCostModel setup_costs;
+  // Fault-path levers (batched uffd installs, huge regions, coalescing). All
+  // off by default; the record phase always runs with them off so snapshot
+  // artifacts are identical across lever settings.
+  FaultPathConfig fault_path;
   ReadaheadConfig readahead;
   GuestConfig guest;
   GuestLayout layout = GuestLayout::Default2GiB();

@@ -161,6 +161,43 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
         "1 <= loader_min_depth <= loader_pipeline_depth");
   }
 
+  // Readahead stream-table bound (LRU eviction); 0 = unbounded.
+  const int64_t max_streams = root.GetIntOr(
+      "readahead_max_streams", static_cast<int64_t>(config.platform.readahead.max_streams));
+  if (max_streams < 0) {
+    return InvalidArgumentError("readahead_max_streams must be >= 0");
+  }
+  config.platform.readahead.max_streams = static_cast<uint64_t>(max_streams);
+
+  // Fault-path lever knobs (FaultPathConfig); every lever defaults to off so an
+  // absent block reproduces the pre-lever fault path exactly.
+  if (root.Has("fault_path")) {
+    ASSIGN_OR_RETURN(JsonValue fault_path, root.Get("fault_path"));
+    if (!fault_path.is_object()) {
+      return InvalidArgumentError("\"fault_path\" must be an object");
+    }
+    FaultPathConfig& fp = config.platform.fault_path;
+    fp.batched_uffd_install =
+        fault_path.GetBoolOr("batched_uffd_install", fp.batched_uffd_install);
+    fp.huge_pages = fault_path.GetBoolOr("huge_pages", fp.huge_pages);
+    fp.fault_coalescing = fault_path.GetBoolOr("fault_coalescing", fp.fault_coalescing);
+    const int64_t batch_max = fault_path.GetIntOr(
+        "uffd_batch_max_pages", static_cast<int64_t>(fp.uffd_batch_max_pages));
+    const int64_t region_pages = fault_path.GetIntOr(
+        "huge_region_pages", static_cast<int64_t>(fp.huge_region_pages));
+    fp.huge_density_threshold =
+        fault_path.GetNumberOr("huge_density_threshold", fp.huge_density_threshold);
+    if (batch_max < 1 || region_pages < 1) {
+      return InvalidArgumentError(
+          "uffd_batch_max_pages and huge_region_pages must be >= 1");
+    }
+    if (!(fp.huge_density_threshold > 0.0) || fp.huge_density_threshold > 1.0) {
+      return InvalidArgumentError("huge_density_threshold must be in (0, 1]");
+    }
+    fp.uffd_batch_max_pages = static_cast<uint64_t>(batch_max);
+    fp.huge_region_pages = static_cast<uint64_t>(region_pages);
+  }
+
   if (root.Has("chaos")) {
     ASSIGN_OR_RETURN(JsonValue chaos, root.Get("chaos"));
     if (!chaos.is_object()) {

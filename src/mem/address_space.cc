@@ -1,5 +1,7 @@
 #include "src/mem/address_space.h"
 
+#include <algorithm>
+
 namespace faasnap {
 
 AddressSpace::AddressSpace(uint64_t total_pages) : total_pages_(total_pages) {
@@ -66,9 +68,67 @@ void AddressSpace::SetInstallState(PageIndex page, PageInstallState s) {
 }
 
 void AddressSpace::SetInstallState(PageRange range, PageInstallState s) {
+  FAASNAP_CHECK(range.end() <= total_pages_);
+  const bool now_resident = s != PageInstallState::kNotPresent;
+  const uint8_t value = static_cast<uint8_t>(s);
+  int64_t resident_delta = 0;
   for (PageIndex p = range.first; p < range.end(); ++p) {
-    SetInstallState(p, s);
+    const bool was_resident =
+        install_[p] != static_cast<uint8_t>(PageInstallState::kNotPresent);
+    resident_delta += static_cast<int64_t>(now_resident) - static_cast<int64_t>(was_resident);
+    install_[p] = value;
   }
+  resident_pages_ = static_cast<uint64_t>(static_cast<int64_t>(resident_pages_) + resident_delta);
+}
+
+bool AddressSpace::AllInState(PageRange range, PageInstallState s) const {
+  FAASNAP_CHECK(range.end() <= total_pages_);
+  const uint8_t value = static_cast<uint8_t>(s);
+  for (PageIndex p = range.first; p < range.end(); ++p) {
+    if (install_[p] != value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PageRange AddressSpace::MappingRun(PageIndex page) const {
+  FAASNAP_CHECK(page < total_pages_);
+  auto it = regions_.upper_bound(page);
+  FAASNAP_CHECK(it != regions_.begin());
+  const PageIndex end = it == regions_.end() ? total_pages_ : it->first;
+  --it;
+  return PageRange{it->first, end - it->first};
+}
+
+void AddressSpace::ConfigureHugeRegions(uint64_t region_pages) {
+  FAASNAP_CHECK(region_pages > 0);
+  huge_region_pages_ = region_pages;
+  huge_regions_.clear();
+}
+
+PageRange AddressSpace::HugeRegionOf(PageIndex page) const {
+  FAASNAP_CHECK(page < total_pages_);
+  const PageIndex start = page - page % huge_region_pages_;
+  const PageIndex end = std::min(start + huge_region_pages_, total_pages_);
+  return PageRange{start, end - start};
+}
+
+void AddressSpace::MarkHugeEligible(PageIndex region_start) {
+  FAASNAP_CHECK(region_start < total_pages_);
+  FAASNAP_CHECK(region_start % huge_region_pages_ == 0);
+  huge_regions_[region_start] = HugeRegionState::kEligible;
+}
+
+HugeRegionState AddressSpace::huge_region_state(PageIndex page) const {
+  FAASNAP_CHECK(page < total_pages_);
+  auto it = huge_regions_.find(page - page % huge_region_pages_);
+  return it == huge_regions_.end() ? HugeRegionState::kNone : it->second;
+}
+
+void AddressSpace::SetHugeRegionState(PageIndex page, HugeRegionState s) {
+  FAASNAP_CHECK(page < total_pages_);
+  huge_regions_[page - page % huge_region_pages_] = s;
 }
 
 uint64_t AddressSpace::resident_anonymous_pages() const {

@@ -52,6 +52,15 @@ struct MappingRequest {
 
 enum class PageInstallState : uint8_t { kNotPresent = 0, kSoftPresent = 1, kPresent = 2 };
 
+// Lifecycle of one 2 MiB-aligned huge region (huge-page fault-path lever):
+//   kNone      — ordinary 4 KiB region,
+//   kEligible  — dense enough (per the loading set) to be mapped huge; the first
+//                fault installs the whole region,
+//   kInstalled — one huge fault installed every page,
+//   kSplit     — copy-on-touch fallback: the region was sparse or partially
+//                backed, so it was split back to 4 KiB mappings (charged once).
+enum class HugeRegionState : uint8_t { kNone = 0, kEligible, kInstalled, kSplit };
+
 class AddressSpace {
  public:
   explicit AddressSpace(uint64_t total_pages);
@@ -62,6 +71,11 @@ class AddressSpace {
   // Backing of `page` under the current layering.
   PageBacking Resolve(PageIndex page) const;
 
+  // The maximal run [start, end) of pages sharing one mapping with `page`
+  // (same backing kind/file, file offsets advancing linearly). Range installs
+  // and huge regions must not cross a run boundary.
+  PageRange MappingRun(PageIndex page) const;
+
   uint64_t total_pages() const { return total_pages_; }
   uint64_t mmap_call_count() const { return mmap_call_count_; }
 
@@ -70,7 +84,23 @@ class AddressSpace {
     return static_cast<PageInstallState>(install_[page]);
   }
   void SetInstallState(PageIndex page, PageInstallState s);
+  // Range form: one pass over the run with a single resident-count adjustment,
+  // so batched installs are O(runs) rather than per-page bookkeeping.
   void SetInstallState(PageRange range, PageInstallState s);
+
+  // True iff every page of `range` is in state `s`.
+  bool AllInState(PageRange range, PageInstallState s) const;
+
+  // Huge-region tracking (fault-path lever). Regions are `region_pages`-aligned
+  // windows of the guest space; only regions explicitly marked eligible ever
+  // leave kNone. Configure before marking; reconfiguring clears all marks.
+  void ConfigureHugeRegions(uint64_t region_pages);
+  void MarkHugeEligible(PageIndex region_start);
+  HugeRegionState huge_region_state(PageIndex page) const;
+  void SetHugeRegionState(PageIndex page, HugeRegionState s);
+  // The huge region containing `page`, clamped to the guest size.
+  PageRange HugeRegionOf(PageIndex page) const;
+  uint64_t huge_region_pages() const { return huge_region_pages_; }
 
   // Number of installed pages (kSoftPresent or kPresent): the VMM's RSS as seen by
   // the daemon's procfs polling during the record phase (section 5).
@@ -91,6 +121,10 @@ class AddressSpace {
   // with the offset into the run.
   std::map<PageIndex, PageBacking> regions_;
   std::vector<uint8_t> install_;
+  // Huge-region states keyed by region start; absent key = kNone. Sparse: only
+  // marked regions appear, so the map stays proportional to the working set.
+  std::map<PageIndex, HugeRegionState> huge_regions_;
+  uint64_t huge_region_pages_ = 512;
   uint64_t resident_pages_ = 0;
   uint64_t anon_copied_pages_ = 0;
   uint64_t mmap_call_count_ = 0;

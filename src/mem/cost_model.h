@@ -43,12 +43,55 @@ struct HostCostModel {
   Duration cached_pread_page = Duration::Nanos(2500);
   // Installing one prefetched page via UFFDIO_COPY during REAP's working set load.
   Duration uffd_copy_page = Duration::Nanos(700);
+  // One multi-page UFFDIO_COPY ioctl covering a contiguous run (batched install
+  // lever): the fixed ioctl entry/exit plus wakeup, paid once per run.
+  Duration uffd_batch_install = Duration::Nanos(3000);
+  // Marginal cost per additional page inside a batched UFFDIO_COPY: the memcpy
+  // and PTE install without a separate ioctl/wakeup round trip.
+  Duration uffd_batch_per_page = Duration::Nanos(150);
+  // One fault on a 2 MiB huge mapping: a single kernel entry installs 512 pages
+  // (one PMD) instead of 512 separate 4 KiB faults.
+  Duration huge_fault = Duration::Nanos(9000);
+  // Splitting a huge region back to 4 KiB mappings when it turns out sparse or
+  // partially file-backed (copy-on-touch fallback); charged once per region on
+  // the fault that triggers the split.
+  Duration huge_split = Duration::Nanos(4000);
   // One mmap(MAP_FIXED) call in the VMM during setup. With >1000 loading-set
   // regions this cost is why the paper merges regions (section 4.6).
   Duration mmap_call = Duration::Nanos(1500);
   // Deterministic per-page dispersion of the constant fault costs (mean ~1.0x,
   // 5% outlier tail), reproducing Figure 2's spread. Disable for exact-cost tests.
   bool cost_dispersion = true;
+};
+
+// OS co-design levers on the fault path (Holmes et al.: batched installs, huge
+// mappings, fault coalescing). Each lever is individually toggleable and off by
+// default; with all three disabled the fault path is event-for-event identical
+// to a build without them (the exactness gate the ablation benches rely on).
+struct FaultPathConfig {
+  // Run-granular UFFDIO_COPY: REAP's working-set install and the uffd fault path
+  // charge one uffd_batch_install per contiguous run plus uffd_batch_per_page,
+  // instead of uffd_copy_page (or a full round trip) per page.
+  bool batched_uffd_install = false;
+  // Cap on how many pages one batched uffd fault may install around the faulting
+  // page (the monitor copies at most this run from its pread buffer).
+  uint64_t uffd_batch_max_pages = 64;
+  // 2 MiB-aligned huge regions over dense working-set areas: one fault installs
+  // the whole region at huge_fault, with copy-on-touch splitting when the region
+  // is sparse or not fully backed.
+  bool huge_pages = false;
+  uint64_t huge_region_pages = 512;  // 2 MiB of 4 KiB pages
+  // Minimum fraction of a huge region the loading set must cover for the region
+  // to be mapped huge.
+  double huge_density_threshold = 0.9;
+  // Join neighbors of an in-flight fault: retire the whole contiguous run
+  // covered by the existing IO in one fault instead of paying
+  // inflight_wait_overhead per page.
+  bool fault_coalescing = false;
+
+  bool any_enabled() const {
+    return batched_uffd_install || huge_pages || fault_coalescing;
+  }
 };
 
 // Orchestration-level setup costs (the gray bars of Figure 1).

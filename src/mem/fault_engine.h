@@ -40,6 +40,19 @@ class UffdHandler {
   // cost and installs the page on success; on failure it routes the error to
   // the failure sink.
   virtual void HandleFault(PageIndex guest_page, std::function<void(const Status&)> done) = 0;
+
+  // Batched variant (batched-uffd-install lever): the handler may resolve a
+  // whole contiguous run around `guest_page` from one pread buffer and report
+  // it so the engine installs the run with a single multi-page UFFDIO_COPY.
+  // `run` must contain `guest_page`; the engine trims it to pages that are
+  // still uninstalled and within one mapping. The default forwards to the
+  // single-page HandleFault, so existing handlers keep working unchanged.
+  virtual void HandleFaultBatched(PageIndex guest_page,
+                                  std::function<void(const Status&, PageRange)> done) {
+    HandleFault(guest_page, [guest_page, done = std::move(done)](const Status& status) {
+      done(status, PageRange{guest_page, 1});
+    });
+  }
 };
 
 class FaultEngine {
@@ -65,7 +78,13 @@ class FaultEngine {
   // (including span recording) lives out of line in AccessSlow.
   bool Access(PageIndex page, std::function<void(FaultClass)> done) {
     if (space_->install_state(page) == PageInstallState::kPresent) {
+      // No-faults are counted (including the registry counter) but never enter
+      // the handling-time histograms: a zero-duration sample per touched page
+      // would drown the real fault latencies in the percentile summaries.
       metrics_.RecordFault(FaultClass::kNoFault, Duration::Zero());
+      if (class_counters_[0] != nullptr) {
+        class_counters_[0]->Add(1);
+      }
       return true;
     }
     return AccessSlow(page, std::move(done));
@@ -89,6 +108,18 @@ class FaultEngine {
   void set_failure_sink(std::function<void(const Status&)> sink) {
     failure_sink_ = std::move(sink);
   }
+
+  // Enables fault-path levers (batched uffd installs, huge regions, fault
+  // coalescing). Must be set before set_observability so the lever counters are
+  // registered iff their lever is on — disabled runs keep a bit-identical
+  // metrics snapshot. All levers default to off.
+  void set_fault_path(const FaultPathConfig& fault_path) { fault_path_ = fault_path; }
+  const FaultPathConfig& fault_path() const { return fault_path_; }
+
+  // Records one batched UFFDIO_COPY covering `pages` contiguous pages (metrics,
+  // counters, and the batch-size histogram). Called by the batched fault path
+  // and by REAP's run-granular working-set install.
+  void NoteBatchInstall(uint64_t pages);
 
   const FaultMetrics& metrics() const { return metrics_; }
   FaultMetrics& mutable_metrics() { return metrics_; }
@@ -125,6 +156,23 @@ class FaultEngine {
                    Duration extra_wait, SpanId fault_span,
                    std::function<void(FaultClass)> done);
 
+  // Run-granular retire (the lever paths): one fault sample for `page`, with
+  // every other page of `run` installed as `neighbor_state` in the same event
+  // (kPresent for huge installs and coalesced runs, kSoftPresent for batched
+  // uffd copies the guest has not touched yet).
+  void FinishFaultRun(PageRange run, PageIndex page, FaultClass cls,
+                      PageInstallState neighbor_state, SimTime fault_start, Duration tail_cost,
+                      Duration extra_wait, SpanId fault_span,
+                      std::function<void(FaultClass)> done);
+
+  // Clamps `run` to the maximal contiguous sub-run around `page` whose pages
+  // are still uninstalled and share `page`'s mapping.
+  PageRange TrimToUninstalled(PageRange run, PageIndex page) const;
+
+  // Whether a huge-eligible region can actually be installed whole: fully
+  // inside one mapping, fully uninstalled, and (for file backings) fully cached.
+  bool HugeInstallable(PageRange region) const;
+
   // Terminal-failure tail of AccessSlow: closes the fault span and routes the
   // error to the failure sink (the access never retires; `done` is dropped).
   void FailAccess(PageIndex page, SpanId fault_span, const Status& status);
@@ -136,6 +184,7 @@ class FaultEngine {
   ReadaheadPolicy* readahead_;
   std::function<uint64_t(FileId)> file_size_pages_;
   HostCostModel costs_;
+  FaultPathConfig fault_path_;
   FaultMetrics metrics_;
 
   PageIndex last_minor_page_ = static_cast<PageIndex>(-2);
@@ -144,9 +193,20 @@ class FaultEngine {
   uint32_t fault_name_ = 0;         // pre-interned obsname::kFault
   uint32_t uffd_resolve_name_ = 0;  // pre-interned obsname::kUffdResolve
   SpanId invocation_span_ = kNoSpan;
-  // Per-class counters and handling-time histograms; null when detached.
+  // Per-class counters and handling-time histograms; null when detached. The
+  // no-fault slot never gets a histogram (no-faults have no handling latency)
+  // and the huge-install slot only registers when the huge lever is on.
   Counter* class_counters_[static_cast<int>(FaultClass::kClassCount)] = {};
   Log2Histogram* class_histograms_[static_cast<int>(FaultClass::kClassCount)] = {};
+  // Lever counters; registered in set_observability iff the lever is enabled,
+  // so disabled runs keep a bit-identical metrics snapshot.
+  Counter* batch_installs_ctr_ = nullptr;
+  Counter* batch_pages_ctr_ = nullptr;
+  Log2Histogram* batch_size_hist_ = nullptr;  // pages per batch, not nanoseconds
+  Counter* huge_installs_ctr_ = nullptr;
+  Counter* huge_pages_ctr_ = nullptr;
+  Counter* huge_splits_ctr_ = nullptr;
+  Counter* coalesced_ctr_ = nullptr;
 
   PageRangeSet uffd_region_;
   UffdHandler* uffd_handler_ = nullptr;

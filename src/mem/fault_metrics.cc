@@ -18,6 +18,8 @@ std::string_view FaultClassName(FaultClass c) {
       return "uffd-preinstalled";
     case FaultClass::kUffdHandled:
       return "uffd-handled";
+    case FaultClass::kHugeInstall:
+      return "huge-install";
     case FaultClass::kClassCount:
       break;
   }
@@ -51,6 +53,12 @@ void FaultMetrics::Merge(const FaultMetrics& other) {
   latency_histogram.Merge(other.latency_histogram);
   fault_disk_requests += other.fault_disk_requests;
   fault_disk_bytes += other.fault_disk_bytes;
+  batch_installs += other.batch_installs;
+  batch_installed_pages += other.batch_installed_pages;
+  huge_installs += other.huge_installs;
+  huge_installed_pages += other.huge_installed_pages;
+  huge_splits += other.huge_splits;
+  coalesced_pages += other.coalesced_pages;
 }
 
 }  // namespace faasnap

@@ -21,6 +21,7 @@ enum class FaultClass : int {
   kInFlightWait,       // blocked on a disk read someone else already issued
   kUffdPreinstalled,   // cheap first-touch on a UFFDIO_COPY-installed page
   kUffdHandled,        // resolved by a userspace userfaultfd handler
+  kHugeInstall,        // one fault installed a whole 2 MiB huge region
   kClassCount,
 };
 
@@ -43,6 +44,20 @@ struct FaultMetrics {
   // Figure 9's "# of block requests".
   uint64_t fault_disk_requests = 0;
   uint64_t fault_disk_bytes = 0;
+  // Fault-path lever attribution (all zero with the levers disabled, keeping
+  // reports bit-identical). Batched uffd installs: run-granular UFFDIO_COPYs
+  // and the pages they covered (setup-time working-set installs plus batched
+  // fault resolutions).
+  uint64_t batch_installs = 0;
+  uint64_t batch_installed_pages = 0;
+  // Huge-page lever: whole-region installs, pages they covered, and regions
+  // split back to 4 KiB on the copy-on-touch fallback.
+  uint64_t huge_installs = 0;
+  uint64_t huge_installed_pages = 0;
+  uint64_t huge_splits = 0;
+  // Coalescing lever: neighbor pages retired by someone else's in-flight fault
+  // (each saved one inflight_wait_overhead fault of its own).
+  uint64_t coalesced_pages = 0;
 
   int64_t count(FaultClass c) const { return counts[static_cast<int>(c)]; }
   int64_t total_faults() const;

@@ -188,6 +188,52 @@ PageRangeSet PageCache::AbsentIn(FileId file, PageRange range) const {
   return out;
 }
 
+bool PageCache::AllPresent(FileId file, PageRange range) const {
+  if (range.empty()) {
+    return true;
+  }
+  MutexLock lock(mu_);
+  const FileState* fs = FindFile(file);
+  return fs != nullptr && fs->present.ContainsRange(range);
+}
+
+PageRange PageCache::InFlightSpanCovering(FileId file, PageIndex page) const {
+  MutexLock lock(mu_);
+  const FileState* fs = FindFile(file);
+  if (fs == nullptr) {
+    return PageRange{page, 0};
+  }
+  auto it = FirstSpanEndingAfter(*fs, page);
+  if (it != fs->in_flight.end() && it->first <= page) {
+    return PageRange{it->first, it->second.end - it->first};
+  }
+  return PageRange{page, 0};
+}
+
+PageRange PageCache::PresentRunAround(FileId file, PageIndex page, uint64_t max_before,
+                                      uint64_t max_after) const {
+  MutexLock lock(mu_);
+  const FileState* fs = FindFile(file);
+  if (fs == nullptr) {
+    return PageRange{page, 0};
+  }
+  // The present set's ranges are sorted and disjoint: the only candidate is the
+  // last range starting at or before `page`.
+  const std::vector<PageRange>& runs = fs->present.ranges();
+  auto it = std::upper_bound(runs.begin(), runs.end(), page,
+                             [](PageIndex v, const PageRange& r) { return v < r.first; });
+  if (it == runs.begin()) {
+    return PageRange{page, 0};
+  }
+  --it;
+  if (!it->Contains(page)) {
+    return PageRange{page, 0};
+  }
+  const PageIndex lo = std::max(it->first, page >= max_before ? page - max_before : 0);
+  const PageIndex hi = std::min(it->end(), page + max_after + 1);
+  return PageRange{lo, hi - lo};
+}
+
 PageRangeSet PageCache::PresentPages(FileId file) const {
   MutexLock lock(mu_);
   const FileState* fs = FindFile(file);

@@ -82,6 +82,21 @@ class PageCache {
   // a prefetcher still needs to read.
   PageRangeSet AbsentIn(FileId file, PageRange range) const FAASNAP_EXCLUDES(mu_);
 
+  // True iff every page of `range` is present (a huge-region install requires the
+  // whole 2 MiB of backing data cached).
+  bool AllPresent(FileId file, PageRange range) const FAASNAP_EXCLUDES(mu_);
+
+  // The in-flight read span covering `page`, or an empty range at `page` if no
+  // read covers it. Fault coalescing joins this IO for the whole span instead of
+  // taking one inflight-wait fault per page.
+  PageRange InFlightSpanCovering(FileId file, PageIndex page) const FAASNAP_EXCLUDES(mu_);
+
+  // The contiguous present run containing `page`, clamped to at most `max_before`
+  // pages before and `max_after` after it; empty at `page` if not present. This
+  // is the run a batched uffd handler can install from one pread buffer.
+  PageRange PresentRunAround(FileId file, PageIndex page, uint64_t max_before,
+                             uint64_t max_after) const FAASNAP_EXCLUDES(mu_);
+
   // All present pages of `file` — the model's mincore(2) over a mapped file.
   PageRangeSet PresentPages(FileId file) const FAASNAP_EXCLUDES(mu_);
 

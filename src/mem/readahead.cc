@@ -4,6 +4,29 @@
 
 namespace faasnap {
 
+ReadaheadPolicy::Stream& ReadaheadPolicy::StreamFor(FileId file) {
+  auto it = streams_.find(file);
+  if (it != streams_.end()) {
+    it->second.last_use = ++use_tick_;
+    return it->second;
+  }
+  if (config_.max_streams > 0 && streams_.size() >= config_.max_streams) {
+    // Evict the least-recently-used stream. Linear scan: the table is small by
+    // construction (max_streams), and the map's FileId order makes ties (never
+    // expected — ticks are unique) deterministic.
+    auto victim = streams_.begin();
+    for (auto cand = streams_.begin(); cand != streams_.end(); ++cand) {
+      if (cand->second.last_use < victim->second.last_use) {
+        victim = cand;
+      }
+    }
+    streams_.erase(victim);
+  }
+  Stream& stream = streams_[file];
+  stream.last_use = ++use_tick_;
+  return stream;
+}
+
 PageRange ReadaheadPolicy::WindowFor(FileId file, PageIndex page, uint64_t file_pages) {
   if (page >= file_pages) {
     return PageRange{page, 1};  // defensive; callers bound accesses to the file
@@ -11,7 +34,7 @@ PageRange ReadaheadPolicy::WindowFor(FileId file, PageIndex page, uint64_t file_
   if (!config_.enabled) {
     return PageRange{page, 1};
   }
-  Stream& stream = streams_[file];
+  Stream& stream = StreamFor(file);
   uint64_t window = config_.initial_window_pages;
   bool sequential = true;
   if (stream.window != 0) {

@@ -30,6 +30,11 @@ struct ReadaheadConfig {
   // Window after a random jump (fault-around-sized): Linux reads far less around
   // faults that do not look sequential.
   uint64_t random_window_pages = 8;
+  // Cap on tracked per-file streams: the policy keeps stream state for at most
+  // this many files, evicting the least-recently-faulting one when a new file
+  // appears (an evicted file restarts with the initial window, exactly like a
+  // fresh stream). Bounds memory on fleet-scale soaks.
+  uint64_t max_streams = 128;
   bool enabled = true;
 };
 
@@ -44,6 +49,9 @@ class ReadaheadPolicy {
   // Forgets stream state (e.g. after dropping caches between experiments).
   void Reset() { streams_.clear(); }
 
+  // Number of files with live stream state (bounded by config().max_streams).
+  size_t stream_count() const { return streams_.size(); }
+
   const ReadaheadConfig& config() const { return config_; }
 
   // Attaches metrics: windows computed (split sequential vs random-jump) and
@@ -54,10 +62,16 @@ class ReadaheadPolicy {
   struct Stream {
     PageIndex last_fault = 0;
     uint64_t window = 0;
+    uint64_t last_use = 0;  // tick of the most recent WindowFor (LRU eviction)
   };
+
+  // Returns the stream for `file`, evicting the least-recently-used stream
+  // first if the table is at max_streams and `file` is new.
+  Stream& StreamFor(FileId file);
 
   ReadaheadConfig config_;
   std::map<FileId, Stream> streams_;
+  uint64_t use_tick_ = 0;
 
   Counter* sequential_windows_ = nullptr;
   Counter* random_windows_ = nullptr;

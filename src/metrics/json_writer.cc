@@ -35,8 +35,27 @@ std::string InvocationReportToJson(const InvocationReport& report) {
 
   json.Key("faults").BeginObject();
   for (int i = 0; i < static_cast<int>(FaultClass::kClassCount); ++i) {
-    json.Field(std::string(FaultClassName(static_cast<FaultClass>(i))),
-               static_cast<int64_t>(report.faults.counts[i]));
+    const FaultClass cls = static_cast<FaultClass>(i);
+    // The huge-install class only exists under the huge-page lever; omitting it
+    // at zero keeps lever-off reports byte-identical to pre-lever builds.
+    if (cls == FaultClass::kHugeInstall && report.faults.counts[i] == 0) {
+      continue;
+    }
+    json.Field(std::string(FaultClassName(cls)), static_cast<int64_t>(report.faults.counts[i]));
+  }
+  // Lever attribution appears only when a lever actually produced work (same
+  // byte-identity rule as above).
+  if (report.faults.batch_installs > 0) {
+    json.Field("batch_installs", report.faults.batch_installs)
+        .Field("batch_installed_pages", report.faults.batch_installed_pages);
+  }
+  if (report.faults.huge_installs > 0 || report.faults.huge_splits > 0) {
+    json.Field("huge_installs", report.faults.huge_installs)
+        .Field("huge_installed_pages", report.faults.huge_installed_pages)
+        .Field("huge_splits", report.faults.huge_splits);
+  }
+  if (report.faults.coalesced_pages > 0) {
+    json.Field("coalesced_pages", report.faults.coalesced_pages);
   }
   json.Field("total_fault_time_ms", report.faults.total_fault_time.millis())
       .Field("total_wait_time_ms", report.faults.total_wait_time.millis())

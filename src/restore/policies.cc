@@ -1,5 +1,7 @@
 #include "src/restore/restore_policy.h"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "src/common/units.h"
@@ -64,6 +66,42 @@ uint64_t MapPerRegionBase(RestoreEnv* env, const MemoryFile& memory) {
                      .file_start = r.first});
   }
   return 1 + memory.nonzero.range_count();
+}
+
+// Huge-page lever: marks every 2 MiB-aligned guest window whose loading-set
+// coverage meets the density threshold as huge-eligible. Dense windows sit
+// inside one (merge-widened) loading region, so the first fault can install
+// the whole window; edge windows that pass the threshold but straddle mapping
+// boundaries split back to 4 KiB on touch (the copy-on-touch fallback).
+void MarkHugeRegionsFromLoadingSet(RestoreEnv* env) {
+  const FaultPathConfig& fp = env->config->fault_path;
+  if (!fp.huge_pages) {
+    return;
+  }
+  env->space->ConfigureHugeRegions(fp.huge_region_pages);
+  const uint64_t region_pages = fp.huge_region_pages;
+  const uint64_t guest_pages = env->snapshot->guest_pages;
+  std::map<PageIndex, uint64_t> covered;  // window start -> loading-set pages in it
+  for (const LoadingRegion& region : env->snapshot->loading_set.regions) {
+    PageIndex p = region.guest.first;
+    while (p < region.guest.end()) {
+      const PageIndex window = p - p % region_pages;
+      const PageIndex window_end = std::min(window + region_pages, guest_pages);
+      const PageIndex segment_end = std::min(region.guest.end(), window_end);
+      covered[window] += segment_end - p;
+      p = segment_end;
+    }
+  }
+  for (const auto& [window, pages] : covered) {
+    // Windows clamped at the guest end cannot be mapped huge.
+    if (window + region_pages > guest_pages) {
+      continue;
+    }
+    if (static_cast<double>(pages) >=
+        fp.huge_density_threshold * static_cast<double>(region_pages)) {
+      env->space->MarkHugeEligible(window);
+    }
+  }
 }
 
 class WarmPolicy final : public RestorePolicy {
@@ -144,13 +182,54 @@ class ReapUffdHandler final : public UffdHandler {
     // Whole-file mapping: guest page == memory file page.
     env_->engine->EnsureFilePage(
         env_->snapshot->memory_vanilla.id, guest_page, /*charge_to_faults=*/true,
-        [this, done = std::move(done)](const Status& status, PageCache::PageState) mutable {
+        [this, done = std::move(done)](const Status& status,
+                                       PageCache::PageState state) mutable {
           if (!status.ok()) {
             done(status);
             return;
           }
-          env_->sim->ScheduleAfter(env_->config->host_costs.cached_pread_page,
-                                   [done = std::move(done)] { done(OkStatus()); });
+          // The cached-pread charge applies only when the page was already in
+          // the cache: on a miss the monitor's pread *is* the device read just
+          // accounted, so charging the cached-copy cost again would double-pay.
+          if (state == PageCache::PageState::kPresent) {
+            env_->sim->ScheduleAfter(env_->config->host_costs.cached_pread_page,
+                                     [done = std::move(done)] { done(OkStatus()); });
+          } else {
+            done(OkStatus());
+          }
+        });
+  }
+
+  void HandleFaultBatched(PageIndex guest_page,
+                          std::function<void(const Status&, PageRange)> done) override {
+    const FileId mem = env_->snapshot->memory_vanilla.id;
+    env_->engine->EnsureFilePage(
+        mem, guest_page, /*charge_to_faults=*/true,
+        [this, mem, guest_page, done = std::move(done)](const Status& status,
+                                                        PageCache::PageState state) mutable {
+          if (!status.ok()) {
+            done(status, PageRange{guest_page, 1});
+            return;
+          }
+          // The monitor's pread buffer covers the contiguous cached run around
+          // the faulting page (whole-file mapping: guest page == file page);
+          // offer it for one multi-page UFFDIO_COPY. Weighted toward pages
+          // after the fault — that is where a streaming guest goes next.
+          const uint64_t max_batch =
+              std::max<uint64_t>(env_->config->fault_path.uffd_batch_max_pages, 1);
+          const uint64_t before = max_batch / 4;
+          PageRange run =
+              env_->cache->PresentRunAround(mem, guest_page, before, max_batch - before - 1);
+          if (run.empty()) {
+            run = PageRange{guest_page, 1};
+          }
+          auto finish = [run, done = std::move(done)]() mutable { done(OkStatus(), run); };
+          if (state == PageCache::PageState::kPresent) {
+            env_->sim->ScheduleAfter(env_->config->host_costs.cached_pread_page,
+                                     std::move(finish));
+          } else {
+            finish();
+          }
         });
   }
 
@@ -204,12 +283,35 @@ class ReapPolicy final : public RestorePolicy {
         FinishMappingSetup(env, 1, std::move(ready));
         return;
       }
-      const Duration install =
-          env->config->host_costs.uffd_copy_page * static_cast<int64_t>(ws_pages);
-      env->sim->ScheduleAfter(install, [this, env, fetch_start, fetch_span,
-                                        ready = std::move(ready)]() mutable {
+      // Batched lever: one UFFDIO_COPY ioctl per contiguous run of the working
+      // set instead of one per page — cost and install both become O(runs).
+      const bool batched = env->config->fault_path.batched_uffd_install;
+      Duration install;
+      PageRangeSet ws_runs;
+      if (batched) {
         for (PageIndex page : env->snapshot->reap_ws.guest_pages) {
-          env->space->SetInstallState(page, PageInstallState::kSoftPresent);
+          ws_runs.AddPage(page);
+        }
+        for (const PageRange& r : ws_runs.ranges()) {
+          install += env->config->host_costs.uffd_batch_install +
+                     env->config->host_costs.uffd_batch_per_page *
+                         static_cast<int64_t>(r.count);
+        }
+      } else {
+        install = env->config->host_costs.uffd_copy_page * static_cast<int64_t>(ws_pages);
+      }
+      env->sim->ScheduleAfter(install, [this, env, batched, ws_runs = std::move(ws_runs),
+                                        fetch_start, fetch_span,
+                                        ready = std::move(ready)]() mutable {
+        if (batched) {
+          for (const PageRange& r : ws_runs.ranges()) {
+            env->space->SetInstallState(r, PageInstallState::kSoftPresent);
+            env->engine->NoteBatchInstall(r.count);
+          }
+        } else {
+          for (PageIndex page : env->snapshot->reap_ws.guest_pages) {
+            env->space->SetInstallState(page, PageInstallState::kSoftPresent);
+          }
         }
         env->space->NoteAnonCopies(env->snapshot->reap_ws.size_pages());
         fetch_time_ = env->sim->now() - fetch_start;
@@ -261,6 +363,7 @@ class PerRegionPolicy final : public RestorePolicy {
 
   void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
     const uint64_t calls = MapPerRegionBase(env, env->snapshot->memory_sanitized);
+    MarkHugeRegionsFromLoadingSet(env);
     FinishMappingSetup(env, calls, std::move(ready));
   }
 
@@ -288,6 +391,7 @@ class FaasnapPolicy final : public RestorePolicy {
                        .file_start = region.file_start});
       ++calls;
     }
+    MarkHugeRegionsFromLoadingSet(env);
     FinishMappingSetup(env, calls, std::move(ready));
   }
 

@@ -142,6 +142,10 @@ struct Platform::InvocationContext {
         policy(RestorePolicy::Create(mode_in)),
         loader(&platform->sim_, &platform->cache_, &platform->storage_,
                platform->config_.loader) {
+    // Levers before observability: lever counters register iff enabled. The
+    // record phase (its own engine in Platform::Record) keeps them off so
+    // snapshot artifacts never depend on lever settings.
+    engine.set_fault_path(platform->config_.fault_path);
     env.sim = &platform->sim_;
     env.cache = &platform->cache_;
     env.storage = &platform->storage_;

@@ -109,6 +109,75 @@ TEST(AddressSpace, RangeInstall) {
   EXPECT_EQ(space.install_state(40), PageInstallState::kNotPresent);
 }
 
+TEST(AddressSpace, RangeInstallMatchesPerPageInstall) {
+  AddressSpace by_range(200);
+  AddressSpace by_page(200);
+  // A non-trivial state sequence: overlapping ranges with up- and downgrades.
+  const struct {
+    PageRange range;
+    PageInstallState state;
+  } steps[] = {
+      {{10, 50}, PageInstallState::kSoftPresent},
+      {{30, 50}, PageInstallState::kPresent},
+      {{0, 20}, PageInstallState::kPresent},
+      {{15, 30}, PageInstallState::kNotPresent},
+      {{100, 64}, PageInstallState::kSoftPresent},
+  };
+  for (const auto& step : steps) {
+    by_range.SetInstallState(step.range, step.state);
+    for (PageIndex p = step.range.first; p < step.range.end(); ++p) {
+      by_page.SetInstallState(p, step.state);
+    }
+  }
+  for (PageIndex p = 0; p < 200; ++p) {
+    EXPECT_EQ(by_range.install_state(p), by_page.install_state(p)) << p;
+  }
+  EXPECT_EQ(by_range.resident_pages(), by_page.resident_pages());
+}
+
+TEST(AddressSpace, AllInState) {
+  AddressSpace space(100);
+  space.SetInstallState(PageRange{10, 20}, PageInstallState::kPresent);
+  EXPECT_TRUE(space.AllInState(PageRange{10, 20}, PageInstallState::kPresent));
+  EXPECT_TRUE(space.AllInState(PageRange{15, 5}, PageInstallState::kPresent));
+  EXPECT_FALSE(space.AllInState(PageRange{9, 20}, PageInstallState::kPresent));
+  EXPECT_TRUE(space.AllInState(PageRange{30, 70}, PageInstallState::kNotPresent));
+}
+
+TEST(AddressSpace, MappingRunFollowsOverlayBoundaries) {
+  AddressSpace space(1000);
+  space.Map({.guest = {0, 1000}, .kind = BackingKind::kAnonymous});
+  space.Map({.guest = {100, 300}, .kind = BackingKind::kFile, .file = kMemFile,
+             .file_start = 100});
+  space.Map({.guest = {150, 50}, .kind = BackingKind::kFile, .file = kLoadFile, .file_start = 0});
+  EXPECT_EQ(space.MappingRun(50), (PageRange{0, 100}));
+  EXPECT_EQ(space.MappingRun(120), (PageRange{100, 50}));
+  EXPECT_EQ(space.MappingRun(160), (PageRange{150, 50}));
+  EXPECT_EQ(space.MappingRun(250), (PageRange{200, 200}));
+  // The last run extends to the end of the space.
+  EXPECT_EQ(space.MappingRun(900), (PageRange{400, 600}));
+}
+
+TEST(AddressSpace, HugeRegionStateTracking) {
+  AddressSpace space(1200);
+  space.ConfigureHugeRegions(512);
+  EXPECT_EQ(space.huge_region_state(0), HugeRegionState::kNone);
+  space.MarkHugeEligible(512);
+  // Every page of the region sees its state.
+  EXPECT_EQ(space.huge_region_state(512), HugeRegionState::kEligible);
+  EXPECT_EQ(space.huge_region_state(1023), HugeRegionState::kEligible);
+  EXPECT_EQ(space.huge_region_state(511), HugeRegionState::kNone);
+  EXPECT_EQ(space.HugeRegionOf(700), (PageRange{512, 512}));
+  // The trailing region is clamped at the guest end.
+  EXPECT_EQ(space.HugeRegionOf(1100), (PageRange{1024, 176}));
+  space.SetHugeRegionState(700, HugeRegionState::kInstalled);
+  EXPECT_EQ(space.huge_region_state(513), HugeRegionState::kInstalled);
+  // Reconfiguring clears all marks.
+  space.ConfigureHugeRegions(256);
+  EXPECT_EQ(space.huge_region_state(512), HugeRegionState::kNone);
+  EXPECT_EQ(space.HugeRegionOf(700), (PageRange{512, 256}));
+}
+
 TEST(AddressSpace, ResidentAnonymousPages) {
   AddressSpace space(100);
   space.Map({.guest = {0, 50}, .kind = BackingKind::kAnonymous});

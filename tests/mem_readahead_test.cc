@@ -80,6 +80,30 @@ TEST(Readahead, ResetForgetsStreams) {
   EXPECT_EQ(w.count, ra.config().initial_window_pages);
 }
 
+TEST(Readahead, StreamTableIsBoundedWithLruEviction) {
+  ReadaheadPolicy ra(ReadaheadConfig{.max_streams = 4});
+  for (FileId f = 1; f <= 4; ++f) {
+    ra.WindowFor(f, 0, kFilePages);
+    ra.WindowFor(f, 16, kFilePages);  // each grown to 32
+  }
+  EXPECT_EQ(ra.stream_count(), 4u);
+  ra.WindowFor(1, 48, kFilePages);  // refresh file 1; file 2 is now LRU
+  ra.WindowFor(5, 0, kFilePages);   // new file evicts file 2
+  EXPECT_EQ(ra.stream_count(), 4u);
+  // The evicted file restarts like a fresh stream...
+  EXPECT_EQ(ra.WindowFor(2, 32, kFilePages).count, ra.config().initial_window_pages);
+  // ...while the refreshed survivor kept its grown window.
+  EXPECT_EQ(ra.WindowFor(1, 112, kFilePages).count, 64u);
+}
+
+TEST(Readahead, ZeroMaxStreamsIsUnbounded) {
+  ReadaheadPolicy ra(ReadaheadConfig{.max_streams = 0});
+  for (FileId f = 1; f <= 300; ++f) {
+    ra.WindowFor(f, 0, kFilePages);
+  }
+  EXPECT_EQ(ra.stream_count(), 300u);
+}
+
 // The property host-page-recording depends on: a sequential faulting stream pulls
 // in pages *beyond* what was faulted on.
 TEST(Readahead, SequentialStreamCoversMoreThanFaultedPages) {

@@ -170,6 +170,47 @@ TEST_F(PoliciesTest, ReapOutOfWorkingSetFaultGoesThroughUffd) {
   EXPECT_GT(cache_.present_page_count(), 0u);
 }
 
+TEST_F(PoliciesTest, ReapMonitorChargesPreadOnlyOnCacheHit) {
+  auto policy = RestorePolicy::Create(RestoreMode::kReap);
+  Setup(policy.get());
+  // Hit: the memory-file page is already resident, so the monitor pays one
+  // cached-copy pread on top of the uffd round trip.
+  cache_.Insert(snapshot_.memory_vanilla.id, PageRange{700, 1});
+  SimTime t0 = sim_.now();
+  FaultClass cls = FaultClass::kNoFault;
+  engine_->Access(700, [&](FaultClass c) { cls = c; });
+  sim_.Run();
+  EXPECT_EQ(cls, FaultClass::kUffdHandled);
+  EXPECT_EQ(sim_.now() - t0, config_.host_costs.cached_pread_page +
+                                 config_.host_costs.uffd_round_trip +
+                                 engine_->uffd_vcpu_block_extra());
+}
+
+TEST_F(PoliciesTest, ReapMonitorSkipsPreadChargeOnCacheMiss) {
+  auto policy = RestorePolicy::Create(RestoreMode::kReap);
+  Setup(policy.get());
+  // Measure the demand read alone: the same 16-page initial readahead window
+  // on the idle device, through the same router path the monitor's pread takes.
+  SimTime t0 = sim_.now();
+  engine_->EnsureFilePage(snapshot_.reap_ws.id, 0, /*charge_to_faults=*/false,
+                          [](const Status& status, PageCache::PageState) {
+                            EXPECT_TRUE(status.ok());
+                          });
+  sim_.Run();
+  const Duration read_time = sim_.now() - t0;
+  EXPECT_GT(read_time, Duration::Zero());
+  // Miss: the device read *is* the monitor's pread wait; charging the
+  // cached-copy cost on top would double-pay, so the fault costs exactly
+  // read + round trip + vCPU block.
+  t0 = sim_.now();
+  FaultClass cls = FaultClass::kNoFault;
+  engine_->Access(800, [&](FaultClass c) { cls = c; });
+  sim_.Run();
+  EXPECT_EQ(cls, FaultClass::kUffdHandled);
+  EXPECT_EQ(sim_.now() - t0, read_time + config_.host_costs.uffd_round_trip +
+                                 engine_->uffd_vcpu_block_extra());
+}
+
 TEST_F(PoliciesTest, FaasnapBuildsTheFigure4Hierarchy) {
   auto policy = RestorePolicy::Create(RestoreMode::kFaasnap);
   Setup(policy.get());
