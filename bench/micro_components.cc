@@ -368,7 +368,7 @@ void BM_MetricsCounterAdd(benchmark::State& state) {
   // Steady-state metric update: the series pointer is resolved once at
   // attachment time, so the hot path is a single add.
   MetricsRegistry metrics;
-  Counter* counter = metrics.GetCounter("faults", {{"class", "minor"}});
+  Counter* counter = metrics.GetCounter("faults.by_class", {{"class", "minor"}});
   for (auto _ : state) {
     counter->Add(1);
     benchmark::DoNotOptimize(counter->value);

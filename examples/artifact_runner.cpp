@@ -10,8 +10,10 @@
 //   ./build/examples/artifact_runner configs/test-remote.json           # E4
 //   ./build/examples/artifact_runner --json configs/test-2inputs.json   # machine-readable
 //
-// --trace-out=PATH / --metrics-out=PATH write the Perfetto trace and metrics
-// snapshot (overriding the config's trace_out/metrics_out fields).
+// --trace-out=PATH / --metrics-out=PATH / --timeline-out=PATH /
+// --forensics-out=PATH write the Perfetto trace, metrics snapshot, windowed
+// metrics timeline (JSONL), and forensics digest (overriding the config's
+// corresponding fields).
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +28,8 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
+  const char* timeline_out = nullptr;
+  const char* forensics_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
@@ -33,6 +37,10 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--timeline-out=", 15) == 0) {
+      timeline_out = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--forensics-out=", 16) == 0) {
+      forensics_out = argv[i] + 16;
     } else {
       path = argv[i];
     }
@@ -40,7 +48,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: artifact_runner [--json] [--trace-out=PATH] [--metrics-out=PATH] "
-                 "<config.json>\n");
+                 "[--timeline-out=PATH] [--forensics-out=PATH] <config.json>\n");
     return 2;
   }
 
@@ -54,6 +62,13 @@ int main(int argc, char** argv) {
   }
   if (metrics_out != nullptr) {
     config->metrics_out = metrics_out;
+  }
+  if (timeline_out != nullptr) {
+    config->timeline_out = timeline_out;
+  }
+  if (forensics_out != nullptr) {
+    config->forensics_out = forensics_out;
+    config->forensics = true;
   }
   if (!json) {
     std::printf("running \"%s\": %zu functions x %zu systems x %zu inputs x %d reps%s\n",

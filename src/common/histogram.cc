@@ -66,6 +66,50 @@ Duration Log2Histogram::ApproxQuantile(double fraction) const {
   return Duration::Nanos(bucket_upper_ns(static_cast<int>(counts_.size()) - 1));
 }
 
+Duration Log2Histogram::EstimateQuantile(double fraction) const {
+  return Duration::Nanos(EstimateLog2Quantile(counts_, lower_ns_, fraction));
+}
+
+int64_t EstimateLog2Quantile(const std::vector<int64_t>& counts, int64_t lower_ns,
+                             double fraction) {
+  FAASNAP_CHECK(lower_ns > 0);
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  fraction = std::min(std::max(fraction, 0.0), 1.0);
+  const auto target =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(fraction * static_cast<double>(total))));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    if (seen + counts[i] < target) {
+      seen += counts[i];
+      continue;
+    }
+    const double within =
+        static_cast<double>(target - seen) / static_cast<double>(counts[i]);
+    if (i == 0) {
+      // [0, lower_ns): linear, the log-space lower bound is -inf.
+      return static_cast<int64_t>(static_cast<double>(lower_ns) * within);
+    }
+    // Finite bucket [lo, 2*lo); the overflow bucket extrapolates one doubling
+    // past the last finite edge, so both share lo * 2^within.
+    int64_t lo = lower_ns;
+    const size_t last = counts.size() - 1;
+    for (size_t k = 1; k < std::min(i, last); ++k) {
+      lo *= 2;
+    }
+    return static_cast<int64_t>(static_cast<double>(lo) * std::exp2(within));
+  }
+  return 0;
+}
+
 int64_t Log2Histogram::bucket_upper_ns(int i) const {
   if (i + 1 == static_cast<int>(counts_.size())) {
     return INT64_MAX;

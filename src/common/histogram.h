@@ -33,8 +33,15 @@ class Log2Histogram {
   // Smallest bucket upper edge such that >= fraction of samples are at or below it.
   // fraction in (0, 1]. Returns the overflow edge if needed.
   Duration ApproxQuantile(double fraction) const;
+  // Quantile with log-linear interpolation *within* the winning bucket (samples
+  // assumed log-uniform inside a power-of-two bucket; linear inside bucket 0,
+  // which starts at zero). Unlike ApproxQuantile this never returns the
+  // INT64_MAX overflow edge: the overflow bucket extrapolates one doubling
+  // past the last finite edge. See EstimateLog2Quantile for the exact formula.
+  Duration EstimateQuantile(double fraction) const;
 
   int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t lower_ns() const { return lower_ns_; }
   int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
   // Upper edge of bucket i in nanoseconds (the overflow bucket reports INT64_MAX).
   int64_t bucket_upper_ns(int i) const;
@@ -49,6 +56,20 @@ class Log2Histogram {
   int64_t total_count_ = 0;
   Duration total_time_;
 };
+
+// Log-linear interpolated quantile over raw log2 bucket counts laid out like
+// Log2Histogram's (`counts.back()` is the overflow bucket, earlier bucket i
+// covers [lower_ns * 2^(i-1), lower_ns * 2^i), bucket 0 covers [0, lower_ns)).
+// Exposed separately so windowed *delta* counts (MetricsTimeline) can reuse the
+// same estimator without building a temporary histogram. With target rank
+// r = ceil(fraction * total) landing in a bucket [lo, hi) at in-bucket fraction
+// f = (r - rank_before_bucket) / bucket_count:
+//   bucket 0:   lo == 0, linear:      hi * f
+//   bucket i:   log-linear:           lo * 2^f
+//   overflow:   one doubling past the last finite edge: last_edge * 2^f
+// Returns 0 when every count is zero.
+int64_t EstimateLog2Quantile(const std::vector<int64_t>& counts, int64_t lower_ns,
+                             double fraction);
 
 // Plain running statistics (count/mean/min/max) for scalar series.
 class RunningStats {

@@ -98,6 +98,31 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
 
   config.trace_out = root.GetStringOr("trace_out", "");
   config.metrics_out = root.GetStringOr("metrics_out", "");
+  config.timeline_out = root.GetStringOr("timeline_out", "");
+  config.timeline_window_us = root.GetIntOr("timeline_window_us", 0);
+  config.forensics_out = root.GetStringOr("forensics_out", "");
+  // A forensics output with no config block implies default-configured
+  // forensics (an explicit "enabled": false still wins below).
+  if (!config.forensics_out.empty() && !root.Has("forensics")) {
+    config.forensics = true;
+  }
+  if (root.Has("forensics")) {
+    ASSIGN_OR_RETURN(JsonValue forensics, root.Get("forensics"));
+    if (!forensics.is_object()) {
+      return InvalidArgumentError("\"forensics\" must be an object");
+    }
+    config.forensics = forensics.GetBoolOr("enabled", true);
+    ForensicsConfig& fc = config.forensics_config;
+    fc.slowest_k = static_cast<size_t>(
+        forensics.GetIntOr("slowest_k", static_cast<int64_t>(fc.slowest_k)));
+    fc.max_non_ok = static_cast<size_t>(
+        forensics.GetIntOr("max_non_ok", static_cast<int64_t>(fc.max_non_ok)));
+    fc.buffer_capacity = static_cast<size_t>(forensics.GetIntOr(
+        "buffer_capacity", static_cast<int64_t>(fc.buffer_capacity)));
+    if (fc.buffer_capacity == 0) {
+      return InvalidArgumentError("forensics.buffer_capacity must be > 0");
+    }
+  }
 
   config.reps = static_cast<int>(root.GetIntOr("reps", config.reps));
   config.parallelism = static_cast<int>(root.GetIntOr("parallelism", config.parallelism));

@@ -27,6 +27,15 @@
 //   "loader_ramp_quiet_us": 1000,               // quiet time before depth ramps back
 //   "trace_out": "trace.json",                  // Perfetto/Chrome trace export
 //   "metrics_out": "metrics.json",              // metrics registry snapshot
+//   "timeline_out": "run.timeline.jsonl",       // windowed metrics deltas (JSONL)
+//   "timeline_window_us": 100000,               // window size; <= 0 = default 100ms
+//   "forensics_out": "forensics.json",          // flight-recorder digest document
+//   "forensics": {                              // tail-based invocation forensics
+//     "enabled": true,                          // default true when block present
+//     "slowest_k": 16,                          // keep spans of the K slowest ok
+//     "max_non_ok": 1024,                       // ... and of non-ok, up to this cap
+//     "buffer_capacity": 65536                  // recycling span-buffer records
+//   },
 //   "chaos": {                                  // deterministic fault injection
 //     "enabled": true,                          // default true when block present
 //     "seed": 42,
@@ -58,6 +67,7 @@
 
 #include "src/common/json.h"
 #include "src/core/platform_config.h"
+#include "src/obs/flight_recorder.h"
 #include "src/restore/restore_policy.h"
 
 namespace faasnap {
@@ -86,6 +96,20 @@ struct ExperimentConfig {
   // registry snapshot. Both cover the whole experiment.
   std::string trace_out;
   std::string metrics_out;
+
+  // Windowed metrics timeline: one JSONL line per virtual-time window that saw
+  // activity (src/obs/metrics_timeline.h). `timeline_window_us` <= 0 keeps the
+  // MetricsTimeline default.
+  std::string timeline_out;
+  int64_t timeline_window_us = 0;
+
+  // Tail-based invocation forensics ("forensics" config block). When enabled,
+  // spans record into the flight recorder's recycling buffer instead of the
+  // run-wide tracer: trace_out then holds only the retained (slowest-K +
+  // non-ok) invocations, and forensics_out the streaming digest document.
+  bool forensics = false;
+  ForensicsConfig forensics_config;
+  std::string forensics_out;
 
   // Platform knobs resolved from the config (device, cores, FaaSnap tunables).
   PlatformConfig platform;

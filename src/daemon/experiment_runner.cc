@@ -49,10 +49,28 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
   results.name = config.name;
 
   // One bundle for the whole experiment; each repetition (its own Platform and
-  // t=0) records onto its own trace track.
+  // t=0) records onto its own trace track (or timeline epoch).
   std::unique_ptr<Observability> obs;
-  if (!config.trace_out.empty() || !config.metrics_out.empty()) {
+  std::unique_ptr<std::ofstream> timeline_out;
+  if (!config.trace_out.empty() || !config.metrics_out.empty() ||
+      !config.timeline_out.empty() || !config.forensics_out.empty() || config.forensics) {
     obs = std::make_unique<Observability>();
+    if (!config.timeline_out.empty()) {
+      timeline_out = std::make_unique<std::ofstream>(config.timeline_out, std::ios::trunc);
+      if (!timeline_out->good()) {
+        return IoError("opening timeline output " + config.timeline_out);
+      }
+      MetricsTimelineConfig timeline_config;
+      if (config.timeline_window_us > 0) {
+        timeline_config.window = Duration::Micros(config.timeline_window_us);
+      }
+      std::ofstream* sink = timeline_out.get();
+      obs->timeline.Configure(&obs->metrics, timeline_config,
+                              [sink](const std::string& line) { *sink << line << "\n"; });
+    }
+    if (config.forensics) {
+      obs->forensics.Configure(config.forensics_config, &obs->metrics);
+    }
   }
 
   for (const std::string& function_name : config.functions) {
@@ -75,7 +93,13 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
           char track[160];
           std::snprintf(track, sizeof(track), "%s input=%s rep=%d", function_name.c_str(),
                         input_spec.label.c_str(), rep);
-          obs->spans.BeginTrack(track);
+          if (!obs->forensics.enabled()) {
+            // Under forensics the platform records into the recorder's
+            // recycling buffer; the run-wide tracer stays empty (cell spans
+            // aside) and per-rep tracks would never be garbage-collected.
+            obs->spans.BeginTrack(track);
+          }
+          obs->timeline.BeginEpoch(track);
           platform.set_observability(obs.get());
         }
         TraceGenerator generator(spec, platform_config.layout);
@@ -138,7 +162,10 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
   if (obs != nullptr) {
     if (!config.trace_out.empty()) {
       std::ofstream out(config.trace_out, std::ios::trunc);
-      out << ExportChromeTrace(obs->spans);
+      // Forensics replaces full tracing: export the retained (slowest-K +
+      // non-ok) invocations instead of the (empty) run-wide tracer.
+      out << (obs->forensics.enabled() ? obs->forensics.ExportRetainedTrace()
+                                       : ExportChromeTrace(obs->spans));
       if (!out.good()) {
         return IoError("writing trace to " + config.trace_out);
       }
@@ -148,6 +175,20 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
       out << obs->metrics.ToJson();
       if (!out.good()) {
         return IoError("writing metrics to " + config.metrics_out);
+      }
+    }
+    if (obs->timeline.enabled()) {
+      obs->timeline.Flush(SimTime());
+      timeline_out->flush();
+      if (!timeline_out->good()) {
+        return IoError("writing timeline to " + config.timeline_out);
+      }
+    }
+    if (!config.forensics_out.empty()) {
+      std::ofstream out(config.forensics_out, std::ios::trunc);
+      out << obs->forensics.SummaryToJson();
+      if (!out.good()) {
+        return IoError("writing forensics to " + config.forensics_out);
       }
     }
   }

@@ -68,7 +68,7 @@ void FaultEngine::set_observability(SpanTracer* spans, MetricsRegistry* metrics)
       continue;
     }
     const MetricLabels labels = {{"class", std::string(FaultClassName(cls))}};
-    class_counters_[i] = metrics->GetCounter("faults", labels);
+    class_counters_[i] = metrics->GetCounter("faults.by_class", labels);
     // No handling-time histogram for no-faults: they retire synchronously with
     // zero latency, and zero samples would pollute the percentile summaries.
     if (cls != FaultClass::kNoFault) {

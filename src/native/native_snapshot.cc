@@ -102,7 +102,7 @@ Result<LoadingSetFile> NativeSnapshotSession::BuildAndWriteLoadingSet(
     const WorkingSetGroups& groups, uint64_t merge_gap_pages) {
   const SpanId span =
       spans_ != nullptr
-          ? spans_->Begin(ObsNow(), ObsLane::kNative, "native-build-lset", groups.groups.size())
+          ? spans_->Begin(ObsNow(), ObsLane::kNative, "native.build_lset", groups.groups.size())
           : kNoSpan;
   MemoryFile meta;
   meta.total_pages = config_.guest_pages;

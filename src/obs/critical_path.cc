@@ -88,7 +88,20 @@ std::optional<CriticalPathBreakdown> AnalyzeColdStart(const SpanTracer& spans,
   if (invoke_id == kNoSpan) {
     return std::nullopt;
   }
+  return AnalyzeInvokeSpan(spans, invoke_id);
+}
+
+std::optional<CriticalPathBreakdown> AnalyzeInvokeSpan(const SpanTracer& spans,
+                                                       SpanId invoke_id) {
+  const std::vector<SpanRecord>& records = spans.records();
+  if (invoke_id == kNoSpan || invoke_id > records.size()) {
+    return std::nullopt;
+  }
   const SpanRecord& invoke = spans.record(invoke_id);
+  if (invoke.instant || invoke.open) {
+    return std::nullopt;
+  }
+  const uint32_t track = invoke.track;
   const int64_t lo = invoke.start.nanos();
   const int64_t hi = invoke.end.nanos();
 

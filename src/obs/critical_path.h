@@ -61,6 +61,14 @@ std::optional<CriticalPathBreakdown> AnalyzeColdStart(const SpanTracer& spans,
                                                       uint32_t track = 0,
                                                       size_t invoke_index = 0);
 
+// Analyzes one specific invoke span by id — callers that opened the span
+// themselves (the flight recorder at invoke end) skip the name search. The
+// span must be closed and non-instant; returns nullopt otherwise. The
+// partition guarantee is outcome-independent: degraded and failed invocations
+// still sum exactly.
+std::optional<CriticalPathBreakdown> AnalyzeInvokeSpan(const SpanTracer& spans,
+                                                       SpanId invoke_id);
+
 // "  setup_cpu  1.234 ms  (12.3%)" style multi-line rendering.
 std::string CriticalPathToString(const CriticalPathBreakdown& bd);
 

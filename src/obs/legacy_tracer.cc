@@ -49,8 +49,13 @@ ObsLane LaneFor(TraceEventType type) {
   }
 }
 
-// Maps a direct-emission instant name back to its type; kTypeCount = no match.
+// Maps an instant name back to its type; kTypeCount = no match. Direct
+// emissions (Emit) round-trip through the legacy hyphenated names; instants
+// the platform records under canonical dotted names map explicitly.
 TraceEventType TypeForName(std::string_view name) {
+  if (name == obsname::kSetupDone) {
+    return TraceEventType::kSetupDone;
+  }
   for (int i = 0; i < static_cast<int>(TraceEventType::kTypeCount); ++i) {
     if (name == TraceEventTypeName(static_cast<TraceEventType>(i))) {
       return static_cast<TraceEventType>(i);

@@ -62,6 +62,31 @@ size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
+void MetricsRegistry::Visit(const std::function<void(const InstrumentView&)>& fn) const {
+  MutexLock lock(mu_);
+  size_t index = 0;
+  for (const Entry& entry : entries_) {
+    InstrumentView view;
+    view.index = index++;
+    view.name = &entry.name;
+    view.labels = &entry.labels;
+    view.kind = entry.kind;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        view.counter_value = entry.counter.Get();
+        break;
+      case Kind::kGauge:
+        view.gauge_value = entry.gauge.Get();
+        view.gauge_max = entry.gauge.GetMax();
+        break;
+      case Kind::kHistogram:
+        view.histogram = entry.histogram.get();
+        break;
+    }
+    fn(view);
+  }
+}
+
 std::string MetricsRegistry::ToJson() const {
   MutexLock lock(mu_);
   std::vector<const Entry*> sorted;
@@ -99,6 +124,11 @@ std::string MetricsRegistry::ToJson() const {
         json.Field("type", "histogram")
             .Field("count", h.total_count())
             .Field("total_ns", static_cast<int64_t>(h.total_time().nanos()));
+        if (h.total_count() > 0) {
+          json.Field("p50_ns", static_cast<int64_t>(h.EstimateQuantile(0.50).nanos()))
+              .Field("p95_ns", static_cast<int64_t>(h.EstimateQuantile(0.95).nanos()))
+              .Field("p99_ns", static_cast<int64_t>(h.EstimateQuantile(0.99).nanos()));
+        }
         json.Key("buckets").BeginArray();
         for (int i = 0; i < h.num_buckets(); ++i) {
           if (h.bucket_count(i) == 0) {

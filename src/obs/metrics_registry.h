@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,6 +64,25 @@ struct Gauge {
 
 class MetricsRegistry {
  public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  // Point-in-time view of one instrument, handed to Visit in registration
+  // order. `index` is the instrument's registration ordinal — stable across
+  // Visit calls and dense, so windowed consumers (MetricsTimeline) can keep
+  // per-series state in a flat vector. Pointers reference registry-owned
+  // storage and stay valid for the registry's lifetime; `histogram` is read
+  // unlocked by consumers (same caveat as ToJson).
+  struct InstrumentView {
+    size_t index = 0;
+    const std::string* name = nullptr;
+    const MetricLabels* labels = nullptr;
+    Kind kind = Kind::kCounter;
+    int64_t counter_value = 0;              // kCounter
+    double gauge_value = 0;                 // kGauge
+    double gauge_max = 0;                   // kGauge
+    const Log2Histogram* histogram = nullptr;  // kHistogram
+  };
+
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
@@ -78,14 +98,18 @@ class MetricsRegistry {
 
   size_t size() const FAASNAP_EXCLUDES(mu_);
 
+  // Calls `fn` once per instrument in registration order, holding the registry
+  // mutex for the whole sweep: `fn` must not call back into this registry.
+  void Visit(const std::function<void(const InstrumentView&)>& fn) const
+      FAASNAP_EXCLUDES(mu_);
+
   // Full snapshot: {"metrics":[{"name":...,"labels":{...},"type":...,...}]},
   // sorted by (name, labels) so documents diff cleanly across runs. Histogram
-  // series are read unlocked (see the class comment's thread-safety caveat).
+  // entries carry interpolated p50/p95/p99 estimates. Histogram series are
+  // read unlocked (see the class comment's thread-safety caveat).
   std::string ToJson() const FAASNAP_EXCLUDES(mu_);
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
-
   struct Entry {
     std::string name;
     MetricLabels labels;

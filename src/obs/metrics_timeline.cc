@@ -1,0 +1,188 @@
+#include "src/obs/metrics_timeline.h"
+
+#include <algorithm>
+
+#include "src/common/histogram.h"
+#include "src/common/json_writer.h"
+#include "src/common/status.h"
+
+namespace faasnap {
+
+void MetricsTimeline::Configure(const MetricsRegistry* registry, MetricsTimelineConfig config,
+                                LineSink sink) {
+  FAASNAP_CHECK(registry != nullptr);
+  FAASNAP_CHECK(config.window.nanos() > 0);
+  FAASNAP_CHECK(sink != nullptr);
+  registry_ = registry;
+  config_ = config;
+  sink_ = std::move(sink);
+}
+
+void MetricsTimeline::BeginEpoch(const std::string& label) {
+  if (!enabled()) {
+    return;
+  }
+  EmitWindow(std::max(last_now_ns_, window_start_ns_));
+  // The first BeginEpoch names epoch 0 rather than burning an ordinal on the
+  // empty pre-run span; later calls mark real repetition boundaries.
+  if (epoch_consumed_) {
+    ++epoch_;
+  }
+  epoch_consumed_ = true;
+  label_ = label;
+  window_ = 0;
+  window_start_ns_ = 0;
+  last_now_ns_ = 0;
+}
+
+void MetricsTimeline::Advance(SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  const int64_t win = config_.window.nanos();
+  const int64_t ns = now.nanos();
+  last_now_ns_ = std::max(last_now_ns_, ns);
+  const int64_t w = ns / win;
+  if (w <= window_) {
+    return;  // still inside the open window
+  }
+  EmitWindow(w * win);
+  window_ = w;
+  window_start_ns_ = w * win;
+}
+
+void MetricsTimeline::Flush(SimTime now) {
+  if (!enabled()) {
+    return;
+  }
+  const int64_t ns = std::max({now.nanos(), window_start_ns_, last_now_ns_});
+  EmitWindow(ns);
+  window_start_ns_ = ns;
+  window_ = ns / config_.window.nanos();
+  last_now_ns_ = std::max(last_now_ns_, ns);
+}
+
+void MetricsTimeline::EmitWindow(int64_t end_ns) {
+  scratch_.clear();
+  registry_->Visit([this](const MetricsRegistry::InstrumentView& view) {
+    if (view.index >= state_.size()) {
+      state_.resize(view.index + 1);
+    }
+    SeriesState& prev = state_[view.index];
+    switch (view.kind) {
+      case MetricsRegistry::Kind::kCounter: {
+        const int64_t delta = view.counter_value - prev.counter;
+        if (delta == 0) {
+          return;
+        }
+        Pending& p = scratch_.emplace_back();
+        p.name = view.name;
+        p.labels = view.labels;
+        p.kind = view.kind;
+        p.delta = delta;
+        p.total = view.counter_value;
+        prev.counter = view.counter_value;
+        return;
+      }
+      case MetricsRegistry::Kind::kGauge: {
+        if (view.gauge_value == prev.gauge && view.gauge_max == prev.gauge_max) {
+          return;
+        }
+        Pending& p = scratch_.emplace_back();
+        p.name = view.name;
+        p.labels = view.labels;
+        p.kind = view.kind;
+        p.gauge = view.gauge_value;
+        p.gauge_max = view.gauge_max;
+        prev.gauge = view.gauge_value;
+        prev.gauge_max = view.gauge_max;
+        return;
+      }
+      case MetricsRegistry::Kind::kHistogram: {
+        const Log2Histogram* h = view.histogram;
+        if (h == nullptr) {
+          return;
+        }
+        const int64_t delta_count = h->total_count() - prev.hist_count;
+        if (delta_count == 0) {
+          return;
+        }
+        Pending& p = scratch_.emplace_back();
+        p.name = view.name;
+        p.labels = view.labels;
+        p.kind = view.kind;
+        p.delta_count = delta_count;
+        p.delta_total_ns = h->total_time().nanos() - prev.hist_total_ns;
+        p.lower_ns = h->lower_ns();
+        const size_t buckets = static_cast<size_t>(h->num_buckets());
+        prev.buckets.resize(buckets, 0);
+        p.delta_buckets.resize(buckets, 0);
+        for (size_t i = 0; i < buckets; ++i) {
+          const int64_t c = h->bucket_count(static_cast<int>(i));
+          p.delta_buckets[i] = c - prev.buckets[i];
+          prev.buckets[i] = c;
+        }
+        prev.hist_count = h->total_count();
+        prev.hist_total_ns = h->total_time().nanos();
+        return;
+      }
+    }
+  });
+  if (scratch_.empty()) {
+    return;  // empty window: nothing to say, nothing written
+  }
+
+  JsonWriter json;
+  json.BeginObject()
+      .Field("epoch", epoch_)
+      .Field("label", label_)
+      .Field("window", window_)
+      .Field("start_ns", window_start_ns_)
+      .Field("end_ns", end_ns)
+      .Key("metrics")
+      .BeginArray();
+  for (const Pending& p : scratch_) {
+    json.BeginObject().Field("name", *p.name);
+    json.Key("labels").BeginObject();
+    for (const auto& [k, v] : *p.labels) {
+      json.Field(k, v);
+    }
+    json.EndObject();
+    switch (p.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        json.Field("type", "counter").Field("delta", p.delta).Field("total", p.total);
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        json.Field("type", "gauge").Field("value", p.gauge).Field("max", p.gauge_max);
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        json.Field("type", "histogram")
+            .Field("delta_count", p.delta_count)
+            .Field("delta_total_ns", p.delta_total_ns);
+        if (config_.quantiles) {
+          json.Field("p50_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_ns, 0.50))
+              .Field("p95_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_ns, 0.95))
+              .Field("p99_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_ns, 0.99));
+        }
+        json.Key("delta_buckets").BeginArray();
+        for (size_t i = 0; i < p.delta_buckets.size(); ++i) {
+          if (p.delta_buckets[i] == 0) {
+            continue;
+          }
+          const int64_t upper = i + 1 == p.delta_buckets.size()
+                                    ? INT64_MAX
+                                    : p.lower_ns << static_cast<int64_t>(i);
+          json.BeginObject().Field("upper_ns", upper).Field("count", p.delta_buckets[i]).EndObject();
+        }
+        json.EndArray();
+        break;
+      }
+    }
+    json.EndObject();
+  }
+  json.EndArray().EndObject();
+  sink_(json.TakeString());
+  ++lines_emitted_;
+}
+
+}  // namespace faasnap

@@ -1,0 +1,135 @@
+// MetricsTimeline: windowed time-series snapshots of a MetricsRegistry.
+//
+// A run-wide metrics snapshot (MetricsRegistry::ToJson) answers "how much,
+// total?"; the timeline answers "when?". Soak runs and the load-phase analyses
+// of the related work (cold-start rate vs. memory as a *time-varying*
+// trade-off) need the latter: the timeline closes fixed-cadence virtual-time
+// windows and appends one JSONL line per window with the counter deltas, gauge
+// values, and histogram bucket deltas accumulated inside it.
+//
+// Memory is bounded by the number of registered series, never by run length:
+// per series the timeline keeps only the previous cumulative value (one int64,
+// one double, or one bucket-count vector), and finished lines stream straight
+// to the sink. Empty windows emit nothing; when several cadence units pass
+// between Advance calls the single emitted line covers the whole
+// [start_ns, end_ns) gap, so output size tracks *activity*, not wall time.
+//
+// Like the rest of src/obs, the timeline is strictly passive: it never
+// schedules simulation events or reads clocks. The driver (Platform at
+// invocation completions, the experiment runner at phase boundaries) pushes
+// virtual time in via Advance(now). Repetition boundaries reset the virtual
+// clock to t=0 without resetting the shared registry; BeginEpoch marks them so
+// window indices restart while cumulative deltas stay correct.
+//
+// Thread safety: none. Configure/Advance/Flush must come from one thread (the
+// simulation thread); the registry it visits may be bumped from others.
+//
+// Line schema (one JSON object per line; see docs/observability.md):
+//   {"epoch":0,"label":"...","window":3,"start_ns":...,"end_ns":...,
+//    "metrics":[
+//      {"name":...,"labels":{...},"type":"counter","delta":12,"total":345},
+//      {"name":...,"labels":{...},"type":"gauge","value":2.0,"max":7.0},
+//      {"name":...,"labels":{...},"type":"histogram","delta_count":4,
+//       "delta_total_ns":...,"p50_ns":...,"p95_ns":...,"p99_ns":...,
+//       "delta_buckets":[{"upper_ns":...,"count":...},...]}]}
+
+#ifndef FAASNAP_SRC_OBS_METRICS_TIMELINE_H_
+#define FAASNAP_SRC_OBS_METRICS_TIMELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/obs/metrics_registry.h"
+
+namespace faasnap {
+
+struct MetricsTimelineConfig {
+  // Virtual-time window cadence. Must be positive.
+  Duration window = Duration::Millis(100);
+  // Emit interpolated p50/p95/p99 for each histogram window.
+  bool quantiles = true;
+};
+
+class MetricsTimeline {
+ public:
+  // Receives one complete JSONL line (no trailing newline) per closed window.
+  using LineSink = std::function<void(const std::string& line)>;
+
+  MetricsTimeline() = default;
+  MetricsTimeline(const MetricsTimeline&) = delete;
+  MetricsTimeline& operator=(const MetricsTimeline&) = delete;
+
+  // Enables the timeline. `registry` must outlive it; deltas are measured from
+  // the registry's state at the first Advance, so counters bumped before that
+  // land in the first emitted window.
+  void Configure(const MetricsRegistry* registry, MetricsTimelineConfig config,
+                 LineSink sink);
+
+  bool enabled() const { return registry_ != nullptr; }
+
+  // Marks a repetition/platform boundary: flushes the pending window, restarts
+  // window numbering (the new platform's clock restarts at t=0), and tags
+  // subsequent lines with `label` and the next epoch ordinal.
+  void BeginEpoch(const std::string& label);
+
+  // Pushes virtual time forward. Emits one line per window boundary crossed
+  // since the previous call (coalesced when the gap had no activity at all).
+  // `now` must be monotonic within an epoch.
+  void Advance(SimTime now);
+
+  // Emits the pending partial window up to `now` (end of run / epoch).
+  void Flush(SimTime now);
+
+  int64_t lines_emitted() const { return lines_emitted_; }
+
+ private:
+  // Last observed cumulative state of one series; sized by series count only.
+  struct SeriesState {
+    int64_t counter = 0;
+    double gauge = 0;
+    double gauge_max = 0;
+    std::vector<int64_t> buckets;
+    int64_t hist_count = 0;
+    int64_t hist_total_ns = 0;
+  };
+
+  // One moved series, staged between the registry sweep and line emission.
+  struct Pending {
+    const std::string* name = nullptr;
+    const MetricLabels* labels = nullptr;
+    MetricsRegistry::Kind kind = MetricsRegistry::Kind::kCounter;
+    int64_t delta = 0;
+    int64_t total = 0;
+    double gauge = 0;
+    double gauge_max = 0;
+    std::vector<int64_t> delta_buckets;
+    int64_t delta_count = 0;
+    int64_t delta_total_ns = 0;
+    int64_t lower_ns = 0;
+  };
+
+  // Closes the window [window_start_ns_, end_ns): emits a line if any series
+  // moved, and advances the per-series baselines either way.
+  void EmitWindow(int64_t end_ns);
+
+  const MetricsRegistry* registry_ = nullptr;
+  MetricsTimelineConfig config_;
+  LineSink sink_;
+
+  std::vector<SeriesState> state_;
+  std::vector<Pending> scratch_;
+  int64_t epoch_ = 0;
+  bool epoch_consumed_ = false;
+  std::string label_;
+  int64_t window_ = 0;           // index of the open window within the epoch
+  int64_t window_start_ns_ = 0;  // start of the open (possibly coalesced) window
+  int64_t last_now_ns_ = 0;
+  int64_t lines_emitted_ = 0;
+};
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_OBS_METRICS_TIMELINE_H_

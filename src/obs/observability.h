@@ -4,14 +4,18 @@
 //
 // Attach once (Platform::set_observability, or per-component setters), run, then
 // export: obs.spans -> ExportChromeTrace (Perfetto-loadable JSON), obs.metrics
-// -> MetricsRegistry::ToJson.
+// -> MetricsRegistry::ToJson, obs.timeline -> windowed JSONL (configured with a
+// sink), obs.forensics -> tail-retained traces + streaming digests. Timeline and
+// forensics are opt-in (Configure); unconfigured they are inert null-checks.
 
 #ifndef FAASNAP_SRC_OBS_OBSERVABILITY_H_
 #define FAASNAP_SRC_OBS_OBSERVABILITY_H_
 
 #include <string_view>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/metrics_timeline.h"
 #include "src/obs/span_tracer.h"
 
 namespace faasnap {
@@ -19,40 +23,44 @@ namespace faasnap {
 struct Observability {
   SpanTracer spans;
   MetricsRegistry metrics;
+  MetricsTimeline timeline;
+  FlightRecorder forensics;
 };
 
-// Canonical span/instant names. One invocation's tree:
+// Canonical span/instant names: lowercase dotted identifiers (enforced by
+// faasnap_lint's obs-naming rule). One invocation's tree:
 //
-//   invoke (daemon)                      request arrival -> report completion
+//   invoke (daemon)                      request arrival -> report completion;
+//   |                                    arg1 = InvocationOutcome at end
 //   +- dispatch (daemon)                 daemon request-queue serialization
 //   +- setup (daemon)                    VMM restore + memory mapping (+ REAP fetch)
-//   |  +- reap-fetch (uffd)              REAP's blocking working-set read
-//   |  +- disk-read (disk)               device service intervals
+//   |  +- reap.fetch (uffd)              REAP's blocking working-set read
+//   |  +- disk.read (disk)               device service intervals
 //   +- loader (loader)                   concurrent-paging loader lifetime
-//   |  +- loader-chunk (loader)          one chunk: issue -> pages present
-//   |     +- disk-read (disk)
+//   |  +- loader.chunk (loader)          one chunk: issue -> pages present
+//   |     +- disk.read (disk)
 //   +- invocation (vCPU)                 guest execution
 //      +- fault (vCPU)                   arg0 = page, arg1 = FaultClass at end
-//         +- uffd-resolve (uffd)         userspace handler round trip
-//         +- disk-read (disk)            arg0 = offset bytes, arg1 = bytes
+//         +- uffd.resolve (uffd)         userspace handler round trip
+//         +- disk.read (disk)            arg0 = offset bytes, arg1 = bytes
 namespace obsname {
 inline constexpr std::string_view kInvoke = "invoke";
 inline constexpr std::string_view kDispatch = "dispatch";
 inline constexpr std::string_view kSetup = "setup";
-inline constexpr std::string_view kSetupDone = "setup-done";  // instant, arg0 = mmap calls
+inline constexpr std::string_view kSetupDone = "setup.done";  // instant, arg0 = mmap calls
 inline constexpr std::string_view kInvocation = "invocation";
 inline constexpr std::string_view kFault = "fault";
-inline constexpr std::string_view kUffdResolve = "uffd-resolve";
-inline constexpr std::string_view kReapFetch = "reap-fetch";
+inline constexpr std::string_view kUffdResolve = "uffd.resolve";
+inline constexpr std::string_view kReapFetch = "reap.fetch";
 inline constexpr std::string_view kLoader = "loader";
-inline constexpr std::string_view kLoaderChunk = "loader-chunk";  // arg0 = file page, arg1 = pages
-inline constexpr std::string_view kDiskRead = "disk-read";        // arg0 = offset, arg1 = bytes
+inline constexpr std::string_view kLoaderChunk = "loader.chunk";  // arg0 = file page, arg1 = pages
+inline constexpr std::string_view kDiskRead = "disk.read";        // arg0 = offset, arg1 = bytes
 inline constexpr std::string_view kRecord = "record";             // record phase (daemon)
-inline constexpr std::string_view kExperimentCell = "experiment-cell";
-inline constexpr std::string_view kSchedulerServe = "scheduler-serve";
-inline constexpr std::string_view kSchedPromote = "sched-promote";  // instant, aged prefetch beat demand; arg0 = offset, arg1 = bytes
-inline constexpr std::string_view kStorageRetry = "storage-retry";  // instant, arg0 = attempt, arg1 = device
-inline constexpr std::string_view kBreakerOpen = "breaker-open";    // instant, arg0 = device
+inline constexpr std::string_view kExperimentCell = "experiment.cell";
+inline constexpr std::string_view kSchedulerServe = "scheduler.serve";
+inline constexpr std::string_view kSchedPromote = "sched.promote";  // instant, aged prefetch beat demand; arg0 = offset, arg1 = bytes
+inline constexpr std::string_view kStorageRetry = "storage.retry";  // instant, arg0 = attempt, arg1 = device
+inline constexpr std::string_view kBreakerOpen = "breaker.open";    // instant, arg0 = device
 inline constexpr std::string_view kDegraded = "degraded";           // instant (daemon lane)
 }  // namespace obsname
 

@@ -59,6 +59,7 @@ SpanId SpanTracer::BeginIdLocked(SimTime start, ObsLane lane, uint32_t name_id,
   rec.track = current_track_;
   rec.lane = lane;
   records_.push_back(rec);
+  ++open_spans_;
   return static_cast<SpanId>(records_.size());
 }
 
@@ -75,9 +76,15 @@ SpanId SpanTracer::BeginId(SimTime start, ObsLane lane, uint32_t name_id, uint64
 }
 
 void SpanTracer::EndLocked(SpanId id, SimTime end) {
+  if (id > records_.size()) {
+    return;  // stale id from before a Clear (see the flight recorder)
+  }
   SpanRecord& rec = records_[id - 1];
   rec.end = end;
-  rec.open = false;
+  if (rec.open) {
+    rec.open = false;
+    --open_spans_;
+  }
   ++revision_;
 }
 
@@ -94,6 +101,9 @@ void SpanTracer::End(SpanId id, SimTime end, uint64_t arg1) {
     return;
   }
   MutexLock lock(mu_);
+  if (id > records_.size()) {
+    return;
+  }
   records_[id - 1].arg1 = arg1;
   EndLocked(id, end);
 }
@@ -125,6 +135,7 @@ SpanId SpanTracer::Instant(SimTime time, ObsLane lane, std::string_view name, ui
   if (id != kNoSpan) {
     records_[id - 1].instant = true;
     records_[id - 1].open = false;
+    --open_spans_;
   }
   return id;
 }
@@ -153,6 +164,11 @@ uint64_t SpanTracer::dropped_records() const {
   return dropped_;
 }
 
+size_t SpanTracer::open_spans() const {
+  MutexLock lock(mu_);
+  return open_spans_;
+}
+
 uint64_t SpanTracer::revision() const {
   MutexLock lock(mu_);
   return revision_;
@@ -168,6 +184,7 @@ void SpanTracer::Clear() {
   track_names_ = {"track0"};
   current_track_ = 0;
   dropped_ = 0;
+  open_spans_ = 0;
   ++revision_;
 }
 

@@ -134,6 +134,11 @@ class SpanTracer {
   uint64_t dropped_records() const FAASNAP_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
+  // Spans begun but not yet ended (instants never count). The flight recorder
+  // recycles its buffer only at open_spans() == 0: a Clear with a span still
+  // open would leave its holder with a dangling id.
+  size_t open_spans() const FAASNAP_EXCLUDES(mu_);
+
   // Bumped on every mutation; lets derived views (the legacy EventTracer
   // projection) cache their rebuild.
   uint64_t revision() const FAASNAP_EXCLUDES(mu_);
@@ -170,6 +175,7 @@ class SpanTracer {
   uint32_t current_track_ FAASNAP_GUARDED_BY(mu_) = 0;
   uint64_t dropped_ FAASNAP_GUARDED_BY(mu_) = 0;
   uint64_t revision_ FAASNAP_GUARDED_BY(mu_) = 0;
+  size_t open_spans_ FAASNAP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace faasnap

@@ -28,6 +28,9 @@ std::pair<std::string_view, std::string_view> ArgLabels(std::string_view name) {
   if (name == obsname::kInvocation) {
     return {"arg0", "elapsed_ns"};
   }
+  if (name == obsname::kInvoke) {
+    return {"arg0", "outcome"};
+  }
   return {"arg0", "arg1"};
 }
 

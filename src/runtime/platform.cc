@@ -12,6 +12,24 @@
 
 namespace faasnap {
 
+namespace {
+
+// InvocationOutcome and ForensicOutcome mirror each other (obs cannot depend
+// on src/metrics in the layering DAG); translate at the boundary.
+ForensicOutcome ToForensicOutcome(InvocationOutcome outcome) {
+  switch (outcome) {
+    case InvocationOutcome::kOk:
+      return ForensicOutcome::kOk;
+    case InvocationOutcome::kDegraded:
+      return ForensicOutcome::kDegraded;
+    case InvocationOutcome::kFailed:
+      return ForensicOutcome::kFailed;
+  }
+  return ForensicOutcome::kFailed;
+}
+
+}  // namespace
+
 Platform::Platform(PlatformConfig config)
     : config_(std::move(config)),
       local_disk_(&sim_, config_.disk, config_.seed),
@@ -183,6 +201,9 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
   Status demotion_reason;
   const Status plan_status = PlanRestoreMode(snapshot, mode, &effective, &demotion_reason);
 
+  if (forensics_ != nullptr) {
+    forensics_->OnInvokeBegin();
+  }
   const SimTime request_time = sim_.now();
   // Request dispatch serializes in the daemon: network namespace and tap device
   // creation take the kernel's rtnl mutex, so 64 simultaneous requests queue.
@@ -213,7 +234,14 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
       report.setup_time = sim_.now() - request_time;
       CountOutcome(report.outcome);
       if (spans_ != nullptr) {
-        spans_->End(invoke_span, sim_.now());
+        spans_->End(invoke_span, sim_.now(), static_cast<uint64_t>(report.outcome));
+      }
+      if (forensics_ != nullptr) {
+        forensics_->OnInvokeEnd(invoke_span, ToForensicOutcome(report.outcome),
+                                report.function, (sim_.now() - request_time).nanos());
+      }
+      if (timeline_ != nullptr) {
+        timeline_->Advance(sim_.now());
       }
       done(std::move(report));
     });
@@ -326,7 +354,14 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
           }
           spans_->End(invocation_span, sim_.now(),
                       static_cast<uint64_t>(result.elapsed.nanos()));
-          spans_->End(invoke_span, sim_.now());
+          spans_->End(invoke_span, sim_.now(), static_cast<uint64_t>(report.outcome));
+        }
+        if (forensics_ != nullptr) {
+          forensics_->OnInvokeEnd(invoke_span, ToForensicOutcome(report.outcome),
+                                  report.function, (sim_.now() - ctx->request_time).nanos());
+        }
+        if (timeline_ != nullptr) {
+          timeline_->Advance(sim_.now());
         }
         done(std::move(report));
       });
@@ -453,6 +488,14 @@ FunctionSnapshot Platform::Record(const TraceGenerator& generator, const Workloa
   DropCaches();
   if (spare_record) {
     chaos_->set_armed(true);
+  }
+  if (forensics_ != nullptr) {
+    // The record phase buffers spans like any other: nothing retains them, so
+    // recycle as soon as the phase's spans are all closed.
+    forensics_->MaybeRecycle();
+  }
+  if (timeline_ != nullptr) {
+    timeline_->Advance(sim_.now());
   }
   return snap;
 }

@@ -57,14 +57,26 @@ class Platform {
   // Attaches the unified observability bundle for subsequent Record/Invoke
   // calls: spans on every actor lane (daemon, vCPU, loader, uffd, disk) plus
   // the metrics registry. Null detaches. The bundle must outlive the platform.
+  //
+  // When the bundle's flight recorder is configured, spans are recorded into
+  // its recycling buffer instead of obs->spans (tail-based forensics replaces
+  // full tracing); a configured timeline is advanced on the invocation
+  // completion path so windows close on virtual time.
   void set_observability(Observability* obs) {
-    SetObservability(obs != nullptr ? &obs->spans : nullptr,
-                     obs != nullptr ? &obs->metrics : nullptr);
+    forensics_ = obs != nullptr && obs->forensics.enabled() ? &obs->forensics : nullptr;
+    timeline_ = obs != nullptr && obs->timeline.enabled() ? &obs->timeline : nullptr;
+    SpanTracer* spans = nullptr;
+    if (obs != nullptr) {
+      spans = forensics_ != nullptr ? forensics_->buffer() : &obs->spans;
+    }
+    SetObservability(spans, obs != nullptr ? &obs->metrics : nullptr);
   }
 
   // Deprecated: legacy flat-event tracing. Records through the EventTracer's
   // underlying span tracer (no metrics); the tracer must outlive the platform.
   void set_tracer(EventTracer* tracer) {
+    forensics_ = nullptr;
+    timeline_ = nullptr;
     SetObservability(tracer != nullptr ? &tracer->spans() : nullptr, nullptr);
   }
 
@@ -112,6 +124,8 @@ class Platform {
   std::unique_ptr<FaultInjector> chaos_;
   SpanTracer* spans_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* forensics_ = nullptr;
+  MetricsTimeline* timeline_ = nullptr;
   // Per-outcome invocation counters; registered only when chaos is enabled so
   // fault-free metrics snapshots stay identical to pre-chaos builds.
   Counter* outcome_counters_[3] = {nullptr, nullptr, nullptr};

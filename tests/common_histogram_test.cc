@@ -116,5 +116,67 @@ TEST(RunningStats, Merge) {
   EXPECT_EQ(empty.count(), 3);
 }
 
+// --- Quantile estimation (log-linear interpolation within buckets). ---
+// Target rank r = ceil(f * total); `within` = fraction of the holding
+// bucket's count at or below r. Bucket 0 interpolates linearly on
+// [0, lower_ns); finite bucket [lo, 2*lo) returns lo * 2^within; the
+// overflow bucket extrapolates one doubling past the last finite edge.
+
+TEST(Log2Quantile, EmptyHistogramIsZero) {
+  Log2Histogram h(1000, 4);
+  EXPECT_EQ(h.EstimateQuantile(0.5), Duration::Zero());
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 0}, 1000, 0.99), 0);
+}
+
+TEST(Log2Quantile, BucketZeroInterpolatesLinearly) {
+  // 4 samples in [0, 1000): p50 hits rank 2 of 4 -> 1000 * 0.5.
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, 0.50), 500);
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, 1.00), 1000);
+  // p10 -> rank ceil(0.4) = 1 of 4 -> 1000 * 0.25.
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, 0.10), 250);
+}
+
+TEST(Log2Quantile, FiniteBucketInterpolatesInLogSpace) {
+  // 4 samples in [1000, 2000): p50 -> 1000 * 2^(2/4) = 1414.
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 0.50), 1414);
+  // p25 -> rank 1 -> 1000 * 2^0.25 = 1189; p100 -> the bucket's upper edge.
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 0.25), 1189);
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 1.00), 2000);
+  // Second finite bucket [2000, 4000): p50 -> 2000 * 2^0.5 = 2828.
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 4, 0}, 1000, 0.50), 2828);
+}
+
+TEST(Log2Quantile, RanksSpanBuckets) {
+  // 1 + 1 + 2 samples: p25 -> rank 1 lands in bucket 0 (1000 * 1/1);
+  // p50 -> rank 2 exhausts bucket 1 (1000 * 2^(1/1) = 2000);
+  // p99 -> rank 4, second of two in bucket 2 -> 2000 * 2^1 = 4000.
+  const std::vector<int64_t> counts = {1, 1, 2, 0};
+  EXPECT_EQ(EstimateLog2Quantile(counts, 1000, 0.25), 1000);
+  EXPECT_EQ(EstimateLog2Quantile(counts, 1000, 0.50), 2000);
+  EXPECT_EQ(EstimateLog2Quantile(counts, 1000, 0.99), 4000);
+}
+
+TEST(Log2Quantile, OverflowBucketExtrapolatesOneDoubling) {
+  // 4 buckets: finite edges 1000/2000/4000, overflow treated as [4000, 8000).
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 4}, 1000, 0.50), 5656);  // 4000 * 2^0.5
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 4}, 1000, 1.00), 8000);
+}
+
+TEST(Log2Quantile, ClassMethodMatchesFreeFunction) {
+  Log2Histogram h(1000, 4);
+  for (int i = 0; i < 4; ++i) {
+    h.Record(Duration::Nanos(1500));
+  }
+  EXPECT_EQ(h.EstimateQuantile(0.5), Duration::Nanos(1414));
+  EXPECT_EQ(h.EstimateQuantile(0.95).nanos(),
+            EstimateLog2Quantile({0, 4, 0, 0}, 1000, 0.95));
+}
+
+TEST(Log2Quantile, FractionIsClampedToUnitRange) {
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, -0.5),
+            EstimateLog2Quantile({4, 0, 0, 0}, 1000, 0.0));
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 2.0), 2000);
+}
+
 }  // namespace
 }  // namespace faasnap

@@ -139,6 +139,31 @@ TEST(LintRuleTest, VoidFixtureFires) {
   EXPECT_EQ(counts.size(), 1u);
 }
 
+TEST(LintRuleTest, ObsNamingFixtureFires) {
+  const auto violations =
+      LintFile(RealConfig(), "src/sim/bad_obsname.cc", Fixture("bad_obsname.cc"));
+  const auto counts = CountByRule(violations);
+  // hyphenated span, uppercase span, empty segment, trailing dot,
+  // single-segment metric, uppercase metric, bad constexpr constant.
+  EXPECT_EQ(counts.at("obs-naming"), 7);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(LintRuleTest, ObsNamingSkipsNonMemberAndVariableCalls) {
+  const Config config = RealConfig();
+  // BeginObject/BeginTrack are not span markers; a call whose name argument
+  // is a variable has no literal on the line and is skipped; declarations
+  // (no '.'/'->' before the marker) are not call sites.
+  const std::string content =
+      "void F(W* w, T* s, unsigned n) {\n"
+      "  w->BeginObject(\"Not A Name\");\n"
+      "  w.BeginTrack(\"ALL CAPS TRACK\");\n"
+      "  auto id = s->Begin(1, n); s->End(id);\n"
+      "  SpanId Begin(SimTime t, const char* name);\n"
+      "}\n";
+  EXPECT_TRUE(LintFile(config, "src/sim/x.cc", content).empty());
+}
+
 TEST(LintRuleTest, CleanFixtureIsClean) {
   const auto violations = LintFile(RealConfig(), "src/sim/clean.cc", Fixture("clean.cc"));
   EXPECT_TRUE(violations.empty()) << violations.size() << " unexpected violation(s), first: "

@@ -5,8 +5,9 @@
 #include <cstdlib>
 
 #include "src/common/json.h"
-#include "src/runtime/platform.h"
 #include "src/obs/observability.h"
+#include "src/obs/trace_export.h"
+#include "src/runtime/platform.h"
 #include "src/storage/device_profiles.h"
 
 namespace faasnap {
@@ -89,6 +90,63 @@ TEST(CriticalPath, ReapSetupWaitsOnDiskFaasnapShiftsToLoader) {
   EXPECT_LT(faasnap_setup.nanos(), reap_setup.nanos());
   EXPECT_GT(faasnap.breakdown.disk_reads, 0);
   EXPECT_GT(faasnap.breakdown.guest_run.nanos(), 0);
+}
+
+// The partition property is not an ok-path artifact: a demoted restore (smem
+// corrupt, falls back to vanilla paging) and an outright failure (memory file
+// corrupt, plan rejected before setup) both leave analyzable invoke spans
+// whose phases still sum exactly to the invoke window.
+TEST(CriticalPath, DegradedInvocationPartitionsExactly) {
+  PlatformConfig config;
+  config.disk = NvmeSsdProfile();
+  Platform platform(config);
+  Observability obs;
+  platform.set_observability(&obs);
+  Result<FunctionSpec> spec = FindFunction("json");
+  FAASNAP_CHECK_OK(spec.status());
+  TraceGenerator generator(*spec, config.layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.store()->CorruptForTesting(snapshot.memory_sanitized.id);
+  platform.DropCaches();
+  obs.spans.Clear();
+  InvocationReport report =
+      platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputB(*spec));
+  ASSERT_EQ(report.outcome, InvocationOutcome::kDegraded);
+  std::optional<CriticalPathBreakdown> breakdown = AnalyzeColdStart(obs.spans);
+  ASSERT_TRUE(breakdown.has_value());
+  EXPECT_EQ(breakdown->Sum().nanos(), breakdown->total.nanos());
+  // The demoted run pages on demand: guest time and faults are still present.
+  EXPECT_GT(breakdown->guest_run.nanos(), 0);
+  EXPECT_EQ(breakdown->faults, report.faults.total_faults());
+  // The outcome tag rides the invoke span (arg1) into the exported trace.
+  const std::string trace = ExportChromeTrace(obs.spans);
+  EXPECT_NE(trace.find("\"outcome\":1"), std::string::npos) << trace.substr(0, 400);
+}
+
+TEST(CriticalPath, FailedInvocationPartitionsExactly) {
+  PlatformConfig config;
+  config.disk = NvmeSsdProfile();
+  Platform platform(config);
+  Observability obs;
+  platform.set_observability(&obs);
+  Result<FunctionSpec> spec = FindFunction("json");
+  FAASNAP_CHECK_OK(spec.status());
+  TraceGenerator generator(*spec, config.layout);
+  FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+  platform.store()->CorruptForTesting(snapshot.memory_vanilla.id);
+  platform.DropCaches();
+  obs.spans.Clear();
+  InvocationReport report =
+      platform.Invoke(snapshot, RestoreMode::kFirecracker, generator, MakeInputB(*spec));
+  ASSERT_EQ(report.outcome, InvocationOutcome::kFailed);
+  std::optional<CriticalPathBreakdown> breakdown = AnalyzeColdStart(obs.spans);
+  ASSERT_TRUE(breakdown.has_value());
+  EXPECT_EQ(breakdown->Sum().nanos(), breakdown->total.nanos());
+  // Rejected at plan time: the whole window is dispatch + other, no guest run.
+  EXPECT_EQ(breakdown->guest_run.nanos(), 0);
+  EXPECT_EQ(breakdown->faults, 0);
+  const std::string trace = ExportChromeTrace(obs.spans);
+  EXPECT_NE(trace.find("\"outcome\":2"), std::string::npos) << trace.substr(0, 400);
 }
 
 TEST(CriticalPath, MissingInvokeSpanYieldsNullopt) {

@@ -13,7 +13,7 @@ TEST(SpanTracer, NestingAndParenting) {
   const SpanId child =
       spans.Begin(SimTime::FromNanos(10), ObsLane::kVcpu, "fault", /*arg0=*/42, 0, root);
   const SpanId grandchild =
-      spans.Begin(SimTime::FromNanos(20), ObsLane::kDisk, "disk-read", 0, 4096, child);
+      spans.Begin(SimTime::FromNanos(20), ObsLane::kDisk, "disk.read", 0, 4096, child);
   spans.End(grandchild, SimTime::FromNanos(30));
   spans.End(child, SimTime::FromNanos(40), /*arg1=*/2);
   spans.End(root, SimTime::FromNanos(50));
@@ -36,9 +36,9 @@ TEST(SpanTracer, NestingAndParenting) {
 
 TEST(SpanTracer, InstantAndComplete) {
   SpanTracer spans;
-  spans.Instant(SimTime::FromNanos(5), ObsLane::kDaemon, "setup-done", 7);
+  spans.Instant(SimTime::FromNanos(5), ObsLane::kDaemon, "setup.done", 7);
   const SpanId done = spans.Complete(SimTime::FromNanos(10), SimTime::FromNanos(20),
-                                     ObsLane::kDisk, "disk-read", 0, 4096);
+                                     ObsLane::kDisk, "disk.read", 0, 4096);
   const SpanRecord& inst = spans.records()[0];
   EXPECT_TRUE(inst.instant);
   EXPECT_FALSE(inst.open);

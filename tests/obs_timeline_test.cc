@@ -1,0 +1,235 @@
+// Tests for MetricsTimeline: windowed JSONL emission (counter deltas, gauge
+// values, histogram bucket deltas + quantiles), epoch boundaries, gap
+// coalescing, bounded memory, and end-to-end emission through Platform.
+
+#include "src/obs/metrics_timeline.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/json.h"
+#include "src/obs/observability.h"
+#include "src/runtime/platform.h"
+#include "src/workloads/function_spec.h"
+
+namespace faasnap {
+namespace {
+
+JsonValue Parse(const std::string& line) {
+  Result<JsonValue> doc = ParseJson(line);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString() << " in: " << line;
+  return doc.ok() ? *doc : JsonValue();
+}
+
+// First metric entry named `name` in a parsed line; null when absent.
+JsonValue FindMetric(const JsonValue& line, const std::string& name) {
+  Result<JsonValue> metrics = line.Get("metrics");
+  if (!metrics.ok() || !metrics->is_array()) {
+    return JsonValue();
+  }
+  for (const JsonValue& m : metrics->array()) {
+    if (m.GetStringOr("name", "") == name) {
+      return m;
+    }
+  }
+  return JsonValue();
+}
+
+struct Harness {
+  MetricsRegistry registry;
+  MetricsTimeline timeline;
+  std::vector<std::string> lines;
+
+  explicit Harness(int64_t window_us = 100) {
+    MetricsTimelineConfig config;
+    config.window = Duration::Micros(window_us);
+    timeline.Configure(&registry, config,
+                       [this](const std::string& line) { lines.push_back(line); });
+  }
+};
+
+TEST(MetricsTimelineTest, DisabledTimelineIsInert) {
+  MetricsTimeline timeline;
+  EXPECT_FALSE(timeline.enabled());
+  timeline.BeginEpoch("x");
+  timeline.Advance(SimTime::FromNanos(1'000'000));
+  timeline.Flush(SimTime::FromNanos(2'000'000));
+  EXPECT_EQ(timeline.lines_emitted(), 0);
+}
+
+TEST(MetricsTimelineTest, CounterDeltasPerWindow) {
+  Harness h;
+  Counter* chunks = h.registry.GetCounter("loader.chunks");
+  h.timeline.BeginEpoch("rep0");
+  chunks->Add(3);
+  h.timeline.Advance(SimTime() + Duration::Micros(150));  // crosses into window 1
+  ASSERT_EQ(h.lines.size(), 1u);
+  const JsonValue line = Parse(h.lines[0]);
+  EXPECT_EQ(line.GetIntOr("epoch", -1), 0);
+  EXPECT_EQ(line.GetStringOr("label", ""), "rep0");
+  EXPECT_EQ(line.GetIntOr("window", -1), 0);
+  EXPECT_EQ(line.GetIntOr("start_ns", -1), 0);
+  EXPECT_EQ(line.GetIntOr("end_ns", -1), 100'000);
+  const JsonValue metric = FindMetric(line, "loader.chunks");
+  ASSERT_TRUE(metric.is_object());
+  EXPECT_EQ(metric.GetIntOr("delta", -1), 3);
+  EXPECT_EQ(metric.GetIntOr("total", -1), 3);
+
+  // The next window reports only the new delta; totals stay cumulative.
+  chunks->Add(4);
+  h.timeline.Flush(SimTime() + Duration::Micros(180));
+  ASSERT_EQ(h.lines.size(), 2u);
+  const JsonValue line2 = Parse(h.lines[1]);
+  EXPECT_EQ(line2.GetIntOr("start_ns", -1), 100'000);
+  EXPECT_EQ(line2.GetIntOr("end_ns", -1), 180'000);
+  const JsonValue metric2 = FindMetric(line2, "loader.chunks");
+  EXPECT_EQ(metric2.GetIntOr("delta", -1), 4);
+  EXPECT_EQ(metric2.GetIntOr("total", -1), 7);
+}
+
+TEST(MetricsTimelineTest, EmptyWindowsEmitNothing) {
+  Harness h;
+  h.registry.GetCounter("loader.chunks");
+  h.timeline.BeginEpoch("idle");
+  for (int i = 1; i <= 50; ++i) {
+    h.timeline.Advance(SimTime() + Duration::Micros(100) * i);
+  }
+  h.timeline.Flush(SimTime() + Duration::Micros(5'100));
+  EXPECT_EQ(h.timeline.lines_emitted(), 0);
+  EXPECT_TRUE(h.lines.empty());
+}
+
+TEST(MetricsTimelineTest, GapWithLateActivityCoalescesToOneLine) {
+  Harness h;
+  Counter* c = h.registry.GetCounter("scheduler.misses");
+  h.timeline.BeginEpoch("gap");
+  c->Add(1);
+  h.timeline.Advance(SimTime() + Duration::Micros(150));  // line 1: [0, 100us)
+  c->Add(1);
+  // Nothing observed for 7 windows; the single line covers the whole gap.
+  h.timeline.Advance(SimTime() + Duration::Micros(950));
+  ASSERT_EQ(h.lines.size(), 2u);
+  const JsonValue line = Parse(h.lines[1]);
+  EXPECT_EQ(line.GetIntOr("start_ns", -1), 100'000);
+  EXPECT_EQ(line.GetIntOr("end_ns", -1), 900'000);
+}
+
+TEST(MetricsTimelineTest, GaugeAndHistogramSeries) {
+  Harness h;
+  Gauge* depth = h.registry.GetGauge("disk.queue_depth");
+  Log2Histogram* hist = h.registry.GetHistogram("fault.handling_ns", {}, 1000, 8);
+  h.timeline.BeginEpoch("mixed");
+  depth->Add(3);
+  hist->Record(Duration::Nanos(1500));
+  hist->Record(Duration::Nanos(1500));
+  h.timeline.Advance(SimTime() + Duration::Micros(150));
+  ASSERT_EQ(h.lines.size(), 1u);
+  const JsonValue line = Parse(h.lines[0]);
+
+  const JsonValue gauge = FindMetric(line, "disk.queue_depth");
+  ASSERT_TRUE(gauge.is_object());
+  EXPECT_EQ(gauge.GetNumberOr("value", -1), 3);
+  EXPECT_EQ(gauge.GetNumberOr("max", -1), 3);
+
+  const JsonValue histogram = FindMetric(line, "fault.handling_ns");
+  ASSERT_TRUE(histogram.is_object());
+  EXPECT_EQ(histogram.GetIntOr("delta_count", -1), 2);
+  EXPECT_EQ(histogram.GetIntOr("delta_total_ns", -1), 3000);
+  EXPECT_TRUE(histogram.Has("p50_ns"));
+  EXPECT_TRUE(histogram.Has("p95_ns"));
+  Result<JsonValue> buckets = histogram.Get("delta_buckets");
+  ASSERT_TRUE(buckets.ok() && buckets->is_array());
+  ASSERT_EQ(buckets->array().size(), 1u);  // sparse: only the touched bucket
+  EXPECT_EQ(buckets->array()[0].GetIntOr("count", -1), 2);
+
+  // An unchanged series is omitted from the next window entirely.
+  depth->Add(0);  // no movement
+  h.registry.GetCounter("loader.chunks")->Add(1);
+  h.timeline.Flush(SimTime() + Duration::Micros(200));
+  ASSERT_EQ(h.lines.size(), 2u);
+  const JsonValue line2 = Parse(h.lines[1]);
+  EXPECT_FALSE(FindMetric(line2, "disk.queue_depth").is_object());
+  EXPECT_FALSE(FindMetric(line2, "fault.handling_ns").is_object());
+}
+
+TEST(MetricsTimelineTest, QuantilesCanBeDisabled) {
+  MetricsRegistry registry;
+  MetricsTimeline timeline;
+  std::vector<std::string> lines;
+  MetricsTimelineConfig config;
+  config.window = Duration::Micros(100);
+  config.quantiles = false;
+  timeline.Configure(&registry, config,
+                     [&](const std::string& line) { lines.push_back(line); });
+  registry.GetHistogram("fault.handling_ns", {}, 1000, 8)->Record(Duration::Nanos(1500));
+  timeline.Flush(SimTime() + Duration::Micros(50));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_FALSE(FindMetric(Parse(lines[0]), "fault.handling_ns").Has("p50_ns"));
+}
+
+TEST(MetricsTimelineTest, EpochBoundaryFlushesAndRestartsWindows) {
+  Harness h;
+  Counter* c = h.registry.GetCounter("scheduler.warm_hits");
+  h.timeline.BeginEpoch("rep0");
+  c->Add(5);
+  h.timeline.Advance(SimTime() + Duration::Micros(130));
+  c->Add(2);
+  // The epoch boundary flushes the pending partial window under the old
+  // label, then restarts window numbering at t=0 for the new platform.
+  h.timeline.BeginEpoch("rep1");
+  c->Add(10);
+  h.timeline.Advance(SimTime() + Duration::Micros(150));
+  ASSERT_EQ(h.lines.size(), 3u);
+  const JsonValue boundary = Parse(h.lines[1]);
+  EXPECT_EQ(boundary.GetIntOr("epoch", -1), 0);
+  EXPECT_EQ(boundary.GetStringOr("label", ""), "rep0");
+  EXPECT_EQ(FindMetric(boundary, "scheduler.warm_hits").GetIntOr("delta", -1), 2);
+  const JsonValue fresh = Parse(h.lines[2]);
+  EXPECT_EQ(fresh.GetIntOr("epoch", -1), 1);
+  EXPECT_EQ(fresh.GetStringOr("label", ""), "rep1");
+  EXPECT_EQ(fresh.GetIntOr("window", -1), 0);
+  EXPECT_EQ(fresh.GetIntOr("start_ns", -1), 0);
+  // Deltas stay correct across the boundary: 10, not 17.
+  EXPECT_EQ(FindMetric(fresh, "scheduler.warm_hits").GetIntOr("delta", -1), 10);
+  EXPECT_EQ(FindMetric(fresh, "scheduler.warm_hits").GetIntOr("total", -1), 17);
+}
+
+// End-to-end: Platform advances the timeline at invocation completions; a
+// real invoke emits at least one window line, and two same-seed runs emit
+// bit-identical timelines (the property the perf gate relies on).
+TEST(MetricsTimelineTest, PlatformEmitsDeterministicTimeline) {
+  auto run = [](std::vector<std::string>* lines) {
+    Observability obs;
+    MetricsTimelineConfig config;
+    config.window = Duration::Micros(100);
+    obs.timeline.Configure(&obs.metrics, config,
+                           [lines](const std::string& line) { lines->push_back(line); });
+    obs.timeline.BeginEpoch("run");
+    PlatformConfig platform_config;
+    platform_config.seed = 42;
+    Platform platform(platform_config);
+    platform.set_observability(&obs);
+    Result<FunctionSpec> spec = FindFunction("json");
+    ASSERT_TRUE(spec.ok());
+    TraceGenerator generator(*spec, platform_config.layout);
+    FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
+    for (int i = 0; i < 3; ++i) {
+      platform.DropCaches();
+      (void)platform.Invoke(snapshot, RestoreMode::kReap, generator, MakeInputA(*spec));
+    }
+    obs.timeline.Flush(platform.sim()->now());
+  };
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  run(&first);
+  run(&second);
+  EXPECT_GT(first.size(), 0u);
+  for (const std::string& line : first) {
+    (void)Parse(line);  // every line is valid JSON
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace faasnap

@@ -106,7 +106,7 @@ TEST(TraceExport, SpanArgsCarryParentLinksAndLabels) {
       saw_parented_fault = true;
       EXPECT_TRUE(args->Has("page"));
     }
-    if (name == "disk-read") {
+    if (name == "disk.read") {
       saw_disk_bytes = args->Has("bytes") || saw_disk_bytes;
     }
   }
@@ -118,7 +118,7 @@ TEST(TraceExport, OpenSpansAreMarkedAndTruncated) {
   SpanTracer spans;
   spans.Begin(SimTime::FromNanos(1000), ObsLane::kVcpu, "fault");
   spans.Complete(SimTime::FromNanos(2000), SimTime::FromNanos(5000), ObsLane::kDisk,
-                 "disk-read");
+                 "disk.read");
   Result<JsonValue> root = ParseJson(ExportChromeTrace(spans));
   ASSERT_TRUE(root.ok());
   Result<JsonValue> events = root->Get("traceEvents");

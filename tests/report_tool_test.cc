@@ -1,0 +1,173 @@
+// Tests for the faasnap_report regression gate: artifact flattening
+// (snapshot / timeline JSONL / generic JSON), diffing with thresholds, and
+// the assert-expression evaluator.
+
+#include "tools/report/report_lib.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace faasnap {
+namespace report {
+namespace {
+
+constexpr char kSnapshot[] = R"({"metrics": [
+  {"name": "scheduler.warm_hits", "labels": {}, "type": "counter", "value": 42},
+  {"name": "faults.by_class", "labels": {"class": "ws"}, "type": "counter", "value": 7},
+  {"name": "disk.queue_depth", "labels": {}, "type": "gauge", "value": 0, "max": 3},
+  {"name": "fault.handling_ns", "labels": {}, "type": "histogram", "count": 10,
+   "total_ns": 5000, "p50_ns": 400, "p95_ns": 900, "p99_ns": 990,
+   "buckets": [{"upper_ns": 500, "count": 6}, {"upper_ns": 1000, "count": 4}]}
+]})";
+
+TEST(FlattenTest, MetricsSnapshot) {
+  auto flat = FlattenArtifact(kSnapshot);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  EXPECT_EQ(flat->at("scheduler.warm_hits{}.value"), 42);
+  EXPECT_EQ(flat->at("faults.by_class{class=ws}.value"), 7);
+  EXPECT_EQ(flat->at("disk.queue_depth{}.max"), 3);
+  EXPECT_EQ(flat->at("fault.handling_ns{}.count"), 10);
+  EXPECT_EQ(flat->at("fault.handling_ns{}.p95_ns"), 900);
+  // Bucket placement is not part of the gate.
+  for (const auto& [key, value] : *flat) {
+    (void)value;  // only the key set is under test here
+    EXPECT_EQ(key.find("buckets"), std::string::npos) << key;
+  }
+}
+
+TEST(FlattenTest, TimelineJsonlAggregatesDeltas) {
+  const std::string jsonl =
+      R"({"epoch":0,"label":"a","window":0,"start_ns":0,"end_ns":100,"metrics":[)"
+      R"({"name":"loader.chunks","labels":{},"type":"counter","delta":3,"total":3},)"
+      R"({"name":"disk.queue_depth","labels":{},"type":"gauge","value":2,"max":2}]})"
+      "\n"
+      R"({"epoch":0,"label":"a","window":1,"start_ns":100,"end_ns":200,"metrics":[)"
+      R"({"name":"loader.chunks","labels":{},"type":"counter","delta":4,"total":7},)"
+      R"({"name":"disk.queue_depth","labels":{},"type":"gauge","value":0,"max":5},)"
+      R"({"name":"fault.handling_ns","labels":{},"type":"histogram","delta_count":2,)"
+      R"("delta_total_ns":800,"delta_buckets":[{"upper_ns":512,"count":2}]}]})"
+      "\n";
+  auto flat = FlattenArtifact(jsonl);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  EXPECT_EQ(flat->at("loader.chunks{}.total"), 7);  // 3 + 4
+  EXPECT_EQ(flat->at("disk.queue_depth{}.last"), 0);
+  EXPECT_EQ(flat->at("disk.queue_depth{}.max"), 5);
+  EXPECT_EQ(flat->at("fault.handling_ns{}.count"), 2);
+  EXPECT_EQ(flat->at("fault.handling_ns{}.total_ns"), 800);
+  EXPECT_EQ(flat->at("timeline.lines"), 2);
+}
+
+TEST(FlattenTest, GenericJsonKeysArrayElementsByStringFields) {
+  const std::string bench = R"({"name": "bench", "cells": [
+    {"function": "hello", "system": "reap", "total_ms_mean": 12.5, "reps": 3},
+    {"function": "hello", "system": "vanilla", "total_ms_mean": 30.0, "reps": 3}
+  ]})";
+  auto flat = FlattenArtifact(bench);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  EXPECT_EQ(flat->at("cells[function=hello,system=reap].total_ms_mean"), 12.5);
+  EXPECT_EQ(flat->at("cells[function=hello,system=vanilla].reps"), 3);
+}
+
+TEST(FlattenTest, RejectsGarbage) {
+  EXPECT_FALSE(FlattenArtifact("not json at all\n{}\n").ok());
+  EXPECT_FALSE(FlattenArtifact("").ok());
+}
+
+FlatMetrics Base() {
+  return {{"a.x{}.value", 100.0}, {"b.y{}.value", 50.0}, {"c.z{}.value", 0.0}};
+}
+
+TEST(DiffTest, IdenticalRunsHaveNoRegressions) {
+  EXPECT_TRUE(Diff(Base(), Base(), DiffOptions{}).empty());
+}
+
+TEST(DiffTest, DefaultThresholdIsExactEquality) {
+  FlatMetrics candidate = Base();
+  candidate["a.x{}.value"] = 101.0;
+  const auto regressions = Diff(Base(), candidate, DiffOptions{});
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].key, "a.x{}.value");
+  EXPECT_EQ(regressions[0].kind, Delta::Kind::kChanged);
+  EXPECT_NEAR(regressions[0].rel_change, 0.01, 1e-9);
+}
+
+TEST(DiffTest, ThresholdToleratesSmallDrift) {
+  FlatMetrics candidate = Base();
+  candidate["a.x{}.value"] = 104.0;  // +4%
+  DiffOptions options;
+  options.default_threshold = 0.05;
+  EXPECT_TRUE(Diff(Base(), candidate, options).empty());
+  options.default_threshold = 0.03;
+  EXPECT_EQ(Diff(Base(), candidate, options).size(), 1u);
+}
+
+TEST(DiffTest, LongestPrefixOverrideWins) {
+  FlatMetrics candidate = Base();
+  candidate["a.x{}.value"] = 104.0;  // +4%
+  candidate["b.y{}.value"] = 52.0;   // +4%
+  DiffOptions options;
+  options.overrides.emplace_back("a.", 0.10);  // a.* tolerated
+  const auto regressions = Diff(Base(), candidate, options);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].key, "b.y{}.value");
+}
+
+TEST(DiffTest, MissingAndAddedKeysAreRegressions) {
+  FlatMetrics candidate = Base();
+  candidate.erase("b.y{}.value");
+  candidate["d.w{}.value"] = 1.0;
+  const auto regressions = Diff(Base(), candidate, DiffOptions{});
+  ASSERT_EQ(regressions.size(), 2u);
+  EXPECT_EQ(regressions[0].kind, Delta::Kind::kMissingInCandidate);
+  EXPECT_EQ(regressions[1].kind, Delta::Kind::kAddedInCandidate);
+  DiffOptions loose;
+  loose.allow_missing = true;
+  EXPECT_TRUE(Diff(Base(), candidate, loose).empty());
+}
+
+TEST(DiffTest, ZeroBaselineToNonzeroIsARegression) {
+  FlatMetrics candidate = Base();
+  candidate["c.z{}.value"] = 1.0;
+  DiffOptions options;
+  options.default_threshold = 0.5;  // even a loose gate must catch 0 -> 1
+  EXPECT_EQ(Diff(Base(), candidate, options).size(), 1u);
+}
+
+TEST(DiffTest, IgnorePrefixExcludesKeys) {
+  FlatMetrics candidate = Base();
+  candidate["a.x{}.value"] = 999.0;
+  DiffOptions options;
+  options.ignore.emplace_back("a.");
+  EXPECT_TRUE(Diff(Base(), candidate, options).empty());
+}
+
+TEST(AssertTest, Operators) {
+  const FlatMetrics metrics = {{"invocations.outcome{outcome=ok}.value", 100.0}};
+  const std::string key = "invocations.outcome{outcome=ok}.value";
+  auto check = [&](const std::string& expr, bool want) {
+    auto outcome = EvalAssert(metrics, expr);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->ok, want) << expr << " -> " << outcome->detail;
+  };
+  check(key + " == 100", true);
+  check(key + " != 100", false);
+  check(key + " >= 100", true);
+  check(key + " <= 99", false);
+  check(key + " > 99.5", true);
+  check(key + " < 100", false);
+}
+
+TEST(AssertTest, ErrorsOnBadExpressionOrUnknownKey) {
+  const FlatMetrics metrics = {{"a.b{}.value", 1.0}};
+  EXPECT_FALSE(EvalAssert(metrics, "a.b{}.value").ok());           // no operator
+  EXPECT_FALSE(EvalAssert(metrics, "a.b{}.value == ").ok());       // no value
+  EXPECT_FALSE(EvalAssert(metrics, "a.b{}.value == ten").ok());    // not a number
+  EXPECT_FALSE(EvalAssert(metrics, "missing.key == 1").ok());      // unknown key
+  EXPECT_EQ(EvalAssert(metrics, "missing.key == 1").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace report
+}  // namespace faasnap

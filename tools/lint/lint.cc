@@ -126,6 +126,50 @@ std::string SrcDirOf(std::string_view path) {
   return std::string(path.substr(kSrc.size(), slash - kSrc.size()));
 }
 
+// Lowercase dotted identifier: '.'-joined segments of [a-z0-9_]+, at least
+// `min_segments` of them. This is the naming convention for every metric and
+// span name (metrics additionally need a subsystem prefix, i.e. >= 2
+// segments); hyphens and uppercase are banned so names survive round-trips
+// through JSON keys, Prometheus-style tooling, and shell pipelines unquoted.
+bool IsLowerDottedName(std::string_view name, size_t min_segments) {
+  size_t segments = 0;
+  size_t seg_len = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) {
+        return false;  // empty segment ("a..b", ".a")
+      }
+      ++segments;
+      seg_len = 0;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      ++seg_len;
+    } else {
+      return false;
+    }
+  }
+  if (seg_len == 0) {
+    return false;  // empty name or trailing '.'
+  }
+  ++segments;
+  return segments >= min_segments;
+}
+
+// First double-quoted literal in `raw` at or after `from`. Returns true and
+// sets *out / *next (one past the closing quote) when found.
+bool FirstLiteral(std::string_view raw, size_t from, std::string_view* out, size_t* next) {
+  const size_t open = raw.find('"', from);
+  if (open == std::string_view::npos) {
+    return false;
+  }
+  const size_t close = raw.find('"', open + 1);
+  if (close == std::string_view::npos) {
+    return false;
+  }
+  *out = raw.substr(open + 1, close - open - 1);
+  *next = close + 1;
+  return true;
+}
+
 std::vector<std::string_view> SplitLines(std::string_view text) {
   std::vector<std::string_view> lines;
   size_t start = 0;
@@ -460,6 +504,66 @@ std::vector<Violation> LintFile(const Config& config, std::string_view path,
     if (raw_lines[i].find("//", pos) == std::string_view::npos) {
       add(static_cast<int>(i + 1), "void-comment",
           "discarding a value with (void) requires a same-line '// why' comment");
+    }
+  }
+
+  // --- obs-naming: metric/span names are lowercase dotted identifiers. ---
+  // Markers are matched on the stripped line (so commented-out calls don't
+  // count) and must be preceded by '.' or '>' (a member call — this excludes
+  // declarations and unrelated identifiers like BeginObject/BeginTrack, which
+  // never have '(' directly after "Begin"). The name itself was blanked by
+  // the stripper, so the first literal is re-read from the raw line; a call
+  // whose name argument is a variable (replay paths) has no literal on the
+  // line and is skipped. Known limitation: a literal wrapped to the next
+  // line escapes the check.
+  struct ObsMarker {
+    std::string_view token;
+    size_t min_segments;
+    const char* what;
+  };
+  static constexpr ObsMarker kObsMarkers[] = {
+      {"Begin(", 1, "span"},          {"Instant(", 1, "span"},
+      {"Complete(", 1, "span"},       {"InternName(", 1, "span"},
+      {"GetCounter(", 2, "metric"},   {"GetGauge(", 2, "metric"},
+      {"GetHistogram(", 2, "metric"},
+  };
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    const std::string_view raw = raw_lines[i];
+    for (const ObsMarker& marker : kObsMarkers) {
+      size_t pos = line.find(marker.token);
+      while (pos != std::string_view::npos) {
+        const bool member_call = pos >= 1 && (line[pos - 1] == '.' || line[pos - 1] == '>');
+        if (member_call) {
+          std::string_view name;
+          size_t next = 0;
+          if (FirstLiteral(raw, pos + marker.token.size(), &name, &next) &&
+              !IsLowerDottedName(name, marker.min_segments)) {
+            add(static_cast<int>(i + 1), "obs-naming",
+                std::string(marker.what) + " name \"" + std::string(name) +
+                    "\" is not a lowercase dotted identifier" +
+                    (marker.min_segments > 1 ? " with a subsystem prefix (need >= 2 segments)"
+                                             : "") +
+                    "; see docs/observability.md");
+          }
+        }
+        pos = line.find(marker.token, pos + 1);
+      }
+    }
+    // Named observability constants get the same treatment: every literal on
+    // a `constexpr std::string_view` line must be a valid (single-segment ok)
+    // dotted name.
+    if (line.find("constexpr") != std::string_view::npos &&
+        line.find("string_view") != std::string_view::npos) {
+      std::string_view name;
+      size_t from = 0;
+      while (FirstLiteral(raw, from, &name, &from)) {
+        if (!IsLowerDottedName(name, 1)) {
+          add(static_cast<int>(i + 1), "obs-naming",
+              "constexpr std::string_view literal \"" + std::string(name) +
+                  "\" is not a lowercase dotted identifier; see docs/observability.md");
+        }
+      }
     }
   }
 

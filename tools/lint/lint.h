@@ -23,6 +23,13 @@
 //                    justifying comment on the same line. Status is
 //                    [[nodiscard]], so this is the only sanctioned way to
 //                    drop one — and it must say why.
+//   * obs-naming   — metric and span names are lowercase dotted identifiers
+//                    (`faults.batch_installs`, `disk.read`). Metric names need
+//                    at least two segments (a subsystem prefix); span names may
+//                    be single-segment (`invoke`). Checked at Get{Counter,
+//                    Gauge,Histogram}/Begin/Instant/Complete/InternName call
+//                    sites with a string literal on the same line, and at
+//                    `constexpr std::string_view` definitions.
 //
 // The analyzer is deliberately lexical (strip comments/strings, then scan
 // tokens): it has no false-negative-free guarantee, but it is fast, has no
@@ -47,7 +54,8 @@ namespace lint {
 struct Violation {
   std::string file;  // repo-relative path, e.g. "src/mem/page_cache.cc"
   int line = 0;      // 1-based
-  std::string rule;  // "layering" | "determinism" | "container" | "tracer-pairing" | "void-comment"
+  std::string rule;  // "layering" | "determinism" | "container" | "tracer-pairing" |
+                     // "void-comment" | "obs-naming"
   std::string message;
 
   bool operator==(const Violation& other) const = default;

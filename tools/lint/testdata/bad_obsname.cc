@@ -1,0 +1,34 @@
+// Lint fixture (never compiled): seeded obs-naming violations. Metric and
+// span names must be lowercase dotted identifiers; metrics additionally need
+// a subsystem prefix (>= 2 segments). Exactly 7 lines below violate.
+
+struct FakeTracer {
+  int Begin(int t, const char*) { return t; }  // declaration: not a call site
+  void End(int) {}
+  void Instant(int, const char*) {}
+  void Complete(int, int, const char*) {}
+  unsigned InternName(const char*) { return 0; }
+};
+struct FakeRegistry {
+  void* GetCounter(const char*) { return nullptr; }
+  void* GetGauge(const char*) { return nullptr; }
+  void* GetHistogram(const char*) { return nullptr; }
+};
+
+void BadObsNames(FakeTracer* spans, FakeTracer& byref, FakeRegistry* metrics) {
+  int a = spans->Begin(1, "disk-read");  // violation: hyphen
+  spans->End(a);
+  int b = byref.Begin(2, "SetupDone");  // violation: uppercase
+  byref.End(b);
+  spans->Instant(3, "uffd..resolve");     // violation: empty segment
+  spans->Complete(4, 5, "loader.chunk");  // valid span name
+  spans->InternName("trailing.");         // violation: trailing dot
+  metrics->GetCounter("faults");          // violation: metric needs >= 2 segments
+  metrics->GetGauge("scheduler.pool_bytes");  // valid metric name
+  metrics->GetHistogram("Faults.handling_ns");  // violation: uppercase
+  int c = spans->Begin(6, name_variable);  // no literal on the line: skipped
+  spans->End(c);
+}
+
+constexpr std::string_view kBadName = "disk-Read";  // violation
+constexpr std::string_view kGoodName = "disk.read";

@@ -1,0 +1,156 @@
+// faasnap_report CLI — the perf regression gate. See report_lib.h for the
+// artifact shapes and semantics.
+//
+//   faasnap_report diff BASELINE CANDIDATE [--threshold=R]
+//                  [--threshold=PREFIX=R ...] [--ignore=PREFIX ...]
+//                  [--allow-missing]
+//   faasnap_report assert ARTIFACT "KEY OP VALUE" ...
+//
+// Exit codes: 0 = gate passes, 1 = regression / failed assert, 2 = usage or
+// I/O error. diff defaults to threshold 0 (bit-identical), which is the
+// correct bar for two same-seed runs of the deterministic simulator.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/report/report_lib.h"
+
+namespace {
+
+using faasnap::Result;
+using faasnap::report::AssertOutcome;
+using faasnap::report::Delta;
+using faasnap::report::DiffOptions;
+using faasnap::report::FlatMetrics;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: faasnap_report diff BASELINE CANDIDATE [--threshold=R]\n"
+               "           [--threshold=PREFIX=R ...] [--ignore=PREFIX ...] "
+               "[--allow-missing]\n"
+               "       faasnap_report assert ARTIFACT \"KEY OP VALUE\" ...\n");
+  return 2;
+}
+
+Result<FlatMetrics> LoadArtifact(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return faasnap::IoError(std::string("cannot read ") + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<FlatMetrics> flat = faasnap::report::FlattenArtifact(text.str());
+  if (!flat.ok()) {
+    return faasnap::Status(flat.status().code(),
+                           std::string(path) + ": " + std::string(flat.status().message()));
+  }
+  return flat;
+}
+
+int RunDiff(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  DiffOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      const char* spec = arg + 12;
+      const char* eq = std::strchr(spec, '=');
+      if (eq != nullptr) {
+        options.overrides.emplace_back(std::string(spec, eq), std::atof(eq + 1));
+      } else {
+        options.default_threshold = std::atof(spec);
+      }
+    } else if (std::strncmp(arg, "--ignore=", 9) == 0) {
+      options.ignore.emplace_back(arg + 9);
+    } else if (std::strcmp(arg, "--allow-missing") == 0) {
+      options.allow_missing = true;
+    } else if (baseline_path == nullptr) {
+      baseline_path = arg;
+    } else if (candidate_path == nullptr) {
+      candidate_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) {
+    return Usage();
+  }
+  Result<FlatMetrics> baseline = LoadArtifact(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "faasnap_report: %s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  Result<FlatMetrics> candidate = LoadArtifact(candidate_path);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "faasnap_report: %s\n", candidate.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<Delta> regressions = faasnap::report::Diff(*baseline, *candidate, options);
+  if (regressions.empty()) {
+    std::printf("faasnap_report: %zu metrics compared, no regressions\n", baseline->size());
+    return 0;
+  }
+  for (const Delta& d : regressions) {
+    switch (d.kind) {
+      case Delta::Kind::kChanged:
+        std::printf("REGRESSION %s: %g -> %g (%.2f%% > %.2f%%)\n", d.key.c_str(), d.baseline,
+                    d.candidate, d.rel_change * 100.0, d.threshold * 100.0);
+        break;
+      case Delta::Kind::kMissingInCandidate:
+        std::printf("REGRESSION %s: missing in candidate (baseline %g)\n", d.key.c_str(),
+                    d.baseline);
+        break;
+      case Delta::Kind::kAddedInCandidate:
+        std::printf("REGRESSION %s: absent in baseline (candidate %g)\n", d.key.c_str(),
+                    d.candidate);
+        break;
+    }
+  }
+  std::printf("faasnap_report: %zu regression(s)\n", regressions.size());
+  return 1;
+}
+
+int RunAssert(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  Result<FlatMetrics> artifact = LoadArtifact(argv[2]);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "faasnap_report: %s\n", artifact.status().ToString().c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 3; i < argc; ++i) {
+    Result<AssertOutcome> outcome = faasnap::report::EvalAssert(*artifact, argv[i]);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "faasnap_report: %s\n", outcome.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s %s\n", outcome->ok ? "PASS" : "FAIL", outcome->detail.c_str());
+    failures += outcome->ok ? 0 : 1;
+  }
+  if (failures > 0) {
+    std::printf("faasnap_report: %d failed assert(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "diff") == 0) {
+    return RunDiff(argc, argv);
+  }
+  if (std::strcmp(argv[1], "assert") == 0) {
+    return RunAssert(argc, argv);
+  }
+  return Usage();
+}

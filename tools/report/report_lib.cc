@@ -1,0 +1,320 @@
+#include "tools/report/report_lib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/common/json.h"
+
+namespace faasnap {
+namespace report {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// `name{k=v,...}` — the series key used for snapshot and timeline artifacts.
+std::string SeriesKey(const JsonValue& metric) {
+  std::string key = metric.GetStringOr("name", "?");
+  key += '{';
+  Result<JsonValue> labels = metric.Get("labels");
+  if (labels.ok() && labels->is_object()) {
+    bool first = true;
+    for (const auto& [k, v] : labels->object()) {
+      if (!first) {
+        key += ',';
+      }
+      first = false;
+      key += k;
+      key += '=';
+      key += v.is_string() ? *v.AsString() : std::string("?");
+    }
+  }
+  key += '}';
+  return key;
+}
+
+// Flattens one snapshot entry: every numeric field except the bucket array
+// becomes `<series>.<field>`. Buckets are deliberately dropped — the gate
+// compares counts and quantiles, not bucket-boundary placement.
+void FlattenSnapshotMetric(const JsonValue& metric, FlatMetrics* out) {
+  const std::string series = SeriesKey(metric);
+  for (const auto& [field, value] : metric.object()) {
+    if (field == "name" || field == "labels" || field == "type" || field == "buckets") {
+      continue;
+    }
+    if (value.is_number()) {
+      (*out)[series + "." + field] = *value.AsDouble();
+    }
+  }
+}
+
+bool LooksLikeSnapshot(const JsonValue& doc) {
+  if (!doc.is_object() || !doc.Has("metrics")) {
+    return false;
+  }
+  const Result<JsonValue> metrics = doc.Get("metrics");
+  if (!metrics.ok() || !metrics->is_array()) {
+    return false;
+  }
+  for (const JsonValue& m : metrics->array()) {
+    if (!m.is_object() || !m.Has("type")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LooksLikeTimelineLine(const JsonValue& doc) {
+  return doc.is_object() && doc.Has("epoch") && doc.Has("window") && doc.Has("metrics");
+}
+
+// Re-aggregates timeline windows into run totals so a timeline diffs like a
+// snapshot: counters sum their deltas, histograms sum delta counts/time,
+// gauges keep the last value and the running max.
+Status AccumulateTimelineLine(const JsonValue& line, FlatMetrics* out) {
+  ASSIGN_OR_RETURN(JsonValue metrics, line.Get("metrics"));
+  if (!metrics.is_array()) {
+    return InvalidArgumentError("timeline line: \"metrics\" is not an array");
+  }
+  for (const JsonValue& m : metrics.array()) {
+    if (!m.is_object()) {
+      return InvalidArgumentError("timeline line: metric entry is not an object");
+    }
+    const std::string series = SeriesKey(m);
+    const std::string type = m.GetStringOr("type", "");
+    if (type == "counter") {
+      (*out)[series + ".total"] += m.GetNumberOr("delta", 0);
+    } else if (type == "gauge") {
+      (*out)[series + ".last"] = m.GetNumberOr("value", 0);
+      double& max = (*out)[series + ".max"];
+      max = std::max(max, m.GetNumberOr("max", 0));
+    } else if (type == "histogram") {
+      (*out)[series + ".count"] += m.GetNumberOr("delta_count", 0);
+      (*out)[series + ".total_ns"] += m.GetNumberOr("delta_total_ns", 0);
+    } else {
+      return InvalidArgumentError("timeline line: unknown metric type \"" + type + "\"");
+    }
+  }
+  (*out)["timeline.lines"] += 1;
+  return OkStatus();
+}
+
+// Generic fallback: numeric leaves keyed by path. Array elements carrying
+// string fields are keyed by those fields instead of their index, so cell
+// reordering between runs is not a spurious diff.
+void FlattenGeneric(const JsonValue& value, const std::string& prefix, FlatMetrics* out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNumber:
+      (*out)[prefix] = *value.AsDouble();
+      return;
+    case JsonValue::Type::kBool:
+      (*out)[prefix] = *value.AsBool() ? 1.0 : 0.0;
+      return;
+    case JsonValue::Type::kNull:
+    case JsonValue::Type::kString:
+      return;  // identity fields become selectors, never values
+    case JsonValue::Type::kObject:
+      for (const auto& [k, v] : value.object()) {
+        FlattenGeneric(v, prefix.empty() ? k : prefix + "." + k, out);
+      }
+      return;
+    case JsonValue::Type::kArray: {
+      const JsonArray& arr = value.array();
+      for (size_t i = 0; i < arr.size(); ++i) {
+        std::string selector;
+        if (arr[i].is_object()) {
+          for (const auto& [k, v] : arr[i].object()) {
+            if (v.is_string()) {
+              selector += selector.empty() ? "" : ",";
+              selector += k + "=" + *v.AsString();
+            }
+          }
+        }
+        if (selector.empty()) {
+          selector = std::to_string(i);
+        }
+        FlattenGeneric(arr[i], prefix + "[" + selector + "]", out);
+      }
+      return;
+    }
+  }
+}
+
+double ThresholdFor(const DiffOptions& options, const std::string& key) {
+  size_t best_len = 0;
+  double best = options.default_threshold;
+  for (const auto& [prefix, threshold] : options.overrides) {
+    if (prefix.size() >= best_len && key.rfind(prefix, 0) == 0) {
+      best_len = prefix.size();
+      best = threshold;
+    }
+  }
+  return best;
+}
+
+bool Ignored(const DiffOptions& options, const std::string& key) {
+  return std::any_of(options.ignore.begin(), options.ignore.end(),
+                     [&](const std::string& p) { return key.rfind(p, 0) == 0; });
+}
+
+}  // namespace
+
+Result<FlatMetrics> FlattenArtifact(const std::string& text) {
+  FlatMetrics out;
+  Result<JsonValue> whole = ParseJson(text);
+  if (whole.ok()) {
+    if (LooksLikeSnapshot(*whole)) {
+      const Result<JsonValue> metrics = whole->Get("metrics");
+      for (const JsonValue& m : metrics->array()) {
+        FlattenSnapshotMetric(m, &out);
+      }
+      return out;
+    }
+    if (LooksLikeTimelineLine(*whole)) {
+      RETURN_IF_ERROR(AccumulateTimelineLine(*whole, &out));
+      return out;
+    }
+    FlattenGeneric(*whole, "", &out);
+    return out;
+  }
+  // Not a single document: try JSONL (the timeline format).
+  size_t start = 0;
+  int line_no = 0;
+  bool any = false;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      nl = text.size();
+    }
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    Result<JsonValue> doc = ParseJson(line);
+    if (!doc.ok() || !LooksLikeTimelineLine(*doc)) {
+      return InvalidArgumentError("artifact is neither a JSON document nor timeline JSONL "
+                                  "(line " +
+                                  std::to_string(line_no) + ")");
+    }
+    RETURN_IF_ERROR(AccumulateTimelineLine(*doc, &out));
+    any = true;
+  }
+  if (!any) {
+    return InvalidArgumentError("artifact is empty");
+  }
+  return out;
+}
+
+std::vector<Delta> Diff(const FlatMetrics& baseline, const FlatMetrics& candidate,
+                        const DiffOptions& options) {
+  std::vector<Delta> regressions;
+  for (const auto& [key, base_value] : baseline) {
+    if (Ignored(options, key)) {
+      continue;
+    }
+    const auto it = candidate.find(key);
+    if (it == candidate.end()) {
+      if (!options.allow_missing) {
+        Delta d;
+        d.key = key;
+        d.kind = Delta::Kind::kMissingInCandidate;
+        d.baseline = base_value;
+        regressions.push_back(std::move(d));
+      }
+      continue;
+    }
+    const double cand_value = it->second;
+    const double rel = std::fabs(cand_value - base_value) /
+                       std::max(std::fabs(base_value), kEps);
+    const double threshold = ThresholdFor(options, key);
+    if (rel > threshold) {
+      Delta d;
+      d.key = key;
+      d.kind = Delta::Kind::kChanged;
+      d.baseline = base_value;
+      d.candidate = cand_value;
+      d.rel_change = rel;
+      d.threshold = threshold;
+      regressions.push_back(std::move(d));
+    }
+  }
+  if (!options.allow_missing) {
+    for (const auto& [key, cand_value] : candidate) {
+      if (Ignored(options, key) || baseline.count(key) > 0) {
+        continue;
+      }
+      Delta d;
+      d.key = key;
+      d.kind = Delta::Kind::kAddedInCandidate;
+      d.candidate = cand_value;
+      regressions.push_back(std::move(d));
+    }
+  }
+  std::sort(regressions.begin(), regressions.end(),
+            [](const Delta& a, const Delta& b) { return a.key < b.key; });
+  return regressions;
+}
+
+Result<AssertOutcome> EvalAssert(const FlatMetrics& metrics, const std::string& expr) {
+  // Two-character operators first so "<=" is not read as "<".
+  static constexpr std::string_view kOps[] = {"<=", ">=", "==", "!=", "<", ">"};
+  size_t op_pos = std::string::npos;
+  std::string_view op;
+  for (const std::string_view candidate_op : kOps) {
+    const size_t pos = expr.find(candidate_op);
+    if (pos != std::string::npos && pos < op_pos) {
+      op_pos = pos;
+      op = candidate_op;
+    }
+  }
+  if (op_pos == std::string::npos) {
+    return InvalidArgumentError("assert \"" + expr + "\": no comparison operator");
+  }
+  auto trim = [](std::string s) {
+    const size_t a = s.find_first_not_of(" \t");
+    const size_t b = s.find_last_not_of(" \t");
+    return a == std::string::npos ? std::string() : s.substr(a, b - a + 1);
+  };
+  const std::string key = trim(expr.substr(0, op_pos));
+  const std::string rhs = trim(expr.substr(op_pos + op.size()));
+  if (key.empty() || rhs.empty()) {
+    return InvalidArgumentError("assert \"" + expr + "\": missing key or value");
+  }
+  char* end = nullptr;
+  const double expected = std::strtod(rhs.c_str(), &end);
+  if (end == rhs.c_str() || *end != '\0') {
+    return InvalidArgumentError("assert \"" + expr + "\": \"" + rhs + "\" is not a number");
+  }
+  const auto it = metrics.find(key);
+  if (it == metrics.end()) {
+    return NotFoundError("assert \"" + expr + "\": key \"" + key + "\" not in artifact");
+  }
+  const double actual = it->second;
+  AssertOutcome outcome;
+  if (op == "<=") {
+    outcome.ok = actual <= expected;
+  } else if (op == ">=") {
+    outcome.ok = actual >= expected;
+  } else if (op == "==") {
+    outcome.ok = actual == expected;
+  } else if (op == "!=") {
+    outcome.ok = actual != expected;
+  } else if (op == "<") {
+    outcome.ok = actual < expected;
+  } else {
+    outcome.ok = actual > expected;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s = %g (want %s %g)", key.c_str(), actual,
+                std::string(op).c_str(), expected);
+  outcome.detail = buf;
+  return outcome;
+}
+
+}  // namespace report
+}  // namespace faasnap

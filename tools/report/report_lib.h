@@ -1,0 +1,89 @@
+// faasnap_report: perf/metrics regression gate over run artifacts.
+//
+// The simulation is deterministic, so two runs with the same seed must
+// produce identical counters; a nonzero diff between a baseline artifact and
+// a candidate artifact is a regression by definition. The tool understands
+// three artifact shapes and flattens each to a `key -> double` map:
+//
+//   * metrics snapshot   — MetricsRegistry::ToJson() output
+//                          (`{"metrics":[{"name":...,"labels":...,...}]}`);
+//                          keys look like `faults.by_class{class=ws}.value`.
+//   * metrics timeline   — JSONL from MetricsTimeline, one window per line;
+//                          per-series deltas are re-aggregated to run totals
+//                          (`scheduler.warm_hits{}.total`, histogram `.count`
+//                          / `.total_ns`), plus `timeline.lines`.
+//   * generic JSON       — any other document (BENCH_*.json, experiment
+//                          results): numeric leaves flattened by path. Array
+//                          elements that carry string fields are keyed by
+//                          those fields (`cells[function=hello,system=reap]
+//                          .total_ms_mean`) so reordering is not a diff.
+//
+// Two modes:
+//   diff    — compare baseline vs candidate with relative thresholds
+//             (default 0: bit-identical or bust; per-key-prefix overrides
+//             loosen individual metrics).
+//   assert  — evaluate `key OP value` invariants against one artifact
+//             (OP in ==, !=, <=, >=, <, >). Used in CI against the curated
+//             BENCH_*.json counter shapes.
+
+#ifndef FAASNAP_TOOLS_REPORT_REPORT_LIB_H_
+#define FAASNAP_TOOLS_REPORT_REPORT_LIB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace faasnap {
+namespace report {
+
+// Deterministic iteration order matters: diff output is itself diffed in CI.
+using FlatMetrics = std::map<std::string, double>;
+
+// Auto-detects the artifact shape (snapshot / timeline JSONL / generic JSON)
+// and flattens it. Strings and empty containers produce no keys.
+Result<FlatMetrics> FlattenArtifact(const std::string& text);
+
+struct DiffOptions {
+  // Maximum allowed |candidate - baseline| / max(|baseline|, eps). The
+  // default demands bit-identical values — correct for same-seed runs of a
+  // deterministic simulator.
+  double default_threshold = 0.0;
+  // Per-key-prefix overrides; the longest matching prefix wins.
+  std::vector<std::pair<std::string, double>> overrides;
+  // Key prefixes excluded from the diff entirely.
+  std::vector<std::string> ignore;
+  // When false, a key present on only one side is a regression.
+  bool allow_missing = false;
+};
+
+struct Delta {
+  enum class Kind { kChanged, kMissingInCandidate, kAddedInCandidate };
+  std::string key;
+  Kind kind = Kind::kChanged;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;  // |c-b| / max(|b|, eps); 0 for missing/added
+  double threshold = 0.0;   // the threshold that was exceeded
+};
+
+// Returns every regression (exceeded threshold or one-sided key), in key
+// order. Empty result = gate passes.
+std::vector<Delta> Diff(const FlatMetrics& baseline, const FlatMetrics& candidate,
+                        const DiffOptions& options);
+
+struct AssertOutcome {
+  bool ok = false;
+  std::string detail;  // human-readable: actual value vs expectation
+};
+
+// Evaluates one `key OP value` expression (e.g.
+// "invocations.outcome{outcome=ok}.value >= 100"). Non-OK Result on a
+// malformed expression or unknown key.
+Result<AssertOutcome> EvalAssert(const FlatMetrics& metrics, const std::string& expr);
+
+}  // namespace report
+}  // namespace faasnap
+
+#endif  // FAASNAP_TOOLS_REPORT_REPORT_LIB_H_
