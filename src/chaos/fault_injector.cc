@@ -19,23 +19,55 @@ Duration Exponential(Rng& rng, Duration mean) {
 
 }  // namespace
 
-FaultInjector::FaultInjector(Simulation* sim, ChaosConfig config)
-    : sim_(sim),
-      config_(config),
-      stall_rng_(config.seed ^ 0x57A11ULL * kGolden),
-      outage_rng_(config.seed ^ 0x0A7A6EULL * kGolden),
-      outage_start_(SimTime::FromNanos(0)),
-      outage_end_(SimTime::FromNanos(0)) {
-  FAASNAP_CHECK(sim_ != nullptr);
-  if (config_.remote_outage_mean_gap > Duration::Zero()) {
-    outage_start_ = SimTime::FromNanos(0) + Exponential(outage_rng_, config_.remote_outage_mean_gap);
-    outage_end_ = outage_start_ + config_.remote_outage_duration;
+void FaultInjector::InitWindow(WindowProcess* w) {
+  w->start = SimTime::FromNanos(0);
+  w->end = SimTime::FromNanos(0);
+  if (w->mean_gap > Duration::Zero()) {
+    w->start = SimTime::FromNanos(0) + Exponential(w->rng, w->mean_gap);
+    w->end = w->start + w->duration;
   }
+}
+
+bool FaultInjector::WindowActive(WindowProcess* w, SimTime now, int count_kind) {
+  if (w->mean_gap <= Duration::Zero()) {
+    return false;
+  }
+  // Renew the window process up to the current clock. Decisions depend only on
+  // the seed and the query time, never on which site asks.
+  while (now >= w->end) {
+    w->start = w->end + Exponential(w->rng, w->mean_gap);
+    w->end = w->start + w->duration;
+    w->counted = false;
+  }
+  const bool active = now >= w->start;
+  if (active && count_kind >= 0 && !w->counted) {
+    w->counted = true;
+    Count(count_kind);
+  }
+  return active;
+}
+
+FaultInjector::FaultInjector(Simulation* sim, ChaosConfig config)
+    : sim_(sim), config_(config), stall_rng_(config.seed ^ 0x57A11ULL * kGolden) {
+  FAASNAP_CHECK(sim_ != nullptr);
+  outage_.rng = Rng(config.seed ^ 0x0A7A6EULL * kGolden);
+  outage_.mean_gap = config_.remote_outage_mean_gap;
+  outage_.duration = config_.remote_outage_duration;
+  InitWindow(&outage_);
+  burst_.rng = Rng(config.seed ^ 0xB0057ULL * kGolden);
+  burst_.mean_gap = config_.burst_mean_gap;
+  burst_.duration = config_.burst_duration;
+  InitWindow(&burst_);
+  squeeze_.rng = Rng(config.seed ^ 0x50EE2ULL * kGolden);
+  squeeze_.mean_gap = config_.squeeze_mean_gap;
+  squeeze_.duration = config_.squeeze_duration;
+  InitWindow(&squeeze_);
 }
 
 void FaultInjector::set_observability(MetricsRegistry* metrics) {
   static constexpr const char* kKindNames[kKindCount] = {
-      "read_error", "read_delay", "outage_read", "loader_stall", "corrupt_file",
+      "read_error",   "read_delay",   "outage_read", "loader_stall",
+      "corrupt_file", "burst_window", "squeeze_window",
   };
   for (int i = 0; i < kKindCount; ++i) {
     injected_[i] = metrics != nullptr
@@ -59,16 +91,22 @@ Rng& FaultInjector::DeviceRng(uint32_t device) {
 }
 
 bool FaultInjector::OutageActive(SimTime now) {
-  if (config_.remote_outage_mean_gap <= Duration::Zero()) {
-    return false;
+  // Per-read counting (kOutageRead) happens at the call site, not per window.
+  return WindowActive(&outage_, now, /*count_kind=*/-1);
+}
+
+double FaultInjector::ArrivalMultiplier(SimTime now) {
+  if (!config_.enabled || config_.burst_arrival_multiplier <= 0.0) {
+    return 1.0;
   }
-  // Renew the window process up to the current clock. Decisions depend only on
-  // the seed and the query time, never on which device asks.
-  while (now >= outage_end_) {
-    outage_start_ = outage_end_ + Exponential(outage_rng_, config_.remote_outage_mean_gap);
-    outage_end_ = outage_start_ + config_.remote_outage_duration;
+  return WindowActive(&burst_, now, kBurstWindow) ? config_.burst_arrival_multiplier : 1.0;
+}
+
+double FaultInjector::MemoryBudgetFraction(SimTime now) {
+  if (!config_.enabled || config_.squeeze_budget_fraction <= 0.0) {
+    return 1.0;
   }
-  return now >= outage_start_;
+  return WindowActive(&squeeze_, now, kSqueezeWindow) ? config_.squeeze_budget_fraction : 1.0;
 }
 
 FaultInjector::ReadFault FaultInjector::OnDeviceRead(uint32_t device,

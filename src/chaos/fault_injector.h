@@ -53,6 +53,19 @@ struct ChaosConfig {
   Duration remote_outage_mean_gap = Duration::Zero();
   Duration remote_outage_duration = Duration::Millis(5);
 
+  // Overload windows for open-loop serving. Burst windows multiply the
+  // offered arrival rate — inter-arrival gaps divide by
+  // `burst_arrival_multiplier` while a window is active — and recur with
+  // exponentially distributed gaps of mean `burst_mean_gap` (zero disables).
+  Duration burst_mean_gap = Duration::Zero();
+  Duration burst_duration = Duration::Millis(50);
+  double burst_arrival_multiplier = 4.0;
+  // Memory-squeeze windows shrink the admission controller's memory budget to
+  // `squeeze_budget_fraction` of its configured value, recurring likewise.
+  Duration squeeze_mean_gap = Duration::Zero();
+  Duration squeeze_duration = Duration::Millis(50);
+  double squeeze_budget_fraction = 0.5;
+
   // When true (default), injection is disarmed while the platform records a
   // snapshot: the fault model targets the restore path, not offline snapshot
   // preparation. File corruption is unaffected (it is decided per file id).
@@ -81,6 +94,15 @@ class FaultInjector {
   // (Duration::Zero() = no stall).
   Duration NextLoaderStall();
 
+  // Open-loop arrival-gap divisor at `now`: `burst_arrival_multiplier` inside
+  // a burst window, 1.0 outside (or with bursts disabled). Queries must be
+  // made at non-decreasing times (the window process renews lazily).
+  double ArrivalMultiplier(SimTime now);
+
+  // Fraction of the admission memory budget available at `now`:
+  // `squeeze_budget_fraction` inside a squeeze window, 1.0 outside.
+  double MemoryBudgetFraction(SimTime now);
+
   // Disarms/rearms read-error, delay, outage, and stall injection (used to
   // spare the record phase). Corruption decisions are unaffected.
   void set_armed(bool armed) { armed_ = armed; }
@@ -92,6 +114,23 @@ class FaultInjector {
   void set_observability(MetricsRegistry* metrics);
 
  private:
+  // A recurring window process: windows of fixed `duration` recur with
+  // exponentially distributed gaps of mean `mean_gap`, renewed lazily as the
+  // clock passes (decisions depend only on the seed and the query time).
+  struct WindowProcess {
+    Rng rng{0};
+    Duration mean_gap;
+    Duration duration;
+    SimTime start;
+    SimTime end;
+    bool counted = false;  // current window already counted in chaos.injected
+  };
+  // Seeds the first window when the process is enabled (mean_gap > 0).
+  static void InitWindow(WindowProcess* w);
+  // True when `now` falls inside a window; `count_kind` >= 0 counts each
+  // window once, on its first active query.
+  bool WindowActive(WindowProcess* w, SimTime now, int count_kind);
+
   Rng& DeviceRng(uint32_t device);
   bool OutageActive(SimTime now);
   void Count(int which);
@@ -100,11 +139,10 @@ class FaultInjector {
   ChaosConfig config_;
   std::vector<Rng> device_rngs_;  // indexed by device ordinal, grown on demand
   Rng stall_rng_;
-  Rng outage_rng_;
 
-  // Current/next outage window [start, end); renewed lazily as the clock passes.
-  SimTime outage_start_;
-  SimTime outage_end_;
+  WindowProcess outage_;
+  WindowProcess burst_;
+  WindowProcess squeeze_;
 
   bool armed_ = true;
 
@@ -114,6 +152,8 @@ class FaultInjector {
     kOutageRead,
     kLoaderStall,
     kCorruptFile,
+    kBurstWindow,
+    kSqueezeWindow,
     kKindCount,
   };
   Counter* injected_[kKindCount] = {};

@@ -223,6 +223,31 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
     fp.huge_region_pages = static_cast<uint64_t>(region_pages);
   }
 
+  if (root.Has("admission")) {
+    ASSIGN_OR_RETURN(JsonValue admission, root.Get("admission"));
+    if (!admission.is_object()) {
+      return InvalidArgumentError("\"admission\" must be an object");
+    }
+    config.admission_enabled = admission.GetBoolOr("enabled", true);
+    AdmissionConfig& a = config.admission;
+    a.max_concurrency = static_cast<int>(
+        admission.GetIntOr("max_concurrency", a.max_concurrency));
+    a.queue_capacity =
+        static_cast<int>(admission.GetIntOr("queue_capacity", a.queue_capacity));
+    a.queue_deadline = Duration::Micros(
+        admission.GetIntOr("queue_deadline_us", a.queue_deadline.micros()));
+    a.memory_budget_bytes = static_cast<uint64_t>(admission.GetIntOr(
+        "memory_budget_mib", static_cast<int64_t>(a.memory_budget_bytes / MiB(1)))) * MiB(1);
+    a.fairness_share = admission.GetNumberOr("fairness_share", a.fairness_share);
+    if (a.max_concurrency < 1 || a.queue_capacity < 0) {
+      return InvalidArgumentError(
+          "admission.max_concurrency must be >= 1 and queue_capacity >= 0");
+    }
+    if (a.fairness_share < 0.0 || a.fairness_share > 1.0) {
+      return InvalidArgumentError("admission.fairness_share must be in [0, 1]");
+    }
+  }
+
   if (root.Has("chaos")) {
     ASSIGN_OR_RETURN(JsonValue chaos, root.Get("chaos"));
     if (!chaos.is_object()) {

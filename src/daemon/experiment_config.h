@@ -36,6 +36,14 @@
 //     "max_non_ok": 1024,                       // ... and of non-ok, up to this cap
 //     "buffer_capacity": 65536                  // recycling span-buffer records
 //   },
+//   "admission": {                              // burst-path admission control
+//     "enabled": true,                          // default true when block present
+//     "max_concurrency": 8,                     // in-flight invocation cap
+//     "queue_capacity": 64,                     // waiters beyond this shed
+//     "queue_deadline_us": 500000,              // waiters older than this shed
+//     "memory_budget_mib": 0,                   // 0 disables memory admission
+//     "fairness_share": 0.0                     // per-function slot share; 0 off
+//   },
 //   "chaos": {                                  // deterministic fault injection
 //     "enabled": true,                          // default true when block present
 //     "seed": 42,
@@ -69,6 +77,7 @@
 #include "src/core/platform_config.h"
 #include "src/obs/flight_recorder.h"
 #include "src/restore/restore_policy.h"
+#include "src/runtime/admission.h"
 
 namespace faasnap {
 
@@ -90,6 +99,14 @@ struct ExperimentConfig {
   int reps = 3;
   int parallelism = 1;
   uint64_t base_seed = 1;
+
+  // Burst-path admission control ("admission" block): with parallelism > 1,
+  // the N simultaneous requests pass through an AdmissionController instead of
+  // all dispatching at once — overflow and deadline-expired waiters are shed
+  // with typed outcomes (the cell's shed column). Off by default: the legacy
+  // unbounded burst is unchanged.
+  bool admission_enabled = false;
+  AdmissionConfig admission;
 
   // Observability outputs; empty = disabled. trace_out receives a Perfetto-
   // loadable Chrome trace (one track per repetition), metrics_out the metrics

@@ -25,6 +25,10 @@ void TallyOutcome(ExperimentCell* cell, const InvocationReport& report) {
     case InvocationOutcome::kFailed:
       cell->failed++;
       break;
+    case InvocationOutcome::kShedQueueFull:
+    case InvocationOutcome::kShedDeadline:
+      cell->shed++;
+      break;
   }
 }
 
@@ -125,7 +129,7 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
             row[s].invocation_ms.Record(report.invocation_time.millis());
             TallyOutcome(&row[s], report);
             row[s].sample = std::move(report);
-          } else {
+          } else if (!config.admission_enabled) {
             // Burst: N simultaneous requests; the cell aggregates per-invocation
             // times across the burst.
             int completed = 0;
@@ -147,6 +151,56 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
             }
             platform.sim()->Run();
             FAASNAP_CHECK(completed == config.parallelism);
+          } else {
+            // Admission-controlled burst: the N simultaneous requests enter a
+            // bounded deadline queue; overflow and expired waiters resolve as
+            // typed shed outcomes instead of piling onto the daemon.
+            int resolved = 0;
+            const uint64_t predicted_bytes =
+                PagesToBytes(snapshot.record_touched.page_count());
+            std::unique_ptr<AdmissionController> admission;
+            AdmissionController::Hooks hooks;
+            hooks.run = [&, s](const AdmissionRequest& request, Duration wait) {
+              (void)wait;  // queue time is visible in the report's setup span
+              WorkloadInput per = test_input;
+              if (!spec.fixed_input) {
+                per.content_seed += request.id * 977;
+              }
+              platform.InvokeAsync(snapshot, config.systems[s], generator.Generate(per),
+                                   [&, s, request](InvocationReport report) {
+                                     row[s].total_ms.Record(report.total_time().millis());
+                                     row[s].setup_ms.Record(report.setup_time.millis());
+                                     row[s].invocation_ms.Record(
+                                         report.invocation_time.millis());
+                                     TallyOutcome(&row[s], report);
+                                     row[s].sample = std::move(report);
+                                     ++resolved;
+                                     admission->OnComplete(request);
+                                   });
+            };
+            hooks.shed = [&, s](const AdmissionRequest& request, InvocationOutcome outcome,
+                                Duration wait) {
+              (void)wait;  // ReportShed derives the wait from request.arrival
+              Status reason = outcome == InvocationOutcome::kShedQueueFull
+                                  ? ResourceExhaustedError("admission queue full")
+                                  : DeadlineExceededError("queueing deadline exceeded");
+              const InvocationReport report =
+                  platform.ReportShed(snapshot, config.systems[s], request.arrival, outcome,
+                                      std::move(reason));
+              TallyOutcome(&row[s], report);
+              ++resolved;
+            };
+            admission = std::make_unique<AdmissionController>(
+                platform.sim(), config.admission, std::move(hooks));
+            for (int i = 0; i < config.parallelism; ++i) {
+              AdmissionRequest request;
+              request.id = static_cast<uint64_t>(i);
+              request.predicted_bytes = predicted_bytes;
+              request.arrival = platform.sim()->now();
+              admission->Offer(request);
+            }
+            platform.sim()->Run();
+            FAASNAP_CHECK(resolved == config.parallelism);
           }
           if (obs != nullptr) {
             obs->spans.End(cell_span, platform.sim()->now());
@@ -205,7 +259,7 @@ std::string ExperimentResults::ToTable() const {
   std::vector<std::string> header = {"function", "test input", "system",
                                      "total (ms)", "setup (ms)", "invoke (ms)"};
   if (any_non_ok) {
-    header.push_back("ok/deg/fail");
+    header.push_back("ok/deg/fail/shed");
   }
   TextTable table(header);
   for (const ExperimentCell& cell : cells) {
@@ -216,7 +270,7 @@ std::string ExperimentResults::ToTable() const {
         FormatCell("%.1f", cell.invocation_ms.mean())};
     if (any_non_ok) {
       row.push_back(std::to_string(cell.ok) + "/" + std::to_string(cell.degraded) + "/" +
-                    std::to_string(cell.failed));
+                    std::to_string(cell.failed) + "/" + std::to_string(cell.shed));
     }
     table.AddRow(row);
   }
@@ -236,7 +290,10 @@ std::string ExperimentResults::ToJson() const {
         .Field("setup_ms_mean", cell.setup_ms.mean())
         .Field("invocation_ms_mean", cell.invocation_ms.mean());
     if (!cell.all_ok()) {
-      json.Field("ok", cell.ok).Field("degraded", cell.degraded).Field("failed", cell.failed);
+      json.Field("ok", cell.ok)
+          .Field("degraded", cell.degraded)
+          .Field("failed", cell.failed)
+          .Field("shed", cell.shed);
     }
     json.Field("reps", cell.total_ms.count())
         .EndObject();

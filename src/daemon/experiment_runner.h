@@ -28,10 +28,13 @@ struct ExperimentCell {
   int64_t ok = 0;
   int64_t degraded = 0;
   int64_t failed = 0;
+  // Arrivals the admission layer rejected or deadline-dropped (burst path with
+  // an "admission" block; both shed outcomes fold into one tally here).
+  int64_t shed = 0;
   // Representative last-rep detail for JSON export.
   InvocationReport sample;
 
-  bool all_ok() const { return degraded == 0 && failed == 0; }
+  bool all_ok() const { return degraded == 0 && failed == 0 && shed == 0; }
 };
 
 struct ExperimentResults {

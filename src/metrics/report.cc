@@ -10,6 +10,10 @@ std::string InvocationReport::OutcomeTag() const {
       return "degraded(" + degraded_mode + ")";
     case InvocationOutcome::kFailed:
       return "failed(" + std::string(StatusCodeName(status.code())) + ")";
+    case InvocationOutcome::kShedQueueFull:
+      return "shed(queue-full)";
+    case InvocationOutcome::kShedDeadline:
+      return "shed(deadline)";
   }
   return "ok";
 }

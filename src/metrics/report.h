@@ -16,11 +16,17 @@
 namespace faasnap {
 
 // How an invocation ended under the failure-aware restore pipeline:
-//   kOk       — restored and ran exactly as requested,
-//   kDegraded — completed correctly, but on a fallback path (e.g. a corrupt
-//               loading set demoted FaaSnap to vanilla on-demand paging),
-//   kFailed   — terminated with a typed error; the function did not complete.
-enum class InvocationOutcome { kOk = 0, kDegraded, kFailed };
+//   kOk            — restored and ran exactly as requested,
+//   kDegraded      — completed correctly, but on a fallback path (e.g. a corrupt
+//                    loading set demoted FaaSnap to vanilla on-demand paging),
+//   kFailed        — terminated with a typed error; the function did not complete.
+//   kShedQueueFull — rejected by admission control on arrival: the bounded
+//                    per-host queue was full. The function never ran.
+//   kShedDeadline  — dropped by admission control after queueing: the request
+//                    exceeded its queueing deadline before a slot opened.
+enum class InvocationOutcome { kOk = 0, kDegraded, kFailed, kShedQueueFull, kShedDeadline };
+
+inline constexpr int kInvocationOutcomeCount = 5;
 
 struct InvocationReport {
   std::string function;

@@ -81,6 +81,10 @@ std::string_view ForensicOutcomeName(ForensicOutcome outcome) {
       return "degraded";
     case ForensicOutcome::kFailed:
       return "failed";
+    case ForensicOutcome::kShedQueueFull:
+      return "shed_queue_full";
+    case ForensicOutcome::kShedDeadline:
+      return "shed_deadline";
   }
   return "unknown";
 }
@@ -96,7 +100,7 @@ void FlightRecorder::Configure(const ForensicsConfig& config, MetricsRegistry* m
     phase_digests_.push_back(std::make_unique<Log2Histogram>(kDigestLowerNs, kDigestBuckets));
   }
   if (metrics != nullptr) {
-    for (size_t i = 0; i < 3; ++i) {
+    for (size_t i = 0; i < kForensicOutcomeCount; ++i) {
       outcome_metrics_[i] = metrics->GetCounter(
           "forensics.invocations",
           {{"outcome", std::string(ForensicOutcomeName(static_cast<ForensicOutcome>(i)))}});
@@ -309,6 +313,8 @@ std::string FlightRecorder::SummaryToJson() const {
       .Field("ok", outcome_counts_[0])
       .Field("degraded", outcome_counts_[1])
       .Field("failed", outcome_counts_[2])
+      .Field("shed_queue_full", outcome_counts_[3])
+      .Field("shed_deadline", outcome_counts_[4])
       .Field("unanalyzed", unanalyzed_)
       .Field("slowest_k", static_cast<int64_t>(config_.slowest_k))
       .Field("max_non_ok", static_cast<int64_t>(config_.max_non_ok))

@@ -44,9 +44,20 @@
 namespace faasnap {
 
 // Invocation outcome as the recorder sees it. Mirrors the runtime's
-// InvocationOutcome ladder (ok < degraded < failed) without depending on
-// src/metrics: obs sits below runtime in the layering DAG.
-enum class ForensicOutcome : uint8_t { kOk = 0, kDegraded = 1, kFailed = 2 };
+// InvocationOutcome ladder (ok < degraded < failed < shed) without depending
+// on src/metrics: obs sits below runtime in the layering DAG. Shed outcomes
+// (admission control rejected or deadline-dropped the arrival before any work
+// ran) count as non-ok for retention: an overloaded host's drops are exactly
+// what a post-incident reader wants span detail for.
+enum class ForensicOutcome : uint8_t {
+  kOk = 0,
+  kDegraded = 1,
+  kFailed = 2,
+  kShedQueueFull = 3,
+  kShedDeadline = 4,
+};
+
+inline constexpr size_t kForensicOutcomeCount = 5;
 
 std::string_view ForensicOutcomeName(ForensicOutcome outcome);
 
@@ -131,7 +142,7 @@ class FlightRecorder {
 
   // Streaming digests: every invocation lands here, retained or not.
   int64_t invocations_ = 0;
-  int64_t outcome_counts_[3] = {0, 0, 0};
+  int64_t outcome_counts_[kForensicOutcomeCount] = {};
   int64_t unanalyzed_ = 0;  // invoke span missing (buffer full): no breakdown
   int64_t recycles_ = 0;
   std::unique_ptr<Log2Histogram> total_digest_;
@@ -144,7 +155,7 @@ class FlightRecorder {
   size_t in_flight_ = 0;
 
   // Conditionally registered series (null without a registry).
-  Counter* outcome_metrics_[3] = {nullptr, nullptr, nullptr};
+  Counter* outcome_metrics_[kForensicOutcomeCount] = {};
   Counter* retained_slowest_metric_ = nullptr;
   Counter* retained_non_ok_metric_ = nullptr;
   Counter* dropped_non_ok_metric_ = nullptr;

@@ -62,6 +62,7 @@ inline constexpr std::string_view kSchedPromote = "sched.promote";  // instant, 
 inline constexpr std::string_view kStorageRetry = "storage.retry";  // instant, arg0 = attempt, arg1 = device
 inline constexpr std::string_view kBreakerOpen = "breaker.open";    // instant, arg0 = device
 inline constexpr std::string_view kDegraded = "degraded";           // instant (daemon lane)
+inline constexpr std::string_view kShed = "shed";  // instant (daemon lane), arg0 = outcome
 }  // namespace obsname
 
 }  // namespace faasnap

@@ -1,44 +1,30 @@
 #include "src/runtime/host_scheduler.h"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
-#include "src/common/rng.h"
 #include "src/obs/observability.h"
 
 namespace faasnap {
 
-std::vector<Arrival> ZipfArrivals(size_t functions, int count, double zipf_s,
-                                  Duration mean_gap, uint64_t seed) {
-  FAASNAP_CHECK(functions > 0);
-  FAASNAP_CHECK(mean_gap > Duration::Zero());
-  // Zipf CDF over ranks 1..F.
-  std::vector<double> cdf(functions);
-  double total = 0;
-  for (size_t i = 0; i < functions; ++i) {
-    total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
-    cdf[i] = total;
-  }
-  for (double& v : cdf) {
-    v /= total;
-  }
-  Rng rng(seed);
-  std::vector<Arrival> arrivals;
-  arrivals.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    const double u = rng.NextDouble();
-    const size_t function_index = static_cast<size_t>(
-        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    double e = rng.NextDouble();
-    if (e <= 0.0) {
-      e = 1e-12;
-    }
-    const auto gap = Duration::Nanos(
-        static_cast<int64_t>(-std::log(e) * static_cast<double>(mean_gap.nanos())) + 1);
-    arrivals.push_back(Arrival{std::min(function_index, functions - 1), gap});
-  }
-  return arrivals;
+namespace {
+
+// Miss modes the pressure ladder may demote to WS-only REAP at L2+: anything
+// that prefetches or loads beyond the recorded working set. Warm/cold-boot
+// serves and REAP itself have nothing to shed.
+bool DemotableToReap(RestoreMode mode) {
+  return mode == RestoreMode::kFaasnap || mode == RestoreMode::kFaasnapPerRegion ||
+         mode == RestoreMode::kFaasnapConcurrentOnly || mode == RestoreMode::kCached;
 }
+
+Duration ScaleDuration(Duration d, double scale) {
+  if (scale >= 1.0) {
+    return d;
+  }
+  return Duration::Nanos(static_cast<int64_t>(static_cast<double>(d.nanos()) * scale));
+}
+
+}  // namespace
 
 HostScheduler::HostScheduler(Platform* platform, HostSchedulerConfig config)
     : platform_(platform), config_(config) {
@@ -48,51 +34,81 @@ HostScheduler::HostScheduler(Platform* platform, HostSchedulerConfig config)
 
 size_t HostScheduler::AddFunction(const FunctionSpec& spec) {
   auto entry = std::make_unique<Entry>();
-  entry->generator =
+  entry->owned_generator =
       std::make_unique<TraceGenerator>(spec, platform_->config().layout);
-  entry->snapshot = std::make_unique<FunctionSnapshot>(
-      platform_->Record(*entry->generator, MakeInputA(spec)));
+  entry->owned_snapshot = std::make_unique<FunctionSnapshot>(
+      platform_->Record(*entry->owned_generator, MakeInputA(spec)));
+  entry->generator = entry->owned_generator.get();
+  entry->snapshot = entry->owned_snapshot.get();
   entry->ws_bytes = PagesToBytes(entry->snapshot->record_touched.page_count());
   entries_.push_back(std::move(entry));
   return entries_.size() - 1;
 }
 
-uint64_t HostScheduler::pool_bytes() const {
-  uint64_t total = 0;
-  for (const auto& entry : entries_) {
-    if (entry->warm) {
-      total += entry->ws_bytes;
-    }
-  }
-  return total;
+size_t HostScheduler::AddRecordedFunction(const FunctionSnapshot* snapshot,
+                                          const TraceGenerator* generator) {
+  FAASNAP_CHECK(snapshot != nullptr && generator != nullptr);
+  auto entry = std::make_unique<Entry>();
+  entry->generator = generator;
+  entry->snapshot = snapshot;
+  entry->ws_bytes = PagesToBytes(snapshot->record_touched.page_count());
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
 }
 
-void HostScheduler::ReclaimAndEvict(uint64_t needed, HostSchedulerStats* stats) {
-  const SimTime now = platform_->sim()->now();
-  // Keep-alive horizon first.
-  for (auto& entry : entries_) {
-    if (entry->warm && now - entry->last_used > config_.keep_warm) {
-      entry->warm = false;
-      stats->expirations++;
-    }
+void HostScheduler::MarkWarm(Entry* entry, SimTime now) {
+  if (entry->warm) {
+    lru_.erase(entry->lru_it);
+  } else {
+    entry->warm = true;
+    pool_bytes_ += entry->ws_bytes;
   }
-  // LRU eviction under pool pressure ("evict to snapshot").
-  while (pool_bytes() + needed > config_.warm_pool_budget_bytes) {
-    Entry* lru = nullptr;
-    for (auto& entry : entries_) {
-      if (entry->warm && (lru == nullptr || entry->last_used < lru->last_used)) {
-        lru = entry.get();
-      }
-    }
-    if (lru == nullptr) {
-      break;  // nothing left to evict; the new VM may exceed the budget alone
-    }
-    lru->warm = false;
+  entry->last_used = now;
+  lru_.push_back(entry);
+  entry->lru_it = std::prev(lru_.end());
+}
+
+void HostScheduler::MarkCold(Entry* entry) {
+  if (!entry->warm) {
+    return;
+  }
+  entry->warm = false;
+  FAASNAP_CHECK(pool_bytes_ >= entry->ws_bytes);
+  pool_bytes_ -= entry->ws_bytes;
+  lru_.erase(entry->lru_it);
+}
+
+void HostScheduler::ReclaimAndEvict(uint64_t needed, Duration keep_warm,
+                                    HostSchedulerStats* stats) {
+  const SimTime now = platform_->sim()->now();
+  // Keep-alive horizon first. The LRU list is ordered by last_used, so the
+  // expired entries are exactly its prefix.
+  while (!lru_.empty() && now - lru_.front()->last_used > keep_warm) {
+    MarkCold(lru_.front());
+    stats->expirations++;
+  }
+  // LRU eviction under pool pressure ("evict to snapshot"). If nothing is left
+  // to evict, the new VM may exceed the budget alone.
+  while (pool_bytes_ + needed > config_.warm_pool_budget_bytes && !lru_.empty()) {
+    MarkCold(lru_.front());
+    stats->evictions++;
+  }
+}
+
+void HostScheduler::EvictIdleBytes(uint64_t bytes, HostSchedulerStats* stats) {
+  uint64_t freed = 0;
+  while (freed < bytes && !lru_.empty()) {
+    freed += lru_.front()->ws_bytes;
+    MarkCold(lru_.front());
     stats->evictions++;
   }
 }
 
 HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
+  return config_.open_loop ? RunOpenLoop(arrivals) : RunClosedLoop(arrivals);
+}
+
+HostSchedulerStats HostScheduler::RunClosedLoop(const std::vector<Arrival>& arrivals) {
   HostSchedulerStats stats;
   stats.per_function_hits.assign(entries_.size(), 0);
   stats.per_function_invocations.assign(entries_.size(), 0);
@@ -101,8 +117,9 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
   SimTime last_completion = sim->now();
   double pool_byte_time = 0;
   uint64_t arrival_seed = 0x5c4ed;
+  const ServeCounters counters{&stats.restore_failures, &stats.quarantines,
+                               &stats.quarantined_serves};
 
-  SpanTracer* spans = platform_->spans();
   MetricsRegistry* metrics = platform_->metrics();
   Counter* warm_hits_metric = nullptr;
   Counter* misses_metric = nullptr;
@@ -118,10 +135,10 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
     const SimTime at = last_completion + arrival.gap;
     const SimTime before = sim->now();
     sim->RunUntil(at);
-    pool_byte_time += static_cast<double>(pool_bytes()) * (sim->now() - before).seconds();
+    pool_byte_time += static_cast<double>(pool_bytes_) * (sim->now() - before).seconds();
 
     Entry& entry = *entries_[arrival.function_index];
-    ReclaimAndEvict(entry.warm ? 0 : entry.ws_bytes, &stats);
+    ReclaimAndEvict(entry.warm ? 0 : entry.ws_bytes, config_.keep_warm, &stats);
     const bool warm = entry.warm;
     if (!warm) {
       // Cold pool slot: this function's pages are not resident; other tenants
@@ -133,24 +150,17 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
     if (!entry.generator->spec().fixed_input) {
       input.content_seed = ++arrival_seed;
     }
-    // Quarantine: a snapshot that keeps failing restore is benched for a
-    // backoff window; misses in the window cold-boot instead of retrying it.
-    RestoreMode mode = warm ? RestoreMode::kWarm : config_.miss_mode;
-    if (!warm && sim->now() < entry.quarantined_until) {
-      mode = RestoreMode::kColdBoot;
-      stats.quarantined_serves++;
-    }
-    // One serve span per arrival on the scheduler lane: arrival -> completion,
-    // arg0 = function index, arg1 = warm hit.
-    const SpanId serve_span =
-        spans != nullptr
-            ? spans->Begin(sim->now(), ObsLane::kScheduler, obsname::kSchedulerServe,
-                           arrival.function_index, warm ? 1 : 0)
-            : kNoSpan;
+    ServeParams params;
+    params.warm = warm;
+    params.miss_mode = config_.miss_mode;
+    params.quarantine_failure_threshold = config_.quarantine_failure_threshold;
+    params.quarantine_backoff = config_.quarantine_backoff;
+    params.function_index = arrival.function_index;
+    const PlannedServe planned = BeginServe(platform_, params, &entry.health, counters);
     bool done = false;
     Duration latency;
     InvocationOutcome outcome = InvocationOutcome::kOk;
-    platform_->InvokeAsync(*entry.snapshot, mode,
+    platform_->InvokeAsync(*entry.snapshot, planned.mode,
                            entry.generator->Generate(input), [&](InvocationReport report) {
                              latency = report.total_time();
                              outcome = report.outcome;
@@ -158,21 +168,9 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
                            });
     sim->Run();
     FAASNAP_CHECK(done);
-    if (!warm && mode != RestoreMode::kColdBoot) {
-      if (outcome == InvocationOutcome::kFailed) {
-        stats.restore_failures++;
-        if (++entry.consecutive_failures >= config_.quarantine_failure_threshold) {
-          entry.quarantined_until = sim->now() + config_.quarantine_backoff;
-          entry.consecutive_failures = 0;
-          stats.quarantines++;
-        }
-      } else {
-        entry.consecutive_failures = 0;
-      }
-    }
-    if (spans != nullptr) {
-      spans->End(serve_span, sim->now());
-    }
+    // The serve span ends (and quarantine bookkeeping stamps) at the
+    // post-drain clock, as the serial loop always has.
+    FinishServe(platform_, planned, outcome, params, &entry.health, counters);
 
     stats.invocations++;
     stats.per_function_invocations[arrival.function_index]++;
@@ -185,18 +183,22 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
     }
     stats.latency_ms.Record(latency.millis());
     pool_byte_time +=
-        static_cast<double>(pool_bytes() + (warm ? 0 : entry.ws_bytes)) * latency.seconds();
+        static_cast<double>(pool_bytes_ + (warm ? 0 : entry.ws_bytes)) * latency.seconds();
 
     if (warm_hits_metric != nullptr) {
       (warm ? warm_hits_metric : misses_metric)->Add(1);
     }
 
     // A failed invocation leaves no VM behind to keep warm.
-    entry.warm = outcome != InvocationOutcome::kFailed;
-    entry.last_used = sim->now();
+    if (outcome != InvocationOutcome::kFailed) {
+      MarkWarm(&entry, sim->now());
+    } else {
+      MarkCold(&entry);
+      entry.last_used = sim->now();
+    }
     last_completion = sim->now();
     if (pool_gauge != nullptr) {
-      pool_gauge->Set(static_cast<double>(pool_bytes()));
+      pool_gauge->Set(static_cast<double>(pool_bytes_));
     }
   }
 
@@ -208,6 +210,213 @@ HostSchedulerStats HostScheduler::Run(const std::vector<Arrival>& arrivals) {
     metrics->GetCounter("scheduler.evictions")->Add(stats.evictions);
     metrics->GetCounter("scheduler.expirations")->Add(stats.expirations);
   }
+  return stats;
+}
+
+HostSchedulerStats HostScheduler::RunOpenLoop(const std::vector<Arrival>& arrivals) {
+  HostSchedulerStats stats;
+  stats.per_function_hits.assign(entries_.size(), 0);
+  stats.per_function_invocations.assign(entries_.size(), 0);
+  Simulation* sim = platform_->sim();
+  FaultInjector* chaos = platform_->chaos();
+  const SimTime span_start = sim->now();
+  const ServeCounters counters{&stats.restore_failures, &stats.quarantines,
+                               &stats.quarantined_serves};
+
+  // Absolute arrival times; chaos burst windows compress the offered gaps.
+  const std::vector<TimedArrival> schedule = BuildOpenLoopSchedule(arrivals, span_start, chaos);
+  for (const TimedArrival& timed : schedule) {
+    FAASNAP_CHECK(timed.function_index < entries_.size());
+  }
+
+  // Per-arrival content seeds, drawn in schedule order so the input stream
+  // does not depend on dispatch interleaving.
+  std::vector<uint64_t> seeds(schedule.size(), 0);
+  uint64_t arrival_seed = 0x5c4ed;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (!entries_[schedule[i].function_index]->generator->spec().fixed_input) {
+      seeds[i] = ++arrival_seed;
+    }
+  }
+
+  MetricsRegistry* metrics = platform_->metrics();
+  Counter* warm_hits_metric = nullptr;
+  Counter* misses_metric = nullptr;
+  Gauge* pool_gauge = nullptr;
+  Counter* shed_metrics[2] = {};  // queue_full, deadline — open-loop runs only
+  if (metrics != nullptr) {
+    warm_hits_metric = metrics->GetCounter("scheduler.warm_hits");
+    misses_metric = metrics->GetCounter("scheduler.misses");
+    pool_gauge = metrics->GetGauge("scheduler.pool_bytes");
+    shed_metrics[0] = metrics->GetCounter("scheduler.shed", {{"reason", "queue_full"}});
+    shed_metrics[1] = metrics->GetCounter("scheduler.shed", {{"reason", "deadline"}});
+  }
+
+  PressureLadder ladder(config_.ladder);
+  Platform::PressureOverrides overrides;
+  platform_->set_pressure_overrides(&overrides);
+
+  std::unique_ptr<AdmissionController> admission;
+  double pool_byte_time = 0;
+  SimTime last_accrual = span_start;
+  SimTime last_outcome = span_start;
+  int64_t shed_count = 0;
+
+  // Time-weighted resident bytes: the idle pool plus the predicted footprint
+  // of admitted in-flight work.
+  const auto accrue = [&](SimTime now) {
+    pool_byte_time += static_cast<double>(pool_bytes_ + admission->committed_bytes()) *
+                      (now - last_accrual).seconds();
+    last_accrual = now;
+  };
+
+  const auto update_ladder = [&] {
+    ladder.Update(admission->memory_utilization(), platform_->storage()->DemandPressure());
+    overrides.readahead_scale = ladder.readahead_scale();
+    overrides.loader_depth_cap = ladder.loader_depth_cap();
+  };
+
+  AdmissionController::Hooks hooks;
+  hooks.pinned_bytes = [this] { return pool_bytes_; };
+  hooks.make_room = [&](uint64_t bytes) { EvictIdleBytes(bytes, &stats); };
+  hooks.shed = [&](const AdmissionRequest& request, InvocationOutcome outcome, Duration wait) {
+    (void)wait;  // the shed report derives its own wait from request.arrival
+    accrue(sim->now());
+    Entry& entry = *entries_[request.function_index];
+    Status reason = outcome == InvocationOutcome::kShedQueueFull
+                        ? ResourceExhaustedError("admission queue full")
+                        : DeadlineExceededError("queueing deadline exceeded");
+    platform_->ReportShed(*entry.snapshot,
+                          entry.warm ? RestoreMode::kWarm : config_.miss_mode, request.arrival,
+                          outcome, std::move(reason));
+    Counter* metric = shed_metrics[outcome == InvocationOutcome::kShedQueueFull ? 0 : 1];
+    if (metric != nullptr) {
+      metric->Add(1);
+    }
+    ++shed_count;
+    last_outcome = sim->now();
+    update_ladder();
+  };
+  hooks.run = [&](const AdmissionRequest& request, Duration wait) {
+    const SimTime now = sim->now();
+    accrue(now);
+    Entry& entry = *entries_[request.function_index];
+    // L3 tightens the keep-alive horizon; idle VMs go back to snapshots sooner.
+    ReclaimAndEvict(entry.warm ? 0 : entry.ws_bytes,
+                    ScaleDuration(config_.keep_warm, ladder.keep_warm_scale()), &stats);
+    const bool warm = entry.warm;
+    if (warm) {
+      // The warm VM leaves the idle pool while running; its bytes are charged
+      // to the admission controller's in-flight accounting instead.
+      MarkCold(&entry);
+    }
+    ++entry.running;
+    stats.queue_wait_ms.Record(wait.millis());
+    // No DropCaches on misses here: the page cache is shared with concurrent
+    // in-flight restores, and dropping it would clobber them mid-flight.
+
+    WorkloadInput input = MakeInputA(entry.generator->spec());
+    if (!entry.generator->spec().fixed_input) {
+      input.content_seed = seeds[request.id];
+    }
+    ServeParams params;
+    params.warm = warm;
+    params.miss_mode = config_.miss_mode;
+    if (!warm && ladder.demote_restore_mode() && DemotableToReap(config_.miss_mode)) {
+      // L2: serve the miss WS-only instead of prefetching the full snapshot.
+      params.miss_mode = RestoreMode::kReap;
+      ++stats.pressure_demotions;
+    }
+    params.quarantine_failure_threshold = config_.quarantine_failure_threshold;
+    params.quarantine_backoff = config_.quarantine_backoff;
+    params.function_index = request.function_index;
+    const PlannedServe planned = BeginServe(platform_, params, &entry.health, counters);
+    platform_->InvokeAsync(
+        *entry.snapshot, planned.mode, entry.generator->Generate(input),
+        [&, request, params, planned, warm](InvocationReport report) {
+          const SimTime done_at = sim->now();
+          accrue(done_at);
+          Entry& served = *entries_[request.function_index];
+          --served.running;
+          FinishServe(platform_, planned, report.outcome, params, &served.health, counters);
+          const Duration latency = report.total_time();
+          stats.invocations++;
+          stats.per_function_invocations[request.function_index]++;
+          if (warm) {
+            stats.warm_hits++;
+            stats.per_function_hits[request.function_index]++;
+          } else {
+            stats.misses++;
+            stats.miss_latency_ms.Record(latency.millis());
+          }
+          stats.latency_ms.Record(latency.millis());
+          stats.accepted_latency.Record(latency);
+          if (warm_hits_metric != nullptr) {
+            (warm ? warm_hits_metric : misses_metric)->Add(1);
+          }
+          // A failed invocation leaves no VM behind to keep warm.
+          if (report.outcome != InvocationOutcome::kFailed) {
+            MarkWarm(&served, done_at);
+          } else {
+            served.last_used = done_at;
+          }
+          if (pool_gauge != nullptr) {
+            pool_gauge->Set(static_cast<double>(pool_bytes_));
+          }
+          last_outcome = done_at;
+          admission->OnComplete(request);
+          update_ladder();
+        });
+  };
+  admission = std::make_unique<AdmissionController>(sim, config_.admission, std::move(hooks));
+
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    sim->Schedule(schedule[i].at, [&, i] {
+      accrue(sim->now());
+      if (chaos != nullptr) {
+        // Chaos memory-squeeze windows shrink the effective admission budget.
+        admission->set_budget_scale(chaos->MemoryBudgetFraction(sim->now()));
+      }
+      update_ladder();
+      AdmissionRequest request;
+      request.id = i;
+      request.function_index = schedule[i].function_index;
+      request.predicted_bytes = entries_[schedule[i].function_index]->ws_bytes;
+      request.arrival = sim->now();
+      admission->Offer(request);
+    });
+  }
+  sim->Run();
+
+  // Every offered arrival resolved to exactly one typed outcome.
+  FAASNAP_CHECK(stats.invocations + shed_count == static_cast<int64_t>(schedule.size()));
+  accrue(sim->now());
+
+  const AdmissionController::Stats& astats = admission->stats();
+  FAASNAP_CHECK(astats.admitted == stats.invocations);
+  stats.arrivals = astats.offered;
+  stats.shed_queue_full = astats.shed_queue_full;
+  stats.shed_deadline = astats.shed_deadline;
+  stats.queued = astats.queued;
+  stats.fairness_deferrals = astats.fairness_deferrals;
+  stats.max_in_flight = astats.max_in_flight;
+  stats.max_queue_depth = astats.max_queue_depth;
+  stats.pressure_transitions = ladder.transitions();
+  stats.max_pressure_level = ladder.max_level();
+  stats.final_pressure_level =
+      ladder.Update(admission->memory_utilization(), platform_->storage()->DemandPressure());
+  if (!schedule.empty() && last_outcome > schedule.back().at) {
+    stats.drain_time = last_outcome - schedule.back().at;
+  }
+  stats.span = sim->now() - span_start;
+  if (stats.span > Duration::Zero()) {
+    stats.avg_pool_bytes = pool_byte_time / stats.span.seconds();
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("scheduler.evictions")->Add(stats.evictions);
+    metrics->GetCounter("scheduler.expirations")->Add(stats.expirations);
+  }
+  platform_->set_pressure_overrides(nullptr);
   return stats;
 }
 

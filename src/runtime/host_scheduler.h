@@ -10,18 +10,32 @@
 // few functions are hot, most are invoked rarely — modeled here with a Zipf
 // popularity distribution over Poisson arrivals.
 //
-// Invocations are admitted serially in arrival order (one running VM at a time);
-// this isolates the policy effects from CPU contention, which Figure 10 covers.
+// Two serving disciplines share the engine:
+//
+//   Closed loop (default) — invocations are admitted serially in arrival order
+//   (one running VM at a time, the next gap measured from the previous
+//   completion); this isolates the policy effects from CPU contention, which
+//   Figure 10 covers. Bit-identical to the historical behavior per seed.
+//
+//   Open loop (config.open_loop) — arrivals land at absolute virtual times
+//   regardless of completions, up to admission.max_concurrency invocations run
+//   concurrently, and overload is handled by the admission layer: a bounded
+//   deadline queue with typed shedding (src/runtime/admission.h) plus a
+//   pressure ladder that degrades readahead, restore mode, and keep-alive
+//   before any work is dropped.
 
 #ifndef FAASNAP_SRC_RUNTIME_HOST_SCHEDULER_H_
 #define FAASNAP_SRC_RUNTIME_HOST_SCHEDULER_H_
 
-#include <map>
+#include <list>
 #include <memory>
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/runtime/admission.h"
+#include "src/runtime/arrivals.h"
 #include "src/runtime/platform.h"
+#include "src/runtime/serve_common.h"
 
 namespace faasnap {
 
@@ -37,21 +51,17 @@ struct HostSchedulerConfig {
   // instead of retrying a snapshot that keeps failing.
   int quarantine_failure_threshold = 3;
   Duration quarantine_backoff = Duration::Seconds(60);
-};
 
-// One request: which registered function, arriving `gap` after the previous one.
-struct Arrival {
-  size_t function_index = 0;
-  Duration gap;
+  // Open-loop serving: arrivals at absolute times, concurrent invocations,
+  // admission control, and the pressure-degradation ladder. Off by default —
+  // the closed loop above is preserved bit-identically.
+  bool open_loop = false;
+  AdmissionConfig admission;
+  PressureLadderConfig ladder;
 };
-
-// Zipf(s)-popular function choice with exponential inter-arrival gaps: the
-// hot/cold skew of the Azure traces (section 2.1). Deterministic per seed.
-std::vector<Arrival> ZipfArrivals(size_t functions, int count, double zipf_s,
-                                  Duration mean_gap, uint64_t seed);
 
 struct HostSchedulerStats {
-  int64_t invocations = 0;
+  int64_t invocations = 0;        // accepted arrivals that ran to completion
   int64_t warm_hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;          // pool-pressure evictions (budget overflow)
@@ -61,17 +71,40 @@ struct HostSchedulerStats {
   int64_t quarantined_serves = 0; // misses served by cold boot while benched
   RunningStats latency_ms;
   RunningStats miss_latency_ms;
-  // Time-averaged bytes pinned by the warm pool across the run.
+  // Time-averaged bytes pinned by the warm pool across the run (open loop also
+  // counts the predicted bytes of in-flight restores).
   double avg_pool_bytes = 0;
   Duration span;
   // Per registered function: hit counts (hot functions should dominate).
   std::vector<int64_t> per_function_hits;
   std::vector<int64_t> per_function_invocations;
 
+  // Open-loop fields; all zero in closed-loop runs.
+  int64_t arrivals = 0;            // offered arrivals (== invocations + sheds)
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t queued = 0;              // admitted after a non-zero queue wait
+  int64_t fairness_deferrals = 0;
+  int max_in_flight = 0;
+  size_t max_queue_depth = 0;
+  RunningStats queue_wait_ms;      // over admitted arrivals
+  // Latency distribution of accepted work only (sheds excluded), for tail
+  // assertions under overload. Buckets from 1us; ~1us .. >1s.
+  Log2Histogram accepted_latency{/*lower_ns=*/1000, /*num_buckets=*/21};
+  // Pressure ladder bookkeeping.
+  int64_t pressure_demotions = 0;  // miss restores demoted to kReap at L2+
+  int64_t pressure_transitions = 0;
+  int max_pressure_level = 0;
+  int final_pressure_level = 0;    // after the run drains; 0 = recovered
+  // Virtual time between the last arrival and the last completion (how long
+  // the host takes to drain its backlog after the offered load stops).
+  Duration drain_time;
+
   double warm_hit_rate() const {
     return invocations == 0 ? 0.0
                             : static_cast<double>(warm_hits) / static_cast<double>(invocations);
   }
+  int64_t shed() const { return shed_queue_full + shed_deadline; }
 };
 
 class HostScheduler {
@@ -83,32 +116,59 @@ class HostScheduler {
   // index for Arrival::function_index.
   size_t AddFunction(const FunctionSpec& spec);
 
-  // Serves `arrivals` in order and returns the aggregate statistics.
+  // Registers an already-recorded function without re-running the record
+  // phase. Both pointers must outlive the scheduler; the snapshot must have
+  // been recorded on this scheduler's platform.
+  size_t AddRecordedFunction(const FunctionSnapshot* snapshot, const TraceGenerator* generator);
+
+  // Serves `arrivals` and returns the aggregate statistics: serially in the
+  // closed loop, or at absolute virtual times under admission control when
+  // config.open_loop is set.
   HostSchedulerStats Run(const std::vector<Arrival>& arrivals);
 
   const FunctionSnapshot& snapshot(size_t index) const { return *entries_[index]->snapshot; }
 
  private:
   struct Entry {
-    std::unique_ptr<TraceGenerator> generator;
-    std::unique_ptr<FunctionSnapshot> snapshot;
+    // Owned when registered via AddFunction; raw views used everywhere.
+    std::unique_ptr<TraceGenerator> owned_generator;
+    std::unique_ptr<FunctionSnapshot> owned_snapshot;
+    const TraceGenerator* generator = nullptr;
+    const FunctionSnapshot* snapshot = nullptr;
     uint64_t ws_bytes = 0;
-    // Warm-pool state.
+    // Warm-pool state. `lru_it` points into lru_ iff warm.
     bool warm = false;
     SimTime last_used;
-    // Quarantine state: consecutive failed snapshot restores, and until when
-    // misses should avoid the snapshot.
-    int consecutive_failures = 0;
-    SimTime quarantined_until;
+    std::list<Entry*>::iterator lru_it;
+    // In-flight invocations of this function (open loop only).
+    int running = 0;
+    // Snapshot quarantine state (shared serve bookkeeping).
+    ServeHealth health;
   };
 
-  // Reclaims expired VMs and, if needed, LRU-evicts until `needed` bytes fit.
-  void ReclaimAndEvict(uint64_t needed, HostSchedulerStats* stats);
-  uint64_t pool_bytes() const;
+  HostSchedulerStats RunClosedLoop(const std::vector<Arrival>& arrivals);
+  HostSchedulerStats RunOpenLoop(const std::vector<Arrival>& arrivals);
+
+  // Warm-pool bookkeeping: the pool byte total and the LRU list (front =
+  // least recently used) are maintained incrementally — marking a VM warm,
+  // refreshing its recency, or evicting it is O(1), instead of the historical
+  // full rescan of every entry per eviction step.
+  void MarkWarm(Entry* entry, SimTime now);
+  void MarkCold(Entry* entry);
+  // Reclaims VMs idle past `keep_warm` and, if needed, LRU-evicts until
+  // `needed` bytes fit in the budget.
+  void ReclaimAndEvict(uint64_t needed, Duration keep_warm, HostSchedulerStats* stats);
+  // Best-effort: evicts idle LRU VMs until at least `bytes` are unpinned (the
+  // admission controller's make_room hook).
+  void EvictIdleBytes(uint64_t bytes, HostSchedulerStats* stats);
+
+  uint64_t pool_bytes() const { return pool_bytes_; }
 
   Platform* platform_;
   HostSchedulerConfig config_;
   std::vector<std::unique_ptr<Entry>> entries_;
+  std::list<Entry*> lru_;      // warm entries, ascending last_used
+  uint64_t pool_bytes_ = 0;    // sum of ws_bytes over warm entries
 };
 
 }  // namespace faasnap

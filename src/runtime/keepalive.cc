@@ -1,27 +1,10 @@
 #include "src/runtime/keepalive.h"
 
-#include <cmath>
-
 #include "src/obs/observability.h"
+#include "src/runtime/host_scheduler.h"
+#include "src/runtime/serve_common.h"
 
 namespace faasnap {
-
-std::vector<Duration> PoissonArrivalGaps(Duration mean_gap, int count, uint64_t seed) {
-  FAASNAP_CHECK(mean_gap > Duration::Zero());
-  Rng rng(seed);
-  std::vector<Duration> gaps;
-  gaps.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    // Inverse-CDF sampling of Exp(1/mean): -ln(U) * mean.
-    double u = rng.NextDouble();
-    if (u <= 0.0) {
-      u = 1e-12;
-    }
-    const double ns = -std::log(u) * static_cast<double>(mean_gap.nanos());
-    gaps.push_back(Duration::Nanos(static_cast<int64_t>(ns) + 1));
-  }
-  return gaps;
-}
 
 KeepAliveSimulator::KeepAliveSimulator(Platform* platform, const FunctionSnapshot* snapshot,
                                        const TraceGenerator* generator)
@@ -29,8 +12,55 @@ KeepAliveSimulator::KeepAliveSimulator(Platform* platform, const FunctionSnapsho
   FAASNAP_CHECK(platform_ != nullptr && snapshot_ != nullptr && generator_ != nullptr);
 }
 
+KeepAliveStats KeepAliveSimulator::RunOpenLoop(const std::vector<Duration>& gaps,
+                                               const KeepAliveConfig& config) {
+  // Single-function open loop: delegate to the shared serving engine.
+  HostSchedulerConfig host_config;
+  host_config.warm_pool_budget_bytes = config.warm_pool_budget_bytes;
+  host_config.keep_warm = config.keep_warm;
+  host_config.miss_mode = config.miss_mode;
+  host_config.quarantine_failure_threshold = config.quarantine_failure_threshold;
+  host_config.quarantine_backoff = config.quarantine_backoff;
+  host_config.open_loop = true;
+  host_config.admission = config.admission;
+  host_config.ladder = config.ladder;
+  HostScheduler scheduler(platform_, host_config);
+  const size_t index = scheduler.AddRecordedFunction(snapshot_, generator_);
+
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(gaps.size());
+  for (const Duration& gap : gaps) {
+    arrivals.push_back(Arrival{index, gap});
+  }
+  const HostSchedulerStats host = scheduler.Run(arrivals);
+
+  KeepAliveStats stats;
+  stats.invocations = host.invocations;
+  stats.warm_hits = host.warm_hits;
+  stats.misses = host.misses;
+  stats.restore_failures = host.restore_failures;
+  stats.quarantines = host.quarantines;
+  stats.quarantined_serves = host.quarantined_serves;
+  stats.latency_ms = host.latency_ms;
+  stats.miss_latency_ms = host.miss_latency_ms;
+  stats.avg_warm_resident_bytes = host.avg_pool_bytes;
+  stats.span = host.span;
+  stats.arrivals = host.arrivals;
+  stats.shed_queue_full = host.shed_queue_full;
+  stats.shed_deadline = host.shed_deadline;
+  stats.queued = host.queued;
+  stats.max_in_flight = host.max_in_flight;
+  stats.max_pressure_level = host.max_pressure_level;
+  stats.final_pressure_level = host.final_pressure_level;
+  stats.drain_time = host.drain_time;
+  return stats;
+}
+
 KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
                                        const KeepAliveConfig& config) {
+  if (config.open_loop) {
+    return RunOpenLoop(gaps, config);
+  }
   KeepAliveStats stats;
   Simulation* sim = platform_->sim();
   const SimTime span_start = sim->now();
@@ -42,10 +72,10 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
   bool have_previous = false;
   double warm_byte_time = 0;  // bytes * seconds of pinned warm memory
   uint64_t arrival_seed = 0xA551;
-  int consecutive_failures = 0;
-  SimTime quarantined_until;
+  ServeHealth health;
+  const ServeCounters counters{&stats.restore_failures, &stats.quarantines,
+                               &stats.quarantined_serves};
 
-  SpanTracer* spans = platform_->spans();
   MetricsRegistry* metrics = platform_->metrics();
   Counter* warm_hits_metric = nullptr;
   Counter* misses_metric = nullptr;
@@ -75,21 +105,17 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
     if (!spec.fixed_input) {
       input.content_seed = ++arrival_seed;
     }
-    RestoreMode mode = warm ? RestoreMode::kWarm : config.miss_mode;
-    if (!warm && sim->now() < quarantined_until) {
-      // The snapshot is benched after repeated failed restores: cold-boot.
-      mode = RestoreMode::kColdBoot;
-      stats.quarantined_serves++;
-    }
-    const SpanId serve_span =
-        spans != nullptr
-            ? spans->Begin(sim->now(), ObsLane::kScheduler, obsname::kSchedulerServe, 0,
-                           warm ? 1 : 0)
-            : kNoSpan;
+    ServeParams params;
+    params.warm = warm;
+    params.miss_mode = config.miss_mode;
+    params.quarantine_failure_threshold = config.quarantine_failure_threshold;
+    params.quarantine_backoff = config.quarantine_backoff;
+    params.function_index = 0;
+    const PlannedServe planned = BeginServe(platform_, params, &health, counters);
     bool done = false;
     Duration latency;
     InvocationOutcome outcome = InvocationOutcome::kOk;
-    platform_->InvokeAsync(*snapshot_, mode, generator_->Generate(input),
+    platform_->InvokeAsync(*snapshot_, planned.mode, generator_->Generate(input),
                            [&](InvocationReport report) {
                              latency = report.total_time();
                              outcome = report.outcome;
@@ -97,27 +123,14 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
                            });
     sim->Run();
     FAASNAP_CHECK(done);
-    if (spans != nullptr) {
-      spans->End(serve_span, sim->now());
-    }
+    FinishServe(platform_, planned, outcome, params, &health, counters);
 
     stats.invocations++;
     if (warm) {
       stats.warm_hits++;
     } else {
       stats.misses++;
-      if (mode != RestoreMode::kColdBoot) {
-        if (outcome == InvocationOutcome::kFailed) {
-          stats.restore_failures++;
-          if (++consecutive_failures >= config.quarantine_failure_threshold) {
-            quarantined_until = sim->now() + config.quarantine_backoff;
-            consecutive_failures = 0;
-            stats.quarantines++;
-          }
-        } else {
-          consecutive_failures = 0;
-        }
-      }
+      stats.miss_latency_ms.Record(latency.millis());
     }
     if (warm_hits_metric != nullptr) {
       (warm ? warm_hits_metric : misses_metric)->Add(1);

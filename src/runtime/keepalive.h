@@ -11,6 +11,12 @@
 // latency plus the time-averaged resident-memory footprint — quantifying the
 // paper's argument that "snapshots can replace cold starts for functions invoked
 // less frequently than those that benefit from warm VMs".
+//
+// The default discipline is closed-loop and serialized (bit-identical to the
+// historical behavior). With config.open_loop, arrivals land at absolute
+// virtual times and the single function is served by the shared open-loop
+// engine (HostScheduler + AdmissionController), so overload produces typed
+// sheds instead of unbounded serialization.
 
 #ifndef FAASNAP_SRC_RUNTIME_KEEPALIVE_H_
 #define FAASNAP_SRC_RUNTIME_KEEPALIVE_H_
@@ -19,6 +25,8 @@
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/runtime/admission.h"
+#include "src/runtime/arrivals.h"
 #include "src/runtime/platform.h"
 
 namespace faasnap {
@@ -33,6 +41,13 @@ struct KeepAliveConfig {
   // consecutive failed restores, misses cold-boot for `quarantine_backoff`.
   int quarantine_failure_threshold = 3;
   Duration quarantine_backoff = Duration::Seconds(60);
+
+  // Open-loop serving (see HostSchedulerConfig::open_loop). The budget bounds
+  // the idle warm pool in the delegated engine; closed-loop runs ignore it.
+  bool open_loop = false;
+  uint64_t warm_pool_budget_bytes = GiB(1);
+  AdmissionConfig admission;
+  PressureLadderConfig ladder;
 };
 
 struct KeepAliveStats {
@@ -43,20 +58,28 @@ struct KeepAliveStats {
   int64_t quarantines = 0;         // times the snapshot was benched
   int64_t quarantined_serves = 0;  // misses served by cold boot while benched
   RunningStats latency_ms;
+  RunningStats miss_latency_ms;
   // Time-averaged bytes of host memory pinned by the idle warm VM.
   double avg_warm_resident_bytes = 0;
   // Total simulated span covered by the arrival sequence.
   Duration span;
 
+  // Open-loop fields; all zero in closed-loop runs.
+  int64_t arrivals = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t queued = 0;
+  int max_in_flight = 0;
+  int max_pressure_level = 0;
+  int final_pressure_level = 0;
+  Duration drain_time;
+
   double warm_hit_rate() const {
     return invocations == 0 ? 0.0
                             : static_cast<double>(warm_hits) / static_cast<double>(invocations);
   }
+  int64_t shed() const { return shed_queue_full + shed_deadline; }
 };
-
-// Exponentially distributed inter-arrival gaps with the given mean (a Poisson
-// arrival process), deterministic per seed.
-std::vector<Duration> PoissonArrivalGaps(Duration mean_gap, int count, uint64_t seed);
 
 class KeepAliveSimulator {
  public:
@@ -65,12 +88,16 @@ class KeepAliveSimulator {
   KeepAliveSimulator(Platform* platform, const FunctionSnapshot* snapshot,
                      const TraceGenerator* generator);
 
-  // Serves one invocation per gap (arrivals are serialized: a request arriving
-  // while the previous one runs starts right after it). Page caches are dropped
-  // on misses beyond the keep-warm horizon to model long idle periods.
+  // Serves one invocation per gap. Closed loop (default): arrivals are
+  // serialized — a request arriving while the previous one runs starts right
+  // after it — and page caches are dropped on misses beyond the keep-warm
+  // horizon to model long idle periods. Open loop: absolute arrival times
+  // under admission control.
   KeepAliveStats Run(const std::vector<Duration>& gaps, const KeepAliveConfig& config);
 
  private:
+  KeepAliveStats RunOpenLoop(const std::vector<Duration>& gaps, const KeepAliveConfig& config);
+
   Platform* platform_;
   const FunctionSnapshot* snapshot_;
   const TraceGenerator* generator_;

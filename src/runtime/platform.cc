@@ -1,5 +1,6 @@
 #include "src/runtime/platform.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/units.h"
@@ -24,8 +25,39 @@ ForensicOutcome ToForensicOutcome(InvocationOutcome outcome) {
       return ForensicOutcome::kDegraded;
     case InvocationOutcome::kFailed:
       return ForensicOutcome::kFailed;
+    case InvocationOutcome::kShedQueueFull:
+      return ForensicOutcome::kShedQueueFull;
+    case InvocationOutcome::kShedDeadline:
+      return ForensicOutcome::kShedDeadline;
   }
   return ForensicOutcome::kFailed;
+}
+
+// Pressure-ladder degradation of the per-invocation prefetch machinery: shrink
+// every readahead window and cap the loader's pipeline depth. Null overrides
+// (the normal case) return the config untouched, keeping the legacy path
+// bit-identical.
+ReadaheadConfig ApplyPressure(ReadaheadConfig config, const Platform::PressureOverrides* p) {
+  if (p == nullptr || p->readahead_scale >= 1.0) {
+    return config;
+  }
+  const auto scale = [&](uint64_t pages) {
+    const auto scaled = static_cast<uint64_t>(static_cast<double>(pages) * p->readahead_scale);
+    return scaled < 1 ? uint64_t{1} : scaled;
+  };
+  config.initial_window_pages = scale(config.initial_window_pages);
+  config.max_window_pages = scale(config.max_window_pages);
+  config.random_window_pages = scale(config.random_window_pages);
+  return config;
+}
+
+PrefetchConfig ApplyPressure(PrefetchConfig config, const Platform::PressureOverrides* p) {
+  if (p == nullptr || p->loader_depth_cap <= 0) {
+    return config;
+  }
+  config.pipeline_depth = std::min(config.pipeline_depth, p->loader_depth_cap);
+  config.min_pipeline_depth = std::min(config.min_pipeline_depth, config.pipeline_depth);
+  return config;
 }
 
 }  // namespace
@@ -84,8 +116,9 @@ void Platform::SetObservability(SpanTracer* spans, MetricsRegistry* metrics) {
   cache_.set_observability(metrics);
   if (chaos_ != nullptr) {
     chaos_->set_observability(metrics);
-    for (int i = 0; i < 3; ++i) {
-      static constexpr std::string_view kOutcomes[3] = {"ok", "degraded", "failed"};
+    for (int i = 0; i < kInvocationOutcomeCount; ++i) {
+      static constexpr std::string_view kOutcomes[kInvocationOutcomeCount] = {
+          "ok", "degraded", "failed", "shed_queue_full", "shed_deadline"};
       outcome_counters_[i] =
           metrics != nullptr
               ? metrics->GetCounter("invocations.outcome",
@@ -153,13 +186,13 @@ Status Platform::PlanRestoreMode(const FunctionSnapshot& snapshot, RestoreMode r
 struct Platform::InvocationContext {
   InvocationContext(Platform* platform, const FunctionSnapshot& snap, RestoreMode mode_in)
       : space(snap.guest_pages),
-        readahead(platform->config_.readahead),
+        readahead(ApplyPressure(platform->config_.readahead, platform->pressure_)),
         engine(&platform->sim_, &platform->cache_, &platform->storage_, &space, &readahead,
                platform->store_.SizeFn(), platform->config_.host_costs),
         vm(&platform->sim_, &engine, &platform->cpu_, platform->config_.guest.vcpus),
         policy(RestorePolicy::Create(mode_in)),
         loader(&platform->sim_, &platform->cache_, &platform->storage_,
-               platform->config_.loader) {
+               ApplyPressure(platform->config_.loader, platform->pressure_)) {
     // Levers before observability: lever counters register iff enabled. The
     // record phase (its own engine in Platform::Record) keeps them off so
     // snapshot artifacts never depend on lever settings.
@@ -190,6 +223,44 @@ struct Platform::InvocationContext {
   RestoreMode requested_mode;
   Status demotion_reason;
 };
+
+InvocationReport Platform::ReportShed(const FunctionSnapshot& snapshot,
+                                      RestoreMode requested_mode, SimTime arrival_time,
+                                      InvocationOutcome outcome, Status reason) {
+  FAASNAP_CHECK(outcome == InvocationOutcome::kShedQueueFull ||
+                outcome == InvocationOutcome::kShedDeadline);
+  if (forensics_ != nullptr) {
+    forensics_->OnInvokeBegin();
+  }
+  InvocationReport report;
+  report.function = snapshot.function;
+  report.mode = std::string(RestoreModeName(requested_mode));
+  report.outcome = outcome;
+  report.status = std::move(reason);
+  // The whole shed window is queueing: report it as setup so total_time() is
+  // the arrival-to-drop latency the client observed.
+  report.setup_time = sim_.now() - arrival_time;
+  CountOutcome(outcome);
+  SpanId invoke_span = kNoSpan;
+  if (spans_ != nullptr) {
+    // The dispatch child covers the full invoke window, so critical-path
+    // analysis attributes a shed arrival entirely to dispatch/queue time.
+    invoke_span = spans_->Begin(arrival_time, ObsLane::kDaemon, obsname::kInvoke);
+    spans_->Complete(arrival_time, sim_.now(), ObsLane::kDaemon, obsname::kDispatch, 0, 0,
+                     invoke_span);
+    spans_->Instant(sim_.now(), ObsLane::kDaemon, obsname::kShed,
+                    static_cast<uint64_t>(outcome), 0, invoke_span);
+    spans_->End(invoke_span, sim_.now(), static_cast<uint64_t>(outcome));
+  }
+  if (forensics_ != nullptr) {
+    forensics_->OnInvokeEnd(invoke_span, ToForensicOutcome(outcome), report.function,
+                            (sim_.now() - arrival_time).nanos());
+  }
+  if (timeline_ != nullptr) {
+    timeline_->Advance(sim_.now());
+  }
+  return report;
+}
 
 void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
                            InvocationTrace trace, std::function<void(InvocationReport)> done) {

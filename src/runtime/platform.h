@@ -51,6 +51,28 @@ class Platform {
   void InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode, InvocationTrace trace,
                    std::function<void(InvocationReport)> done);
 
+  // Admission-layer shedding: the arrival was rejected (queue full) or dropped
+  // (queueing deadline) before any restore work ran. Synthesizes the typed
+  // report and feeds the same paths as a completed invocation — invoke span
+  // covering [arrival_time, now] (all dispatch/queue time for critical-path
+  // analysis), outcome counters, forensics non-ok retention, timeline — so
+  // every arrival carries exactly one typed outcome. `outcome` must be
+  // kShedQueueFull or kShedDeadline.
+  InvocationReport ReportShed(const FunctionSnapshot& snapshot, RestoreMode requested_mode,
+                              SimTime arrival_time, InvocationOutcome outcome, Status reason);
+
+  // Pressure-driven degradation hook (the admission layer's ladder). While a
+  // non-null overrides struct is attached, newly built invocations shrink
+  // their readahead windows by `readahead_scale` and cap the prefetch
+  // pipeline depth at `loader_depth_cap`. Null (the default) keeps the exact
+  // legacy construction path; the struct must outlive its attachment.
+  struct PressureOverrides {
+    double readahead_scale = 1.0;  // (0, 1]: multiplies every window, floor 1 page
+    int loader_depth_cap = 0;      // 0 = uncapped
+  };
+  void set_pressure_overrides(const PressureOverrides* pressure) { pressure_ = pressure; }
+  const PressureOverrides* pressure_overrides() const { return pressure_; }
+
   // echo 3 > drop_caches between tests (section 6.1).
   void DropCaches();
 
@@ -126,9 +148,10 @@ class Platform {
   MetricsRegistry* metrics_ = nullptr;
   FlightRecorder* forensics_ = nullptr;
   MetricsTimeline* timeline_ = nullptr;
+  const PressureOverrides* pressure_ = nullptr;
   // Per-outcome invocation counters; registered only when chaos is enabled so
   // fault-free metrics snapshots stay identical to pre-chaos builds.
-  Counter* outcome_counters_[3] = {nullptr, nullptr, nullptr};
+  Counter* outcome_counters_[kInvocationOutcomeCount] = {};
 };
 
 }  // namespace faasnap

@@ -1,0 +1,50 @@
+#include "src/runtime/serve_common.h"
+
+#include "src/obs/observability.h"
+
+namespace faasnap {
+
+PlannedServe BeginServe(Platform* platform, const ServeParams& params, ServeHealth* health,
+                        const ServeCounters& counters) {
+  FAASNAP_CHECK(health != nullptr);
+  FAASNAP_CHECK(counters.restore_failures != nullptr && counters.quarantines != nullptr &&
+                counters.quarantined_serves != nullptr);
+  Simulation* sim = platform->sim();
+  PlannedServe planned;
+  planned.warm = params.warm;
+  planned.mode = params.warm ? RestoreMode::kWarm : params.miss_mode;
+  if (!params.warm && sim->now() < health->quarantined_until) {
+    // The snapshot is benched after repeated failed restores: cold-boot.
+    planned.mode = RestoreMode::kColdBoot;
+    ++*counters.quarantined_serves;
+  }
+  SpanTracer* spans = platform->spans();
+  if (spans != nullptr) {
+    planned.span = spans->Begin(sim->now(), ObsLane::kScheduler, obsname::kSchedulerServe,
+                                params.function_index, params.warm ? 1 : 0);
+  }
+  return planned;
+}
+
+void FinishServe(Platform* platform, const PlannedServe& planned, InvocationOutcome outcome,
+                 const ServeParams& params, ServeHealth* health, const ServeCounters& counters) {
+  Simulation* sim = platform->sim();
+  if (!planned.warm && planned.mode != RestoreMode::kColdBoot) {
+    if (outcome == InvocationOutcome::kFailed) {
+      ++*counters.restore_failures;
+      if (++health->consecutive_failures >= params.quarantine_failure_threshold) {
+        health->quarantined_until = sim->now() + params.quarantine_backoff;
+        health->consecutive_failures = 0;
+        ++*counters.quarantines;
+      }
+    } else {
+      health->consecutive_failures = 0;
+    }
+  }
+  SpanTracer* spans = platform->spans();
+  if (spans != nullptr) {
+    spans->End(planned.span, sim->now());
+  }
+}
+
+}  // namespace faasnap

@@ -1,0 +1,68 @@
+// Shared per-invocation serve bookkeeping for the serving engines.
+//
+// HostScheduler and KeepAliveSimulator used to carry diverging copies of the
+// same ritual around each invocation: pick the restore mode (warm hit, miss
+// mode, or cold boot while the snapshot is quarantined), open the scheduler
+// serve span, and afterwards account restore failures into the quarantine
+// state machine and close the span. The two halves live here.
+//
+// The split into Begin/Finish (rather than one run-to-completion helper)
+// matters for bit-identity: the closed loops drain the whole event queue after
+// InvokeAsync, and their historical span-end and quarantine timestamps use the
+// post-drain clock — which can be later than the invocation completion when
+// loader chunks land after it. Callers therefore invoke FinishServe at
+// whatever clock position their loop historically used.
+
+#ifndef FAASNAP_SRC_RUNTIME_SERVE_COMMON_H_
+#define FAASNAP_SRC_RUNTIME_SERVE_COMMON_H_
+
+#include "src/runtime/platform.h"
+
+namespace faasnap {
+
+// Per-snapshot restore-health state: consecutive failed restores, and until
+// when misses should bypass the snapshot (cold boot) instead of retrying it.
+struct ServeHealth {
+  int consecutive_failures = 0;
+  SimTime quarantined_until;
+};
+
+// Destinations for the shared counters; all required.
+struct ServeCounters {
+  int64_t* restore_failures = nullptr;   // invocations that ended kFailed on a miss
+  int64_t* quarantines = nullptr;        // snapshots benched after repeated failures
+  int64_t* quarantined_serves = nullptr; // misses served by cold boot while benched
+};
+
+// Inputs fixed at arrival time.
+struct ServeParams {
+  bool warm = false;
+  RestoreMode miss_mode = RestoreMode::kFaasnap;
+  int quarantine_failure_threshold = 3;
+  Duration quarantine_backoff = Duration::Seconds(60);
+  size_t function_index = 0;
+};
+
+// What BeginServe decided; thread it through to FinishServe.
+struct PlannedServe {
+  RestoreMode mode = RestoreMode::kWarm;
+  bool warm = false;
+  SpanId span = kNoSpan;
+};
+
+// Resolves the restore mode (warm / miss / quarantine cold-boot, counting
+// quarantined serves) and opens the scheduler-lane serve span at sim->now()
+// with arg0 = function index, arg1 = warm hit.
+PlannedServe BeginServe(Platform* platform, const ServeParams& params, ServeHealth* health,
+                        const ServeCounters& counters);
+
+// Accounts the outcome into the quarantine state machine (restore failures on
+// a non-cold-boot miss; benching after the threshold) and ends the serve span
+// at sim->now(). Call once per BeginServe, at the clock position the caller's
+// loop treats as the serve end.
+void FinishServe(Platform* platform, const PlannedServe& planned, InvocationOutcome outcome,
+                 const ServeParams& params, ServeHealth* health, const ServeCounters& counters);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_RUNTIME_SERVE_COMMON_H_

@@ -135,5 +135,106 @@ TEST_F(HostSchedulerTest, PoolBytesTrackWarmVms) {
   EXPECT_LT(stats.avg_pool_bytes, ws * 1.5);
 }
 
+TEST_F(HostSchedulerTest, OversizedWorkingSetNeverFitsButStillServes) {
+  // json (~16 MB) can never fit a 4 MB pool: the first serve leaves a warm VM
+  // the budget cannot hold, so every later arrival evicts it again and misses.
+  // This pins the legacy behavior: an oversized working set degrades to
+  // serve-and-evict instead of wedging the pool.
+  HostScheduler scheduler = MakeScheduler(MiB(4), RestoreMode::kFaasnap);
+  scheduler.AddFunction(*FindFunction("json"));
+  std::vector<Arrival> arrivals(3, Arrival{0, Duration::Seconds(1)});
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  EXPECT_EQ(stats.invocations, 3);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.warm_hits, 0);
+  EXPECT_EQ(stats.evictions, 2);  // arrivals 2 and 3 evict the oversized VM
+  EXPECT_EQ(stats.expirations, 0);
+}
+
+TEST_F(HostSchedulerTest, ExpirationReclaimsEveryIdleVmPastTheHorizon) {
+  HostScheduler scheduler =
+      MakeScheduler(GiB(2), RestoreMode::kFaasnap, /*keep_warm=*/Duration::Seconds(30));
+  scheduler.AddFunction(*FindFunction("json"));
+  scheduler.AddFunction(*FindFunction("image"));
+  std::vector<Arrival> arrivals = {
+      {0, Duration::Seconds(1)},
+      {1, Duration::Seconds(1)},
+      {0, Duration::Seconds(120)},  // both idle VMs are past the horizon
+  };
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  EXPECT_EQ(stats.expirations, 2);  // the whole expired prefix, not just one
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.warm_hits, 0);
+  EXPECT_EQ(stats.evictions, 0);  // horizon reclaims are not budget evictions
+}
+
+TEST_F(HostSchedulerTest, EvictionAndMissCountsAreExact) {
+  // 24 MB holds either json (~16 MB) or image (~21 MB), never both: each
+  // alternation evicts the other function's VM — exactly one eviction per
+  // arrival after the first.
+  HostScheduler scheduler = MakeScheduler(MiB(24), RestoreMode::kFaasnap);
+  scheduler.AddFunction(*FindFunction("json"));
+  scheduler.AddFunction(*FindFunction("image"));
+  std::vector<Arrival> arrivals = {
+      {0, Duration::Seconds(1)},
+      {1, Duration::Seconds(1)},
+      {0, Duration::Seconds(1)},
+  };
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.warm_hits, 0);
+  EXPECT_EQ(stats.evictions, 2);
+  EXPECT_EQ(stats.expirations, 0);
+}
+
+TEST(HostSchedulerQuarantineTest, ExpiryRestoresSnapshotServing) {
+  // Snapshot reads live on a remote tier whose outage windows are fixed by the
+  // chaos seed: with seed 7 the outage is active from ~1.0 s to ~13.0 s and
+  // clear until ~17.8 s. Three misses inside the window fail and quarantine
+  // the snapshot; a miss during the backoff cold-boots (and succeeds); after
+  // the backoff expires — with the outage over — the snapshot serves again.
+  PlatformConfig config;
+  BlockDeviceProfile disk = NvmeSsdProfile();
+  disk.jitter = 0.0;
+  config.disk = disk;
+  config.remote_disk = EbsIo2Profile();
+  config.placement.memory_files = StorageTier::kRemote;
+  config.placement.reap_ws = StorageTier::kRemote;
+  config.chaos.enabled = true;
+  config.chaos.seed = 7;
+  config.chaos.remote_outage_mean_gap = Duration::Seconds(8);
+  config.chaos.remote_outage_duration = Duration::Seconds(12);
+  config.storage_faults.failover_to_local = false;  // the outage must be fatal
+  Platform platform(config);
+  HostSchedulerConfig sched;
+  sched.warm_pool_budget_bytes = GiB(2);
+  sched.miss_mode = RestoreMode::kReap;
+  sched.quarantine_failure_threshold = 3;
+  sched.quarantine_backoff = Duration::Seconds(8);
+  // Short horizon: the VM the backoff cold boot leaves behind must expire
+  // before the post-recovery arrival, or that arrival would serve warm and
+  // never retry the snapshot.
+  sched.keep_warm = Duration::Seconds(5);
+  HostScheduler scheduler(&platform, sched);
+  scheduler.AddFunction(*FindFunction("json"));
+  std::vector<Arrival> arrivals = {
+      {0, Duration::Seconds(1)},  // ~1.4 s: outage, restore fails
+      {0, Duration::Seconds(1)},  // ~2.4 s: fails
+      {0, Duration::Seconds(1)},  // ~3.4 s: fails -> quarantined for 8 s
+      {0, Duration::Seconds(1)},  // ~4.4 s: benched, cold boot succeeds
+      {0, Duration::Seconds(9)},  // ~13.5 s: backoff over, outage over: restore ok
+      {0, Duration::Millis(500)},  // the recovered VM serves warm
+  };
+  HostSchedulerStats stats = scheduler.Run(arrivals);
+  EXPECT_EQ(stats.invocations, 6);
+  EXPECT_EQ(stats.restore_failures, 3);
+  EXPECT_EQ(stats.quarantines, 1);
+  EXPECT_EQ(stats.quarantined_serves, 1);
+  EXPECT_EQ(stats.misses, 5);
+  // The post-recovery warm hit proves the re-serve actually succeeded: failed
+  // serves leave nothing behind to keep warm.
+  EXPECT_EQ(stats.warm_hits, 1);
+}
+
 }  // namespace
 }  // namespace faasnap

@@ -121,6 +121,34 @@ TEST(ExperimentRunner, BurstConfigAggregatesPerInvocation) {
   EXPECT_EQ(results->cells[0].total_ms.count(), 4);  // one sample per burst member
 }
 
+TEST(ExperimentRunner, AdmissionBurstShedsTypedOutcomes) {
+  // An 8-wide burst through a 1-slot admission controller with a 1-deep queue
+  // and a microsecond deadline: one runs, one queues and expires, six find the
+  // queue full. Sheds land in the cell and in both renderings.
+  Result<ExperimentConfig> config = Parse(R"({
+    "functions": ["json"],
+    "systems": ["faasnap"],
+    "test_inputs": ["A"],
+    "reps": 1,
+    "parallelism": 8,
+    "admission": {
+      "max_concurrency": 1,
+      "queue_capacity": 1,
+      "queue_deadline_us": 10
+    }
+  })");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_TRUE(config->admission_enabled);
+  Result<ExperimentResults> results = RunExperiment(*config);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->cells.size(), 1u);
+  const ExperimentCell& cell = results->cells[0];
+  EXPECT_EQ(cell.shed, 7);
+  EXPECT_EQ(cell.total_ms.count(), 1);  // only the admitted member reports latency
+  EXPECT_NE(results->ToTable().find("ok/deg/fail/shed"), std::string::npos);
+  EXPECT_NE(results->ToJson().find("\"shed\":7"), std::string::npos);
+}
+
 TEST(ExperimentRunner, RatioInputsScaleWork) {
   Result<ExperimentConfig> config = Parse(R"({
     "functions": ["image"],
