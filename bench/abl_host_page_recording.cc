@@ -59,7 +59,7 @@ void Run(int reps) {
         // Isolate the recording method: with the default 32-page merge, region
         // merging bridges most of the gap between the two recorders (an
         // interaction worth knowing about); merge 0 shows the raw difference.
-        config.loading_set.merge_gap_pages = 0;
+        config.loading_set.merge_gap_pages = PageCount::Zero();
         config.seed = 1 + static_cast<uint64_t>(rep) * 7919;
         Experiment experiment(function, config);
         experiment.Record(MakeInputA(experiment.generator().spec()));

@@ -28,12 +28,12 @@ void Run(int reps) {
       double ls_mb = 0;
       for (int rep = 0; rep < reps; ++rep) {
         PlatformConfig config;
-        config.loading_set.merge_gap_pages = threshold;
+        config.loading_set.merge_gap_pages = PageCount::FromPages(threshold);
         config.seed = 1 + static_cast<uint64_t>(rep) * 7919;
         Experiment experiment(function, config);
         experiment.Record(MakeInputA(experiment.generator().spec()));
         regions = experiment.snapshot().loading_set.regions.size();
-        ls_mb = static_cast<double>(PagesToBytes(experiment.snapshot().loading_set.total_pages)) /
+        ls_mb = static_cast<double>(PagesToBytes(experiment.snapshot().loading_set.total_pages).value()) /
                 (1024.0 * 1024.0);
         InvocationReport r = experiment.Invoke(
             RestoreMode::kFaasnap,

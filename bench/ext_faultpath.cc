@@ -54,11 +54,11 @@ std::string Row(const std::string& function, RestoreMode mode, const LeverSettin
       r.faults.total_fault_time.millis(),
       static_cast<unsigned long long>(r.faults.total_faults()),
       static_cast<unsigned long long>(r.faults.batch_installs),
-      static_cast<unsigned long long>(r.faults.batch_installed_pages),
+      static_cast<unsigned long long>(r.faults.batch_installed_pages.value()),
       static_cast<unsigned long long>(r.faults.huge_installs),
-      static_cast<unsigned long long>(r.faults.huge_installed_pages),
+      static_cast<unsigned long long>(r.faults.huge_installed_pages.value()),
       static_cast<unsigned long long>(r.faults.huge_splits),
-      static_cast<unsigned long long>(r.faults.coalesced_pages));
+      static_cast<unsigned long long>(r.faults.coalesced_pages.value()));
   return buffer;
 }
 
@@ -94,7 +94,7 @@ std::string BurstRow(const std::string& function, const char* lever, int paralle
                            wait_ms += r.faults.total_wait_time.millis();
                            inflight +=
                                static_cast<unsigned long long>(r.faults.count(FaultClass::kInFlightWait));
-                           coalesced += r.faults.coalesced_pages;
+                           coalesced += r.faults.coalesced_pages.value();
                            ++completed;
                          });
   }

@@ -26,7 +26,7 @@ void Run(int arrivals) {
                                               "ffmpeg", "recognition"};
   struct Budget {
     const char* label;
-    uint64_t bytes;
+    ByteCount bytes;
   };
   const Budget budgets[] = {
       {"2 GiB (ample)", GiB(2)},

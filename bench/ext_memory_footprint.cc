@@ -41,7 +41,7 @@ void Run() {
       Experiment experiment(function, config);
       experiment.Record(MakeInputA(*spec));
       InvocationReport r = experiment.Invoke(mode, test_input);
-      cells[i++] = Mb(r.anon_resident_pages + r.page_cache_pages);
+      cells[i++] = Mb((r.anon_resident_pages + r.page_cache_pages).value());
     }
     const double ratio = cells[2] / cells[0];
     ratio_sum += ratio;

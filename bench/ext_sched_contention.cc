@@ -36,7 +36,7 @@ namespace {
 
 constexpr int kPrefetchStreams = 16;
 constexpr int kChunksPerStream = 32;
-constexpr uint64_t kChunkBytes = KiB(256);
+constexpr uint64_t kChunkBytes = KiB(256).value();
 constexpr int kStreamPipeline = 8;
 constexpr int kDemandChains = 8;
 constexpr Duration kThinkTime = Duration::Micros(200);
@@ -68,7 +68,7 @@ void RunSeed(uint32_t queue_depth, uint64_t seed, ModeResult* out) {
            st.next_chunk < kChunksPerStream) {
       const int chunk = st.next_chunk++;
       disk.Read(
-          static_cast<uint64_t>(s) * MiB(64) + static_cast<uint64_t>(chunk) * kChunkBytes,
+          static_cast<uint64_t>(s) * MiB(64).value() + static_cast<uint64_t>(chunk) * kChunkBytes,
           kChunkBytes,
           DeviceReadOptions{ReadClass::kPrefetch, /*stream=*/static_cast<uint64_t>(s) + 1,
                             kNoSpan},
@@ -94,7 +94,7 @@ void RunSeed(uint32_t queue_depth, uint64_t seed, ModeResult* out) {
     }
     const int i = chain_faults[c]++;
     // Scattered, non-contiguous offsets in a region no prefetch stream touches.
-    const uint64_t offset = MiB(4096) + static_cast<uint64_t>(c) * MiB(64) +
+    const uint64_t offset = MiB(4096).value() + static_cast<uint64_t>(c) * MiB(64).value() +
                             static_cast<uint64_t>(i) * 3 * kPageSize;
     const SimTime issued = sim.now();
     disk.Read(offset, kPageSize,

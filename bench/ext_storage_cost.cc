@@ -35,8 +35,8 @@ void Run() {
     const FunctionSnapshot& snap = experiment.snapshot();
     const double vanilla = Mb(snap.memory_vanilla.nonzero.page_count());
     const double sanitized = Mb(snap.memory_sanitized.nonzero.page_count());
-    const double reap_ws = Mb(snap.reap_ws.size_pages());
-    const double loading = Mb(snap.loading_set.total_pages);
+    const double reap_ws = Mb(snap.reap_ws.size_pages().value());
+    const double loading = Mb(snap.loading_set.total_pages.value());
     vanilla_total += vanilla;
     sanitized_total += sanitized;
     hybrid_total += loading;

@@ -39,7 +39,7 @@ void Run() {
 
     int64_t slow = 0;
     for (int i = 0; i < h.num_buckets(); ++i) {
-      if (i > 0 && h.bucket_upper_ns(i - 1) >= 32000) {
+      if (i > 0 && h.bucket_upper(i - 1) >= Duration::Micros(32)) {
         slow += h.bucket_count(i);
       }
     }

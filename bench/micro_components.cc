@@ -73,7 +73,7 @@ BENCHMARK(BM_PageRangeSetIntersect)->Arg(256)->Arg(4096);
 void BM_PageRangeSetMergeGapTolerance(benchmark::State& state) {
   PageRangeSet set = ScatteredSet(4096, 3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(set.MergeWithGapTolerance(32));
+    benchmark::DoNotOptimize(set.MergeWithGapTolerance(PageCount::FromPages(32)));
   }
 }
 BENCHMARK(BM_PageRangeSetMergeGapTolerance);
@@ -82,7 +82,7 @@ void BM_AddressSpaceHierarchicalMap(benchmark::State& state) {
   const auto regions = static_cast<uint64_t>(state.range(0));
   PageRangeSet nonzero = ScatteredSet(regions, 7);
   for (auto _ : state) {
-    AddressSpace space(1u << 20);
+    AddressSpace space(PageCount::FromPages(1u << 20));
     space.Map({.guest = {0, 1u << 20}, .kind = BackingKind::kAnonymous});
     for (const PageRange& r : nonzero.ranges()) {
       space.Map({.guest = r, .kind = BackingKind::kFile, .file = 1, .file_start = r.first});
@@ -93,7 +93,7 @@ void BM_AddressSpaceHierarchicalMap(benchmark::State& state) {
 BENCHMARK(BM_AddressSpaceHierarchicalMap)->Arg(128)->Arg(1024);
 
 void BM_AddressSpaceResolve(benchmark::State& state) {
-  AddressSpace space(1u << 20);
+  AddressSpace space(PageCount::FromPages(1u << 20));
   space.Map({.guest = {0, 1u << 20}, .kind = BackingKind::kAnonymous});
   PageRangeSet nonzero = ScatteredSet(1024, 7);
   for (const PageRange& r : nonzero.ranges()) {
@@ -112,7 +112,7 @@ void BM_BuildLoadingSet(benchmark::State& state) {
     groups.groups.push_back(ScatteredSet(512, static_cast<uint64_t>(g) + 10));
   }
   MemoryFile memory;
-  memory.total_pages = 1u << 20;
+  memory.total_pages = PageCount::FromPages(1u << 20);
   memory.nonzero = ScatteredSet(2048, 99);
   for (auto _ : state) {
     benchmark::DoNotOptimize(BuildLoadingSet(groups, memory));
@@ -130,7 +130,7 @@ void BM_LoadingSetManifestRoundTrip(benchmark::State& state) {
         LoadingRegion{{rng.NextBelow(1u << 20), count}, static_cast<uint32_t>(i / 128), offset});
     offset += count;
   }
-  file.total_pages = offset;
+  file.total_pages = PageCount::FromPages(offset);
   for (auto _ : state) {
     auto blob = EncodeLoadingSetManifest(file);
     auto decoded = DecodeLoadingSetManifest(blob);
@@ -266,9 +266,9 @@ void BM_FaultEnginePageCacheHit(benchmark::State& state) {
   BlockDevice disk(&sim, TestDiskProfile());
   StorageRouter router;
   router.AddDevice(&disk);
-  AddressSpace space(1u << 18);
+  AddressSpace space(PageCount::FromPages(1u << 18));
   ReadaheadPolicy readahead;
-  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return 1u << 18; });
+  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return PageCount::FromPages(1u << 18); });
   space.Map({.guest = {0, 1u << 18}, .kind = BackingKind::kFile, .file = 1, .file_start = 0});
   cache.Insert(1, PageRange{0, 1u << 18});
   PageIndex page = 0;
@@ -291,9 +291,9 @@ void BM_FaultEnginePageCacheHitTraced(benchmark::State& state) {
   BlockDevice disk(&sim, TestDiskProfile());
   StorageRouter router;
   router.AddDevice(&disk);
-  AddressSpace space(1u << 18);
+  AddressSpace space(PageCount::FromPages(1u << 18));
   ReadaheadPolicy readahead;
-  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return 1u << 18; });
+  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return PageCount::FromPages(1u << 18); });
   SpanTracer spans(1u << 22);
   MetricsRegistry metrics;
   engine.set_observability(&spans, &metrics);
@@ -327,17 +327,17 @@ void BM_DiskSchedContention(benchmark::State& state) {
     Simulation sim;
     BlockDevice disk(&sim, profile);
     for (int i = 0; i < kPrefetchReads; ++i) {
-      disk.Read(static_cast<uint64_t>(i) * KiB(256), KiB(256),
+      disk.Read(static_cast<uint64_t>(i) * KiB(256).value(), KiB(256).value(),
                 {.read_class = ReadClass::kPrefetch, .stream = 1}, [](Status) {});
     }
     int left = kDemandReads;
     std::function<void(Status)> chain = [&](Status) {
       if (--left > 0) {
-        disk.Read(MiB(64) + static_cast<uint64_t>(left) * KiB(64), kPageSize,
+        disk.Read(MiB(64).value() + static_cast<uint64_t>(left) * KiB(64).value(), kPageSize,
                   {.read_class = ReadClass::kDemand, .stream = 2}, chain);
       }
     };
-    disk.Read(MiB(64), kPageSize, {.read_class = ReadClass::kDemand, .stream = 2}, chain);
+    disk.Read(MiB(64).value(), kPageSize, {.read_class = ReadClass::kDemand, .stream = 2}, chain);
     sim.Run();
     benchmark::DoNotOptimize(disk.stats().read_requests);
   }

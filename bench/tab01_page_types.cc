@@ -37,7 +37,7 @@ void Run() {
     const uint64_t cold = nonzero.Subtract(ws).page_count();
     const uint64_t released = ws.Intersect(zero).page_count();
     const uint64_t unused = zero.Subtract(ws).page_count();
-    FAASNAP_CHECK(loading + cold + released + unused == snap.guest_pages);
+    FAASNAP_CHECK(loading + cold + released + unused == snap.guest_pages.value());
     table.AddRow({spec.name, FormatCell("%.1f", Mb(loading)), FormatCell("%.1f", Mb(cold)),
                   FormatCell("%.1f", Mb(released)), FormatCell("%.1f", Mb(unused))});
   }

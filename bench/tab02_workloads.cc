@@ -24,11 +24,11 @@ void Run() {
     experiment.Record(MakeInputA(spec));
     const FunctionSnapshot& snap = experiment.snapshot();
     table.AddRow({spec.name, spec.description,
-                  FormatCell("%.1f", Mb(spec.WorkingSetPages(spec.input_a))),
-                  FormatCell("%.1f", Mb(spec.WorkingSetPages(spec.input_b))),
+                  FormatCell("%.1f", Mb(spec.WorkingSetPages(spec.input_a).value())),
+                  FormatCell("%.1f", Mb(spec.WorkingSetPages(spec.input_b).value())),
                   FormatCell("%.1f", Mb(snap.ws_groups.AllPages().page_count())),
-                  FormatCell("%.1f", Mb(snap.reap_ws.size_pages())),
-                  FormatCell("%.1f", Mb(snap.loading_set.total_pages))});
+                  FormatCell("%.1f", Mb(snap.reap_ws.size_pages().value())),
+                  FormatCell("%.1f", Mb(snap.loading_set.total_pages.value()))});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("Paper anchors (Table 2 WS A): hello-world 11.8, read-list 526, mmap 536,\n"

@@ -29,8 +29,8 @@ void Run() {
       table.AddRow({FormatCell("%s, %s", RestoreModeName(mode).data(), function.c_str()),
                     FormatCell("%.0f", r.total_time().millis()),
                     FormatCell("%.0f", r.fetch_time.millis()),
-                    FormatCell("%.0f", static_cast<double>(r.fetch_bytes) / 1e6),
-                    FormatCell("%.1f", static_cast<double>(r.guest_pagefault_bytes) / 1e6),
+                    FormatCell("%.0f", static_cast<double>(r.fetch_bytes.value()) / 1e6),
+                    FormatCell("%.1f", static_cast<double>(r.guest_pagefault_bytes.value()) / 1e6),
                     FormatCell("%.0f", r.faults.total_wait_time.millis())});
     }
   }

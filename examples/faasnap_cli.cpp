@@ -152,10 +152,10 @@ void PrintCatalog() {
   for (const FunctionSpec& spec : FunctionCatalog()) {
     table.AddRow({spec.name, spec.description,
                   FormatCell("%.1f", static_cast<double>(PagesToBytes(
-                                         spec.WorkingSetPages(spec.input_a))) /
+                                         spec.WorkingSetPages(spec.input_a)).value()) /
                                          (1024.0 * 1024.0)),
                   FormatCell("%.1f", static_cast<double>(PagesToBytes(
-                                         spec.WorkingSetPages(spec.input_b))) /
+                                         spec.WorkingSetPages(spec.input_b)).value()) /
                                          (1024.0 * 1024.0))});
   }
   std::printf("%s", table.ToString().c_str());
@@ -237,7 +237,7 @@ int RunCli(const CliOptions& options) {
                   FormatCell("%lld", static_cast<long long>(last.faults.major_faults())),
                   FormatCell("%lld",
                              static_cast<long long>(last.faults.count(FaultClass::kUffdHandled))),
-                  FormatCell("%.1f", static_cast<double>(last.fetch_bytes) / 1e6),
+                  FormatCell("%.1f", static_cast<double>(last.fetch_bytes.value()) / 1e6),
                   FormatCell("%llu", static_cast<unsigned long long>(last.disk.read_requests))});
   }
   if (options.json) {

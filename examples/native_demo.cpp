@@ -31,7 +31,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 int main() {
   NativeSnapshotSession::Config config;
-  config.guest_pages = 16384;  // 64 MiB
+  config.guest_pages = PageCount::FromPages(16384);  // 64 MiB
 
   // Guest layout: boot [0,2k), runtime [3k,7k), data [10k,12k); rest zero.
   PageRangeSet nonzero;
@@ -65,10 +65,10 @@ int main() {
               FormatBytes(PagesToBytes(groups_or->AllPages().page_count())).c_str(),
               groups_or->groups.size(), MsSince(record_start));
 
-  auto loading_or = session->BuildAndWriteLoadingSet(*groups_or, /*merge_gap_pages=*/32);
+  auto loading_or = session->BuildAndWriteLoadingSet(*groups_or, PageCount::FromPages(32));
   FAASNAP_CHECK_OK(loading_or.status());
   std::printf("loading set: %s in %zu merged regions; manifest at %s\n",
-              FormatBytes(PagesToBytes(loading_or->total_pages)).c_str(),
+              FormatBytes(PagesToBytes(loading_or->total_pages).value()).c_str(),
               loading_or->regions.size(), session->manifest_path().c_str());
 
   // Restore pass: hierarchical per-region mapping + concurrent loader thread.

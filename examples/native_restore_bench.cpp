@@ -54,32 +54,34 @@ double TouchAll(const NativeRegionMapper& mapper, const std::vector<PageIndex>& 
 
 int main(int argc, char** argv) {
   NativeSnapshotSession::Config config;
-  config.guest_pages = argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 65536;  // 256 MiB
+  const uint64_t guest_pages =
+      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 65536;  // 256 MiB
+  config.guest_pages = PageCount::FromPages(guest_pages);
 
   PageRangeSet nonzero;
-  nonzero.Add(0, config.guest_pages / 4);                          // boot/runtime
-  nonzero.Add(config.guest_pages / 2, config.guest_pages / 4);     // data
+  nonzero.Add(0, guest_pages / 4);                          // boot/runtime
+  nonzero.Add(guest_pages / 2, guest_pages / 4);     // data
   auto session_or = NativeSnapshotSession::Create(config, nonzero);
   FAASNAP_CHECK_OK(session_or.status());
   auto session = std::move(session_or).value();
 
   // Working set: a scattered third of the runtime plus sequential data.
   std::vector<PageIndex> accesses;
-  for (PageIndex p = 0; p < config.guest_pages / 4; p += 3) {
+  for (PageIndex p = 0; p < guest_pages / 4; p += 3) {
     accesses.push_back(p);
   }
-  const uint64_t seq_pages = std::min<uint64_t>(8192, config.guest_pages / 8);
-  for (PageIndex p = config.guest_pages / 2; p < config.guest_pages / 2 + seq_pages; ++p) {
+  const uint64_t seq_pages = std::min<uint64_t>(8192, guest_pages / 8);
+  for (PageIndex p = guest_pages / 2; p < guest_pages / 2 + seq_pages; ++p) {
     accesses.push_back(p);
   }
   auto groups = session->RecordWorkingSet(accesses, 1024);
   FAASNAP_CHECK_OK(groups.status());
-  auto loading = session->BuildAndWriteLoadingSet(*groups, 32);
+  auto loading = session->BuildAndWriteLoadingSet(*groups, PageCount::FromPages(32));
   FAASNAP_CHECK_OK(loading.status());
   std::printf("memory file %s, working set %s, loading set %s in %zu regions\n\n",
-              FormatBytes(PagesToBytes(config.guest_pages)).c_str(),
+              FormatBytes(PagesToBytes(guest_pages)).c_str(),
               FormatBytes(PagesToBytes(groups->AllPages().page_count())).c_str(),
-              FormatBytes(PagesToBytes(loading->total_pages)).c_str(),
+              FormatBytes(PagesToBytes(loading->total_pages).value()).c_str(),
               loading->regions.size());
 
   std::printf("%-28s %14s %14s %12s\n", "strategy", "cold (ms)", "warm (ms)", "mmap calls");

@@ -8,8 +8,8 @@
 
 namespace faasnap {
 
-Log2Histogram::Log2Histogram(int64_t lower_ns, int num_buckets) : lower_ns_(lower_ns) {
-  FAASNAP_CHECK(lower_ns > 0);
+Log2Histogram::Log2Histogram(Duration lower_edge, int num_buckets) : lower_(lower_edge) {
+  FAASNAP_CHECK(lower_edge > Duration::Zero());
   FAASNAP_CHECK(num_buckets >= 1);
   // +1 overflow bucket at the end.
   counts_.assign(static_cast<size_t>(num_buckets) + 1, 0);
@@ -18,7 +18,7 @@ Log2Histogram::Log2Histogram(int64_t lower_ns, int num_buckets) : lower_ns_(lowe
 void Log2Histogram::Record(Duration d) {
   int64_t ns = std::max<int64_t>(d.nanos(), 0);
   size_t bucket = 0;
-  int64_t edge = lower_ns_;
+  int64_t edge = lower_.nanos();
   while (bucket + 1 < counts_.size() && ns >= edge) {
     ++bucket;
     edge *= 2;
@@ -29,7 +29,7 @@ void Log2Histogram::Record(Duration d) {
 }
 
 void Log2Histogram::Merge(const Log2Histogram& other) {
-  FAASNAP_CHECK(other.lower_ns_ == lower_ns_);
+  FAASNAP_CHECK(other.lower_ == lower_);
   FAASNAP_CHECK(other.counts_.size() == counts_.size());
   for (size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
@@ -60,25 +60,26 @@ Duration Log2Histogram::ApproxQuantile(double fraction) const {
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
     if (seen >= target) {
-      return Duration::Nanos(bucket_upper_ns(static_cast<int>(i)));
+      return bucket_upper(static_cast<int>(i));
     }
   }
-  return Duration::Nanos(bucket_upper_ns(static_cast<int>(counts_.size()) - 1));
+  return bucket_upper(static_cast<int>(counts_.size()) - 1);
 }
 
 Duration Log2Histogram::EstimateQuantile(double fraction) const {
-  return Duration::Nanos(EstimateLog2Quantile(counts_, lower_ns_, fraction));
+  return EstimateLog2Quantile(counts_, lower_, fraction);
 }
 
-int64_t EstimateLog2Quantile(const std::vector<int64_t>& counts, int64_t lower_ns,
-                             double fraction) {
-  FAASNAP_CHECK(lower_ns > 0);
+Duration EstimateLog2Quantile(const std::vector<int64_t>& counts, Duration lower_edge,
+                              double fraction) {
+  const int64_t lower = lower_edge.nanos();
+  FAASNAP_CHECK(lower > 0);
   int64_t total = 0;
   for (int64_t c : counts) {
     total += c;
   }
   if (total == 0) {
-    return 0;
+    return Duration::Zero();
   }
   fraction = std::min(std::max(fraction, 0.0), 1.0);
   const auto target =
@@ -95,42 +96,42 @@ int64_t EstimateLog2Quantile(const std::vector<int64_t>& counts, int64_t lower_n
     const double within =
         static_cast<double>(target - seen) / static_cast<double>(counts[i]);
     if (i == 0) {
-      // [0, lower_ns): linear, the log-space lower bound is -inf.
-      return static_cast<int64_t>(static_cast<double>(lower_ns) * within);
+      // [0, lower): linear, the log-space lower bound is -inf.
+      return Duration::Nanos(static_cast<int64_t>(static_cast<double>(lower) * within));
     }
     // Finite bucket [lo, 2*lo); the overflow bucket extrapolates one doubling
     // past the last finite edge, so both share lo * 2^within.
-    int64_t lo = lower_ns;
+    int64_t lo = lower;
     const size_t last = counts.size() - 1;
     for (size_t k = 1; k < std::min(i, last); ++k) {
       lo *= 2;
     }
-    return static_cast<int64_t>(static_cast<double>(lo) * std::exp2(within));
+    return Duration::Nanos(static_cast<int64_t>(static_cast<double>(lo) * std::exp2(within)));
   }
-  return 0;
+  return Duration::Zero();
 }
 
-int64_t Log2Histogram::bucket_upper_ns(int i) const {
+Duration Log2Histogram::bucket_upper(int i) const {
   if (i + 1 == static_cast<int>(counts_.size())) {
-    return INT64_MAX;
+    return Duration::Nanos(INT64_MAX);
   }
-  int64_t edge = lower_ns_;
+  int64_t edge = lower_.nanos();
   for (int k = 0; k < i; ++k) {
     edge *= 2;
   }
-  return edge;
+  return Duration::Nanos(edge);
 }
 
 std::string Log2Histogram::BucketLabel(int i) const {
   char buf[64];
   if (i + 1 == static_cast<int>(counts_.size())) {
     std::snprintf(buf, sizeof(buf), ">= %s",
-                  FormatDuration(bucket_upper_ns(i - 1)).c_str());
+                  bucket_upper(i - 1).ToString().c_str());
   } else if (i == 0) {
-    std::snprintf(buf, sizeof(buf), "< %s", FormatDuration(bucket_upper_ns(0)).c_str());
+    std::snprintf(buf, sizeof(buf), "< %s", bucket_upper(0).ToString().c_str());
   } else {
-    std::snprintf(buf, sizeof(buf), "%s - %s", FormatDuration(bucket_upper_ns(i - 1)).c_str(),
-                  FormatDuration(bucket_upper_ns(i)).c_str());
+    std::snprintf(buf, sizeof(buf), "%s - %s", bucket_upper(i - 1).ToString().c_str(),
+                  bucket_upper(i).ToString().c_str());
   }
   return buf;
 }

@@ -17,11 +17,11 @@ namespace faasnap {
 
 class Log2Histogram {
  public:
-  // `lower_ns` is the upper edge of the first bucket; `num_buckets` buckets double
+  // `lower_edge` is the upper edge of the first bucket; `num_buckets` buckets double
   // from there. A final overflow bucket catches everything beyond the last edge.
-  // The Figure 2 configuration is Log2Histogram(/*lower_ns=*/500, /*num_buckets=*/11):
+  // The Figure 2 configuration is Log2Histogram(Duration::Nanos(500), /*num_buckets=*/11):
   // <0.5us, 0.5-1us, 1-2us, ..., 256-512us, >512us.
-  Log2Histogram(int64_t lower_ns, int num_buckets);
+  Log2Histogram(Duration lower_edge, int num_buckets);
 
   void Record(Duration d);
   void Merge(const Log2Histogram& other);
@@ -41,17 +41,17 @@ class Log2Histogram {
   Duration EstimateQuantile(double fraction) const;
 
   int num_buckets() const { return static_cast<int>(counts_.size()); }
-  int64_t lower_ns() const { return lower_ns_; }
+  Duration lower_edge() const { return lower_; }
   int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
-  // Upper edge of bucket i in nanoseconds (the overflow bucket reports INT64_MAX).
-  int64_t bucket_upper_ns(int i) const;
+  // Upper edge of bucket i (the overflow bucket reports Duration::Nanos(INT64_MAX)).
+  Duration bucket_upper(int i) const;
   std::string BucketLabel(int i) const;
 
   // Multi-line "label: count" rendering with a proportional bar, for bench output.
   std::string ToString() const;
 
  private:
-  int64_t lower_ns_;
+  Duration lower_;  // upper edge of bucket 0
   std::vector<int64_t> counts_;  // num_buckets + underflow handled by bucket 0 + overflow at end
   int64_t total_count_ = 0;
   Duration total_time_;
@@ -59,7 +59,7 @@ class Log2Histogram {
 
 // Log-linear interpolated quantile over raw log2 bucket counts laid out like
 // Log2Histogram's (`counts.back()` is the overflow bucket, earlier bucket i
-// covers [lower_ns * 2^(i-1), lower_ns * 2^i), bucket 0 covers [0, lower_ns)).
+// covers [lower * 2^(i-1), lower * 2^i), bucket 0 covers [0, lower)).
 // Exposed separately so windowed *delta* counts (MetricsTimeline) can reuse the
 // same estimator without building a temporary histogram. With target rank
 // r = ceil(fraction * total) landing in a bucket [lo, hi) at in-bucket fraction
@@ -67,9 +67,9 @@ class Log2Histogram {
 //   bucket 0:   lo == 0, linear:      hi * f
 //   bucket i:   log-linear:           lo * 2^f
 //   overflow:   one doubling past the last finite edge: last_edge * 2^f
-// Returns 0 when every count is zero.
-int64_t EstimateLog2Quantile(const std::vector<int64_t>& counts, int64_t lower_ns,
-                             double fraction);
+// Returns Zero when every count is zero.
+Duration EstimateLog2Quantile(const std::vector<int64_t>& counts, Duration lower_edge,
+                              double fraction);
 
 // Plain running statistics (count/mean/min/max) for scalar series.
 class RunningStats {

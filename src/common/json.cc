@@ -102,6 +102,42 @@ bool JsonValue::GetBoolOr(const std::string& key, bool fallback) const {
   return b.ok() ? *b : fallback;
 }
 
+Duration JsonValue::GetDurationUsOr(const std::string& key, Duration fallback) const {
+  Result<JsonValue> v = Get(key);
+  if (!v.ok()) {
+    return fallback;
+  }
+  Result<int64_t> i = v->AsInt();
+  return i.ok() ? Duration::Micros(*i) : fallback;
+}
+
+Duration JsonValue::GetDurationMsOr(const std::string& key, Duration fallback) const {
+  Result<JsonValue> v = Get(key);
+  if (!v.ok()) {
+    return fallback;
+  }
+  Result<int64_t> i = v->AsInt();
+  return i.ok() ? Duration::Millis(*i) : fallback;
+}
+
+ByteCount JsonValue::GetByteCountMiBOr(const std::string& key, ByteCount fallback) const {
+  Result<JsonValue> v = Get(key);
+  if (!v.ok()) {
+    return fallback;
+  }
+  Result<int64_t> i = v->AsInt();
+  return i.ok() && *i >= 0 ? MiB(static_cast<uint64_t>(*i)) : fallback;
+}
+
+PageCount JsonValue::GetPageCountOr(const std::string& key, PageCount fallback) const {
+  Result<JsonValue> v = Get(key);
+  if (!v.ok()) {
+    return fallback;
+  }
+  Result<int64_t> i = v->AsInt();
+  return i.ok() && *i >= 0 ? PageCount::FromPages(static_cast<uint64_t>(*i)) : fallback;
+}
+
 namespace {
 
 class Parser {

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/sim_time.h"
+#include "src/common/units.h"
+
 namespace faasnap {
 
 // Streaming JSON writer with explicit object/array scopes. Keys and string values
@@ -32,6 +35,13 @@ class JsonWriter {
   JsonWriter& Value(uint64_t v);
   JsonWriter& Value(double v);
   JsonWriter& Value(bool v);
+  // Strong unit types serialize as their base unit (bytes / pages / ns), so a
+  // field's JSON representation never changes when its C++ type is migrated
+  // from a raw integer to the unit-safe wrapper.
+  JsonWriter& Value(ByteCount v) { return Value(v.value()); }
+  JsonWriter& Value(PageCount v) { return Value(v.value()); }
+  JsonWriter& Value(Duration v) { return Value(v.nanos()); }
+  JsonWriter& Value(SimTime v) { return Value(v.nanos()); }
 
   // Convenience: Key(k) + Value(v).
   template <typename T>

@@ -94,7 +94,7 @@ void PageRangeSet::AppendCoalescing(PageIndex first, uint64_t count) {
   } else {
     ranges_.push_back(PageRange{first, count});
   }
-  total_pages_ += count;
+  page_total_ += count;
 }
 
 void PageRangeSet::Add(PageIndex first, uint64_t count) {
@@ -118,7 +118,7 @@ void PageRangeSet::Add(PageIndex first, uint64_t count) {
   }
   auto pos = ranges_.erase(erase_begin, it);
   ranges_.insert(pos, PageRange{new_first, new_end - new_first});
-  total_pages_ += (new_end - new_first) - absorbed;
+  page_total_ += (new_end - new_first) - absorbed;
 }
 
 void PageRangeSet::Remove(PageIndex first, uint64_t count) {
@@ -137,24 +137,24 @@ void PageRangeSet::Remove(PageIndex first, uint64_t count) {
     const PageRange right{rem_end, it->end() - rem_end};
     it->count = first - it->first;
     ranges_.insert(it + 1, right);
-    total_pages_ -= count;
+    page_total_ -= count;
     return;
   }
   // Trim a left partial overlap.
   if (it->first < first) {
-    total_pages_ -= it->end() - first;
+    page_total_ -= it->end() - first;
     it->count = first - it->first;
     ++it;
   }
   // Drop runs fully covered by the removal.
   auto erase_begin = it;
   while (it != ranges_.end() && it->end() <= rem_end) {
-    total_pages_ -= it->count;
+    page_total_ -= it->count;
     ++it;
   }
   // Trim a right partial overlap.
   if (it != ranges_.end() && it->first < rem_end) {
-    total_pages_ -= rem_end - it->first;
+    page_total_ -= rem_end - it->first;
     const PageIndex old_end = it->end();
     it->first = rem_end;
     it->count = old_end - rem_end;
@@ -197,7 +197,7 @@ bool PageRangeSet::Overlaps(const PageRange& r) const {
 
 PageRangeSet PageRangeSet::Union(const PageRangeSet& other) const {
   PageRangeSet out;
-  out.total_pages_ = MergeUnion(ranges_, other.ranges_, &out.ranges_);
+  out.page_total_ = MergeUnion(ranges_, other.ranges_, &out.ranges_);
   return out;
 }
 
@@ -207,11 +207,11 @@ void PageRangeSet::UnionInPlace(const PageRangeSet& other) {
   }
   if (ranges_.empty()) {
     ranges_ = other.ranges_;
-    total_pages_ = other.total_pages_;
+    page_total_ = other.page_total_;
     return;
   }
   std::vector<PageRange> merged;
-  total_pages_ = MergeUnion(ranges_, other.ranges_, &merged);
+  page_total_ = MergeUnion(ranges_, other.ranges_, &merged);
   ranges_ = std::move(merged);
 }
 
@@ -226,7 +226,7 @@ PageRangeSet PageRangeSet::Intersect(const PageRangeSet& other) const {
     const PageIndex hi = std::min(a.end(), b.end());
     if (lo < hi) {
       out.ranges_.push_back(PageRange{lo, hi - lo});
-      out.total_pages_ += hi - lo;
+      out.page_total_ += hi - lo;
     }
     if (a.end() < b.end()) {
       ++i;
@@ -239,7 +239,7 @@ PageRangeSet PageRangeSet::Intersect(const PageRangeSet& other) const {
 
 PageRangeSet PageRangeSet::Subtract(const PageRangeSet& other) const {
   PageRangeSet out;
-  out.total_pages_ = MergeSubtract(ranges_, other.ranges_, &out.ranges_);
+  out.page_total_ = MergeSubtract(ranges_, other.ranges_, &out.ranges_);
   return out;
 }
 
@@ -248,15 +248,16 @@ void PageRangeSet::SubtractInPlace(const PageRangeSet& other) {
     return;
   }
   std::vector<PageRange> result;
-  total_pages_ = MergeSubtract(ranges_, other.ranges_, &result);
+  page_total_ = MergeSubtract(ranges_, other.ranges_, &result);
   ranges_ = std::move(result);
 }
 
-PageRangeSet PageRangeSet::ComplementWithin(uint64_t space_pages) const {
+PageRangeSet PageRangeSet::ComplementWithin(PageCount space) const {
+  const uint64_t space_limit = space.value();
   PageRangeSet out;
   PageIndex cursor = 0;
   for (const PageRange& r : ranges_) {
-    if (r.first >= space_pages) {
+    if (r.first >= space_limit) {
       break;
     }
     if (r.first > cursor) {
@@ -264,13 +265,14 @@ PageRangeSet PageRangeSet::ComplementWithin(uint64_t space_pages) const {
     }
     cursor = std::max<PageIndex>(cursor, r.end());
   }
-  if (cursor < space_pages) {
-    out.AppendCoalescing(cursor, space_pages - cursor);
+  if (cursor < space_limit) {
+    out.AppendCoalescing(cursor, space_limit - cursor);
   }
   return out;
 }
 
-PageRangeSet PageRangeSet::MergeWithGapTolerance(uint64_t max_gap_pages) const {
+PageRangeSet PageRangeSet::MergeWithGapTolerance(PageCount max_gap) const {
+  const uint64_t gap_limit = max_gap.value();
   PageRangeSet out;
   if (ranges_.empty()) {
     return out;
@@ -280,7 +282,7 @@ PageRangeSet PageRangeSet::MergeWithGapTolerance(uint64_t max_gap_pages) const {
   for (size_t i = 1; i < ranges_.size(); ++i) {
     const PageRange& next = ranges_[i];
     const uint64_t gap = next.first - cur.end();
-    if (gap <= max_gap_pages) {
+    if (gap <= gap_limit) {
       cur.count = next.end() - cur.first;  // absorb the gap pages too
     } else {
       out.AppendCoalescing(cur.first, cur.count);

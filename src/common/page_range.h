@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/units.h"
+
 namespace faasnap {
 
 // Index of a 4 KiB page within some address space or file.
@@ -58,7 +60,7 @@ class PageRangeSet {
   bool Overlaps(const PageRange& r) const;
   bool empty() const { return ranges_.empty(); }
   size_t range_count() const { return ranges_.size(); }
-  uint64_t page_count() const { return total_pages_; }
+  uint64_t page_count() const { return page_total_; }
 
   const std::vector<PageRange>& ranges() const { return ranges_; }
 
@@ -71,13 +73,13 @@ class PageRangeSet {
   void UnionInPlace(const PageRangeSet& other);
   void SubtractInPlace(const PageRangeSet& other);
 
-  // Pages in [0, space_pages) not in the set.
-  PageRangeSet ComplementWithin(uint64_t space_pages) const;
+  // Pages in [0, space) not in the set.
+  PageRangeSet ComplementWithin(PageCount space) const;
 
-  // Merges runs separated by gaps of at most `max_gap_pages`, *including* the gap
+  // Merges runs separated by gaps of at most `max_gap`, *including* the gap
   // pages in the result (paper section 4.6: "merges these adjacent regions by
-  // including the pages in between them"). max_gap_pages == 0 returns a copy.
-  PageRangeSet MergeWithGapTolerance(uint64_t max_gap_pages) const;
+  // including the pages in between them"). max_gap == 0 returns a copy.
+  PageRangeSet MergeWithGapTolerance(PageCount max_gap) const;
 
   bool operator==(const PageRangeSet& other) const { return ranges_ == other.ranges_; }
   std::string ToString() const;
@@ -89,7 +91,7 @@ class PageRangeSet {
   void AppendCoalescing(PageIndex first, uint64_t count);
 
   std::vector<PageRange> ranges_;  // sorted by first, disjoint, non-abutting
-  uint64_t total_pages_ = 0;  // maintained incrementally by every mutation
+  uint64_t page_total_ = 0;  // running page count, maintained by every mutation
 };
 
 }  // namespace faasnap

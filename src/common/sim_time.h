@@ -15,15 +15,23 @@
 
 namespace faasnap {
 
-// A span of simulated time. Non-negative in almost all uses; arithmetic is checked
-// only by debug assertions in callers.
+// A span of simulated time. Non-negative in almost all uses. The unit-scaling
+// factories abort on int64 overflow (in every build flavor: they run on
+// config/literal paths where a silent wrap once produced a negative deadline);
+// +/- are overflow-checked in debug builds only, since they run per-fault.
 class Duration {
  public:
   constexpr Duration() : ns_(0) {}
   static constexpr Duration Nanos(int64_t n) { return Duration(n); }
-  static constexpr Duration Micros(int64_t n) { return Duration(n * 1000); }
-  static constexpr Duration Millis(int64_t n) { return Duration(n * 1000000); }
-  static constexpr Duration Seconds(int64_t n) { return Duration(n * 1000000000); }
+  static constexpr Duration Micros(int64_t n) {
+    return Duration(unit_internal::CheckedScaleI64(n, 1000, "Duration::Micros"));
+  }
+  static constexpr Duration Millis(int64_t n) {
+    return Duration(unit_internal::CheckedScaleI64(n, 1000000, "Duration::Millis"));
+  }
+  static constexpr Duration Seconds(int64_t n) {
+    return Duration(unit_internal::CheckedScaleI64(n, 1000000000, "Duration::Seconds"));
+  }
   static constexpr Duration Zero() { return Duration(0); }
 
   constexpr int64_t nanos() const { return ns_; }
@@ -35,16 +43,14 @@ class Duration {
 
   constexpr auto operator<=>(const Duration&) const = default;
 
-  constexpr Duration operator+(Duration other) const { return Duration(ns_ + other.ns_); }
-  constexpr Duration operator-(Duration other) const { return Duration(ns_ - other.ns_); }
-  constexpr Duration& operator+=(Duration other) {
-    ns_ += other.ns_;
-    return *this;
+  constexpr Duration operator+(Duration other) const {
+    return Duration(unit_internal::DebugCheckedAddI64(ns_, other.ns_, "Duration +"));
   }
-  constexpr Duration& operator-=(Duration other) {
-    ns_ -= other.ns_;
-    return *this;
+  constexpr Duration operator-(Duration other) const {
+    return Duration(unit_internal::DebugCheckedSubI64(ns_, other.ns_, "Duration -"));
   }
+  constexpr Duration& operator+=(Duration other) { return *this = *this + other; }
+  constexpr Duration& operator-=(Duration other) { return *this = *this - other; }
   constexpr Duration operator*(int64_t k) const { return Duration(ns_ * k); }
   constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
 

@@ -2,8 +2,19 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 namespace faasnap {
+
+namespace unit_internal {
+
+void OverflowPanic(const char* what) {
+  std::fprintf(stderr, "faasnap: unit arithmetic overflow in %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace unit_internal
 
 namespace {
 
@@ -33,6 +44,13 @@ std::string FormatBytes(uint64_t bytes) {
   }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  return buf;
+}
+
+std::string PageCount::ToString() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 " pages (%s)", pages_,
+                FormatBytes(pages_ * kPageSize).c_str());
   return buf;
 }
 

@@ -1,7 +1,14 @@
-// Byte-size and time-unit helpers shared across the codebase.
+// Unit-safe size types and time-unit helpers shared across the codebase.
 //
-// All simulated time is carried as int64_t nanoseconds (see time.h); all sizes
-// as uint64_t bytes. These helpers keep literals readable at call sites.
+// All simulated time is carried as int64_t nanoseconds inside Duration/SimTime
+// (sim_time.h); all sizes as ByteCount/PageCount below. Raw unit-suffixed
+// integers (`uint64_t foo_bytes`, `int64_t bar_us`) are banned in src/ by
+// faasnap_lint's raw-unit pass: a value that knows its own unit cannot be
+// added to a value in a different unit, which is exactly the mixed-unit
+// plumbing bug class the per-class fault accounting (PAPER.md tab03) cannot
+// absorb silently. The wrappers are zero-cost: one integer member, everything
+// constexpr and inlined; overflow checks compile away in NDEBUG builds except
+// on the cold construction paths where a wrapping literal is always a bug.
 
 #ifndef FAASNAP_SRC_COMMON_UNITS_H_
 #define FAASNAP_SRC_COMMON_UNITS_H_
@@ -18,19 +25,185 @@ inline constexpr uint64_t kGiB = 1024 * kMiB;
 // The only page size FaaSnap deals with (x86-64 base pages).
 inline constexpr uint64_t kPageSize = 4 * kKiB;
 
-constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
-constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
-constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+namespace unit_internal {
 
-// Number of whole pages needed to hold `bytes`.
-constexpr uint64_t BytesToPages(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
-constexpr uint64_t PagesToBytes(uint64_t pages) { return pages * kPageSize; }
+// Aborts with a message naming the overflowing operation. Non-constexpr on
+// purpose: reaching it during constant evaluation is a compile error, which
+// turns an overflowing constexpr literal into a build break.
+[[noreturn]] void OverflowPanic(const char* what);
+
+constexpr bool MulOverflowsU64(uint64_t a, uint64_t b) {
+  return b != 0 && a > UINT64_MAX / b;
+}
+constexpr bool AddOverflowsU64(uint64_t a, uint64_t b) { return a > UINT64_MAX - b; }
+constexpr bool SubUnderflowsU64(uint64_t a, uint64_t b) { return b > a; }
+// k must be positive (it is always a literal scale factor here).
+constexpr bool MulOverflowsI64(int64_t n, int64_t k) {
+  return n > 0 ? n > INT64_MAX / k : n < INT64_MIN / k;
+}
+constexpr bool AddOverflowsI64(int64_t a, int64_t b) {
+  return (b > 0 && a > INT64_MAX - b) || (b < 0 && a < INT64_MIN - b);
+}
+constexpr bool SubOverflowsI64(int64_t a, int64_t b) {
+  return (b < 0 && a > INT64_MAX + b) || (b > 0 && a < INT64_MIN + b);
+}
+
+// Always-checked scale, for construction paths (Duration::Micros, MiB(...)):
+// these run on config/literal paths, never per-fault, so the check is kept in
+// Release builds too.
+constexpr int64_t CheckedScaleI64(int64_t n, int64_t k, const char* what) {
+  if (MulOverflowsI64(n, k)) {
+    OverflowPanic(what);
+  }
+  return n * k;
+}
+constexpr uint64_t CheckedScaleU64(uint64_t n, uint64_t k, const char* what) {
+  if (MulOverflowsU64(n, k)) {
+    OverflowPanic(what);
+  }
+  return n * k;
+}
+
+// Debug-checked arithmetic for the operators that do run on hot accounting
+// paths: free in NDEBUG builds, an abort-with-message in debug/sanitizer CI.
+#if defined(NDEBUG)
+inline constexpr bool kDebugChecks = false;
+#else
+inline constexpr bool kDebugChecks = true;
+#endif
+
+constexpr uint64_t DebugCheckedAddU64(uint64_t a, uint64_t b, const char* what) {
+  if (kDebugChecks && AddOverflowsU64(a, b)) {
+    OverflowPanic(what);
+  }
+  return a + b;
+}
+constexpr uint64_t DebugCheckedSubU64(uint64_t a, uint64_t b, const char* what) {
+  if (kDebugChecks && SubUnderflowsU64(a, b)) {
+    OverflowPanic(what);
+  }
+  return a - b;
+}
+constexpr uint64_t DebugCheckedMulU64(uint64_t a, uint64_t b, const char* what) {
+  if (kDebugChecks && MulOverflowsU64(a, b)) {
+    OverflowPanic(what);
+  }
+  return a * b;
+}
+constexpr int64_t DebugCheckedAddI64(int64_t a, int64_t b, const char* what) {
+  if (kDebugChecks && AddOverflowsI64(a, b)) {
+    OverflowPanic(what);
+  }
+  return a + b;
+}
+constexpr int64_t DebugCheckedSubI64(int64_t a, int64_t b, const char* what) {
+  if (kDebugChecks && SubOverflowsI64(a, b)) {
+    OverflowPanic(what);
+  }
+  return a - b;
+}
+
+}  // namespace unit_internal
 
 // "1.5 GiB", "237 MiB", "4 KiB", "123 B".
 std::string FormatBytes(uint64_t bytes);
 
 // "1.204 s", "35.7 ms", "3.7 us", "250 ns" from nanoseconds.
 std::string FormatDuration(int64_t ns);
+
+// A size in bytes. Construction and unit escape are explicit (FromBytes /
+// value()), so a ByteCount can never silently mix with a page count or a raw
+// integer in another unit.
+class ByteCount {
+ public:
+  constexpr ByteCount() = default;
+  static constexpr ByteCount FromBytes(uint64_t n) { return ByteCount(n); }
+  static constexpr ByteCount FromKiB(uint64_t n) {
+    return ByteCount(unit_internal::CheckedScaleU64(n, kKiB, "ByteCount::FromKiB"));
+  }
+  static constexpr ByteCount FromMiB(uint64_t n) {
+    return ByteCount(unit_internal::CheckedScaleU64(n, kMiB, "ByteCount::FromMiB"));
+  }
+  static constexpr ByteCount FromGiB(uint64_t n) {
+    return ByteCount(unit_internal::CheckedScaleU64(n, kGiB, "ByteCount::FromGiB"));
+  }
+  static constexpr ByteCount Zero() { return ByteCount(0); }
+
+  constexpr uint64_t value() const { return bytes_; }
+  constexpr bool is_zero() const { return bytes_ == 0; }
+  std::string ToString() const { return FormatBytes(bytes_); }
+
+  constexpr auto operator<=>(const ByteCount&) const = default;
+
+  constexpr ByteCount operator+(ByteCount other) const {
+    return ByteCount(unit_internal::DebugCheckedAddU64(bytes_, other.bytes_, "ByteCount +"));
+  }
+  constexpr ByteCount operator-(ByteCount other) const {
+    return ByteCount(unit_internal::DebugCheckedSubU64(bytes_, other.bytes_, "ByteCount -"));
+  }
+  constexpr ByteCount& operator+=(ByteCount other) { return *this = *this + other; }
+  constexpr ByteCount& operator-=(ByteCount other) { return *this = *this - other; }
+  constexpr ByteCount operator*(uint64_t k) const {
+    return ByteCount(unit_internal::DebugCheckedMulU64(bytes_, k, "ByteCount *"));
+  }
+  constexpr uint64_t operator/(ByteCount other) const { return bytes_ / other.bytes_; }
+
+ private:
+  explicit constexpr ByteCount(uint64_t n) : bytes_(n) {}
+  uint64_t bytes_ = 0;
+};
+
+// A count of 4 KiB guest/host pages.
+class PageCount {
+ public:
+  constexpr PageCount() = default;
+  static constexpr PageCount FromPages(uint64_t n) { return PageCount(n); }
+  static constexpr PageCount Zero() { return PageCount(0); }
+
+  constexpr uint64_t value() const { return pages_; }
+  constexpr bool is_zero() const { return pages_ == 0; }
+  constexpr ByteCount bytes() const {
+    return ByteCount::FromBytes(
+        unit_internal::CheckedScaleU64(pages_, kPageSize, "PageCount::bytes"));
+  }
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const PageCount&) const = default;
+
+  constexpr PageCount operator+(PageCount other) const {
+    return PageCount(unit_internal::DebugCheckedAddU64(pages_, other.pages_, "PageCount +"));
+  }
+  constexpr PageCount operator-(PageCount other) const {
+    return PageCount(unit_internal::DebugCheckedSubU64(pages_, other.pages_, "PageCount -"));
+  }
+  constexpr PageCount& operator+=(PageCount other) { return *this = *this + other; }
+  constexpr PageCount& operator-=(PageCount other) { return *this = *this - other; }
+  constexpr PageCount operator*(uint64_t k) const {
+    return PageCount(unit_internal::DebugCheckedMulU64(pages_, k, "PageCount *"));
+  }
+  constexpr uint64_t operator/(PageCount other) const { return pages_ / other.pages_; }
+
+ private:
+  explicit constexpr PageCount(uint64_t n) : pages_(n) {}
+  uint64_t pages_ = 0;
+};
+
+// Readable byte-size literals: `GiB(1)` is a ByteCount, not a bare integer.
+constexpr ByteCount KiB(uint64_t n) { return ByteCount::FromKiB(n); }
+constexpr ByteCount MiB(uint64_t n) { return ByteCount::FromMiB(n); }
+constexpr ByteCount GiB(uint64_t n) { return ByteCount::FromGiB(n); }
+
+// Number of whole pages needed to hold `bytes` / exact size of `pages`.
+// The raw-integer forms survive for index arithmetic (PageRange ends, file
+// offsets); the strong forms are what typed fields use.
+constexpr uint64_t BytesToPages(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+constexpr uint64_t PagesToBytes(uint64_t pages) { return pages * kPageSize; }
+constexpr PageCount BytesToPages(ByteCount b) {
+  return PageCount::FromPages(BytesToPages(b.value()));
+}
+constexpr ByteCount PagesToBytes(PageCount p) { return p.bytes(); }
+
+inline std::string FormatBytes(ByteCount b) { return FormatBytes(b.value()); }
 
 }  // namespace faasnap
 

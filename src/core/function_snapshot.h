@@ -25,7 +25,7 @@ namespace faasnap {
 
 struct FunctionSnapshot {
   std::string function;
-  uint64_t guest_pages = 0;
+  PageCount guest_pages;
 
   MemoryFile memory_vanilla;
   MemoryFile memory_sanitized;

@@ -36,7 +36,7 @@ LoadingSetFile BuildLoadingSet(const WorkingSetGroups& groups, const MemoryFile&
     region.file_start = offset;
     offset += region.guest.count;
   }
-  file.total_pages = offset;
+  file.total_pages = PageCount::FromPages(offset);
   return file;
 }
 

@@ -17,7 +17,7 @@
 namespace faasnap {
 
 struct LoadingSetConfig {
-  uint64_t merge_gap_pages = 32;  // empirical threshold from section 4.6
+  PageCount merge_gap_pages = PageCount::FromPages(32);  // empirical threshold from section 4.6
 };
 
 // Builds the loading set file layout. The caller registers the file with a

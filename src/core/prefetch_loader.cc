@@ -12,7 +12,7 @@ PrefetchLoader::PrefetchLoader(Simulation* sim, PageCache* cache, StorageRouter*
                                PrefetchConfig config)
     : sim_(sim), cache_(cache), storage_(storage), config_(config) {
   FAASNAP_CHECK(sim_ != nullptr && cache_ != nullptr && storage_ != nullptr);
-  FAASNAP_CHECK(config_.chunk_pages > 0);
+  FAASNAP_CHECK(!config_.chunk_pages.is_zero());
   FAASNAP_CHECK(config_.pipeline_depth > 0);
   FAASNAP_CHECK(config_.min_pipeline_depth >= 1 &&
                 config_.min_pipeline_depth <= config_.pipeline_depth);
@@ -55,7 +55,8 @@ void PrefetchLoader::Start(std::vector<PrefetchItem> items, std::function<void()
     FAASNAP_CHECK(item.file != kInvalidFileId);
     PageIndex cursor = item.range.first;
     while (cursor < item.range.end()) {
-      const uint64_t count = std::min<uint64_t>(config_.chunk_pages, item.range.end() - cursor);
+      const uint64_t count =
+          std::min<uint64_t>(config_.chunk_pages.value(), item.range.end() - cursor);
       chunks_.push_back(PrefetchItem{item.file, PageRange{cursor, count}});
       cursor += count;
     }
@@ -113,8 +114,8 @@ void PrefetchLoader::Pump() {
     IssueChunk(chunk);
   }
   if (in_flight_ == 0 && chunks_.empty()) {
-    uint64_t fetched = 0;
-    uint64_t skipped = 0;
+    ByteCount fetched;
+    PageCount skipped;
     bool just_finished = false;
     {
       MutexLock lock(mu_);
@@ -130,10 +131,10 @@ void PrefetchLoader::Pump() {
       return;
     }
     if (spans_ != nullptr) {
-      spans_->End(run_span_, sim_->now(), fetched);
+      spans_->End(run_span_, sim_->now(), fetched.value());
     }
     if (skipped_pages_metric_ != nullptr) {
-      skipped_pages_metric_->Add(static_cast<int64_t>(skipped));
+      skipped_pages_metric_->Add(static_cast<int64_t>(skipped.value()));
     }
     if (done_) {
       // Move out first: done_ may destroy this loader.
@@ -148,7 +149,7 @@ void PrefetchLoader::IssueChunk(const PrefetchItem& chunk) {
   const PageRangeSet missing = cache_->AbsentIn(chunk.file, chunk.range);
   {
     MutexLock lock(mu_);
-    skipped_pages_ += chunk.range.count - missing.page_count();
+    skipped_pages_ += PageCount::FromPages(chunk.range.count - missing.page_count());
   }
   for (const PageRange& r : missing.ranges()) {
     const PageCache::ReadHandle handle = cache_->BeginRead(chunk.file, r);
@@ -158,7 +159,7 @@ void PrefetchLoader::IssueChunk(const PrefetchItem& chunk) {
                           : kNoSpan;
     {
       MutexLock lock(mu_);
-      fetched_bytes_ += PagesToBytes(r.count);
+      fetched_bytes_ += PagesToBytes(PageCount::FromPages(r.count));
     }
     if (fetched_bytes_metric_ != nullptr) {
       fetched_bytes_metric_->Add(static_cast<int64_t>(PagesToBytes(r.count)));
@@ -176,8 +177,8 @@ void PrefetchLoader::IssueChunk(const PrefetchItem& chunk) {
             // loader must finish even when chunks fail.
             cache_->FailRead(handle, read_status);
             MutexLock lock(mu_);
-            failed_pages_ += pages;
-            fetched_bytes_ -= PagesToBytes(pages);
+            failed_pages_ += PageCount::FromPages(pages);
+            fetched_bytes_ -= PagesToBytes(PageCount::FromPages(pages));
             if (status_.ok()) {
               status_ = std::move(read_status);
             }

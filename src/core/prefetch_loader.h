@@ -42,7 +42,7 @@ struct PrefetchItem {
 struct PrefetchConfig {
   // Pages per device read. 512 pages = 2 MiB: large enough to hit streaming
   // bandwidth, small enough that the guest rarely waits long on an in-flight chunk.
-  uint64_t chunk_pages = 512;
+  PageCount chunk_pages = PageCount::FromPages(512);
   // Reads kept in flight concurrently (the loader thread's IO queue depth).
   int pipeline_depth = 4;
   // Adaptive throttling: while demand reads are queued or in service at the
@@ -103,12 +103,12 @@ class PrefetchLoader {
     return fetch_time_;
   }
   // Bytes this loader actually read from the device.
-  uint64_t fetched_bytes() const FAASNAP_EXCLUDES(mu_) {
+  ByteCount fetched_bytes() const FAASNAP_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return fetched_bytes_;
   }
   // Pages skipped because another actor already cached or was reading them.
-  uint64_t skipped_pages() const FAASNAP_EXCLUDES(mu_) {
+  PageCount skipped_pages() const FAASNAP_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return skipped_pages_;
   }
@@ -122,7 +122,7 @@ class PrefetchLoader {
     return status_;
   }
   // Pages whose covering reads failed (left absent, not installed).
-  uint64_t failed_pages() const FAASNAP_EXCLUDES(mu_) {
+  PageCount failed_pages() const FAASNAP_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return failed_pages_;
   }
@@ -156,9 +156,9 @@ class PrefetchLoader {
   bool started_ FAASNAP_GUARDED_BY(mu_) = false;
   bool finished_ FAASNAP_GUARDED_BY(mu_) = false;
   Duration fetch_time_ FAASNAP_GUARDED_BY(mu_);
-  uint64_t fetched_bytes_ FAASNAP_GUARDED_BY(mu_) = 0;
-  uint64_t skipped_pages_ FAASNAP_GUARDED_BY(mu_) = 0;
-  uint64_t failed_pages_ FAASNAP_GUARDED_BY(mu_) = 0;
+  ByteCount fetched_bytes_ FAASNAP_GUARDED_BY(mu_);
+  PageCount skipped_pages_ FAASNAP_GUARDED_BY(mu_);
+  PageCount failed_pages_ FAASNAP_GUARDED_BY(mu_);
   Status status_ FAASNAP_GUARDED_BY(mu_);
 
   SpanTracer* spans_ = nullptr;

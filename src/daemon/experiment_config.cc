@@ -141,7 +141,7 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
   config.platform.ws_group_size =
       static_cast<uint64_t>(root.GetIntOr("ws_group_size", 1024));
   config.platform.loading_set.merge_gap_pages =
-      static_cast<uint64_t>(root.GetIntOr("merge_gap_pages", 32));
+      root.GetPageCountOr("merge_gap_pages", PageCount::FromPages(32));
   config.platform.seed = config.base_seed;
 
   // Disk scheduler knobs (DiskSchedConfig). disk_queue_depth = 0 reverts to
@@ -154,7 +154,7 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
   const int64_t aging_us =
       root.GetIntOr("prefetch_aging_us", sched.prefetch_aging_bound.micros());
   const int64_t merge_kib = root.GetIntOr(
-      "disk_max_merge_kib", static_cast<int64_t>(sched.max_merge_bytes / 1024));
+      "disk_max_merge_kib", static_cast<int64_t>(sched.max_merge_bytes / KiB(1)));
   if (queue_depth < 0 || aging_us < 0 || merge_kib < 0) {
     return InvalidArgumentError(
         "disk_queue_depth, prefetch_aging_us, and disk_max_merge_kib must be >= 0");
@@ -165,12 +165,11 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
   sched.queue_depth = static_cast<uint32_t>(queue_depth);
   sched.prefetch_slots = static_cast<uint32_t>(prefetch_slots);
   sched.prefetch_aging_bound = Duration::Micros(aging_us);
-  sched.max_merge_bytes = static_cast<uint64_t>(merge_kib) * 1024;
+  sched.max_merge_bytes = ByteCount::FromKiB(static_cast<uint64_t>(merge_kib));
 
   // Prefetch loader pipeline knobs (PrefetchConfig).
   PrefetchConfig& loader = config.platform.loader;
-  loader.chunk_pages =
-      static_cast<uint64_t>(root.GetIntOr("loader_chunk_pages", loader.chunk_pages));
+  loader.chunk_pages = root.GetPageCountOr("loader_chunk_pages", loader.chunk_pages);
   loader.pipeline_depth =
       static_cast<int>(root.GetIntOr("loader_pipeline_depth", loader.pipeline_depth));
   loader.adaptive_depth = root.GetBoolOr("loader_adaptive_depth", loader.adaptive_depth);
@@ -178,7 +177,7 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
       static_cast<int>(root.GetIntOr("loader_min_depth", loader.min_pipeline_depth));
   loader.depth_ramp_quiet =
       Duration::Micros(root.GetIntOr("loader_ramp_quiet_us", loader.depth_ramp_quiet.micros()));
-  if (loader.chunk_pages < 1 || loader.pipeline_depth < 1 ||
+  if (loader.chunk_pages.is_zero() || loader.pipeline_depth < 1 ||
       loader.min_pipeline_depth < 1 ||
       loader.min_pipeline_depth > loader.pipeline_depth) {
     return InvalidArgumentError(
@@ -206,21 +205,21 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
         fault_path.GetBoolOr("batched_uffd_install", fp.batched_uffd_install);
     fp.huge_pages = fault_path.GetBoolOr("huge_pages", fp.huge_pages);
     fp.fault_coalescing = fault_path.GetBoolOr("fault_coalescing", fp.fault_coalescing);
-    const int64_t batch_max = fault_path.GetIntOr(
-        "uffd_batch_max_pages", static_cast<int64_t>(fp.uffd_batch_max_pages));
-    const int64_t region_pages = fault_path.GetIntOr(
-        "huge_region_pages", static_cast<int64_t>(fp.huge_region_pages));
+    const PageCount batch_max =
+        fault_path.GetPageCountOr("uffd_batch_max_pages", fp.uffd_batch_max_pages);
+    const PageCount region_pages =
+        fault_path.GetPageCountOr("huge_region_pages", fp.huge_region_pages);
     fp.huge_density_threshold =
         fault_path.GetNumberOr("huge_density_threshold", fp.huge_density_threshold);
-    if (batch_max < 1 || region_pages < 1) {
+    if (batch_max.is_zero() || region_pages.is_zero()) {
       return InvalidArgumentError(
           "uffd_batch_max_pages and huge_region_pages must be >= 1");
     }
     if (!(fp.huge_density_threshold > 0.0) || fp.huge_density_threshold > 1.0) {
       return InvalidArgumentError("huge_density_threshold must be in (0, 1]");
     }
-    fp.uffd_batch_max_pages = static_cast<uint64_t>(batch_max);
-    fp.huge_region_pages = static_cast<uint64_t>(region_pages);
+    fp.uffd_batch_max_pages = batch_max;
+    fp.huge_region_pages = region_pages;
   }
 
   if (root.Has("admission")) {
@@ -236,8 +235,7 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
         static_cast<int>(admission.GetIntOr("queue_capacity", a.queue_capacity));
     a.queue_deadline = Duration::Micros(
         admission.GetIntOr("queue_deadline_us", a.queue_deadline.micros()));
-    a.memory_budget_bytes = static_cast<uint64_t>(admission.GetIntOr(
-        "memory_budget_mib", static_cast<int64_t>(a.memory_budget_bytes / MiB(1)))) * MiB(1);
+    a.memory_budget_bytes = admission.GetByteCountMiBOr("memory_budget_mib", a.memory_budget_bytes);
     a.fairness_share = admission.GetNumberOr("fairness_share", a.fairness_share);
     if (a.max_concurrency < 1 || a.queue_capacity < 0) {
       return InvalidArgumentError(

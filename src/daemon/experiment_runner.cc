@@ -156,8 +156,8 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
             // bounded deadline queue; overflow and expired waiters resolve as
             // typed shed outcomes instead of piling onto the daemon.
             int resolved = 0;
-            const uint64_t predicted_bytes =
-                PagesToBytes(snapshot.record_touched.page_count());
+            const ByteCount predicted_bytes =
+                PagesToBytes(PageCount::FromPages(snapshot.record_touched.page_count()));
             std::unique_ptr<AdmissionController> admission;
             AdmissionController::Hooks hooks;
             hooks.run = [&, s](const AdmissionRequest& request, Duration wait) {

@@ -4,15 +4,15 @@
 
 namespace faasnap {
 
-AddressSpace::AddressSpace(uint64_t total_pages) : total_pages_(total_pages) {
-  FAASNAP_CHECK(total_pages > 0);
-  install_.assign(total_pages, static_cast<uint8_t>(PageInstallState::kNotPresent));
+AddressSpace::AddressSpace(PageCount total_pages) : total_pages_(total_pages) {
+  FAASNAP_CHECK(!total_pages.is_zero());
+  install_.assign(total_pages.value(), static_cast<uint8_t>(PageInstallState::kNotPresent));
   regions_.emplace(0, PageBacking{BackingKind::kUnmapped, kInvalidFileId, 0});
 }
 
 void AddressSpace::Map(const MappingRequest& request) {
   FAASNAP_CHECK(!request.guest.empty());
-  FAASNAP_CHECK(request.guest.end() <= total_pages_);
+  FAASNAP_CHECK(request.guest.end() <= limit());
   if (request.kind == BackingKind::kFile) {
     FAASNAP_CHECK(request.file != kInvalidFileId);
   }
@@ -22,7 +22,7 @@ void AddressSpace::Map(const MappingRequest& request) {
   const PageIndex hi = request.guest.end();
 
   // Preserve the backing that resumes at `hi` before erasing overlapped entries.
-  const PageBacking at_hi = hi < total_pages_ ? Resolve(hi) : PageBacking{};
+  const PageBacking at_hi = hi < limit() ? Resolve(hi) : PageBacking{};
 
   // Erase all run starts inside [lo, hi).
   auto it = regions_.lower_bound(lo);
@@ -34,7 +34,7 @@ void AddressSpace::Map(const MappingRequest& request) {
   // region at lo.
   PageBacking incoming{request.kind, request.file, request.file_start};
   regions_[lo] = incoming;
-  if (hi < total_pages_) {
+  if (hi < limit()) {
     // Resume whatever was mapped at hi, with its file offset advanced correctly
     // (Resolve(hi) already returns the per-page backing, so store it as a run
     // starting exactly at hi).
@@ -43,7 +43,7 @@ void AddressSpace::Map(const MappingRequest& request) {
 }
 
 PageBacking AddressSpace::Resolve(PageIndex page) const {
-  FAASNAP_CHECK(page < total_pages_);
+  FAASNAP_CHECK(page < limit());
   auto it = regions_.upper_bound(page);
   FAASNAP_CHECK(it != regions_.begin());
   --it;
@@ -55,20 +55,20 @@ PageBacking AddressSpace::Resolve(PageIndex page) const {
 }
 
 void AddressSpace::SetInstallState(PageIndex page, PageInstallState s) {
-  FAASNAP_CHECK(page < total_pages_);
+  FAASNAP_CHECK(page < limit());
   const auto old = static_cast<PageInstallState>(install_[page]);
   const bool was_resident = old != PageInstallState::kNotPresent;
   const bool now_resident = s != PageInstallState::kNotPresent;
   install_[page] = static_cast<uint8_t>(s);
   if (!was_resident && now_resident) {
-    ++resident_pages_;
+    resident_pages_ += PageCount::FromPages(1);
   } else if (was_resident && !now_resident) {
-    --resident_pages_;
+    resident_pages_ -= PageCount::FromPages(1);
   }
 }
 
 void AddressSpace::SetInstallState(PageRange range, PageInstallState s) {
-  FAASNAP_CHECK(range.end() <= total_pages_);
+  FAASNAP_CHECK(range.end() <= limit());
   const bool now_resident = s != PageInstallState::kNotPresent;
   const uint8_t value = static_cast<uint8_t>(s);
   int64_t resident_delta = 0;
@@ -78,11 +78,12 @@ void AddressSpace::SetInstallState(PageRange range, PageInstallState s) {
     resident_delta += static_cast<int64_t>(now_resident) - static_cast<int64_t>(was_resident);
     install_[p] = value;
   }
-  resident_pages_ = static_cast<uint64_t>(static_cast<int64_t>(resident_pages_) + resident_delta);
+  resident_pages_ = PageCount::FromPages(
+      static_cast<uint64_t>(static_cast<int64_t>(resident_pages_.value()) + resident_delta));
 }
 
 bool AddressSpace::AllInState(PageRange range, PageInstallState s) const {
-  FAASNAP_CHECK(range.end() <= total_pages_);
+  FAASNAP_CHECK(range.end() <= limit());
   const uint8_t value = static_cast<uint8_t>(s);
   for (PageIndex p = range.first; p < range.end(); ++p) {
     if (install_[p] != value) {
@@ -93,50 +94,51 @@ bool AddressSpace::AllInState(PageRange range, PageInstallState s) const {
 }
 
 PageRange AddressSpace::MappingRun(PageIndex page) const {
-  FAASNAP_CHECK(page < total_pages_);
+  FAASNAP_CHECK(page < limit());
   auto it = regions_.upper_bound(page);
   FAASNAP_CHECK(it != regions_.begin());
-  const PageIndex end = it == regions_.end() ? total_pages_ : it->first;
+  const PageIndex end = it == regions_.end() ? limit() : it->first;
   --it;
   return PageRange{it->first, end - it->first};
 }
 
-void AddressSpace::ConfigureHugeRegions(uint64_t region_pages) {
-  FAASNAP_CHECK(region_pages > 0);
+void AddressSpace::ConfigureHugeRegions(PageCount region_pages) {
+  FAASNAP_CHECK(!region_pages.is_zero());
   huge_region_pages_ = region_pages;
   huge_regions_.clear();
 }
 
 PageRange AddressSpace::HugeRegionOf(PageIndex page) const {
-  FAASNAP_CHECK(page < total_pages_);
-  const PageIndex start = page - page % huge_region_pages_;
-  const PageIndex end = std::min(start + huge_region_pages_, total_pages_);
+  FAASNAP_CHECK(page < limit());
+  const uint64_t region = huge_region_pages_.value();
+  const PageIndex start = page - page % region;
+  const PageIndex end = std::min(start + region, limit());
   return PageRange{start, end - start};
 }
 
 void AddressSpace::MarkHugeEligible(PageIndex region_start) {
-  FAASNAP_CHECK(region_start < total_pages_);
-  FAASNAP_CHECK(region_start % huge_region_pages_ == 0);
+  FAASNAP_CHECK(region_start < limit());
+  FAASNAP_CHECK(region_start % huge_region_pages_.value() == 0);
   huge_regions_[region_start] = HugeRegionState::kEligible;
 }
 
 HugeRegionState AddressSpace::huge_region_state(PageIndex page) const {
-  FAASNAP_CHECK(page < total_pages_);
-  auto it = huge_regions_.find(page - page % huge_region_pages_);
+  FAASNAP_CHECK(page < limit());
+  auto it = huge_regions_.find(page - page % huge_region_pages_.value());
   return it == huge_regions_.end() ? HugeRegionState::kNone : it->second;
 }
 
 void AddressSpace::SetHugeRegionState(PageIndex page, HugeRegionState s) {
-  FAASNAP_CHECK(page < total_pages_);
-  huge_regions_[page - page % huge_region_pages_] = s;
+  FAASNAP_CHECK(page < limit());
+  huge_regions_[page - page % huge_region_pages_.value()] = s;
 }
 
-uint64_t AddressSpace::resident_anonymous_pages() const {
+PageCount AddressSpace::resident_anonymous_pages() const {
   uint64_t count = 0;
   auto it = regions_.begin();
   while (it != regions_.end()) {
     auto next = std::next(it);
-    const PageIndex run_end = next == regions_.end() ? total_pages_ : next->first;
+    const PageIndex run_end = next == regions_.end() ? limit() : next->first;
     if (it->second.kind == BackingKind::kAnonymous) {
       for (PageIndex p = it->first; p < run_end; ++p) {
         if (install_[p] != static_cast<uint8_t>(PageInstallState::kNotPresent)) {
@@ -146,7 +148,7 @@ uint64_t AddressSpace::resident_anonymous_pages() const {
     }
     it = next;
   }
-  return count;
+  return PageCount::FromPages(count);
 }
 
 }  // namespace faasnap

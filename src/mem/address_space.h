@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/page_range.h"
+#include "src/common/units.h"
 #include "src/common/status.h"
 #include "src/mem/page_cache.h"
 
@@ -63,7 +64,7 @@ enum class HugeRegionState : uint8_t { kNone = 0, kEligible, kInstalled, kSplit 
 
 class AddressSpace {
  public:
-  explicit AddressSpace(uint64_t total_pages);
+  explicit AddressSpace(PageCount total_pages);
 
   // Applies one mmap with MAP_FIXED overlay semantics. Increments mmap_call_count.
   void Map(const MappingRequest& request);
@@ -76,7 +77,7 @@ class AddressSpace {
   // and huge regions must not cross a run boundary.
   PageRange MappingRun(PageIndex page) const;
 
-  uint64_t total_pages() const { return total_pages_; }
+  PageCount total_pages() const { return total_pages_; }
   uint64_t mmap_call_count() const { return mmap_call_count_; }
 
   // Install-state tracking (the host page table for this VM).
@@ -94,28 +95,31 @@ class AddressSpace {
   // Huge-region tracking (fault-path lever). Regions are `region_pages`-aligned
   // windows of the guest space; only regions explicitly marked eligible ever
   // leave kNone. Configure before marking; reconfiguring clears all marks.
-  void ConfigureHugeRegions(uint64_t region_pages);
+  void ConfigureHugeRegions(PageCount region_pages);
   void MarkHugeEligible(PageIndex region_start);
   HugeRegionState huge_region_state(PageIndex page) const;
   void SetHugeRegionState(PageIndex page, HugeRegionState s);
   // The huge region containing `page`, clamped to the guest size.
   PageRange HugeRegionOf(PageIndex page) const;
-  uint64_t huge_region_pages() const { return huge_region_pages_; }
+  PageCount huge_region_pages() const { return huge_region_pages_; }
 
   // Number of installed pages (kSoftPresent or kPresent): the VMM's RSS as seen by
   // the daemon's procfs polling during the record phase (section 5).
-  uint64_t resident_pages() const { return resident_pages_; }
+  PageCount resident_pages() const { return resident_pages_; }
 
   // Present pages backed by anonymous memory (memory-footprint accounting, 7.3).
-  uint64_t resident_anonymous_pages() const;
+  PageCount resident_anonymous_pages() const;
 
   // Pages whose contents were copied into anonymous memory by UFFDIO_COPY (REAP's
   // installs): charged as anonymous even though the mapping is file-backed.
-  void NoteAnonCopies(uint64_t pages) { anon_copied_pages_ += pages; }
-  uint64_t anon_copied_pages() const { return anon_copied_pages_; }
+  void NoteAnonCopies(uint64_t pages) { anon_copied_pages_ += PageCount::FromPages(pages); }
+  PageCount anon_copied_pages() const { return anon_copied_pages_; }
 
  private:
-  uint64_t total_pages_;
+  // Raw page-index bound for the interval arithmetic below.
+  uint64_t limit() const { return total_pages_.value(); }
+
+  PageCount total_pages_;
   // Flattened interval map: key = first guest page of a run; the run extends to the
   // next key (or total_pages_). Value = backing at the run start; file_page advances
   // with the offset into the run.
@@ -124,9 +128,9 @@ class AddressSpace {
   // Huge-region states keyed by region start; absent key = kNone. Sparse: only
   // marked regions appear, so the map stays proportional to the working set.
   std::map<PageIndex, HugeRegionState> huge_regions_;
-  uint64_t huge_region_pages_ = 512;
-  uint64_t resident_pages_ = 0;
-  uint64_t anon_copied_pages_ = 0;
+  PageCount huge_region_pages_ = PageCount::FromPages(512);
+  PageCount resident_pages_;
+  PageCount anon_copied_pages_;
   uint64_t mmap_call_count_ = 0;
 };
 

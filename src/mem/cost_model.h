@@ -75,12 +75,12 @@ struct FaultPathConfig {
   bool batched_uffd_install = false;
   // Cap on how many pages one batched uffd fault may install around the faulting
   // page (the monitor copies at most this run from its pread buffer).
-  uint64_t uffd_batch_max_pages = 64;
+  PageCount uffd_batch_max_pages = PageCount::FromPages(64);
   // 2 MiB-aligned huge regions over dense working-set areas: one fault installs
   // the whole region at huge_fault, with copy-on-touch splitting when the region
   // is sparse or not fully backed.
   bool huge_pages = false;
-  uint64_t huge_region_pages = 512;  // 2 MiB of 4 KiB pages
+  PageCount huge_region_pages = PageCount::FromPages(512);  // 2 MiB of 4 KiB pages
   // Minimum fraction of a huge region the loading set must cover for the region
   // to be mapped huge.
   double huge_density_threshold = 0.9;

@@ -31,7 +31,7 @@ Duration DisperseCost(bool enabled, Duration base, PageIndex page, FaultClass cl
 
 FaultEngine::FaultEngine(Simulation* sim, PageCache* cache, StorageRouter* storage,
                          AddressSpace* space, ReadaheadPolicy* readahead,
-                         std::function<uint64_t(FileId)> file_size_pages, HostCostModel costs)
+                         std::function<PageCount(FileId)> file_size_pages, HostCostModel costs)
     : sim_(sim),
       cache_(cache),
       storage_(storage),
@@ -85,8 +85,10 @@ void FaultEngine::set_observability(SpanTracer* spans, MetricsRegistry* metrics)
   if (metrics != nullptr && fault_path_.batched_uffd_install) {
     batch_installs_ctr_ = metrics->GetCounter("faults.batch_installs");
     batch_pages_ctr_ = metrics->GetCounter("faults.batch_pages");
+    // The batch-size series abuses the log2 histogram as a page-count digest:
+    // the "duration" recorded is the page count, so the lower edge is 1 page.
     batch_size_hist_ =
-        metrics->GetHistogram("faults.batch_size", {}, /*lower_ns=*/1, /*num_buckets=*/11);
+        metrics->GetHistogram("faults.batch_size", {}, Duration::Nanos(1), /*num_buckets=*/11);
   }
   if (metrics != nullptr && fault_path_.huge_pages) {
     huge_installs_ctr_ = metrics->GetCounter("faults.huge_installs");
@@ -100,7 +102,7 @@ void FaultEngine::set_observability(SpanTracer* spans, MetricsRegistry* metrics)
 
 void FaultEngine::NoteBatchInstall(uint64_t pages) {
   metrics_.batch_installs++;
-  metrics_.batch_installed_pages += pages;
+  metrics_.batch_installed_pages += PageCount::FromPages(pages);
   if (batch_installs_ctr_ != nullptr) {
     batch_installs_ctr_->Add(1);
     batch_pages_ctr_->Add(static_cast<int64_t>(pages));
@@ -146,14 +148,14 @@ void FaultEngine::FinishFaultRun(PageRange run, PageIndex page, FaultClass cls,
     }
     if (cls == FaultClass::kHugeInstall) {
       metrics_.huge_installs++;
-      metrics_.huge_installed_pages += run.count;
+      metrics_.huge_installed_pages += PageCount::FromPages(run.count);
       if (huge_installs_ctr_ != nullptr) {
         huge_installs_ctr_->Add(1);
         huge_pages_ctr_->Add(static_cast<int64_t>(run.count));
       }
     }
     if (cls == FaultClass::kInFlightWait && run.count > 1) {
-      metrics_.coalesced_pages += run.count - 1;
+      metrics_.coalesced_pages += PageCount::FromPages(run.count - 1);
       if (coalesced_ctr_ != nullptr) {
         coalesced_ctr_->Add(static_cast<int64_t>(run.count - 1));
       }
@@ -186,7 +188,7 @@ PageRange FaultEngine::TrimToUninstalled(PageRange run, PageIndex page) const {
 
 bool FaultEngine::HugeInstallable(PageRange region) const {
   // Regions clamped at the guest end are partial and stay 4 KiB.
-  if (region.count < space_->huge_region_pages()) {
+  if (region.count < space_->huge_region_pages().value()) {
     return false;
   }
   const PageRange mapping = space_->MappingRun(region.first);
@@ -408,7 +410,7 @@ void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_fau
   }
   // Miss: read the faulting page plus the readahead window, skipping anything the
   // cache already has or has in flight.
-  const uint64_t file_pages = file_size_pages_(file);
+  const PageCount file_pages = file_size_pages_(file);
   const PageRange window = readahead_->WindowFor(file, page, file_pages);
   const PageRangeSet missing = cache_->AbsentIn(file, window);
   FAASNAP_CHECK(missing.Contains(page));
@@ -416,7 +418,7 @@ void FaultEngine::EnsureFilePage(FileId file, PageIndex page, bool charge_to_fau
     const PageCache::ReadHandle handle = cache_->BeginRead(file, r);
     if (charge_to_faults) {
       metrics_.fault_disk_requests++;
-      metrics_.fault_disk_bytes += PagesToBytes(r.count);
+      metrics_.fault_disk_bytes += PagesToBytes(PageCount::FromPages(r.count));
     }
     // The range holding the faulting page is guest-blocking (demand class);
     // the rest of the readahead window is speculative, so it queues as

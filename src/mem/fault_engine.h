@@ -60,7 +60,7 @@ class FaultEngine {
   // All pointers must outlive the engine. `file_size_pages` bounds readahead
   // windows at end-of-file for any file id the address space references.
   FaultEngine(Simulation* sim, PageCache* cache, StorageRouter* storage, AddressSpace* space,
-              ReadaheadPolicy* readahead, std::function<uint64_t(FileId)> file_size_pages,
+              ReadaheadPolicy* readahead, std::function<PageCount(FileId)> file_size_pages,
               HostCostModel costs = {});
 
   // Routes not-present faults on `region` to `handler` (userfaultfd registration).
@@ -182,7 +182,7 @@ class FaultEngine {
   StorageRouter* storage_;
   AddressSpace* space_;
   ReadaheadPolicy* readahead_;
-  std::function<uint64_t(FileId)> file_size_pages_;
+  std::function<PageCount(FileId)> file_size_pages_;
   HostCostModel costs_;
   FaultPathConfig fault_path_;
   FaultMetrics metrics_;

@@ -9,6 +9,7 @@
 
 #include "src/common/histogram.h"
 #include "src/common/sim_time.h"
+#include "src/common/units.h"
 
 namespace faasnap {
 
@@ -29,7 +30,7 @@ std::string_view FaultClassName(FaultClass c);
 
 // Aggregated by the FaultEngine across one VM run.
 struct FaultMetrics {
-  FaultMetrics() : latency_histogram(/*lower_ns=*/500, /*num_buckets=*/11) {}
+  FaultMetrics() : latency_histogram(Duration::Nanos(500), /*num_buckets=*/11) {}
 
   int64_t counts[static_cast<int>(FaultClass::kClassCount)] = {};
   // Total time the vCPU spent inside fault handling, summed over all classes
@@ -43,21 +44,21 @@ struct FaultMetrics {
   // Disk traffic issued *by fault handling* (excludes prefetch loaders):
   // Figure 9's "# of block requests".
   uint64_t fault_disk_requests = 0;
-  uint64_t fault_disk_bytes = 0;
+  ByteCount fault_disk_bytes;
   // Fault-path lever attribution (all zero with the levers disabled, keeping
   // reports bit-identical). Batched uffd installs: run-granular UFFDIO_COPYs
   // and the pages they covered (setup-time working-set installs plus batched
   // fault resolutions).
   uint64_t batch_installs = 0;
-  uint64_t batch_installed_pages = 0;
+  PageCount batch_installed_pages;
   // Huge-page lever: whole-region installs, pages they covered, and regions
   // split back to 4 KiB on the copy-on-touch fallback.
   uint64_t huge_installs = 0;
-  uint64_t huge_installed_pages = 0;
+  PageCount huge_installed_pages;
   uint64_t huge_splits = 0;
   // Coalescing lever: neighbor pages retired by someone else's in-flight fault
   // (each saved one inflight_wait_overhead fault of its own).
-  uint64_t coalesced_pages = 0;
+  PageCount coalesced_pages;
 
   int64_t count(FaultClass c) const { return counts[static_cast<int>(c)]; }
   int64_t total_faults() const;

@@ -27,15 +27,15 @@ ReadaheadPolicy::Stream& ReadaheadPolicy::StreamFor(FileId file) {
   return stream;
 }
 
-PageRange ReadaheadPolicy::WindowFor(FileId file, PageIndex page, uint64_t file_pages) {
-  if (page >= file_pages) {
+PageRange ReadaheadPolicy::WindowFor(FileId file, PageIndex page, PageCount file_pages) {
+  if (page >= file_pages.value()) {
     return PageRange{page, 1};  // defensive; callers bound accesses to the file
   }
   if (!config_.enabled) {
     return PageRange{page, 1};
   }
   Stream& stream = StreamFor(file);
-  uint64_t window = config_.initial_window_pages;
+  uint64_t window = config_.initial_window_pages.value();
   bool sequential = true;
   if (stream.window != 0) {
     // "Sequential enough": the fault lands at or just past the previous fault,
@@ -43,12 +43,12 @@ PageRange ReadaheadPolicy::WindowFor(FileId file, PageIndex page, uint64_t file_
     // fault-around size.
     const bool forward = page >= stream.last_fault;
     sequential = forward && (page - stream.last_fault) <= stream.window;
-    window = sequential ? std::min(stream.window * 2, config_.max_window_pages)
-                        : config_.random_window_pages;
+    window = sequential ? std::min(stream.window * 2, config_.max_window_pages.value())
+                        : config_.random_window_pages.value();
   }
   stream.last_fault = page;
   stream.window = window;
-  const uint64_t count = std::min(window, file_pages - page);
+  const uint64_t count = std::min(window, file_pages.value() - page);
   const PageRange result{page, std::max<uint64_t>(count, 1)};
   if (window_pages_ != nullptr) {
     (sequential ? sequential_windows_ : random_windows_)->Add(1);

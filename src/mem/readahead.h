@@ -19,17 +19,19 @@
 #include <map>
 
 #include "src/common/page_range.h"
+#include "src/common/units.h"
 #include "src/mem/page_cache.h"
 #include "src/obs/metrics_registry.h"
 
 namespace faasnap {
 
 struct ReadaheadConfig {
-  uint64_t initial_window_pages = 16;  // 64 KiB, for a fresh or resuming stream
-  uint64_t max_window_pages = 64;      // 256 KiB (Linux default ra window is 128 KiB)
+  PageCount initial_window_pages = PageCount::FromPages(16);  // 64 KiB, fresh stream
+  // 256 KiB (the Linux default readahead window is 128 KiB).
+  PageCount max_window_pages = PageCount::FromPages(64);
   // Window after a random jump (fault-around-sized): Linux reads far less around
   // faults that do not look sequential.
-  uint64_t random_window_pages = 8;
+  PageCount random_window_pages = PageCount::FromPages(8);
   // Cap on tracked per-file streams: the policy keeps stream state for at most
   // this many files, evicting the least-recently-faulting one when a new file
   // appears (an evicted file restarts with the initial window, exactly like a
@@ -44,7 +46,7 @@ class ReadaheadPolicy {
 
   // Returns the file range the kernel will read for a faulting miss on `page` of
   // `file` (always includes `page` itself). `file_pages` bounds the window at EOF.
-  PageRange WindowFor(FileId file, PageIndex page, uint64_t file_pages);
+  PageRange WindowFor(FileId file, PageIndex page, PageCount file_pages);
 
   // Forgets stream state (e.g. after dropping caches between experiments).
   void Reset() { streams_.clear(); }

@@ -17,7 +17,7 @@ std::string InvocationReportToJson(const InvocationReport& report) {
     if (!report.status.ok()) {
       json.Field("status", report.status.ToString());
     }
-    if (report.prefetch_failed_pages > 0) {
+    if (!report.prefetch_failed_pages.is_zero()) {
       json.Field("prefetch_failed_pages", report.prefetch_failed_pages);
     }
   }
@@ -54,7 +54,7 @@ std::string InvocationReportToJson(const InvocationReport& report) {
         .Field("huge_installed_pages", report.faults.huge_installed_pages)
         .Field("huge_splits", report.faults.huge_splits);
   }
-  if (report.faults.coalesced_pages > 0) {
+  if (!report.faults.coalesced_pages.is_zero()) {
     json.Field("coalesced_pages", report.faults.coalesced_pages);
   }
   json.Field("total_fault_time_ms", report.faults.total_fault_time.millis())
@@ -65,7 +65,7 @@ std::string InvocationReportToJson(const InvocationReport& report) {
   json.Key("fault_latency_histogram").BeginArray();
   for (int i = 0; i < h.num_buckets(); ++i) {
     json.BeginObject()
-        .Field("upper_ns", h.bucket_upper_ns(i))
+        .Field("upper_ns", h.bucket_upper(i))
         .Field("count", h.bucket_count(i))
         .EndObject();
   }

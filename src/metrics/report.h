@@ -40,7 +40,7 @@ struct InvocationReport {
   Status status;
   // Loading-set pages the concurrent loader failed to prefetch (served on
   // demand instead).
-  uint64_t prefetch_failed_pages = 0;
+  PageCount prefetch_failed_pages;
 
   // "ok" | "degraded(<mode>)" | "failed(<STATUS_CODE>)".
   std::string OutcomeTag() const;
@@ -56,11 +56,11 @@ struct InvocationReport {
   // Prefetcher activity (Table 3 "fetch time/size"): REAP's blocking working-set
   // fetch or FaaSnap's concurrent loader.
   Duration fetch_time;
-  uint64_t fetch_bytes = 0;
+  ByteCount fetch_bytes;
 
   // Bytes of guest pages that had to block on IO (major/in-flight/uffd-handled):
   // Table 3's "guest pagefault size".
-  uint64_t guest_pagefault_bytes = 0;
+  ByteCount guest_pagefault_bytes;
 
   // mmap calls during setup (the section 4.6 merge-threshold effect).
   uint64_t mmap_calls = 0;
@@ -70,8 +70,8 @@ struct InvocationReport {
 
   // Host memory at completion: VM-resident anonymous pages plus page-cache pages
   // (section 7.3 footprint accounting). Meaningful for single-VM runs.
-  uint64_t anon_resident_pages = 0;
-  uint64_t page_cache_pages = 0;
+  PageCount anon_resident_pages;
+  PageCount page_cache_pages;
 };
 
 // Mean/stddev across repetitions of the same (function, mode) cell.

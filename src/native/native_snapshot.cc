@@ -25,7 +25,7 @@ Result<std::unique_ptr<NativeSnapshotSession>> NativeSnapshotSession::Create(
   std::snprintf(name, sizeof(name), "%s/faasnap-native-%d.mem", config.directory.c_str(),
                 ::getpid());
   ASSIGN_OR_RETURN(session->memory_file_,
-                   NativeFile::Create(name, config.guest_pages));
+                   NativeFile::Create(name, config.guest_pages.value()));
 
   // Stamp the non-zero pages; untouched ranges stay file holes (real zeros).
   // Pages are written in contiguous runs of up to kIoBatchPages per pwrite
@@ -33,7 +33,7 @@ Result<std::unique_ptr<NativeSnapshotSession>> NativeSnapshotSession::Create(
   constexpr uint64_t kIoBatchPages = 64;
   std::vector<uint8_t> buf(kIoBatchPages * kPageSize, 0);
   for (const PageRange& r : nonzero.ranges()) {
-    if (r.end() > config.guest_pages) {
+    if (r.end() > config.guest_pages.value()) {
       return InvalidArgumentError("nonzero range outside guest");
     }
     for (PageIndex p = r.first; p < r.end(); p += kIoBatchPages) {
@@ -67,9 +67,9 @@ Result<WorkingSetGroups> NativeSnapshotSession::RecordWorkingSet(
                                           accesses.size(), group_size)
                           : kNoSpan;
   NativeRegionMapper mapper;
-  RETURN_IF_ERROR(mapper.ReserveAnonymous(config_.guest_pages));
+  RETURN_IF_ERROR(mapper.ReserveAnonymous(config_.guest_pages.value()));
   RETURN_IF_ERROR(
-      mapper.MapFileRegion(PageRange{0, config_.guest_pages}, memory_file_, 0));
+      mapper.MapFileRegion(PageRange{0, config_.guest_pages.value()}, memory_file_, 0));
 
   WorkingSetGroups groups;
   PageRangeSet recorded;
@@ -99,7 +99,7 @@ Result<WorkingSetGroups> NativeSnapshotSession::RecordWorkingSet(
 }
 
 Result<LoadingSetFile> NativeSnapshotSession::BuildAndWriteLoadingSet(
-    const WorkingSetGroups& groups, uint64_t merge_gap_pages) {
+    const WorkingSetGroups& groups, PageCount merge_gap_pages) {
   const SpanId span =
       spans_ != nullptr
           ? spans_->Begin(ObsNow(), ObsLane::kNative, "native.build_lset", groups.groups.size())
@@ -113,7 +113,7 @@ Result<LoadingSetFile> NativeSnapshotSession::BuildAndWriteLoadingSet(
   char name[256];
   std::snprintf(name, sizeof(name), "%s/faasnap-native-%d.lset", config_.directory.c_str(),
                 ::getpid());
-  ASSIGN_OR_RETURN(loading_file_, NativeFile::Create(name, loading.total_pages));
+  ASSIGN_OR_RETURN(loading_file_, NativeFile::Create(name, loading.total_pages.value()));
 
   // Copy loading-set pages from the memory file, packed by (group, address).
   // Each region is contiguous in both files, so copy it in 64-page chunks
@@ -138,7 +138,7 @@ Result<LoadingSetFile> NativeSnapshotSession::BuildAndWriteLoadingSet(
     return IoError("writing manifest " + manifest_path_);
   }
   if (spans_ != nullptr) {
-    spans_->End(span, ObsNow(), loading.total_pages);
+    spans_->End(span, ObsNow(), loading.total_pages.value());
   }
   return loading;
 }
@@ -150,7 +150,7 @@ Result<std::unique_ptr<NativeRegionMapper>> NativeSnapshotSession::RestorePerReg
           ? spans_->Begin(ObsNow(), ObsLane::kNative, obsname::kSetup, loading.regions.size())
           : kNoSpan;
   auto mapper = std::make_unique<NativeRegionMapper>();
-  RETURN_IF_ERROR(mapper->ReserveAnonymous(config_.guest_pages));
+  RETURN_IF_ERROR(mapper->ReserveAnonymous(config_.guest_pages.value()));
   uint64_t mmap_calls = 1;
   for (const PageRange& r : nonzero_.ranges()) {
     RETURN_IF_ERROR(mapper->MapFileRegion(r, memory_file_, r.first));

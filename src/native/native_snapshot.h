@@ -44,7 +44,7 @@ class NativeSnapshotSession {
  public:
   struct Config {
     std::string directory = "/tmp";
-    uint64_t guest_pages = 4096;  // 16 MiB by default: fast, still page-cache real
+    PageCount guest_pages = PageCount::FromPages(4096);  // 16 MiB default: fast, still page-cache real
   };
 
   // Creates the memory file with `nonzero` stamped pages (the rest are holes).
@@ -59,7 +59,7 @@ class NativeSnapshotSession {
   // Builds the loading set (shared core builder) and writes the compact loading
   // set file and its manifest blob to disk.
   Result<LoadingSetFile> BuildAndWriteLoadingSet(const WorkingSetGroups& groups,
-                                                 uint64_t merge_gap_pages);
+                                                 PageCount merge_gap_pages);
 
   // Restore pass: hierarchical per-region mapping per Figure 4. The returned
   // mapper owns the guest mapping.
@@ -85,7 +85,7 @@ class NativeSnapshotSession {
   void set_observability(SpanTracer* spans);
 
   const PageRangeSet& nonzero() const { return nonzero_; }
-  uint64_t guest_pages() const { return config_.guest_pages; }
+  PageCount guest_pages() const { return config_.guest_pages; }
   const std::string& manifest_path() const { return manifest_path_; }
 
  private:

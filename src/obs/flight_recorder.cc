@@ -39,10 +39,10 @@ Duration PhaseValue(const CriticalPathBreakdown& bd, size_t phase) {
   }
 }
 
-// Lexicographic (total_ns, seq): used both as the heap order (front = fastest)
+// Lexicographic (total, seq): used both as the heap order (front = fastest)
 // and as the strict "candidate beats the current fastest" eviction test —
 // seq breaks ties deterministically.
-bool Slower(int64_t a_total, uint64_t a_seq, int64_t b_total, uint64_t b_seq) {
+bool Slower(Duration a_total, uint64_t a_seq, Duration b_total, uint64_t b_seq) {
   if (a_total != b_total) {
     return a_total > b_total;
   }
@@ -53,11 +53,11 @@ bool Slower(int64_t a_total, uint64_t a_seq, int64_t b_total, uint64_t b_seq) {
 // invocation the heap front, i.e. the eviction candidate.
 bool HeapBefore(const FlightRecorder::RetainedInvocation& a,
                 const FlightRecorder::RetainedInvocation& b) {
-  return Slower(a.total_ns, a.seq, b.total_ns, b.seq);
+  return Slower(a.total, a.seq, b.total, b.seq);
 }
 
 // Latency histogram spanning 1us .. ~16s: wide enough for whole invocations.
-constexpr int64_t kDigestLowerNs = 1000;
+constexpr Duration kDigestLower = Duration::Micros(1);
 constexpr int kDigestBuckets = 24;
 
 void HistogramFields(JsonWriter* json, const Log2Histogram& h) {
@@ -94,10 +94,10 @@ void FlightRecorder::Configure(const ForensicsConfig& config, MetricsRegistry* m
   FAASNAP_CHECK(config.buffer_capacity > 0);
   config_ = config;
   buffer_ = std::make_unique<SpanTracer>(config.buffer_capacity);
-  total_digest_ = std::make_unique<Log2Histogram>(kDigestLowerNs, kDigestBuckets);
+  total_digest_ = std::make_unique<Log2Histogram>(kDigestLower, kDigestBuckets);
   phase_digests_.reserve(kPhaseCount);
   for (size_t i = 0; i < kPhaseCount; ++i) {
-    phase_digests_.push_back(std::make_unique<Log2Histogram>(kDigestLowerNs, kDigestBuckets));
+    phase_digests_.push_back(std::make_unique<Log2Histogram>(kDigestLower, kDigestBuckets));
   }
   if (metrics != nullptr) {
     for (size_t i = 0; i < kForensicOutcomeCount; ++i) {
@@ -110,8 +110,8 @@ void FlightRecorder::Configure(const ForensicsConfig& config, MetricsRegistry* m
     retained_non_ok_metric_ =
         metrics->GetCounter("forensics.retained", {{"reason", "non_ok"}});
     dropped_non_ok_metric_ = metrics->GetCounter("forensics.dropped_non_ok");
-    total_ns_metric_ =
-        metrics->GetHistogram("forensics.total_ns", {}, kDigestLowerNs, kDigestBuckets);
+    total_metric_ =
+        metrics->GetHistogram("forensics.total_ns", {}, kDigestLower, kDigestBuckets);
   }
 }
 
@@ -123,7 +123,7 @@ void FlightRecorder::OnInvokeBegin() {
 }
 
 void FlightRecorder::OnInvokeEnd(SpanId invoke_span, ForensicOutcome outcome,
-                                 std::string_view function, int64_t total_ns) {
+                                 std::string_view function, Duration total) {
   if (!enabled()) {
     return;
   }
@@ -134,9 +134,9 @@ void FlightRecorder::OnInvokeEnd(SpanId invoke_span, ForensicOutcome outcome,
   if (outcome_metrics_[idx] != nullptr) {
     outcome_metrics_[idx]->Add();
   }
-  total_digest_->Record(Duration::Nanos(total_ns));
-  if (total_ns_metric_ != nullptr) {
-    total_ns_metric_->Record(Duration::Nanos(total_ns));
+  total_digest_->Record(total);
+  if (total_metric_ != nullptr) {
+    total_metric_->Record(total);
   }
 
   std::optional<CriticalPathBreakdown> bd = AnalyzeInvokeSpan(*buffer_, invoke_span);
@@ -150,7 +150,7 @@ void FlightRecorder::OnInvokeEnd(SpanId invoke_span, ForensicOutcome outcome,
     }
     if (outcome != ForensicOutcome::kOk) {
       if (non_ok_.size() < config_.max_non_ok) {
-        non_ok_.push_back(Extract(invoke_span, outcome, function, total_ns, *bd));
+        non_ok_.push_back(Extract(invoke_span, outcome, function, total, *bd));
         non_ok_.back().seq = seq;
         if (retained_non_ok_metric_ != nullptr) {
           retained_non_ok_metric_->Add();
@@ -163,12 +163,12 @@ void FlightRecorder::OnInvokeEnd(SpanId invoke_span, ForensicOutcome outcome,
       }
     } else if (config_.slowest_k > 0) {
       const bool room = slowest_.size() < config_.slowest_k;
-      if (room || Slower(total_ns, seq, slowest_.front().total_ns, slowest_.front().seq)) {
+      if (room || Slower(total, seq, slowest_.front().total, slowest_.front().seq)) {
         if (!room) {
           std::pop_heap(slowest_.begin(), slowest_.end(), HeapBefore);
           slowest_.pop_back();
         }
-        slowest_.push_back(Extract(invoke_span, outcome, function, total_ns, *bd));
+        slowest_.push_back(Extract(invoke_span, outcome, function, total, *bd));
         slowest_.back().seq = seq;
         std::push_heap(slowest_.begin(), slowest_.end(), HeapBefore);
         if (retained_slowest_metric_ != nullptr) {
@@ -196,12 +196,12 @@ void FlightRecorder::MaybeRecycle() {
 }
 
 FlightRecorder::RetainedInvocation FlightRecorder::Extract(
-    SpanId invoke_span, ForensicOutcome outcome, std::string_view function, int64_t total_ns,
+    SpanId invoke_span, ForensicOutcome outcome, std::string_view function, Duration total,
     const CriticalPathBreakdown& breakdown) const {
   RetainedInvocation out;
   out.function = std::string(function);
   out.outcome = outcome;
-  out.total_ns = total_ns;
+  out.total = total;
   out.breakdown = breakdown;
   const std::vector<SpanRecord>& records = buffer_->records();
   if (invoke_span == kNoSpan || invoke_span > records.size()) {
@@ -354,7 +354,7 @@ std::string FlightRecorder::SummaryToJson() const {
         .Field("seq", inv->seq)
         .Field("function", inv->function)
         .Field("outcome", std::string(ForensicOutcomeName(inv->outcome)))
-        .Field("total_ns", inv->total_ns)
+        .Field("total_ns", inv->total)
         .Field("spans", static_cast<int64_t>(inv->spans.size()))
         .Field("dispatch_ns", inv->breakdown.dispatch.nanos())
         .Field("setup_cpu_ns", inv->breakdown.setup_cpu.nanos())

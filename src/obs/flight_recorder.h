@@ -79,7 +79,7 @@ class FlightRecorder {
     uint64_t seq = 0;  // invocation ordinal within the recorder's lifetime
     std::string function;
     ForensicOutcome outcome = ForensicOutcome::kOk;
-    int64_t total_ns = 0;
+    Duration total;
     CriticalPathBreakdown breakdown;
     std::vector<SpanRecord> spans;   // rec.name indexes `names`, 1-based parents
     std::vector<std::string> names;  // local intern table
@@ -105,7 +105,7 @@ class FlightRecorder {
   // (buffer exhausted): the invocation still counts, with no span detail.
   void OnInvokeBegin();
   void OnInvokeEnd(SpanId invoke_span, ForensicOutcome outcome, std::string_view function,
-                   int64_t total_ns);
+                   Duration total);
 
   // Recycles the buffer if safe (no invocation in flight, no open span).
   // Platform calls this after non-invocation phases (Record) too.
@@ -134,7 +134,7 @@ class FlightRecorder {
 
  private:
   RetainedInvocation Extract(SpanId invoke_span, ForensicOutcome outcome,
-                             std::string_view function, int64_t total_ns,
+                             std::string_view function, Duration total,
                              const CriticalPathBreakdown& breakdown) const;
 
   ForensicsConfig config_;
@@ -149,7 +149,7 @@ class FlightRecorder {
   std::vector<std::unique_ptr<Log2Histogram>> phase_digests_;  // kPhaseCount
 
   // Tail retention.
-  std::vector<RetainedInvocation> slowest_;  // min-heap by (total_ns, seq)
+  std::vector<RetainedInvocation> slowest_;  // min-heap by (total, seq)
   std::vector<RetainedInvocation> non_ok_;
   int64_t dropped_non_ok_ = 0;
   size_t in_flight_ = 0;
@@ -159,7 +159,7 @@ class FlightRecorder {
   Counter* retained_slowest_metric_ = nullptr;
   Counter* retained_non_ok_metric_ = nullptr;
   Counter* dropped_non_ok_metric_ = nullptr;
-  Log2Histogram* total_ns_metric_ = nullptr;
+  Log2Histogram* total_metric_ = nullptr;
 };
 
 }  // namespace faasnap

@@ -48,11 +48,11 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
 }
 
 Log2Histogram* MetricsRegistry::GetHistogram(const std::string& name, MetricLabels labels,
-                                             int64_t lower_ns, int num_buckets) {
+                                             Duration lower_edge, int num_buckets) {
   Entry* entry = Resolve(name, std::move(labels), Kind::kHistogram);
   MutexLock lock(mu_);
   if (entry->histogram == nullptr) {
-    entry->histogram = std::make_unique<Log2Histogram>(lower_ns, num_buckets);
+    entry->histogram = std::make_unique<Log2Histogram>(lower_edge, num_buckets);
   }
   return entry->histogram.get();
 }
@@ -135,7 +135,7 @@ std::string MetricsRegistry::ToJson() const {
             continue;  // sparse: most series touch a few buckets
           }
           json.BeginObject()
-              .Field("upper_ns", h.bucket_upper_ns(i))
+              .Field("upper_ns", h.bucket_upper(i))
               .Field("count", h.bucket_count(i))
               .EndObject();
         }

@@ -91,9 +91,9 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name, MetricLabels labels = {})
       FAASNAP_EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, MetricLabels labels = {}) FAASNAP_EXCLUDES(mu_);
-  // `lower_ns`/`num_buckets` apply only on first creation of the series.
+  // `lower_edge`/`num_buckets` apply only on first creation of the series.
   Log2Histogram* GetHistogram(const std::string& name, MetricLabels labels = {},
-                              int64_t lower_ns = 500, int num_buckets = 11)
+                              Duration lower_edge = Duration::Nanos(500), int num_buckets = 11)
       FAASNAP_EXCLUDES(mu_);
 
   size_t size() const FAASNAP_EXCLUDES(mu_);

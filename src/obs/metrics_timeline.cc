@@ -22,7 +22,7 @@ void MetricsTimeline::BeginEpoch(const std::string& label) {
   if (!enabled()) {
     return;
   }
-  EmitWindow(std::max(last_now_ns_, window_start_ns_));
+  EmitWindow(Max(last_now_, window_start_));
   // The first BeginEpoch names epoch 0 rather than burning an ordinal on the
   // empty pre-run span; later calls mark real repetition boundaries.
   if (epoch_consumed_) {
@@ -31,8 +31,8 @@ void MetricsTimeline::BeginEpoch(const std::string& label) {
   epoch_consumed_ = true;
   label_ = label;
   window_ = 0;
-  window_start_ns_ = 0;
-  last_now_ns_ = 0;
+  window_start_ = SimTime();
+  last_now_ = SimTime();
 }
 
 void MetricsTimeline::Advance(SimTime now) {
@@ -40,29 +40,28 @@ void MetricsTimeline::Advance(SimTime now) {
     return;
   }
   const int64_t win = config_.window.nanos();
-  const int64_t ns = now.nanos();
-  last_now_ns_ = std::max(last_now_ns_, ns);
-  const int64_t w = ns / win;
+  last_now_ = Max(last_now_, now);
+  const int64_t w = now.nanos() / win;
   if (w <= window_) {
     return;  // still inside the open window
   }
-  EmitWindow(w * win);
+  EmitWindow(SimTime::FromNanos(w * win));
   window_ = w;
-  window_start_ns_ = w * win;
+  window_start_ = SimTime::FromNanos(w * win);
 }
 
 void MetricsTimeline::Flush(SimTime now) {
   if (!enabled()) {
     return;
   }
-  const int64_t ns = std::max({now.nanos(), window_start_ns_, last_now_ns_});
-  EmitWindow(ns);
-  window_start_ns_ = ns;
-  window_ = ns / config_.window.nanos();
-  last_now_ns_ = std::max(last_now_ns_, ns);
+  const SimTime end = Max(Max(now, window_start_), last_now_);
+  EmitWindow(end);
+  window_start_ = end;
+  window_ = end.nanos() / config_.window.nanos();
+  last_now_ = Max(last_now_, end);
 }
 
-void MetricsTimeline::EmitWindow(int64_t end_ns) {
+void MetricsTimeline::EmitWindow(SimTime end) {
   scratch_.clear();
   registry_->Visit([this](const MetricsRegistry::InstrumentView& view) {
     if (view.index >= state_.size()) {
@@ -112,8 +111,8 @@ void MetricsTimeline::EmitWindow(int64_t end_ns) {
         p.labels = view.labels;
         p.kind = view.kind;
         p.delta_count = delta_count;
-        p.delta_total_ns = h->total_time().nanos() - prev.hist_total_ns;
-        p.lower_ns = h->lower_ns();
+        p.delta_total = h->total_time() - prev.hist_total;
+        p.lower_edge = h->lower_edge();
         const size_t buckets = static_cast<size_t>(h->num_buckets());
         prev.buckets.resize(buckets, 0);
         p.delta_buckets.resize(buckets, 0);
@@ -123,7 +122,7 @@ void MetricsTimeline::EmitWindow(int64_t end_ns) {
           prev.buckets[i] = c;
         }
         prev.hist_count = h->total_count();
-        prev.hist_total_ns = h->total_time().nanos();
+        prev.hist_total = h->total_time();
         return;
       }
     }
@@ -137,8 +136,8 @@ void MetricsTimeline::EmitWindow(int64_t end_ns) {
       .Field("epoch", epoch_)
       .Field("label", label_)
       .Field("window", window_)
-      .Field("start_ns", window_start_ns_)
-      .Field("end_ns", end_ns)
+      .Field("start_ns", window_start_)
+      .Field("end_ns", end)
       .Key("metrics")
       .BeginArray();
   for (const Pending& p : scratch_) {
@@ -158,11 +157,11 @@ void MetricsTimeline::EmitWindow(int64_t end_ns) {
       case MetricsRegistry::Kind::kHistogram: {
         json.Field("type", "histogram")
             .Field("delta_count", p.delta_count)
-            .Field("delta_total_ns", p.delta_total_ns);
+            .Field("delta_total_ns", p.delta_total);
         if (config_.quantiles) {
-          json.Field("p50_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_ns, 0.50))
-              .Field("p95_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_ns, 0.95))
-              .Field("p99_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_ns, 0.99));
+          json.Field("p50_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_edge, 0.50))
+              .Field("p95_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_edge, 0.95))
+              .Field("p99_ns", EstimateLog2Quantile(p.delta_buckets, p.lower_edge, 0.99));
         }
         json.Key("delta_buckets").BeginArray();
         for (size_t i = 0; i < p.delta_buckets.size(); ++i) {
@@ -171,7 +170,7 @@ void MetricsTimeline::EmitWindow(int64_t end_ns) {
           }
           const int64_t upper = i + 1 == p.delta_buckets.size()
                                     ? INT64_MAX
-                                    : p.lower_ns << static_cast<int64_t>(i);
+                                    : p.lower_edge.nanos() << static_cast<int64_t>(i);
           json.BeginObject().Field("upper_ns", upper).Field("count", p.delta_buckets[i]).EndObject();
         }
         json.EndArray();

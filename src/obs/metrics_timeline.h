@@ -93,7 +93,7 @@ class MetricsTimeline {
     double gauge_max = 0;
     std::vector<int64_t> buckets;
     int64_t hist_count = 0;
-    int64_t hist_total_ns = 0;
+    Duration hist_total;
   };
 
   // One moved series, staged between the registry sweep and line emission.
@@ -107,13 +107,13 @@ class MetricsTimeline {
     double gauge_max = 0;
     std::vector<int64_t> delta_buckets;
     int64_t delta_count = 0;
-    int64_t delta_total_ns = 0;
-    int64_t lower_ns = 0;
+    Duration delta_total;
+    Duration lower_edge;
   };
 
-  // Closes the window [window_start_ns_, end_ns): emits a line if any series
+  // Closes the window [window_start_, end): emits a line if any series
   // moved, and advances the per-series baselines either way.
-  void EmitWindow(int64_t end_ns);
+  void EmitWindow(SimTime end);
 
   const MetricsRegistry* registry_ = nullptr;
   MetricsTimelineConfig config_;
@@ -124,9 +124,9 @@ class MetricsTimeline {
   int64_t epoch_ = 0;
   bool epoch_consumed_ = false;
   std::string label_;
-  int64_t window_ = 0;           // index of the open window within the epoch
-  int64_t window_start_ns_ = 0;  // start of the open (possibly coalesced) window
-  int64_t last_now_ns_ = 0;
+  int64_t window_ = 0;        // index of the open window within the epoch
+  SimTime window_start_;      // start of the open (possibly coalesced) window
+  SimTime last_now_;
   int64_t lines_emitted_ = 0;
 };
 

@@ -49,7 +49,7 @@ void FinishMappingSetup(RestoreEnv* env, uint64_t mmap_calls, std::function<void
 // Whole-file mapping: one mmap covering the entire guest space (vanilla
 // Firecracker restore).
 void MapWholeFile(RestoreEnv* env, const MemoryFile& memory) {
-  env->space->Map({.guest = {0, env->snapshot->guest_pages},
+  env->space->Map({.guest = {0, env->snapshot->guest_pages.value()},
                    .kind = BackingKind::kFile,
                    .file = memory.id,
                    .file_start = 0});
@@ -58,7 +58,7 @@ void MapWholeFile(RestoreEnv* env, const MemoryFile& memory) {
 // Per-region hierarchy (Figure 4): anonymous base layer, then non-zero regions of
 // the memory file MAP_FIXED'd over it.
 uint64_t MapPerRegionBase(RestoreEnv* env, const MemoryFile& memory) {
-  env->space->Map({.guest = {0, env->snapshot->guest_pages}, .kind = BackingKind::kAnonymous});
+  env->space->Map({.guest = {0, env->snapshot->guest_pages.value()}, .kind = BackingKind::kAnonymous});
   for (const PageRange& r : memory.nonzero.ranges()) {
     env->space->Map({.guest = r,
                      .kind = BackingKind::kFile,
@@ -79,8 +79,8 @@ void MarkHugeRegionsFromLoadingSet(RestoreEnv* env) {
     return;
   }
   env->space->ConfigureHugeRegions(fp.huge_region_pages);
-  const uint64_t region_pages = fp.huge_region_pages;
-  const uint64_t guest_pages = env->snapshot->guest_pages;
+  const uint64_t region_pages = fp.huge_region_pages.value();
+  const uint64_t guest_pages = env->snapshot->guest_pages.value();
   std::map<PageIndex, uint64_t> covered;  // window start -> loading-set pages in it
   for (const LoadingRegion& region : env->snapshot->loading_set.regions) {
     PageIndex p = region.guest.first;
@@ -116,7 +116,7 @@ class WarmPolicy final : public RestorePolicy {
   void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
     // Warm VMs booted from images map guest memory to host anonymous memory; the
     // record invocation's pages are already resident (section 3.3).
-    env->space->Map({.guest = {0, env->snapshot->guest_pages}, .kind = BackingKind::kAnonymous});
+    env->space->Map({.guest = {0, env->snapshot->guest_pages.value()}, .kind = BackingKind::kAnonymous});
     for (const PageRange& r : env->snapshot->record_touched.ranges()) {
       env->space->SetInstallState(r, PageInstallState::kPresent);
     }
@@ -139,7 +139,7 @@ class ColdBootPolicy final : public RestorePolicy {
   }
 
   void SetupMemory(RestoreEnv* env, std::function<void()> ready) override {
-    env->space->Map({.guest = {0, env->snapshot->guest_pages}, .kind = BackingKind::kAnonymous});
+    env->space->Map({.guest = {0, env->snapshot->guest_pages.value()}, .kind = BackingKind::kAnonymous});
     // Initialization leaves the runtime state resident, like a warm VM.
     for (const PageRange& r : env->snapshot->record_touched.ranges()) {
       env->space->SetInstallState(r, PageInstallState::kPresent);
@@ -166,7 +166,7 @@ class CachedPolicy final : public RestorePolicy {
     // The entire memory file sits in the page cache before the test (the preload
     // is not charged: Cached is the in-memory reference point, section 6.2).
     env->cache->Insert(env->snapshot->memory_vanilla.id,
-                       PageRange{0, env->snapshot->guest_pages});
+                       PageRange{0, env->snapshot->guest_pages.value()});
     MapWholeFile(env, env->snapshot->memory_vanilla);
     FinishMappingSetup(env, 1, std::move(ready));
   }
@@ -216,7 +216,7 @@ class ReapUffdHandler final : public UffdHandler {
           // offer it for one multi-page UFFDIO_COPY. Weighted toward pages
           // after the fault — that is where a streaming guest goes next.
           const uint64_t max_batch =
-              std::max<uint64_t>(env_->config->fault_path.uffd_batch_max_pages, 1);
+              std::max<uint64_t>(env_->config->fault_path.uffd_batch_max_pages.value(), 1);
           const uint64_t before = max_batch / 4;
           PageRange run =
               env_->cache->PresentRunAround(mem, guest_page, before, max_batch - before - 1);
@@ -245,16 +245,16 @@ class ReapPolicy final : public RestorePolicy {
     MapWholeFile(env, env->snapshot->memory_vanilla);
     handler_.Bind(env);
     PageRangeSet whole;
-    whole.Add(0, env->snapshot->guest_pages);
+    whole.Add(0, env->snapshot->guest_pages.value());
     env->engine->RegisterUffd(std::move(whole), &handler_);
 
     // Blocking fetch: the entire working set file in one read that bypasses the
     // page cache (maximizing bandwidth but forgoing cache sharing, section 6.6),
     // then UFFDIO_COPY-install every page before the VM starts.
-    const uint64_t ws_pages = env->snapshot->reap_ws.size_pages();
+    const PageCount ws_pages = env->snapshot->reap_ws.size_pages();
     const SimTime fetch_start = env->sim->now();
     fetch_bytes_ = PagesToBytes(ws_pages);
-    if (ws_pages == 0) {
+    if (ws_pages.is_zero()) {
       FinishMappingSetup(env, 1, std::move(ready));
       return;
     }
@@ -262,10 +262,11 @@ class ReapPolicy final : public RestorePolicy {
     // start is blocked on the working set (Table 3's fetch time).
     const SpanId fetch_span =
         env->spans != nullptr
-            ? env->spans->Begin(fetch_start, ObsLane::kUffd, obsname::kReapFetch, ws_pages, 0,
+            ? env->spans->Begin(fetch_start, ObsLane::kUffd, obsname::kReapFetch,
+                                ws_pages.value(), 0,
                                 env->setup_span)
             : kNoSpan;
-    env->storage->ReadWithStatus(env->snapshot->reap_ws.id, 0, fetch_bytes_,
+    env->storage->ReadWithStatus(env->snapshot->reap_ws.id, 0, fetch_bytes_.value(),
                                  [this, env, ws_pages, fetch_start, fetch_span,
                                   ready = std::move(ready)](Status status) mutable {
       if (!status.ok()) {
@@ -273,7 +274,7 @@ class ReapPolicy final : public RestorePolicy {
         // uffd paging. No page is preinstalled; every working-set fault goes
         // through the monitor's pread of the memory file instead. The VM still
         // starts — slower, but correct.
-        fetch_bytes_ = 0;
+        fetch_bytes_ = ByteCount::Zero();
         fetch_time_ = env->sim->now() - fetch_start;
         env->degrade_status = std::move(status);
         env->degrade_label = "reap-on-demand";
@@ -298,7 +299,8 @@ class ReapPolicy final : public RestorePolicy {
                          static_cast<int64_t>(r.count);
         }
       } else {
-        install = env->config->host_costs.uffd_copy_page * static_cast<int64_t>(ws_pages);
+        install =
+            env->config->host_costs.uffd_copy_page * static_cast<int64_t>(ws_pages.value());
       }
       env->sim->ScheduleAfter(install, [this, env, batched, ws_runs = std::move(ws_runs),
                                         fetch_start, fetch_span,
@@ -313,10 +315,10 @@ class ReapPolicy final : public RestorePolicy {
             env->space->SetInstallState(page, PageInstallState::kSoftPresent);
           }
         }
-        env->space->NoteAnonCopies(env->snapshot->reap_ws.size_pages());
+        env->space->NoteAnonCopies(env->snapshot->reap_ws.size_pages().value());
         fetch_time_ = env->sim->now() - fetch_start;
         if (env->spans != nullptr) {
-          env->spans->End(fetch_span, env->sim->now(), fetch_bytes_);
+          env->spans->End(fetch_span, env->sim->now(), fetch_bytes_.value());
         }
         FinishMappingSetup(env, 1, std::move(ready));
       });
@@ -324,12 +326,12 @@ class ReapPolicy final : public RestorePolicy {
   }
 
   Duration blocking_fetch_time() const override { return fetch_time_; }
-  uint64_t blocking_fetch_bytes() const override { return fetch_bytes_; }
+  ByteCount blocking_fetch_bytes() const override { return fetch_bytes_; }
 
  private:
   ReapUffdHandler handler_;
   Duration fetch_time_;
-  uint64_t fetch_bytes_ = 0;
+  ByteCount fetch_bytes_;
 };
 
 // Figure 9 ablation step 1: concurrent paging only. Vanilla whole-file mapping;
@@ -396,11 +398,11 @@ class FaasnapPolicy final : public RestorePolicy {
   }
 
   std::vector<PrefetchItem> PrefetchPlan(const RestoreEnv& env) const override {
-    if (env.snapshot->loading_set.total_pages == 0) {
+    if (env.snapshot->loading_set.total_pages.is_zero()) {
       return {};
     }
     return {PrefetchItem{env.snapshot->loading_set.id,
-                         PageRange{0, env.snapshot->loading_set.total_pages}}};
+                         PageRange{0, env.snapshot->loading_set.total_pages.value()}}};
   }
 };
 

@@ -91,7 +91,7 @@ class RestorePolicy {
   // Fetch work performed synchronously inside SetupMemory (REAP's working-set
   // fetch); reported as Table 3's fetch time/size for blocking fetchers.
   virtual Duration blocking_fetch_time() const { return Duration::Zero(); }
-  virtual uint64_t blocking_fetch_bytes() const { return 0; }
+  virtual ByteCount blocking_fetch_bytes() const { return ByteCount::Zero(); }
 };
 
 }  // namespace faasnap

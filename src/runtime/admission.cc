@@ -14,18 +14,21 @@ AdmissionController::AdmissionController(Simulation* sim, AdmissionConfig config
   FAASNAP_CHECK(hooks_.run != nullptr && hooks_.shed != nullptr);
 }
 
-uint64_t AdmissionController::effective_budget() const {
-  const double scaled = static_cast<double>(config_.memory_budget_bytes) * budget_scale_;
-  return scaled < 0.0 ? 0 : static_cast<uint64_t>(scaled);
+ByteCount AdmissionController::effective_budget() const {
+  const double scaled =
+      static_cast<double>(config_.memory_budget_bytes.value()) * budget_scale_;
+  return ByteCount::FromBytes(scaled < 0.0 ? 0 : static_cast<uint64_t>(scaled));
 }
 
 double AdmissionController::memory_utilization() const {
-  const uint64_t budget = effective_budget();
-  if (config_.memory_budget_bytes == 0 || budget == 0) {
+  const ByteCount budget = effective_budget();
+  if (config_.memory_budget_bytes.is_zero() || budget.is_zero()) {
     return 0.0;
   }
-  const uint64_t pinned = hooks_.pinned_bytes != nullptr ? hooks_.pinned_bytes() : 0;
-  return static_cast<double>(committed_bytes_ + pinned) / static_cast<double>(budget);
+  const ByteCount pinned =
+      hooks_.pinned_bytes != nullptr ? hooks_.pinned_bytes() : ByteCount::Zero();
+  return static_cast<double>((committed_bytes_ + pinned).value()) /
+         static_cast<double>(budget.value());
 }
 
 bool AdmissionController::AtFairnessCap(size_t function_index) const {
@@ -40,19 +43,21 @@ bool AdmissionController::AtFairnessCap(size_t function_index) const {
   return held >= std::max<int64_t>(cap, 1);
 }
 
-bool AdmissionController::MemoryFits(uint64_t predicted_bytes) {
-  if (config_.memory_budget_bytes == 0) {
+bool AdmissionController::MemoryFits(ByteCount predicted_bytes) {
+  if (config_.memory_budget_bytes.is_zero()) {
     return true;
   }
-  const uint64_t budget = effective_budget();
-  const auto pinned = [&] { return hooks_.pinned_bytes != nullptr ? hooks_.pinned_bytes() : 0; };
+  const ByteCount budget = effective_budget();
+  const auto pinned = [&] {
+    return hooks_.pinned_bytes != nullptr ? hooks_.pinned_bytes() : ByteCount::Zero();
+  };
   if (committed_bytes_ + pinned() + predicted_bytes <= budget) {
     return true;
   }
   // The idle warm pool is reclaimable capacity: ask the owner to evict before
   // treating the request as unservable right now.
   if (hooks_.make_room != nullptr) {
-    const uint64_t over = committed_bytes_ + pinned() + predicted_bytes - budget;
+    const ByteCount over = committed_bytes_ + pinned() + predicted_bytes - budget;
     hooks_.make_room(over);
   }
   return committed_bytes_ + pinned() + predicted_bytes <= budget;

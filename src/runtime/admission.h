@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/common/units.h"
 #include "src/metrics/report.h"
 #include "src/sim/simulation.h"
 
@@ -47,8 +48,8 @@ struct AdmissionConfig {
   // (kShedDeadline).
   Duration queue_deadline = Duration::Millis(500);
   // Host memory budget covering the idle warm pool (hooks.pinned_bytes) plus
-  // the predicted footprint of in-flight work. 0 disables memory admission.
-  uint64_t memory_budget_bytes = 0;
+  // the predicted footprint of in-flight work. Zero disables memory admission.
+  ByteCount memory_budget_bytes;
   // Per-function fairness: no function may hold more than
   // ceil(fairness_share * max_concurrency) slots while others wait. 0 disables.
   double fairness_share = 0.0;
@@ -60,7 +61,7 @@ struct AdmissionConfig {
 struct AdmissionRequest {
   uint64_t id = 0;
   size_t function_index = 0;
-  uint64_t predicted_bytes = 0;
+  ByteCount predicted_bytes;
   SimTime arrival;
 };
 
@@ -76,10 +77,10 @@ class AdmissionController {
     std::function<void(const AdmissionRequest&, InvocationOutcome, Duration)> shed;
     // Bytes pinned outside this controller's accounting — the idle warm pool.
     // May be null (counts as 0).
-    std::function<uint64_t()> pinned_bytes;
+    std::function<ByteCount()> pinned_bytes;
     // Asks the owner to unpin bytes (evict idle warm VMs) so a restore fits.
     // Best effort; may be null.
-    std::function<void(uint64_t)> make_room;
+    std::function<void(ByteCount)> make_room;
   };
 
   struct Stats {
@@ -109,7 +110,7 @@ class AdmissionController {
 
   int in_flight() const { return in_flight_; }
   size_t queue_depth() const { return queue_.size(); }
-  uint64_t committed_bytes() const { return committed_bytes_; }
+  ByteCount committed_bytes() const { return committed_bytes_; }
   // (committed + pinned) / effective budget; 0 when memory admission is off.
   double memory_utilization() const;
   const Stats& stats() const { return stats_; }
@@ -119,9 +120,9 @@ class AdmissionController {
     AdmissionRequest request;
   };
 
-  uint64_t effective_budget() const;
+  ByteCount effective_budget() const;
   bool AtFairnessCap(size_t function_index) const;
-  bool MemoryFits(uint64_t predicted_bytes);
+  bool MemoryFits(ByteCount predicted_bytes);
   void Admit(const AdmissionRequest& request);
   // Dispatches queued requests in FIFO order; fairness- or memory-blocked
   // entries are skipped so an eligible later arrival is not head-blocked (the
@@ -135,7 +136,7 @@ class AdmissionController {
   std::deque<QueuedRequest> queue_;
   std::vector<int64_t> per_function_in_flight_;  // grown on demand
   int in_flight_ = 0;
-  uint64_t committed_bytes_ = 0;
+  ByteCount committed_bytes_;
   double budget_scale_ = 1.0;
   Stats stats_;
 };

@@ -29,7 +29,7 @@ Duration ScaleDuration(Duration d, double scale) {
 HostScheduler::HostScheduler(Platform* platform, HostSchedulerConfig config)
     : platform_(platform), config_(config) {
   FAASNAP_CHECK(platform_ != nullptr);
-  FAASNAP_CHECK(config_.warm_pool_budget_bytes > 0);
+  FAASNAP_CHECK(!config_.warm_pool_budget_bytes.is_zero());
 }
 
 size_t HostScheduler::AddFunction(const FunctionSpec& spec) {
@@ -40,7 +40,8 @@ size_t HostScheduler::AddFunction(const FunctionSpec& spec) {
       platform_->Record(*entry->owned_generator, MakeInputA(spec)));
   entry->generator = entry->owned_generator.get();
   entry->snapshot = entry->owned_snapshot.get();
-  entry->ws_bytes = PagesToBytes(entry->snapshot->record_touched.page_count());
+  entry->ws_bytes =
+      PagesToBytes(PageCount::FromPages(entry->snapshot->record_touched.page_count()));
   entries_.push_back(std::move(entry));
   return entries_.size() - 1;
 }
@@ -51,7 +52,7 @@ size_t HostScheduler::AddRecordedFunction(const FunctionSnapshot* snapshot,
   auto entry = std::make_unique<Entry>();
   entry->generator = generator;
   entry->snapshot = snapshot;
-  entry->ws_bytes = PagesToBytes(snapshot->record_touched.page_count());
+  entry->ws_bytes = PagesToBytes(PageCount::FromPages(snapshot->record_touched.page_count()));
   entries_.push_back(std::move(entry));
   return entries_.size() - 1;
 }
@@ -78,7 +79,7 @@ void HostScheduler::MarkCold(Entry* entry) {
   lru_.erase(entry->lru_it);
 }
 
-void HostScheduler::ReclaimAndEvict(uint64_t needed, Duration keep_warm,
+void HostScheduler::ReclaimAndEvict(ByteCount needed, Duration keep_warm,
                                     HostSchedulerStats* stats) {
   const SimTime now = platform_->sim()->now();
   // Keep-alive horizon first. The LRU list is ordered by last_used, so the
@@ -95,8 +96,8 @@ void HostScheduler::ReclaimAndEvict(uint64_t needed, Duration keep_warm,
   }
 }
 
-void HostScheduler::EvictIdleBytes(uint64_t bytes, HostSchedulerStats* stats) {
-  uint64_t freed = 0;
+void HostScheduler::EvictIdleBytes(ByteCount bytes, HostSchedulerStats* stats) {
+  ByteCount freed;
   while (freed < bytes && !lru_.empty()) {
     freed += lru_.front()->ws_bytes;
     MarkCold(lru_.front());
@@ -135,10 +136,10 @@ HostSchedulerStats HostScheduler::RunClosedLoop(const std::vector<Arrival>& arri
     const SimTime at = last_completion + arrival.gap;
     const SimTime before = sim->now();
     sim->RunUntil(at);
-    pool_byte_time += static_cast<double>(pool_bytes_) * (sim->now() - before).seconds();
+    pool_byte_time += static_cast<double>(pool_bytes_.value()) * (sim->now() - before).seconds();
 
     Entry& entry = *entries_[arrival.function_index];
-    ReclaimAndEvict(entry.warm ? 0 : entry.ws_bytes, config_.keep_warm, &stats);
+    ReclaimAndEvict(entry.warm ? ByteCount::Zero() : entry.ws_bytes, config_.keep_warm, &stats);
     const bool warm = entry.warm;
     if (!warm) {
       // Cold pool slot: this function's pages are not resident; other tenants
@@ -183,7 +184,8 @@ HostSchedulerStats HostScheduler::RunClosedLoop(const std::vector<Arrival>& arri
     }
     stats.latency_ms.Record(latency.millis());
     pool_byte_time +=
-        static_cast<double>(pool_bytes_ + (warm ? 0 : entry.ws_bytes)) * latency.seconds();
+        static_cast<double>((pool_bytes_ + (warm ? ByteCount::Zero() : entry.ws_bytes)).value()) *
+        latency.seconds();
 
     if (warm_hits_metric != nullptr) {
       (warm ? warm_hits_metric : misses_metric)->Add(1);
@@ -198,7 +200,7 @@ HostSchedulerStats HostScheduler::RunClosedLoop(const std::vector<Arrival>& arri
     }
     last_completion = sim->now();
     if (pool_gauge != nullptr) {
-      pool_gauge->Set(static_cast<double>(pool_bytes_));
+      pool_gauge->Set(static_cast<double>(pool_bytes_.value()));
     }
   }
 
@@ -265,7 +267,7 @@ HostSchedulerStats HostScheduler::RunOpenLoop(const std::vector<Arrival>& arriva
   // Time-weighted resident bytes: the idle pool plus the predicted footprint
   // of admitted in-flight work.
   const auto accrue = [&](SimTime now) {
-    pool_byte_time += static_cast<double>(pool_bytes_ + admission->committed_bytes()) *
+    pool_byte_time += static_cast<double>((pool_bytes_ + admission->committed_bytes()).value()) *
                       (now - last_accrual).seconds();
     last_accrual = now;
   };
@@ -278,7 +280,7 @@ HostSchedulerStats HostScheduler::RunOpenLoop(const std::vector<Arrival>& arriva
 
   AdmissionController::Hooks hooks;
   hooks.pinned_bytes = [this] { return pool_bytes_; };
-  hooks.make_room = [&](uint64_t bytes) { EvictIdleBytes(bytes, &stats); };
+  hooks.make_room = [&](ByteCount bytes) { EvictIdleBytes(bytes, &stats); };
   hooks.shed = [&](const AdmissionRequest& request, InvocationOutcome outcome, Duration wait) {
     (void)wait;  // the shed report derives its own wait from request.arrival
     accrue(sim->now());
@@ -302,7 +304,7 @@ HostSchedulerStats HostScheduler::RunOpenLoop(const std::vector<Arrival>& arriva
     accrue(now);
     Entry& entry = *entries_[request.function_index];
     // L3 tightens the keep-alive horizon; idle VMs go back to snapshots sooner.
-    ReclaimAndEvict(entry.warm ? 0 : entry.ws_bytes,
+    ReclaimAndEvict(entry.warm ? ByteCount::Zero() : entry.ws_bytes,
                     ScaleDuration(config_.keep_warm, ladder.keep_warm_scale()), &stats);
     const bool warm = entry.warm;
     if (warm) {
@@ -361,7 +363,7 @@ HostSchedulerStats HostScheduler::RunOpenLoop(const std::vector<Arrival>& arriva
             served.last_used = done_at;
           }
           if (pool_gauge != nullptr) {
-            pool_gauge->Set(static_cast<double>(pool_bytes_));
+            pool_gauge->Set(static_cast<double>(pool_bytes_.value()));
           }
           last_outcome = done_at;
           admission->OnComplete(request);

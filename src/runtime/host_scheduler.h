@@ -41,7 +41,7 @@ namespace faasnap {
 
 struct HostSchedulerConfig {
   // Total memory the warm pool may pin (working sets of idle + running VMs).
-  uint64_t warm_pool_budget_bytes = GiB(1);
+  ByteCount warm_pool_budget_bytes = GiB(1);
   // Idle VMs older than this are reclaimed even if the pool has room.
   Duration keep_warm = Duration::Seconds(600);
   // How a warm miss is served (snapshot restore or full cold boot).
@@ -90,7 +90,7 @@ struct HostSchedulerStats {
   RunningStats queue_wait_ms;      // over admitted arrivals
   // Latency distribution of accepted work only (sheds excluded), for tail
   // assertions under overload. Buckets from 1us; ~1us .. >1s.
-  Log2Histogram accepted_latency{/*lower_ns=*/1000, /*num_buckets=*/21};
+  Log2Histogram accepted_latency{Duration::Micros(1), /*num_buckets=*/21};
   // Pressure ladder bookkeeping.
   int64_t pressure_demotions = 0;  // miss restores demoted to kReap at L2+
   int64_t pressure_transitions = 0;
@@ -135,7 +135,7 @@ class HostScheduler {
     std::unique_ptr<FunctionSnapshot> owned_snapshot;
     const TraceGenerator* generator = nullptr;
     const FunctionSnapshot* snapshot = nullptr;
-    uint64_t ws_bytes = 0;
+    ByteCount ws_bytes;
     // Warm-pool state. `lru_it` points into lru_ iff warm.
     bool warm = false;
     SimTime last_used;
@@ -157,18 +157,18 @@ class HostScheduler {
   void MarkCold(Entry* entry);
   // Reclaims VMs idle past `keep_warm` and, if needed, LRU-evicts until
   // `needed` bytes fit in the budget.
-  void ReclaimAndEvict(uint64_t needed, Duration keep_warm, HostSchedulerStats* stats);
+  void ReclaimAndEvict(ByteCount needed, Duration keep_warm, HostSchedulerStats* stats);
   // Best-effort: evicts idle LRU VMs until at least `bytes` are unpinned (the
   // admission controller's make_room hook).
-  void EvictIdleBytes(uint64_t bytes, HostSchedulerStats* stats);
+  void EvictIdleBytes(ByteCount bytes, HostSchedulerStats* stats);
 
-  uint64_t pool_bytes() const { return pool_bytes_; }
+  ByteCount pool_bytes() const { return pool_bytes_; }
 
   Platform* platform_;
   HostSchedulerConfig config_;
   std::vector<std::unique_ptr<Entry>> entries_;
   std::list<Entry*> lru_;      // warm entries, ascending last_used
-  uint64_t pool_bytes_ = 0;    // sum of ws_bytes over warm entries
+  ByteCount pool_bytes_;       // sum of ws_bytes over warm entries
 };
 
 }  // namespace faasnap

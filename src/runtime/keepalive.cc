@@ -65,8 +65,8 @@ KeepAliveStats KeepAliveSimulator::Run(const std::vector<Duration>& gaps,
   Simulation* sim = platform_->sim();
   const SimTime span_start = sim->now();
   const FunctionSpec& spec = generator_->spec();
-  const double ws_bytes =
-      static_cast<double>(PagesToBytes(snapshot_->record_touched.page_count()));
+  const double ws_bytes = static_cast<double>(
+      PagesToBytes(PageCount::FromPages(snapshot_->record_touched.page_count())).value());
 
   SimTime last_completion = sim->now();
   bool have_previous = false;

@@ -45,7 +45,7 @@ struct KeepAliveConfig {
   // Open-loop serving (see HostSchedulerConfig::open_loop). The budget bounds
   // the idle warm pool in the delegated engine; closed-loop runs ignore it.
   bool open_loop = false;
-  uint64_t warm_pool_budget_bytes = GiB(1);
+  ByteCount warm_pool_budget_bytes = GiB(1);
   AdmissionConfig admission;
   PressureLadderConfig ladder;
 };

@@ -41,9 +41,10 @@ ReadaheadConfig ApplyPressure(ReadaheadConfig config, const Platform::PressureOv
   if (p == nullptr || p->readahead_scale >= 1.0) {
     return config;
   }
-  const auto scale = [&](uint64_t pages) {
-    const auto scaled = static_cast<uint64_t>(static_cast<double>(pages) * p->readahead_scale);
-    return scaled < 1 ? uint64_t{1} : scaled;
+  const auto scale = [&](PageCount pages) {
+    const auto scaled =
+        static_cast<uint64_t>(static_cast<double>(pages.value()) * p->readahead_scale);
+    return PageCount::FromPages(scaled < 1 ? uint64_t{1} : scaled);
   };
   config.initial_window_pages = scale(config.initial_window_pages);
   config.max_window_pages = scale(config.max_window_pages);
@@ -254,7 +255,7 @@ InvocationReport Platform::ReportShed(const FunctionSnapshot& snapshot,
   }
   if (forensics_ != nullptr) {
     forensics_->OnInvokeEnd(invoke_span, ToForensicOutcome(outcome), report.function,
-                            (sim_.now() - arrival_time).nanos());
+                            sim_.now() - arrival_time);
   }
   if (timeline_ != nullptr) {
     timeline_->Advance(sim_.now());
@@ -309,7 +310,7 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
       }
       if (forensics_ != nullptr) {
         forensics_->OnInvokeEnd(invoke_span, ToForensicOutcome(report.outcome),
-                                report.function, (sim_.now() - request_time).nanos());
+                                report.function, sim_.now() - request_time);
       }
       if (timeline_ != nullptr) {
         timeline_->Advance(sim_.now());
@@ -378,7 +379,7 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
         report.setup_time = ctx->setup_time;
         report.invocation_time = result.elapsed;
         report.faults = ctx->engine.metrics();
-        if (ctx->policy->blocking_fetch_bytes() > 0) {
+        if (!ctx->policy->blocking_fetch_bytes().is_zero()) {
           report.fetch_time = ctx->policy->blocking_fetch_time();
           report.fetch_bytes = ctx->policy->blocking_fetch_bytes();
         } else if (ctx->loader.started()) {
@@ -388,15 +389,15 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
           report.fetch_bytes = ctx->loader.fetched_bytes();
         }
         const FaultMetrics& m = report.faults;
-        report.guest_pagefault_bytes =
-            PagesToBytes(static_cast<uint64_t>(m.count(FaultClass::kMajor) +
-                                               m.count(FaultClass::kInFlightWait) +
-                                               m.count(FaultClass::kUffdHandled)));
+        report.guest_pagefault_bytes = PagesToBytes(
+            PageCount::FromPages(static_cast<uint64_t>(m.count(FaultClass::kMajor) +
+                                                       m.count(FaultClass::kInFlightWait) +
+                                                       m.count(FaultClass::kUffdHandled))));
         report.mmap_calls = ctx->space.mmap_call_count();
         report.disk = CombinedDiskStats() - ctx->disk_before;
         report.anon_resident_pages =
             ctx->space.resident_anonymous_pages() + ctx->space.anon_copied_pages();
-        report.page_cache_pages = cache_.present_page_count();
+        report.page_cache_pages = PageCount::FromPages(cache_.present_page_count());
         // Outcome ladder, most severe first: a terminal error aborts the VM
         // (kFailed); otherwise any fallback taken along the way — demoted
         // restore mode, a policy's in-setup degradation, or a partial prefetch
@@ -429,7 +430,7 @@ void Platform::InvokeAsync(const FunctionSnapshot& snapshot, RestoreMode mode,
         }
         if (forensics_ != nullptr) {
           forensics_->OnInvokeEnd(invoke_span, ToForensicOutcome(report.outcome),
-                                  report.function, (sim_.now() - ctx->request_time).nanos());
+                                  report.function, sim_.now() - ctx->request_time);
         }
         if (timeline_ != nullptr) {
           timeline_->Advance(sim_.now());
@@ -482,12 +483,13 @@ FunctionSnapshot Platform::Record(const TraceGenerator& generator, const Workloa
                      config_.host_costs);
   const SpanId record_span =
       spans_ != nullptr
-          ? spans_->Begin(sim_.now(), ObsLane::kDaemon, obsname::kRecord, layout.total_pages)
+          ? spans_->Begin(sim_.now(), ObsLane::kDaemon, obsname::kRecord,
+                          layout.total_pages.value())
           : kNoSpan;
   engine.set_observability(spans_, metrics_);
   engine.set_invocation_span(record_span);
   readahead.set_observability(metrics_);
-  space.Map({.guest = {0, layout.total_pages},
+  space.Map({.guest = {0, layout.total_pages.value()},
              .kind = BackingKind::kFile,
              .file = clean.id,
              .file_start = 0});

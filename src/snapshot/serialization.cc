@@ -131,7 +131,7 @@ Result<LoadingSetFile> DecodeLoadingSetManifest(const std::vector<uint8_t>& blob
     if (r.guest.empty()) {
       return InvalidArgumentError("empty region in manifest");
     }
-    file.total_pages += r.guest.count;
+    file.total_pages += PageCount::FromPages(r.guest.count);
     file.regions.push_back(r);
   }
   return file;

@@ -12,13 +12,13 @@ uint64_t SnapshotStore::ChecksumOf(const Entry& entry) {
   // stand-in for hashing the file body): name bytes, then the size.
   uint64_t sum = Fnv1a64(reinterpret_cast<const uint8_t*>(entry.name.data()),
                          entry.name.size());
-  const uint64_t size = entry.size_pages;
+  const uint64_t size = entry.size.value();
   sum ^= Fnv1a64(reinterpret_cast<const uint8_t*>(&size), sizeof(size));
   return sum;
 }
 
-FileId SnapshotStore::Register(std::string name, uint64_t size_pages) {
-  Entry entry{std::move(name), size_pages};
+FileId SnapshotStore::Register(std::string name, PageCount size) {
+  Entry entry{std::move(name), size};
   entry.checksum = ChecksumOf(entry);
   const FileId id = static_cast<FileId>(entries_.size() + 1);
   if (injector_ != nullptr && injector_->CorruptFile(id)) {
@@ -33,10 +33,10 @@ const SnapshotStore::Entry& SnapshotStore::Get(FileId id) const {
   return entries_[id - 1];
 }
 
-void SnapshotStore::Resize(FileId id, uint64_t size_pages) {
+void SnapshotStore::Resize(FileId id, PageCount size) {
   FAASNAP_CHECK(id != kInvalidFileId && id <= entries_.size());
   Entry& entry = entries_[id - 1];
-  entry.size_pages = size_pages;
+  entry.size = size;
   entry.checksum = ChecksumOf(entry);
 }
 
@@ -67,7 +67,7 @@ void SnapshotStore::CorruptForTesting(FileId id) {
   entries_[id - 1].corrupt = true;
 }
 
-uint64_t SnapshotStore::size_pages(FileId id) const { return Get(id).size_pages; }
+PageCount SnapshotStore::size_pages(FileId id) const { return Get(id).size; }
 
 const std::string& SnapshotStore::name(FileId id) const { return Get(id).name; }
 
@@ -75,16 +75,16 @@ bool SnapshotStore::Contains(FileId id) const {
   return id != kInvalidFileId && id <= entries_.size();
 }
 
-std::function<uint64_t(FileId)> SnapshotStore::SizeFn() const {
+std::function<PageCount(FileId)> SnapshotStore::SizeFn() const {
   return [this](FileId id) { return size_pages(id); };
 }
 
-uint64_t WorkingSetGroups::total_pages() const {
+PageCount WorkingSetGroups::total_pages() const {
   uint64_t total = 0;
   for (const PageRangeSet& g : groups) {
     total += g.page_count();
   }
-  return total;
+  return PageCount::FromPages(total);
 }
 
 PageRangeSet WorkingSetGroups::AllPages() const {

@@ -37,13 +37,13 @@ class FaultInjector;
 // that hold an id they registered themselves.
 class SnapshotStore {
  public:
-  FileId Register(std::string name, uint64_t size_pages);
+  FileId Register(std::string name, PageCount size);
 
   // Grows a registered file (loading-set files are written incrementally).
   // Re-stamps the checksum (an honest writer updates the trailer with the data).
-  void Resize(FileId id, uint64_t size_pages);
+  void Resize(FileId id, PageCount size);
 
-  uint64_t size_pages(FileId id) const;
+  PageCount size_pages(FileId id) const;
   const std::string& name(FileId id) const;
   bool Contains(FileId id) const;
 
@@ -64,12 +64,12 @@ class SnapshotStore {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Adapter for FaultEngine's file_size_pages hook.
-  std::function<uint64_t(FileId)> SizeFn() const;
+  std::function<PageCount(FileId)> SizeFn() const;
 
  private:
   struct Entry {
     std::string name;
-    uint64_t size_pages;
+    PageCount size;
     uint64_t checksum = 0;
     bool corrupt = false;  // injected or test-forced truncation/corruption
   };
@@ -84,7 +84,7 @@ class SnapshotStore {
 // page map the per-region mapping technique depends on (section 4.5).
 struct MemoryFile {
   FileId id = kInvalidFileId;
-  uint64_t total_pages = 0;
+  PageCount total_pages;
   PageRangeSet nonzero;
 
   bool IsZero(PageIndex page) const { return !nonzero.Contains(page); }
@@ -99,7 +99,7 @@ struct ReapWorkingSetFile {
   FileId id = kInvalidFileId;
   std::vector<PageIndex> guest_pages;  // record-phase fault order
 
-  uint64_t size_pages() const { return guest_pages.size(); }
+  PageCount size_pages() const { return PageCount::FromPages(guest_pages.size()); }
 };
 
 // Working set groups from the record phase (section 4.3): group g holds the pages
@@ -107,7 +107,7 @@ struct ReapWorkingSetFile {
 struct WorkingSetGroups {
   std::vector<PageRangeSet> groups;
 
-  uint64_t total_pages() const;
+  PageCount total_pages() const;
   // Union of all groups.
   PageRangeSet AllPages() const;
   // Lowest group index containing any page of `range`, or groups.size() if none
@@ -131,7 +131,7 @@ struct LoadingRegion {
 struct LoadingSetFile {
   FileId id = kInvalidFileId;
   std::vector<LoadingRegion> regions;
-  uint64_t total_pages = 0;
+  PageCount total_pages;
 
   // All guest pages covered by the loading set.
   PageRangeSet GuestPages() const;
@@ -140,7 +140,7 @@ struct LoadingSetFile {
 // Everything restorable for one function.
 struct Snapshot {
   std::string function_name;
-  uint64_t guest_mem_pages = 0;
+  PageCount guest_mem_pages;
   FileId vmstate_id = kInvalidFileId;
   MemoryFile memory;
   // Populated by the respective record paths; absent pieces stay empty/invalid.

@@ -185,10 +185,10 @@ void BlockDevice::TryDispatch() {
     batch.push_back(std::move(queue.front()));
     queue.pop_front();
     uint64_t batch_bytes = batch.front().bytes;
-    while (sched.max_merge_bytes > 0 && !queue.empty() &&
+    while (!sched.max_merge_bytes.is_zero() && !queue.empty() &&
            queue.front().stream == batch.back().stream &&
            queue.front().offset == batch.back().offset + batch.back().bytes &&
-           batch_bytes + queue.front().bytes <= sched.max_merge_bytes) {
+           batch_bytes + queue.front().bytes <= sched.max_merge_bytes.value()) {
       batch_bytes += queue.front().bytes;
       batch.push_back(std::move(queue.front()));
       queue.pop_front();
@@ -234,7 +234,7 @@ void BlockDevice::Dispatch(std::vector<Request> batch) {
   for (const Request& r : batch) {
     stats_.read_requests++;
     (r.cls == ReadClass::kDemand ? stats_.demand_requests : stats_.prefetch_requests)++;
-    const uint64_t wait = static_cast<uint64_t>((start - r.enqueued).nanos());
+    const Duration wait = start - r.enqueued;
     if (r.cls == ReadClass::kDemand) {
       stats_.demand_wait_ns += wait;
       stats_.max_demand_wait_ns = std::max(stats_.max_demand_wait_ns, wait);
@@ -253,7 +253,7 @@ void BlockDevice::Dispatch(std::vector<Request> batch) {
                          r.bytes, r.parent);
     }
     if (wait_metric_[cls] != nullptr) {
-      wait_metric_[cls]->Record(Duration::Nanos(static_cast<int64_t>(wait)));
+      wait_metric_[cls]->Record(wait);
     }
   }
   stats_.merged_requests += batch.size() - 1;

@@ -54,6 +54,7 @@
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/common/units.h"
 #include "src/common/status.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/span_tracer.h"
@@ -89,7 +90,7 @@ struct DiskSchedConfig {
   // coalesce into one device request up to this many bytes. 0 disables merging.
   // The cap also bounds per-batch bandwidth claims (and therefore how far one
   // batch can push out a demand fault), so it is deliberately modest.
-  uint64_t max_merge_bytes = 1ull * 1024 * 1024;
+  ByteCount max_merge_bytes = MiB(1);
 };
 
 // Static description of a device. See device_profiles.h for the two profiles used
@@ -114,10 +115,10 @@ struct BlockDeviceStats {
   uint64_t merged_requests = 0;    // requests coalesced into an earlier dispatch
   uint64_t aged_promotions = 0;    // prefetch dispatches forced by the aging bound
   uint64_t failed_requests = 0;    // injected failures (chaos only)
-  uint64_t demand_wait_ns = 0;     // total enqueue->dispatch wait by class
-  uint64_t prefetch_wait_ns = 0;
-  uint64_t max_demand_wait_ns = 0;
-  uint64_t max_prefetch_wait_ns = 0;
+  Duration demand_wait_ns;         // total enqueue->dispatch wait by class
+  Duration prefetch_wait_ns;
+  Duration max_demand_wait_ns;
+  Duration max_prefetch_wait_ns;
 
   BlockDeviceStats operator-(const BlockDeviceStats& other) const {
     BlockDeviceStats d = *this;

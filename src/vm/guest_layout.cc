@@ -14,7 +14,7 @@ GuestLayout GuestLayout::Default2GiB() {
 }
 
 Status GuestLayout::Validate() const {
-  if (total_pages == 0) {
+  if (total_pages.is_zero()) {
     return InvalidArgumentError("empty guest");
   }
   const PageRange zones[] = {boot, stable, window, scratch};
@@ -28,7 +28,7 @@ Status GuestLayout::Validate() const {
     }
     cursor = z.end();
   }
-  if (cursor > total_pages) {
+  if (cursor > total_pages.value()) {
     return OutOfRangeError("zones exceed guest memory");
   }
   return OkStatus();

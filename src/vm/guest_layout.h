@@ -27,12 +27,12 @@
 namespace faasnap {
 
 struct GuestConfig {
-  uint64_t mem_pages = BytesToPages(GiB(2));
+  PageCount mem_pages = BytesToPages(GiB(2));
   int vcpus = 2;  // the paper uses 1 vCPU in section 3 and 2 vCPUs in section 6
 };
 
 struct GuestLayout {
-  uint64_t total_pages = 0;
+  PageCount total_pages;
   PageRange boot;
   PageRange stable;
   PageRange window;

@@ -5,7 +5,9 @@ namespace faasnap {
 namespace {
 
 // Pages for a Table 2 megabyte figure.
-constexpr uint64_t MBPages(double mb) { return static_cast<uint64_t>(mb * 256.0); }
+constexpr PageCount MBPages(double mb) {
+  return PageCount::FromPages(static_cast<uint64_t>(mb * 256.0));
+}
 
 std::vector<FunctionSpec> BuildCatalog() {
   std::vector<FunctionSpec> catalog;
@@ -19,8 +21,8 @@ std::vector<FunctionSpec> BuildCatalog() {
       .stable_pages = MBPages(11.8),  // WS 11.8 MiB: runtime + Flask only
       .scattered_stable_pages = MBPages(11.8),
       .window_factor = 1.0,
-      .input_a = {.input_pages = 0, .anon_pages = 0, .compute = Duration::Millis(4)},
-      .input_b = {.input_pages = 0, .anon_pages = 0, .compute = Duration::Millis(4)},
+      .input_a = {.input_pages = PageCount::FromPages(0), .anon_pages = PageCount::FromPages(0), .compute = Duration::Millis(4)},
+      .input_b = {.input_pages = PageCount::FromPages(0), .anon_pages = PageCount::FromPages(0), .compute = Duration::Millis(4)},
       .fixed_input = true,
   });
 
@@ -28,10 +30,10 @@ std::vector<FunctionSpec> BuildCatalog() {
       .name = "read-list",
       .description = "read every page of an existing 512 MiB Python list",
       .stable_pages = MBPages(526),  // the list persists across invocations
-      .scattered_stable_pages = 3584,
+      .scattered_stable_pages = PageCount::FromPages(3584),
       .window_factor = 1.0,
-      .input_a = {.input_pages = 0, .anon_pages = 0, .compute = Duration::Millis(120)},
-      .input_b = {.input_pages = 0, .anon_pages = 0, .compute = Duration::Millis(120)},
+      .input_a = {.input_pages = PageCount::FromPages(0), .anon_pages = PageCount::FromPages(0), .compute = Duration::Millis(120)},
+      .input_b = {.input_pages = PageCount::FromPages(0), .anon_pages = PageCount::FromPages(0), .compute = Duration::Millis(120)},
       .trailing_compute_fraction = 0.8,  // tight read loop, processing afterwards
       .fixed_input = true,
   });
@@ -40,11 +42,11 @@ std::vector<FunctionSpec> BuildCatalog() {
       .name = "mmap",
       .description = "allocate a 512 MiB anonymous region and write every page",
       .stable_pages = MBPages(24),  // WS 536 MiB = runtime + the 512 MiB region
-      .scattered_stable_pages = 3584,
+      .scattered_stable_pages = PageCount::FromPages(3584),
       .window_factor = 1.0,
-      .input_a = {.input_pages = 0, .anon_pages = MBPages(512),
+      .input_a = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(512),
                   .compute = Duration::Millis(60)},
-      .input_b = {.input_pages = 0, .anon_pages = MBPages(512),
+      .input_b = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(512),
                   .compute = Duration::Millis(60)},
       .fixed_input = true,
   });
@@ -55,60 +57,60 @@ std::vector<FunctionSpec> BuildCatalog() {
   catalog.push_back(FunctionSpec{
       .name = "image",
       .description = "rotate a JPEG image (101 KB / 103 KB inputs)",
-      .stable_pages = 3000,
-      .scattered_stable_pages = 3000,
+      .stable_pages = PageCount::FromPages(3000),
+      .scattered_stable_pages = PageCount::FromPages(3000),
       .window_factor = 3.0,  // sparse access pattern (section 6.4)
-      .input_a = {.input_pages = MBPages(20.6) - 3000, .anon_pages = 0,
+      .input_a = {.input_pages = MBPages(20.6) - PageCount::FromPages(3000), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(90)},
-      .input_b = {.input_pages = MBPages(32.6) - 3000, .anon_pages = 0,
+      .input_b = {.input_pages = MBPages(32.6) - PageCount::FromPages(3000), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(110)},
   });
 
   catalog.push_back(FunctionSpec{
       .name = "json",
       .description = "deserialize and serialize JSON (13 KB / 148 KB inputs)",
-      .stable_pages = 2900,
-      .scattered_stable_pages = 2900,
+      .stable_pages = PageCount::FromPages(2900),
+      .scattered_stable_pages = PageCount::FromPages(2900),
       .window_factor = 1.5,
-      .input_a = {.input_pages = MBPages(12.7) - 2900, .anon_pages = 0,
+      .input_a = {.input_pages = MBPages(12.7) - PageCount::FromPages(2900), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(30)},
-      .input_b = {.input_pages = MBPages(14.4) - 2900, .anon_pages = 0,
+      .input_b = {.input_pages = MBPages(14.4) - PageCount::FromPages(2900), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(45)},
   });
 
   catalog.push_back(FunctionSpec{
       .name = "pyaes",
       .description = "pure-Python AES encryption of a 20k/22k string",
-      .stable_pages = 3100,
-      .scattered_stable_pages = 3100,
+      .stable_pages = PageCount::FromPages(3100),
+      .scattered_stable_pages = PageCount::FromPages(3100),
       .window_factor = 1.5,
-      .input_a = {.input_pages = MBPages(12.6) - 3100, .anon_pages = 0,
+      .input_a = {.input_pages = MBPages(12.6) - PageCount::FromPages(3100), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(300)},
-      .input_b = {.input_pages = MBPages(13.2) - 3100, .anon_pages = 0,
+      .input_b = {.input_pages = MBPages(13.2) - PageCount::FromPages(3100), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(330)},
   });
 
   catalog.push_back(FunctionSpec{
       .name = "chameleon",
       .description = "render an HTML table of 30k/40k cells",
-      .stable_pages = 3400,
-      .scattered_stable_pages = 3400,
+      .stable_pages = PageCount::FromPages(3400),
+      .scattered_stable_pages = PageCount::FromPages(3400),
       .window_factor = 2.0,
-      .input_a = {.input_pages = MBPages(22.9) - 3400, .anon_pages = 0,
+      .input_a = {.input_pages = MBPages(22.9) - PageCount::FromPages(3400), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(130)},
-      .input_b = {.input_pages = MBPages(25.1) - 3400, .anon_pages = 0,
+      .input_b = {.input_pages = MBPages(25.1) - PageCount::FromPages(3400), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(170)},
   });
 
   catalog.push_back(FunctionSpec{
       .name = "matmul",
       .description = "matrix multiplication, size 2000/2200",
-      .stable_pages = 3800,
-      .scattered_stable_pages = 3800,
+      .stable_pages = PageCount::FromPages(3800),
+      .scattered_stable_pages = PageCount::FromPages(3800),
       .window_factor = 1.0,
-      .input_a = {.input_pages = 0, .anon_pages = MBPages(113) - 3800,
+      .input_a = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(113) - PageCount::FromPages(3800),
                   .compute = Duration::Millis(700)},
-      .input_b = {.input_pages = 0, .anon_pages = MBPages(133) - 3800,
+      .input_b = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(133) - PageCount::FromPages(3800),
                   .compute = Duration::Millis(1100)},
       .compute_exponent = 1.5,  // O(n^3) work vs O(n^2) memory
       .anon_freed_fraction = 0.85,  // numpy arrays are munmapped on return
@@ -117,12 +119,12 @@ std::vector<FunctionSpec> BuildCatalog() {
   catalog.push_back(FunctionSpec{
       .name = "ffmpeg",
       .description = "apply a grayscale filter to a 1-second 480p video",
-      .stable_pages = 4000,
-      .scattered_stable_pages = 4000,
+      .stable_pages = PageCount::FromPages(4000),
+      .scattered_stable_pages = PageCount::FromPages(4000),
       .window_factor = 1.0,
-      .input_a = {.input_pages = 0, .anon_pages = MBPages(179) - 4000,
+      .input_a = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(179) - PageCount::FromPages(4000),
                   .compute = Duration::Millis(250)},
-      .input_b = {.input_pages = 0, .anon_pages = MBPages(178) - 4000,
+      .input_b = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(178) - PageCount::FromPages(4000),
                   .compute = Duration::Millis(280)},
       .anon_freed_fraction = 0.15,  // frame buffers recycled inside the process
   });
@@ -130,12 +132,12 @@ std::vector<FunctionSpec> BuildCatalog() {
   catalog.push_back(FunctionSpec{
       .name = "compression",
       .description = "compress a 13 KB / 148 KB file",
-      .stable_pages = 3300,
-      .scattered_stable_pages = 3300,
+      .stable_pages = PageCount::FromPages(3300),
+      .scattered_stable_pages = PageCount::FromPages(3300),
       .window_factor = 1.0,
-      .input_a = {.input_pages = 0, .anon_pages = MBPages(15.3) - 3300,
+      .input_a = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(15.3) - PageCount::FromPages(3300),
                   .compute = Duration::Millis(120)},
-      .input_b = {.input_pages = 0, .anon_pages = MBPages(15.8) - 3300,
+      .input_b = {.input_pages = PageCount::FromPages(0), .anon_pages = MBPages(15.8) - PageCount::FromPages(3300),
                   .compute = Duration::Millis(140)},
       .anon_freed_fraction = 0.5,
   });
@@ -143,12 +145,12 @@ std::vector<FunctionSpec> BuildCatalog() {
   catalog.push_back(FunctionSpec{
       .name = "recognition",
       .description = "PyTorch ResNet-50 image recognition",
-      .stable_pages = 56000,  // model weights dominate and persist
-      .scattered_stable_pages = 3000,
+      .stable_pages = PageCount::FromPages(56000),  // model weights dominate and persist
+      .scattered_stable_pages = PageCount::FromPages(3000),
       .window_factor = 2.0,
-      .input_a = {.input_pages = MBPages(230) - 56000, .anon_pages = 0,
+      .input_a = {.input_pages = MBPages(230) - PageCount::FromPages(56000), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(400)},
-      .input_b = {.input_pages = MBPages(234) - 56000, .anon_pages = 0,
+      .input_b = {.input_pages = MBPages(234) - PageCount::FromPages(56000), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(420)},
       .trailing_compute_fraction = 0.7,  // weights stream in, inference follows
   });
@@ -156,12 +158,12 @@ std::vector<FunctionSpec> BuildCatalog() {
   catalog.push_back(FunctionSpec{
       .name = "pagerank",
       .description = "igraph PageRank on a 90k/100k-node graph",
-      .stable_pages = 3500,
-      .scattered_stable_pages = 3500,
+      .stable_pages = PageCount::FromPages(3500),
+      .scattered_stable_pages = PageCount::FromPages(3500),
       .window_factor = 1.5,
-      .input_a = {.input_pages = MBPages(104) - 3500, .anon_pages = 0,
+      .input_a = {.input_pages = MBPages(104) - PageCount::FromPages(3500), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(300)},
-      .input_b = {.input_pages = MBPages(114) - 3500, .anon_pages = 0,
+      .input_b = {.input_pages = MBPages(114) - PageCount::FromPages(3500), .anon_pages = PageCount::FromPages(0),
                   .compute = Duration::Millis(350)},
   });
 

@@ -26,23 +26,24 @@
 
 #include "src/common/sim_time.h"
 #include "src/common/status.h"
+#include "src/common/units.h"
 
 namespace faasnap {
 
 // Per-input workload parameters (one column of Table 2).
 struct InputProfile {
-  uint64_t input_pages = 0;  // selective transient pages in the window zone
-  uint64_t anon_pages = 0;   // sequential transient pages in the scratch zone
+  PageCount input_pages;  // selective transient pages in the window zone
+  PageCount anon_pages;   // sequential transient pages in the scratch zone
   Duration compute;          // total CPU time for this input
 };
 
 struct FunctionSpec {
   std::string name;
   std::string description;
-  uint64_t stable_pages = 0;
+  PageCount stable_pages;
   // How many of the stable pages are accessed in scattered (library/runtime) order
   // rather than sequentially; the rest model linear data reads.
-  uint64_t scattered_stable_pages = 0;
+  PageCount scattered_stable_pages;
   // Window size = window_factor * input_pages: lower density = sparser access
   // pattern (image is sparse; json is dense).
   double window_factor = 2.0;
@@ -67,7 +68,7 @@ struct FunctionSpec {
   bool fixed_input = false;
 
   // Approximate working set in pages for an input (stable + transient).
-  uint64_t WorkingSetPages(const InputProfile& input) const {
+  PageCount WorkingSetPages(const InputProfile& input) const {
     return stable_pages + input.input_pages + input.anon_pages;
   }
 };

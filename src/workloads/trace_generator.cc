@@ -46,10 +46,10 @@ WorkloadInput MakeInputB(const FunctionSpec& spec) {
 WorkloadInput MakeScaledInput(const FunctionSpec& spec, double ratio, uint64_t content_seed) {
   FAASNAP_CHECK(ratio > 0);
   InputProfile profile;
-  profile.input_pages =
-      static_cast<uint64_t>(static_cast<double>(spec.input_a.input_pages) * ratio);
-  profile.anon_pages =
-      static_cast<uint64_t>(static_cast<double>(spec.input_a.anon_pages) * ratio);
+  profile.input_pages = PageCount::FromPages(
+      static_cast<uint64_t>(static_cast<double>(spec.input_a.input_pages.value()) * ratio));
+  profile.anon_pages = PageCount::FromPages(
+      static_cast<uint64_t>(static_cast<double>(spec.input_a.anon_pages.value()) * ratio));
   profile.compute = Duration::Nanos(static_cast<int64_t>(
       static_cast<double>(spec.input_a.compute.nanos()) * std::pow(ratio, spec.compute_exponent)));
   return WorkloadInput{.content_seed = content_seed, .profile = profile};
@@ -58,7 +58,7 @@ WorkloadInput MakeScaledInput(const FunctionSpec& spec, double ratio, uint64_t c
 TraceGenerator::TraceGenerator(FunctionSpec spec, GuestLayout layout)
     : spec_(std::move(spec)), layout_(layout) {
   FAASNAP_CHECK_OK(layout_.Validate());
-  FAASNAP_CHECK(spec_.stable_pages <= layout_.stable.count);
+  FAASNAP_CHECK(spec_.stable_pages.value() <= layout_.stable.count);
   FAASNAP_CHECK(spec_.scattered_stable_pages <= spec_.stable_pages);
   FAASNAP_CHECK(spec_.window_factor >= 1.0);
 
@@ -72,7 +72,7 @@ TraceGenerator::TraceGenerator(FunctionSpec spec, GuestLayout layout)
   const double expected_coverage =
       kAlwaysExercisedFraction + (1.0 - kAlwaysExercisedFraction) * kVariablePathProbability;
   const auto to_place = static_cast<uint64_t>(
-      std::ceil(static_cast<double>(spec_.scattered_stable_pages) / expected_coverage));
+      std::ceil(static_cast<double>(spec_.scattered_stable_pages.value()) / expected_coverage));
   Rng rng(NameSeed(spec_.name) ^ 0x5eed);
   PageIndex cursor = layout_.stable.first;
   uint64_t placed = 0;
@@ -84,7 +84,8 @@ TraceGenerator::TraceGenerator(FunctionSpec spec, GuestLayout layout)
     const uint64_t gap = rng.NextBool(0.85) ? 1 : 64 + rng.NextBelow(128);
     cursor += gap;
   }
-  sequential_stable_ = PageRange{cursor, spec_.stable_pages - spec_.scattered_stable_pages};
+  sequential_stable_ =
+      PageRange{cursor, (spec_.stable_pages - spec_.scattered_stable_pages).value()};
   FAASNAP_CHECK(sequential_stable_.end() <= layout_.stable.end());
 }
 
@@ -116,7 +117,7 @@ InvocationTrace TraceGenerator::Generate(const WorkloadInput& input) const {
   //    input-dependent code paths selected by the content seed.
   {
     std::vector<PageIndex> scattered;
-    scattered.reserve(spec_.scattered_stable_pages);
+    scattered.reserve(spec_.scattered_stable_pages.value());
     const uint64_t always_salt = NameSeed(spec_.name) ^ 0xA17A75;
     for (const PageRange& run : scattered_runs_) {
       for (PageIndex p = run.first; p < run.end(); ++p) {
@@ -149,14 +150,14 @@ InvocationTrace TraceGenerator::Generate(const WorkloadInput& input) const {
   //    they remain non-zero in the snapshot (and in the loading set) even though
   //    the objects are logically dead — the "sparse access pattern" effect that
   //    inflates image's loading set in Table 3.
-  if (input.profile.input_pages > 0) {
+  if (!input.profile.input_pages.is_zero()) {
     const uint64_t window_pages = std::min<uint64_t>(
         layout_.window.count,
-        static_cast<uint64_t>(std::ceil(static_cast<double>(input.profile.input_pages) *
+        static_cast<uint64_t>(std::ceil(static_cast<double>(input.profile.input_pages.value()) *
                                         spec_.window_factor)));
     // Inputs larger than the window zone saturate it (the guest would swap or OOM
     // in reality; the trace simply touches every window page).
-    const uint64_t effective_input = std::min(input.profile.input_pages, window_pages);
+    const uint64_t effective_input = std::min(input.profile.input_pages.value(), window_pages);
     const double density =
         static_cast<double>(effective_input) / static_cast<double>(window_pages);
     for (uint64_t i = 0; i < window_pages; ++i) {
@@ -171,14 +172,14 @@ InvocationTrace TraceGenerator::Generate(const WorkloadInput& input) const {
   //    jitters with the input (allocator nondeterminism across invocations) for
   //    variable-input functions; a trailing anon_freed_fraction is munmapped back
   //    to the guest kernel at the end (and thus sanitizable, section 4.5).
-  if (input.profile.anon_pages > 0) {
+  if (!input.profile.anon_pages.is_zero()) {
     uint64_t offset = 0;
     if (!spec_.fixed_input) {
       offset = static_cast<uint64_t>(PageSelectionScore(0x0FF5E7, input.content_seed) * 4096.0);
     }
     const PageIndex base = layout_.scratch.first + offset;
     const uint64_t anon =
-        std::min<uint64_t>(input.profile.anon_pages, layout_.scratch.end() - base);
+        std::min<uint64_t>(input.profile.anon_pages.value(), layout_.scratch.end() - base);
     for (uint64_t i = 0; i < anon; ++i) {
       trace.ops.push_back(TraceOp{Duration::Zero(), base + i, /*is_write=*/true});
     }

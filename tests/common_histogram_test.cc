@@ -5,7 +5,7 @@
 namespace faasnap {
 namespace {
 
-Log2Histogram Fig2Histogram() { return Log2Histogram(/*lower_ns=*/500, /*num_buckets=*/11); }
+Log2Histogram Fig2Histogram() { return Log2Histogram(Duration::Nanos(500), /*num_buckets=*/11); }
 
 TEST(Log2Histogram, EmptyState) {
   Log2Histogram h = Fig2Histogram();
@@ -16,11 +16,11 @@ TEST(Log2Histogram, EmptyState) {
 
 TEST(Log2Histogram, BucketEdgesDouble) {
   Log2Histogram h = Fig2Histogram();
-  EXPECT_EQ(h.bucket_upper_ns(0), 500);
-  EXPECT_EQ(h.bucket_upper_ns(1), 1000);
-  EXPECT_EQ(h.bucket_upper_ns(2), 2000);
-  EXPECT_EQ(h.bucket_upper_ns(10), 512000);
-  EXPECT_EQ(h.bucket_upper_ns(h.num_buckets() - 1), INT64_MAX);
+  EXPECT_EQ(h.bucket_upper(0).nanos(), 500);
+  EXPECT_EQ(h.bucket_upper(1).nanos(), 1000);
+  EXPECT_EQ(h.bucket_upper(2).nanos(), 2000);
+  EXPECT_EQ(h.bucket_upper(10).nanos(), 512000);
+  EXPECT_EQ(h.bucket_upper(h.num_buckets() - 1).nanos(), INT64_MAX);
 }
 
 TEST(Log2Histogram, RecordsIntoCorrectBuckets) {
@@ -123,27 +123,27 @@ TEST(RunningStats, Merge) {
 // overflow bucket extrapolates one doubling past the last finite edge.
 
 TEST(Log2Quantile, EmptyHistogramIsZero) {
-  Log2Histogram h(1000, 4);
+  Log2Histogram h(Duration::Micros(1), 4);
   EXPECT_EQ(h.EstimateQuantile(0.5), Duration::Zero());
-  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 0}, 1000, 0.99), 0);
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 0}, Duration::Micros(1), 0.99).nanos(), 0);
 }
 
 TEST(Log2Quantile, BucketZeroInterpolatesLinearly) {
   // 4 samples in [0, 1000): p50 hits rank 2 of 4 -> 1000 * 0.5.
-  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, 0.50), 500);
-  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, 1.00), 1000);
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, Duration::Micros(1), 0.50).nanos(), 500);
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, Duration::Micros(1), 1.00).nanos(), 1000);
   // p10 -> rank ceil(0.4) = 1 of 4 -> 1000 * 0.25.
-  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, 0.10), 250);
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, Duration::Micros(1), 0.10).nanos(), 250);
 }
 
 TEST(Log2Quantile, FiniteBucketInterpolatesInLogSpace) {
   // 4 samples in [1000, 2000): p50 -> 1000 * 2^(2/4) = 1414.
-  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 0.50), 1414);
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, Duration::Micros(1), 0.50).nanos(), 1414);
   // p25 -> rank 1 -> 1000 * 2^0.25 = 1189; p100 -> the bucket's upper edge.
-  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 0.25), 1189);
-  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 1.00), 2000);
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, Duration::Micros(1), 0.25).nanos(), 1189);
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, Duration::Micros(1), 1.00).nanos(), 2000);
   // Second finite bucket [2000, 4000): p50 -> 2000 * 2^0.5 = 2828.
-  EXPECT_EQ(EstimateLog2Quantile({0, 0, 4, 0}, 1000, 0.50), 2828);
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 4, 0}, Duration::Micros(1), 0.50).nanos(), 2828);
 }
 
 TEST(Log2Quantile, RanksSpanBuckets) {
@@ -151,31 +151,31 @@ TEST(Log2Quantile, RanksSpanBuckets) {
   // p50 -> rank 2 exhausts bucket 1 (1000 * 2^(1/1) = 2000);
   // p99 -> rank 4, second of two in bucket 2 -> 2000 * 2^1 = 4000.
   const std::vector<int64_t> counts = {1, 1, 2, 0};
-  EXPECT_EQ(EstimateLog2Quantile(counts, 1000, 0.25), 1000);
-  EXPECT_EQ(EstimateLog2Quantile(counts, 1000, 0.50), 2000);
-  EXPECT_EQ(EstimateLog2Quantile(counts, 1000, 0.99), 4000);
+  EXPECT_EQ(EstimateLog2Quantile(counts, Duration::Micros(1), 0.25).nanos(), 1000);
+  EXPECT_EQ(EstimateLog2Quantile(counts, Duration::Micros(1), 0.50).nanos(), 2000);
+  EXPECT_EQ(EstimateLog2Quantile(counts, Duration::Micros(1), 0.99).nanos(), 4000);
 }
 
 TEST(Log2Quantile, OverflowBucketExtrapolatesOneDoubling) {
   // 4 buckets: finite edges 1000/2000/4000, overflow treated as [4000, 8000).
-  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 4}, 1000, 0.50), 5656);  // 4000 * 2^0.5
-  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 4}, 1000, 1.00), 8000);
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 4}, Duration::Micros(1), 0.50).nanos(), 5656);  // 4000 * 2^0.5
+  EXPECT_EQ(EstimateLog2Quantile({0, 0, 0, 4}, Duration::Micros(1), 1.00).nanos(), 8000);
 }
 
 TEST(Log2Quantile, ClassMethodMatchesFreeFunction) {
-  Log2Histogram h(1000, 4);
+  Log2Histogram h(Duration::Micros(1), 4);
   for (int i = 0; i < 4; ++i) {
     h.Record(Duration::Nanos(1500));
   }
   EXPECT_EQ(h.EstimateQuantile(0.5), Duration::Nanos(1414));
   EXPECT_EQ(h.EstimateQuantile(0.95).nanos(),
-            EstimateLog2Quantile({0, 4, 0, 0}, 1000, 0.95));
+            EstimateLog2Quantile({0, 4, 0, 0}, Duration::Micros(1), 0.95).nanos());
 }
 
 TEST(Log2Quantile, FractionIsClampedToUnitRange) {
-  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, 1000, -0.5),
-            EstimateLog2Quantile({4, 0, 0, 0}, 1000, 0.0));
-  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, 1000, 2.0), 2000);
+  EXPECT_EQ(EstimateLog2Quantile({4, 0, 0, 0}, Duration::Micros(1), -0.5).nanos(),
+            EstimateLog2Quantile({4, 0, 0, 0}, Duration::Micros(1), 0.0).nanos());
+  EXPECT_EQ(EstimateLog2Quantile({0, 4, 0, 0}, Duration::Micros(1), 2.0).nanos(), 2000);
 }
 
 }  // namespace

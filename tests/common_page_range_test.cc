@@ -148,7 +148,7 @@ TEST(PageRangeSet, ComplementWithin) {
   PageRangeSet a;
   a.Add(2, 3);
   a.Add(8, 2);
-  PageRangeSet c = a.ComplementWithin(12);
+  PageRangeSet c = a.ComplementWithin(PageCount::FromPages(12));
   ASSERT_EQ(c.range_count(), 3u);
   EXPECT_EQ(c.ranges()[0], (PageRange{0, 2}));
   EXPECT_EQ(c.ranges()[1], (PageRange{5, 3}));
@@ -157,7 +157,7 @@ TEST(PageRangeSet, ComplementWithin) {
 
 TEST(PageRangeSet, ComplementOfEmptyIsWholeSpace) {
   PageRangeSet empty;
-  PageRangeSet c = empty.ComplementWithin(100);
+  PageRangeSet c = empty.ComplementWithin(PageCount::FromPages(100));
   ASSERT_EQ(c.range_count(), 1u);
   EXPECT_EQ(c.ranges()[0], (PageRange{0, 100}));
 }
@@ -169,7 +169,7 @@ TEST(PageRangeSet, MergeWithGapToleranceIncludesGapPages) {
   s.Add(0, 4);
   s.Add(6, 4);    // gap of 2
   s.Add(50, 4);   // gap of 40
-  PageRangeSet merged = s.MergeWithGapTolerance(32);
+  PageRangeSet merged = s.MergeWithGapTolerance(PageCount::FromPages(32));
   ASSERT_EQ(merged.range_count(), 2u);
   EXPECT_EQ(merged.ranges()[0], (PageRange{0, 10}));  // gap pages 4,5 included
   EXPECT_EQ(merged.ranges()[1], (PageRange{50, 4}));
@@ -180,7 +180,7 @@ TEST(PageRangeSet, MergeWithZeroToleranceIsIdentity) {
   PageRangeSet s;
   s.Add(0, 4);
   s.Add(5, 4);
-  PageRangeSet merged = s.MergeWithGapTolerance(0);
+  PageRangeSet merged = s.MergeWithGapTolerance(PageCount::FromPages(0));
   EXPECT_EQ(merged, s);
 }
 
@@ -188,8 +188,8 @@ TEST(PageRangeSet, MergeGapExactlyAtThreshold) {
   PageRangeSet s;
   s.Add(0, 1);
   s.Add(33, 1);  // gap of 32
-  EXPECT_EQ(s.MergeWithGapTolerance(32).range_count(), 1u);
-  EXPECT_EQ(s.MergeWithGapTolerance(31).range_count(), 2u);
+  EXPECT_EQ(s.MergeWithGapTolerance(PageCount::FromPages(32)).range_count(), 1u);
+  EXPECT_EQ(s.MergeWithGapTolerance(PageCount::FromPages(31)).range_count(), 2u);
 }
 
 // Property-style sweep: union/intersect/subtract against a bitmap oracle.
@@ -223,7 +223,7 @@ TEST_P(PageRangeSetPropertyTest, SetAlgebraMatchesBitmapOracle) {
   const PageRangeSet u = a.Union(b);
   const PageRangeSet inter = a.Intersect(b);
   const PageRangeSet diff = a.Subtract(b);
-  const PageRangeSet comp = a.ComplementWithin(kSpace);
+  const PageRangeSet comp = a.ComplementWithin(PageCount::FromPages(kSpace));
   for (uint64_t p = 0; p < kSpace; ++p) {
     EXPECT_EQ(a.Contains(p), bits_a[p]) << "page " << p;
     EXPECT_EQ(u.Contains(p), bits_a[p] || bits_b[p]) << "page " << p;

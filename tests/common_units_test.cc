@@ -14,22 +14,91 @@ TEST(Units, Constants) {
   EXPECT_EQ(kPageSize, 4096u);
 }
 
-TEST(Units, Helpers) {
-  EXPECT_EQ(KiB(4), 4096u);
-  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
-  EXPECT_EQ(GiB(2), 2ull * 1024 * 1024 * 1024);
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(KiB(4).value(), 4096u);
+  EXPECT_EQ(MiB(2).value(), 2u * 1024 * 1024);
+  EXPECT_EQ(GiB(2).value(), 2ull * 1024 * 1024 * 1024);
 }
 
 TEST(Units, BytesToPagesRoundsUp) {
-  EXPECT_EQ(BytesToPages(0), 0u);
-  EXPECT_EQ(BytesToPages(1), 1u);
-  EXPECT_EQ(BytesToPages(4096), 1u);
-  EXPECT_EQ(BytesToPages(4097), 2u);
-  EXPECT_EQ(BytesToPages(MiB(1)), 256u);
+  EXPECT_EQ(BytesToPages(uint64_t{0}), 0u);
+  EXPECT_EQ(BytesToPages(uint64_t{1}), 1u);
+  EXPECT_EQ(BytesToPages(uint64_t{4096}), 1u);
+  EXPECT_EQ(BytesToPages(uint64_t{4097}), 2u);
+  EXPECT_EQ(BytesToPages(MiB(1)).value(), 256u);
 }
 
 TEST(Units, PagesToBytes) {
-  EXPECT_EQ(PagesToBytes(256), MiB(1));
+  EXPECT_EQ(PagesToBytes(uint64_t{256}), kMiB);
+  EXPECT_EQ(PagesToBytes(PageCount::FromPages(256)), MiB(1));
+}
+
+TEST(Units, ByteCountRoundTrip) {
+  // Strong types round-trip exactly through their explicit escapes.
+  EXPECT_EQ(ByteCount::FromBytes(12345).value(), 12345u);
+  EXPECT_EQ(ByteCount::FromKiB(3), KiB(3));
+  EXPECT_EQ(ByteCount::FromMiB(7), MiB(7));
+  EXPECT_EQ(ByteCount::FromGiB(2), GiB(2));
+  EXPECT_TRUE(ByteCount::Zero().is_zero());
+  EXPECT_TRUE(ByteCount().is_zero());
+  EXPECT_FALSE(KiB(1).is_zero());
+}
+
+TEST(Units, ByteCountArithmetic) {
+  ByteCount b = KiB(1) + KiB(3);
+  EXPECT_EQ(b, KiB(4));
+  b -= KiB(1);
+  EXPECT_EQ(b, KiB(3));
+  EXPECT_EQ(b * 2, KiB(6));
+  EXPECT_EQ(MiB(1) / KiB(1), 1024u);
+  EXPECT_LT(KiB(1), KiB(2));
+  EXPECT_GT(MiB(1), KiB(1));
+}
+
+TEST(Units, PageCountRoundTrip) {
+  EXPECT_EQ(PageCount::FromPages(77).value(), 77u);
+  EXPECT_TRUE(PageCount::Zero().is_zero());
+  EXPECT_TRUE(PageCount().is_zero());
+  // Pages <-> bytes conversions agree in both directions.
+  EXPECT_EQ(PageCount::FromPages(256).bytes(), MiB(1));
+  EXPECT_EQ(BytesToPages(PagesToBytes(PageCount::FromPages(512))),
+            PageCount::FromPages(512));
+}
+
+TEST(Units, PageCountArithmetic) {
+  PageCount p = PageCount::FromPages(10) + PageCount::FromPages(5);
+  EXPECT_EQ(p.value(), 15u);
+  p -= PageCount::FromPages(5);
+  EXPECT_EQ(p.value(), 10u);
+  EXPECT_EQ((p * 3).value(), 30u);
+  EXPECT_EQ(PageCount::FromPages(30) / PageCount::FromPages(10), 3u);
+  EXPECT_LT(PageCount::FromPages(1), PageCount::FromPages(2));
+}
+
+TEST(Units, FactoryOverflowIsAlwaysChecked) {
+  // Construction-path scaling panics on overflow even in Release builds.
+  EXPECT_DEATH(ByteCount::FromGiB(UINT64_MAX / 2), "FromGiB");
+  EXPECT_DEATH(Duration::Seconds(INT64_MAX / 1000), "Seconds");
+  EXPECT_DEATH(Duration::Millis(INT64_MIN / 1000), "Millis");
+  EXPECT_DEATH(PageCount::FromPages(UINT64_MAX).bytes(), "bytes");
+}
+
+TEST(Units, OperatorOverflowCheckedInDebug) {
+  // Hot-path operator checks compile away under NDEBUG; with checks on, a
+  // wrapping add/sub aborts with a message naming the operation.
+  if constexpr (unit_internal::kDebugChecks) {
+    EXPECT_DEATH(ByteCount::FromBytes(UINT64_MAX) + ByteCount::FromBytes(1), "ByteCount");
+    EXPECT_DEATH(ByteCount::Zero() - ByteCount::FromBytes(1), "ByteCount");
+    EXPECT_DEATH(PageCount::Zero() - PageCount::FromPages(1), "PageCount");
+    EXPECT_DEATH(Duration::Nanos(INT64_MAX) + Duration::Nanos(1), "Duration");
+  } else {
+    // Overflow predicates themselves stay correct either way.
+    EXPECT_TRUE(unit_internal::AddOverflowsU64(UINT64_MAX, 1));
+    EXPECT_TRUE(unit_internal::SubUnderflowsU64(0, 1));
+    EXPECT_TRUE(unit_internal::AddOverflowsI64(INT64_MAX, 1));
+    EXPECT_TRUE(unit_internal::SubOverflowsI64(INT64_MIN, 1));
+    EXPECT_FALSE(unit_internal::AddOverflowsU64(1, 1));
+  }
 }
 
 TEST(Units, FormatBytes) {
@@ -37,6 +106,8 @@ TEST(Units, FormatBytes) {
   EXPECT_EQ(FormatBytes(KiB(4)), "4.00 KiB");
   EXPECT_EQ(FormatBytes(MiB(12)), "12.0 MiB");
   EXPECT_EQ(FormatBytes(GiB(2)), "2.00 GiB");
+  EXPECT_EQ(KiB(4).ToString(), "4.00 KiB");
+  EXPECT_EQ(PageCount::FromPages(256).ToString(), "256 pages (1.00 MiB)");
 }
 
 TEST(Units, FormatDuration) {

@@ -46,7 +46,7 @@ class HostSchedulerTest : public ::testing::Test {
  protected:
   HostSchedulerTest() : platform_(TestConfig()) {}
 
-  HostScheduler MakeScheduler(uint64_t budget, RestoreMode miss_mode,
+  HostScheduler MakeScheduler(ByteCount budget, RestoreMode miss_mode,
                               Duration keep_warm = Duration::Seconds(600)) {
     HostSchedulerConfig config;
     config.warm_pool_budget_bytes = budget;

@@ -19,7 +19,7 @@ WorkingSetGroups MakeGroups(std::vector<std::vector<PageRange>> groups) {
 
 MemoryFile MakeMemory(std::vector<PageRange> nonzero, uint64_t total = 100000) {
   MemoryFile mem;
-  mem.total_pages = total;
+  mem.total_pages = PageCount::FromPages(total);
   for (const PageRange& r : nonzero) {
     mem.nonzero.Add(r);
   }
@@ -29,8 +29,8 @@ MemoryFile MakeMemory(std::vector<PageRange> nonzero, uint64_t total = 100000) {
 TEST(LoadingSetBuilder, LoadingSetIsWorkingSetIntersectNonZero) {
   WorkingSetGroups groups = MakeGroups({{{0, 100}}});
   MemoryFile mem = MakeMemory({{0, 50}});  // pages 50-99 are zero
-  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
-  EXPECT_EQ(ls.total_pages, 50u);
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(0)});
+  EXPECT_EQ(ls.total_pages.value(), 50u);
   ASSERT_EQ(ls.regions.size(), 1u);
   EXPECT_EQ(ls.regions[0].guest, (PageRange{0, 50}));
 }
@@ -39,8 +39,8 @@ TEST(LoadingSetBuilder, ZeroWorkingSetPagesAreExcluded) {
   // Section 4.6: "the loader does not need to prefetch the zero regions".
   WorkingSetGroups groups = MakeGroups({{{0, 10}, {5000, 10}}});
   MemoryFile mem = MakeMemory({{0, 10}});  // the 5000s are zero (released set)
-  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
-  EXPECT_EQ(ls.total_pages, 10u);
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(0)});
+  EXPECT_EQ(ls.total_pages.value(), 10u);
   EXPECT_FALSE(ls.GuestPages().Contains(5000));
 }
 
@@ -52,7 +52,7 @@ TEST(LoadingSetBuilder, MergesRegionsWithin32Pages) {
   // First two regions merged, gap pages included.
   EXPECT_EQ(ls.regions[0].guest, (PageRange{0, 24}));
   EXPECT_EQ(ls.regions[1].guest, (PageRange{100, 4}));
-  EXPECT_EQ(ls.total_pages, 28u);
+  EXPECT_EQ(ls.total_pages.value(), 28u);
 }
 
 TEST(LoadingSetBuilder, RegionsSortedByGroupThenAddress) {
@@ -60,7 +60,7 @@ TEST(LoadingSetBuilder, RegionsSortedByGroupThenAddress) {
   // must order by group first so the loader follows access order.
   WorkingSetGroups groups = MakeGroups({{{5000, 8}}, {{100, 8}}});
   MemoryFile mem = MakeMemory({{0, 100000}});
-  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(0)});
   ASSERT_EQ(ls.regions.size(), 2u);
   EXPECT_EQ(ls.regions[0].guest.first, 5000u);
   EXPECT_EQ(ls.regions[0].group, 0u);
@@ -71,7 +71,7 @@ TEST(LoadingSetBuilder, RegionsSortedByGroupThenAddress) {
 TEST(LoadingSetBuilder, WithinGroupSortedByAddress) {
   WorkingSetGroups groups = MakeGroups({{{9000, 4}, {100, 4}, {4000, 4}}});
   MemoryFile mem = MakeMemory({{0, 100000}});
-  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(0)});
   ASSERT_EQ(ls.regions.size(), 3u);
   EXPECT_EQ(ls.regions[0].guest.first, 100u);
   EXPECT_EQ(ls.regions[1].guest.first, 4000u);
@@ -81,12 +81,12 @@ TEST(LoadingSetBuilder, WithinGroupSortedByAddress) {
 TEST(LoadingSetBuilder, FileOffsetsArePackedContiguously) {
   WorkingSetGroups groups = MakeGroups({{{0, 10}, {1000, 20}, {5000, 5}}});
   MemoryFile mem = MakeMemory({{0, 100000}});
-  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(0)});
   ASSERT_EQ(ls.regions.size(), 3u);
   EXPECT_EQ(ls.regions[0].file_start, 0u);
   EXPECT_EQ(ls.regions[1].file_start, 10u);
   EXPECT_EQ(ls.regions[2].file_start, 30u);
-  EXPECT_EQ(ls.total_pages, 35u);
+  EXPECT_EQ(ls.total_pages.value(), 35u);
 }
 
 TEST(LoadingSetBuilder, MergedRegionTakesLowestGroup) {
@@ -94,7 +94,7 @@ TEST(LoadingSetBuilder, MergedRegionTakesLowestGroup) {
   // ("the lowest group number of any page in the region").
   WorkingSetGroups groups = MakeGroups({{{0, 4}}, {{10, 4}}});
   MemoryFile mem = MakeMemory({{0, 1000}});
-  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = 32});
+  LoadingSetFile ls = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(32)});
   ASSERT_EQ(ls.regions.size(), 1u);
   EXPECT_EQ(ls.regions[0].group, 0u);
   EXPECT_EQ(ls.regions[0].guest, (PageRange{0, 14}));
@@ -110,19 +110,19 @@ TEST(LoadingSetBuilder, MergeReducesRegionCountDramatically) {
   }
   groups.groups.push_back(g);
   MemoryFile mem = MakeMemory({{0, 100000}});
-  LoadingSetFile merged = BuildLoadingSet(groups, mem, {.merge_gap_pages = 32});
-  LoadingSetFile unmerged = BuildLoadingSet(groups, mem, {.merge_gap_pages = 0});
+  LoadingSetFile merged = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(32)});
+  LoadingSetFile unmerged = BuildLoadingSet(groups, mem, {.merge_gap_pages = PageCount::FromPages(0)});
   EXPECT_EQ(unmerged.regions.size(), 1000u);
   EXPECT_EQ(merged.regions.size(), 1u);
   // Size grows (gap pages included) but stays bounded.
   EXPECT_GT(merged.total_pages, unmerged.total_pages);
-  EXPECT_LE(merged.total_pages, 3u * unmerged.total_pages);
+  EXPECT_LE(merged.total_pages.value(), 3u * unmerged.total_pages.value());
 }
 
 TEST(LoadingSetBuilder, EmptyInputsYieldEmptyFile) {
   LoadingSetFile ls = BuildLoadingSet(WorkingSetGroups{}, MakeMemory({{0, 10}}));
   EXPECT_TRUE(ls.regions.empty());
-  EXPECT_EQ(ls.total_pages, 0u);
+  EXPECT_EQ(ls.total_pages.value(), 0u);
 }
 
 }  // namespace

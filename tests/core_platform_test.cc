@@ -31,11 +31,11 @@ TEST(PlatformRecord, ProducesAllArtifacts) {
   FunctionSnapshot snap = platform.Record(gen, MakeInputA(gen.spec()));
 
   EXPECT_EQ(snap.function, "json");
-  EXPECT_EQ(snap.guest_pages, 524288u);
+  EXPECT_EQ(snap.guest_pages.value(), 524288u);
   EXPECT_GT(snap.memory_vanilla.nonzero.page_count(), 0u);
-  EXPECT_GT(snap.reap_ws.size_pages(), 0u);
+  EXPECT_GT(snap.reap_ws.size_pages().value(), 0u);
   EXPECT_GT(snap.ws_groups.groups.size(), 1u);
-  EXPECT_GT(snap.loading_set.total_pages, 0u);
+  EXPECT_GT(snap.loading_set.total_pages.value(), 0u);
   EXPECT_GT(snap.record_touched.page_count(), 3000u);
   // Caches were dropped afterwards.
   EXPECT_EQ(platform.cache()->present_page_count(), 0u);
@@ -62,7 +62,7 @@ TEST(PlatformRecord, HostPageRecordingCoversMoreThanReap) {
   Platform platform(TestConfig());
   TraceGenerator gen = Generator("image");
   FunctionSnapshot snap = platform.Record(gen, MakeInputA(gen.spec()));
-  EXPECT_GT(snap.ws_groups.AllPages().page_count(), snap.reap_ws.size_pages());
+  EXPECT_GT(snap.ws_groups.AllPages().page_count(), snap.reap_ws.size_pages().value());
 }
 
 TEST(PlatformRecord, LoadingSetExcludesZeroPages) {
@@ -71,7 +71,7 @@ TEST(PlatformRecord, LoadingSetExcludesZeroPages) {
   FunctionSnapshot snap = platform.Record(gen, MakeInputA(gen.spec()));
   // The 512 MiB of freed anonymous pages are in the working set but sanitized to
   // zero, so the loading set is far smaller than the working set.
-  EXPECT_LT(snap.loading_set.total_pages, snap.ws_groups.total_pages() / 4);
+  EXPECT_LT(snap.loading_set.total_pages.value(), snap.ws_groups.total_pages().value() / 4);
 }
 
 class EndToEndTest : public ::testing::Test {
@@ -174,9 +174,9 @@ TEST_F(EndToEndTest, ReportFieldsArePopulated) {
   EXPECT_EQ(r.mode, "faasnap");
   EXPECT_GT(r.setup_time, Duration::Zero());
   EXPECT_GT(r.invocation_time, Duration::Zero());
-  EXPECT_GT(r.fetch_bytes, 0u);
+  EXPECT_FALSE(r.fetch_bytes.is_zero());
   EXPECT_GT(r.mmap_calls, 1u);
-  EXPECT_GT(r.page_cache_pages, 0u);
+  EXPECT_FALSE(r.page_cache_pages.is_zero());
 }
 
 TEST(PlatformAsync, ParallelInvocationsShareTheCache) {

@@ -21,46 +21,46 @@ class PrefetchLoaderTest : public ::testing::Test {
 };
 
 TEST_F(PrefetchLoaderTest, LoadsAllPagesIntoCache) {
-  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = 64, .pipeline_depth = 2});
+  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = PageCount::FromPages(64), .pipeline_depth = 2});
   bool done = false;
   loader.Start({{kFile, {0, 256}}}, [&] { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
   EXPECT_TRUE(loader.finished());
   EXPECT_EQ(cache_.PresentPages(kFile).page_count(), 256u);
-  EXPECT_EQ(loader.fetched_bytes(), 256 * kPageSize);
-  EXPECT_EQ(loader.skipped_pages(), 0u);
+  EXPECT_EQ(loader.fetched_bytes().value(), 256 * kPageSize);
+  EXPECT_EQ(loader.skipped_pages().value(), 0u);
   EXPECT_GT(loader.fetch_time(), Duration::Zero());
 }
 
 TEST_F(PrefetchLoaderTest, SkipsAlreadyCachedPages) {
   cache_.Insert(kFile, PageRange{0, 128});
-  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = 64, .pipeline_depth = 2});
+  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = PageCount::FromPages(64), .pipeline_depth = 2});
   loader.Start({{kFile, {0, 256}}}, [] {});
   sim_.Run();
-  EXPECT_EQ(loader.fetched_bytes(), 128 * kPageSize);
-  EXPECT_EQ(loader.skipped_pages(), 128u);
+  EXPECT_EQ(loader.fetched_bytes().value(), 128 * kPageSize);
+  EXPECT_EQ(loader.skipped_pages().value(), 128u);
   EXPECT_EQ(cache_.PresentPages(kFile).page_count(), 256u);
 }
 
 TEST_F(PrefetchLoaderTest, TwoLoadersDedupeThroughTheCache) {
   // The bursty same-snapshot case (section 6.6): the loading set is read from disk
   // exactly once even with concurrent loaders.
-  PrefetchLoader a(&sim_, &cache_, &router_, {.chunk_pages = 64, .pipeline_depth = 2});
-  PrefetchLoader b(&sim_, &cache_, &router_, {.chunk_pages = 64, .pipeline_depth = 2});
+  PrefetchLoader a(&sim_, &cache_, &router_, {.chunk_pages = PageCount::FromPages(64), .pipeline_depth = 2});
+  PrefetchLoader b(&sim_, &cache_, &router_, {.chunk_pages = PageCount::FromPages(64), .pipeline_depth = 2});
   int finished = 0;
   a.Start({{kFile, {0, 512}}}, [&] { ++finished; });
   b.Start({{kFile, {0, 512}}}, [&] { ++finished; });
   sim_.Run();
   EXPECT_EQ(finished, 2);
-  EXPECT_EQ(a.fetched_bytes() + b.fetched_bytes(), 512 * kPageSize);
+  EXPECT_EQ(a.fetched_bytes().value() + b.fetched_bytes().value(), 512 * kPageSize);
   EXPECT_EQ(disk_.stats().bytes_read, 512 * kPageSize);
 }
 
 TEST_F(PrefetchLoaderTest, PipelinedChunksApproachFullBandwidth) {
   // 64 MiB sequential with pipeline depth 4: wall clock should be close to the
   // bandwidth bound (64 MiB at 1 GB/s ~= 67 ms), far below the serial-read bound.
-  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = 512, .pipeline_depth = 4});
+  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = PageCount::FromPages(512), .pipeline_depth = 4});
   loader.Start({{kFile, {0, 16384}}}, [] {});
   sim_.Run();
   const double seconds = loader.fetch_time().seconds();
@@ -73,7 +73,7 @@ TEST_F(PrefetchLoaderTest, AdaptiveDepthHalvesUnderDemandPressureAndRampsBack) {
   // refill halves the effective depth (down to the floor); once the device has
   // been quiet for depth_ramp_quiet it doubles back toward the configured depth.
   PrefetchLoader loader(&sim_, &cache_, &router_,
-                        {.chunk_pages = 64,
+                        {.chunk_pages = PageCount::FromPages(64),
                          .pipeline_depth = 4,
                          .adaptive_depth = true,
                          .min_pipeline_depth = 1,
@@ -102,8 +102,8 @@ TEST_F(PrefetchLoaderTest, AdaptiveDepthHalvesUnderDemandPressureAndRampsBack) {
 
 TEST_F(PrefetchLoaderTest, AdaptiveDepthOffKeepsConfiguredDepth) {
   PrefetchLoader loader(&sim_, &cache_, &router_,
-                        {.chunk_pages = 64, .pipeline_depth = 4, .adaptive_depth = false});
-  router_.Read(kFile, MiB(512), kPageSize, [] {}, kNoSpan, ReadClass::kDemand);
+                        {.chunk_pages = PageCount::FromPages(64), .pipeline_depth = 4, .adaptive_depth = false});
+  router_.Read(kFile, MiB(512).value(), kPageSize, [] {}, kNoSpan, ReadClass::kDemand);
   loader.Start({{kFile, {0, 1024}}}, [] {});
   sim_.Run();
   EXPECT_EQ(loader.current_depth(), 4);
@@ -111,7 +111,7 @@ TEST_F(PrefetchLoaderTest, AdaptiveDepthOffKeepsConfiguredDepth) {
 
 TEST_F(PrefetchLoaderTest, MultipleItemsLoadInOrder) {
   // Group-ordered loading: earlier items should complete no later than later ones.
-  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = 32, .pipeline_depth = 1});
+  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = PageCount::FromPages(32), .pipeline_depth = 1});
   std::vector<PrefetchItem> items = {{kFile, {1000, 32}}, {kFile, {0, 32}}, {kFile, {500, 32}}};
   SimTime first_done;
   sim_.ScheduleAfter(Duration::Micros(200), [&] {
@@ -136,7 +136,7 @@ TEST_F(PrefetchLoaderTest, EmptyPlanFinishesInstantly) {
 }
 
 TEST_F(PrefetchLoaderTest, WaitersOnInFlightLoaderPagesAreWoken) {
-  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = 256, .pipeline_depth = 1});
+  PrefetchLoader loader(&sim_, &cache_, &router_, {.chunk_pages = PageCount::FromPages(256), .pipeline_depth = 1});
   loader.Start({{kFile, {0, 256}}}, [] {});
   // While the read is in flight, a faulting VM can wait on it.
   EXPECT_EQ(cache_.GetState(kFile, 100), PageCache::PageState::kInFlight);

@@ -19,7 +19,7 @@ TEST(FaasnapRecorder, GroupsFormEveryGroupSizePages) {
   EXPECT_EQ(groups.groups[0].page_count(), 4u);
   EXPECT_EQ(groups.groups[1].page_count(), 4u);
   EXPECT_EQ(groups.groups[2].page_count(), 2u);
-  EXPECT_EQ(groups.total_pages(), 10u);
+  EXPECT_EQ(groups.total_pages().value(), 10u);
 }
 
 TEST(FaasnapRecorder, NoFaultAccessesDoNotAdvanceRss) {
@@ -31,7 +31,7 @@ TEST(FaasnapRecorder, NoFaultAccessesDoNotAdvanceRss) {
   }
   WorkingSetGroups groups = recorder.Finish();
   ASSERT_EQ(groups.groups.size(), 1u);
-  EXPECT_EQ(groups.total_pages(), 1u);
+  EXPECT_EQ(groups.total_pages().value(), 1u);
   EXPECT_EQ(recorder.scan_count(), 1u);
 }
 
@@ -91,7 +91,7 @@ TEST(FaasnapRecorder, EmptyRunYieldsNoGroups) {
   FaasnapRecorder recorder(&cache, kMemFile);
   WorkingSetGroups groups = recorder.Finish();
   EXPECT_TRUE(groups.groups.empty());
-  EXPECT_EQ(groups.total_pages(), 0u);
+  EXPECT_EQ(groups.total_pages().value(), 0u);
 }
 
 TEST(ReapRecorder, RecordsFaultOrder) {
@@ -102,7 +102,7 @@ TEST(ReapRecorder, RecordsFaultOrder) {
   recorder.OnAccess(100, FaultClass::kAnonymous);
   ReapWorkingSetFile ws = std::move(recorder).Finish();
   EXPECT_EQ(ws.guest_pages, (std::vector<PageIndex>{500, 3, 100}));
-  EXPECT_EQ(ws.size_pages(), 3u);
+  EXPECT_EQ(ws.size_pages().value(), 3u);
 }
 
 TEST(ReapRecorder, DoesNotSeeReadaheadPages) {
@@ -111,7 +111,7 @@ TEST(ReapRecorder, DoesNotSeeReadaheadPages) {
   recorder.OnAccess(100, FaultClass::kMajor);
   // (readahead caches 101-115 — invisible to userfaultfd tracking)
   ReapWorkingSetFile ws = std::move(recorder).Finish();
-  EXPECT_EQ(ws.size_pages(), 1u);
+  EXPECT_EQ(ws.size_pages().value(), 1u);
 }
 
 TEST(ReapRecorder, IgnoresNoFaultAccesses) {

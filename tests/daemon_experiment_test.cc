@@ -48,7 +48,7 @@ TEST(ExperimentConfig, FullConfigParses) {
   EXPECT_DOUBLE_EQ(config->test_inputs[2].ratio, 0.5);
   EXPECT_EQ(config->platform.disk.name, "ebs-io2");
   EXPECT_EQ(config->platform.ws_group_size, 256u);
-  EXPECT_EQ(config->platform.loading_set.merge_gap_pages, 16u);
+  EXPECT_EQ(config->platform.loading_set.merge_gap_pages.value(), 16u);
   EXPECT_EQ(config->base_seed, 9u);
 }
 

@@ -32,7 +32,7 @@ TEST(EdgeCases, ReapWithEmptyWorkingSetStillServes) {
   platform.DropCaches();
   InvocationReport report =
       platform.Invoke(snapshot, RestoreMode::kReap, generator, MakeInputA(*spec));
-  EXPECT_EQ(report.fetch_bytes, 0u);
+  EXPECT_TRUE(report.fetch_bytes.is_zero());
   EXPECT_GT(report.faults.count(FaultClass::kUffdHandled), 1000);
 }
 
@@ -45,11 +45,11 @@ TEST(EdgeCases, FaasnapWithEmptyLoadingSetStillServes) {
   TraceGenerator generator(*spec, platform.config().layout);
   FunctionSnapshot snapshot = platform.Record(generator, MakeInputA(*spec));
   snapshot.loading_set.regions.clear();
-  snapshot.loading_set.total_pages = 0;
+  snapshot.loading_set.total_pages = PageCount::FromPages(0);
   platform.DropCaches();
   InvocationReport report =
       platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputA(*spec));
-  EXPECT_EQ(report.fetch_bytes, 0u);
+  EXPECT_TRUE(report.fetch_bytes.is_zero());
   // Without prefetch the guest pays majors itself but completes.
   EXPECT_GT(report.faults.count(FaultClass::kMajor), 0);
 }
@@ -60,7 +60,7 @@ TEST(EdgeCases, TinyScaledInput) {
   ASSERT_TRUE(spec.ok());
   TraceGenerator generator(*spec, GuestLayout::Default2GiB());
   InvocationTrace trace = generator.Generate(MakeScaledInput(*spec, 1.0 / 16.0, 5));
-  EXPECT_GT(trace.ops.size(), spec->stable_pages);  // stable + a few input pages
+  EXPECT_GT(trace.ops.size(), spec->stable_pages.value());  // stable + a few input pages
   EXPECT_GT(trace.TotalCompute(), Duration::Zero());
 }
 
@@ -72,7 +72,7 @@ TEST(EdgeCases, OversizedScaledInputClampsToWindowZone) {
   TraceGenerator generator(*spec, layout);
   InvocationTrace trace = generator.Generate(MakeScaledInput(*spec, 64.0, 5));
   for (const TraceOp& op : trace.ops) {
-    ASSERT_LT(op.page, layout.total_pages);
+    ASSERT_LT(op.page, layout.total_pages.value());
   }
 }
 
@@ -84,7 +84,7 @@ TEST(EdgeCasesDeathTest, RemotePlacementWithoutRemoteDiskAborts) {
 
 TEST(EdgeCases, MergeThresholdZeroProducesManyRegionsButWorks) {
   PlatformConfig config = TestConfig();
-  config.loading_set.merge_gap_pages = 0;
+  config.loading_set.merge_gap_pages = PageCount::Zero();
   Platform platform(config);
   Result<FunctionSpec> spec = FindFunction("hello-world");
   ASSERT_TRUE(spec.ok());
@@ -113,7 +113,7 @@ TEST(EdgeCases, GiantGroupSizeDegradesToSingleGroup) {
 TEST(EdgeCases, CorruptedManifestRejectedAtEveryByte) {
   LoadingSetFile ls;
   ls.regions = {LoadingRegion{{10, 4}, 0, 0}, LoadingRegion{{100, 2}, 1, 4}};
-  ls.total_pages = 6;
+  ls.total_pages = PageCount::FromPages(6);
   const std::vector<uint8_t> good = EncodeLoadingSetManifest(ls);
   ASSERT_TRUE(DecodeLoadingSetManifest(good).ok());
   // Flip one bit at a sample of offsets: decode must never succeed or crash.

@@ -83,7 +83,7 @@ TEST_P(InvocationMatrixTest, AccountingInvariantsHold) {
   }
 
   // Disk accounting: fault-attributed traffic never exceeds total traffic.
-  EXPECT_LE(faults.fault_disk_bytes, report.disk.bytes_read + 1);
+  EXPECT_LE(faults.fault_disk_bytes.value(), report.disk.bytes_read + 1);
   EXPECT_LE(faults.fault_disk_requests, report.disk.read_requests);
 
   // Mode-specific structure.
@@ -98,7 +98,7 @@ TEST_P(InvocationMatrixTest, AccountingInvariantsHold) {
       EXPECT_EQ(faults.count(FaultClass::kMajor), 0);
       break;
     case RestoreMode::kFirecracker:
-      EXPECT_EQ(report.fetch_bytes, 0u);
+      EXPECT_TRUE(report.fetch_bytes.is_zero());
       EXPECT_EQ(faults.count(FaultClass::kUffdHandled), 0);
       break;
     case RestoreMode::kReap:
@@ -107,7 +107,7 @@ TEST_P(InvocationMatrixTest, AccountingInvariantsHold) {
       EXPECT_EQ(faults.count(FaultClass::kMajor), 0);  // uffd intercepts everything
       break;
     case RestoreMode::kFaasnap:
-      EXPECT_GT(report.fetch_bytes, 0u);
+      EXPECT_FALSE(report.fetch_bytes.is_zero());
       EXPECT_EQ(faults.count(FaultClass::kUffdHandled), 0);
       // The hierarchical mapping needs at least base + one region.
       EXPECT_GE(report.mmap_calls, 2u);

@@ -9,16 +9,16 @@ constexpr FileId kMemFile = 1;
 constexpr FileId kLoadFile = 2;
 
 TEST(AddressSpace, StartsUnmappedAndNotPresent) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   EXPECT_EQ(space.Resolve(0).kind, BackingKind::kUnmapped);
   EXPECT_EQ(space.Resolve(99).kind, BackingKind::kUnmapped);
   EXPECT_EQ(space.install_state(0), PageInstallState::kNotPresent);
-  EXPECT_EQ(space.resident_pages(), 0u);
+  EXPECT_EQ(space.resident_pages().value(), 0u);
   EXPECT_EQ(space.mmap_call_count(), 0u);
 }
 
 TEST(AddressSpace, AnonymousBaseMapping) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.Map({.guest = {0, 100}, .kind = BackingKind::kAnonymous});
   EXPECT_EQ(space.Resolve(0).kind, BackingKind::kAnonymous);
   EXPECT_EQ(space.Resolve(99).kind, BackingKind::kAnonymous);
@@ -26,7 +26,7 @@ TEST(AddressSpace, AnonymousBaseMapping) {
 }
 
 TEST(AddressSpace, FileMappingTracksOffsets) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.Map({.guest = {10, 20}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 500});
   PageBacking b = space.Resolve(15);
   EXPECT_EQ(b.kind, BackingKind::kFile);
@@ -38,7 +38,7 @@ TEST(AddressSpace, FileMappingTracksOffsets) {
 // The Figure 4 hierarchy: anon base, memory-file regions on top, loading-set
 // regions on top of those.
 TEST(AddressSpace, HierarchicalOverlappingMappings) {
-  AddressSpace space(1000);
+  AddressSpace space(PageCount::FromPages(1000));
   space.Map({.guest = {0, 1000}, .kind = BackingKind::kAnonymous});
   space.Map({.guest = {100, 300}, .kind = BackingKind::kFile, .file = kMemFile,
              .file_start = 100});
@@ -58,7 +58,7 @@ TEST(AddressSpace, HierarchicalOverlappingMappings) {
 }
 
 TEST(AddressSpace, OverlayCoveringMultipleRegions) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.Map({.guest = {0, 10}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 0});
   space.Map({.guest = {10, 10}, .kind = BackingKind::kFile, .file = kLoadFile, .file_start = 0});
   space.Map({.guest = {20, 10}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 20});
@@ -70,7 +70,7 @@ TEST(AddressSpace, OverlayCoveringMultipleRegions) {
 }
 
 TEST(AddressSpace, OverlayAtExactBoundaryPreservesNeighbors) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.Map({.guest = {0, 100}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 0});
   space.Map({.guest = {40, 20}, .kind = BackingKind::kAnonymous});
   EXPECT_EQ(space.Resolve(39).file_page, 39u);
@@ -81,7 +81,7 @@ TEST(AddressSpace, OverlayAtExactBoundaryPreservesNeighbors) {
 }
 
 TEST(AddressSpace, OverlayToEndOfSpace) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.Map({.guest = {0, 100}, .kind = BackingKind::kAnonymous});
   space.Map({.guest = {90, 10}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 90});
   EXPECT_EQ(space.Resolve(99).file_page, 99u);
@@ -89,29 +89,29 @@ TEST(AddressSpace, OverlayToEndOfSpace) {
 }
 
 TEST(AddressSpace, InstallStateTransitionsTrackResidency) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.Map({.guest = {0, 100}, .kind = BackingKind::kAnonymous});
   space.SetInstallState(5, PageInstallState::kPresent);
   space.SetInstallState(6, PageInstallState::kSoftPresent);
-  EXPECT_EQ(space.resident_pages(), 2u);
+  EXPECT_EQ(space.resident_pages().value(), 2u);
   space.SetInstallState(6, PageInstallState::kPresent);  // soft -> present: still resident
-  EXPECT_EQ(space.resident_pages(), 2u);
+  EXPECT_EQ(space.resident_pages().value(), 2u);
   space.SetInstallState(5, PageInstallState::kNotPresent);
-  EXPECT_EQ(space.resident_pages(), 1u);
+  EXPECT_EQ(space.resident_pages().value(), 1u);
 }
 
 TEST(AddressSpace, RangeInstall) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.SetInstallState(PageRange{10, 30}, PageInstallState::kSoftPresent);
-  EXPECT_EQ(space.resident_pages(), 30u);
+  EXPECT_EQ(space.resident_pages().value(), 30u);
   EXPECT_EQ(space.install_state(10), PageInstallState::kSoftPresent);
   EXPECT_EQ(space.install_state(39), PageInstallState::kSoftPresent);
   EXPECT_EQ(space.install_state(40), PageInstallState::kNotPresent);
 }
 
 TEST(AddressSpace, RangeInstallMatchesPerPageInstall) {
-  AddressSpace by_range(200);
-  AddressSpace by_page(200);
+  AddressSpace by_range(PageCount::FromPages(200));
+  AddressSpace by_page(PageCount::FromPages(200));
   // A non-trivial state sequence: overlapping ranges with up- and downgrades.
   const struct {
     PageRange range;
@@ -132,11 +132,11 @@ TEST(AddressSpace, RangeInstallMatchesPerPageInstall) {
   for (PageIndex p = 0; p < 200; ++p) {
     EXPECT_EQ(by_range.install_state(p), by_page.install_state(p)) << p;
   }
-  EXPECT_EQ(by_range.resident_pages(), by_page.resident_pages());
+  EXPECT_EQ(by_range.resident_pages().value(), by_page.resident_pages().value());
 }
 
 TEST(AddressSpace, AllInState) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.SetInstallState(PageRange{10, 20}, PageInstallState::kPresent);
   EXPECT_TRUE(space.AllInState(PageRange{10, 20}, PageInstallState::kPresent));
   EXPECT_TRUE(space.AllInState(PageRange{15, 5}, PageInstallState::kPresent));
@@ -145,7 +145,7 @@ TEST(AddressSpace, AllInState) {
 }
 
 TEST(AddressSpace, MappingRunFollowsOverlayBoundaries) {
-  AddressSpace space(1000);
+  AddressSpace space(PageCount::FromPages(1000));
   space.Map({.guest = {0, 1000}, .kind = BackingKind::kAnonymous});
   space.Map({.guest = {100, 300}, .kind = BackingKind::kFile, .file = kMemFile,
              .file_start = 100});
@@ -159,8 +159,8 @@ TEST(AddressSpace, MappingRunFollowsOverlayBoundaries) {
 }
 
 TEST(AddressSpace, HugeRegionStateTracking) {
-  AddressSpace space(1200);
-  space.ConfigureHugeRegions(512);
+  AddressSpace space(PageCount::FromPages(1200));
+  space.ConfigureHugeRegions(PageCount::FromPages(512));
   EXPECT_EQ(space.huge_region_state(0), HugeRegionState::kNone);
   space.MarkHugeEligible(512);
   // Every page of the region sees its state.
@@ -173,22 +173,22 @@ TEST(AddressSpace, HugeRegionStateTracking) {
   space.SetHugeRegionState(700, HugeRegionState::kInstalled);
   EXPECT_EQ(space.huge_region_state(513), HugeRegionState::kInstalled);
   // Reconfiguring clears all marks.
-  space.ConfigureHugeRegions(256);
+  space.ConfigureHugeRegions(PageCount::FromPages(256));
   EXPECT_EQ(space.huge_region_state(512), HugeRegionState::kNone);
   EXPECT_EQ(space.HugeRegionOf(700), (PageRange{512, 256}));
 }
 
 TEST(AddressSpace, ResidentAnonymousPages) {
-  AddressSpace space(100);
+  AddressSpace space(PageCount::FromPages(100));
   space.Map({.guest = {0, 50}, .kind = BackingKind::kAnonymous});
   space.Map({.guest = {50, 50}, .kind = BackingKind::kFile, .file = kMemFile, .file_start = 0});
   space.SetInstallState(PageRange{40, 20}, PageInstallState::kPresent);
-  EXPECT_EQ(space.resident_pages(), 20u);
-  EXPECT_EQ(space.resident_anonymous_pages(), 10u);  // pages 40-49 only
+  EXPECT_EQ(space.resident_pages().value(), 20u);
+  EXPECT_EQ(space.resident_anonymous_pages().value(), 10u);  // pages 40-49 only
 }
 
 TEST(AddressSpaceDeathTest, OutOfBoundsAborts) {
-  AddressSpace space(10);
+  AddressSpace space(PageCount::FromPages(10));
   EXPECT_DEATH(space.Resolve(10), "FAASNAP_CHECK");
   EXPECT_DEATH(space.Map({.guest = {5, 10}, .kind = BackingKind::kAnonymous}), "FAASNAP_CHECK");
 }

@@ -10,11 +10,11 @@ namespace {
 
 constexpr FileId kMemFile = 1;
 constexpr uint64_t kSpacePages = 4096;
-constexpr uint64_t kFilePages = 4096;
+constexpr PageCount kFilePages = PageCount::FromPages(4096);
 
 class FaultEngineTest : public ::testing::Test {
  protected:
-  FaultEngineTest() : disk_(&sim_, TestDiskProfile()), space_(kSpacePages) {
+  FaultEngineTest() : disk_(&sim_, TestDiskProfile()), space_(PageCount::FromPages(kSpacePages)) {
     router_.AddDevice(&disk_);
     HostCostModel costs;
     costs.cost_dispersion = false;  // exact-cost assertions below
@@ -65,7 +65,7 @@ TEST_F(FaultEngineTest, AnonymousFaultCostsAnonLatency) {
 TEST_F(FaultEngineTest, MinorFaultServedFromPageCache) {
   space_.Map({.guest = {0, kSpacePages}, .kind = BackingKind::kFile, .file = kMemFile,
               .file_start = 0});
-  cache_.Insert(kMemFile, PageRange{0, kFilePages});
+  cache_.Insert(kMemFile, PageRange{0, kFilePages.value()});
   auto [cls, elapsed] = AccessAndWait(100);
   EXPECT_EQ(cls, FaultClass::kMinor);
   EXPECT_EQ(elapsed, engine_->costs().minor_fault);
@@ -81,7 +81,7 @@ TEST_F(FaultEngineTest, MajorFaultReadsFromDiskWithReadahead) {
   EXPECT_GT(elapsed, Duration::Micros(32));
   EXPECT_EQ(engine_->metrics().fault_disk_requests, 1u);
   // Readahead pulled the initial window (16 pages) into the cache.
-  EXPECT_EQ(engine_->metrics().fault_disk_bytes, 16 * kPageSize);
+  EXPECT_EQ(engine_->metrics().fault_disk_bytes.value(), 16 * kPageSize);
   EXPECT_TRUE(cache_.IsPresent(kMemFile, 100));
   EXPECT_TRUE(cache_.IsPresent(kMemFile, 115));
   EXPECT_FALSE(cache_.IsPresent(kMemFile, 116));

@@ -16,12 +16,12 @@ namespace {
 
 constexpr FileId kMemFile = 1;
 constexpr uint64_t kSpacePages = 4096;
-constexpr uint64_t kFilePages = 4096;
+constexpr PageCount kFilePages = PageCount::FromPages(4096);
 constexpr uint64_t kHugePages = 512;  // 2 MiB of 4 KiB pages
 
 class FaultPathTest : public ::testing::Test {
  protected:
-  FaultPathTest() : disk_(&sim_, TestDiskProfile()), space_(kSpacePages) {
+  FaultPathTest() : disk_(&sim_, TestDiskProfile()), space_(PageCount::FromPages(kSpacePages)) {
     router_.AddDevice(&disk_);
   }
 
@@ -108,9 +108,9 @@ TEST_F(FaultPathTest, BatchedUffdFaultInstallsRunWithMarginalPerPageCost) {
   }
   EXPECT_EQ(space_.install_state(38), PageInstallState::kNotPresent);
   EXPECT_EQ(engine_->metrics().batch_installs, 1u);
-  EXPECT_EQ(engine_->metrics().batch_installed_pages, 8u);
+  EXPECT_EQ(engine_->metrics().batch_installed_pages.value(), 8u);
   // UFFDIO_COPY copies the whole run into anonymous memory.
-  EXPECT_EQ(space_.anon_copied_pages(), 8u);
+  EXPECT_EQ(space_.anon_copied_pages().value(), 8u);
   auto [cls2, elapsed2] = AccessAndWait(34);
   EXPECT_EQ(cls2, FaultClass::kUffdPreinstalled);
   EXPECT_EQ(elapsed2, engine_->costs().uffd_preinstalled_fault);
@@ -133,7 +133,7 @@ TEST_F(FaultPathTest, BatchedRunIsTrimmedToUninstalledPages) {
   EXPECT_EQ(elapsed, Duration::Micros(10) + engine_->costs().uffd_round_trip +
                          engine_->costs().uffd_batch_per_page * 4 +
                          engine_->uffd_vcpu_block_extra());
-  EXPECT_EQ(engine_->metrics().batch_installed_pages, 5u);
+  EXPECT_EQ(engine_->metrics().batch_installed_pages.value(), 5u);
   EXPECT_EQ(space_.install_state(34), PageInstallState::kSoftPresent);
   EXPECT_EQ(space_.install_state(36), PageInstallState::kNotPresent);
   EXPECT_EQ(space_.install_state(37), PageInstallState::kNotPresent);
@@ -161,14 +161,14 @@ TEST_F(FaultPathTest, HandlerWithoutBatchSupportFallsBackToSinglePage) {
   EXPECT_EQ(elapsed, Duration::Micros(10) + engine_->costs().uffd_round_trip +
                          engine_->uffd_vcpu_block_extra());
   EXPECT_EQ(engine_->metrics().batch_installs, 1u);
-  EXPECT_EQ(engine_->metrics().batch_installed_pages, 1u);
+  EXPECT_EQ(engine_->metrics().batch_installed_pages.value(), 1u);
   EXPECT_EQ(space_.install_state(41), PageInstallState::kNotPresent);
 }
 
 TEST_F(FaultPathTest, HugeFaultInstallsWholeAnonymousRegion) {
   MakeEngine({.huge_pages = true});
   space_.Map({.guest = {0, kSpacePages}, .kind = BackingKind::kAnonymous});
-  space_.ConfigureHugeRegions(kHugePages);
+  space_.ConfigureHugeRegions(PageCount::FromPages(kHugePages));
   space_.MarkHugeEligible(512);
 
   auto [cls, elapsed] = AccessAndWait(600);
@@ -177,7 +177,7 @@ TEST_F(FaultPathTest, HugeFaultInstallsWholeAnonymousRegion) {
   EXPECT_TRUE(space_.AllInState(PageRange{512, kHugePages}, PageInstallState::kPresent));
   EXPECT_EQ(space_.huge_region_state(600), HugeRegionState::kInstalled);
   EXPECT_EQ(engine_->metrics().huge_installs, 1u);
-  EXPECT_EQ(engine_->metrics().huge_installed_pages, kHugePages);
+  EXPECT_EQ(engine_->metrics().huge_installed_pages.value(), kHugePages);
   EXPECT_EQ(engine_->metrics().count(FaultClass::kHugeInstall), 1);
   // Every other page of the region is now fault-free.
   EXPECT_TRUE(engine_->Access(512, [](FaultClass) {}));
@@ -192,7 +192,7 @@ TEST_F(FaultPathTest, FullyCachedFileRegionInstallsHuge) {
   MakeEngine({.huge_pages = true});
   space_.Map({.guest = {0, kSpacePages}, .kind = BackingKind::kFile, .file = kMemFile,
               .file_start = 0});
-  space_.ConfigureHugeRegions(kHugePages);
+  space_.ConfigureHugeRegions(PageCount::FromPages(kHugePages));
   space_.MarkHugeEligible(512);
   cache_.Insert(kMemFile, PageRange{512, kHugePages});
 
@@ -206,7 +206,7 @@ TEST_F(FaultPathTest, PartiallyCachedFileRegionSplitsOnceThenFaultsNormally) {
   MakeEngine({.huge_pages = true});
   space_.Map({.guest = {0, kSpacePages}, .kind = BackingKind::kFile, .file = kMemFile,
               .file_start = 0});
-  space_.ConfigureHugeRegions(kHugePages);
+  space_.ConfigureHugeRegions(PageCount::FromPages(kHugePages));
   space_.MarkHugeEligible(512);
   // Only 100 of 512 backing pages are resident: not huge-mappable.
   cache_.Insert(kMemFile, PageRange{512, 100});
@@ -232,7 +232,7 @@ TEST_F(FaultPathTest, EligibleRegionSpanningMappingsSplits) {
   // single-mapping requirement.
   space_.Map({.guest = {600, 100}, .kind = BackingKind::kFile, .file = kMemFile,
               .file_start = 600});
-  space_.ConfigureHugeRegions(kHugePages);
+  space_.ConfigureHugeRegions(PageCount::FromPages(kHugePages));
   space_.MarkHugeEligible(512);
 
   auto [cls, elapsed] = AccessAndWait(513);
@@ -256,7 +256,7 @@ TEST_F(FaultPathTest, CoalescedFaultRetiresWholeInFlightRun) {
   EXPECT_TRUE(space_.AllInState(PageRange{100, 100}, PageInstallState::kPresent));
   EXPECT_EQ(space_.install_state(99), PageInstallState::kNotPresent);
   EXPECT_EQ(space_.install_state(200), PageInstallState::kNotPresent);
-  EXPECT_EQ(engine_->metrics().coalesced_pages, 99u);
+  EXPECT_EQ(engine_->metrics().coalesced_pages.value(), 99u);
   EXPECT_EQ(engine_->metrics().count(FaultClass::kInFlightWait), 1);
   // No extra disk traffic, and neighbors are now free.
   EXPECT_EQ(engine_->metrics().fault_disk_requests, 0u);
@@ -276,7 +276,7 @@ TEST_F(FaultPathTest, CoalescingOffRetiresOnlyTheFaultingPage) {
   EXPECT_EQ(cls, FaultClass::kInFlightWait);
   EXPECT_EQ(space_.install_state(150), PageInstallState::kPresent);
   EXPECT_EQ(space_.install_state(151), PageInstallState::kNotPresent);
-  EXPECT_EQ(engine_->metrics().coalesced_pages, 0u);
+  EXPECT_EQ(engine_->metrics().coalesced_pages.value(), 0u);
 }
 
 TEST_F(FaultPathTest, DisabledLeversMatchEngineWithoutFaultPathConfig) {
@@ -284,7 +284,7 @@ TEST_F(FaultPathTest, DisabledLeversMatchEngineWithoutFaultPathConfig) {
   // FaultPathConfig must cost exactly what one that never saw the config does.
   HostCostModel costs;
   costs.cost_dispersion = false;
-  AddressSpace baseline_space(kSpacePages);
+  AddressSpace baseline_space(PageCount::FromPages(kSpacePages));
   FaultEngine baseline(&sim_, &cache_, &router_, &baseline_space, &readahead_,
                        [](FileId) { return kFilePages; }, costs);
   baseline_space.Map({.guest = {0, kSpacePages}, .kind = BackingKind::kAnonymous});
@@ -320,17 +320,17 @@ TEST(FaultPathConfigTest, AnyEnabledReflectsEachLever) {
 FunctionSnapshot FragmentedSnapshot(SnapshotStore* store) {
   FunctionSnapshot snap;
   snap.function = "fragmented";
-  snap.guest_pages = 1000;
+  snap.guest_pages = PageCount::FromPages(1000);
 
-  snap.memory_vanilla.total_pages = 1000;
+  snap.memory_vanilla.total_pages = PageCount::FromPages(1000);
   snap.memory_vanilla.nonzero.Add(0, 200);
   snap.memory_vanilla.nonzero.Add(300, 100);
   snap.memory_vanilla.nonzero.Add(500, 5);
-  snap.memory_vanilla.id = store->Register("frag.mem", 1000);
+  snap.memory_vanilla.id = store->Register("frag.mem", PageCount::FromPages(1000));
 
-  snap.memory_sanitized.total_pages = 1000;
+  snap.memory_sanitized.total_pages = PageCount::FromPages(1000);
   snap.memory_sanitized.nonzero.Add(0, 200);
-  snap.memory_sanitized.id = store->Register("frag.smem", 1000);
+  snap.memory_sanitized.id = store->Register("frag.smem", PageCount::FromPages(1000));
 
   PageRangeSet g0;
   g0.Add(100, 50);
@@ -393,15 +393,15 @@ struct ReapRun {
 TEST(ReapBatchedInstall, CoversExactlyTheSamePagesAsPerPageInstall) {
   ReapRun per_page(/*batched=*/false);
   ReapRun batched(/*batched=*/true);
-  for (PageIndex p = 0; p < per_page.snapshot.guest_pages; ++p) {
+  for (PageIndex p = 0; p < per_page.snapshot.guest_pages.value(); ++p) {
     EXPECT_EQ(per_page.space.install_state(p), batched.space.install_state(p)) << p;
   }
-  EXPECT_EQ(per_page.space.resident_pages(), batched.space.resident_pages());
-  EXPECT_EQ(per_page.space.anon_copied_pages(), batched.space.anon_copied_pages());
+  EXPECT_EQ(per_page.space.resident_pages().value(), batched.space.resident_pages().value());
+  EXPECT_EQ(per_page.space.anon_copied_pages().value(), batched.space.anon_copied_pages().value());
   // Per-page leaves no batch trace; batched records one install per run.
   EXPECT_EQ(per_page.engine->metrics().batch_installs, 0u);
   EXPECT_EQ(batched.engine->metrics().batch_installs, 5u);
-  EXPECT_EQ(batched.engine->metrics().batch_installed_pages, 103u);
+  EXPECT_EQ(batched.engine->metrics().batch_installed_pages.value(), 103u);
 }
 
 TEST(ReapBatchedInstall, BatchingShortensTheBlockingInstall) {

@@ -6,13 +6,13 @@ namespace faasnap {
 namespace {
 
 constexpr FileId kFile = 1;
-constexpr uint64_t kFilePages = 100000;
+constexpr PageCount kFilePages = PageCount::FromPages(100000);
 
 TEST(Readahead, FirstFaultGetsInitialWindow) {
   ReadaheadPolicy ra;
   PageRange w = ra.WindowFor(kFile, 1000, kFilePages);
   EXPECT_EQ(w.first, 1000u);
-  EXPECT_EQ(w.count, ra.config().initial_window_pages);
+  EXPECT_EQ(w.count, ra.config().initial_window_pages.value());
 }
 
 TEST(Readahead, SequentialStreamDoublesWindowUpToMax) {
@@ -33,23 +33,23 @@ TEST(Readahead, RandomJumpShrinksToFaultAroundWindow) {
   ra.WindowFor(kFile, 0, kFilePages);
   ra.WindowFor(kFile, 16, kFilePages);  // grown to 32
   PageRange w = ra.WindowFor(kFile, 50000, kFilePages);
-  EXPECT_EQ(w.count, ra.config().random_window_pages);
+  EXPECT_EQ(w.count, ra.config().random_window_pages.value());
   // A sequential stream resuming after the jump grows again.
   w = ra.WindowFor(kFile, 50000 + w.count, kFilePages);
-  EXPECT_EQ(w.count, ra.config().random_window_pages * 2);
+  EXPECT_EQ(w.count, ra.config().random_window_pages.value() * 2);
 }
 
 TEST(Readahead, BackwardJumpShrinksWindow) {
   ReadaheadPolicy ra;
   ra.WindowFor(kFile, 1000, kFilePages);
   PageRange w = ra.WindowFor(kFile, 500, kFilePages);
-  EXPECT_EQ(w.count, ra.config().random_window_pages);
+  EXPECT_EQ(w.count, ra.config().random_window_pages.value());
 }
 
 TEST(Readahead, WindowClampsAtEndOfFile) {
   ReadaheadPolicy ra;
-  PageRange w = ra.WindowFor(kFile, kFilePages - 3, kFilePages);
-  EXPECT_EQ(w.first, kFilePages - 3);
+  PageRange w = ra.WindowFor(kFile, kFilePages.value() - 3, kFilePages);
+  EXPECT_EQ(w.first, kFilePages.value() - 3);
   EXPECT_EQ(w.count, 3u);
 }
 
@@ -58,14 +58,14 @@ TEST(Readahead, StreamsArePerFile) {
   ra.WindowFor(1, 0, kFilePages);
   ra.WindowFor(1, 16, kFilePages);  // file 1 grown
   PageRange w2 = ra.WindowFor(2, 0, kFilePages);
-  EXPECT_EQ(w2.count, ra.config().initial_window_pages);
+  EXPECT_EQ(w2.count, ra.config().initial_window_pages.value());
   PageRange w1 = ra.WindowFor(1, 48, kFilePages);
   EXPECT_EQ(w1.count, 64u);
 }
 
 TEST(Readahead, DisabledReadsSinglePage) {
-  ReadaheadPolicy ra(ReadaheadConfig{.initial_window_pages = 16,
-                                     .max_window_pages = 64,
+  ReadaheadPolicy ra(ReadaheadConfig{.initial_window_pages = PageCount::FromPages(16),
+                                     .max_window_pages = PageCount::FromPages(64),
                                      .enabled = false});
   PageRange w = ra.WindowFor(kFile, 10, kFilePages);
   EXPECT_EQ(w, (PageRange{10, 1}));
@@ -77,7 +77,7 @@ TEST(Readahead, ResetForgetsStreams) {
   ra.WindowFor(kFile, 16, kFilePages);
   ra.Reset();
   PageRange w = ra.WindowFor(kFile, 32, kFilePages);
-  EXPECT_EQ(w.count, ra.config().initial_window_pages);
+  EXPECT_EQ(w.count, ra.config().initial_window_pages.value());
 }
 
 TEST(Readahead, StreamTableIsBoundedWithLruEviction) {
@@ -91,7 +91,7 @@ TEST(Readahead, StreamTableIsBoundedWithLruEviction) {
   ra.WindowFor(5, 0, kFilePages);   // new file evicts file 2
   EXPECT_EQ(ra.stream_count(), 4u);
   // The evicted file restarts like a fresh stream...
-  EXPECT_EQ(ra.WindowFor(2, 32, kFilePages).count, ra.config().initial_window_pages);
+  EXPECT_EQ(ra.WindowFor(2, 32, kFilePages).count, ra.config().initial_window_pages.value());
   // ...while the refreshed survivor kept its grown window.
   EXPECT_EQ(ra.WindowFor(1, 112, kFilePages).count, 64u);
 }

@@ -63,7 +63,7 @@ TEST(InvocationReportJson, ContainsAllSections) {
   report.mode = "faasnap";
   report.setup_time = Duration::Millis(50);
   report.invocation_time = Duration::Millis(130);
-  report.fetch_bytes = 1234;
+  report.fetch_bytes = ByteCount::FromBytes(1234);
   report.faults.RecordFault(FaultClass::kMinor, Duration::Micros(4));
   report.faults.RecordFault(FaultClass::kMajor, Duration::Micros(100));
   const std::string json = InvocationReportToJson(report);

@@ -25,7 +25,7 @@ PageRangeSet SampleNonZero() {
 
 std::unique_ptr<NativeSnapshotSession> MakeSession() {
   NativeSnapshotSession::Config config;
-  config.guest_pages = 2048;  // 8 MiB
+  config.guest_pages = PageCount::FromPages(2048);  // 8 MiB
   auto session = NativeSnapshotSession::Create(config, SampleNonZero());
   FAASNAP_CHECK_OK(session.status());
   return std::move(session).value();
@@ -117,9 +117,9 @@ TEST(NativeSnapshotSession, EndToEndRestoreVerifiesStamps) {
   Result<WorkingSetGroups> groups = session->RecordWorkingSet(accesses, 32);
   ASSERT_TRUE(groups.ok());
 
-  Result<LoadingSetFile> loading = session->BuildAndWriteLoadingSet(*groups, 32);
+  Result<LoadingSetFile> loading = session->BuildAndWriteLoadingSet(*groups, PageCount::FromPages(32));
   ASSERT_TRUE(loading.ok()) << loading.status().ToString();
-  EXPECT_GT(loading->total_pages, 0u);
+  EXPECT_GT(loading->total_pages.value(), 0u);
   EXPECT_GT(loading->regions.size(), 0u);
 
   session->DropCaches();
@@ -147,7 +147,7 @@ TEST(NativeSnapshotSession, ManifestRoundTripsFromDisk) {
   std::vector<PageIndex> accesses = {100, 101, 102, 1000, 1001};
   Result<WorkingSetGroups> groups = session->RecordWorkingSet(accesses, 2);
   ASSERT_TRUE(groups.ok());
-  Result<LoadingSetFile> loading = session->BuildAndWriteLoadingSet(*groups, 32);
+  Result<LoadingSetFile> loading = session->BuildAndWriteLoadingSet(*groups, PageCount::FromPages(32));
   ASSERT_TRUE(loading.ok());
 
   std::ifstream in(session->manifest_path(), std::ios::binary);

@@ -40,13 +40,13 @@ void Invoke(FlightRecorder* rec, int64_t start_ns, int64_t total_ns, ForensicOut
                                          obsname::kInvocation, 0, 0, invoke);
   spans->End(invocation, end);
   spans->End(invoke, end, static_cast<uint64_t>(outcome));
-  rec->OnInvokeEnd(invoke, outcome, function, total_ns);
+  rec->OnInvokeEnd(invoke, outcome, function, Duration::Nanos(total_ns));
 }
 
 std::multiset<int64_t> RetainedTotals(const std::vector<FlightRecorder::RetainedInvocation>& v) {
   std::multiset<int64_t> totals;
   for (const auto& r : v) {
-    totals.insert(r.total_ns);
+    totals.insert(r.total.nanos());
   }
   return totals;
 }
@@ -55,7 +55,7 @@ TEST(FlightRecorderTest, DisabledRecorderIsInert) {
   FlightRecorder rec;
   EXPECT_FALSE(rec.enabled());
   rec.OnInvokeBegin();
-  rec.OnInvokeEnd(kNoSpan, ForensicOutcome::kOk, "json", 100);
+  rec.OnInvokeEnd(kNoSpan, ForensicOutcome::kOk, "json", Duration::Nanos(100));
   rec.MaybeRecycle();
   EXPECT_EQ(rec.invocations(), 0);
   EXPECT_EQ(rec.SummaryToJson(), "{\"enabled\":false}");
@@ -141,7 +141,7 @@ TEST(FlightRecorderTest, MissingInvokeSpanCountsAsUnanalyzed) {
   FlightRecorder rec;
   rec.Configure(ForensicsConfig{}, nullptr);
   rec.OnInvokeBegin();
-  rec.OnInvokeEnd(kNoSpan, ForensicOutcome::kOk, "json", 5'000);
+  rec.OnInvokeEnd(kNoSpan, ForensicOutcome::kOk, "json", Duration::Nanos(5'000));
   EXPECT_EQ(rec.invocations(), 1);
   EXPECT_EQ(rec.unanalyzed(), 1);
 }
@@ -155,13 +155,13 @@ TEST(FlightRecorderTest, DegradedAndFailedBreakdownsPartitionExactly) {
   Invoke(&rec, 1'000'000, 60'000, ForensicOutcome::kFailed);
   ASSERT_EQ(rec.retained_non_ok().size(), 2u);
   for (const auto& r : rec.retained_non_ok()) {
-    EXPECT_EQ(r.breakdown.Sum().nanos(), r.total_ns)
+    EXPECT_EQ(r.breakdown.Sum().nanos(), r.total.nanos())
         << "phases must partition the invoke window exactly";
-    EXPECT_EQ(r.breakdown.total.nanos(), r.total_ns);
+    EXPECT_EQ(r.breakdown.total.nanos(), r.total.nanos());
     // The skeleton spends 1/5 dispatching and 1/5 in setup.
-    EXPECT_EQ(r.breakdown.dispatch.nanos(), r.total_ns / 5);
-    EXPECT_EQ(r.breakdown.setup_cpu.nanos(), r.total_ns / 5);
-    EXPECT_EQ(r.breakdown.guest_run.nanos(), r.total_ns - 2 * (r.total_ns / 5));
+    EXPECT_EQ(r.breakdown.dispatch.nanos(), r.total.nanos() / 5);
+    EXPECT_EQ(r.breakdown.setup_cpu.nanos(), r.total.nanos() / 5);
+    EXPECT_EQ(r.breakdown.guest_run.nanos(), r.total.nanos() - 2 * (r.total.nanos() / 5));
   }
 }
 
@@ -255,7 +255,7 @@ TEST(FlightRecorderTest, PlatformDrivesRecorderEndToEnd) {
   EXPECT_GT(obs.forensics.recycles(), 0);
   ASSERT_EQ(obs.forensics.retained_slowest().size(), 2u);
   for (const auto& r : obs.forensics.retained_slowest()) {
-    EXPECT_EQ(r.breakdown.Sum().nanos(), r.total_ns);
+    EXPECT_EQ(r.breakdown.Sum().nanos(), r.total.nanos());
     EXPECT_FALSE(r.spans.empty());
   }
   // The retained trace is valid JSON and the digest parses.

@@ -118,7 +118,7 @@ TEST(MetricsTimelineTest, GapWithLateActivityCoalescesToOneLine) {
 TEST(MetricsTimelineTest, GaugeAndHistogramSeries) {
   Harness h;
   Gauge* depth = h.registry.GetGauge("disk.queue_depth");
-  Log2Histogram* hist = h.registry.GetHistogram("fault.handling_ns", {}, 1000, 8);
+  Log2Histogram* hist = h.registry.GetHistogram("fault.handling_ns", {}, Duration::Nanos(1000), 8);
   h.timeline.BeginEpoch("mixed");
   depth->Add(3);
   hist->Record(Duration::Nanos(1500));
@@ -162,7 +162,7 @@ TEST(MetricsTimelineTest, QuantilesCanBeDisabled) {
   config.quantiles = false;
   timeline.Configure(&registry, config,
                      [&](const std::string& line) { lines.push_back(line); });
-  registry.GetHistogram("fault.handling_ns", {}, 1000, 8)->Record(Duration::Nanos(1500));
+  registry.GetHistogram("fault.handling_ns", {}, Duration::Nanos(1000), 8)->Record(Duration::Nanos(1500));
   timeline.Flush(SimTime() + Duration::Micros(50));
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_FALSE(FindMetric(Parse(lines[0]), "fault.handling_ns").Has("p50_ns"));

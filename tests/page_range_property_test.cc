@@ -175,7 +175,7 @@ TEST(PageRangePropertyTest, ComplementAndGapMergeMatchReference) {
       if (!ref.count(p)) ref_complement.insert(p);
     }
     ASSERT_NO_FATAL_FAILURE(
-        CheckAgainstReference(s.ComplementWithin(kSpacePages), ref_complement));
+        CheckAgainstReference(s.ComplementWithin(PageCount::FromPages(kSpacePages)), ref_complement));
 
     // Gap-tolerant merge: a page is in the result iff it is in the set or lies
     // in a gap of width <= tol between two member pages.
@@ -189,7 +189,7 @@ TEST(PageRangePropertyTest, ComplementAndGapMergeMatchReference) {
       }
     }
     ASSERT_NO_FATAL_FAILURE(
-        CheckAgainstReference(s.MergeWithGapTolerance(tol), ref_merged))
+        CheckAgainstReference(s.MergeWithGapTolerance(PageCount::FromPages(tol)), ref_merged))
         << "tol " << tol;
   }
 }

@@ -110,7 +110,7 @@ class AddressSpacePropertyTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(AddressSpacePropertyTest, LayeringMatchesPerPageOracle) {
   Rng rng(GetParam());
   constexpr uint64_t kPages = 512;
-  AddressSpace space(kPages);
+  AddressSpace space(PageCount::FromPages(kPages));
   std::vector<PageBacking> oracle(kPages);  // default: unmapped
 
   for (int step = 0; step < 120; ++step) {
@@ -156,9 +156,9 @@ TEST_P(FaultEnginePropertyTest, RandomWorkloadInvariants) {
   StorageRouter router;
   router.AddDevice(&disk);
   constexpr uint64_t kPages = 2048;
-  AddressSpace space(kPages);
+  AddressSpace space(PageCount::FromPages(kPages));
   ReadaheadPolicy readahead;
-  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return kPages; });
+  FaultEngine engine(&sim, &cache, &router, &space, &readahead, [](FileId) { return PageCount::FromPages(kPages); });
 
   // Random layered mapping: anon base + a few file regions.
   space.Map({.guest = {0, kPages}, .kind = BackingKind::kAnonymous});
@@ -205,7 +205,7 @@ TEST_P(FaultEnginePropertyTest, RandomWorkloadInvariants) {
   EXPECT_LE(m.total_faults(), issued);
   EXPECT_GE(static_cast<uint64_t>(m.total_faults()) + 80, accessed.page_count());
   // Disk traffic attributed to faults matches the device totals (no other actor).
-  EXPECT_EQ(m.fault_disk_bytes, disk.stats().bytes_read);
+  EXPECT_EQ(m.fault_disk_bytes.value(), disk.stats().bytes_read);
   EXPECT_EQ(m.fault_disk_requests, disk.stats().read_requests);
   // Cache contains exactly what fault-path reads brought in: every file-backed
   // accessed page must now be present in the cache.

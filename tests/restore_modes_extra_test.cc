@@ -69,7 +69,7 @@ TEST_F(RestoreModesTest, AblationModesAreMonotonicallyBetter) {
 TEST_F(RestoreModesTest, ConcurrentOnlyKeepsWholeFileMapping) {
   InvocationReport con = Run(RestoreMode::kFaasnapConcurrentOnly);
   EXPECT_EQ(con.mmap_calls, 1u);
-  EXPECT_GT(con.fetch_bytes, 0u);  // the loader ran
+  EXPECT_FALSE(con.fetch_bytes.is_zero());  // the loader ran
   InvocationReport per = Run(RestoreMode::kFaasnapPerRegion);
   EXPECT_GT(per.mmap_calls, 100u);  // per-region hierarchy
 }
@@ -126,7 +126,7 @@ TEST(TieredRestoreTest, ReapFetchFollowsItsPlacement) {
   InvocationReport report =
       platform.Invoke(snap, RestoreMode::kReap, generator, MakeInputA(spec));
   EXPECT_GE(platform.remote_disk()->stats().bytes_read - remote_before,
-            report.fetch_bytes);
+            report.fetch_bytes.value());
 }
 
 }  // namespace

@@ -16,16 +16,16 @@ namespace {
 FunctionSnapshot TinySnapshot(SnapshotStore* store) {
   FunctionSnapshot snap;
   snap.function = "tiny";
-  snap.guest_pages = 1000;
+  snap.guest_pages = PageCount::FromPages(1000);
 
-  snap.memory_vanilla.total_pages = 1000;
+  snap.memory_vanilla.total_pages = PageCount::FromPages(1000);
   snap.memory_vanilla.nonzero.Add(0, 200);
   snap.memory_vanilla.nonzero.Add(300, 100);
-  snap.memory_vanilla.id = store->Register("tiny.mem", 1000);
+  snap.memory_vanilla.id = store->Register("tiny.mem", PageCount::FromPages(1000));
 
-  snap.memory_sanitized.total_pages = 1000;
+  snap.memory_sanitized.total_pages = PageCount::FromPages(1000);
   snap.memory_sanitized.nonzero.Add(0, 200);
-  snap.memory_sanitized.id = store->Register("tiny.smem", 1000);
+  snap.memory_sanitized.id = store->Register("tiny.smem", PageCount::FromPages(1000));
 
   PageRangeSet g0;
   g0.Add(100, 50);
@@ -151,7 +151,7 @@ TEST_F(PoliciesTest, ReapInstallsWorkingSetSoftPresentAndFetchesBlocking) {
   EXPECT_EQ(space_.install_state(120), PageInstallState::kSoftPresent);
   EXPECT_EQ(space_.install_state(320), PageInstallState::kSoftPresent);
   EXPECT_EQ(space_.install_state(10), PageInstallState::kNotPresent);
-  EXPECT_EQ(policy->blocking_fetch_bytes(), 100 * kPageSize);
+  EXPECT_EQ(policy->blocking_fetch_bytes().value(), 100 * kPageSize);
   EXPECT_GT(policy->blocking_fetch_time(), Duration::Zero());
   // The fetch bypassed the page cache.
   EXPECT_EQ(cache_.present_page_count(), 0u);
@@ -235,7 +235,7 @@ TEST_F(PoliciesTest, FaasnapPrefetchPlanIsOneSequentialRange) {
   std::vector<PrefetchItem> plan = policy->PrefetchPlan(env_);
   ASSERT_EQ(plan.size(), 1u);
   EXPECT_EQ(plan[0].file, snapshot_.loading_set.id);
-  EXPECT_EQ(plan[0].range, (PageRange{0, snapshot_.loading_set.total_pages}));
+  EXPECT_EQ(plan[0].range, (PageRange{0, snapshot_.loading_set.total_pages.value()}));
 }
 
 TEST_F(PoliciesTest, ConcurrentOnlyPlansAddressOrderedWorkingSet) {

@@ -30,9 +30,9 @@ class AdmissionControllerTest : public ::testing::Test {
                         Duration wait) {
       shed_.push_back(Outcome{request.id, outcome, wait});
     };
-    hooks.pinned_bytes = [this] { return pinned_; };
-    hooks.make_room = [this](uint64_t bytes) {
-      make_room_calls_.push_back(bytes);
+    hooks.pinned_bytes = [this] { return ByteCount::FromBytes(pinned_); };
+    hooks.make_room = [this](ByteCount bytes) {
+      make_room_calls_.push_back(bytes.value());
       pinned_ -= std::min(pinned_, reclaimable_);
       reclaimable_ = 0;
     };
@@ -43,7 +43,7 @@ class AdmissionControllerTest : public ::testing::Test {
     AdmissionRequest request;
     request.id = id;
     request.function_index = function_index;
-    request.predicted_bytes = bytes;
+    request.predicted_bytes = ByteCount::FromBytes(bytes);
     request.arrival = sim_.now();
     return request;
   }
@@ -171,7 +171,7 @@ TEST_F(AdmissionControllerTest, MemoryAdmissionEvictsIdlePoolBeforeBlocking) {
   AdmissionConfig config;
   config.max_concurrency = 4;
   config.queue_capacity = 8;
-  config.memory_budget_bytes = 100;
+  config.memory_budget_bytes = ByteCount::FromBytes(100);
   Make(config);
   pinned_ = 40;       // idle warm pool
   reclaimable_ = 40;  // ... all of it evictable on request
@@ -184,7 +184,7 @@ TEST_F(AdmissionControllerTest, MemoryAdmissionEvictsIdlePoolBeforeBlocking) {
   ASSERT_EQ(ran_.size(), 2u);
   ASSERT_EQ(make_room_calls_.size(), 1u);
   EXPECT_EQ(make_room_calls_[0], 40u);
-  EXPECT_EQ(controller_->committed_bytes(), 100u);
+  EXPECT_EQ(controller_->committed_bytes().value(), 100u);
   // Nothing left to evict: the next arrival waits for a completion.
   controller_->Offer(Req(2, 0, /*bytes=*/50));
   EXPECT_EQ(ran_.size(), 2u);
@@ -198,7 +198,7 @@ TEST_F(AdmissionControllerTest, BudgetScaleSqueezesAdmission) {
   AdmissionConfig config;
   config.max_concurrency = 4;
   config.queue_capacity = 8;
-  config.memory_budget_bytes = 100;
+  config.memory_budget_bytes = ByteCount::FromBytes(100);
   Make(config);
   controller_->set_budget_scale(0.5);  // chaos squeeze: effective budget 50
   controller_->Offer(Req(0, 0, /*bytes=*/40));

@@ -7,12 +7,12 @@ namespace {
 
 TEST(SnapshotStore, RegisterAssignsSequentialIds) {
   SnapshotStore store;
-  FileId a = store.Register("mem", 1000);
-  FileId b = store.Register("ls", 50);
+  FileId a = store.Register("mem", PageCount::FromPages(1000));
+  FileId b = store.Register("ls", PageCount::FromPages(50));
   EXPECT_NE(a, kInvalidFileId);
   EXPECT_NE(b, a);
-  EXPECT_EQ(store.size_pages(a), 1000u);
-  EXPECT_EQ(store.size_pages(b), 50u);
+  EXPECT_EQ(store.size_pages(a).value(), 1000u);
+  EXPECT_EQ(store.size_pages(b).value(), 50u);
   EXPECT_EQ(store.name(a), "mem");
   EXPECT_TRUE(store.Contains(a));
   EXPECT_FALSE(store.Contains(kInvalidFileId));
@@ -21,21 +21,21 @@ TEST(SnapshotStore, RegisterAssignsSequentialIds) {
 
 TEST(SnapshotStore, ResizeUpdatesSize) {
   SnapshotStore store;
-  FileId a = store.Register("ls", 0);
-  store.Resize(a, 123);
-  EXPECT_EQ(store.size_pages(a), 123u);
+  FileId a = store.Register("ls", PageCount::FromPages(0));
+  store.Resize(a, PageCount::FromPages(123));
+  EXPECT_EQ(store.size_pages(a).value(), 123u);
 }
 
 TEST(SnapshotStore, SizeFnAdapter) {
   SnapshotStore store;
-  FileId a = store.Register("mem", 77);
+  FileId a = store.Register("mem", PageCount::FromPages(77));
   auto fn = store.SizeFn();
-  EXPECT_EQ(fn(a), 77u);
+  EXPECT_EQ(fn(a).value(), 77u);
 }
 
 TEST(MemoryFile, ZeroClassification) {
   MemoryFile mem;
-  mem.total_pages = 100;
+  mem.total_pages = PageCount::FromPages(100);
   mem.nonzero.Add(0, 30);
   mem.nonzero.Add(50, 10);
   EXPECT_FALSE(mem.IsZero(0));
@@ -48,7 +48,7 @@ TEST(MemoryFile, ZeroClassification) {
 
 TEST(MemoryFile, ZeroRegionsIsComplement) {
   MemoryFile mem;
-  mem.total_pages = 100;
+  mem.total_pages = PageCount::FromPages(100);
   mem.nonzero.Add(10, 20);
   PageRangeSet zeros = mem.ZeroRegions();
   EXPECT_EQ(zeros.page_count(), 80u);
@@ -65,7 +65,7 @@ TEST(WorkingSetGroups, TotalsAndUnion) {
   g1.Add(100, 5);
   g1.Add(8, 4);  // overlaps g0 partially
   ws.groups = {g0, g1};
-  EXPECT_EQ(ws.total_pages(), 19u);
+  EXPECT_EQ(ws.total_pages().value(), 19u);
   PageRangeSet all = ws.AllPages();
   EXPECT_EQ(all.page_count(), 17u);  // union removes the 2-page overlap
 }
@@ -100,8 +100,8 @@ TEST(LoadingSetFile, GuestPagesUnionsRegions) {
 
 TEST(SnapshotStoreDeathTest, UnknownIdAborts) {
   SnapshotStore store;
-  EXPECT_DEATH(store.size_pages(1), "FAASNAP_CHECK");
-  EXPECT_DEATH(store.size_pages(kInvalidFileId), "FAASNAP_CHECK");
+  EXPECT_DEATH(store.size_pages(1).value(), "FAASNAP_CHECK");
+  EXPECT_DEATH(store.size_pages(kInvalidFileId).value(), "FAASNAP_CHECK");
 }
 
 }  // namespace

@@ -12,7 +12,7 @@ LoadingSetFile SampleLoadingSet() {
       LoadingRegion{{5000, 16}, 0, 32},
       LoadingRegion{{200, 64}, 1, 48},
   };
-  ls.total_pages = 112;
+  ls.total_pages = PageCount::FromPages(112);
   return ls;
 }
 
@@ -30,7 +30,7 @@ TEST(LoadingSetManifest, EmptyFileRoundTrips) {
   Result<LoadingSetFile> decoded = DecodeLoadingSetManifest(EncodeLoadingSetManifest(empty));
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded->regions.empty());
-  EXPECT_EQ(decoded->total_pages, 0u);
+  EXPECT_TRUE(decoded->total_pages.is_zero());
 }
 
 TEST(LoadingSetManifest, RejectsCorruptedBody) {

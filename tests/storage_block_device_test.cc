@@ -25,7 +25,7 @@ TEST_F(BlockDeviceTest, SingleSmallReadPaysBaseLatency) {
 
 TEST_F(BlockDeviceTest, LargeReadIsBandwidthBound) {
   SimTime done_at;
-  disk_.Read(0, MiB(100), [&] { done_at = sim_.now(); });
+  disk_.Read(0, MiB(100).value(), [&] { done_at = sim_.now(); });
   sim_.Run();
   // 100 MiB at 1 GB/s = 104857600 ns transfer dominates base latency.
   EXPECT_EQ(done_at.nanos(), 104857600 + 50000);
@@ -69,7 +69,7 @@ TEST_F(BlockDeviceTest, PipelinedLargeReadsSaturateBandwidth) {
   // 10 x 10 MiB issued at once finish at ~100 MiB / 1 GB/s.
   SimTime last;
   for (int i = 0; i < 10; ++i) {
-    disk_.Read(static_cast<uint64_t>(i) * MiB(10), MiB(10), [&] { last = sim_.now(); });
+    disk_.Read(static_cast<uint64_t>(i) * MiB(10).value(), MiB(10).value(), [&] { last = sim_.now(); });
   }
   sim_.Run();
   EXPECT_NEAR(static_cast<double>(last.nanos()), 104857600.0 + 50000.0, 1000.0);
@@ -77,10 +77,10 @@ TEST_F(BlockDeviceTest, PipelinedLargeReadsSaturateBandwidth) {
 
 TEST_F(BlockDeviceTest, StatsAccumulate) {
   disk_.Read(0, kPageSize, [] {});
-  disk_.Read(kPageSize, MiB(1), [] {});
+  disk_.Read(kPageSize, MiB(1).value(), [] {});
   sim_.Run();
   EXPECT_EQ(disk_.stats().read_requests, 2u);
-  EXPECT_EQ(disk_.stats().bytes_read, kPageSize + MiB(1));
+  EXPECT_EQ(disk_.stats().bytes_read, kPageSize + MiB(1).value());
   BlockDeviceStats before = disk_.stats();
   disk_.Read(0, kPageSize, [] {});
   sim_.Run();
@@ -92,9 +92,9 @@ TEST_F(BlockDeviceTest, StatsAccumulate) {
 }
 
 TEST_F(BlockDeviceTest, EstimateMatchesActual) {
-  const SimTime estimate = disk_.EstimateCompletion(MiB(2));
+  const SimTime estimate = disk_.EstimateCompletion(MiB(2).value());
   SimTime actual;
-  disk_.Read(0, MiB(2), [&] { actual = sim_.now(); });
+  disk_.Read(0, MiB(2).value(), [&] { actual = sim_.now(); });
   sim_.Run();
   EXPECT_EQ(estimate, actual);
 }

@@ -34,15 +34,15 @@ TEST(DiskScheduler, DemandJumpsQueuedPrefetch) {
   profile.sched.queue_depth = 1;
   BlockDevice disk(&sim, profile);
   std::vector<std::string> order;
-  disk.Read(0, KiB(256), Prefetch(), [&](Status s) {
+  disk.Read(0, KiB(256).value(), Prefetch(), [&](Status s) {
     ASSERT_TRUE(s.ok());
     order.push_back("prefetch-0");
   });
-  disk.Read(MiB(8), KiB(256), Prefetch(), [&](Status s) {
+  disk.Read(MiB(8).value(), KiB(256).value(), Prefetch(), [&](Status s) {
     ASSERT_TRUE(s.ok());
     order.push_back("prefetch-1");
   });
-  disk.Read(MiB(16), kPageSize, Demand(), [&](Status s) {
+  disk.Read(MiB(16).value(), kPageSize, Demand(), [&](Status s) {
     ASSERT_TRUE(s.ok());
     order.push_back("demand");
   });
@@ -65,9 +65,9 @@ TEST(DiskScheduler, AgedPrefetchBeatsDemand) {
   profile.sched.prefetch_aging_bound = Duration::Micros(100);
   BlockDevice disk(&sim, profile);
   std::vector<std::string> order;
-  disk.Read(0, KiB(256), Prefetch(), [&](Status) { order.push_back("prefetch-0"); });
-  disk.Read(MiB(8), KiB(256), Prefetch(), [&](Status) { order.push_back("prefetch-1"); });
-  disk.Read(MiB(16), kPageSize, Demand(), [&](Status) { order.push_back("demand"); });
+  disk.Read(0, KiB(256).value(), Prefetch(), [&](Status) { order.push_back("prefetch-0"); });
+  disk.Read(MiB(8).value(), KiB(256).value(), Prefetch(), [&](Status) { order.push_back("prefetch-1"); });
+  disk.Read(MiB(16).value(), kPageSize, Demand(), [&](Status) { order.push_back("demand"); });
   sim.Run();
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[1], "prefetch-1");
@@ -83,14 +83,14 @@ TEST(DiskScheduler, AgedBacklogDoesNotStarveDemand) {
   BlockDeviceProfile profile = TestDiskProfile();
   profile.sched.queue_depth = 1;
   profile.sched.prefetch_aging_bound = Duration::Micros(10);
-  profile.sched.max_merge_bytes = 0;  // keep the five prefetch reads distinct
+  profile.sched.max_merge_bytes = ByteCount::Zero();  // keep the five prefetch reads distinct
   BlockDevice disk(&sim, profile);
   std::vector<std::string> order;
   for (int i = 0; i < 5; ++i) {
-    disk.Read(static_cast<uint64_t>(i) * MiB(8), KiB(256), Prefetch(),
+    disk.Read(static_cast<uint64_t>(i) * MiB(8).value(), KiB(256).value(), Prefetch(),
               [&order, i](Status) { order.push_back("prefetch-" + std::to_string(i)); });
   }
-  disk.Read(MiB(64), kPageSize, Demand(), [&](Status) { order.push_back("demand"); });
+  disk.Read(MiB(64).value(), kPageSize, Demand(), [&](Status) { order.push_back("demand"); });
   sim.Run();
   ASSERT_EQ(order.size(), 6u);
   // prefetch-0 was in service; prefetch-1 wins the first contested slot by age;
@@ -108,16 +108,16 @@ TEST(DiskScheduler, PrefetchSlotCapLeavesRoomForDemand) {
   BlockDeviceProfile profile = TestDiskProfile();
   profile.sched.queue_depth = 4;
   profile.sched.prefetch_slots = 2;
-  profile.sched.max_merge_bytes = 0;
+  profile.sched.max_merge_bytes = ByteCount::Zero();
   BlockDevice disk(&sim, profile);
   std::vector<std::string> order;
   for (int i = 0; i < 4; ++i) {
-    disk.Read(static_cast<uint64_t>(i) * MiB(8), KiB(256), Prefetch(),
+    disk.Read(static_cast<uint64_t>(i) * MiB(8).value(), KiB(256).value(), Prefetch(),
               [&order, i](Status) { order.push_back("prefetch-" + std::to_string(i)); });
   }
   EXPECT_EQ(disk.in_service(ReadClass::kPrefetch), 2);
   EXPECT_EQ(disk.queued(ReadClass::kPrefetch), 2);
-  disk.Read(MiB(64), kPageSize, Demand(), [&](Status) { order.push_back("demand"); });
+  disk.Read(MiB(64).value(), kPageSize, Demand(), [&](Status) { order.push_back("demand"); });
   EXPECT_EQ(disk.in_service(ReadClass::kDemand), 1);
   sim.Run();
   ASSERT_EQ(order.size(), 5u);
@@ -153,7 +153,7 @@ TEST(DiskScheduler, PrefetchWaitNeverExceedsAgingBoundPlusService) {
     }
     int prefetch_done = 0;
     for (int i = 0; i < 4; ++i) {
-      disk.Read(MiB(64) + static_cast<uint64_t>(i) * MiB(8), KiB(64), Prefetch(),
+      disk.Read(MiB(64).value() + static_cast<uint64_t>(i) * MiB(8).value(), KiB(64).value(), Prefetch(),
                 [&](Status) { ++prefetch_done; });
     }
     sim.Run();
@@ -162,8 +162,8 @@ TEST(DiskScheduler, PrefetchWaitNeverExceedsAgingBoundPlusService) {
     // waits for the next free slot — bounded by every slot draining a max-size
     // (here 64 KiB) request. Generous slack for jitter.
     const uint64_t slack = 2u * (64 * 1024 + 50000 + 4000) * 2;
-    EXPECT_LE(disk.stats().max_prefetch_wait_ns,
-              static_cast<uint64_t>(aging.nanos()) + slack)
+    EXPECT_LE(disk.stats().max_prefetch_wait_ns.nanos(),
+              aging.nanos() + static_cast<int64_t>(slack))
         << "seed " << seed;
     EXPECT_GT(disk.stats().aged_promotions, 0u) << "seed " << seed;
   }
@@ -183,9 +183,9 @@ std::vector<std::string> RunMixedScenario(uint64_t seed) {
     };
   };
   for (int i = 0; i < 24; ++i) {
-    disk.Read(static_cast<uint64_t>(i) * MiB(1), KiB(32), Prefetch(), record("p"));
+    disk.Read(static_cast<uint64_t>(i) * MiB(1).value(), KiB(32).value(), Prefetch(), record("p"));
     if (i % 3 == 0) {
-      disk.Read(MiB(512) + static_cast<uint64_t>(i) * kPageSize, kPageSize, Demand(),
+      disk.Read(MiB(512).value() + static_cast<uint64_t>(i) * kPageSize, kPageSize, Demand(),
                 record("d"));
     }
   }
@@ -206,7 +206,7 @@ TEST(DiskScheduler, AdjacentSameClassRequestsMerge) {
   BlockDeviceProfile profile = TestDiskProfile();
   profile.sched.queue_depth = 1;
   BlockDevice disk(&sim, profile);
-  disk.Read(MiB(64), KiB(256), Prefetch(/*stream=*/9), [](Status) {});
+  disk.Read(MiB(64).value(), KiB(256).value(), Prefetch(/*stream=*/9), [](Status) {});
   std::vector<int64_t> merged_times;
   for (int i = 0; i < 4; ++i) {
     disk.Read(static_cast<uint64_t>(i) * kPageSize, kPageSize, Prefetch(/*stream=*/1),
@@ -227,9 +227,9 @@ TEST(DiskScheduler, MergeRespectsByteCap) {
   Simulation sim;
   BlockDeviceProfile profile = TestDiskProfile();
   profile.sched.queue_depth = 1;
-  profile.sched.max_merge_bytes = 2 * kPageSize;
+  profile.sched.max_merge_bytes = ByteCount::FromBytes(2 * kPageSize);
   BlockDevice disk(&sim, profile);
-  disk.Read(MiB(64), KiB(256), Prefetch(9), [](Status) {});
+  disk.Read(MiB(64).value(), KiB(256).value(), Prefetch(9), [](Status) {});
   int done = 0;
   for (int i = 0; i < 4; ++i) {
     disk.Read(static_cast<uint64_t>(i) * kPageSize, kPageSize, Prefetch(1),
@@ -257,7 +257,7 @@ TEST(DiskScheduler, FailedReadsReleaseQueueSlots) {
   int failures = 0;
   for (int i = 0; i < 40; ++i) {
     const DeviceReadOptions opts = i % 2 == 0 ? Demand() : Prefetch();
-    disk.Read(static_cast<uint64_t>(i) * MiB(1), kPageSize, opts, [&](Status s) {
+    disk.Read(static_cast<uint64_t>(i) * MiB(1).value(), kPageSize, opts, [&](Status s) {
       EXPECT_FALSE(s.ok());
       ++failures;
     });
@@ -280,7 +280,7 @@ TEST(DiskScheduler, ResetStatsMidFlightKeepsLiveStateConsistent) {
   BlockDevice disk(&sim, profile);
   int done = 0;
   disk.Read(0, kPageSize, Demand(), [&](Status) { ++done; });          // dispatches at t=0
-  disk.Read(MiB(1), kPageSize, Demand(), [&](Status) { ++done; });     // queued
+  disk.Read(MiB(1).value(), kPageSize, Demand(), [&](Status) { ++done; });     // queued
   sim.RunUntil(SimTime() + Duration::Micros(10));
   EXPECT_EQ(disk.stats().read_requests, 1u);  // only the dispatched read counted
   disk.ResetStats();
@@ -339,14 +339,14 @@ TEST(DiskScheduler, PerClassWaitTotalsAccumulate) {
   Simulation sim;
   BlockDeviceProfile profile = TestDiskProfile();
   profile.sched.queue_depth = 1;
-  profile.sched.max_merge_bytes = 0;  // isolate wait accounting from merging
+  profile.sched.max_merge_bytes = ByteCount::Zero();  // isolate wait accounting from merging
   BlockDevice disk(&sim, profile);
-  disk.Read(0, KiB(256), Demand(), [](Status) {});
-  disk.Read(KiB(256), kPageSize, Demand(), [](Status) {});
+  disk.Read(0, KiB(256).value(), Demand(), [](Status) {});
+  disk.Read(KiB(256).value(), kPageSize, Demand(), [](Status) {});
   sim.Run();
   // The second read waited for the first (256 KiB ~= 262 us + base latency).
-  EXPECT_GT(disk.stats().demand_wait_ns, 200000u);
-  EXPECT_EQ(disk.stats().prefetch_wait_ns, 0u);
+  EXPECT_GT(disk.stats().demand_wait_ns, Duration::Nanos(200000));
+  EXPECT_EQ(disk.stats().prefetch_wait_ns, Duration::Zero());
   EXPECT_EQ(disk.stats().max_demand_wait_ns, disk.stats().demand_wait_ns);
 }
 

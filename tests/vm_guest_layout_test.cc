@@ -7,7 +7,7 @@ namespace {
 
 TEST(GuestLayout, DefaultIs2GiB) {
   GuestLayout layout = GuestLayout::Default2GiB();
-  EXPECT_EQ(layout.total_pages, 524288u);
+  EXPECT_EQ(layout.total_pages.value(), 524288u);
   EXPECT_TRUE(layout.Validate().ok());
 }
 
@@ -16,24 +16,24 @@ TEST(GuestLayout, ZonesAreOrderedAndDisjoint) {
   EXPECT_LE(layout.boot.end(), layout.stable.first);
   EXPECT_LE(layout.stable.end(), layout.window.first);
   EXPECT_LE(layout.window.end(), layout.scratch.first);
-  EXPECT_LE(layout.scratch.end(), layout.total_pages);
+  EXPECT_LE(layout.scratch.end(), layout.total_pages.value());
 }
 
 TEST(GuestLayout, BootIsOver100MiB) {
   // Section 4.8: the cold set is "usually more than 100 MB", mostly boot pages.
   GuestLayout layout = GuestLayout::Default2GiB();
-  EXPECT_GE(PagesToBytes(layout.boot.count), MiB(100));
+  EXPECT_GE(PagesToBytes(layout.boot.count), MiB(100).value());
 }
 
 TEST(GuestLayout, StableZoneFitsReadList) {
   // read-list's working set is 526 MiB (Table 2); stable data must fit.
   GuestLayout layout = GuestLayout::Default2GiB();
-  EXPECT_GE(PagesToBytes(layout.stable.count), MiB(560));
+  EXPECT_GE(PagesToBytes(layout.stable.count), MiB(560).value());
 }
 
 TEST(GuestLayout, ScratchZoneFitsMmapFunction) {
   GuestLayout layout = GuestLayout::Default2GiB();
-  EXPECT_GE(PagesToBytes(layout.scratch.count), MiB(512));
+  EXPECT_GE(PagesToBytes(layout.scratch.count), MiB(512).value());
 }
 
 TEST(GuestLayout, ValidateRejectsOverlap) {
@@ -44,7 +44,7 @@ TEST(GuestLayout, ValidateRejectsOverlap) {
 
 TEST(GuestLayout, ValidateRejectsOverflow) {
   GuestLayout layout = GuestLayout::Default2GiB();
-  layout.scratch.count = layout.total_pages;  // runs past the end
+  layout.scratch.count = layout.total_pages.value();  // runs past the end
   EXPECT_FALSE(layout.Validate().ok());
 }
 

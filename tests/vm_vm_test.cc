@@ -14,12 +14,12 @@ constexpr uint64_t kPages = 4096;
 
 class VmTest : public ::testing::Test {
  protected:
-  VmTest() : disk_(&sim_, TestDiskProfile()), space_(kPages), cpu_(96) {
+  VmTest() : disk_(&sim_, TestDiskProfile()), space_(PageCount::FromPages(kPages)), cpu_(96) {
     router_.AddDevice(&disk_);
     HostCostModel costs;
     costs.cost_dispersion = false;  // exact-cost assertions below
     engine_ = std::make_unique<FaultEngine>(&sim_, &cache_, &router_, &space_, &readahead_,
-                                            [](FileId) { return kPages; }, costs);
+                                            [](FileId) { return PageCount::FromPages(kPages); }, costs);
     vm_ = std::make_unique<Vm>(&sim_, engine_.get(), &cpu_, /*vcpus=*/2);
   }
 

@@ -58,9 +58,9 @@ TEST_P(WorkingSetSizeTest, MatchesTable2) {
   const WsExpectation& expect = GetParam();
   Result<FunctionSpec> spec = FindFunction(expect.name);
   ASSERT_TRUE(spec.ok());
-  const double ws_a = static_cast<double>(PagesToBytes(spec->WorkingSetPages(spec->input_a))) /
+  const double ws_a = static_cast<double>(PagesToBytes(spec->WorkingSetPages(spec->input_a)).value()) /
                       static_cast<double>(kMiB);
-  const double ws_b = static_cast<double>(PagesToBytes(spec->WorkingSetPages(spec->input_b))) /
+  const double ws_b = static_cast<double>(PagesToBytes(spec->WorkingSetPages(spec->input_b)).value()) /
                       static_cast<double>(kMiB);
   EXPECT_NEAR(ws_a, expect.ws_a_mb, expect.ws_a_mb * 0.02 + 0.1);
   EXPECT_NEAR(ws_b, expect.ws_b_mb, expect.ws_b_mb * 0.02 + 0.1);
@@ -93,13 +93,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(FunctionCatalog, SpecsFitTheDefaultLayout) {
   GuestLayout layout = GuestLayout::Default2GiB();
   for (const FunctionSpec& spec : FunctionCatalog()) {
-    EXPECT_LE(spec.stable_pages, layout.stable.count) << spec.name;
+    EXPECT_LE(spec.stable_pages.value(), layout.stable.count) << spec.name;
     EXPECT_LE(spec.scattered_stable_pages, spec.stable_pages) << spec.name;
     for (const InputProfile* input : {&spec.input_a, &spec.input_b}) {
       const auto window = static_cast<uint64_t>(
-          static_cast<double>(input->input_pages) * spec.window_factor);
+          static_cast<double>(input->input_pages.value()) * spec.window_factor);
       EXPECT_LE(window, layout.window.count) << spec.name;
-      EXPECT_LE(input->anon_pages, layout.scratch.count) << spec.name;
+      EXPECT_LE(input->anon_pages.value(), layout.scratch.count) << spec.name;
       EXPECT_GT(input->compute, Duration::Zero()) << spec.name;
     }
   }

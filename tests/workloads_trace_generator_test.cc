@@ -21,8 +21,8 @@ TEST(TraceGenerator, HelloWorldTouchesOnlyStablePages) {
   // Coverage is approximate: always-exercised pages plus this input's code paths
   // sum to roughly the spec's stable page count.
   EXPECT_NEAR(static_cast<double>(trace.ops.size()),
-              static_cast<double>(gen.spec().stable_pages),
-              static_cast<double>(gen.spec().stable_pages) * 0.06);
+              static_cast<double>(gen.spec().stable_pages.value()),
+              static_cast<double>(gen.spec().stable_pages.value()) * 0.06);
   PageRangeSet touched = trace.TouchedPages();
   EXPECT_EQ(touched.page_count(), trace.ops.size());
   for (const PageRange& r : touched.ranges()) {
@@ -72,7 +72,7 @@ TEST(TraceGenerator, ReadListHasLargeSequentialSegment) {
 TEST(TraceGenerator, MmapWritesScratchSequentiallyAndFreesIt) {
   TraceGenerator gen = MakeGenerator("mmap");
   InvocationTrace trace = gen.Generate(MakeInputA(gen.spec()));
-  const uint64_t anon = gen.spec().input_a.anon_pages;
+  const uint64_t anon = gen.spec().input_a.anon_pages.value();
   // The anon sweep is sequential writes in the scratch zone, after the stable phase.
   const TraceOp& first_anon = trace.ops[trace.ops.size() - anon];
   EXPECT_EQ(first_anon.page, Layout().scratch.first);
@@ -98,7 +98,7 @@ TEST(TraceGenerator, ImageInputPagesAreContentSelected) {
   PageRangeSet window_a = WindowPages(gen, a);
   PageRangeSet window_b = WindowPages(gen, b);
   // Counts are density-approximate: within 10% of spec.
-  const double expected = static_cast<double>(gen.spec().input_a.input_pages);
+  const double expected = static_cast<double>(gen.spec().input_a.input_pages.value());
   EXPECT_NEAR(static_cast<double>(window_a.page_count()), expected, expected * 0.1);
   EXPECT_NEAR(static_cast<double>(window_b.page_count()), expected, expected * 0.1);
   // Different contents overlap only partially (roughly density^2 of the window).
@@ -161,7 +161,7 @@ TEST(TraceGenerator, CleanSnapshotNonZeroIsBootPlusStable) {
   // boot + placed scattered pages (slightly more than one input touches) + data.
   EXPECT_EQ(nonzero.page_count(), Layout().boot.count + gen.TotalScatteredPlaced() +
                                       gen.sequential_stable().count);
-  EXPECT_GE(gen.TotalScatteredPlaced(), gen.spec().scattered_stable_pages);
+  EXPECT_GE(gen.TotalScatteredPlaced(), gen.spec().scattered_stable_pages.value());
 }
 
 TEST(TraceGenerator, ScatteredRunsAreClusteredWithGaps) {
@@ -185,7 +185,7 @@ TEST(TraceGenerator, ScatteredRunsAreClusteredWithGaps) {
     }
   }
   EXPECT_EQ(total, gen.TotalScatteredPlaced());
-  EXPECT_GE(total, gen.spec().scattered_stable_pages);
+  EXPECT_GE(total, gen.spec().scattered_stable_pages.value());
   EXPECT_GT(small_gaps, big_gaps * 3);  // mostly small gaps, some large jumps
   EXPECT_GT(big_gaps, 10u);
   // The placement is deterministic: a second generator sees the same runs.
@@ -197,7 +197,8 @@ TEST(TraceGenerator, ScatteredRunsAreClusteredWithGaps) {
 TEST(TraceGenerator, SequentialStableFollowsScatterSpan) {
   TraceGenerator gen = MakeGenerator("read-list");
   const PageRange& seq = gen.sequential_stable();
-  EXPECT_EQ(seq.count, gen.spec().stable_pages - gen.spec().scattered_stable_pages);
+  EXPECT_EQ(seq.count,
+            (gen.spec().stable_pages - gen.spec().scattered_stable_pages).value());
   EXPECT_GE(seq.first, gen.scattered_runs().back().end());
   EXPECT_LE(seq.end(), Layout().stable.end());
 }
@@ -246,13 +247,13 @@ TEST_P(TraceGeneratorCatalogTest, TraceInvariants) {
   TraceGenerator gen(*spec, Layout());
   for (const WorkloadInput& input : {MakeInputA(*spec), MakeInputB(*spec)}) {
     InvocationTrace trace = gen.Generate(input);
-    const uint64_t expected_ws = spec->stable_pages + input.profile.input_pages +
-                                 input.profile.anon_pages;
+    const uint64_t expected_ws = (spec->stable_pages + input.profile.input_pages +
+                                  input.profile.anon_pages).value();
     const double tolerance = static_cast<double>(expected_ws) * 0.1;
     EXPECT_NEAR(static_cast<double>(trace.TouchedPages().page_count()),
                 static_cast<double>(expected_ws), tolerance);
     for (const TraceOp& op : trace.ops) {
-      ASSERT_LT(op.page, Layout().total_pages);
+      ASSERT_LT(op.page, Layout().total_pages.value());
     }
     // Freed pages live only in the scratch zone (what munmap returns to the
     // guest kernel) and are a subset of the touched pages.
