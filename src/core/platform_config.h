@@ -54,7 +54,7 @@ struct PlatformConfig {
 
   // Snapshot security (section 7.4): pages of guest PRNG/secret state wiped when
   // a snapshot is taken (the MADV_WIPEONSUSPEND proposal). 0 disables wiping.
-  uint64_t wipe_secret_pages = 0;
+  PageCount wipe_secret_pages;
 
   // Deterministic fault injection (chaos harness). Disabled by default; when
   // disabled the platform behaves event-for-event identically to a build

@@ -62,7 +62,7 @@ class ReapRecorder {
   // The fault-ordered working set (file id assigned by the caller).
   ReapWorkingSetFile Finish() &&;
 
-  uint64_t recorded_pages() const { return pages_.size(); }
+  PageCount recorded_pages() const { return PageCount::FromPages(pages_.size()); }
 
  private:
   std::vector<PageIndex> pages_;

@@ -99,7 +99,7 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
   config.trace_out = root.GetStringOr("trace_out", "");
   config.metrics_out = root.GetStringOr("metrics_out", "");
   config.timeline_out = root.GetStringOr("timeline_out", "");
-  config.timeline_window_us = root.GetIntOr("timeline_window_us", 0);
+  config.timeline_window = root.GetDurationUsOr("timeline_window_us", Duration::Zero());
   config.forensics_out = root.GetStringOr("forensics_out", "");
   // A forensics output with no config block implies default-configured
   // forensics (an explicit "enabled": false still wins below).
@@ -151,11 +151,11 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
   const int64_t queue_depth = root.GetIntOr("disk_queue_depth", sched.queue_depth);
   const int64_t prefetch_slots =
       root.GetIntOr("disk_prefetch_slots", sched.prefetch_slots);
-  const int64_t aging_us =
-      root.GetIntOr("prefetch_aging_us", sched.prefetch_aging_bound.micros());
+  const Duration aging =
+      root.GetDurationUsOr("prefetch_aging_us", sched.prefetch_aging_bound);
   const int64_t merge_kib = root.GetIntOr(
       "disk_max_merge_kib", static_cast<int64_t>(sched.max_merge_bytes / KiB(1)));
-  if (queue_depth < 0 || aging_us < 0 || merge_kib < 0) {
+  if (queue_depth < 0 || aging < Duration::Zero() || merge_kib < 0) {
     return InvalidArgumentError(
         "disk_queue_depth, prefetch_aging_us, and disk_max_merge_kib must be >= 0");
   }
@@ -164,7 +164,7 @@ Result<ExperimentConfig> ParseExperimentConfig(const JsonValue& root) {
   }
   sched.queue_depth = static_cast<uint32_t>(queue_depth);
   sched.prefetch_slots = static_cast<uint32_t>(prefetch_slots);
-  sched.prefetch_aging_bound = Duration::Micros(aging_us);
+  sched.prefetch_aging_bound = aging;
   sched.max_merge_bytes = ByteCount::FromKiB(static_cast<uint64_t>(merge_kib));
 
   // Prefetch loader pipeline knobs (PrefetchConfig).

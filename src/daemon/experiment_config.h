@@ -118,7 +118,7 @@ struct ExperimentConfig {
   // activity (src/obs/metrics_timeline.h). `timeline_window_us` <= 0 keeps the
   // MetricsTimeline default.
   std::string timeline_out;
-  int64_t timeline_window_us = 0;
+  Duration timeline_window;
 
   // Tail-based invocation forensics ("forensics" config block). When enabled,
   // spans record into the flight recorder's recycling buffer instead of the

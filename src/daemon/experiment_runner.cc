@@ -65,8 +65,8 @@ Result<ExperimentResults> RunExperiment(const ExperimentConfig& config) {
         return IoError("opening timeline output " + config.timeline_out);
       }
       MetricsTimelineConfig timeline_config;
-      if (config.timeline_window_us > 0) {
-        timeline_config.window = Duration::Micros(config.timeline_window_us);
+      if (config.timeline_window > Duration::Zero()) {
+        timeline_config.window = config.timeline_window;
       }
       std::ofstream* sink = timeline_out.get();
       obs->timeline.Configure(&obs->metrics, timeline_config,

@@ -79,14 +79,14 @@ void MarkHugeRegionsFromLoadingSet(RestoreEnv* env) {
     return;
   }
   env->space->ConfigureHugeRegions(fp.huge_region_pages);
-  const uint64_t region_pages = fp.huge_region_pages.value();
-  const uint64_t guest_pages = env->snapshot->guest_pages.value();
+  const uint64_t region_stride = fp.huge_region_pages.value();
+  const uint64_t guest_end = env->snapshot->guest_pages.value();
   std::map<PageIndex, uint64_t> covered;  // window start -> loading-set pages in it
   for (const LoadingRegion& region : env->snapshot->loading_set.regions) {
     PageIndex p = region.guest.first;
     while (p < region.guest.end()) {
-      const PageIndex window = p - p % region_pages;
-      const PageIndex window_end = std::min(window + region_pages, guest_pages);
+      const PageIndex window = p - p % region_stride;
+      const PageIndex window_end = std::min(window + region_stride, guest_end);
       const PageIndex segment_end = std::min(region.guest.end(), window_end);
       covered[window] += segment_end - p;
       p = segment_end;
@@ -94,11 +94,11 @@ void MarkHugeRegionsFromLoadingSet(RestoreEnv* env) {
   }
   for (const auto& [window, pages] : covered) {
     // Windows clamped at the guest end cannot be mapped huge.
-    if (window + region_pages > guest_pages) {
+    if (window + region_stride > guest_end) {
       continue;
     }
     if (static_cast<double>(pages) >=
-        fp.huge_density_threshold * static_cast<double>(region_pages)) {
+        fp.huge_density_threshold * static_cast<double>(region_stride)) {
       env->space->MarkHugeEligible(window);
     }
   }

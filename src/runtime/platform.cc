@@ -542,10 +542,10 @@ FunctionSnapshot Platform::Record(const TraceGenerator& generator, const Workloa
   // Snapshot security (section 7.4): wipe registered secret pages in both memory
   // files. Zeroed secrets land in the released/unused sets, so every restore maps
   // them to fresh anonymous memory and restored VMs cannot share PRNG state.
-  if (config_.wipe_secret_pages > 0) {
+  if (!config_.wipe_secret_pages.is_zero()) {
     // The guest registers its PRNG state, which lives with the runtime: model it
     // as the first secret_pages of the runtime span.
-    snap.wipe_regions.Add(layout.stable.first, config_.wipe_secret_pages);
+    snap.wipe_regions.Add(layout.stable.first, config_.wipe_secret_pages.value());
     for (const PageRange& r : snap.wipe_regions.ranges()) {
       snap.memory_vanilla.nonzero.Remove(r.first, r.count);
       snap.memory_sanitized.nonzero.Remove(r.first, r.count);

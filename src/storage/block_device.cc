@@ -184,12 +184,12 @@ void BlockDevice::TryDispatch() {
     std::vector<Request> batch;
     batch.push_back(std::move(queue.front()));
     queue.pop_front();
-    uint64_t batch_bytes = batch.front().bytes;
+    ByteCount batch_bytes = ByteCount::FromBytes(batch.front().bytes);
     while (!sched.max_merge_bytes.is_zero() && !queue.empty() &&
            queue.front().stream == batch.back().stream &&
            queue.front().offset == batch.back().offset + batch.back().bytes &&
-           batch_bytes + queue.front().bytes <= sched.max_merge_bytes.value()) {
-      batch_bytes += queue.front().bytes;
+           batch_bytes.value() + queue.front().bytes <= sched.max_merge_bytes.value()) {
+      batch_bytes += ByteCount::FromBytes(queue.front().bytes);
       batch.push_back(std::move(queue.front()));
       queue.pop_front();
     }
@@ -201,9 +201,9 @@ void BlockDevice::TryDispatch() {
 void BlockDevice::Dispatch(std::vector<Request> batch) {
   const SimTime start = sim_->now();
   const int cls = static_cast<int>(batch.front().cls);
-  uint64_t total_bytes = 0;
+  ByteCount total_bytes;
   for (const Request& r : batch) {
-    total_bytes += r.bytes;
+    total_bytes += ByteCount::FromBytes(r.bytes);
   }
 
   // One injection decision per device request: a merged batch fails (or is
@@ -220,7 +220,7 @@ void BlockDevice::Dispatch(std::vector<Request> batch) {
   // A failed request occupies a request slot and pays the fixed per-request
   // latency (the device or remote side reported the error) but transfers no
   // data, so the bandwidth serializer does not advance.
-  const CompletionPlan plan = PlanCompletion(total_bytes, start, /*transfers_data=*/ok);
+  const CompletionPlan plan = PlanCompletion(total_bytes.value(), start, /*transfers_data=*/ok);
   iops_busy_until_ = plan.iops_ready;
   if (ok) {
     bw_busy_until_ = plan.bw_ready;
@@ -260,7 +260,7 @@ void BlockDevice::Dispatch(std::vector<Request> batch) {
   if (read_requests_metric_ != nullptr) {
     read_requests_metric_->Add(static_cast<int64_t>(batch.size()));
     if (ok) {
-      bytes_read_metric_->Add(static_cast<int64_t>(total_bytes));
+      bytes_read_metric_->Add(static_cast<int64_t>(total_bytes.value()));
     }
     if (batch.size() > 1) {
       merged_metric_->Add(static_cast<int64_t>(batch.size() - 1));

@@ -151,16 +151,16 @@ InvocationTrace TraceGenerator::Generate(const WorkloadInput& input) const {
   //    the objects are logically dead — the "sparse access pattern" effect that
   //    inflates image's loading set in Table 3.
   if (!input.profile.input_pages.is_zero()) {
-    const uint64_t window_pages = std::min<uint64_t>(
+    const PageCount window = PageCount::FromPages(std::min<uint64_t>(
         layout_.window.count,
         static_cast<uint64_t>(std::ceil(static_cast<double>(input.profile.input_pages.value()) *
-                                        spec_.window_factor)));
+                                        spec_.window_factor))));
     // Inputs larger than the window zone saturate it (the guest would swap or OOM
     // in reality; the trace simply touches every window page).
-    const uint64_t effective_input = std::min(input.profile.input_pages.value(), window_pages);
+    const PageCount effective_input = std::min(input.profile.input_pages, window);
     const double density =
-        static_cast<double>(effective_input) / static_cast<double>(window_pages);
-    for (uint64_t i = 0; i < window_pages; ++i) {
+        static_cast<double>(effective_input.value()) / static_cast<double>(window.value());
+    for (uint64_t i = 0; i < window.value(); ++i) {
       const PageIndex page = layout_.window.first + i;
       if (density >= 1.0 || PageSelectionScore(page, input.content_seed) < density) {
         trace.ops.push_back(TraceOp{Duration::Zero(), page, /*is_write=*/true});

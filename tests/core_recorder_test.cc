@@ -117,7 +117,7 @@ TEST(ReapRecorder, DoesNotSeeReadaheadPages) {
 TEST(ReapRecorder, IgnoresNoFaultAccesses) {
   ReapRecorder recorder;
   recorder.OnAccess(1, FaultClass::kNoFault);
-  EXPECT_EQ(recorder.recorded_pages(), 0u);
+  EXPECT_TRUE(recorder.recorded_pages().is_zero());
 }
 
 }  // namespace

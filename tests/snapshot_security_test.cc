@@ -14,7 +14,7 @@ PlatformConfig SecureConfig() {
   BlockDeviceProfile disk = NvmeSsdProfile();
   disk.jitter = 0.0;
   config.disk = disk;
-  config.wipe_secret_pages = 4;  // the guest registered 16 KiB of PRNG state
+  config.wipe_secret_pages = PageCount::FromPages(4);  // the guest registered 16 KiB of PRNG state
   return config;
 }
 
@@ -76,7 +76,7 @@ TEST(SnapshotSecurity, WipingIsOffByDefault) {
 TEST(SnapshotSecurity, WipingBarelyAffectsPerformance) {
   Result<FunctionSpec> spec = FindFunction("json");
   ASSERT_TRUE(spec.ok());
-  auto run = [&](uint64_t wipe_pages) {
+  auto run = [&](PageCount wipe_pages) {
     PlatformConfig config = SecureConfig();
     config.wipe_secret_pages = wipe_pages;
     Platform platform(config);
@@ -86,8 +86,8 @@ TEST(SnapshotSecurity, WipingBarelyAffectsPerformance) {
     return platform.Invoke(snapshot, RestoreMode::kFaasnap, generator, MakeInputB(*spec))
         .total_time();
   };
-  const Duration with_wipe = run(4);
-  const Duration without_wipe = run(0);
+  const Duration with_wipe = run(PageCount::FromPages(4));
+  const Duration without_wipe = run(PageCount::Zero());
   EXPECT_NEAR(with_wipe.millis(), without_wipe.millis(), without_wipe.millis() * 0.02);
 }
 
