@@ -184,6 +184,191 @@ TEST(LintRuleTest, FilesOutsideSrcGetNoLayeringRule) {
   EXPECT_TRUE(LintFile(config, "tests/integration_test.cc", content).empty());
 }
 
+// ---------------------------------------------------------------------------
+// v2 semantic passes: raw-unit, lock-order, gated-metric.
+// ---------------------------------------------------------------------------
+
+TEST(LintRuleTest, RawUnitFixtureFires) {
+  const auto violations =
+      LintFile(RealConfig(), "src/sim/bad_raw_unit.cc", Fixture("bad_raw_unit.cc"));
+  const auto counts = CountByRule(violations);
+  // total_bytes, queue_wait_ns, window_pages, resident_pages_, elapsed_us,
+  // deadline_ms — and nothing for bare/raw-suffix/float names.
+  EXPECT_EQ(counts.at("raw-unit"), 6);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(LintRuleTest, RawUnitSuggestsTheMatchingStrongType) {
+  const auto violations =
+      LintFile(RealConfig(), "src/sim/bad_raw_unit.cc", Fixture("bad_raw_unit.cc"));
+  bool saw_bytes = false;
+  bool saw_pages = false;
+  bool saw_duration = false;
+  for (const Violation& v : violations) {
+    saw_bytes |= v.message.find("ByteCount") != std::string::npos;
+    saw_pages |= v.message.find("PageCount") != std::string::npos;
+    saw_duration |= v.message.find("Duration") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_bytes);
+  EXPECT_TRUE(saw_pages);
+  EXPECT_TRUE(saw_duration);
+}
+
+TEST(LintRuleTest, RawUnitOutsideSrcIsExempt) {
+  // bench/ and tools/report/ talk to raw JSON and OS counters; the ban is a
+  // src/ library convention.
+  const auto violations =
+      LintFile(RealConfig(), "bench/bad_raw_unit.cc", Fixture("bad_raw_unit.cc"));
+  EXPECT_EQ(CountByRule(violations).count("raw-unit"), 0u);
+}
+
+TEST(LintRuleTest, RawUnitAllowlistExempts) {
+  // The unit types themselves (src/common/units.h) store raw integers.
+  const auto violations =
+      LintFile(RealConfig(), "src/common/units.h", Fixture("bad_raw_unit.cc"));
+  EXPECT_EQ(CountByRule(violations).count("raw-unit"), 0u);
+}
+
+TEST(LintProjectTest, LockOrderCycleAcrossTUs) {
+  const Config config = RealConfig();
+  const std::vector<FileFacts> facts = {
+      ExtractFacts(config, "src/sim/bad_lock_order_a.cc", Fixture("bad_lock_order_a.cc")),
+      ExtractFacts(config, "src/sim/bad_lock_order_b.cc", Fixture("bad_lock_order_b.cc")),
+  };
+  const auto violations = LintProject(config, facts);
+  const auto counts = CountByRule(violations);
+  // The ABBA cycle (Ledger::mu_ <-> Pool::mu_, closed only when both TUs'
+  // facts are merged) plus the same-class re-acquisition self-cycle.
+  EXPECT_EQ(counts.at("lock-order"), 2);
+  bool saw_abba = false;
+  bool saw_self = false;
+  for (const Violation& v : violations) {
+    saw_abba |= v.message.find("Ledger::mu_") != std::string::npos &&
+                v.message.find("Pool::mu_") != std::string::npos;
+    saw_self |= v.message.find("Pool::mu_ -> Pool::mu_") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_abba);
+  EXPECT_TRUE(saw_self);
+}
+
+TEST(LintProjectTest, LockOrderNeedsBothTUsToSeeTheCycle) {
+  // Either file alone is acyclic — the deadlock only exists cross-TU. (File A
+  // still carries its self-cycle, so use file B, which is clean alone.)
+  const Config config = RealConfig();
+  const std::vector<FileFacts> facts = {
+      ExtractFacts(config, "src/sim/bad_lock_order_b.cc", Fixture("bad_lock_order_b.cc")),
+  };
+  EXPECT_TRUE(LintProject(config, facts).empty());
+}
+
+TEST(LintProjectTest, ConsistentLockOrderIsClean) {
+  const Config config = RealConfig();
+  const std::vector<FileFacts> facts = {
+      ExtractFacts(config, "src/sim/clean_lock_order.cc", Fixture("clean_lock_order.cc")),
+  };
+  EXPECT_TRUE(LintProject(config, facts).empty());
+}
+
+TEST(LintProjectTest, LockOrderAllowlistDropsFacts) {
+  Config config = RealConfig();
+  config.lock_order_allow.push_back("src/sim/");
+  const FileFacts facts =
+      ExtractFacts(config, "src/sim/bad_lock_order_a.cc", Fixture("bad_lock_order_a.cc"));
+  EXPECT_TRUE(facts.lock_edges.empty());
+  EXPECT_TRUE(facts.method_locks.empty());
+}
+
+TEST(LintProjectTest, GatedMetricFixtureFires) {
+  const Config config = RealConfig();
+  const std::vector<FileFacts> facts = {
+      ExtractFacts(config, "src/mem/bad_gated_metric.cc", Fixture("bad_gated_metric.cc")),
+  };
+  const auto violations = LintProject(config, facts);
+  const auto counts = CountByRule(violations);
+  // faults.batch_installs (no condition) and faults.huge_maps (null check
+  // only); faults.coalesced is properly gated and faults.by_class is
+  // always-on.
+  EXPECT_EQ(counts.at("gated-metric"), 2);
+  for (const Violation& v : violations) {
+    EXPECT_EQ(v.message.find("by_class"), std::string::npos) << v.message;
+    EXPECT_EQ(v.message.find("coalesced"), std::string::npos) << v.message;
+  }
+}
+
+TEST(LintProjectTest, ConfigureEscapeNeedsGatedCallers) {
+  const Config config = RealConfig();
+  const std::string registration =
+      "void Recorder::Configure(MetricsRegistry* metrics) {\n"
+      "  if (metrics != nullptr) {\n"
+      "    inv_ = metrics->GetCounter(\"forensics.invocations\");\n"
+      "  }\n"
+      "}\n";
+  const std::string gated_caller =
+      "void Runner::Setup() {\n"
+      "  if (config.forensics) {\n"
+      "    obs->forensics.Configure(config.fc, &obs->metrics);\n"
+      "  }\n"
+      "}\n";
+  const std::string ungated_caller =
+      "void Runner::Setup() {\n"
+      "  obs->forensics.Configure(config.fc, &obs->metrics);\n"
+      "}\n";
+
+  // A registration inside Configure is legal when every call site is gated...
+  {
+    const std::vector<FileFacts> facts = {
+        ExtractFacts(config, "src/obs/rec.cc", registration),
+        ExtractFacts(config, "src/daemon/run.cc", gated_caller),
+    };
+    EXPECT_TRUE(LintProject(config, facts).empty());
+  }
+  // ...but an unconditional caller (or no caller at all) breaks the escape.
+  {
+    const std::vector<FileFacts> facts = {
+        ExtractFacts(config, "src/obs/rec.cc", registration),
+        ExtractFacts(config, "src/daemon/run.cc", ungated_caller),
+    };
+    EXPECT_EQ(CountByRule(LintProject(config, facts)).at("gated-metric"), 1);
+  }
+  {
+    const std::vector<FileFacts> facts = {
+        ExtractFacts(config, "src/obs/rec.cc", registration),
+    };
+    EXPECT_EQ(CountByRule(LintProject(config, facts)).at("gated-metric"), 1);
+  }
+}
+
+TEST(LintFactsTest, ExtractsQualifiedLockKeysAndNestingEdges) {
+  const Config config = RealConfig();
+  const std::string content =
+      "void Router::Dispatch() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  {\n"
+      "    MutexLock inner(cache_mu_);\n"
+      "  }\n"
+      "}\n";
+  const FileFacts facts = ExtractFacts(config, "src/storage/router.cc", content);
+  ASSERT_EQ(facts.lock_edges.size(), 1u);
+  EXPECT_EQ(facts.lock_edges[0].outer, "Router::mu_");
+  EXPECT_EQ(facts.lock_edges[0].inner, "Router::cache_mu_");
+  EXPECT_EQ(facts.lock_edges[0].function, "Router::Dispatch");
+  ASSERT_TRUE(facts.method_locks.count("Router::Dispatch"));
+  EXPECT_EQ(facts.method_locks.at("Router::Dispatch").size(), 2u);
+}
+
+TEST(LintFactsTest, LockReleasedAtScopeExitDoesNotNest) {
+  const Config config = RealConfig();
+  const std::string content =
+      "void Router::Dispatch() {\n"
+      "  {\n"
+      "    MutexLock lock(mu_);\n"
+      "  }\n"
+      "  MutexLock other(cache_mu_);\n"
+      "}\n";
+  const FileFacts facts = ExtractFacts(config, "src/storage/router.cc", content);
+  EXPECT_TRUE(facts.lock_edges.empty());  // sequential, not nested
+}
+
 // The tree self-check: the real src/ must lint clean. This is the same check
 // the `lint_self_check` ctest runs via the CLI; duplicating it here gives a
 // precise first-failure message inside the gtest output.

@@ -1,11 +1,15 @@
-// faasnap_lint CLI: lints the repo's src/ tree against tools/lint/layers.json.
+// faasnap_lint CLI: lints the repo's src/, bench/, and tools/report/ trees
+// against tools/lint/layers.json.
 //
-//   faasnap_lint [repo_root]     (default: current directory)
+//   faasnap_lint [--summary-out=<path>] [repo_root]     (default root: .)
 //
 // Prints a per-rule summary followed by every violation as file:line, and
 // exits non-zero if anything fired — so it slots directly into ctest and CI.
+// --summary-out writes the per-rule counts as a small JSON artifact (uploaded
+// by the CI lint job so a red run's headline survives log truncation).
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -13,8 +17,37 @@
 
 #include "tools/lint/lint.h"
 
+namespace {
+
+bool WriteSummary(const std::string& path,
+                  const std::map<std::string, int>& per_rule, size_t total) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << "{\n  \"total\": " << total << ",\n  \"per_rule\": {";
+  bool first = true;
+  for (const auto& [rule, count] : per_rule) {
+    out << (first ? "" : ",") << "\n    \"" << rule << "\": " << count;
+    first = false;
+  }
+  out << (per_rule.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.good();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string root = argc > 1 ? argv[1] : ".";
+  std::string root = ".";
+  std::string summary_out;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kSummaryFlag[] = "--summary-out=";
+    if (std::strncmp(argv[i], kSummaryFlag, sizeof(kSummaryFlag) - 1) == 0) {
+      summary_out = argv[i] + sizeof(kSummaryFlag) - 1;
+    } else {
+      root = argv[i];
+    }
+  }
   const std::string config_path = root + "/tools/lint/layers.json";
 
   std::ifstream config_in(config_path, std::ios::binary);
@@ -37,16 +70,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::map<std::string, int> per_rule;
+  for (const auto& v : *violations) {
+    ++per_rule[v.rule];
+  }
+  if (!summary_out.empty() && !WriteSummary(summary_out, per_rule, violations->size())) {
+    std::fprintf(stderr, "faasnap_lint: cannot write %s\n", summary_out.c_str());
+    return 2;
+  }
+
   if (violations->empty()) {
     std::printf("faasnap_lint: clean (0 violations)\n");
     return 0;
   }
 
   // Per-rule summary first (CI logs truncate; the headline must survive).
-  std::map<std::string, int> per_rule;
-  for (const auto& v : *violations) {
-    ++per_rule[v.rule];
-  }
   std::printf("faasnap_lint: %zu violation(s):\n", violations->size());
   for (const auto& [rule, count] : per_rule) {
     std::printf("  %-16s %d\n", rule.c_str(), count);

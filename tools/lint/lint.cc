@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 namespace faasnap {
@@ -185,6 +186,130 @@ std::vector<std::string_view> SplitLines(std::string_view text) {
   return lines;
 }
 
+// ---------------------------------------------------------------------------
+// Tokenizer for the semantic passes. Runs on the stripped text (comments and
+// literals are already spaces) and — because the stripper is length-preserving
+// — every token's `begin` offset is also valid in the raw text, which is how
+// blanked string literals are recovered at call sites.
+//
+// Preprocessor lines (and their backslash-continuations) are skipped entirely:
+// macro bodies and #if/#else alternatives would otherwise unbalance the brace
+// tracking. The layering rule reads #include lines separately from the raw
+// text, so nothing is lost.
+// ---------------------------------------------------------------------------
+struct Token {
+  std::string_view text;
+  size_t begin = 0;  // byte offset into the stripped (== raw) text
+  int line = 1;      // 1-based
+  bool ident = false;
+};
+
+std::vector<Token> Tokenize(std::string_view stripped) {
+  const std::vector<std::string_view> lines = SplitLines(stripped);
+  std::vector<char> skip(lines.size(), 0);
+  bool continuation = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t first = lines[i].find_first_not_of(" \t");
+    const bool preproc = first != std::string_view::npos && lines[i][first] == '#';
+    skip[i] = (continuation || preproc) ? 1 : 0;
+    const size_t last = lines[i].find_last_not_of(" \t\r");
+    continuation = skip[i] != 0 && last != std::string_view::npos && lines[i][last] == '\\';
+  }
+  std::vector<Token> toks;
+  size_t offset = 0;
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string_view line = lines[li];
+    if (skip[li] == 0) {
+      size_t p = 0;
+      while (p < line.size()) {
+        const char c = line[p];
+        if (c == ' ' || c == '\t' || c == '\r') {
+          ++p;
+          continue;
+        }
+        Token t;
+        t.begin = offset + p;
+        t.line = static_cast<int>(li) + 1;
+        if (IsIdentChar(c)) {
+          size_t e = p;
+          while (e < line.size() && IsIdentChar(line[e])) {
+            ++e;
+          }
+          t.text = line.substr(p, e - p);
+          t.ident = true;
+          p = e;
+        } else {
+          size_t len = 1;
+          if (p + 1 < line.size() &&
+              ((c == ':' && line[p + 1] == ':') || (c == '-' && line[p + 1] == '>'))) {
+            len = 2;
+          }
+          t.text = line.substr(p, len);
+          p += len;
+        }
+        toks.push_back(t);
+      }
+    }
+    offset += line.size() + 1;
+  }
+  return toks;
+}
+
+// --- raw-unit helpers -------------------------------------------------------
+
+bool IsRawIntType(std::string_view t) {
+  return t == "uint64_t" || t == "int64_t" || t == "uint32_t" || t == "int32_t";
+}
+
+// The unit suffix carried by `ident` (after stripping one trailing '_' for
+// member names), or empty. Bare names like `bytes` or `ns` are not suffixed:
+// they are the sanctioned spelling for raw index/offset arithmetic.
+std::string_view UnitSuffixOf(std::string_view ident) {
+  if (!ident.empty() && ident.back() == '_') {
+    ident.remove_suffix(1);
+  }
+  static constexpr std::string_view kSuffixes[] = {"_us", "_ns", "_ms", "_bytes", "_pages"};
+  for (const std::string_view s : kSuffixes) {
+    if (ident.size() > s.size() && ident.substr(ident.size() - s.size()) == s) {
+      return s;
+    }
+  }
+  return {};
+}
+
+const char* UnitTypeSuggestion(std::string_view suffix) {
+  if (suffix == "_bytes") {
+    return "ByteCount";
+  }
+  if (suffix == "_pages") {
+    return "PageCount";
+  }
+  return "Duration (or SimTime for absolute times)";
+}
+
+// Ubiquitous STL container/iterator method names: member calls to these are
+// overwhelmingly `field_.size()`-style container operations, so resolving
+// them against same-named lock-acquiring methods by unqualified name alone
+// would fabricate edges (e.g. MetricsRegistry::size() holds mu_ and calls
+// entries_.size() — a std::list call, not recursion). Qualified calls still
+// resolve exactly.
+bool IsCommonContainerMethod(std::string_view t) {
+  return t == "size" || t == "empty" || t == "begin" || t == "end" || t == "clear" ||
+         t == "count" || t == "find" || t == "insert" || t == "erase" ||
+         t == "push_back" || t == "pop_back" || t == "front" || t == "back" ||
+         t == "reserve" || t == "at" || t == "emplace" || t == "emplace_back" ||
+         t == "get" || t == "reset" || t == "data" || t == "c_str";
+}
+
+// Identifiers that look like calls (`name(`) but never are, or that open
+// constructs the function detector must not mistake for definitions.
+bool IsNonCallKeyword(std::string_view t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" || t == "catch" ||
+         t == "return" || t == "sizeof" || t == "alignof" || t == "decltype" ||
+         t == "static_assert" || t == "noexcept" || t == "throw" || t == "alignas" ||
+         t == "new" || t == "delete" || t == "case" || t == "requires" || t == "assert";
+}
+
 }  // namespace
 
 Result<Config> ParseConfig(std::string_view json) {
@@ -222,6 +347,12 @@ Result<Config> ParseConfig(std::string_view json) {
       ASSIGN_OR_RETURN(config.container_allow, cur.ParseStringArray());
     } else if (key == "tracer_allow") {
       ASSIGN_OR_RETURN(config.tracer_allow, cur.ParseStringArray());
+    } else if (key == "raw_unit_allow") {
+      ASSIGN_OR_RETURN(config.raw_unit_allow, cur.ParseStringArray());
+    } else if (key == "lock_order_allow") {
+      ASSIGN_OR_RETURN(config.lock_order_allow, cur.ParseStringArray());
+    } else if (key == "gated_metrics") {
+      ASSIGN_OR_RETURN(config.gated_metrics, cur.ParseStringArray());
     } else {
       return InvalidArgumentError("layers.json: unknown key \"" + key + "\"");
     }
@@ -552,8 +683,10 @@ std::vector<Violation> LintFile(const Config& config, std::string_view path,
     }
     // Named observability constants get the same treatment: every literal on
     // a `constexpr std::string_view` line must be a valid (single-segment ok)
-    // dotted name.
-    if (line.find("constexpr") != std::string_view::npos &&
+    // dotted name. src/ only: that is where span/metric name constants live —
+    // report tooling legitimately tables operator tokens and JSON fragments.
+    if (path.rfind("src/", 0) == 0 &&
+        line.find("constexpr") != std::string_view::npos &&
         line.find("string_view") != std::string_view::npos) {
       std::string_view name;
       size_t from = 0;
@@ -567,6 +700,477 @@ std::vector<Violation> LintFile(const Config& config, std::string_view path,
     }
   }
 
+  // --- raw-unit: declarations typed u?int{32,64}_t whose identifier carries a
+  // unit suffix. A token-pair scan (type directly before the name, allowing
+  // '*'/'&') catches parameters, fields, locals, and function return types.
+  // Scoped to src/: bench drivers and report tooling talk to raw JSON and OS
+  // counters where raw integers are the honest representation.
+  // Known limitation: a suffixed name whose type is wrapped in a template
+  // (std::atomic<uint64_t> total_bytes_) escapes the pair scan.
+  if (path.rfind("src/", 0) == 0 && !PathAllowed(config.raw_unit_allow, path)) {
+    const std::vector<Token> toks = Tokenize(stripped);
+    for (size_t t = 0; t + 1 < toks.size(); ++t) {
+      if (!toks[t].ident || !IsRawIntType(toks[t].text)) {
+        continue;
+      }
+      size_t n = t + 1;
+      while (n < toks.size() && !toks[n].ident &&
+             (toks[n].text == "*" || toks[n].text == "&")) {
+        ++n;
+      }
+      if (n >= toks.size() || !toks[n].ident ||
+          std::isdigit(static_cast<unsigned char>(toks[n].text[0])) != 0) {
+        continue;
+      }
+      const std::string_view suffix = UnitSuffixOf(toks[n].text);
+      if (suffix.empty()) {
+        continue;
+      }
+      add(toks[n].line, "raw-unit",
+          "'" + std::string(toks[t].text) + " " + std::string(toks[n].text) +
+              "' carries unit suffix '" + std::string(suffix) + "'; use " +
+              UnitTypeSuggestion(suffix) +
+              " from src/common/units.h — call sites escape via .value()/.nanos()");
+    }
+  }
+
+  return out;
+}
+
+FileFacts ExtractFacts(const Config& config, std::string_view path, std::string_view content) {
+  FileFacts facts;
+  facts.path = std::string(path);
+  const bool lock_exempt = PathAllowed(config.lock_order_allow, path);
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<Token> toks = Tokenize(stripped);
+
+  // Free functions get the file stem as their "class" so same-named statics
+  // in two files stay distinct in the lock graph.
+  std::string stem(path);
+  if (const size_t slash = stem.rfind('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const size_t dot = stem.rfind('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kBlock };
+    Kind kind = kBlock;
+    std::string name;            // class name (kClass) / qualified fn (kFunction)
+    std::string fn_unqualified;  // kFunction only
+    std::string fn_class;        // kFunction: resolved class context ("" = free)
+    bool gated = false;          // under an if testing more than metrics != nullptr
+    std::vector<std::string> locks;  // mutex keys declared directly in this scope
+  };
+  std::vector<Scope> scopes;
+
+  auto innermost_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kClass) {
+        return it->name;
+      }
+    }
+    return "";
+  };
+  auto function_scope = [&]() -> Scope* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kFunction) {
+        return &*it;
+      }
+      if (it->kind != Scope::kBlock) {
+        break;  // a class/namespace boundary ends the function context
+      }
+    }
+    return nullptr;
+  };
+  auto held_locks = [&]() {
+    std::vector<std::string> held;
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind != Scope::kFunction && it->kind != Scope::kBlock) {
+        break;
+      }
+      held.insert(held.end(), it->locks.begin(), it->locks.end());
+      if (it->kind == Scope::kFunction) {
+        break;
+      }
+    }
+    return held;
+  };
+  auto current_gated = [&]() { return !scopes.empty() && scopes.back().gated; };
+
+  // An `IDENT (` group whose matching `)` has not closed yet. When it closes
+  // at class/namespace scope it becomes the pending function candidate; an
+  // `if` candidate instead computes whether its condition is meaningful.
+  struct Candidate {
+    std::string name;       // unqualified
+    std::string qualifier;  // "Foo" for Foo::Bar( and Foo::~Foo(
+    int paren_depth = 0;    // depth before the '('
+    bool is_if = false;
+    size_t open_tok = 0;    // token index of the name (condition starts after '(')
+    int line = 0;
+  };
+  std::vector<Candidate> candidates;
+  int paren_depth = 0;
+
+  // pending_fn survives `const`/`noexcept`/`override`/trailing-return tokens
+  // between the prototype's `)` and the body `{`; `locked` pins it across a
+  // constructor initializer list (whose member initializers look like calls).
+  struct PendingFn {
+    Candidate c;
+    bool armed = false;
+    bool locked = false;
+  };
+  PendingFn pending_fn;
+  struct PendingIf {
+    bool armed = false;
+    bool cond_gated = false;
+  };
+  PendingIf pending_if;
+  std::string pending_class;
+  bool pending_namespace = false;
+  std::string prev_ident;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    const std::string_view t = tok.text;
+    if (tok.ident && std::isdigit(static_cast<unsigned char>(t[0])) != 0) {
+      prev_ident = std::string(t);
+      continue;
+    }
+    if (tok.ident) {
+      const std::string_view prev = i > 0 ? toks[i - 1].text : std::string_view();
+      const std::string_view next = i + 1 < toks.size() ? toks[i + 1].text : std::string_view();
+
+      if (t == "namespace") {
+        pending_namespace = true;
+      } else if ((t == "class" || t == "struct") && prev_ident != "enum") {
+        if (i + 1 < toks.size() && toks[i + 1].ident) {
+          pending_class = std::string(toks[i + 1].text);
+        }
+      } else if (t == "MutexLock" && !lock_exempt && i + 2 < toks.size() && toks[i + 1].ident &&
+                 toks[i + 2].text == "(") {
+        // `MutexLock guard(<mutex-expr>);` — collect the constructor argument.
+        size_t j = i + 3;
+        int depth = 1;
+        std::string joined;
+        std::string single;
+        size_t arg_tokens = 0;
+        while (j < toks.size() && depth > 0) {
+          if (toks[j].text == "(") {
+            ++depth;
+          } else if (toks[j].text == ")") {
+            if (--depth == 0) {
+              break;
+            }
+          }
+          joined += toks[j].text;
+          if (arg_tokens == 0 && toks[j].ident) {
+            single = std::string(toks[j].text);
+          }
+          ++arg_tokens;
+          ++j;
+        }
+        if (Scope* fn = function_scope(); fn != nullptr && !scopes.empty()) {
+          const std::string ctx = fn->fn_class.empty() ? stem : fn->fn_class;
+          const std::string key =
+              ctx + "::" + (arg_tokens == 1 && !single.empty() ? single : joined);
+          for (const std::string& h : held_locks()) {
+            facts.lock_edges.push_back(FileFacts::LockEdge{h, key, fn->name, tok.line});
+          }
+          facts.method_locks[fn->name].insert(key);
+          scopes.back().locks.push_back(key);
+        }
+      } else if ((t == "GetCounter" || t == "GetGauge" || t == "GetHistogram") &&
+                 (prev == "." || prev == "->") && next == "(") {
+        // The metric-name literal was blanked by the stripper, but offsets are
+        // length-preserved, so re-read it from the raw text. A ';' before the
+        // first quote means the name is a variable — skip those sites.
+        const size_t open = toks[i + 1].begin;
+        const size_t quote = content.find('"', open);
+        const size_t semi = content.find(';', open);
+        if (quote != std::string_view::npos && (semi == std::string_view::npos || quote < semi)) {
+          const size_t close = content.find('"', quote + 1);
+          if (close != std::string_view::npos) {
+            const std::string metric(content.substr(quote + 1, close - quote - 1));
+            if (PathAllowed(config.gated_metrics, metric)) {
+              Scope* fn = function_scope();
+              facts.gated_registrations.push_back(FileFacts::GatedRegistration{
+                  metric, fn != nullptr ? fn->fn_unqualified : "", current_gated(), tok.line});
+            }
+          }
+        }
+      } else if (t == "Configure" && (prev == "." || prev == "->") && next == "(") {
+        facts.configure_calls.push_back(FileFacts::ConfigureCall{current_gated(), tok.line});
+      }
+
+      if (next == "(") {
+        if (t == "if") {
+          Candidate c;
+          c.name = "if";
+          c.is_if = true;
+          c.paren_depth = paren_depth;
+          c.open_tok = i;
+          c.line = tok.line;
+          candidates.push_back(std::move(c));
+        } else if (!IsNonCallKeyword(t) && t != "MutexLock" && prev_ident != "MutexLock") {
+          Candidate c;
+          c.name = std::string(t);
+          c.paren_depth = paren_depth;
+          c.open_tok = i;
+          c.line = tok.line;
+          if (prev == "::" && i >= 2 && toks[i - 2].ident) {
+            c.qualifier = std::string(toks[i - 2].text);
+          } else if (prev == "~" && i >= 3 && toks[i - 2].text == "::" && toks[i - 3].ident) {
+            c.qualifier = std::string(toks[i - 3].text);
+          }
+          candidates.push_back(std::move(c));
+          // A call made while holding locks feeds the one-level indirection of
+          // the lock graph.
+          if (Scope* fn = function_scope()) {
+            std::vector<std::string> held = held_locks();
+            if (!held.empty()) {
+              FileFacts::HeldCall hc;
+              hc.held = std::move(held);
+              hc.line = tok.line;
+              if (prev == "." || prev == "->") {
+                hc.member_call = !(i >= 2 && toks[i - 2].text == "this");
+                hc.callee = std::string(t);
+              } else if (prev == "::" && i >= 2 && toks[i - 2].ident) {
+                hc.callee = std::string(toks[i - 2].text) + "::" + std::string(t);
+              } else {
+                hc.callee = std::string(t);
+              }
+              hc.enclosing_class = fn->fn_class.empty() ? stem : fn->fn_class;
+              facts.held_calls.push_back(std::move(hc));
+            }
+          }
+        }
+      }
+      prev_ident = std::string(t);
+      continue;
+    }
+
+    // Punctuation.
+    if (t == "(") {
+      ++paren_depth;
+    } else if (t == ")") {
+      --paren_depth;
+      if (!candidates.empty() && candidates.back().paren_depth == paren_depth) {
+        Candidate c = std::move(candidates.back());
+        candidates.pop_back();
+        if (c.is_if) {
+          // Meaningful condition: any identifier beyond the bare null check.
+          bool gated = false;
+          for (size_t k = c.open_tok + 2; k < i; ++k) {
+            if (toks[k].ident &&
+                std::isdigit(static_cast<unsigned char>(toks[k].text[0])) == 0 &&
+                toks[k].text != "metrics" && toks[k].text != "nullptr") {
+              gated = true;
+              break;
+            }
+          }
+          pending_if = PendingIf{true, gated};
+        } else if (function_scope() == nullptr && !pending_fn.locked) {
+          pending_fn.c = std::move(c);
+          pending_fn.armed = true;
+        }
+      }
+    } else if (t == ":") {
+      if (pending_fn.armed) {
+        pending_fn.locked = true;  // constructor initializer list begins
+      }
+    } else if (t == ";" || t == "=") {
+      pending_fn = PendingFn{};
+      pending_if = PendingIf{};
+      pending_class.clear();
+      pending_namespace = false;
+    } else if (t == "{") {
+      Scope s;
+      const bool parent_gated = current_gated();
+      if (pending_namespace) {
+        s.kind = Scope::kNamespace;
+      } else if (!pending_class.empty()) {
+        s.kind = Scope::kClass;
+        s.name = pending_class;
+      } else if (pending_fn.armed && function_scope() == nullptr) {
+        s.kind = Scope::kFunction;
+        s.fn_unqualified = pending_fn.c.name;
+        s.fn_class =
+            !pending_fn.c.qualifier.empty() ? pending_fn.c.qualifier : innermost_class();
+        s.name = (s.fn_class.empty() ? stem : s.fn_class) + "::" + s.fn_unqualified;
+      } else {
+        s.kind = Scope::kBlock;
+        s.gated = parent_gated || (pending_if.armed && pending_if.cond_gated);
+      }
+      scopes.push_back(std::move(s));
+      pending_fn = PendingFn{};
+      pending_if = PendingIf{};
+      pending_class.clear();
+      pending_namespace = false;
+    } else if (t == "}") {
+      if (!scopes.empty()) {
+        scopes.pop_back();
+      }
+      pending_fn = PendingFn{};
+      pending_if = PendingIf{};
+      pending_class.clear();
+      pending_namespace = false;
+    }
+  }
+  return facts;
+}
+
+std::vector<Violation> LintProject(const Config& /*config*/,
+                                   const std::vector<FileFacts>& facts) {
+  // Gated-metric prefixes and lock allowlists were already applied during
+  // fact extraction; the project pass only merges and resolves.
+  std::vector<Violation> out;
+
+  // --- lock-order: merge every TU's nesting facts into one graph. ---
+  // Direct edges come from observed nesting; indirect edges from calling a
+  // lock-acquiring method while holding a lock. Bare calls resolve against
+  // the caller's own class; member calls (x->F()) conservatively resolve
+  // against every class's F — over-approximate, but deadlock detection should
+  // over- rather than under-approximate.
+  std::map<std::string, std::set<std::string>> method_locks;
+  std::map<std::string, std::set<std::string>> unqual_locks;
+  for (const FileFacts& f : facts) {
+    for (const auto& [method, keys] : f.method_locks) {
+      method_locks[method].insert(keys.begin(), keys.end());
+      const size_t sep = method.rfind("::");
+      const std::string unq = sep == std::string::npos ? method : method.substr(sep + 2);
+      unqual_locks[unq].insert(keys.begin(), keys.end());
+    }
+  }
+
+  struct EdgeInfo {
+    std::string file;
+    int line = 0;
+    std::string via;
+  };
+  std::map<std::string, std::map<std::string, EdgeInfo>> graph;
+  auto add_edge = [&](const std::string& a, const std::string& b, EdgeInfo info) {
+    graph[a].emplace(b, std::move(info));  // first observation wins for reporting
+    graph.emplace(b, std::map<std::string, EdgeInfo>{});
+  };
+
+  for (const FileFacts& f : facts) {
+    for (const FileFacts::LockEdge& e : f.lock_edges) {
+      add_edge(e.outer, e.inner, EdgeInfo{f.path, e.line, e.function});
+    }
+    for (const FileFacts::HeldCall& hc : f.held_calls) {
+      const std::set<std::string>* targets = nullptr;
+      std::string resolved;
+      if (hc.callee.find("::") != std::string::npos) {
+        if (auto it = method_locks.find(hc.callee); it != method_locks.end()) {
+          targets = &it->second;
+          resolved = hc.callee;
+        }
+      } else if (hc.member_call) {
+        if (!IsCommonContainerMethod(hc.callee)) {
+          if (auto it = unqual_locks.find(hc.callee); it != unqual_locks.end()) {
+            targets = &it->second;
+            resolved = "*::" + hc.callee;
+          }
+        }
+      } else {
+        const std::string qualified = hc.enclosing_class + "::" + hc.callee;
+        if (auto it = method_locks.find(qualified); it != method_locks.end()) {
+          targets = &it->second;
+          resolved = qualified;
+        }
+      }
+      if (targets == nullptr) {
+        continue;
+      }
+      for (const std::string& h : hc.held) {
+        for (const std::string& target : *targets) {
+          add_edge(h, target, EdgeInfo{f.path, hc.line, "call to " + resolved});
+        }
+      }
+    }
+  }
+
+  // DFS over the sorted node set: every distinct cycle (normalized by rotating
+  // its smallest key first) is reported once, at the edge that closes it. A
+  // self-edge is a re-acquisition deadlock (the Mutex is non-reentrant).
+  enum Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [node, edges] : graph) {
+    (void)edges;  // nodes only; edge rows are revisited in the DFS
+    color[node] = kWhite;
+  }
+  std::vector<std::string> path_stack;
+  std::set<std::vector<std::string>> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    color[n] = kGray;
+    path_stack.push_back(n);
+    for (const auto& [m, info] : graph[n]) {
+      if (color[m] == kGray) {
+        auto it = std::find(path_stack.begin(), path_stack.end(), m);
+        std::vector<std::string> cycle(it, path_stack.end());
+        const auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        if (reported.insert(cycle).second) {
+          std::string desc;
+          for (const std::string& x : cycle) {
+            desc += x;
+            desc += " -> ";
+          }
+          desc += cycle.front();
+          out.push_back(Violation{
+              info.file, info.line, "lock-order",
+              "lock-order cycle: " + desc + " (closing edge " + n + " -> " + m + " via " +
+                  info.via + "); acquire these mutexes in one global order"});
+        }
+      } else if (color[m] == kWhite) {
+        dfs(m);
+      }
+    }
+    path_stack.pop_back();
+    color[n] = kBlack;
+  };
+  for (const auto& [node, c] : color) {
+    if (c == kWhite) {
+      dfs(node);
+    }
+  }
+
+  // --- gated-metric: resolve registrations that rely on a Configure() entry
+  // point against that method's call sites across all TUs. ---
+  size_t cfg_calls = 0;
+  size_t cfg_gated = 0;
+  for (const FileFacts& f : facts) {
+    for (const FileFacts::ConfigureCall& c : f.configure_calls) {
+      ++cfg_calls;
+      cfg_gated += c.gated ? 1 : 0;
+    }
+  }
+  const bool configure_ok = cfg_calls > 0 && cfg_gated == cfg_calls;
+  for (const FileFacts& f : facts) {
+    for (const FileFacts::GatedRegistration& r : f.gated_registrations) {
+      if (r.gated) {
+        continue;
+      }
+      if (r.function == "Configure" && configure_ok) {
+        continue;
+      }
+      std::string msg = "metric \"" + r.metric +
+                        "\" is lever/forensics-gated but registers unconditionally";
+      if (r.function == "Configure") {
+        msg += cfg_calls == 0
+                   ? " (inside Configure, but no Configure() call site was found to "
+                     "validate gating)"
+                   : " (inside Configure, but not every Configure() call site is itself "
+                     "behind a feature check)";
+      } else {
+        msg += " (wrap the registration in the feature's config check, or move it into a "
+               "Configure() whose callers are gated)";
+      }
+      out.push_back(Violation{f.path, r.line, "gated-metric", std::move(msg)});
+    }
+  }
   return out;
 }
 
@@ -577,22 +1181,32 @@ Result<std::vector<Violation>> LintTree(const Config& config, const std::string&
   if (!fs::is_directory(src, ec)) {
     return NotFoundError("no src/ directory under " + root);
   }
+  // bench/ and tools/report/ are optional so fixture trees with only src/
+  // still lint. tools/lint/ itself is never walked: testdata/ holds
+  // deliberate violations.
+  const fs::path roots[] = {src, fs::path(root) / "bench", fs::path(root) / "tools" / "report"};
   std::vector<fs::path> files;
-  for (fs::recursive_directory_iterator it(src, ec), end; it != end; it.increment(ec)) {
-    if (ec) {
-      return IoError("walking " + src.string() + ": " + ec.message());
-    }
-    if (!it->is_regular_file()) {
+  for (const fs::path& dir : roots) {
+    if (!fs::is_directory(dir, ec)) {
       continue;
     }
-    const std::string ext = it->path().extension().string();
-    if (ext == ".h" || ext == ".cc") {
-      files.push_back(it->path());
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end; it.increment(ec)) {
+      if (ec) {
+        return IoError("walking " + dir.string() + ": " + ec.message());
+      }
+      if (!it->is_regular_file()) {
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc") {
+        files.push_back(it->path());
+      }
     }
   }
   std::sort(files.begin(), files.end());
 
   std::vector<Violation> all;
+  std::vector<FileFacts> facts;
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -601,11 +1215,20 @@ Result<std::vector<Violation>> LintTree(const Config& config, const std::string&
     std::ostringstream text;
     text << in.rdbuf();
     const std::string rel = fs::relative(file, root, ec).generic_string();
-    std::vector<Violation> file_violations =
-        LintFile(config, ec ? file.generic_string() : rel, text.str());
+    const std::string path = ec ? file.generic_string() : rel;
+    const std::string content = text.str();
+    std::vector<Violation> file_violations = LintFile(config, path, content);
     all.insert(all.end(), std::make_move_iterator(file_violations.begin()),
                std::make_move_iterator(file_violations.end()));
+    // The semantic symbol table covers src/ only: lock discipline and metric
+    // gating are properties of the library, not of benchmark drivers.
+    if (path.rfind("src/", 0) == 0) {
+      facts.push_back(ExtractFacts(config, path, content));
+    }
   }
+  std::vector<Violation> project = LintProject(config, facts);
+  all.insert(all.end(), std::make_move_iterator(project.begin()),
+             std::make_move_iterator(project.end()));
   return all;
 }
 

@@ -31,11 +31,39 @@
 //                    sites with a string literal on the same line, and at
 //                    `constexpr std::string_view` definitions.
 //
+// v2 adds three semantic passes. The first is per-declaration; the other two
+// build a symbol table over every file in one walk and then run cross-TU:
+//
+//   * raw-unit     — a declaration typed u?int{32,64}_t whose identifier
+//                    carries a unit suffix (_us, _ns, _ms, _bytes, _pages —
+//                    including the trailing-underscore member form pool_bytes_)
+//                    is banned in src/: use Duration/SimTime for times,
+//                    ByteCount/PageCount for sizes (src/common/units.h). Bare
+//                    names (`bytes`, `pages`, `offset`) stay raw for index
+//                    arithmetic; call sites escape via .value().
+//   * lock-order   — MutexLock nesting pairs are extracted per function in
+//                    every TU (including one level of call indirection:
+//                    calling a lock-acquiring method while holding a lock),
+//                    merged into one global lock-order graph keyed by
+//                    Class::member, and any cycle — including a self-edge,
+//                    which is a re-acquisition deadlock for this non-reentrant
+//                    Mutex — fails the lint.
+//   * gated-metric — metrics for opt-in levers and forensics (prefixes listed
+//                    in layers.json `gated_metrics`: faults.batch*,
+//                    faults.huge*, faults.coalesced, forensics.*) must
+//                    register only when their feature is configured: the
+//                    GetCounter/GetGauge/GetHistogram call must sit under an
+//                    `if` that tests more than `metrics != nullptr`, or live
+//                    in a Configure() method whose src/ callers are all
+//                    themselves conditional (checked cross-TU).
+//                    Always-on metrics (faults.by_class) are simply not
+//                    listed as gated.
+//
 // The analyzer is deliberately lexical (strip comments/strings, then scan
-// tokens): it has no false-negative-free guarantee, but it is fast, has no
-// compiler dependency, and every rule here is one a tokenizer can check
-// reliably. See docs/static_analysis.md for the full catalog and the
-// suppression mechanism.
+// tokens with a scope stack): it has no false-negative-free guarantee, but it
+// is fast, has no compiler dependency, and every rule here is one a tokenizer
+// can check reliably. See docs/static_analysis.md for the full catalog and
+// the suppression mechanism.
 
 #ifndef FAASNAP_TOOLS_LINT_LINT_H_
 #define FAASNAP_TOOLS_LINT_LINT_H_
@@ -55,7 +83,8 @@ struct Violation {
   std::string file;  // repo-relative path, e.g. "src/mem/page_cache.cc"
   int line = 0;      // 1-based
   std::string rule;  // "layering" | "determinism" | "container" | "tracer-pairing" |
-                     // "void-comment" | "obs-naming"
+                     // "void-comment" | "obs-naming" | "raw-unit" | "lock-order" |
+                     // "gated-metric"
   std::string message;
 
   bool operator==(const Violation& other) const = default;
@@ -74,6 +103,65 @@ struct Config {
   // Repo-relative path prefixes exempt from the tracer-pairing rule (the
   // tracer's own implementation opens and closes spans asymmetrically).
   std::vector<std::string> tracer_allow;
+  // Repo-relative path prefixes exempt from the raw-unit rule (the unit types
+  // themselves store raw integers).
+  std::vector<std::string> raw_unit_allow;
+  // Repo-relative path prefixes whose MutexLock uses do not feed the global
+  // lock-order graph.
+  std::vector<std::string> lock_order_allow;
+  // Metric-name prefixes that must register conditionally (gated-metric rule).
+  std::vector<std::string> gated_metrics;
+};
+
+// Cross-TU facts extracted from one file in a single scope-tracked token scan.
+// These feed the project-wide symbol table consumed by LintProject().
+struct FileFacts {
+  std::string path;
+
+  // One direct nesting observation: `inner` was acquired while `outer` was
+  // held, inside `function` at `line`. Mutex keys are "Class::member" (or
+  // "<filestem>::member" outside any class).
+  struct LockEdge {
+    std::string outer;
+    std::string inner;
+    std::string function;  // qualified name of the nesting function
+    int line = 0;
+  };
+  std::vector<LockEdge> lock_edges;
+
+  // Qualified method name ("Class::Method") -> mutex keys it acquires
+  // directly anywhere in its body.
+  std::map<std::string, std::set<std::string>> method_locks;
+
+  // A call made while at least one lock was held. `callee` is the unqualified
+  // name; `receiver_class` is the lexically enclosing class of the call site
+  // (used to resolve bare calls to same-class methods). Member calls
+  // (x.F() / x->F()) resolve against every class's F.
+  struct HeldCall {
+    std::vector<std::string> held;  // all mutex keys held at the call
+    std::string callee;
+    std::string enclosing_class;  // "" for free functions
+    bool member_call = false;     // true for x.F() / x->F() with x != this
+    int line = 0;
+  };
+  std::vector<HeldCall> held_calls;
+
+  // A Get{Counter,Gauge,Histogram}("literal") registration of a gated metric.
+  struct GatedRegistration {
+    std::string metric;    // the literal name
+    std::string function;  // unqualified enclosing function name
+    bool gated = false;    // under an if testing more than metrics != nullptr
+    int line = 0;
+  };
+  std::vector<GatedRegistration> gated_registrations;
+
+  // A call site of some Configure(...) method, with whether it sits under any
+  // meaningful `if`. Used cross-TU to validate in-Configure registrations.
+  struct ConfigureCall {
+    bool gated = false;
+    int line = 0;
+  };
+  std::vector<ConfigureCall> configure_calls;
 };
 
 // Parses the layers.json config (strict subset of JSON: one object holding
@@ -86,12 +174,27 @@ Result<Config> ParseConfig(std::string_view json);
 // Exposed for testing.
 std::string StripCommentsAndStrings(std::string_view content);
 
-// Lints a single file. `path` is the repo-relative path; `content` its text.
+// Lints a single file (all per-file rules). `path` is the repo-relative path;
+// `content` its text.
 std::vector<Violation> LintFile(const Config& config, std::string_view path,
                                 std::string_view content);
 
-// Walks `root`/src recursively, linting every *.h / *.cc file in
-// deterministic (sorted) path order.
+// Extracts the cross-TU facts (lock nesting, gated registrations, Configure
+// call sites) from a single file. Honors the lock_order_allow /
+// gated_metrics config. Exposed for testing.
+FileFacts ExtractFacts(const Config& config, std::string_view path,
+                       std::string_view content);
+
+// Cross-TU semantic passes over the whole project's facts: builds the global
+// lock-order graph (direct nesting + one level of held-call indirection) and
+// fails on any cycle; resolves gated-metric registrations that rely on a
+// Configure() entry point against that method's call sites.
+std::vector<Violation> LintProject(const Config& config,
+                                   const std::vector<FileFacts>& facts);
+
+// Walks `root`/{src,bench,tools/report} recursively, linting every *.h / *.cc
+// file in deterministic (sorted) path order, then runs the cross-TU passes
+// over the collected facts.
 Result<std::vector<Violation>> LintTree(const Config& config, const std::string& root);
 
 }  // namespace lint

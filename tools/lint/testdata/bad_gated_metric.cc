@@ -1,0 +1,21 @@
+// Fixture: gated-metric violations. Lever/forensics metrics (prefixes in
+// layers.json gated_metrics) must register behind their feature's config
+// check; a bare `metrics != nullptr` test does not count.
+
+class FaultPath {
+ public:
+  void Init(MetricsRegistry* metrics) {
+    // violation: lever metric registered with no condition at all.
+    batch_ctr_ = metrics->GetCounter("faults.batch_installs");
+    if (metrics != nullptr) {
+      // violation: null check alone is not a feature gate.
+      huge_ctr_ = metrics->GetCounter("faults.huge_maps");
+    }
+    if (metrics != nullptr && config_.fault_coalescing) {
+      // ok: registration is behind the lever's config flag.
+      coalesced_ctr_ = metrics->GetCounter("faults.coalesced");
+    }
+    // ok: faults.by_class is always-on (not listed in gated_metrics).
+    class_ctr_ = metrics->GetCounter("faults.by_class");
+  }
+};

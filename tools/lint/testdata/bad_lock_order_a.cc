@@ -1,0 +1,25 @@
+// Fixture: half of a cross-TU ABBA deadlock. Pool::Drain holds Pool::mu_
+// and calls into Ledger::Record, which (in bad_lock_order_b.cc) acquires
+// Ledger::mu_ — the opposite nesting of Ledger::Flush. Also contains a
+// same-class re-acquisition deadlock (Pool::Reserve -> Pool::Grow).
+
+class Pool {
+ public:
+  void Drain();
+  void Reserve();
+  void Grow();
+};
+
+void Pool::Drain() {
+  MutexLock lock(mu_);
+  ledger_->Record(1);  // acquires Ledger::mu_ while Pool::mu_ is held
+}
+
+void Pool::Reserve() {
+  MutexLock lock(mu_);
+  Grow();  // bare same-class call: Grow re-acquires the non-reentrant mu_
+}
+
+void Pool::Grow() {
+  MutexLock lock(mu_);
+}

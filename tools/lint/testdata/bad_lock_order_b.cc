@@ -1,0 +1,19 @@
+// Fixture: the other half of the cross-TU ABBA deadlock. Ledger::Flush holds
+// Ledger::mu_ and calls Pool::Drain, which (in bad_lock_order_a.cc) acquires
+// Pool::mu_ — closing the Ledger::mu_ -> Pool::mu_ -> Ledger::mu_ cycle.
+
+class Ledger {
+ public:
+  void Record(int v);
+  void Flush();
+};
+
+void Ledger::Record(int v) {
+  MutexLock lock(mu_);
+  total_ += v;
+}
+
+void Ledger::Flush() {
+  MutexLock lock(mu_);
+  pool_->Drain();  // acquires Pool::mu_ while Ledger::mu_ is held
+}

@@ -1,0 +1,19 @@
+// Fixture: raw-unit violations. Unit-suffixed identifiers typed as raw
+// integers must use the strong types from src/common/units.h instead.
+#include <cstdint>
+
+struct TransferStats {
+  uint64_t total_bytes = 0;      // violation: ByteCount
+  int64_t queue_wait_ns = 0;     // violation: Duration
+  uint32_t window_pages = 0;     // violation: PageCount
+  uint64_t resident_pages_ = 0;  // violation: member form, PageCount
+  uint64_t bytes = 0;            // ok: bare name is sanctioned raw arithmetic
+  uint64_t bytes_read = 0;       // ok: suffix is _read, not a unit
+  double budget_ms = 0;          // ok: rule covers raw integers only
+};
+
+// violation: accessor return type carries _us.
+int64_t elapsed_us(uint64_t offset, int64_t deadline_ms) {  // violation: deadline_ms
+  // ok: a cast is not a declaration (the '>' breaks the token pair).
+  return static_cast<int64_t>(offset) + deadline_ms;
+}

@@ -1,0 +1,36 @@
+// Fixture: consistent lock nesting across classes — acyclic, must pass.
+// Cache::Fill holds Cache::mu_ and calls Ledger-like code, but nothing ever
+// nests the other way, and unlocked same-class helpers are fine.
+
+class Cache {
+ public:
+  void Fill();
+  void Touch();
+  void Compact();
+};
+
+void Cache::Fill() {
+  MutexLock lock(mu_);
+  Compact();  // bare call to an unlocked helper: no edge
+  entries_.push_back(1);
+}
+
+void Cache::Touch() {
+  MutexLock lock(mu_);
+  stats_->Bump();  // Stats::Bump locks Stats::mu_: a one-way edge, no cycle
+}
+
+void Cache::Compact() {
+  // no lock: called with mu_ held by Fill.
+  dirty_ = false;
+}
+
+class Stats {
+ public:
+  void Bump();
+};
+
+void Stats::Bump() {
+  MutexLock lock(mu_);
+  ++count_;
+}
