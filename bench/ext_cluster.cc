@@ -1,0 +1,240 @@
+// Extension: sharded cluster serving — routing policy × host count × offered
+// load, plus the parallel-simulation speedup.
+//
+// Three questions, one harness:
+//
+//   1. Placement: at a fixed per-host memory budget, how much cold-starting
+//      does snapshot-locality routing avoid versus random / round-robin on
+//      the same offered load? (cold-start rate, accepted p99, resident bytes)
+//   2. Scale-out: with locality routing, how do cold-start rate and tail
+//      latency move as the same per-host load is offered to 2/4/8 hosts?
+//   3. Speed: how much wall-clock does sharding the event loop buy? The same
+//      8-host scenario runs with 1 worker thread and with N, the two summary
+//      documents are byte-compared (the determinism contract, enforced here
+//      as a violation), and the wall-clock ratio is reported.
+//
+// Stdout carries exactly one JSON document. Virtual-time results are
+// deterministic per seed and thread-count-independent; the wall-clock section
+// is the one nondeterministic part and is omitted under --no-wall so CI can
+// `faasnap_report diff` two same-seed runs bit-for-bit. This file is on the
+// lint determinism allowlist for exactly that section (steady_clock is the
+// measurement, not a hazard).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster.h"
+#include "src/common/json_writer.h"
+
+namespace faasnap {
+namespace bench {
+namespace {
+
+constexpr uint64_t kWorkloadSeed = 42;
+constexpr double kZipfS = 1.2;
+
+const std::vector<std::string>& Functions() {
+  static const std::vector<std::string> kFunctions = {
+      "hello-world", "read-list", "mmap", "json", "image", "pyaes", "chameleon", "compression"};
+  return kFunctions;
+}
+
+ClusterConfig BaseConfig(size_t hosts, RoutingPolicy policy, int worker_threads) {
+  ClusterConfig config;
+  config.hosts = hosts;
+  config.worker_threads = worker_threads;
+  config.sync_quantum = Duration::Millis(5);
+  // Tight pool: ~3 of the 8 functions fit warm per host, so placement decides
+  // how often the cluster cold-starts.
+  config.host.warm_pool_budget_bytes = MiB(64);
+  config.host.admission.max_concurrency = 4;
+  config.host.admission.queue_capacity = 32;
+  config.host.admission.queue_deadline = Duration::Seconds(5);
+  config.router.policy = policy;
+  return config;
+}
+
+ClusterStats RunCell(const ClusterConfig& config, int arrivals, Duration mean_gap) {
+  ClusterSimulator cluster(config);
+  for (const std::string& name : Functions()) {
+    Result<FunctionSpec> spec = FindFunction(name);
+    FAASNAP_CHECK_OK(spec.status());
+    cluster.AddFunction(*spec);
+  }
+  ArrivalMixConfig mix;
+  mix.mean_gap = mean_gap;
+  mix.zipf_s = kZipfS;
+  return cluster.Run(SampleArrivalMix(Functions().size(), arrivals, mix, kWorkloadSeed));
+}
+
+void CellJson(JsonWriter* json, const std::string& label, size_t hosts, RoutingPolicy policy,
+              Duration mean_gap, const ClusterStats& stats) {
+  json->BeginObject()
+      .Field("label", label)
+      .Field("hosts", static_cast<int64_t>(hosts))
+      .Field("policy", RoutingPolicyName(policy))
+      .Field("mean_gap_ms", mean_gap.millis())
+      .Field("arrivals", stats.arrivals)
+      .Field("invocations", stats.invocations)
+      .Field("cold_start_rate", stats.cold_start_rate())
+      .Field("shed_total", stats.shed())
+      .Field("accepted_p50_ms", stats.accepted_latency.EstimateQuantile(0.50).millis())
+      .Field("accepted_p99_ms", stats.accepted_latency.EstimateQuantile(0.99).millis())
+      .Field("avg_resident_mib",
+             stats.avg_resident_bytes / static_cast<double>(MiB(1).value()))
+      .Field("warm_routes", stats.routing.warm_routes)
+      .Field("cached_routes", stats.routing.cached_routes)
+      .Field("spills", stats.routing.spills)
+      .Field("epochs", static_cast<int64_t>(stats.epochs))
+      .Field("span_ms", stats.span.millis())
+      .EndObject();
+}
+
+std::string SummaryString(const ClusterStats& stats) {
+  JsonWriter w;
+  stats.AppendJson(&w);
+  return w.TakeString();
+}
+
+int RunBench(int arrivals_per_point, bool with_wall) {
+  std::fprintf(stderr,
+               "ext_cluster: %zu functions, Zipf(%.1f) open-loop arrivals, "
+               "%d arrivals per point (x hosts for scale-out cells)\n",
+               Functions().size(), kZipfS, arrivals_per_point);
+
+  int violations = 0;
+  const auto check = [&violations](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "VIOLATION: %s\n", what.c_str());
+      ++violations;
+    }
+  };
+
+  JsonWriter json;
+  json.BeginObject()
+      .Field("bench", "ext_cluster")
+      .Field("functions", static_cast<int64_t>(Functions().size()))
+      .Field("arrivals_per_point", static_cast<int64_t>(arrivals_per_point))
+      .Field("workload_seed", static_cast<int64_t>(kWorkloadSeed));
+
+  // --- 1. Routing-policy sweep: 4 hosts, light and heavy offered load. ---
+  const RoutingPolicy policies[] = {RoutingPolicy::kRandom, RoutingPolicy::kRoundRobin,
+                                    RoutingPolicy::kLocality};
+  struct LoadLevel {
+    const char* label;
+    Duration mean_gap;
+  };
+  const LoadLevel loads[] = {{"light", Duration::Millis(20)}, {"heavy", Duration::Millis(4)}};
+
+  json.Key("routing_sweep").BeginArray();
+  double locality_cold = 0, random_cold = 0;
+  for (const LoadLevel& load : loads) {
+    for (RoutingPolicy policy : policies) {
+      const ClusterStats stats =
+          RunCell(BaseConfig(4, policy, 1), arrivals_per_point, load.mean_gap);
+      check(stats.arrivals == stats.invocations + stats.shed(),
+            std::string(load.label) + "/" + RoutingPolicyName(policy) +
+                ": arrivals != invocations + sheds");
+      if (std::string(load.label) == "light") {
+        if (policy == RoutingPolicy::kLocality) {
+          locality_cold = stats.cold_start_rate();
+        } else if (policy == RoutingPolicy::kRandom) {
+          random_cold = stats.cold_start_rate();
+        }
+      }
+      CellJson(&json, std::string(load.label) + "/" + RoutingPolicyName(policy), 4, policy,
+               load.mean_gap, stats);
+    }
+  }
+  json.EndArray();
+  check(locality_cold < random_cold,
+        "locality routing did not beat random on cold-start rate at fixed budget");
+
+  // --- 2. Scale-out sweep: constant per-host load, locality routing. ---
+  json.Key("host_sweep").BeginArray();
+  for (size_t hosts : {2u, 4u, 8u}) {
+    // Cluster-wide gap shrinks as hosts grow: per-host offered load constant.
+    const Duration mean_gap = Duration::Nanos(Duration::Millis(32).nanos() /
+                                              static_cast<int64_t>(hosts));
+    const int arrivals = arrivals_per_point * static_cast<int>(hosts) / 4;
+    const ClusterStats stats =
+        RunCell(BaseConfig(hosts, RoutingPolicy::kLocality, 1), arrivals, mean_gap);
+    check(stats.arrivals == stats.invocations + stats.shed(),
+          "hosts=" + std::to_string(hosts) + ": arrivals != invocations + sheds");
+    CellJson(&json, "scale/" + std::to_string(hosts), hosts, RoutingPolicy::kLocality, mean_gap,
+             stats);
+  }
+  json.EndArray();
+
+  // --- 3. Parallel speedup + the determinism contract, self-checked. ---
+  // The same 8-host scenario with 1 worker thread and with N: summaries must
+  // be byte-identical; the wall-clock ratio is the sharding payoff.
+  const int parallel_threads = std::max(
+      2, std::min(8, static_cast<int>(std::thread::hardware_concurrency())));
+  const int speedup_arrivals = arrivals_per_point * 2;
+  const Duration speedup_gap = Duration::Millis(4);
+
+  const auto timed_run = [&](int threads, double* wall_ms) {
+    const auto start = std::chrono::steady_clock::now();
+    const ClusterStats stats =
+        RunCell(BaseConfig(8, RoutingPolicy::kLocality, threads), speedup_arrivals, speedup_gap);
+    const auto stop = std::chrono::steady_clock::now();
+    *wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    return SummaryString(stats);
+  };
+  double serial_ms = 0, parallel_ms = 0;
+  const std::string serial_summary = timed_run(1, &serial_ms);
+  const std::string parallel_summary = timed_run(parallel_threads, &parallel_ms);
+  check(serial_summary == parallel_summary,
+        "1-thread and " + std::to_string(parallel_threads) +
+            "-thread cluster runs are not byte-identical");
+  json.Field("determinism_check",
+             serial_summary == parallel_summary ? "byte_identical" : "DIVERGED");
+
+  if (with_wall) {
+    // Speedup needs real cores: on a 1-core machine two worker threads just
+    // time-share, so the ratio hovers at 1.0 and only the byte-identity check
+    // above is meaningful. hardware_concurrency is recorded so a reader can
+    // tell the two situations apart.
+    json.Key("wall").BeginObject();
+    json.Field("serial_ms", serial_ms)
+        .Field("parallel_ms", parallel_ms)
+        .Field("parallel_threads", static_cast<int64_t>(parallel_threads))
+        .Field("hardware_concurrency",
+               static_cast<int64_t>(std::thread::hardware_concurrency()))
+        .Field("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+    json.EndObject();
+    std::fprintf(stderr, "wall-clock: 1 thread %.1f ms, %d threads %.1f ms (%.2fx, %u cores)\n",
+                 serial_ms, parallel_threads, parallel_ms,
+                 parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
+                 std::thread::hardware_concurrency());
+  }
+
+  json.Field("violations", static_cast<int64_t>(violations)).EndObject();
+  std::printf("%s\n", json.TakeString().c_str());
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faasnap
+
+int main(int argc, char** argv) {
+  int arrivals = 300;
+  bool with_wall = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-wall") == 0) {
+      with_wall = false;
+    } else {
+      arrivals = std::atoi(argv[i]);
+    }
+  }
+  return faasnap::bench::RunBench(arrivals, with_wall);
+}

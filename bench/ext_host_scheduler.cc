@@ -36,6 +36,12 @@ void Run(int arrivals) {
   const RestoreMode miss_modes[] = {RestoreMode::kColdBoot, RestoreMode::kFirecracker,
                                     RestoreMode::kFaasnap};
 
+  // One seeded arrival stream for the whole sweep: every cell serves the same
+  // offered schedule, so cells differ only by budget and miss path.
+  const std::vector<Arrival> mix =
+      ZipfArrivals(functions.size(), arrivals, /*zipf_s=*/1.2,
+                   /*mean_gap=*/Duration::Seconds(20), /*seed=*/12345);
+
   TextTable table({"budget", "miss path", "hit rate", "evictions", "mean latency (ms)",
                    "mean miss (ms)", "avg pool (MiB)"});
   for (const Budget& budget : budgets) {
@@ -52,9 +58,6 @@ void Run(int arrivals) {
         FAASNAP_CHECK_OK(spec.status());
         scheduler.AddFunction(*spec);
       }
-      std::vector<Arrival> mix =
-          ZipfArrivals(functions.size(), arrivals, /*zipf_s=*/1.2,
-                       /*mean_gap=*/Duration::Seconds(20), /*seed=*/12345);
       HostSchedulerStats stats = scheduler.Run(mix);
       table.AddRow({budget.label, std::string(RestoreModeName(miss_mode)),
                     FormatCell("%.0f%%", 100.0 * stats.warm_hit_rate()),

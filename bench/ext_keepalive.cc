@@ -9,6 +9,7 @@
 // latency and the time-averaged host memory pinned by the warm VM.
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/bench_util.h"
 #include "src/runtime/keepalive.h"
@@ -33,10 +34,18 @@ void Run(int arrivals) {
   const RestoreMode miss_modes[] = {RestoreMode::kColdBoot, RestoreMode::kFirecracker,
                                     RestoreMode::kFaasnap};
 
+  // One seeded gap stream per arrival rate, shared by every function and miss
+  // path: cells at a rate serve the identical offered schedule.
+  std::vector<std::vector<Duration>> gaps_by_rate;
+  for (const Rate& rate : rates) {
+    gaps_by_rate.push_back(PoissonArrivalGaps(rate.mean_gap, arrivals, 99));
+  }
+
   for (const std::string& function : {std::string("json"), std::string("recognition")}) {
     TextTable table({"arrival rate", "miss path", "warm hit rate", "mean latency (ms)",
                      "p-miss latency (ms)", "avg pinned memory (MiB)"});
-    for (const Rate& rate : rates) {
+    for (size_t rate_index = 0; rate_index < std::size(rates); ++rate_index) {
+      const Rate& rate = rates[rate_index];
       for (RestoreMode miss_mode : miss_modes) {
         PlatformConfig config;
         Platform platform(config);
@@ -49,8 +58,7 @@ void Run(int arrivals) {
         KeepAliveConfig ka;
         ka.keep_warm = Duration::Seconds(600);
         ka.miss_mode = miss_mode;
-        std::vector<Duration> gaps = PoissonArrivalGaps(rate.mean_gap, arrivals, 99);
-        KeepAliveStats stats = simulator.Run(gaps, ka);
+        KeepAliveStats stats = simulator.Run(gaps_by_rate[rate_index], ka);
 
         // Estimate the miss-path latency as the max observed (misses dominate it).
         table.AddRow({rate.label, std::string(RestoreModeName(miss_mode)),

@@ -1,0 +1,204 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace faasnap {
+
+// A shard is one simulated host: private Platform (its own Simulation, page
+// cache, disks) plus the open-loop serving engine. Worker threads own at most
+// one shard at a time inside a parallel region, so no locking is needed here.
+struct ClusterSimulator::Shard {
+  explicit Shard(const ClusterConfig& config)
+      : platform(config.platform), scheduler(&platform, config.host) {}
+
+  Platform platform;
+  HostScheduler scheduler;
+};
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config)
+    : config_([&config] {
+        config.host.open_loop = true;  // the cluster drives OfferAt directly
+        return config;
+      }()),
+      router_(config_.router),
+      pool_(config_.worker_threads) {
+  FAASNAP_CHECK(config_.hosts > 0);
+  FAASNAP_CHECK(config_.sync_quantum > Duration::Zero());
+  shards_.reserve(config_.hosts);
+  for (size_t i = 0; i < config_.hosts; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+}
+
+ClusterSimulator::~ClusterSimulator() = default;
+
+size_t ClusterSimulator::AddFunction(const FunctionSpec& spec) {
+  // Each host records its own snapshot (snapshots are host-local: the pages
+  // live in that host's files and page cache). The record phases are
+  // identical, independent work — one shard per worker.
+  std::vector<size_t> indices(shards_.size(), 0);
+  pool_.ParallelFor(shards_.size(), [&](size_t i) {
+    indices[i] = shards_[i]->scheduler.AddFunction(spec);
+  });
+  for (size_t index : indices) {
+    FAASNAP_CHECK(index == indices[0]);
+  }
+  return function_count_++;
+}
+
+void ClusterSimulator::SnapshotViews(std::vector<HostView>* views) const {
+  views->clear();
+  views->reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    HostView view;
+    view.outstanding = shard->scheduler.OutstandingLoad();
+    view.pool_bytes = shard->scheduler.pool_bytes();
+    view.pool_budget = shard->scheduler.pool_budget();
+    view.residency.reserve(function_count_);
+    for (size_t f = 0; f < function_count_; ++f) {
+      view.residency.push_back(shard->scheduler.FunctionWarm(f) ? FunctionResidency::kWarm
+                               : shard->scheduler.FunctionEverServed(f)
+                                   ? FunctionResidency::kCached
+                                   : FunctionResidency::kCold);
+    }
+    views->push_back(std::move(view));
+  }
+}
+
+ClusterStats ClusterSimulator::Run(const std::vector<Arrival>& arrivals) {
+  FAASNAP_CHECK(!ran_);
+  ran_ = true;
+  FAASNAP_CHECK(function_count_ > 0);
+
+  // All shards performed identical record work, so their clocks agree; the
+  // cluster epoch starts at that common time.
+  const SimTime base = shards_[0]->platform.sim()->now();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    FAASNAP_CHECK(shard->platform.sim()->now() == base);
+  }
+
+  // Cluster-level arrivals carry no per-host chaos compression (chaos windows
+  // are host-local and apply to what each host serves, not to what the
+  // outside world offers).
+  const std::vector<TimedArrival> schedule = BuildOpenLoopSchedule(arrivals, base, nullptr);
+  for (const TimedArrival& timed : schedule) {
+    FAASNAP_CHECK(timed.function_index < function_count_);
+  }
+
+  // Predicted per-function working sets for the router's budget-fit pass;
+  // identical on every shard, read from shard 0.
+  std::vector<ByteCount> ws_bytes(function_count_);
+  for (size_t f = 0; f < function_count_; ++f) {
+    ws_bytes[f] = PagesToBytes(
+        PageCount::FromPages(shards_[0]->scheduler.snapshot(f).record_touched.page_count()));
+  }
+
+  ClusterStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->scheduler.BeginOpenLoop();
+  }
+
+  const auto all_idle = [this] {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (!shard->scheduler.OpenLoopIdle()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  size_t next = 0;
+  SimTime horizon = base;
+  std::vector<HostView> views;
+  while (next < schedule.size() || !all_idle()) {
+    horizon = horizon + config_.sync_quantum;
+
+    // Barrier: publish views, route this epoch's arrivals (serial, pure).
+    // Routed-but-unconfirmed arrivals bump the view's outstanding count so a
+    // burst inside one epoch spreads instead of piling onto the host that
+    // looked emptiest at the barrier.
+    SnapshotViews(&views);
+    while (next < schedule.size() && schedule[next].at < horizon) {
+      const size_t function_index = schedule[next].function_index;
+      const size_t host = router_.Route(function_index, ws_bytes[function_index], views);
+      views[host].outstanding++;
+      shards_[host]->scheduler.OfferAt(function_index, schedule[next].at);
+      ++next;
+    }
+
+    // Parallel region: every shard advances its private event loop to the
+    // horizon. Thread assignment cannot affect any shard's event order.
+    pool_.ParallelFor(shards_.size(),
+                      [&](size_t i) { shards_[i]->platform.sim()->RunUntil(horizon); });
+    ++stats.epochs;
+  }
+
+  // Merge in host-index order (deterministic double accumulation).
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    HostSchedulerStats host = shard->scheduler.FinishOpenLoop();
+    stats.arrivals += host.arrivals;
+    stats.invocations += host.invocations;
+    stats.warm_hits += host.warm_hits;
+    stats.misses += host.misses;
+    stats.shed_queue_full += host.shed_queue_full;
+    stats.shed_deadline += host.shed_deadline;
+    stats.evictions += host.evictions;
+    stats.expirations += host.expirations;
+    stats.pressure_demotions += host.pressure_demotions;
+    stats.latency_ms.Merge(host.latency_ms);
+    stats.accepted_latency.Merge(host.accepted_latency);
+    stats.avg_resident_bytes += host.avg_pool_bytes;
+    stats.span = std::max(stats.span, host.span);
+    stats.per_host.push_back(std::move(host));
+  }
+  stats.routing = router_.stats();
+  FAASNAP_CHECK(stats.arrivals == static_cast<int64_t>(schedule.size()));
+  FAASNAP_CHECK(stats.invocations + stats.shed() == stats.arrivals);
+  return stats;
+}
+
+void ClusterStats::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("arrivals", arrivals);
+  w->Field("invocations", invocations);
+  w->Field("warm_hits", warm_hits);
+  w->Field("misses", misses);
+  w->Field("cold_start_rate", cold_start_rate());
+  w->Field("shed_queue_full", shed_queue_full);
+  w->Field("shed_deadline", shed_deadline);
+  w->Field("evictions", evictions);
+  w->Field("expirations", expirations);
+  w->Field("pressure_demotions", pressure_demotions);
+  w->Field("latency_ms_mean", latency_ms.mean());
+  w->Field("latency_ms_max", latency_ms.max());
+  w->Field("p99_accepted_ns", p99_accepted());
+  w->Field("avg_resident_bytes", avg_resident_bytes);
+  w->Field("span_ns", span);
+  w->Field("epochs", static_cast<int64_t>(epochs));
+  w->Key("routing");
+  w->BeginObject();
+  w->Field("routed", routing.routed);
+  w->Field("warm_routes", routing.warm_routes);
+  w->Field("cached_routes", routing.cached_routes);
+  w->Field("spills", routing.spills);
+  w->Field("cold_routes", routing.cold_routes);
+  w->EndObject();
+  w->Key("per_host");
+  w->BeginArray();
+  for (const HostSchedulerStats& host : per_host) {
+    w->BeginObject();
+    w->Field("invocations", host.invocations);
+    w->Field("warm_hits", host.warm_hits);
+    w->Field("misses", host.misses);
+    w->Field("shed", host.shed());
+    w->Field("max_in_flight", static_cast<int64_t>(host.max_in_flight));
+    w->Field("avg_pool_bytes", host.avg_pool_bytes);
+    w->Field("final_pressure_level", static_cast<int64_t>(host.final_pressure_level));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace faasnap

@@ -1,0 +1,69 @@
+// JSON-driven cluster experiments (configs/test-cluster.json).
+//
+// Schema (all fields optional unless noted):
+// {
+//   "name": "cluster smoke",
+//   "hosts": 4,
+//   "worker_threads": 2,                  // parallel shard workers; 1 = serial
+//   "sync_quantum_us": 10000,             // barrier epoch length
+//   "router": {
+//     "policy": "locality",               // "random" | "round_robin" | "locality"
+//     "seed": 7,                          // random policy's private stream
+//     "spill_outstanding": 8              // locality load-spill threshold
+//   },
+//   "host": {                             // per-host serving engine
+//     "warm_pool_budget_mib": 1024,
+//     "keep_warm_us": 600000000,
+//     "max_concurrency": 8,               // admission
+//     "queue_capacity": 64,
+//     "queue_deadline_us": 500000,
+//     "memory_budget_mib": 0,             // 0 disables memory admission
+//     "fairness_share": 0.0
+//   },
+//   "workload": {
+//     "functions": ["json", "pyaes"],     // required, catalog names
+//     "count": 400,                       // offered arrivals
+//     "process": "poisson",               // "poisson" | "bursty" | "diurnal"
+//     "mean_gap_us": 2000,
+//     "zipf_s": 1.2,                      // <= 0 = uniform popularity
+//     "seed": 42,
+//     "burst_multiplier": 8.0,            // bursty only
+//     "burst_mean_on_us": 2000000,
+//     "burst_mean_off_us": 20000000,
+//     "diurnal_amplitude": 0.8,           // diurnal only
+//     "diurnal_period_us": 600000000
+//   }
+// }
+
+#ifndef FAASNAP_SRC_CLUSTER_CLUSTER_JSON_H_
+#define FAASNAP_SRC_CLUSTER_CLUSTER_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/json.h"
+#include "src/workloads/arrival_mix.h"
+#include "src/workloads/function_spec.h"
+
+namespace faasnap {
+
+struct ClusterExperiment {
+  std::string name = "cluster";
+  ClusterConfig cluster;
+  std::vector<FunctionSpec> functions;
+  ArrivalMixConfig mix;
+  size_t arrival_count = 100;
+  uint64_t workload_seed = 42;
+};
+
+// Parses a cluster experiment document. InvalidArgument on unknown function
+// names, routing policies, or arrival processes.
+Result<ClusterExperiment> ParseClusterExperiment(const JsonValue& root);
+
+// Reads and parses a config file.
+Result<ClusterExperiment> LoadClusterExperiment(const std::string& path);
+
+}  // namespace faasnap
+
+#endif  // FAASNAP_SRC_CLUSTER_CLUSTER_JSON_H_

@@ -1,59 +1,6 @@
 #include "src/runtime/arrivals.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace faasnap {
-
-Duration SampleArrivalGap(Rng& rng, Duration mean_gap) {
-  // Inverse-CDF sampling of Exp(1/mean): -ln(U) * mean.
-  double u = rng.NextDouble();
-  if (u <= 0.0) {
-    u = 1e-12;
-  }
-  const double ns = -std::log(u) * static_cast<double>(mean_gap.nanos());
-  return Duration::Nanos(static_cast<int64_t>(ns) + 1);
-}
-
-std::vector<Arrival> ZipfArrivals(size_t functions, int count, double zipf_s,
-                                  Duration mean_gap, uint64_t seed) {
-  FAASNAP_CHECK(functions > 0);
-  FAASNAP_CHECK(mean_gap > Duration::Zero());
-  // Zipf CDF over ranks 1..F.
-  std::vector<double> cdf(functions);
-  double total = 0;
-  for (size_t i = 0; i < functions; ++i) {
-    total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
-    cdf[i] = total;
-  }
-  for (double& v : cdf) {
-    v /= total;
-  }
-  Rng rng(seed);
-  std::vector<Arrival> arrivals;
-  arrivals.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    // Draw order is pinned (function, then gap): existing benches rely on the
-    // exact sequence for bit-identical schedules.
-    const double u = rng.NextDouble();
-    const size_t function_index =
-        static_cast<size_t>(std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    const Duration gap = SampleArrivalGap(rng, mean_gap);
-    arrivals.push_back(Arrival{std::min(function_index, functions - 1), gap});
-  }
-  return arrivals;
-}
-
-std::vector<Duration> PoissonArrivalGaps(Duration mean_gap, int count, uint64_t seed) {
-  FAASNAP_CHECK(mean_gap > Duration::Zero());
-  Rng rng(seed);
-  std::vector<Duration> gaps;
-  gaps.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    gaps.push_back(SampleArrivalGap(rng, mean_gap));
-  }
-  return gaps;
-}
 
 std::vector<TimedArrival> BuildOpenLoopSchedule(const std::vector<Arrival>& arrivals,
                                                 SimTime start, FaultInjector* chaos) {

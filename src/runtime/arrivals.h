@@ -1,10 +1,11 @@
-// Arrival-process sampling shared by every serving engine.
+// Open-loop schedule building shared by every serving engine.
 //
-// ZipfArrivals (HostScheduler) and PoissonArrivalGaps (KeepAliveSimulator)
-// used to carry two copies of the same inverse-CDF exponential sampler, down
-// to the +1ns quantization bias. This is the one copy, plus the open-loop
-// schedule builder that turns relative gaps into absolute virtual arrival
-// times (with chaos burst windows compressing the offered gaps).
+// The arrival-process samplers themselves (Poisson / bursty / diurnal mixes,
+// Zipf popularity) are workload definitions and live in
+// src/workloads/arrival_mix.h — included here so every engine and bench keeps
+// a single header for arrival machinery. This file owns the one piece that is
+// runtime-specific: turning relative gaps into absolute virtual arrival times,
+// with chaos burst windows compressing the offered gaps.
 
 #ifndef FAASNAP_SRC_RUNTIME_ARRIVALS_H_
 #define FAASNAP_SRC_RUNTIME_ARRIVALS_H_
@@ -12,30 +13,10 @@
 #include <vector>
 
 #include "src/chaos/fault_injector.h"
-#include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/workloads/arrival_mix.h"
 
 namespace faasnap {
-
-// One request: which registered function, arriving `gap` after the previous one.
-struct Arrival {
-  size_t function_index = 0;
-  Duration gap;
-};
-
-// Exponential(mean_gap) sample via inverse-CDF (-ln(U) * mean), quantized to
-// nanoseconds with a +1ns bias so gaps are strictly positive. Exactly one
-// NextDouble draw per call; deterministic per RNG state.
-Duration SampleArrivalGap(Rng& rng, Duration mean_gap);
-
-// Zipf(s)-popular function choice with exponential inter-arrival gaps: the
-// hot/cold skew of the Azure traces (section 2.1). Deterministic per seed.
-std::vector<Arrival> ZipfArrivals(size_t functions, int count, double zipf_s,
-                                  Duration mean_gap, uint64_t seed);
-
-// Exponentially distributed inter-arrival gaps with the given mean (a Poisson
-// arrival process), deterministic per seed.
-std::vector<Duration> PoissonArrivalGaps(Duration mean_gap, int count, uint64_t seed);
 
 // An arrival pinned to an absolute virtual time, for open-loop driving.
 struct TimedArrival {

@@ -32,6 +32,8 @@ HostScheduler::HostScheduler(Platform* platform, HostSchedulerConfig config)
   FAASNAP_CHECK(!config_.warm_pool_budget_bytes.is_zero());
 }
 
+HostScheduler::~HostScheduler() = default;
+
 size_t HostScheduler::AddFunction(const FunctionSpec& spec) {
   auto entry = std::make_unique<Entry>();
   entry->owned_generator =
@@ -175,6 +177,7 @@ HostSchedulerStats HostScheduler::RunClosedLoop(const std::vector<Arrival>& arri
 
     stats.invocations++;
     stats.per_function_invocations[arrival.function_index]++;
+    entry.served_once = true;
     if (warm) {
       stats.warm_hits++;
       stats.per_function_hits[arrival.function_index]++;
@@ -215,211 +218,290 @@ HostSchedulerStats HostScheduler::RunClosedLoop(const std::vector<Arrival>& arri
   return stats;
 }
 
-HostSchedulerStats HostScheduler::RunOpenLoop(const std::vector<Arrival>& arrivals) {
+// Live state of one open-loop run. Heap-held (stable address) because the
+// admission hooks, pressure overrides, and completion callbacks all point
+// into it while the run is in flight — possibly across many cluster epochs.
+struct HostScheduler::OpenLoopState {
+  explicit OpenLoopState(const PressureLadderConfig& ladder_config) : ladder(ladder_config) {}
+
   HostSchedulerStats stats;
-  stats.per_function_hits.assign(entries_.size(), 0);
-  stats.per_function_invocations.assign(entries_.size(), 0);
-  Simulation* sim = platform_->sim();
-  FaultInjector* chaos = platform_->chaos();
-  const SimTime span_start = sim->now();
-  const ServeCounters counters{&stats.restore_failures, &stats.quarantines,
-                               &stats.quarantined_serves};
-
-  // Absolute arrival times; chaos burst windows compress the offered gaps.
-  const std::vector<TimedArrival> schedule = BuildOpenLoopSchedule(arrivals, span_start, chaos);
-  for (const TimedArrival& timed : schedule) {
-    FAASNAP_CHECK(timed.function_index < entries_.size());
-  }
-
-  // Per-arrival content seeds, drawn in schedule order so the input stream
-  // does not depend on dispatch interleaving.
-  std::vector<uint64_t> seeds(schedule.size(), 0);
-  uint64_t arrival_seed = 0x5c4ed;
-  for (size_t i = 0; i < schedule.size(); ++i) {
-    if (!entries_[schedule[i].function_index]->generator->spec().fixed_input) {
-      seeds[i] = ++arrival_seed;
-    }
-  }
-
-  MetricsRegistry* metrics = platform_->metrics();
-  Counter* warm_hits_metric = nullptr;
-  Counter* misses_metric = nullptr;
-  Gauge* pool_gauge = nullptr;
-  Counter* shed_metrics[2] = {};  // queue_full, deadline — open-loop runs only
-  if (metrics != nullptr) {
-    warm_hits_metric = metrics->GetCounter("scheduler.warm_hits");
-    misses_metric = metrics->GetCounter("scheduler.misses");
-    pool_gauge = metrics->GetGauge("scheduler.pool_bytes");
-    shed_metrics[0] = metrics->GetCounter("scheduler.shed", {{"reason", "queue_full"}});
-    shed_metrics[1] = metrics->GetCounter("scheduler.shed", {{"reason", "deadline"}});
-  }
-
-  PressureLadder ladder(config_.ladder);
+  PressureLadder ladder;
   Platform::PressureOverrides overrides;
-  platform_->set_pressure_overrides(&overrides);
-
   std::unique_ptr<AdmissionController> admission;
-  double pool_byte_time = 0;
-  SimTime last_accrual = span_start;
-  SimTime last_outcome = span_start;
-  int64_t shed_count = 0;
 
   // Time-weighted resident bytes: the idle pool plus the predicted footprint
   // of admitted in-flight work.
-  const auto accrue = [&](SimTime now) {
-    pool_byte_time += static_cast<double>((pool_bytes_ + admission->committed_bytes()).value()) *
-                      (now - last_accrual).seconds();
-    last_accrual = now;
-  };
+  double pool_byte_time = 0;
+  SimTime span_start;
+  SimTime last_accrual;
+  SimTime last_outcome;
+  int64_t shed_count = 0;
+  int64_t offered = 0;
 
-  const auto update_ladder = [&] {
-    ladder.Update(admission->memory_utilization(), platform_->storage()->DemandPressure());
-    overrides.readahead_scale = ladder.readahead_scale();
-    overrides.loader_depth_cap = ladder.loader_depth_cap();
-  };
+  // Per-arrival content seeds, drawn when the arrival event fires — which is
+  // offer order — so the input stream does not depend on dispatch
+  // interleaving, and an epoch-wise driver produces the same stream as an
+  // up-front schedule. seeds[id] keys AdmissionRequest::id.
+  uint64_t arrival_seed = 0x5c4ed;
+  std::vector<uint64_t> seeds;
+
+  bool have_offer = false;
+  SimTime last_offer_at;
+
+  Counter* warm_hits_metric = nullptr;
+  Counter* misses_metric = nullptr;
+  Gauge* pool_gauge = nullptr;
+  Counter* shed_metrics[2] = {};  // queue_full, deadline
+};
+
+void HostScheduler::BeginOpenLoop() {
+  FAASNAP_CHECK(open_loop_ == nullptr);
+  open_loop_ = std::make_unique<OpenLoopState>(config_.ladder);
+  OpenLoopState& ol = *open_loop_;
+  ol.stats.per_function_hits.assign(entries_.size(), 0);
+  ol.stats.per_function_invocations.assign(entries_.size(), 0);
+  Simulation* sim = platform_->sim();
+  ol.span_start = sim->now();
+  ol.last_accrual = ol.span_start;
+  ol.last_outcome = ol.span_start;
+
+  MetricsRegistry* metrics = platform_->metrics();
+  if (metrics != nullptr) {
+    ol.warm_hits_metric = metrics->GetCounter("scheduler.warm_hits");
+    ol.misses_metric = metrics->GetCounter("scheduler.misses");
+    ol.pool_gauge = metrics->GetGauge("scheduler.pool_bytes");
+    ol.shed_metrics[0] = metrics->GetCounter("scheduler.shed", {{"reason", "queue_full"}});
+    ol.shed_metrics[1] = metrics->GetCounter("scheduler.shed", {{"reason", "deadline"}});
+  }
+
+  platform_->set_pressure_overrides(&ol.overrides);
 
   AdmissionController::Hooks hooks;
   hooks.pinned_bytes = [this] { return pool_bytes_; };
-  hooks.make_room = [&](ByteCount bytes) { EvictIdleBytes(bytes, &stats); };
-  hooks.shed = [&](const AdmissionRequest& request, InvocationOutcome outcome, Duration wait) {
-    (void)wait;  // the shed report derives its own wait from request.arrival
-    accrue(sim->now());
-    Entry& entry = *entries_[request.function_index];
-    Status reason = outcome == InvocationOutcome::kShedQueueFull
-                        ? ResourceExhaustedError("admission queue full")
-                        : DeadlineExceededError("queueing deadline exceeded");
-    platform_->ReportShed(*entry.snapshot,
-                          entry.warm ? RestoreMode::kWarm : config_.miss_mode, request.arrival,
-                          outcome, std::move(reason));
-    Counter* metric = shed_metrics[outcome == InvocationOutcome::kShedQueueFull ? 0 : 1];
-    if (metric != nullptr) {
-      metric->Add(1);
-    }
-    ++shed_count;
-    last_outcome = sim->now();
-    update_ladder();
+  hooks.make_room = [this](ByteCount bytes) { EvictIdleBytes(bytes, &open_loop_->stats); };
+  hooks.shed = [this](const AdmissionRequest& request, InvocationOutcome outcome, Duration wait) {
+    OpenLoopShed(request, outcome, wait);
   };
-  hooks.run = [&](const AdmissionRequest& request, Duration wait) {
-    const SimTime now = sim->now();
-    accrue(now);
-    Entry& entry = *entries_[request.function_index];
-    // L3 tightens the keep-alive horizon; idle VMs go back to snapshots sooner.
-    ReclaimAndEvict(entry.warm ? ByteCount::Zero() : entry.ws_bytes,
-                    ScaleDuration(config_.keep_warm, ladder.keep_warm_scale()), &stats);
-    const bool warm = entry.warm;
-    if (warm) {
-      // The warm VM leaves the idle pool while running; its bytes are charged
-      // to the admission controller's in-flight accounting instead.
-      MarkCold(&entry);
-    }
-    ++entry.running;
-    stats.queue_wait_ms.Record(wait.millis());
-    // No DropCaches on misses here: the page cache is shared with concurrent
-    // in-flight restores, and dropping it would clobber them mid-flight.
-
-    WorkloadInput input = MakeInputA(entry.generator->spec());
-    if (!entry.generator->spec().fixed_input) {
-      input.content_seed = seeds[request.id];
-    }
-    ServeParams params;
-    params.warm = warm;
-    params.miss_mode = config_.miss_mode;
-    if (!warm && ladder.demote_restore_mode() && DemotableToReap(config_.miss_mode)) {
-      // L2: serve the miss WS-only instead of prefetching the full snapshot.
-      params.miss_mode = RestoreMode::kReap;
-      ++stats.pressure_demotions;
-    }
-    params.quarantine_failure_threshold = config_.quarantine_failure_threshold;
-    params.quarantine_backoff = config_.quarantine_backoff;
-    params.function_index = request.function_index;
-    const PlannedServe planned = BeginServe(platform_, params, &entry.health, counters);
-    platform_->InvokeAsync(
-        *entry.snapshot, planned.mode, entry.generator->Generate(input),
-        [&, request, params, planned, warm](InvocationReport report) {
-          const SimTime done_at = sim->now();
-          accrue(done_at);
-          Entry& served = *entries_[request.function_index];
-          --served.running;
-          FinishServe(platform_, planned, report.outcome, params, &served.health, counters);
-          const Duration latency = report.total_time();
-          stats.invocations++;
-          stats.per_function_invocations[request.function_index]++;
-          if (warm) {
-            stats.warm_hits++;
-            stats.per_function_hits[request.function_index]++;
-          } else {
-            stats.misses++;
-            stats.miss_latency_ms.Record(latency.millis());
-          }
-          stats.latency_ms.Record(latency.millis());
-          stats.accepted_latency.Record(latency);
-          if (warm_hits_metric != nullptr) {
-            (warm ? warm_hits_metric : misses_metric)->Add(1);
-          }
-          // A failed invocation leaves no VM behind to keep warm.
-          if (report.outcome != InvocationOutcome::kFailed) {
-            MarkWarm(&served, done_at);
-          } else {
-            served.last_used = done_at;
-          }
-          if (pool_gauge != nullptr) {
-            pool_gauge->Set(static_cast<double>(pool_bytes_.value()));
-          }
-          last_outcome = done_at;
-          admission->OnComplete(request);
-          update_ladder();
-        });
+  hooks.run = [this](const AdmissionRequest& request, Duration wait) {
+    OpenLoopRun(request, wait);
   };
-  admission = std::make_unique<AdmissionController>(sim, config_.admission, std::move(hooks));
+  ol.admission = std::make_unique<AdmissionController>(sim, config_.admission, std::move(hooks));
+}
 
-  for (size_t i = 0; i < schedule.size(); ++i) {
-    sim->Schedule(schedule[i].at, [&, i] {
-      accrue(sim->now());
-      if (chaos != nullptr) {
-        // Chaos memory-squeeze windows shrink the effective admission budget.
-        admission->set_budget_scale(chaos->MemoryBudgetFraction(sim->now()));
-      }
-      update_ladder();
-      AdmissionRequest request;
-      request.id = i;
-      request.function_index = schedule[i].function_index;
-      request.predicted_bytes = entries_[schedule[i].function_index]->ws_bytes;
-      request.arrival = sim->now();
-      admission->Offer(request);
-    });
+void HostScheduler::OfferAt(size_t function_index, SimTime at) {
+  FAASNAP_CHECK(open_loop_ != nullptr);
+  FAASNAP_CHECK(function_index < entries_.size());
+  OpenLoopState& ol = *open_loop_;
+  ++ol.offered;
+  if (!ol.have_offer || at > ol.last_offer_at) {
+    ol.have_offer = true;
+    ol.last_offer_at = at;
   }
-  sim->Run();
+  platform_->sim()->Schedule(at, [this, function_index] { OpenLoopArrival(function_index); });
+}
+
+void HostScheduler::OpenLoopAccrue(SimTime now) {
+  OpenLoopState& ol = *open_loop_;
+  ol.pool_byte_time +=
+      static_cast<double>((pool_bytes_ + ol.admission->committed_bytes()).value()) *
+      (now - ol.last_accrual).seconds();
+  ol.last_accrual = now;
+}
+
+void HostScheduler::OpenLoopUpdateLadder() {
+  OpenLoopState& ol = *open_loop_;
+  ol.ladder.Update(ol.admission->memory_utilization(), platform_->storage()->DemandPressure());
+  ol.overrides.readahead_scale = ol.ladder.readahead_scale();
+  ol.overrides.loader_depth_cap = ol.ladder.loader_depth_cap();
+}
+
+void HostScheduler::OpenLoopArrival(size_t function_index) {
+  OpenLoopState& ol = *open_loop_;
+  Simulation* sim = platform_->sim();
+  OpenLoopAccrue(sim->now());
+  FaultInjector* chaos = platform_->chaos();
+  if (chaos != nullptr) {
+    // Chaos memory-squeeze windows shrink the effective admission budget.
+    ol.admission->set_budget_scale(chaos->MemoryBudgetFraction(sim->now()));
+  }
+  OpenLoopUpdateLadder();
+  AdmissionRequest request;
+  request.id = ol.seeds.size();
+  request.function_index = function_index;
+  request.predicted_bytes = entries_[function_index]->ws_bytes;
+  request.arrival = sim->now();
+  ol.seeds.push_back(entries_[function_index]->generator->spec().fixed_input
+                         ? 0
+                         : ++ol.arrival_seed);
+  ol.admission->Offer(request);
+}
+
+void HostScheduler::OpenLoopShed(const AdmissionRequest& request, InvocationOutcome outcome,
+                                 Duration wait) {
+  (void)wait;  // the shed report derives its own wait from request.arrival
+  OpenLoopState& ol = *open_loop_;
+  Simulation* sim = platform_->sim();
+  OpenLoopAccrue(sim->now());
+  Entry& entry = *entries_[request.function_index];
+  Status reason = outcome == InvocationOutcome::kShedQueueFull
+                      ? ResourceExhaustedError("admission queue full")
+                      : DeadlineExceededError("queueing deadline exceeded");
+  platform_->ReportShed(*entry.snapshot, entry.warm ? RestoreMode::kWarm : config_.miss_mode,
+                        request.arrival, outcome, std::move(reason));
+  Counter* metric = ol.shed_metrics[outcome == InvocationOutcome::kShedQueueFull ? 0 : 1];
+  if (metric != nullptr) {
+    metric->Add(1);
+  }
+  ++ol.shed_count;
+  ol.last_outcome = sim->now();
+  OpenLoopUpdateLadder();
+}
+
+void HostScheduler::OpenLoopRun(const AdmissionRequest& request, Duration wait) {
+  OpenLoopState& ol = *open_loop_;
+  const SimTime now = platform_->sim()->now();
+  OpenLoopAccrue(now);
+  const ServeCounters counters{&ol.stats.restore_failures, &ol.stats.quarantines,
+                               &ol.stats.quarantined_serves};
+  Entry& entry = *entries_[request.function_index];
+  // L3 tightens the keep-alive horizon; idle VMs go back to snapshots sooner.
+  ReclaimAndEvict(entry.warm ? ByteCount::Zero() : entry.ws_bytes,
+                  ScaleDuration(config_.keep_warm, ol.ladder.keep_warm_scale()), &ol.stats);
+  const bool warm = entry.warm;
+  if (warm) {
+    // The warm VM leaves the idle pool while running; its bytes are charged
+    // to the admission controller's in-flight accounting instead.
+    MarkCold(&entry);
+  }
+  ++entry.running;
+  ol.stats.queue_wait_ms.Record(wait.millis());
+  // No DropCaches on misses here: the page cache is shared with concurrent
+  // in-flight restores, and dropping it would clobber them mid-flight.
+
+  WorkloadInput input = MakeInputA(entry.generator->spec());
+  if (!entry.generator->spec().fixed_input) {
+    input.content_seed = ol.seeds[request.id];
+  }
+  ServeParams params;
+  params.warm = warm;
+  params.miss_mode = config_.miss_mode;
+  if (!warm && ol.ladder.demote_restore_mode() && DemotableToReap(config_.miss_mode)) {
+    // L2: serve the miss WS-only instead of prefetching the full snapshot.
+    params.miss_mode = RestoreMode::kReap;
+    ++ol.stats.pressure_demotions;
+  }
+  params.quarantine_failure_threshold = config_.quarantine_failure_threshold;
+  params.quarantine_backoff = config_.quarantine_backoff;
+  params.function_index = request.function_index;
+  const PlannedServe planned = BeginServe(platform_, params, &entry.health, counters);
+  platform_->InvokeAsync(*entry.snapshot, planned.mode, entry.generator->Generate(input),
+                         [this, request, params, planned, warm](InvocationReport report) {
+                           OpenLoopComplete(request, params, planned, warm, report);
+                         });
+}
+
+void HostScheduler::OpenLoopComplete(const AdmissionRequest& request, const ServeParams& params,
+                                     const PlannedServe& planned, bool warm,
+                                     const InvocationReport& report) {
+  OpenLoopState& ol = *open_loop_;
+  const SimTime done_at = platform_->sim()->now();
+  OpenLoopAccrue(done_at);
+  const ServeCounters counters{&ol.stats.restore_failures, &ol.stats.quarantines,
+                               &ol.stats.quarantined_serves};
+  Entry& served = *entries_[request.function_index];
+  --served.running;
+  FinishServe(platform_, planned, report.outcome, params, &served.health, counters);
+  const Duration latency = report.total_time();
+  ol.stats.invocations++;
+  ol.stats.per_function_invocations[request.function_index]++;
+  if (warm) {
+    ol.stats.warm_hits++;
+    ol.stats.per_function_hits[request.function_index]++;
+  } else {
+    ol.stats.misses++;
+    ol.stats.miss_latency_ms.Record(latency.millis());
+  }
+  ol.stats.latency_ms.Record(latency.millis());
+  ol.stats.accepted_latency.Record(latency);
+  if (ol.warm_hits_metric != nullptr) {
+    (warm ? ol.warm_hits_metric : ol.misses_metric)->Add(1);
+  }
+  served.served_once = true;
+  // A failed invocation leaves no VM behind to keep warm.
+  if (report.outcome != InvocationOutcome::kFailed) {
+    MarkWarm(&served, done_at);
+  } else {
+    served.last_used = done_at;
+  }
+  if (ol.pool_gauge != nullptr) {
+    ol.pool_gauge->Set(static_cast<double>(pool_bytes_.value()));
+  }
+  ol.last_outcome = done_at;
+  ol.admission->OnComplete(request);
+  OpenLoopUpdateLadder();
+}
+
+int64_t HostScheduler::OutstandingLoad() const {
+  if (open_loop_ == nullptr) {
+    return 0;
+  }
+  return open_loop_->admission->in_flight() +
+         static_cast<int64_t>(open_loop_->admission->queue_depth());
+}
+
+bool HostScheduler::OpenLoopIdle() const { return OutstandingLoad() == 0; }
+
+HostSchedulerStats HostScheduler::FinishOpenLoop() {
+  FAASNAP_CHECK(open_loop_ != nullptr);
+  OpenLoopState& ol = *open_loop_;
+  Simulation* sim = platform_->sim();
 
   // Every offered arrival resolved to exactly one typed outcome.
-  FAASNAP_CHECK(stats.invocations + shed_count == static_cast<int64_t>(schedule.size()));
-  accrue(sim->now());
+  FAASNAP_CHECK(ol.stats.invocations + ol.shed_count == ol.offered);
+  OpenLoopAccrue(sim->now());
 
-  const AdmissionController::Stats& astats = admission->stats();
-  FAASNAP_CHECK(astats.admitted == stats.invocations);
-  stats.arrivals = astats.offered;
-  stats.shed_queue_full = astats.shed_queue_full;
-  stats.shed_deadline = astats.shed_deadline;
-  stats.queued = astats.queued;
-  stats.fairness_deferrals = astats.fairness_deferrals;
-  stats.max_in_flight = astats.max_in_flight;
-  stats.max_queue_depth = astats.max_queue_depth;
-  stats.pressure_transitions = ladder.transitions();
-  stats.max_pressure_level = ladder.max_level();
-  stats.final_pressure_level =
-      ladder.Update(admission->memory_utilization(), platform_->storage()->DemandPressure());
-  if (!schedule.empty() && last_outcome > schedule.back().at) {
-    stats.drain_time = last_outcome - schedule.back().at;
+  const AdmissionController::Stats& astats = ol.admission->stats();
+  FAASNAP_CHECK(astats.admitted == ol.stats.invocations);
+  ol.stats.arrivals = astats.offered;
+  ol.stats.shed_queue_full = astats.shed_queue_full;
+  ol.stats.shed_deadline = astats.shed_deadline;
+  ol.stats.queued = astats.queued;
+  ol.stats.fairness_deferrals = astats.fairness_deferrals;
+  ol.stats.max_in_flight = astats.max_in_flight;
+  ol.stats.max_queue_depth = astats.max_queue_depth;
+  ol.stats.pressure_transitions = ol.ladder.transitions();
+  ol.stats.max_pressure_level = ol.ladder.max_level();
+  ol.stats.final_pressure_level =
+      ol.ladder.Update(ol.admission->memory_utilization(), platform_->storage()->DemandPressure());
+  if (ol.have_offer && ol.last_outcome > ol.last_offer_at) {
+    ol.stats.drain_time = ol.last_outcome - ol.last_offer_at;
   }
-  stats.span = sim->now() - span_start;
-  if (stats.span > Duration::Zero()) {
-    stats.avg_pool_bytes = pool_byte_time / stats.span.seconds();
+  ol.stats.span = sim->now() - ol.span_start;
+  if (ol.stats.span > Duration::Zero()) {
+    ol.stats.avg_pool_bytes = ol.pool_byte_time / ol.stats.span.seconds();
   }
+  MetricsRegistry* metrics = platform_->metrics();
   if (metrics != nullptr) {
-    metrics->GetCounter("scheduler.evictions")->Add(stats.evictions);
-    metrics->GetCounter("scheduler.expirations")->Add(stats.expirations);
+    metrics->GetCounter("scheduler.evictions")->Add(ol.stats.evictions);
+    metrics->GetCounter("scheduler.expirations")->Add(ol.stats.expirations);
   }
   platform_->set_pressure_overrides(nullptr);
+  HostSchedulerStats stats = std::move(ol.stats);
+  open_loop_.reset();
   return stats;
+}
+
+HostSchedulerStats HostScheduler::RunOpenLoop(const std::vector<Arrival>& arrivals) {
+  Simulation* sim = platform_->sim();
+  // Absolute arrival times; chaos burst windows compress the offered gaps.
+  const std::vector<TimedArrival> schedule =
+      BuildOpenLoopSchedule(arrivals, sim->now(), platform_->chaos());
+  BeginOpenLoop();
+  for (const TimedArrival& timed : schedule) {
+    OfferAt(timed.function_index, timed.at);
+  }
+  sim->Run();
+  return FinishOpenLoop();
 }
 
 }  // namespace faasnap

@@ -111,6 +111,7 @@ class HostScheduler {
  public:
   // `platform` must outlive the scheduler.
   HostScheduler(Platform* platform, HostSchedulerConfig config);
+  ~HostScheduler();  // out of line: OpenLoopState is incomplete here
 
   // Registers a function: records its snapshot on the platform and returns its
   // index for Arrival::function_index.
@@ -125,6 +126,35 @@ class HostScheduler {
   // closed loop, or at absolute virtual times under admission control when
   // config.open_loop is set.
   HostSchedulerStats Run(const std::vector<Arrival>& arrivals);
+
+  // --- Incremental open-loop driving (the cluster layer's shards). ---
+  //
+  // RunOpenLoop with config.open_loop is exactly BeginOpenLoop() + OfferAt()
+  // per timed arrival + sim()->Run() + FinishOpenLoop(). A cluster shard
+  // instead interleaves OfferAt batches (arrivals routed at barrier epochs)
+  // with bounded sim->RunUntil(epoch_end) advances. Offer times must be
+  // non-decreasing and >= the platform clock; content seeds are drawn when
+  // the arrival event fires, which is offer order, so the input stream is
+  // identical whether the schedule was offered up front or epoch by epoch.
+  void BeginOpenLoop();
+  void OfferAt(size_t function_index, SimTime at);
+  // Finalizes and returns the run's statistics. Every offered arrival must
+  // have resolved (drive the sim until OpenLoopIdle() first).
+  HostSchedulerStats FinishOpenLoop();
+
+  // Dispatcher-visible surface, read by the cluster router at barrier epochs
+  // only (between epochs the shard's worker thread owns this object, and the
+  // values are deterministic only once it is parked at the barrier).
+  int64_t OutstandingLoad() const;  // admitted in-flight + queued arrivals
+  bool OpenLoopIdle() const;        // no in-flight or queued admitted work
+  size_t function_count() const { return entries_.size(); }
+  // The function's VM currently sits in the warm pool (a routed arrival would
+  // warm-hit), resp. has completed at least one invocation on this host (its
+  // snapshot pages are plausibly still in the host page cache).
+  bool FunctionWarm(size_t index) const { return entries_[index]->warm; }
+  bool FunctionEverServed(size_t index) const { return entries_[index]->served_once; }
+  ByteCount pool_bytes() const { return pool_bytes_; }
+  ByteCount pool_budget() const { return config_.warm_pool_budget_bytes; }
 
   const FunctionSnapshot& snapshot(size_t index) const { return *entries_[index]->snapshot; }
 
@@ -142,12 +172,28 @@ class HostScheduler {
     std::list<Entry*>::iterator lru_it;
     // In-flight invocations of this function (open loop only).
     int running = 0;
+    // At least one invocation of this function completed on this host.
+    bool served_once = false;
     // Snapshot quarantine state (shared serve bookkeeping).
     ServeHealth health;
   };
 
+  // Live state of one open-loop run, heap-held between BeginOpenLoop and
+  // FinishOpenLoop so the admission hooks and completion callbacks can refer
+  // to it stably across epochs.
+  struct OpenLoopState;
+
   HostSchedulerStats RunClosedLoop(const std::vector<Arrival>& arrivals);
   HostSchedulerStats RunOpenLoop(const std::vector<Arrival>& arrivals);
+
+  // Open-loop engine internals; see host_scheduler.cc.
+  void OpenLoopArrival(size_t function_index);
+  void OpenLoopAccrue(SimTime now);
+  void OpenLoopUpdateLadder();
+  void OpenLoopShed(const AdmissionRequest& request, InvocationOutcome outcome, Duration wait);
+  void OpenLoopRun(const AdmissionRequest& request, Duration wait);
+  void OpenLoopComplete(const AdmissionRequest& request, const ServeParams& params,
+                        const PlannedServe& planned, bool warm, const InvocationReport& report);
 
   // Warm-pool bookkeeping: the pool byte total and the LRU list (front =
   // least recently used) are maintained incrementally — marking a VM warm,
@@ -162,13 +208,12 @@ class HostScheduler {
   // admission controller's make_room hook).
   void EvictIdleBytes(ByteCount bytes, HostSchedulerStats* stats);
 
-  ByteCount pool_bytes() const { return pool_bytes_; }
-
   Platform* platform_;
   HostSchedulerConfig config_;
   std::vector<std::unique_ptr<Entry>> entries_;
   std::list<Entry*> lru_;      // warm entries, ascending last_used
   ByteCount pool_bytes_;       // sum of ws_bytes over warm entries
+  std::unique_ptr<OpenLoopState> open_loop_;  // live between Begin/FinishOpenLoop
 };
 
 }  // namespace faasnap

@@ -7,6 +7,10 @@
 //
 // The engine is deliberately single-threaded: determinism is worth more to the
 // benchmarks than parallel speedup, and all FaaSnap experiments complete in seconds.
+// Parallelism lives a layer up: src/cluster/ runs one Simulation per simulated
+// host on its own worker thread and synchronizes them at conservative
+// virtual-time barriers, so multi-host runs scale across cores while each
+// engine instance stays single-threaded and bit-reproducible.
 
 #ifndef FAASNAP_SRC_SIM_SIMULATION_H_
 #define FAASNAP_SRC_SIM_SIMULATION_H_
